@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared bench helper implementation.
+ */
+
+#include "bench_common.hh"
+
+namespace qoserve {
+namespace bench {
+
+PredictorCache &
+PredictorCache::instance()
+{
+    static PredictorCache cache;
+    return cache;
+}
+
+const LatencyPredictor *
+PredictorCache::get(const ReplicaHwConfig &hw)
+{
+    std::string key =
+        hw.model.name + "/" + hw.gpu.name + "/tp" +
+        std::to_string(hw.tpDegree);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        std::fprintf(stderr, "[bench] training forest predictor for %s\n",
+                     key.c_str());
+        PerfModel model(hw);
+        it = cache_
+                 .emplace(key,
+                          std::make_unique<ForestLatencyPredictor>(model))
+                 .first;
+    }
+    return it->second.get();
+}
+
+ServingConfig
+toServingConfig(const RunConfig &cfg)
+{
+    ServingConfig sc;
+    sc.hw = cfg.hw;
+    sc.numReplicas = cfg.numReplicas;
+    sc.policy = cfg.policy;
+    sc.qoserve = cfg.qoserve;
+    sc.medha = cfg.medha;
+    sc.base = cfg.base;
+    return sc;
+}
+
+Trace
+makeTrace(const RunConfig &cfg, double qps)
+{
+    TraceBuilder builder = TraceBuilder()
+                               .dataset(cfg.dataset)
+                               .tiers(cfg.tiers)
+                               .tierMix(cfg.tierMix)
+                               .lowPriorityFraction(
+                                   cfg.lowPriorityFraction)
+                               .seed(cfg.seed);
+    PoissonArrivals arrivals(qps);
+    if (cfg.traceDuration > 0.0)
+        return builder.build(arrivals, cfg.traceDuration);
+    return builder.buildCount(arrivals, cfg.requestCount);
+}
+
+std::unique_ptr<ClusterSim>
+runForInspection(const RunConfig &cfg, const Trace &trace)
+{
+    ServingConfig sc = toServingConfig(cfg);
+
+    ClusterSim::Config cc;
+    cc.replica.hw = cfg.hw;
+    bool needs_predictor =
+        cfg.policy == Policy::QoServe && cfg.qoserve.enableDynamicChunking;
+    cc.predictor =
+        needs_predictor ? PredictorCache::instance().get(cfg.hw) : nullptr;
+
+    auto sim = std::make_unique<ClusterSim>(cc, trace);
+    sim->addReplicaGroup(cfg.numReplicas, makeSchedulerFactory(sc));
+    sim->run();
+    return sim;
+}
+
+RunSummary
+runOnce(const RunConfig &cfg, double qps)
+{
+    return summarize(runForInspection(cfg, makeTrace(cfg, qps))->metrics());
+}
+
+double
+goodput(const RunConfig &cfg, const GoodputSearch &search,
+        const GoodputCriteria &criteria)
+{
+    LoadRunner runner = [&cfg](double qps) { return runOnce(cfg, qps); };
+    return measureMaxGoodput(runner, criteria, search);
+}
+
+void
+printRule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+void
+printBanner(const std::string &title, const std::string &paper_ref)
+{
+    printRule();
+    std::printf("%s\n(reproduces %s of \"QoServe: Breaking the Silos of "
+                "LLM Inference Serving\", ASPLOS'26)\n",
+                title.c_str(), paper_ref.c_str());
+    printRule();
+}
+
+} // namespace bench
+} // namespace qoserve

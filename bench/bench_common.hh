@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Each bench binary regenerates one table or figure from the paper's
+ * evaluation (see DESIGN.md §3): it builds the workload the paper
+ * describes, runs the schedulers under test in the simulator, and
+ * prints the same rows/series the paper reports. Scales (request
+ * counts, durations) are reduced relative to the paper's 4-hour GPU
+ * runs to keep the full suite executable in minutes; EXPERIMENTS.md
+ * records the mapping and the measured-vs-published comparison.
+ */
+
+#ifndef QOSERVE_BENCH_BENCH_COMMON_HH
+#define QOSERVE_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/qoserve.hh"
+
+namespace qoserve {
+namespace bench {
+
+/** Default seed for bench workloads. */
+inline constexpr std::uint64_t kSeed = 42;
+
+/**
+ * Cache of trained forest predictors keyed by hardware config, so
+ * sweeps pay the training cost once per (model, GPU, TP) like the
+ * paper's per-configuration profiling (§3.6.1).
+ */
+class PredictorCache
+{
+  public:
+    /** Get (or train) the predictor for @p hw. */
+    const LatencyPredictor *get(const ReplicaHwConfig &hw);
+
+    /** Singleton shared by a bench binary. */
+    static PredictorCache &instance();
+
+  private:
+    std::map<std::string, std::unique_ptr<ForestLatencyPredictor>> cache_;
+};
+
+/**
+ * One simulation run: @p policy at @p qps on a fresh trace.
+ */
+struct RunConfig
+{
+    Policy policy = Policy::QoServe;
+    ReplicaHwConfig hw = llama3_8b_a100_tp1();
+    Dataset dataset = azureCode();
+    TierTable tiers = paperTierTable();
+    std::vector<double> tierMix{};
+    double lowPriorityFraction = 0.0;
+    int numReplicas = 1;
+    std::uint64_t seed = kSeed;
+    QoServeConfig qoserve{};
+    MedhaScheduler::Options medha{};
+    ChunkedSchedulerConfig base{};
+
+    /** Trace length in requests when running at fixed QPS. */
+    std::size_t requestCount = 1000;
+
+    /**
+     * Trace length in seconds; when positive it overrides
+     * requestCount. Load sweeps use durations long enough for TTLT
+     * deadlines (600/1800 s) to bind under sustained overload, as in
+     * the paper's multi-hour runs.
+     */
+    SimDuration traceDuration = 0.0;
+};
+
+/** Build the ServingConfig for a RunConfig (predictor-cached). */
+ServingConfig toServingConfig(const RunConfig &cfg);
+
+/** Build this run's trace at the given QPS (Poisson arrivals). */
+Trace makeTrace(const RunConfig &cfg, double qps);
+
+/** Run once and summarize. */
+RunSummary runOnce(const RunConfig &cfg, double qps);
+
+/** Run once and return the cluster for detailed inspection. */
+std::unique_ptr<ClusterSim> runForInspection(const RunConfig &cfg,
+                                             const Trace &trace);
+
+/**
+ * Per-replica goodput of a config (paper §4.1.2: max QPS with <= 1%
+ * violations), via bracket + binary search.
+ */
+double goodput(const RunConfig &cfg, const GoodputSearch &search = {},
+               const GoodputCriteria &criteria = {});
+
+/** Print a rule line. */
+void printRule(int width = 78);
+
+/** Print a bench banner. */
+void printBanner(const std::string &title, const std::string &paper_ref);
+
+} // namespace bench
+} // namespace qoserve
+
+#endif // QOSERVE_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Scheduling-overhead microbenchmarks (google-benchmark).
+ *
+ * §4.5.3 argues QoServe's scheduling step costs O(log N_new) via its
+ * priority queue, unlike SLOs-Serve's O(N * N_new * M) dynamic
+ * program. These benchmarks measure the wall-clock cost of one
+ * scheduling iteration (formBatch + onBatchComplete) as the prefill
+ * backlog grows, plus the cost of the two predictor paths consulted
+ * per iteration.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/qoserve.hh"
+
+namespace qoserve {
+namespace {
+
+/** Steady-state scheduling iteration at a given backlog size. */
+template <typename SchedT>
+void
+runIterationBenchmark(benchmark::State &state, SchedT &sched,
+                      const PerfModel &perf)
+{
+    (void)perf;
+    const auto backlog = static_cast<std::size_t>(state.range(0));
+    TierTable tiers = paperTierTable();
+    std::vector<std::unique_ptr<Request>> owned;
+    std::uint64_t next_id = 0;
+    SimTime now = 0.0;
+
+    std::size_t completed = 0;
+    sched.setCompletionHandler([&](Request *) { ++completed; });
+
+    auto enqueue_one = [&]() {
+        RequestSpec spec;
+        spec.id = next_id++;
+        spec.arrival = now;
+        spec.promptTokens = 512;
+        spec.decodeTokens = 1; // retire at prefill completion
+        spec.tierId = static_cast<int>(spec.id % 3);
+        spec.appId = spec.tierId;
+        owned.push_back(std::make_unique<Request>(
+            spec, tiers[spec.tierId], AppStats{8.0, 4.0}));
+        sched.enqueue(owned.back().get(), now);
+    };
+
+    for (std::size_t i = 0; i < backlog; ++i)
+        enqueue_one();
+
+    for (auto _ : state) {
+        completed = 0;
+        Batch batch = sched.formBatch(now);
+        now += 0.05;
+        sched.onBatchComplete(batch, now);
+        benchmark::DoNotOptimize(batch.prefills.data());
+        // Refill to keep the backlog constant across iterations.
+        state.PauseTiming();
+        for (std::size_t i = 0; i < completed; ++i)
+            enqueue_one();
+        state.ResumeTiming();
+    }
+    state.SetLabel("backlog=" + std::to_string(backlog));
+}
+
+/**
+ * QoServe: per-iteration cost bounded by the chunk budget, not the
+ * backlog — the O(log N_new) claim of §4.5.3.
+ */
+void
+BM_QoServeIteration(benchmark::State &state)
+{
+    PerfModel perf(llama3_8b_a100_tp1());
+    BlockManager kv(perf.hw().kvCapacityTokens(), 16);
+    OracleLatencyPredictor oracle(perf);
+    SchedulerEnv env{&kv, &perf, &oracle};
+    QoServeScheduler sched(env);
+    runIterationBenchmark(state, sched, perf);
+}
+
+BENCHMARK(BM_QoServeIteration)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+/**
+ * SLOs-Serve-style DP: per-iteration cost grows with the whole
+ * queue (O(N * M) knapsack), the scalability limit §4.5.3 argues
+ * against.
+ */
+void
+BM_SlosServeDpIteration(benchmark::State &state)
+{
+    PerfModel perf(llama3_8b_a100_tp1());
+    BlockManager kv(perf.hw().kvCapacityTokens(), 16);
+    SchedulerEnv env{&kv, &perf, nullptr};
+    DpScheduler sched(env, DpScheduler::Options{});
+    runIterationBenchmark(state, sched, perf);
+}
+
+BENCHMARK(BM_SlosServeDpIteration)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
+
+/** Cost of one analytical execution-time query. */
+void
+BM_PerfModelIterationTime(benchmark::State &state)
+{
+    PerfModel perf(llama3_8b_a100_tp1());
+    BatchWork w;
+    w.prefillTokens = 512;
+    w.prefillCtxProduct = 512.0 * 1024.0;
+    w.numDecodes = 64;
+    w.decodeCtxSum = 64 * 2000;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(perf.iterationTime(w));
+}
+
+BENCHMARK(BM_PerfModelIterationTime);
+
+/** Cost of one random-forest latency prediction (CPU-side, §3.6.1). */
+void
+BM_ForestPredict(benchmark::State &state)
+{
+    static PerfModel perf(llama3_8b_a100_tp1());
+    static ForestLatencyPredictor forest(perf);
+    BatchFeatures f;
+    f.chunkTokens = 512;
+    f.prefillContext = 1024;
+    f.numDecodes = 64;
+    f.decodeCtxSum = 64 * 2000;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(forest.predict(f));
+}
+
+BENCHMARK(BM_ForestPredict);
+
+/** Cost of solving the dynamic chunk budget (binary search). */
+void
+BM_ChunkBudgetSolve(benchmark::State &state)
+{
+    static PerfModel perf(llama3_8b_a100_tp1());
+    static ForestLatencyPredictor forest(perf);
+    BatchFeatures f;
+    f.numDecodes = 64;
+    f.decodeCtxSum = 64 * 2000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            solveChunkBudget(forest, f, 0.05, 2560, 64));
+    }
+}
+
+BENCHMARK(BM_ChunkBudgetSolve);
+
+} // namespace
+} // namespace qoserve
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Capacity planning: how many GPUs does a target workload need?
+ *
+ * An operations-facing use of the library: given a model/hardware
+ * choice, a dataset profile and a QoS tier mix, binary-search the
+ * per-replica goodput of each candidate scheduler and print the
+ * fleet size (and implied GPU count) needed for a target aggregate
+ * load — the calculation behind Figure 1 (top right) and Table 4.
+ *
+ * Run: build/examples/capacity_planner [target_qps]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/qoserve.hh"
+
+namespace {
+
+using namespace qoserve;
+
+double
+measureGoodput(Policy policy, const ReplicaHwConfig &hw,
+               const std::shared_ptr<const LatencyPredictor> &predictor)
+{
+    LoadRunner runner = [&](double qps) {
+        Trace trace = TraceBuilder()
+                          .dataset(azureCode())
+                          .tiers(paperTierTable())
+                          .seed(5)
+                          .buildCount(PoissonArrivals(qps), 600);
+
+        ServingConfig sc;
+        sc.policy = policy;
+        sc.hw = hw;
+
+        ClusterSim::Config cc;
+        cc.replica.hw = hw;
+        cc.predictor = predictor.get();
+        ClusterSim sim(cc, trace);
+        sim.addReplicaGroup(1, makeSchedulerFactory(sc));
+        return summarize(sim.run());
+    };
+
+    GoodputSearch search;
+    search.resolutionQps = 0.125;
+    return measureMaxGoodput(runner, GoodputCriteria{}, search);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace qoserve;
+
+    double target_qps = argc > 1 ? std::atof(argv[1]) : 35.0;
+    if (target_qps <= 0.0) {
+        std::fprintf(stderr, "usage: %s [target_qps > 0]\n", argv[0]);
+        return 1;
+    }
+
+    ReplicaHwConfig hw = llama3_8b_a100_tp1();
+    std::printf("capacity plan: %s on %s (TP%d), Az-Code profile, "
+                "Table 3 tiers, target %.1f QPS\n\n",
+                hw.model.name.c_str(), hw.gpu.name.c_str(), hw.tpDegree,
+                target_qps);
+
+    // The forest predictor is only consulted by QoServe; train once.
+    ServingConfig pred_cfg;
+    auto predictor = makePredictor(pred_cfg);
+
+    std::printf("%-14s %18s %10s %8s\n", "scheduler",
+                "goodput/replica", "replicas", "GPUs");
+    for (Policy policy : {Policy::SarathiFcfs, Policy::SarathiEdf,
+                          Policy::QoServe}) {
+        double goodput = measureGoodput(policy, hw, predictor);
+        if (goodput <= 0.0) {
+            std::printf("%-14s %18s %10s %8s\n", policyName(policy),
+                        "unattainable", "-", "-");
+            continue;
+        }
+        int replicas = replicasForLoad(target_qps, goodput);
+        std::printf("%-14s %18.2f %10d %8d\n", policyName(policy),
+                    goodput, replicas, replicas * hw.gpusPerReplica());
+    }
+
+    std::printf("\nGoodput = max per-replica QPS with <= 1%% SLO "
+                "violations (binary search, §4.1.2).\n");
+    return 0;
+}

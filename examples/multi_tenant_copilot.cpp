@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Multi-tenant scenario from the paper's introduction: a coding
+ * assistant (millisecond-scale interactivity), user-facing video
+ * summarization (minutes), and overnight email-insight batch jobs
+ * (hours) share one GPU fleet.
+ *
+ * Compares the industry-standard siloed deployment (a dedicated
+ * Sarathi cluster per application) against QoServe co-scheduling on
+ * the same number of GPUs, and shows what happens to the siloed
+ * deployment when one tenant's load spikes while another's is idle —
+ * the utilization pathology §2.3 describes.
+ *
+ * Run: build/examples/multi_tenant_copilot
+ */
+
+#include <cstdio>
+
+#include "core/qoserve.hh"
+
+namespace {
+
+using namespace qoserve;
+
+/** Tenants with custom SLOs (the QoS classes are user-definable). */
+TierTable
+tenantTiers()
+{
+    return {
+        interactiveTier(0, "copilot", 2.0, fromMillis(50.0)),
+        batchTier(1, "video-summary", 300.0),
+        batchTier(2, "email-insights", 1800.0),
+    };
+}
+
+void
+report(const char *label, const RunSummary &summary,
+       const TierTable &tiers)
+{
+    std::printf("\n%s\n", label);
+    std::printf("  %-16s %10s %12s %12s\n", "tenant", "requests",
+                "p99 (s)", "violations");
+    for (const TierSummary &tier : summary.tiers) {
+        const QosTier &def = tiers[tier.tierId];
+        std::printf("  %-16s %10zu %12.2f %11.2f%%\n",
+                    def.name.c_str(), tier.count,
+                    def.interactive ? tier.p99Ttft : tier.p99Ttlt,
+                    100.0 * tier.violationRate);
+    }
+    std::printf("  overall violations: %.2f%%\n",
+                100.0 * summary.violationRate);
+}
+
+RunSummary
+runSiloed(const Trace &trace)
+{
+    ClusterSim::Config cc;
+    cc.replica.hw = llama3_8b_a100_tp1();
+    ClusterSim sim(cc, trace);
+
+    // One replica per tenant, chunk sized for the tenant's SLO.
+    ServingConfig strict;
+    strict.policy = Policy::SarathiFcfs;
+    strict.base.fixedChunkTokens = 256;
+    ServingConfig relaxed = strict;
+    relaxed.base.fixedChunkTokens = 2048;
+
+    sim.routeTier(0, sim.addReplicaGroup(1, makeSchedulerFactory(strict)));
+    sim.routeTier(1, sim.addReplicaGroup(1, makeSchedulerFactory(relaxed)));
+    sim.routeTier(2, sim.addReplicaGroup(1, makeSchedulerFactory(relaxed)));
+    return summarize(sim.run());
+}
+
+RunSummary
+runShared(const Trace &trace,
+          const std::shared_ptr<const LatencyPredictor> &predictor)
+{
+    ServingConfig qos;
+    qos.policy = Policy::QoServe;
+
+    ClusterSim::Config cc;
+    cc.replica.hw = llama3_8b_a100_tp1();
+    cc.predictor = predictor.get();
+    ClusterSim sim(cc, trace);
+    sim.addReplicaGroup(3, makeSchedulerFactory(qos));
+    return summarize(sim.run());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace qoserve;
+
+    TierTable tiers = tenantTiers();
+
+    // Train the batch-latency predictor once (shared by both runs).
+    ServingConfig pred_cfg;
+    auto predictor = makePredictor(pred_cfg);
+
+    std::printf("=== balanced load: every tenant at ~1.3 QPS ===\n");
+    Trace balanced = TraceBuilder()
+                         .dataset(azureConv())
+                         .tiers(tiers)
+                         .seed(2)
+                         .build(PoissonArrivals(4.0), 900.0);
+    report("siloed (3 GPUs, one per tenant)", runSiloed(balanced), tiers);
+    report("QoServe shared (same 3 GPUs)",
+           runShared(balanced, predictor), tiers);
+
+    // Skewed load: the copilot tenant spikes to 70% of traffic while
+    // the batch tenants idle. The copilot silo drowns while two
+    // other GPUs sit mostly idle; the shared cluster absorbs it.
+    std::printf("\n=== skewed load: copilot spikes to 70%% of traffic "
+                "===\n");
+    Trace skewed = TraceBuilder()
+                       .dataset(azureConv())
+                       .tiers(tiers)
+                       .tierMix({0.7, 0.15, 0.15})
+                       .seed(3)
+                       .build(PoissonArrivals(4.0), 900.0);
+    report("siloed (3 GPUs, one per tenant)", runSiloed(skewed), tiers);
+    report("QoServe shared (same 3 GPUs)",
+           runShared(skewed, predictor), tiers);
+
+    std::printf("\nTakeaway: with silos, capacity is stranded in idle "
+                "tenants exactly when another\ntenant needs it; "
+                "co-scheduling turns that stranded capacity into SLO "
+                "headroom.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Graceful degradation under a traffic burst with free/paid tiers.
+ *
+ * A serving deployment gets hit by a 3x traffic burst. Each request
+ * carries an application hint: 30% come from the free tier, 70%
+ * from paying customers. QoServe's eager relegation uses the hint to
+ * shed free-tier work first, keeping paid-tier SLOs intact through
+ * the burst — compared against Sarathi-FCFS, which degrades everyone
+ * uniformly (§2.2's "Overload management" critique).
+ *
+ * Run: build/examples/overload_shedding
+ */
+
+#include <cstdio>
+
+#include "core/qoserve.hh"
+
+namespace {
+
+using namespace qoserve;
+
+struct TierOutcome
+{
+    std::size_t count = 0;
+    std::size_t violations = 0;
+    double worst = 0.0;
+};
+
+void
+report(const char *label, const MetricsCollector &metrics)
+{
+    TierOutcome paid, free_tier;
+    for (const RequestRecord &rec : metrics.records()) {
+        const QosTier &tier = metrics.tiers()[rec.spec.tierId];
+        TierOutcome &out = rec.spec.important ? paid : free_tier;
+        ++out.count;
+        out.violations += violatedSlo(rec, tier);
+        out.worst = std::max(out.worst, headlineLatency(rec, tier));
+    }
+
+    std::printf("\n%s\n", label);
+    std::printf("  %-10s %10s %14s %18s\n", "tier", "requests",
+                "violations", "worst latency (s)");
+    std::printf("  %-10s %10zu %13.2f%% %18.2f\n", "paid", paid.count,
+                100.0 * paid.violations / paid.count, paid.worst);
+    std::printf("  %-10s %10zu %13.2f%% %18.2f\n", "free",
+                free_tier.count,
+                100.0 * free_tier.violations / free_tier.count,
+                free_tier.worst);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace qoserve;
+
+    // 900 s of traffic at 2 QPS with a 300 s burst at 6 QPS in the
+    // middle — well past one replica's capacity.
+    BurstArrivals arrivals(2.0, 6.0, 300.0, 600.0);
+    Trace trace = TraceBuilder()
+                      .dataset(azureCode())
+                      .tiers(paperTierTable())
+                      .lowPriorityFraction(0.3) // free tier
+                      .seed(4)
+                      .build(arrivals, 900.0);
+
+    std::printf("workload: %zu requests, 2 QPS baseline with a 3x "
+                "burst during [300 s, 600 s)\n",
+                trace.requests.size());
+
+    for (Policy policy : {Policy::SarathiFcfs, Policy::QoServe}) {
+        ServingConfig cfg;
+        cfg.policy = policy;
+        ServingSystem system(cfg);
+        auto sim = system.serveForInspection(trace);
+        report(policyName(policy), sim->metrics());
+
+        if (policy == Policy::QoServe) {
+            RunSummary s = summarize(sim->metrics());
+            std::printf("  relegated: %.2f%% of requests (served "
+                        "opportunistically, never dropped)\n",
+                        100.0 * s.relegatedFraction);
+        }
+    }
+
+    std::printf("\nTakeaway: FCFS lets the burst cascade into every "
+                "user's latency; QoServe sheds a\nbounded slice of "
+                "free-tier work during the burst and pays it back in "
+                "the trough.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Admission controller implementation.
+ */
+
+#include "cluster/admission.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+AdmissionController::AdmissionController(Config cfg)
+    : cfg_(cfg), bucket_(cfg.burstSize)
+{
+    if (cfg_.policy == AdmissionPolicy::RateLimit) {
+        QOSERVE_ASSERT(cfg_.rateLimitQps > 0.0,
+                       "rate limit must be positive");
+        QOSERVE_ASSERT(cfg_.burstSize >= 1.0, "burst must be >= 1");
+    }
+    if (cfg_.policy == AdmissionPolicy::LoadShed) {
+        QOSERVE_ASSERT(cfg_.maxBacklogTokens > 0,
+                       "backlog threshold must be positive");
+    }
+}
+
+bool
+AdmissionController::admit(const RequestSpec &spec, SimTime now,
+                           const Scheduler &target)
+{
+    (void)spec;
+    bool ok = true;
+    switch (cfg_.policy) {
+      case AdmissionPolicy::None:
+        break;
+      case AdmissionPolicy::RateLimit: {
+        bucket_ = std::min(cfg_.burstSize,
+                           bucket_ + (now - lastRefill_) *
+                                         cfg_.rateLimitQps);
+        lastRefill_ = now;
+        // Epsilon absorbs accumulated floating-point refill error so
+        // an exactly-at-rate arrival stream admits at the rate.
+        if (bucket_ >= 1.0 - 1e-9)
+            bucket_ = std::max(0.0, bucket_ - 1.0);
+        else
+            ok = false;
+        break;
+      }
+      case AdmissionPolicy::LoadShed:
+        ok = target.pendingPrefillTokens() < cfg_.maxBacklogTokens;
+        break;
+    }
+    if (ok)
+        ++admitted_;
+    else
+        ++rejected_;
+    return ok;
+}
+
+} // namespace qoserve

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Goodput search implementation.
+ */
+
+#include "cluster/capacity.hh"
+
+#include <cmath>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+bool
+meetsGoodputCriteria(const RunSummary &summary,
+                     const GoodputCriteria &criteria)
+{
+    double rate = criteria.includeTbt ? summary.violationRateWithTbt
+                                      : summary.violationRate;
+    return rate <= criteria.maxViolationRate;
+}
+
+double
+measureMaxGoodput(const LoadRunner &runner,
+                  const GoodputCriteria &criteria,
+                  const GoodputSearch &search)
+{
+    QOSERVE_ASSERT(search.startQps > 0.0 && search.resolutionQps > 0.0,
+                   "bad goodput search bounds");
+
+    auto passes = [&](double qps) {
+        return meetsGoodputCriteria(runner(qps), criteria);
+    };
+
+    // Bracket: double until failure (or the cap).
+    double lo = 0.0;
+    double hi = search.startQps;
+    while (hi <= search.maxQps && passes(hi)) {
+        lo = hi;
+        hi *= 2.0;
+    }
+    if (lo == 0.0)
+        return 0.0; // Even the initial probe failed.
+    if (hi > search.maxQps)
+        return lo; // Passed everything up to the cap.
+
+    // Binary search inside (lo passes, hi fails).
+    while (hi - lo > search.resolutionQps) {
+        double mid = 0.5 * (lo + hi);
+        if (passes(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+int
+replicasForLoad(double total_qps, double per_replica_goodput)
+{
+    QOSERVE_ASSERT(per_replica_goodput > 0.0,
+                   "per-replica goodput must be positive");
+    return static_cast<int>(std::ceil(total_qps / per_replica_goodput));
+}
+
+} // namespace qoserve

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Goodput and capacity search harnesses.
+ *
+ * Implements the paper's goodput metric (§4.1.2): the maximum request
+ * rate a replica sustains "while meeting the latency targets (p99)"
+ * with "at most 1% of total requests" violating their deadlines. The
+ * search brackets the feasible QPS by doubling, then binary-searches
+ * to the requested resolution.
+ */
+
+#ifndef QOSERVE_CLUSTER_CAPACITY_HH
+#define QOSERVE_CLUSTER_CAPACITY_HH
+
+#include <functional>
+
+#include "metrics/slo_report.hh"
+
+namespace qoserve {
+
+/** Pass/fail criteria for one load point. */
+struct GoodputCriteria
+{
+    /** Maximum tolerated SLO violation fraction (paper: 1%). */
+    double maxViolationRate = 0.01;
+
+    /**
+     * Count TBT SLO misses as violations too. Off by default
+     * (matching the paper's headline metric); the PolyServe
+     * comparison (§4.5.2) turns it on because its classes differ
+     * only in TBT.
+     */
+    bool includeTbt = false;
+};
+
+/** Search controls. */
+struct GoodputSearch
+{
+    /** Initial QPS probe. */
+    double startQps = 0.5;
+
+    /** Upper bound on the bracketing phase. */
+    double maxQps = 64.0;
+
+    /** Terminate when the bracket is this tight. */
+    double resolutionQps = 0.125;
+};
+
+/** Evaluate a load point: run a simulation and summarize it. */
+using LoadRunner = std::function<RunSummary(double qps)>;
+
+/** True if a summary satisfies the criteria. */
+bool meetsGoodputCriteria(const RunSummary &summary,
+                          const GoodputCriteria &criteria);
+
+/**
+ * Maximum sustainable QPS under the criteria.
+ *
+ * @param runner Executes one simulation at a given QPS.
+ * @param criteria Pass/fail rule per load point.
+ * @param search Bracketing and resolution controls.
+ * @return Highest passing QPS found (0 when even startQps fails).
+ */
+double measureMaxGoodput(const LoadRunner &runner,
+                         const GoodputCriteria &criteria = {},
+                         const GoodputSearch &search = {});
+
+/**
+ * Replicas needed to serve @p total_qps given a per-replica goodput.
+ */
+int replicasForLoad(double total_qps, double per_replica_goodput);
+
+} // namespace qoserve
+
+#endif // QOSERVE_CLUSTER_CAPACITY_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Cluster simulation implementation.
+ */
+
+#include "cluster/cluster.hh"
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+ClusterSim::ClusterSim(Config cfg, Trace trace)
+    : cfg_(cfg), trace_(std::move(trace)),
+      tierRoute_(trace_.tiers.size(), 0), metrics_(trace_.tiers),
+      admission_(cfg_.admission)
+{
+    QOSERVE_ASSERT(!trace_.tiers.empty(), "trace has no tiers");
+}
+
+const char *
+loadBalanceName(LoadBalancePolicy policy)
+{
+    switch (policy) {
+      case LoadBalancePolicy::RoundRobin:
+        return "round-robin";
+      case LoadBalancePolicy::LeastLoaded:
+        return "least-loaded";
+      case LoadBalancePolicy::ShortestQueue:
+        return "shortest-queue";
+    }
+    QOSERVE_PANIC("unknown load-balance policy");
+}
+
+int
+ClusterSim::addReplicaGroup(int count, const SchedulerFactory &factory,
+                            LoadBalancePolicy lb)
+{
+    QOSERVE_ASSERT(count > 0, "group needs at least one replica");
+    Group group;
+    group.lb = lb;
+    for (int i = 0; i < count; ++i) {
+        auto replica = std::make_unique<Replica>(
+            eq_, cfg_.replica, factory, cfg_.predictor, trace_.tiers,
+            trace_.appStats,
+            [this](const RequestRecord &rec) { metrics_.record(rec); });
+        group.replicaIdx.push_back(replicas_.size());
+        replicas_.push_back(std::move(replica));
+    }
+    groups_.push_back(std::move(group));
+    return static_cast<int>(groups_.size()) - 1;
+}
+
+void
+ClusterSim::routeTier(int tier_id, int group_id)
+{
+    QOSERVE_ASSERT(tier_id >= 0 &&
+                       tier_id < static_cast<int>(tierRoute_.size()),
+                   "unknown tier");
+    QOSERVE_ASSERT(group_id >= 0 &&
+                       group_id < static_cast<int>(groups_.size()),
+                   "unknown group");
+    tierRoute_[tier_id] = group_id;
+}
+
+std::size_t
+ClusterSim::pickReplica(Group &group) const
+{
+    switch (group.lb) {
+      case LoadBalancePolicy::RoundRobin: {
+        std::size_t idx = group.replicaIdx[group.nextRr];
+        group.nextRr = (group.nextRr + 1) % group.replicaIdx.size();
+        return idx;
+      }
+      case LoadBalancePolicy::LeastLoaded: {
+        std::size_t best = group.replicaIdx.front();
+        for (std::size_t idx : group.replicaIdx) {
+            if (replicas_[idx]->liveRequests() <
+                replicas_[best]->liveRequests()) {
+                best = idx;
+            }
+        }
+        return best;
+      }
+      case LoadBalancePolicy::ShortestQueue: {
+        std::size_t best = group.replicaIdx.front();
+        for (std::size_t idx : group.replicaIdx) {
+            if (replicas_[idx]->scheduler().pendingPrefillTokens() <
+                replicas_[best]->scheduler().pendingPrefillTokens()) {
+                best = idx;
+            }
+        }
+        return best;
+      }
+    }
+    QOSERVE_PANIC("unknown load-balance policy");
+}
+
+void
+ClusterSim::injectArrival(std::size_t index)
+{
+    const RequestSpec &spec = trace_.requests[index];
+    Group &group = groups_[tierRoute_[spec.tierId]];
+    std::size_t replica_idx = pickReplica(group);
+    if (admission_.admit(spec, eq_.now(),
+                         replicas_[replica_idx]->scheduler())) {
+        replicas_[replica_idx]->submit(spec);
+    } else {
+        // Rejected outright: record an un-served request (infinite
+        // latencies, counted as a violation).
+        RequestRecord rec;
+        rec.spec = spec;
+        rec.rejected = true;
+        metrics_.record(rec);
+    }
+
+    // Chain the next arrival instead of pre-scheduling the whole
+    // trace, keeping the event heap small.
+    std::size_t next = index + 1;
+    if (next < trace_.requests.size()) {
+        eq_.schedule(trace_.requests[next].arrival,
+                     [this, next]() { injectArrival(next); });
+    }
+}
+
+const MetricsCollector &
+ClusterSim::run()
+{
+    QOSERVE_ASSERT(!ran_, "ClusterSim::run() called twice");
+    QOSERVE_ASSERT(!groups_.empty(), "no replica groups configured");
+    ran_ = true;
+
+    if (!trace_.requests.empty()) {
+        eq_.schedule(trace_.requests.front().arrival,
+                     [this]() { injectArrival(0); });
+    }
+    eq_.run();
+
+    QOSERVE_ASSERT(metrics_.size() == trace_.requests.size(),
+                   "requests lost: ", metrics_.size(), " of ",
+                   trace_.requests.size(), " completed");
+    return metrics_;
+}
+
+int
+ClusterSim::totalGpus() const
+{
+    return static_cast<int>(replicas_.size()) *
+           cfg_.replica.hw.gpusPerReplica();
+}
+
+Trace
+toPrefillOnlyTrace(Trace trace)
+{
+    for (auto &req : trace.requests)
+        req.decodeTokens = 1;
+    trace.appStats = computeAppStats(trace.requests);
+    return trace;
+}
+
+} // namespace qoserve

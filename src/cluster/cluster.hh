@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Multi-replica cluster simulation with configurable routing.
+ *
+ * Reproduces the paper's deployment modes:
+ *  - shared cluster: one replica group serves every tier with
+ *    round-robin load balancing (QoServe's co-scheduling, §4.1);
+ *  - siloed deployment: one replica group per QoS tier, each sized
+ *    independently (the SOTA baseline of Fig. 1 / Table 4).
+ */
+
+#ifndef QOSERVE_CLUSTER_CLUSTER_HH
+#define QOSERVE_CLUSTER_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "cluster/admission.hh"
+#include "cluster/replica.hh"
+#include "metrics/slo_report.hh"
+
+namespace qoserve {
+
+/**
+ * Load-balancing policy of a replica group.
+ *
+ * The paper's deployments use round-robin ("Both deployments use
+ * round-robin load balancing across replicas", §4.1.1); the other
+ * policies are provided for the load-balancer ablation bench.
+ */
+enum class LoadBalancePolicy
+{
+    RoundRobin,    ///< Cycle through replicas (paper default).
+    LeastLoaded,   ///< Fewest live (incomplete) requests.
+    ShortestQueue, ///< Fewest pending prefill tokens.
+};
+
+/** Display name of a load-balancing policy. */
+const char *loadBalanceName(LoadBalancePolicy policy);
+
+/**
+ * A cluster of replicas executing one trace.
+ */
+class ClusterSim
+{
+  public:
+    /** Cluster-wide configuration. */
+    struct Config
+    {
+        Replica::Config replica;
+
+        /** Shared latency predictor; may be null for fixed-chunk
+         *  policies. Not owned. */
+        const LatencyPredictor *predictor = nullptr;
+
+        /** Front-door admission control (default: admit all). */
+        AdmissionController::Config admission{};
+    };
+
+    /**
+     * @param cfg Cluster configuration.
+     * @param trace Workload to execute (copied).
+     */
+    ClusterSim(Config cfg, Trace trace);
+
+    /**
+     * Add @p count replicas running schedulers from @p factory.
+     *
+     * @param count Replica count.
+     * @param factory Scheduler factory.
+     * @param lb Load-balancing policy within the group.
+     * @return Group id for routeTier().
+     */
+    int addReplicaGroup(int count, const SchedulerFactory &factory,
+                        LoadBalancePolicy lb =
+                            LoadBalancePolicy::RoundRobin);
+
+    /**
+     * Route a tier's requests to a replica group (siloed mode).
+     * Without any routing calls, all tiers go to group 0.
+     */
+    void routeTier(int tier_id, int group_id);
+
+    /**
+     * Inject all arrivals, run to completion, and return metrics.
+     *
+     * Every request runs to completion (arrival injection stops at
+     * the end of the trace; the queues then drain), so summaries
+     * carry no survivorship bias even under overload.
+     */
+    const MetricsCollector &run();
+
+    /** Metrics collected so far. */
+    const MetricsCollector &metrics() const { return metrics_; }
+
+    /** Replica access (stats, observers). */
+    Replica &replica(std::size_t i) { return *replicas_[i]; }
+
+    /** Number of replicas across all groups. */
+    std::size_t numReplicas() const { return replicas_.size(); }
+
+    /** GPUs consumed by the whole cluster. */
+    int totalGpus() const;
+
+    /** The shared event queue (tests and observers). */
+    EventQueue &eventQueue() { return eq_; }
+
+    /** Admission statistics. */
+    const AdmissionController &admission() const { return admission_; }
+
+  private:
+    struct Group
+    {
+        std::vector<std::size_t> replicaIdx;
+        std::size_t nextRr = 0;
+        LoadBalancePolicy lb = LoadBalancePolicy::RoundRobin;
+    };
+
+    std::size_t pickReplica(Group &group) const;
+    void injectArrival(std::size_t index);
+
+    Config cfg_;
+    Trace trace_;
+    EventQueue eq_;
+    std::vector<std::unique_ptr<Replica>> replicas_;
+    std::vector<Group> groups_;
+    std::vector<int> tierRoute_;
+    MetricsCollector metrics_;
+    AdmissionController admission_;
+    bool ran_ = false;
+};
+
+/**
+ * Convert a trace to its PD-disaggregated prefill-stage form: every
+ * request emits exactly one token (the first token produced by the
+ * prefill node); decode happens in a separate pool whose SLO
+ * attainment is identical across schedulers (§4.1.3).
+ */
+Trace toPrefillOnlyTrace(Trace trace);
+
+} // namespace qoserve
+
+#endif // QOSERVE_CLUSTER_CLUSTER_HH

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Disaggregated serving implementation.
+ */
+
+#include "cluster/disagg.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+DecodeReplica::DecodeReplica(
+    EventQueue &eq, Replica::Config cfg, DecodePolicy policy,
+    SimDuration strictest_tbt, int max_batch,
+    std::function<void(const RequestRecord &)> on_complete)
+    : eq_(eq), perf_(cfg.hw, cfg.perfParams),
+      kv_(cfg.hw.kvCapacityTokens(), cfg.kvBlockTokens), policy_(policy),
+      strictestTbt_(strictest_tbt), maxBatch_(max_batch),
+      onComplete_(std::move(on_complete))
+{
+    QOSERVE_ASSERT(strictestTbt_ > 0.0, "TBT target must be positive");
+    QOSERVE_ASSERT(maxBatch_ > 0, "decode batch must be positive");
+}
+
+void
+DecodeReplica::admit(std::unique_ptr<Request> req)
+{
+    QOSERVE_ASSERT(req->phase() == RequestPhase::Decoding,
+                   "decode pool admits decoding requests only");
+    Request *ptr = req.get();
+    auto [it, inserted] = owned_.emplace(req->id(), std::move(req));
+    QOSERVE_ASSERT(inserted, "duplicate decode admission");
+    pending_.push_back(ptr);
+    maybeStart();
+}
+
+SimDuration
+DecodeReplica::iterTime(const std::vector<Request *> &batch) const
+{
+    BatchWork w;
+    w.numDecodes = static_cast<int>(batch.size());
+    for (const Request *r : batch)
+        w.decodeCtxSum += r->contextLength();
+    return perf_.iterationTime(w);
+}
+
+std::vector<Request *>
+DecodeReplica::selectBatch()
+{
+    if (policy_ == DecodePolicy::StrictestTbtCap) {
+        // Longest admission-order prefix whose iteration fits the
+        // strictest TBT; always make progress with at least one.
+        std::vector<Request *> batch;
+        for (Request *r : active_) {
+            batch.push_back(r);
+            if (batch.size() > 1 && iterTime(batch) > strictestTbt_) {
+                batch.pop_back();
+                break;
+            }
+        }
+        return batch;
+    }
+
+    // DeadlineAware: serve overdue requests unconditionally, then
+    // add requests in deadline order while the predicted iteration
+    // still completes before the earliest selected deadline.
+    std::vector<Request *> sorted = active_;
+    std::sort(sorted.begin(), sorted.end(), [](Request *a, Request *b) {
+        return a->nextTokenDeadline() < b->nextTokenDeadline();
+    });
+
+    std::vector<Request *> batch;
+    SimTime now = eq_.now();
+    SimTime earliest = kTimeNever;
+    for (Request *r : sorted) {
+        SimTime deadline = r->nextTokenDeadline();
+        batch.push_back(r);
+        if (deadline <= now)
+            continue; // Already late: serve as soon as possible.
+        SimTime bound = std::min(earliest, deadline);
+        if (now + iterTime(batch) > bound) {
+            batch.pop_back();
+            break;
+        }
+        earliest = bound;
+    }
+    if (batch.empty() && !sorted.empty())
+        batch.push_back(sorted.front());
+    return batch;
+}
+
+void
+DecodeReplica::maybeStart()
+{
+    if (busy_)
+        return;
+
+    // Promote pending requests: reserve the *final* context (current
+    // KV plus all remaining tokens) up front so iterations never run
+    // out of blocks mid-flight.
+    while (!pending_.empty() &&
+           active_.size() < static_cast<std::size_t>(maxBatch_)) {
+        Request *r = pending_.front();
+        std::int64_t reserve = r->contextLength() + r->decodeRemaining();
+        if (!kv_.grow(r->id(), reserve))
+            break;
+        pending_.pop_front();
+        active_.push_back(r);
+    }
+
+    if (active_.empty())
+        return;
+
+    std::vector<Request *> batch = selectBatch();
+    QOSERVE_ASSERT(!batch.empty(), "empty decode batch with work");
+    SimDuration latency = iterTime(batch);
+    busy_ = true;
+    ++iterations_;
+    eq_.scheduleAfter(latency, [this, batch = std::move(batch)]() {
+        completeIteration(batch);
+    });
+}
+
+void
+DecodeReplica::completeIteration(std::vector<Request *> batch)
+{
+    busy_ = false;
+    SimTime now = eq_.now();
+    for (Request *r : batch)
+        r->applyDecodeToken(now);
+
+    auto mid = std::stable_partition(
+        active_.begin(), active_.end(), [](Request *r) {
+            return r->phase() != RequestPhase::Finished;
+        });
+    std::vector<Request *> done(mid, active_.end());
+    active_.erase(mid, active_.end());
+    for (Request *r : done) {
+        kv_.release(r->id());
+        RequestRecord rec = r->record();
+        owned_.erase(r->id());
+        if (onComplete_)
+            onComplete_(rec);
+    }
+    maybeStart();
+}
+
+DisaggCluster::DisaggCluster(Config cfg, Trace trace)
+    : cfg_(std::move(cfg)), trace_(std::move(trace)),
+      metrics_(trace_.tiers)
+{
+    QOSERVE_ASSERT(cfg_.numPrefillReplicas > 0 &&
+                       cfg_.numDecodeReplicas > 0,
+                   "pools must be non-empty");
+    QOSERVE_ASSERT(cfg_.prefillFactory != nullptr,
+                   "prefill factory required");
+    QOSERVE_ASSERT(cfg_.kvTransferBandwidth > 0.0,
+                   "transfer bandwidth must be positive");
+
+    SimDuration strictest_tbt = kTimeNever;
+    for (const QosTier &tier : trace_.tiers) {
+        if (tier.interactive)
+            strictest_tbt = std::min(strictest_tbt, tier.tbtSlo);
+    }
+    if (strictest_tbt == kTimeNever)
+        strictest_tbt = 0.1; // No interactive tier: loose default.
+
+    for (int i = 0; i < cfg_.numPrefillReplicas; ++i) {
+        prefillPool_.push_back(std::make_unique<Replica>(
+            eq_, cfg_.replica, cfg_.prefillFactory, cfg_.predictor,
+            trace_.tiers, trace_.appStats,
+            [this](const RequestRecord &rec) { onPrefillDone(rec); }));
+    }
+    for (int i = 0; i < cfg_.numDecodeReplicas; ++i) {
+        decodePool_.push_back(std::make_unique<DecodeReplica>(
+            eq_, cfg_.replica, cfg_.decodePolicy, strictest_tbt,
+            cfg_.maxDecodeBatch,
+            [this](const RequestRecord &rec) { metrics_.record(rec); }));
+    }
+}
+
+void
+DisaggCluster::injectArrival(std::size_t index)
+{
+    // Prefill nodes see the request as prefill-only: it "completes"
+    // there when the first token is produced.
+    RequestSpec prefill_spec = trace_.requests[index];
+    prefill_spec.decodeTokens = 1;
+    prefillPool_[prefillRr_]->submit(prefill_spec);
+    prefillRr_ = (prefillRr_ + 1) % prefillPool_.size();
+
+    std::size_t next = index + 1;
+    if (next < trace_.requests.size()) {
+        eq_.schedule(trace_.requests[next].arrival,
+                     [this, next]() { injectArrival(next); });
+    }
+}
+
+void
+DisaggCluster::onPrefillDone(const RequestRecord &rec)
+{
+    const RequestSpec &spec = trace_.requests[rec.spec.id];
+    SimTime first_token = rec.finishTime;
+
+    // Transfer the prompt KV to the decode pool.
+    double bytes =
+        static_cast<double>(spec.promptTokens) *
+        static_cast<double>(cfg_.replica.hw.model.kvBytesPerToken());
+    kvBytesTransferred_ += bytes;
+    SimDuration delay = bytes / cfg_.kvTransferBandwidth;
+
+    eq_.scheduleAfter(delay, [this, spec, first_token]() {
+        AppStats stats;
+        if (spec.appId >= 0 &&
+            spec.appId < static_cast<int>(trace_.appStats.size())) {
+            stats = trace_.appStats[spec.appId];
+        }
+        auto req = std::make_unique<Request>(
+            spec, trace_.tiers[spec.tierId], stats);
+        req->primeForDecode(first_token);
+        if (req->phase() == RequestPhase::Finished) {
+            metrics_.record(req->record());
+            return;
+        }
+        decodePool_[decodeRr_]->admit(std::move(req));
+        decodeRr_ = (decodeRr_ + 1) % decodePool_.size();
+    });
+}
+
+const MetricsCollector &
+DisaggCluster::run()
+{
+    QOSERVE_ASSERT(!ran_, "DisaggCluster::run() called twice");
+    ran_ = true;
+    if (!trace_.requests.empty()) {
+        eq_.schedule(trace_.requests.front().arrival,
+                     [this]() { injectArrival(0); });
+    }
+    eq_.run();
+    QOSERVE_ASSERT(metrics_.size() == trace_.requests.size(),
+                   "requests lost in disaggregated pipeline: ",
+                   metrics_.size(), " of ", trace_.requests.size());
+    return metrics_;
+}
+
+} // namespace qoserve

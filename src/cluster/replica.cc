@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Replica implementation.
+ */
+
+#include "cluster/replica.hh"
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+Replica::Replica(EventQueue &eq, Config cfg,
+                 const SchedulerFactory &factory,
+                 const LatencyPredictor *predictor, TierTable tiers,
+                 std::vector<AppStats> app_stats,
+                 std::function<void(const RequestRecord &)> on_complete)
+    : eq_(eq), perf_(cfg.hw, cfg.perfParams),
+      kv_(cfg.hw.kvCapacityTokens(), cfg.kvBlockTokens),
+      tiers_(std::move(tiers)), appStats_(std::move(app_stats)),
+      onComplete_(std::move(on_complete))
+{
+    SchedulerEnv env;
+    env.kv = &kv_;
+    env.perf = &perf_;
+    env.predictor = predictor;
+    scheduler_ = factory(env);
+    QOSERVE_ASSERT(scheduler_ != nullptr, "factory returned no scheduler");
+
+    auto *chunked = dynamic_cast<ChunkedScheduler *>(scheduler_.get());
+    QOSERVE_ASSERT(chunked != nullptr,
+                   "replica requires a ChunkedScheduler");
+    chunked->setCompletionHandler([this](Request *req) {
+        RequestRecord rec = req->record();
+        live_.erase(req->id());
+        if (onComplete_)
+            onComplete_(rec);
+    });
+}
+
+void
+Replica::submit(const RequestSpec &spec)
+{
+    QOSERVE_ASSERT(spec.tierId >= 0 &&
+                       spec.tierId < static_cast<int>(tiers_.size()),
+                   "request references unknown tier");
+    AppStats stats;
+    if (spec.appId >= 0 &&
+        spec.appId < static_cast<int>(appStats_.size())) {
+        stats = appStats_[spec.appId];
+    }
+    auto req = std::make_unique<Request>(spec, tiers_[spec.tierId], stats);
+    Request *ptr = req.get();
+    auto [it, inserted] = live_.emplace(spec.id, std::move(req));
+    QOSERVE_ASSERT(inserted, "duplicate request id submitted");
+    scheduler_->enqueue(ptr, eq_.now());
+    maybeStartIteration();
+}
+
+void
+Replica::maybeStartIteration()
+{
+    if (busy_ || !scheduler_->hasWork())
+        return;
+
+    SimTime start = eq_.now();
+    Batch batch = scheduler_->formBatch(start);
+    if (batch.empty())
+        return;
+
+    SimDuration latency = perf_.iterationTime(batch.work());
+    QOSERVE_ASSERT(latency > 0.0, "non-empty batch with zero latency");
+    busy_ = true;
+    ++iterations_;
+    busyTime_ += latency;
+
+    if (observer_) {
+        BatchObservation obs;
+        obs.start = start;
+        obs.latency = latency;
+        obs.prefillTokens = batch.prefillTokens();
+        obs.numDecodes = static_cast<int>(batch.decodes.size());
+        observer_(obs);
+    }
+
+    eq_.scheduleAfter(latency, [this, batch = std::move(batch), start]() {
+        completeIteration(batch, start);
+    });
+}
+
+void
+Replica::completeIteration(const Batch &batch, SimTime)
+{
+    busy_ = false;
+    scheduler_->onBatchComplete(batch, eq_.now());
+    maybeStartIteration();
+}
+
+} // namespace qoserve

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * One serving replica: scheduler + execution engine + KV cache.
+ *
+ * The replica is the bridge between the discrete-event kernel and the
+ * scheduler: whenever it is idle and the scheduler has work, it asks
+ * the scheduler to form a batch, prices the batch with the execution
+ * model, and schedules the completion event. One batch is in flight
+ * at a time, matching iteration-level scheduling in vLLM/Sarathi.
+ */
+
+#ifndef QOSERVE_CLUSTER_REPLICA_HH
+#define QOSERVE_CLUSTER_REPLICA_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "kvcache/block_manager.hh"
+#include "model/perf_model.hh"
+#include "sched/chunked_scheduler.hh"
+#include "simcore/event_queue.hh"
+#include "workload/trace.hh"
+
+namespace qoserve {
+
+/** Observer invoked after every executed batch (Fig. 9 timelines). */
+struct BatchObservation
+{
+    SimTime start = 0.0;
+    SimDuration latency = 0.0;
+    int prefillTokens = 0;
+    int numDecodes = 0;
+};
+using BatchObserver = std::function<void(const BatchObservation &)>;
+
+/**
+ * A single model replica.
+ */
+class Replica
+{
+  public:
+    /** Static configuration of a replica. */
+    struct Config
+    {
+        ReplicaHwConfig hw;
+        PerfModelParams perfParams{};
+        int kvBlockTokens = 16;
+    };
+
+    /**
+     * @param eq Shared event queue.
+     * @param cfg Hardware and engine configuration.
+     * @param factory Scheduler factory invoked once with this
+     *        replica's environment.
+     * @param predictor Optional shared latency predictor handed to
+     *        the scheduler (required by QoServe dynamic chunking).
+     * @param tiers Tier table request specs refer to.
+     * @param app_stats Per-application decode statistics.
+     * @param on_complete Callback receiving each finished request's
+     *        record.
+     */
+    Replica(EventQueue &eq, Config cfg, const SchedulerFactory &factory,
+            const LatencyPredictor *predictor, TierTable tiers,
+            std::vector<AppStats> app_stats,
+            std::function<void(const RequestRecord &)> on_complete);
+
+    /** Admit a request at the current simulation time. */
+    void submit(const RequestSpec &spec);
+
+    /** Scheduler under this replica (for stats and tests). */
+    const Scheduler &scheduler() const { return *scheduler_; }
+
+    /** KV-cache manager (for tests). */
+    const BlockManager &kv() const { return kv_; }
+
+    /** Total batches executed. */
+    std::uint64_t iterations() const { return iterations_; }
+
+    /** Total time the engine was executing batches. */
+    SimDuration busyTime() const { return busyTime_; }
+
+    /** Requests currently owned (not yet completed). */
+    std::size_t liveRequests() const { return live_.size(); }
+
+    /** Install a per-batch observer (may be empty). */
+    void setBatchObserver(BatchObserver obs) { observer_ = std::move(obs); }
+
+  private:
+    void maybeStartIteration();
+    void completeIteration(const Batch &batch, SimTime start);
+
+    EventQueue &eq_;
+    PerfModel perf_;
+    BlockManager kv_;
+    std::unique_ptr<Scheduler> scheduler_;
+    TierTable tiers_;
+    std::vector<AppStats> appStats_;
+    std::function<void(const RequestRecord &)> onComplete_;
+    BatchObserver observer_;
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Request>> live_;
+    bool busy_ = false;
+    std::uint64_t iterations_ = 0;
+    SimDuration busyTime_ = 0.0;
+};
+
+} // namespace qoserve
+
+#endif // QOSERVE_CLUSTER_REPLICA_HH

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * CLI option parsing implementation.
+ */
+
+#include "core/cli_options.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+namespace {
+
+double
+parseDouble(const std::string &flag, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        double v = std::stod(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument("trailing characters");
+        return v;
+    } catch (const std::exception &) {
+        QOSERVE_FATAL("flag ", flag, ": not a number: '", value, "'");
+    }
+}
+
+std::uint64_t
+parseU64(const std::string &flag, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        std::uint64_t v = std::stoull(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument("trailing characters");
+        return v;
+    } catch (const std::exception &) {
+        QOSERVE_FATAL("flag ", flag, ": not an integer: '", value, "'");
+    }
+}
+
+std::vector<double>
+parseMix(const std::string &flag, const std::string &value)
+{
+    std::vector<double> mix;
+    std::istringstream iss(value);
+    std::string part;
+    while (std::getline(iss, part, ','))
+        mix.push_back(parseDouble(flag, part));
+    return mix;
+}
+
+LoadBalancePolicy
+parseLb(const std::string &value)
+{
+    if (value == "rr" || value == "round-robin")
+        return LoadBalancePolicy::RoundRobin;
+    if (value == "least-loaded")
+        return LoadBalancePolicy::LeastLoaded;
+    if (value == "jsq" || value == "shortest-queue")
+        return LoadBalancePolicy::ShortestQueue;
+    QOSERVE_FATAL("unknown load balancer: ", value,
+                  " (rr|least-loaded|jsq)");
+}
+
+} // namespace
+
+Policy
+parsePolicyName(const std::string &name)
+{
+    if (name == "qoserve")
+        return Policy::QoServe;
+    if (name == "fcfs")
+        return Policy::SarathiFcfs;
+    if (name == "edf")
+        return Policy::SarathiEdf;
+    if (name == "sjf")
+        return Policy::SarathiSjf;
+    if (name == "srpf")
+        return Policy::SarathiSrpf;
+    if (name == "medha")
+        return Policy::Medha;
+    if (name == "dp")
+        return Policy::SlosServeDp;
+    QOSERVE_FATAL("unknown policy: ", name,
+                  " (qoserve|fcfs|edf|sjf|srpf|medha|dp)");
+}
+
+ReplicaHwConfig
+parseHwName(const std::string &name)
+{
+    if (name == "llama3-8b-a100-tp1")
+        return llama3_8b_a100_tp1();
+    if (name == "qwen-7b-a100-tp2")
+        return qwen_7b_a100_tp2();
+    if (name == "llama3-70b-h100-tp4")
+        return llama3_70b_h100_tp4();
+    QOSERVE_FATAL("unknown hardware preset: ", name,
+                  " (llama3-8b-a100-tp1|qwen-7b-a100-tp2|"
+                  "llama3-70b-h100-tp4)");
+}
+
+std::string
+cliUsage()
+{
+    return R"(qoserve_sim — QoS-driven LLM serving simulator
+
+workload:
+  --dataset NAME        azure-code | azure-conv | sharegpt (default azure-code)
+  --tiers NAME          paper | strict (default paper, Table 3)
+  --mix A,B,...         tier fractions summing to 1 (default equal)
+  --low-priority F      fraction hinted low-priority (default 0)
+  --qps X               Poisson arrival rate (default 3)
+  --duration S          trace length in seconds (default 600)
+  --seed N              workload seed (default 42)
+  --trace-in FILE       replay a CSV trace instead of synthesizing
+
+deployment:
+  --policy NAME         qoserve | fcfs | edf | sjf | srpf | medha | dp
+  --hw NAME             llama3-8b-a100-tp1 | qwen-7b-a100-tp2 |
+                        llama3-70b-h100-tp4
+  --replicas N          replica count (default 1)
+  --lb NAME             rr | least-loaded | jsq (default rr)
+  --chunk N             fixed chunk tokens for baselines (default 256)
+  --alpha MS            hybrid alpha, ms/token (default 8)
+  --adaptive-alpha      enable load-adaptive alpha
+  --max-chunk N         QoServe dynamic chunk cap (default 2560)
+  --oracle-predictor    use the oracle instead of the random forest
+
+output:
+  --trace-out FILE      dump the workload as CSV
+  --records-out FILE    dump per-request records as CSV
+  --telemetry-out FILE  dump per-iteration engine telemetry as CSV
+  --summary-out FILE    dump the run summary as CSV
+  --help                this text
+)";
+}
+
+CliOptions
+parseCliOptions(const std::vector<std::string> &args)
+{
+    CliOptions opts;
+
+    auto need_value = [&](std::size_t i, const std::string &flag) {
+        if (i + 1 >= args.size())
+            QOSERVE_FATAL("flag ", flag, " requires a value");
+        return args[i + 1];
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        if (flag == "--help" || flag == "-h") {
+            opts.helpRequested = true;
+        } else if (flag == "--dataset") {
+            opts.dataset = datasetByName(need_value(i++, flag));
+        } else if (flag == "--tiers") {
+            std::string v = need_value(i++, flag);
+            if (v == "paper")
+                opts.tiers = paperTierTable();
+            else if (v == "strict")
+                opts.tiers = strictTierTable();
+            else
+                QOSERVE_FATAL("unknown tier table: ", v,
+                              " (paper|strict)");
+        } else if (flag == "--mix") {
+            opts.tierMix = parseMix(flag, need_value(i++, flag));
+        } else if (flag == "--low-priority") {
+            opts.lowPriorityFraction =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--qps") {
+            opts.qps = parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--duration") {
+            opts.duration = parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--seed") {
+            opts.seed = parseU64(flag, need_value(i++, flag));
+        } else if (flag == "--trace-in") {
+            opts.traceIn = need_value(i++, flag);
+        } else if (flag == "--policy") {
+            opts.serving.policy =
+                parsePolicyName(need_value(i++, flag));
+        } else if (flag == "--hw") {
+            opts.serving.hw = parseHwName(need_value(i++, flag));
+        } else if (flag == "--replicas") {
+            opts.serving.numReplicas = static_cast<int>(
+                parseU64(flag, need_value(i++, flag)));
+        } else if (flag == "--lb") {
+            opts.loadBalance = parseLb(need_value(i++, flag));
+        } else if (flag == "--chunk") {
+            opts.serving.base.fixedChunkTokens = static_cast<int>(
+                parseU64(flag, need_value(i++, flag)));
+        } else if (flag == "--alpha") {
+            opts.serving.qoserve.alphaMsPerToken =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--adaptive-alpha") {
+            opts.serving.qoserve.adaptiveAlpha = true;
+        } else if (flag == "--max-chunk") {
+            opts.serving.qoserve.maxChunkTokens = static_cast<int>(
+                parseU64(flag, need_value(i++, flag)));
+        } else if (flag == "--oracle-predictor") {
+            opts.serving.useForestPredictor = false;
+        } else if (flag == "--trace-out") {
+            opts.traceOut = need_value(i++, flag);
+        } else if (flag == "--records-out") {
+            opts.recordsOut = need_value(i++, flag);
+        } else if (flag == "--telemetry-out") {
+            opts.telemetryOut = need_value(i++, flag);
+        } else if (flag == "--summary-out") {
+            opts.summaryOut = need_value(i++, flag);
+        } else {
+            QOSERVE_FATAL("unknown flag: ", flag,
+                          " (try --help)");
+        }
+    }
+
+    if (opts.qps <= 0.0)
+        QOSERVE_FATAL("--qps must be positive");
+    if (opts.duration <= 0.0)
+        QOSERVE_FATAL("--duration must be positive");
+    if (opts.serving.numReplicas < 1)
+        QOSERVE_FATAL("--replicas must be at least 1");
+    return opts;
+}
+
+} // namespace qoserve

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Command-line configuration for the qoserve_sim driver.
+ *
+ * Parses the flag set of the standalone simulator binary into a
+ * ServingConfig plus workload/output settings. Kept in the library
+ * (rather than the tool's main) so the parsing rules are unit-
+ * testable and reusable by downstream drivers.
+ */
+
+#ifndef QOSERVE_CORE_CLI_OPTIONS_HH
+#define QOSERVE_CORE_CLI_OPTIONS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/serving_system.hh"
+
+namespace qoserve {
+
+/**
+ * Parsed qoserve_sim invocation.
+ */
+struct CliOptions
+{
+    /** Serving deployment configuration. */
+    ServingConfig serving;
+
+    /** Workload shape. */
+    Dataset dataset = azureCode();
+    TierTable tiers = paperTierTable();
+    std::vector<double> tierMix{};
+    double lowPriorityFraction = 0.0;
+    double qps = 3.0;
+    SimDuration duration = 600.0;
+    std::uint64_t seed = 42;
+
+    /** Load-balancing policy. */
+    LoadBalancePolicy loadBalance = LoadBalancePolicy::RoundRobin;
+
+    /** Optional trace replay input (overrides synthesis). */
+    std::optional<std::string> traceIn;
+
+    /** Optional file sinks. */
+    std::optional<std::string> traceOut;
+    std::optional<std::string> recordsOut;
+    std::optional<std::string> telemetryOut;
+    std::optional<std::string> summaryOut;
+
+    /** True when --help was requested. */
+    bool helpRequested = false;
+};
+
+/**
+ * Parse argv into options.
+ *
+ * Unknown flags, missing values and malformed numbers are fatal
+ * (user) errors with a message naming the offending flag.
+ *
+ * @param args Arguments excluding argv[0].
+ */
+CliOptions parseCliOptions(const std::vector<std::string> &args);
+
+/** Usage text for --help. */
+std::string cliUsage();
+
+/** Parse a policy name ("qoserve", "fcfs", "edf", ...). Fatal on
+ *  unknown names. */
+Policy parsePolicyName(const std::string &name);
+
+/** Parse a hardware preset name ("llama3-8b-a100-tp1", ...). */
+ReplicaHwConfig parseHwName(const std::string &name);
+
+} // namespace qoserve
+
+#endif // QOSERVE_CORE_CLI_OPTIONS_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * ServingSystem implementation.
+ */
+
+#include "core/serving_system.hh"
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+const char *
+policyName(Policy policy)
+{
+    switch (policy) {
+      case Policy::QoServe:
+        return "QoServe";
+      case Policy::SarathiFcfs:
+        return "Sarathi-FCFS";
+      case Policy::SarathiEdf:
+        return "Sarathi-EDF";
+      case Policy::SarathiSjf:
+        return "Sarathi-SJF";
+      case Policy::SarathiSrpf:
+        return "Sarathi-SRPF";
+      case Policy::Medha:
+        return "Medha";
+      case Policy::SlosServeDp:
+        return "SLOs-Serve-DP";
+    }
+    QOSERVE_PANIC("unknown policy");
+}
+
+SchedulerFactory
+makeSchedulerFactory(const ServingConfig &cfg)
+{
+    switch (cfg.policy) {
+      case Policy::QoServe:
+        return [qos = cfg.qoserve, base = cfg.base](
+                   const SchedulerEnv &env) -> std::unique_ptr<Scheduler> {
+            return std::make_unique<QoServeScheduler>(env, qos, base);
+        };
+      case Policy::SarathiFcfs:
+        return [base = cfg.base](
+                   const SchedulerEnv &env) -> std::unique_ptr<Scheduler> {
+            return std::make_unique<FcfsScheduler>(env, base);
+        };
+      case Policy::SarathiEdf:
+        return [base = cfg.base](
+                   const SchedulerEnv &env) -> std::unique_ptr<Scheduler> {
+            return std::make_unique<EdfScheduler>(env, base);
+        };
+      case Policy::SarathiSjf:
+        return [base = cfg.base](
+                   const SchedulerEnv &env) -> std::unique_ptr<Scheduler> {
+            return std::make_unique<SjfScheduler>(env, base);
+        };
+      case Policy::SarathiSrpf:
+        return [base = cfg.base](
+                   const SchedulerEnv &env) -> std::unique_ptr<Scheduler> {
+            return std::make_unique<SrpfScheduler>(env, base);
+        };
+      case Policy::Medha:
+        return [opts = cfg.medha, base = cfg.base](
+                   const SchedulerEnv &env) -> std::unique_ptr<Scheduler> {
+            return std::make_unique<MedhaScheduler>(env, opts, base);
+        };
+      case Policy::SlosServeDp:
+        return [opts = cfg.dp, base = cfg.base](
+                   const SchedulerEnv &env) -> std::unique_ptr<Scheduler> {
+            return std::make_unique<DpScheduler>(env, opts, base);
+        };
+    }
+    QOSERVE_PANIC("unknown policy");
+}
+
+std::shared_ptr<const LatencyPredictor>
+makePredictor(const ServingConfig &cfg)
+{
+    bool needs_predictor =
+        cfg.policy == Policy::QoServe && cfg.qoserve.enableDynamicChunking;
+    if (!needs_predictor)
+        return nullptr;
+
+    PerfModel model(cfg.hw, cfg.perfParams);
+    if (cfg.useForestPredictor)
+        return std::make_shared<ForestLatencyPredictor>(model);
+    return std::make_shared<OracleLatencyPredictor>(model);
+}
+
+ServingSystem::ServingSystem(ServingConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    QOSERVE_ASSERT(cfg_.numReplicas >= 1, "need at least one replica");
+    predictor_ = makePredictor(cfg_);
+}
+
+std::unique_ptr<ClusterSim>
+ServingSystem::serveForInspection(const Trace &trace)
+{
+    ClusterSim::Config cc;
+    cc.replica.hw = cfg_.hw;
+    cc.replica.perfParams = cfg_.perfParams;
+    cc.predictor = predictor_.get();
+
+    auto sim = std::make_unique<ClusterSim>(cc, trace);
+    sim->addReplicaGroup(cfg_.numReplicas, makeSchedulerFactory(cfg_));
+    sim->run();
+    return sim;
+}
+
+RunSummary
+ServingSystem::serve(const Trace &trace)
+{
+    auto sim = serveForInspection(trace);
+    return summarize(sim->metrics());
+}
+
+} // namespace qoserve

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Public façade of the QoServe library.
+ *
+ * ServingSystem wires together the substrates — execution model, KV
+ * cache, workload, predictor, scheduler, cluster — behind a small
+ * configuration surface. Examples and benches interact with this
+ * class; power users can drop to the underlying modules directly.
+ *
+ * Typical use:
+ * @code
+ *   ServingConfig cfg;
+ *   cfg.policy = Policy::QoServe;
+ *   cfg.numReplicas = 2;
+ *   ServingSystem system(cfg);
+ *
+ *   Trace trace = TraceBuilder()
+ *       .dataset(azureCode())
+ *       .build(PoissonArrivals(4.0), 1800.0);
+ *   RunSummary summary = system.serve(trace);
+ * @endcode
+ */
+
+#ifndef QOSERVE_CORE_SERVING_SYSTEM_HH
+#define QOSERVE_CORE_SERVING_SYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.hh"
+#include "predictor/latency_predictor.hh"
+#include "sched/baseline_schedulers.hh"
+#include "sched/dp_scheduler.hh"
+#include "sched/qoserve_scheduler.hh"
+
+namespace qoserve {
+
+/** Scheduling policy selector. */
+enum class Policy
+{
+    QoServe,     ///< The paper's scheduler (§3).
+    SarathiFcfs, ///< Sarathi chunked prefill, FCFS order.
+    SarathiEdf,  ///< Sarathi with earliest-deadline-first order.
+    SarathiSjf,  ///< Sarathi with shortest-job-first order.
+    SarathiSrpf, ///< Sarathi with shortest-remaining-prompt order.
+    Medha,       ///< Medha-style adaptive chunking (§4.5.1).
+    SlosServeDp, ///< SLOs-Serve-style DP scheduler (§4.5.3).
+};
+
+/** Display name of a policy. */
+const char *policyName(Policy policy);
+
+/**
+ * Full configuration of a serving deployment.
+ */
+struct ServingConfig
+{
+    /** Replica hardware (model, GPU, TP). */
+    ReplicaHwConfig hw = llama3_8b_a100_tp1();
+
+    /** Execution-model efficiency knobs. */
+    PerfModelParams perfParams{};
+
+    /** Replica count in the (single-group, shared) cluster. */
+    int numReplicas = 1;
+
+    /** Scheduling policy. */
+    Policy policy = Policy::QoServe;
+
+    /** QoServe feature flags (used when policy == QoServe). */
+    QoServeConfig qoserve{};
+
+    /** Medha knobs (used when policy == Medha). */
+    MedhaScheduler::Options medha{};
+
+    /** DP-scheduler knobs (used when policy == SlosServeDp). */
+    DpScheduler::Options dp{};
+
+    /** Base chunked-scheduler knobs (chunk size, decode batch cap). */
+    ChunkedSchedulerConfig base{};
+
+    /**
+     * Use the trained random-forest predictor for dynamic chunking;
+     * false substitutes the oracle predictor (useful in tests and
+     * predictor ablations).
+     */
+    bool useForestPredictor = true;
+};
+
+/**
+ * Build a scheduler factory for a policy (advanced: for direct
+ * ClusterSim composition, e.g. siloed deployments mixing policies).
+ */
+SchedulerFactory makeSchedulerFactory(const ServingConfig &cfg);
+
+/**
+ * Construct the shared latency predictor a configuration needs, or
+ * nullptr when the policy never consults one.
+ */
+std::shared_ptr<const LatencyPredictor>
+makePredictor(const ServingConfig &cfg);
+
+/**
+ * High-level serving deployment: configure once, serve traces.
+ */
+class ServingSystem
+{
+  public:
+    explicit ServingSystem(ServingConfig cfg);
+
+    /**
+     * Execute a trace on a fresh cluster and summarize it.
+     *
+     * The predictor (expensive to train) is shared across calls;
+     * cluster state is not.
+     */
+    RunSummary serve(const Trace &trace);
+
+    /**
+     * Execute a trace and hand back the cluster for detailed
+     * inspection (records, per-replica stats).
+     */
+    std::unique_ptr<ClusterSim> serveForInspection(const Trace &trace);
+
+    /** Configuration in effect. */
+    const ServingConfig &config() const { return cfg_; }
+
+  private:
+    ServingConfig cfg_;
+    std::shared_ptr<const LatencyPredictor> predictor_;
+};
+
+} // namespace qoserve
+
+#endif // QOSERVE_CORE_SERVING_SYSTEM_HH

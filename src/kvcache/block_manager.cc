@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Paged KV-cache block manager implementation.
+ */
+
+#include "kvcache/block_manager.hh"
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+BlockManager::BlockManager(std::int64_t capacity_tokens, int block_tokens)
+    : blockTokens_(block_tokens)
+{
+    QOSERVE_ASSERT(capacity_tokens > 0, "KV capacity must be positive");
+    QOSERVE_ASSERT(block_tokens > 0, "block size must be positive");
+    totalBlocks_ = capacity_tokens / block_tokens;
+    QOSERVE_ASSERT(totalBlocks_ > 0, "KV capacity below one block");
+}
+
+double
+BlockManager::utilization() const
+{
+    return static_cast<double>(usedBlocks_) /
+           static_cast<double>(totalBlocks_);
+}
+
+std::int64_t
+BlockManager::blocksNeeded(KvOwnerId owner, std::int64_t new_tokens) const
+{
+    QOSERVE_ASSERT(new_tokens >= 0, "negative token growth");
+    std::int64_t current = 0;
+    std::int64_t blocks = 0;
+    auto it = owners_.find(owner);
+    if (it != owners_.end()) {
+        current = it->second.tokens;
+        blocks = it->second.blocks;
+    }
+    std::int64_t target_tokens = current + new_tokens;
+    std::int64_t target_blocks =
+        (target_tokens + blockTokens_ - 1) / blockTokens_;
+    return target_blocks - blocks;
+}
+
+bool
+BlockManager::canGrow(KvOwnerId owner, std::int64_t new_tokens) const
+{
+    return blocksNeeded(owner, new_tokens) <= freeBlocks();
+}
+
+bool
+BlockManager::grow(KvOwnerId owner, std::int64_t new_tokens)
+{
+    std::int64_t needed = blocksNeeded(owner, new_tokens);
+    if (needed > freeBlocks())
+        return false;
+    Ownership &o = owners_[owner];
+    o.tokens += new_tokens;
+    o.blocks += needed;
+    usedBlocks_ += needed;
+    return true;
+}
+
+std::int64_t
+BlockManager::ownedTokens(KvOwnerId owner) const
+{
+    auto it = owners_.find(owner);
+    return it == owners_.end() ? 0 : it->second.tokens;
+}
+
+std::int64_t
+BlockManager::ownedBlocks(KvOwnerId owner) const
+{
+    auto it = owners_.find(owner);
+    return it == owners_.end() ? 0 : it->second.blocks;
+}
+
+void
+BlockManager::release(KvOwnerId owner)
+{
+    auto it = owners_.find(owner);
+    if (it == owners_.end())
+        return;
+    usedBlocks_ -= it->second.blocks;
+    QOSERVE_ASSERT(usedBlocks_ >= 0, "block accounting underflow");
+    owners_.erase(it);
+}
+
+} // namespace qoserve

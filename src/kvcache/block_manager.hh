@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Paged KV-cache block manager.
+ *
+ * Models vLLM-style PagedAttention memory management: the replica's
+ * KV capacity is divided into fixed-size blocks; each request owns a
+ * chain of blocks covering its cached tokens. The scheduler consults
+ * the manager before adding prefill tokens or admitting new decodes,
+ * which is what creates memory pressure and bounds batch size in the
+ * simulation — the same constraint the paper's selective-preemption
+ * policy is designed around (§3.4).
+ */
+
+#ifndef QOSERVE_KVCACHE_BLOCK_MANAGER_HH
+#define QOSERVE_KVCACHE_BLOCK_MANAGER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace qoserve {
+
+/** Identifier of the request owning a block chain. */
+using KvOwnerId = std::uint64_t;
+
+/**
+ * Fixed-size-block KV-cache allocator.
+ *
+ * Tracks, per owner, how many tokens are cached and how many blocks
+ * that consumes. Allocation is all-or-nothing: a request either gets
+ * blocks for all requested tokens or none.
+ */
+class BlockManager
+{
+  public:
+    /**
+     * @param capacity_tokens Total KV capacity in tokens.
+     * @param block_tokens Tokens per block (vLLM default: 16).
+     */
+    explicit BlockManager(std::int64_t capacity_tokens,
+                          int block_tokens = 16);
+
+    /** Total block count. */
+    std::int64_t totalBlocks() const { return totalBlocks_; }
+
+    /** Blocks currently free. */
+    std::int64_t freeBlocks() const { return totalBlocks_ - usedBlocks_; }
+
+    /** Blocks currently allocated. */
+    std::int64_t usedBlocks() const { return usedBlocks_; }
+
+    /** Tokens per block. */
+    int blockTokens() const { return blockTokens_; }
+
+    /** Fraction of blocks in use, in [0, 1]. */
+    double utilization() const;
+
+    /**
+     * Blocks needed to extend @p owner by @p new_tokens tokens.
+     *
+     * Accounts for slack already present in the owner's last
+     * partially-filled block.
+     */
+    std::int64_t blocksNeeded(KvOwnerId owner,
+                              std::int64_t new_tokens) const;
+
+    /** True if grow() for the same arguments would succeed. */
+    bool canGrow(KvOwnerId owner, std::int64_t new_tokens) const;
+
+    /**
+     * Extend @p owner's cached tokens by @p new_tokens.
+     *
+     * @return True on success; false (with no state change) if the
+     *         required blocks are not available.
+     */
+    bool grow(KvOwnerId owner, std::int64_t new_tokens);
+
+    /** Tokens currently cached for @p owner (0 if unknown). */
+    std::int64_t ownedTokens(KvOwnerId owner) const;
+
+    /** Blocks currently held by @p owner (0 if unknown). */
+    std::int64_t ownedBlocks(KvOwnerId owner) const;
+
+    /**
+     * Release every block owned by @p owner.
+     *
+     * Freeing an unknown owner is a no-op (requests that never
+     * allocated can be completed uniformly).
+     */
+    void release(KvOwnerId owner);
+
+    /** Number of distinct owners holding blocks. */
+    std::size_t numOwners() const { return owners_.size(); }
+
+  private:
+    struct Ownership
+    {
+        std::int64_t tokens = 0;
+        std::int64_t blocks = 0;
+    };
+
+    int blockTokens_;
+    std::int64_t totalBlocks_;
+    std::int64_t usedBlocks_ = 0;
+    std::unordered_map<KvOwnerId, Ownership> owners_;
+};
+
+} // namespace qoserve
+
+#endif // QOSERVE_KVCACHE_BLOCK_MANAGER_HH

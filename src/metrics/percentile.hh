@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Percentile and basic summary statistics.
+ */
+
+#ifndef QOSERVE_METRICS_PERCENTILE_HH
+#define QOSERVE_METRICS_PERCENTILE_HH
+
+#include <vector>
+
+namespace qoserve {
+
+/**
+ * Interpolated percentile of a sample.
+ *
+ * @param values Sample (copied and sorted internally; empty returns 0).
+ * @param p Percentile in [0, 100].
+ */
+double percentile(std::vector<double> values, double p);
+
+/**
+ * Percentile of an already-sorted sample (no copy).
+ */
+double percentileSorted(const std::vector<double> &sorted, double p);
+
+/** Arithmetic mean (0 for empty). */
+double mean(const std::vector<double> &values);
+
+} // namespace qoserve
+
+#endif // QOSERVE_METRICS_PERCENTILE_HH

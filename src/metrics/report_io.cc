@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Result serialization implementation.
+ */
+
+#include "metrics/report_io.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+void
+writeRecordsCsv(const MetricsCollector &collector, std::ostream &out)
+{
+    out << "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
+           "ttft,ttlt,max_tbt,tbt_misses,violated,relegated,"
+           "kv_preemptions\n";
+    for (const RequestRecord &r : collector.records()) {
+        const QosTier &tier = collector.tiers()[r.spec.tierId];
+        out << r.spec.id << ',' << r.spec.arrival << ','
+            << r.spec.promptTokens << ',' << r.spec.decodeTokens << ','
+            << r.spec.tierId << ',' << (r.spec.important ? 1 : 0) << ','
+            << r.ttft() << ',' << r.ttlt() << ',' << r.maxTbt << ','
+            << r.tbtDeadlineMisses << ','
+            << (violatedSlo(r, tier) ? 1 : 0) << ','
+            << (r.wasRelegated ? 1 : 0) << ',' << r.kvPreemptions
+            << '\n';
+    }
+}
+
+void
+writeRecordsCsvFile(const MetricsCollector &collector,
+                    const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        QOSERVE_FATAL("cannot open records file for writing: ", path);
+    writeRecordsCsv(collector, out);
+    if (!out)
+        QOSERVE_FATAL("error writing records file: ", path);
+}
+
+void
+writeSummaryCsv(const RunSummary &summary, std::ostream &out)
+{
+    out << "metric,value\n";
+    out << "count," << summary.count << '\n';
+    out << "violation_rate," << summary.violationRate << '\n';
+    out << "violation_rate_with_tbt," << summary.violationRateWithTbt
+        << '\n';
+    out << "important_violation_rate," << summary.importantViolationRate
+        << '\n';
+    out << "short_violation_rate," << summary.shortViolationRate << '\n';
+    out << "long_violation_rate," << summary.longViolationRate << '\n';
+    out << "relegated_fraction," << summary.relegatedFraction << '\n';
+    out << "p50_latency," << summary.p50Latency << '\n';
+    out << "p95_latency," << summary.p95Latency << '\n';
+    out << "p99_latency," << summary.p99Latency << '\n';
+    for (const TierSummary &tier : summary.tiers) {
+        std::string prefix = "tier" + std::to_string(tier.tierId) + "_";
+        out << prefix << "count," << tier.count << '\n';
+        out << prefix << "violation_rate," << tier.violationRate << '\n';
+        out << prefix << "p50_ttft," << tier.p50Ttft << '\n';
+        out << prefix << "p99_ttft," << tier.p99Ttft << '\n';
+        out << prefix << "p50_ttlt," << tier.p50Ttlt << '\n';
+        out << prefix << "p99_ttlt," << tier.p99Ttlt << '\n';
+        out << prefix << "tbt_miss_rate," << tier.tbtMissRate << '\n';
+    }
+}
+
+void
+printSummary(const RunSummary &summary, const TierTable &tiers,
+             std::ostream &out)
+{
+    out << std::fixed << std::setprecision(3);
+    out << "requests: " << summary.count << "\n";
+    out << "violations: " << 100.0 * summary.violationRate
+        << "% (with TBT: " << 100.0 * summary.violationRateWithTbt
+        << "%), important: " << 100.0 * summary.importantViolationRate
+        << "%\n";
+    out << "short/long violations: "
+        << 100.0 * summary.shortViolationRate << "% / "
+        << 100.0 * summary.longViolationRate << "%\n";
+    out << "relegated: " << 100.0 * summary.relegatedFraction << "%\n";
+    out << "headline latency p50/p95/p99: " << summary.p50Latency
+        << " / " << summary.p95Latency << " / " << summary.p99Latency
+        << " s\n";
+    for (const TierSummary &tier : summary.tiers) {
+        const QosTier &def = tiers[tier.tierId];
+        out << "  " << def.name << ": n=" << tier.count;
+        if (def.interactive) {
+            out << " ttft p50/p99 " << tier.p50Ttft << "/"
+                << tier.p99Ttft << " s (slo " << def.ttftSlo << " s)";
+        } else {
+            out << " ttlt p50/p99 " << tier.p50Ttlt << "/"
+                << tier.p99Ttlt << " s (slo " << def.ttltSlo << " s)";
+        }
+        out << " viol " << 100.0 * tier.violationRate << "%\n";
+    }
+}
+
+} // namespace qoserve

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Result serialization: per-request records and run summaries as
+ * CSV, for external plotting and analysis.
+ */
+
+#ifndef QOSERVE_METRICS_REPORT_IO_HH
+#define QOSERVE_METRICS_REPORT_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/slo_report.hh"
+
+namespace qoserve {
+
+/**
+ * Write per-request records as CSV.
+ *
+ * Columns: id, arrival, prompt_tokens, decode_tokens, tier_id,
+ * important, ttft, ttlt, max_tbt, tbt_misses, violated, relegated,
+ * kv_preemptions.
+ */
+void writeRecordsCsv(const MetricsCollector &collector, std::ostream &out);
+
+/** Write records CSV to a file (fatal on error). */
+void writeRecordsCsvFile(const MetricsCollector &collector,
+                         const std::string &path);
+
+/** Write a RunSummary as key,value CSV rows. */
+void writeSummaryCsv(const RunSummary &summary, std::ostream &out);
+
+/** Render a human-readable summary table to @p out. */
+void printSummary(const RunSummary &summary, const TierTable &tiers,
+                  std::ostream &out);
+
+} // namespace qoserve
+
+#endif // QOSERVE_METRICS_REPORT_IO_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * SLO accounting implementation.
+ */
+
+#include "metrics/slo_report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "metrics/percentile.hh"
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+MetricsCollector::MetricsCollector(TierTable tiers)
+    : tiers_(std::move(tiers))
+{
+    QOSERVE_ASSERT(!tiers_.empty(), "collector needs a tier table");
+}
+
+void
+MetricsCollector::record(const RequestRecord &rec)
+{
+    QOSERVE_ASSERT(rec.spec.tierId >= 0 &&
+                       rec.spec.tierId < static_cast<int>(tiers_.size()),
+                   "record references unknown tier");
+    records_.push_back(rec);
+}
+
+bool
+violatedSlo(const RequestRecord &rec, const QosTier &tier)
+{
+    if (tier.interactive)
+        return rec.ttft() > tier.ttftSlo;
+    return rec.ttlt() > tier.ttltSlo;
+}
+
+bool
+violatedTbtSlo(const RequestRecord &rec, const QosTier &tier)
+{
+    if (!tier.interactive)
+        return false;
+    int budget = std::max(1, rec.spec.decodeTokens / 100);
+    return rec.tbtDeadlineMisses > budget;
+}
+
+double
+headlineLatency(const RequestRecord &rec, const QosTier &tier)
+{
+    return tier.interactive ? rec.ttft() : rec.ttlt();
+}
+
+RunSummary
+summarize(const MetricsCollector &collector, double long_percentile)
+{
+    const auto &records = collector.records();
+    const auto &tiers = collector.tiers();
+
+    RunSummary out;
+    out.count = records.size();
+    if (records.empty())
+        return out;
+
+    // Long-request threshold over this run's prompt lengths.
+    std::vector<double> prompts;
+    prompts.reserve(records.size());
+    for (const auto &r : records)
+        prompts.push_back(static_cast<double>(r.spec.promptTokens));
+    double long_threshold = percentile(prompts, long_percentile);
+
+    std::size_t violations = 0;
+    std::size_t violations_with_tbt = 0;
+    std::size_t important = 0, important_viol = 0;
+    std::size_t shorts = 0, short_viol = 0;
+    std::size_t longs = 0, long_viol = 0;
+    std::size_t relegated = 0;
+    std::size_t rejected = 0;
+    std::vector<double> latencies;
+    latencies.reserve(records.size());
+
+    struct TierAcc
+    {
+        std::vector<double> ttft;
+        std::vector<double> ttlt;
+        std::size_t count = 0;
+        std::size_t viol = 0;
+        std::size_t tbt_miss = 0;
+    };
+    std::map<int, TierAcc> per_tier;
+
+    for (const auto &r : records) {
+        const QosTier &tier = tiers[r.spec.tierId];
+        bool viol = violatedSlo(r, tier);
+        violations += viol;
+        violations_with_tbt += viol || violatedTbtSlo(r, tier);
+        latencies.push_back(headlineLatency(r, tier));
+        if (r.wasRelegated)
+            ++relegated;
+        if (r.rejected)
+            ++rejected;
+        if (r.spec.important) {
+            ++important;
+            important_viol += viol;
+        }
+        bool is_long =
+            static_cast<double>(r.spec.promptTokens) >= long_threshold;
+        if (is_long) {
+            ++longs;
+            long_viol += viol;
+        } else {
+            ++shorts;
+            short_viol += viol;
+        }
+
+        TierAcc &acc = per_tier[r.spec.tierId];
+        ++acc.count;
+        acc.viol += viol;
+        acc.tbt_miss += r.tbtDeadlineMisses > 0;
+        acc.ttft.push_back(r.ttft());
+        acc.ttlt.push_back(r.ttlt());
+    }
+
+    auto rate = [](std::size_t num, std::size_t den) {
+        return den == 0 ? 0.0
+                        : static_cast<double>(num) /
+                              static_cast<double>(den);
+    };
+
+    out.violationRate = rate(violations, records.size());
+    out.violationRateWithTbt = rate(violations_with_tbt, records.size());
+    out.importantViolationRate = rate(important_viol, important);
+    out.shortViolationRate = rate(short_viol, shorts);
+    out.longViolationRate = rate(long_viol, longs);
+    out.relegatedFraction = rate(relegated, records.size());
+    out.rejectedFraction = rate(rejected, records.size());
+
+    std::sort(latencies.begin(), latencies.end());
+    out.p50Latency = percentileSorted(latencies, 50.0);
+    out.p95Latency = percentileSorted(latencies, 95.0);
+    out.p99Latency = percentileSorted(latencies, 99.0);
+
+    for (auto &[tier_id, acc] : per_tier) {
+        TierSummary ts;
+        ts.tierId = tier_id;
+        ts.count = acc.count;
+        std::sort(acc.ttft.begin(), acc.ttft.end());
+        std::sort(acc.ttlt.begin(), acc.ttlt.end());
+        ts.p50Ttft = percentileSorted(acc.ttft, 50.0);
+        ts.p95Ttft = percentileSorted(acc.ttft, 95.0);
+        ts.p99Ttft = percentileSorted(acc.ttft, 99.0);
+        ts.p50Ttlt = percentileSorted(acc.ttlt, 50.0);
+        ts.p95Ttlt = percentileSorted(acc.ttlt, 95.0);
+        ts.p99Ttlt = percentileSorted(acc.ttlt, 99.0);
+        ts.violationRate = rate(acc.viol, acc.count);
+        ts.tbtMissRate = rate(acc.tbt_miss, acc.count);
+        out.tiers.push_back(ts);
+    }
+    return out;
+}
+
+std::vector<RollingPoint>
+rollingLatency(const MetricsCollector &collector, SimDuration window,
+               double pct, int tier_id, bool important_only)
+{
+    QOSERVE_ASSERT(window > 0.0, "window must be positive");
+    const auto &records = collector.records();
+    const auto &tiers = collector.tiers();
+
+    std::map<std::int64_t, std::vector<double>> buckets;
+    for (const auto &r : records) {
+        if (tier_id >= 0 && r.spec.tierId != tier_id)
+            continue;
+        if (important_only && !r.spec.important)
+            continue;
+        auto bucket =
+            static_cast<std::int64_t>(std::floor(r.spec.arrival / window));
+        buckets[bucket].push_back(
+            headlineLatency(r, tiers[r.spec.tierId]));
+    }
+
+    std::vector<RollingPoint> out;
+    out.reserve(buckets.size());
+    for (auto &[bucket, values] : buckets) {
+        RollingPoint p;
+        p.windowStart = static_cast<double>(bucket) * window;
+        p.count = values.size();
+        p.value = percentile(std::move(values), pct);
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace qoserve

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * SLO accounting over completed-request records.
+ *
+ * Implements the measurement conventions of §4: a request violates
+ * its SLO when its TTFT (interactive tiers) or TTLT (non-interactive
+ * tiers) exceeds the tier target; requests are "long" when their
+ * prompt is at or above the trace's 90th percentile; goodput counts
+ * requests served while the per-tier p99 latency meets the SLO with
+ * at most 1% violations.
+ */
+
+#ifndef QOSERVE_METRICS_SLO_REPORT_HH
+#define QOSERVE_METRICS_SLO_REPORT_HH
+
+#include <vector>
+
+#include "sched/request.hh"
+#include "workload/qos.hh"
+
+namespace qoserve {
+
+/**
+ * Sink for completed-request records.
+ */
+class MetricsCollector
+{
+  public:
+    /** @param tiers Tier table the records' tierId fields refer to. */
+    explicit MetricsCollector(TierTable tiers);
+
+    /** Record a completed request. */
+    void record(const RequestRecord &rec);
+
+    /** All records, in completion order. */
+    const std::vector<RequestRecord> &records() const { return records_; }
+
+    /** Tier table. */
+    const TierTable &tiers() const { return tiers_; }
+
+    /** Number of records. */
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    TierTable tiers_;
+    std::vector<RequestRecord> records_;
+};
+
+/** True if the record violated its tier's headline SLO. */
+bool violatedSlo(const RequestRecord &rec, const QosTier &tier);
+
+/**
+ * True if an interactive record violated its TBT SLO: more than 1%
+ * of its tokens (and at least two) missed their Eq. 2 deadlines.
+ * Always false for non-interactive tiers. The paper tracks this
+ * separately from headline violations because chunk sizing keeps it
+ * under 0.1% in their testbed; PolyServe-style experiments (§4.5.2)
+ * need it counted explicitly.
+ */
+bool violatedTbtSlo(const RequestRecord &rec, const QosTier &tier);
+
+/** Latency the headline SLO constrains: TTFT or TTLT. */
+double headlineLatency(const RequestRecord &rec, const QosTier &tier);
+
+/** Per-tier summary statistics. */
+struct TierSummary
+{
+    int tierId = 0;
+    std::size_t count = 0;
+    double p50Ttft = 0.0;
+    double p95Ttft = 0.0;
+    double p99Ttft = 0.0;
+    double p50Ttlt = 0.0;
+    double p95Ttlt = 0.0;
+    double p99Ttlt = 0.0;
+    double violationRate = 0.0; ///< Fraction in [0, 1].
+    double tbtMissRate = 0.0;   ///< Fraction of requests with TBT misses.
+};
+
+/** Whole-run summary. */
+struct RunSummary
+{
+    std::size_t count = 0;
+    double violationRate = 0.0;
+
+    /** Violations counting TBT SLO misses as well (see
+     *  violatedTbtSlo). */
+    double violationRateWithTbt = 0.0;
+    double importantViolationRate = 0.0;
+    double shortViolationRate = 0.0;
+    double longViolationRate = 0.0;
+    double relegatedFraction = 0.0;
+    double rejectedFraction = 0.0;
+    double p50Latency = 0.0; ///< Headline latency across requests.
+    double p95Latency = 0.0;
+    double p99Latency = 0.0;
+    std::vector<TierSummary> tiers;
+};
+
+/**
+ * Summarize a collector's records.
+ *
+ * @param collector Completed records plus tier table.
+ * @param long_percentile Prompt-length percentile splitting
+ *        short/long (paper: 90).
+ */
+RunSummary summarize(const MetricsCollector &collector,
+                     double long_percentile = 90.0);
+
+/** One point of a rolling-percentile time series. */
+struct RollingPoint
+{
+    SimTime windowStart = 0.0;
+    double value = 0.0;
+    std::size_t count = 0;
+};
+
+/**
+ * Rolling percentile of headline latency versus *arrival* time,
+ * optionally restricted to one tier — the measurement behind the
+ * Fig. 13 timelines.
+ *
+ * @param collector Records to analyse.
+ * @param window Window width in seconds (paper: 60).
+ * @param pct Percentile in [0, 100] (paper: 99).
+ * @param tier_id Restrict to this tier, or -1 for all.
+ * @param important_only Restrict to important requests.
+ */
+std::vector<RollingPoint> rollingLatency(const MetricsCollector &collector,
+                                         SimDuration window, double pct,
+                                         int tier_id = -1,
+                                         bool important_only = false);
+
+} // namespace qoserve
+
+#endif // QOSERVE_METRICS_SLO_REPORT_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Telemetry recorder implementation.
+ */
+
+#include "metrics/telemetry.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+BatchObserver
+TelemetryRecorder::observerFor(int replica_id)
+{
+    return [this, replica_id](const BatchObservation &obs) {
+        observations_.push_back(obs);
+        replicaIds_.push_back(replica_id);
+    };
+}
+
+double
+TelemetryRecorder::meanChunkTokens() const
+{
+    if (observations_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &obs : observations_)
+        sum += obs.prefillTokens;
+    return sum / static_cast<double>(observations_.size());
+}
+
+int
+TelemetryRecorder::maxChunkTokens() const
+{
+    int best = 0;
+    for (const auto &obs : observations_)
+        best = std::max(best, obs.prefillTokens);
+    return best;
+}
+
+std::vector<std::int64_t>
+TelemetryRecorder::chunkHistogram(int bucket_width) const
+{
+    QOSERVE_ASSERT(bucket_width > 0, "bucket width must be positive");
+    std::vector<std::int64_t> hist;
+    for (const auto &obs : observations_) {
+        auto bucket =
+            static_cast<std::size_t>(obs.prefillTokens / bucket_width);
+        if (bucket >= hist.size())
+            hist.resize(bucket + 1, 0);
+        ++hist[bucket];
+    }
+    return hist;
+}
+
+double
+TelemetryRecorder::utilization(SimTime t0, SimTime t1) const
+{
+    QOSERVE_ASSERT(t1 > t0, "empty utilization window");
+    double busy = 0.0;
+    for (const auto &obs : observations_) {
+        SimTime start = std::max(t0, obs.start);
+        SimTime end = std::min(t1, obs.start + obs.latency);
+        if (end > start)
+            busy += end - start;
+    }
+    return busy / (t1 - t0);
+}
+
+void
+TelemetryRecorder::writeCsv(std::ostream &out) const
+{
+    out << "replica,start,latency,prefill_tokens,num_decodes\n";
+    for (std::size_t i = 0; i < observations_.size(); ++i) {
+        const BatchObservation &obs = observations_[i];
+        out << replicaIds_[i] << ',' << obs.start << ',' << obs.latency
+            << ',' << obs.prefillTokens << ',' << obs.numDecodes << '\n';
+    }
+}
+
+void
+TelemetryRecorder::writeCsvFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        QOSERVE_FATAL("cannot open telemetry file for writing: ", path);
+    writeCsv(out);
+    if (!out)
+        QOSERVE_FATAL("error writing telemetry file: ", path);
+}
+
+} // namespace qoserve

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-iteration engine telemetry.
+ *
+ * Records the stream of batch observations a replica emits (chunk
+ * size, decode batch size, execution time) and derives the
+ * iteration-level views the paper analyses: the chunk-size timeline
+ * of Fig. 9, chunk-size distributions, and engine utilization over
+ * time windows. Exportable as CSV for external plotting.
+ */
+
+#ifndef QOSERVE_METRICS_TELEMETRY_HH
+#define QOSERVE_METRICS_TELEMETRY_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cluster/replica.hh"
+
+namespace qoserve {
+
+/**
+ * Collects BatchObservation streams from one or more replicas.
+ */
+class TelemetryRecorder
+{
+  public:
+    TelemetryRecorder() = default;
+
+    /**
+     * An observer bound to this recorder, tagged with a replica id.
+     * Install via Replica::setBatchObserver.
+     */
+    BatchObserver observerFor(int replica_id);
+
+    /** All observations in arrival order. */
+    const std::vector<BatchObservation> &observations() const
+    {
+        return observations_;
+    }
+
+    /** Replica ids parallel to observations(). */
+    const std::vector<int> &replicaIds() const { return replicaIds_; }
+
+    /** Number of recorded iterations. */
+    std::size_t size() const { return observations_.size(); }
+
+    /** Mean prefill chunk tokens per iteration (0 when empty). */
+    double meanChunkTokens() const;
+
+    /** Largest chunk observed. */
+    int maxChunkTokens() const;
+
+    /**
+     * Chunk-size histogram with the given bucket width; entry i
+     * counts iterations with chunk in [i*width, (i+1)*width).
+     */
+    std::vector<std::int64_t> chunkHistogram(int bucket_width) const;
+
+    /**
+     * Fraction of wall-clock time the engine was executing batches
+     * within [t0, t1], summed across replicas (so a 2-replica
+     * recorder saturates at 2.0).
+     */
+    double utilization(SimTime t0, SimTime t1) const;
+
+    /**
+     * Write the raw stream as CSV:
+     * replica,start,latency,prefill_tokens,num_decodes.
+     */
+    void writeCsv(std::ostream &out) const;
+
+    /** Write the CSV to a file (fatal on error). */
+    void writeCsvFile(const std::string &path) const;
+
+  private:
+    std::vector<BatchObservation> observations_;
+    std::vector<int> replicaIds_;
+};
+
+} // namespace qoserve
+
+#endif // QOSERVE_METRICS_TELEMETRY_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hardware preset definitions.
+ */
+
+#include "model/hardware_config.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+namespace {
+
+/** Memory held back for activations, CUDA context and fragmentation. */
+constexpr double kActivationReserveBytes = 6e9;
+
+} // namespace
+
+GpuConfig
+a100_80gb()
+{
+    GpuConfig g;
+    g.name = "A100-80GB";
+    g.peakFlops = 312e12;
+    g.memBandwidth = 2.04e12;
+    g.memCapacity = 80e9;
+    g.nvlinkBandwidth = 300e9;
+    return g;
+}
+
+GpuConfig
+h100_80gb()
+{
+    GpuConfig g;
+    g.name = "H100-80GB";
+    g.peakFlops = 989e12;
+    g.memBandwidth = 3.35e12;
+    g.memCapacity = 80e9;
+    g.nvlinkBandwidth = 450e9;
+    return g;
+}
+
+std::int64_t
+ReplicaHwConfig::kvCapacityTokens() const
+{
+    double total = gpu.memCapacity * tpDegree;
+    double weights = static_cast<double>(model.weightBytes());
+    double reserve = kActivationReserveBytes * tpDegree;
+    double avail = total - weights - reserve;
+    if (avail <= 0) {
+        QOSERVE_FATAL("model ", model.name, " does not fit on ",
+                      tpDegree, "x ", gpu.name);
+    }
+    return static_cast<std::int64_t>(
+        avail / static_cast<double>(model.kvBytesPerToken()));
+}
+
+ReplicaHwConfig
+llama3_8b_a100_tp1()
+{
+    return ReplicaHwConfig{llama3_8b(), a100_80gb(), 1};
+}
+
+ReplicaHwConfig
+qwen_7b_a100_tp2()
+{
+    return ReplicaHwConfig{qwen_7b(), a100_80gb(), 2};
+}
+
+ReplicaHwConfig
+llama3_70b_h100_tp4()
+{
+    return ReplicaHwConfig{llama3_70b(), h100_80gb(), 4};
+}
+
+} // namespace qoserve

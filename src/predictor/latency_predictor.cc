@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Latency predictor implementations.
+ */
+
+#include "predictor/latency_predictor.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+OracleLatencyPredictor::OracleLatencyPredictor(PerfModel model,
+                                               double margin)
+    : model_(std::move(model)), margin_(margin)
+{
+    QOSERVE_ASSERT(margin_ > 0.0, "margin must be positive");
+}
+
+SimDuration
+OracleLatencyPredictor::predict(const BatchFeatures &features) const
+{
+    return margin_ * model_.iterationTime(features.toWork());
+}
+
+ForestLatencyPredictor::ForestLatencyPredictor(const PerfModel &model)
+    : ForestLatencyPredictor(model, Options{})
+{
+}
+
+ForestLatencyPredictor::ForestLatencyPredictor(const PerfModel &model,
+                                               Options options)
+    : options_(std::move(options))
+{
+    auto samples = collectProfile(model, options_.grid, options_.seed);
+    forest_.fit(samples, options_.forest, options_.seed);
+}
+
+SimDuration
+ForestLatencyPredictor::predict(const BatchFeatures &features) const
+{
+    double est =
+        forest_.predictQuantile(features.toVector(), options_.quantile);
+    return est * options_.safetyMargin;
+}
+
+int
+solveChunkBudget(const LatencyPredictor &predictor,
+                 BatchFeatures decode_state, SimDuration budget,
+                 int max_chunk, int step)
+{
+    QOSERVE_ASSERT(max_chunk >= 0 && step > 0, "bad solver bounds");
+    if (budget <= 0.0 || max_chunk < step)
+        return 0;
+
+    auto feasible = [&](int chunk) {
+        BatchFeatures f = decode_state;
+        f.chunkTokens = static_cast<double>(chunk);
+        return predictor.predict(f) <= budget;
+    };
+
+    int lo = 0;                    // feasible (empty chunk) by definition
+    int hi = max_chunk / step;     // in units of step
+    if (feasible(hi * step))
+        return hi * step;
+    // Invariant: lo feasible, hi infeasible.
+    while (hi - lo > 1) {
+        int mid = lo + (hi - lo) / 2;
+        if (feasible(mid * step))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo * step;
+}
+
+} // namespace qoserve

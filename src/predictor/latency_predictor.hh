@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Batch-latency predictors and the dynamic chunk-budget solver.
+ *
+ * The QoServe scheduler consults a predictor each iteration to find
+ * the largest prefill chunk whose predicted execution time fits the
+ * minimum slack of the decoding requests (§3.3, §3.6.1, Algorithm 1's
+ * GET_PREFILL_BUDGET). Two implementations are provided: the trained
+ * random-forest predictor the paper describes, and an oracle that
+ * queries the execution model directly (useful for tests and for
+ * isolating predictor error in ablations).
+ */
+
+#ifndef QOSERVE_PREDICTOR_LATENCY_PREDICTOR_HH
+#define QOSERVE_PREDICTOR_LATENCY_PREDICTOR_HH
+
+#include <memory>
+
+#include "predictor/profiler.hh"
+
+namespace qoserve {
+
+/**
+ * Predicts the execution time of one iteration's batch.
+ */
+class LatencyPredictor
+{
+  public:
+    virtual ~LatencyPredictor() = default;
+
+    /** Predicted iteration time, seconds. */
+    virtual SimDuration predict(const BatchFeatures &features) const = 0;
+};
+
+/**
+ * Ground-truth predictor backed directly by the execution model.
+ */
+class OracleLatencyPredictor : public LatencyPredictor
+{
+  public:
+    /**
+     * @param model Execution model to query.
+     * @param margin Multiplier applied to the truth (e.g. 1.05 for a
+     *        conservative oracle).
+     */
+    explicit OracleLatencyPredictor(PerfModel model, double margin = 1.0);
+
+    SimDuration predict(const BatchFeatures &features) const override;
+
+  private:
+    PerfModel model_;
+    double margin_;
+};
+
+/**
+ * Random-forest predictor trained on profiler data (§3.6.1).
+ *
+ * Uses a sub-median quantile of the per-tree predictions scaled by a
+ * small factor so the predictor errs toward under-predicting the
+ * feasible chunk size — i.e. over-predicting latency — never causing
+ * an inadvertent latency increase.
+ */
+class ForestLatencyPredictor : public LatencyPredictor
+{
+  public:
+    /** Knobs for training and conservatism. */
+    struct Options
+    {
+        ForestParams forest;
+        ProfileGrid grid;
+        std::uint64_t seed = 7;
+
+        /** Quantile of tree outputs used as the estimate. */
+        double quantile = 0.6;
+
+        /** Extra multiplicative safety margin on the estimate. */
+        double safetyMargin = 1.05;
+    };
+
+    /** Train on profiles of @p model with default options. */
+    explicit ForestLatencyPredictor(const PerfModel &model);
+
+    /** Train on profiles of @p model. */
+    ForestLatencyPredictor(const PerfModel &model, Options options);
+
+    SimDuration predict(const BatchFeatures &features) const override;
+
+    /** Access the fitted ensemble (tests, diagnostics). */
+    const RandomForest &forest() const { return forest_; }
+
+    /** Options used at construction. */
+    const Options &options() const { return options_; }
+
+  private:
+    RandomForest forest_;
+    Options options_;
+};
+
+/**
+ * Find the largest chunk size whose predicted latency fits a budget.
+ *
+ * Searches multiples of @p step in [0, max_chunk], assuming latency
+ * is non-decreasing in chunk size.
+ *
+ * @param predictor Latency predictor to consult.
+ * @param decode_state Batch composition; the chunkTokens field is
+ *        ignored and overwritten during the search.
+ * @param budget Latency budget, seconds.
+ * @param max_chunk Upper bound on the chunk.
+ * @param step Chunk granularity.
+ * @return Largest feasible chunk (multiple of step), or 0 when even
+ *         the smallest step exceeds the budget.
+ */
+int solveChunkBudget(const LatencyPredictor &predictor,
+                     BatchFeatures decode_state, SimDuration budget,
+                     int max_chunk, int step = 64);
+
+} // namespace qoserve
+
+#endif // QOSERVE_PREDICTOR_LATENCY_PREDICTOR_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Profiling harness implementation.
+ */
+
+#include "predictor/profiler.hh"
+
+namespace qoserve {
+
+BatchWork
+BatchFeatures::toWork() const
+{
+    BatchWork w;
+    w.prefillTokens = static_cast<std::int64_t>(chunkTokens);
+    w.prefillCtxProduct =
+        chunkTokens * (prefillContext + chunkTokens / 2.0);
+    w.numDecodes = static_cast<int>(numDecodes);
+    w.decodeCtxSum = static_cast<std::int64_t>(decodeCtxSum);
+    return w;
+}
+
+std::vector<TrainSample>
+collectProfile(const PerfModel &model, const ProfileGrid &grid,
+               std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<TrainSample> samples;
+    samples.reserve(grid.chunkSizes.size() * grid.prefillContexts.size() *
+                    grid.decodeBatchSizes.size() *
+                    grid.avgDecodeContexts.size());
+
+    for (double chunk : grid.chunkSizes) {
+        for (double pctx : grid.prefillContexts) {
+            for (double nd : grid.decodeBatchSizes) {
+                for (double dctx : grid.avgDecodeContexts) {
+                    BatchFeatures f;
+                    f.chunkTokens = chunk;
+                    f.prefillContext = chunk > 0 ? pctx : 0.0;
+                    f.numDecodes = nd;
+                    f.decodeCtxSum = nd * dctx;
+                    if (f.chunkTokens == 0 && f.numDecodes == 0)
+                        continue;
+                    // With no prefill, the prefill-context axis is
+                    // redundant; keep only one copy.
+                    if (chunk == 0 && pctx != grid.prefillContexts[0])
+                        continue;
+
+                    double latency =
+                        model.iterationTime(f.toWork());
+                    double noise =
+                        rng.normal(1.0, grid.noiseStddev);
+                    if (noise < 0.5)
+                        noise = 0.5;
+
+                    TrainSample s;
+                    s.x = f.toVector();
+                    s.y = latency * noise;
+                    samples.push_back(std::move(s));
+                }
+            }
+        }
+    }
+    return samples;
+}
+
+} // namespace qoserve

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * CART / random-forest implementation.
+ */
+
+#include "predictor/random_forest.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+namespace {
+
+/** Mean of targets over an index range. */
+double
+targetMean(const std::vector<TrainSample> &samples,
+           const std::vector<std::uint32_t> &idx, int lo, int hi)
+{
+    double sum = 0.0;
+    for (int i = lo; i < hi; ++i)
+        sum += samples[idx[i]].y;
+    return sum / (hi - lo);
+}
+
+/** Sum of squared error around the mean over an index range. */
+double
+targetSse(const std::vector<TrainSample> &samples,
+          const std::vector<std::uint32_t> &idx, int lo, int hi)
+{
+    double mean = targetMean(samples, idx, lo, hi);
+    double sse = 0.0;
+    for (int i = lo; i < hi; ++i) {
+        double d = samples[idx[i]].y - mean;
+        sse += d * d;
+    }
+    return sse;
+}
+
+} // namespace
+
+int
+RegressionTree::build(const std::vector<TrainSample> &samples,
+                      std::vector<std::uint32_t> &idx, int lo, int hi,
+                      int depth, const ForestParams &params, Rng &rng)
+{
+    int node_id = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[node_id].value = targetMean(samples, idx, lo, hi);
+
+    int n = hi - lo;
+    if (depth >= params.maxDepth || n < 2 * params.minSamplesLeaf)
+        return node_id;
+
+    double parent_sse = targetSse(samples, idx, lo, hi);
+    if (parent_sse <= 1e-30)
+        return node_id;
+
+    int num_features = static_cast<int>(samples[idx[lo]].x.size());
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    double best_sse = parent_sse;
+
+    for (int f = 0; f < num_features; ++f) {
+        double fmin = std::numeric_limits<double>::max();
+        double fmax = std::numeric_limits<double>::lowest();
+        for (int i = lo; i < hi; ++i) {
+            double v = samples[idx[i]].x[f];
+            fmin = std::min(fmin, v);
+            fmax = std::max(fmax, v);
+        }
+        if (fmin >= fmax)
+            continue;
+
+        for (int c = 0; c < params.splitCandidates; ++c) {
+            double thr = rng.uniform(fmin, fmax);
+            // Welford-free two-pass split evaluation: accumulate
+            // count/sum/sumsq on each side.
+            double ls = 0, lss = 0, rs = 0, rss = 0;
+            int ln = 0, rn = 0;
+            for (int i = lo; i < hi; ++i) {
+                double y = samples[idx[i]].y;
+                if (samples[idx[i]].x[f] <= thr) {
+                    ls += y;
+                    lss += y * y;
+                    ++ln;
+                } else {
+                    rs += y;
+                    rss += y * y;
+                    ++rn;
+                }
+            }
+            if (ln < params.minSamplesLeaf || rn < params.minSamplesLeaf)
+                continue;
+            double sse = (lss - ls * ls / ln) + (rss - rs * rs / rn);
+            if (sse < best_sse) {
+                best_sse = sse;
+                best_feature = f;
+                best_threshold = thr;
+            }
+        }
+    }
+
+    if (best_feature < 0)
+        return node_id;
+
+    auto mid_it = std::partition(
+        idx.begin() + lo, idx.begin() + hi,
+        [&](std::uint32_t i) {
+            return samples[i].x[best_feature] <= best_threshold;
+        });
+    int mid = static_cast<int>(mid_it - idx.begin());
+    QOSERVE_ASSERT(mid > lo && mid < hi, "degenerate partition");
+
+    nodes_[node_id].feature = best_feature;
+    nodes_[node_id].threshold = best_threshold;
+    int left = build(samples, idx, lo, mid, depth + 1, params, rng);
+    int right = build(samples, idx, mid, hi, depth + 1, params, rng);
+    nodes_[node_id].left = left;
+    nodes_[node_id].right = right;
+    return node_id;
+}
+
+void
+RegressionTree::fit(const std::vector<TrainSample> &samples,
+                    const ForestParams &params, Rng &rng)
+{
+    QOSERVE_ASSERT(!samples.empty(), "empty training set");
+    nodes_.clear();
+    std::vector<std::uint32_t> idx(samples.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = static_cast<std::uint32_t>(i);
+    build(samples, idx, 0, static_cast<int>(idx.size()), 0, params, rng);
+}
+
+double
+RegressionTree::predict(const std::vector<double> &x) const
+{
+    QOSERVE_ASSERT(!nodes_.empty(), "predict() before fit()");
+    int node = 0;
+    while (nodes_[node].feature >= 0) {
+        const Node &n = nodes_[node];
+        QOSERVE_ASSERT(n.feature < static_cast<int>(x.size()),
+                       "feature vector too short");
+        node = x[n.feature] <= n.threshold ? n.left : n.right;
+    }
+    return nodes_[node].value;
+}
+
+void
+RandomForest::fit(const std::vector<TrainSample> &samples,
+                  ForestParams params, std::uint64_t seed)
+{
+    QOSERVE_ASSERT(!samples.empty(), "empty training set");
+    QOSERVE_ASSERT(params.numTrees > 0, "need at least one tree");
+
+    trees_.assign(params.numTrees, RegressionTree{});
+    Rng root(seed);
+    std::size_t draw =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+            params.bootstrapFraction * samples.size()));
+
+    for (int t = 0; t < params.numTrees; ++t) {
+        Rng tree_rng = root.split("tree" + std::to_string(t));
+        std::vector<TrainSample> boot;
+        boot.reserve(draw);
+        for (std::size_t i = 0; i < draw; ++i) {
+            auto j = static_cast<std::size_t>(tree_rng.uniformInt(
+                0, static_cast<std::int64_t>(samples.size()) - 1));
+            boot.push_back(samples[j]);
+        }
+        trees_[t].fit(boot, params, tree_rng);
+    }
+}
+
+double
+RandomForest::predict(const std::vector<double> &x) const
+{
+    QOSERVE_ASSERT(trained(), "predict() before fit()");
+    double sum = 0.0;
+    for (const auto &t : trees_)
+        sum += t.predict(x);
+    return sum / static_cast<double>(trees_.size());
+}
+
+double
+RandomForest::predictQuantile(const std::vector<double> &x, double q) const
+{
+    QOSERVE_ASSERT(trained(), "predictQuantile() before fit()");
+    QOSERVE_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
+    std::vector<double> preds;
+    preds.reserve(trees_.size());
+    for (const auto &t : trees_)
+        preds.push_back(t.predict(x));
+    std::sort(preds.begin(), preds.end());
+    double pos = q * (preds.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    auto hi = std::min(lo + 1, preds.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return preds[lo] * (1.0 - frac) + preds[hi] * frac;
+}
+
+} // namespace qoserve

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * CART regression trees and a bagged random-forest regressor.
+ *
+ * The paper's dynamic-chunking predictor is "a lightweight random
+ * forest model which predicts the execution time of a given batch"
+ * (§3.6.1), trained on latency profiles collected from the Vidur
+ * simulator harness. This is that component, built from scratch:
+ * variance-reduction CART trees plus bootstrap aggregation, with
+ * quantile prediction so the ensemble can be biased toward
+ * under-predicting chunk latency (the paper tunes the model "to err
+ * on the side of under-predicting").
+ */
+
+#ifndef QOSERVE_PREDICTOR_RANDOM_FOREST_HH
+#define QOSERVE_PREDICTOR_RANDOM_FOREST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/rng.hh"
+
+namespace qoserve {
+
+/** A training/evaluation sample: feature vector plus target. */
+struct TrainSample
+{
+    std::vector<double> x;
+    double y = 0.0;
+};
+
+/** Hyper-parameters shared by trees and forests. */
+struct ForestParams
+{
+    /** Number of trees in the ensemble. */
+    int numTrees = 20;
+
+    /** Maximum tree depth. */
+    int maxDepth = 12;
+
+    /** Minimum samples required in a leaf. */
+    int minSamplesLeaf = 4;
+
+    /** Candidate split thresholds evaluated per feature per node. */
+    int splitCandidates = 16;
+
+    /** Fraction of the training set drawn (with replacement) per tree. */
+    double bootstrapFraction = 1.0;
+};
+
+/**
+ * A single CART regression tree, grown by greedy variance reduction.
+ */
+class RegressionTree
+{
+  public:
+    /**
+     * Fit the tree.
+     *
+     * @param samples Training data; all x must share one length.
+     * @param params Growth limits.
+     * @param rng Source of randomness for split-candidate sampling.
+     */
+    void fit(const std::vector<TrainSample> &samples,
+             const ForestParams &params, Rng &rng);
+
+    /** Predict the target for a feature vector. */
+    double predict(const std::vector<double> &x) const;
+
+    /** Number of nodes in the fitted tree (0 before fit). */
+    std::size_t numNodes() const { return nodes_.size(); }
+
+  private:
+    struct Node
+    {
+        int feature = -1;     ///< -1 marks a leaf.
+        double threshold = 0.0;
+        int left = -1;
+        int right = -1;
+        double value = 0.0;   ///< Leaf mean.
+    };
+
+    int build(const std::vector<TrainSample> &samples,
+              std::vector<std::uint32_t> &idx, int lo, int hi, int depth,
+              const ForestParams &params, Rng &rng);
+
+    std::vector<Node> nodes_;
+};
+
+/**
+ * Bagged ensemble of regression trees.
+ */
+class RandomForest
+{
+  public:
+    /** Fit the ensemble on @p samples with seed-derived randomness. */
+    void fit(const std::vector<TrainSample> &samples, ForestParams params,
+             std::uint64_t seed);
+
+    /** Mean prediction across trees. */
+    double predict(const std::vector<double> &x) const;
+
+    /**
+     * Quantile of the per-tree predictions.
+     *
+     * Quantiles below 0.5 bias the ensemble toward under-prediction,
+     * which the chunk solver uses for conservatism.
+     *
+     * @param x Feature vector.
+     * @param q Quantile in [0, 1].
+     */
+    double predictQuantile(const std::vector<double> &x, double q) const;
+
+    /** Number of fitted trees. */
+    std::size_t numTrees() const { return trees_.size(); }
+
+    /** True once fit() has run. */
+    bool trained() const { return !trees_.empty(); }
+
+  private:
+    std::vector<RegressionTree> trees_;
+};
+
+} // namespace qoserve
+
+#endif // QOSERVE_PREDICTOR_RANDOM_FOREST_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Batch aggregation helpers.
+ */
+
+#include "sched/batch.hh"
+
+namespace qoserve {
+
+int
+Batch::prefillTokens() const
+{
+    int total = 0;
+    for (const auto &c : prefills)
+        total += c.chunkTokens;
+    return total;
+}
+
+BatchWork
+Batch::work() const
+{
+    BatchWork w;
+    for (const auto &c : prefills) {
+        w.prefillTokens += c.chunkTokens;
+        w.prefillCtxProduct +=
+            static_cast<double>(c.chunkTokens) *
+            (static_cast<double>(c.contextBefore) + c.chunkTokens / 2.0);
+    }
+    w.numDecodes = static_cast<int>(decodes.size());
+    for (const Request *r : decodes)
+        w.decodeCtxSum += r->contextLength();
+    return w;
+}
+
+} // namespace qoserve

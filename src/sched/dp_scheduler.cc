@@ -1,0 +1,129 @@
+/**
+ * @file
+ * DP scheduler implementation.
+ */
+
+#include "sched/dp_scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+DpScheduler::DpScheduler(const SchedulerEnv &env, Options options,
+                         ChunkedSchedulerConfig cfg)
+    : ChunkedScheduler(env, cfg), options_(options)
+{
+    QOSERVE_ASSERT(options_.chunkTokens > 0 && options_.tokenQuantum > 0,
+                   "bad DP options");
+    QOSERVE_ASSERT(options_.maxItemTokens >= options_.tokenQuantum,
+                   "item below one quantum");
+}
+
+double
+DpScheduler::priorityOf(const Request &req, SimTime) const
+{
+    // The queue order only provides a stable iteration order; the
+    // actual selection is the per-iteration knapsack.
+    return req.urgencyDeadline();
+}
+
+Batch
+DpScheduler::formBatch(SimTime now)
+{
+    Batch batch;
+    batch.decodes = decodeQueue();
+
+    int budget = kvCappedBudget(options_.chunkTokens);
+    int decode_slots = config().maxDecodeBatch -
+                       static_cast<int>(batch.decodes.size());
+
+    // Same wedge guard as the base scheduler: if every block is held
+    // by paused prefills and nothing decodes, reclaim a victim.
+    if (budget <= 0 && batch.decodes.empty() &&
+        prefillQueueSize() > 0) {
+        if (preemptForKv(now))
+            budget = kvCappedBudget(options_.chunkTokens);
+    }
+
+    std::vector<Request *> candidates = prefillSnapshot();
+    if (budget > 0 && !candidates.empty()) {
+        // Build knapsack items: one per queued request.
+        int capacity = budget / options_.tokenQuantum;
+        int n = static_cast<int>(candidates.size());
+
+        std::vector<int> weight(n);
+        std::vector<double> value(n);
+        for (int i = 0; i < n; ++i) {
+            Request *r = candidates[i];
+            int take =
+                std::min(r->prefillRemaining(), options_.maxItemTokens);
+            weight[i] = std::max(
+                1, (take + options_.tokenQuantum - 1) /
+                       options_.tokenQuantum);
+            // Urgency value: inverse slack to the urgency deadline,
+            // so requests close to violating dominate the solution;
+            // a completion bonus favours finishing prefills.
+            double slack =
+                std::max(0.01, r->urgencyDeadline() - now -
+                                   estPrefillTime(static_cast<double>(
+                                       r->prefillRemaining())));
+            value[i] = 1.0 / slack;
+            if (take == r->prefillRemaining())
+                value[i] *= 1.5;
+        }
+
+        // 0/1 knapsack over all queued requests — the O(N * M)
+        // per-iteration cost the paper's complexity argument is
+        // about.
+        std::vector<std::vector<double>> table(
+            n + 1, std::vector<double>(capacity + 1, 0.0));
+        for (int i = 1; i <= n; ++i) {
+            for (int c = 0; c <= capacity; ++c) {
+                ++dpCells_;
+                table[i][c] = table[i - 1][c];
+                if (weight[i - 1] <= c) {
+                    table[i][c] = std::max(
+                        table[i][c], table[i - 1][c - weight[i - 1]] +
+                                         value[i - 1]);
+                }
+            }
+        }
+
+        // Backtrack the chosen set.
+        std::vector<Request *> chosen;
+        int c = capacity;
+        for (int i = n; i >= 1; --i) {
+            if (table[i][c] != table[i - 1][c]) {
+                chosen.push_back(candidates[i - 1]);
+                c -= weight[i - 1];
+            }
+        }
+        // Serve the chosen set most-urgent first.
+        std::sort(chosen.begin(), chosen.end(),
+                  [](Request *a, Request *b) {
+                      return a->urgencyDeadline() < b->urgencyDeadline();
+                  });
+        for (Request *r : chosen) {
+            if (budget <= 0)
+                break;
+            int cap =
+                std::min(budget, std::min(r->prefillRemaining(),
+                                          options_.maxItemTokens));
+            int got = tryScheduleChunk(r, batch, cap, decode_slots);
+            budget -= got;
+        }
+    }
+
+    if (!batch.empty()) {
+        SchedulerStats &stats = mutableStats();
+        ++stats.batchesFormed;
+        stats.prefillTokensScheduled += batch.prefillTokens();
+        stats.decodeTokensScheduled += batch.decodes.size();
+    }
+    return batch;
+}
+
+} // namespace qoserve

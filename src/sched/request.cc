@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Request state-machine implementation.
+ */
+
+#include "sched/request.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+Request::Request(RequestSpec spec, QosTier tier, AppStats app_stats)
+    : spec_(spec), tier_(std::move(tier)), appStats_(app_stats)
+{
+    QOSERVE_ASSERT(spec_.promptTokens > 0, "request needs a prompt");
+    QOSERVE_ASSERT(spec_.decodeTokens >= 1,
+                   "request must emit at least one token");
+    record_.spec = spec_;
+}
+
+void
+Request::setRelegated(bool r)
+{
+    relegated_ = r;
+    if (r)
+        record_.wasRelegated = true;
+}
+
+double
+Request::conservativeDecodeTokens() const
+{
+    double est = appStats_.conservativeDecodeTokens();
+    // With no history at all, fall back to the request's own length
+    // (an oracle, but only exercised in synthetic unit tests).
+    return est > 0.0 ? est : static_cast<double>(spec_.decodeTokens);
+}
+
+SimTime
+Request::firstTokenDeadline() const
+{
+    return tier_.firstTokenDeadline(spec_.arrival);
+}
+
+SimTime
+Request::nextTokenDeadline() const
+{
+    if (!tier_.interactive)
+        return kTimeNever;
+    if (phase_ == RequestPhase::Finished)
+        return kTimeNever;
+    return tier_.tokenDeadline(spec_.arrival, decodeDone_ + 1);
+}
+
+SimTime
+Request::completionDeadline() const
+{
+    return tier_.completionDeadline(spec_.arrival, spec_.decodeTokens);
+}
+
+SimTime
+Request::urgencyDeadline() const
+{
+    return tier_.interactive ? spec_.arrival + tier_.ttftSlo
+                             : spec_.arrival + tier_.ttltSlo;
+}
+
+void
+Request::applyPrefill(int tokens, SimTime now)
+{
+    QOSERVE_ASSERT(phase_ == RequestPhase::WaitingPrefill ||
+                       phase_ == RequestPhase::Prefilling,
+                   "prefill progress in wrong phase");
+    QOSERVE_ASSERT(tokens > 0 && tokens <= prefillRemaining(),
+                   "invalid prefill chunk: ", tokens, " of ",
+                   prefillRemaining(), " remaining");
+
+    prefillDone_ += tokens;
+    phase_ = RequestPhase::Prefilling;
+
+    if (prefillDone_ == spec_.promptTokens) {
+        // The iteration that processes the final chunk emits the
+        // first output token.
+        record_.firstTokenTime = now;
+        lastTokenTime_ = now;
+        decodeDone_ = 1;
+        if (nextTokenCheckMissed(now, 1))
+            ++record_.tbtDeadlineMisses;
+        if (decodeDone_ == spec_.decodeTokens) {
+            phase_ = RequestPhase::Finished;
+            record_.finishTime = now;
+        } else {
+            phase_ = RequestPhase::Decoding;
+        }
+    }
+}
+
+bool
+Request::nextTokenCheckMissed(SimTime now, int token_index) const
+{
+    SimTime dl = tier_.tokenDeadline(spec_.arrival, token_index);
+    return tier_.interactive && now > dl;
+}
+
+void
+Request::applyDecodeToken(SimTime now)
+{
+    QOSERVE_ASSERT(phase_ == RequestPhase::Decoding,
+                   "decode token in wrong phase");
+    ++decodeDone_;
+    if (lastTokenTime_ != kTimeNever)
+        record_.maxTbt = std::max(record_.maxTbt, now - lastTokenTime_);
+    lastTokenTime_ = now;
+    if (nextTokenCheckMissed(now, decodeDone_))
+        ++record_.tbtDeadlineMisses;
+    if (decodeDone_ == spec_.decodeTokens) {
+        phase_ = RequestPhase::Finished;
+        record_.finishTime = now;
+    }
+}
+
+void
+Request::primeForDecode(SimTime first_token_time)
+{
+    QOSERVE_ASSERT(phase_ == RequestPhase::WaitingPrefill &&
+                       prefillDone_ == 0 && decodeDone_ == 0,
+                   "primeForDecode on a request with progress");
+    prefillDone_ = spec_.promptTokens;
+    decodeDone_ = 1;
+    record_.firstTokenTime = first_token_time;
+    lastTokenTime_ = first_token_time;
+    if (decodeDone_ == spec_.decodeTokens) {
+        phase_ = RequestPhase::Finished;
+        record_.finishTime = first_token_time;
+    } else {
+        phase_ = RequestPhase::Decoding;
+    }
+}
+
+void
+Request::resetAfterKvPreemption()
+{
+    QOSERVE_ASSERT(phase_ != RequestPhase::Finished,
+                   "cannot preempt a finished request");
+    ++record_.kvPreemptions;
+    prefillDone_ = 0;
+    decodeDone_ = 0;
+    phase_ = RequestPhase::WaitingPrefill;
+    lastTokenTime_ = kTimeNever;
+    record_.firstTokenTime = kTimeNever;
+}
+
+} // namespace qoserve

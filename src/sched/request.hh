@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Runtime state of one inference request inside a replica.
+ *
+ * Wraps an immutable RequestSpec with scheduling progress (prefill /
+ * decode counters), QoS deadline arithmetic (Eqs. 1-3), relegation
+ * state, and the completion record handed to the metrics layer.
+ */
+
+#ifndef QOSERVE_SCHED_REQUEST_HH
+#define QOSERVE_SCHED_REQUEST_HH
+
+#include <cstdint>
+
+#include "workload/qos.hh"
+#include "workload/trace.hh"
+
+namespace qoserve {
+
+/** Lifecycle phase of a request. */
+enum class RequestPhase
+{
+    WaitingPrefill, ///< In the prefill queue, no tokens processed yet.
+    Prefilling,     ///< Some prefill chunks processed.
+    Decoding,       ///< Prefill complete; generating output tokens.
+    Finished,       ///< All output tokens emitted.
+};
+
+/**
+ * Final measurements of a completed (or abandoned) request.
+ */
+struct RequestRecord
+{
+    RequestSpec spec;
+
+    /** Time the first output token was emitted. */
+    SimTime firstTokenTime = kTimeNever;
+
+    /** Time the final output token was emitted. */
+    SimTime finishTime = kTimeNever;
+
+    /** Largest observed gap between consecutive output tokens. */
+    SimDuration maxTbt = 0.0;
+
+    /** Output tokens emitted after their Eq. 2 deadline. */
+    int tbtDeadlineMisses = 0;
+
+    /** True if the request was ever relegated. */
+    bool wasRelegated = false;
+
+    /** True if admission control rejected the request outright (it
+     *  never executed; latencies are infinite). */
+    bool rejected = false;
+
+    /** Times the request lost already-computed KV to preemption. */
+    int kvPreemptions = 0;
+
+    /** TTFT, or +inf if no token was produced. */
+    SimDuration ttft() const { return firstTokenTime - spec.arrival; }
+
+    /** TTLT, or +inf if never finished. */
+    SimDuration ttlt() const { return finishTime - spec.arrival; }
+};
+
+/**
+ * A request being served by one replica.
+ */
+class Request
+{
+  public:
+    /**
+     * @param spec Immutable description.
+     * @param tier QoS tier the spec's tierId refers to (copied).
+     * @param app_stats Historic decode stats for the spec's app
+     *        (copied; pass {} when no history exists).
+     */
+    Request(RequestSpec spec, QosTier tier, AppStats app_stats);
+
+    /** Unique id (from the spec). */
+    std::uint64_t id() const { return spec_.id; }
+
+    /** Immutable description. */
+    const RequestSpec &spec() const { return spec_; }
+
+    /** QoS tier. */
+    const QosTier &tier() const { return tier_; }
+
+    /** Lifecycle phase. */
+    RequestPhase phase() const { return phase_; }
+
+    /** Prompt tokens whose KV is already computed. */
+    int prefillDone() const { return prefillDone_; }
+
+    /** Prompt tokens still to prefill. */
+    int prefillRemaining() const { return spec_.promptTokens - prefillDone_; }
+
+    /** Output tokens emitted so far. */
+    int decodeDone() const { return decodeDone_; }
+
+    /** Output tokens still to generate. */
+    int decodeRemaining() const { return spec_.decodeTokens - decodeDone_; }
+
+    /** Total KV context currently attributable to this request. */
+    std::int64_t
+    contextLength() const
+    {
+        return prefillDone_ + decodeDone_;
+    }
+
+    /** True once the request is in the relegated queue (§3.4). */
+    bool relegated() const { return relegated_; }
+
+    /** Mark or clear relegation. */
+    void setRelegated(bool r);
+
+    /**
+     * Historic conservative decode-token estimate for priority
+     * computation (mean + 2 sigma of the app's decode lengths).
+     */
+    double conservativeDecodeTokens() const;
+
+    /** Deadline of the first output token (Eq. 1 / Eq. 3). */
+    SimTime firstTokenDeadline() const;
+
+    /**
+     * Deadline of the *next* output token to be emitted (Eq. 2).
+     * kTimeNever for non-interactive tiers.
+     */
+    SimTime nextTokenDeadline() const;
+
+    /** Completion deadline (Eq. 3; final-token deadline if interactive). */
+    SimTime completionDeadline() const;
+
+    /**
+     * The deadline hybrid prioritization interpolates from: TTFT
+     * deadline for interactive requests, TTLT for non-interactive
+     * (Eqs. 4-5 use arrival + SLO).
+     */
+    SimTime urgencyDeadline() const;
+
+    /**
+     * Record @p tokens of prefill progress at time @p now.
+     *
+     * Transitions WaitingPrefill -> Prefilling, and on the final
+     * chunk -> Decoding with the first output token emitted (chunked
+     * prefill produces the first token in the same iteration the
+     * last chunk runs).
+     */
+    void applyPrefill(int tokens, SimTime now);
+
+    /**
+     * Record one decode token emitted at time @p now.
+     *
+     * Transitions to Finished after the last token.
+     */
+    void applyDecodeToken(SimTime now);
+
+    /**
+     * Initialise this request as a decode-stage continuation in a
+     * disaggregated deployment: the prefill node already computed
+     * the full prompt KV and emitted the first token at
+     * @p first_token_time; this instance resumes from token 2.
+     * Only valid before any progress was recorded. Transitions
+     * straight to Decoding (or Finished for single-token requests).
+     */
+    void primeForDecode(SimTime first_token_time);
+
+    /**
+     * Reset all prefill/decode progress after the KV cache was
+     * preempted (vLLM-style recompute). The request returns to
+     * WaitingPrefill; metrics of emitted tokens are preserved in the
+     * record only if it had none (a decoding request cannot be
+     * preempted by policy, so this applies to prefill-phase requests
+     * whose first token has not been produced).
+     */
+    void resetAfterKvPreemption();
+
+    /** Cached priority key used by schedulers' ordered queues. */
+    double cachedPriority = 0.0;
+
+    /** Final record; meaningful once phase() == Finished. */
+    const RequestRecord &record() const { return record_; }
+
+  private:
+    /** True if token @p token_index would be late when emitted now. */
+    bool nextTokenCheckMissed(SimTime now, int token_index) const;
+
+    RequestSpec spec_;
+    QosTier tier_;
+    AppStats appStats_;
+
+    RequestPhase phase_ = RequestPhase::WaitingPrefill;
+    int prefillDone_ = 0;
+    int decodeDone_ = 0;
+    bool relegated_ = false;
+    SimTime lastTokenTime_ = kTimeNever;
+
+    RequestRecord record_;
+};
+
+} // namespace qoserve
+
+#endif // QOSERVE_SCHED_REQUEST_HH

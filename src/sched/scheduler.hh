@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Abstract iteration-level scheduler interface.
+ *
+ * A scheduler owns the replica's queues: it admits arriving requests,
+ * forms one batch per engine iteration, and updates its queues when
+ * the iteration completes. The replica drives timing (via the event
+ * queue and the execution model) and owns request lifetimes; the
+ * scheduler sees raw pointers that remain valid until it surrenders
+ * them through completion.
+ */
+
+#ifndef QOSERVE_SCHED_SCHEDULER_HH
+#define QOSERVE_SCHED_SCHEDULER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "kvcache/block_manager.hh"
+#include "model/perf_model.hh"
+#include "sched/batch.hh"
+
+namespace qoserve {
+
+class LatencyPredictor;
+
+/**
+ * Shared services a scheduler needs from its replica.
+ */
+struct SchedulerEnv
+{
+    /** KV-cache allocator; never null. */
+    BlockManager *kv = nullptr;
+
+    /** Execution model, for coarse processing-time estimates. */
+    const PerfModel *perf = nullptr;
+
+    /** Batch-latency predictor; may be null for fixed-chunk policies. */
+    const LatencyPredictor *predictor = nullptr;
+};
+
+/**
+ * Aggregate counters a scheduler exposes for diagnostics and benches.
+ */
+struct SchedulerStats
+{
+    std::uint64_t batchesFormed = 0;
+    std::uint64_t prefillTokensScheduled = 0;
+    std::uint64_t decodeTokensScheduled = 0;
+    std::uint64_t relegations = 0;
+    std::uint64_t kvPreemptions = 0;
+
+    /** Mean prefill chunk tokens per formed batch. */
+    double
+    averageChunkTokens() const
+    {
+        return batchesFormed == 0
+                   ? 0.0
+                   : static_cast<double>(prefillTokensScheduled) /
+                         static_cast<double>(batchesFormed);
+    }
+};
+
+/**
+ * Iteration-level scheduler.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Admit a newly arrived request into the prefill queue. */
+    virtual void enqueue(Request *req, SimTime now) = 0;
+
+    /**
+     * Form the next batch.
+     *
+     * Called only while no batch is in flight. May return an empty
+     * batch when nothing can run (e.g. no requests).
+     */
+    virtual Batch formBatch(SimTime now) = 0;
+
+    /**
+     * Apply the effects of a completed batch: advance request
+     * progress, migrate prefill-complete requests to the decode
+     * queue, and drop finished requests from all queues.
+     *
+     * @param batch The batch returned by the matching formBatch().
+     * @param end Completion time of the iteration.
+     */
+    virtual void onBatchComplete(const Batch &batch, SimTime end) = 0;
+
+    /** True if any request is waiting or in flight. */
+    virtual bool hasWork() const = 0;
+
+    /** Requests currently in decode phase. */
+    virtual std::size_t decodeQueueSize() const = 0;
+
+    /** Requests waiting for (more) prefill. */
+    virtual std::size_t prefillQueueSize() const = 0;
+
+    /** Prompt tokens still waiting in the prefill queue. */
+    virtual std::int64_t pendingPrefillTokens() const = 0;
+
+    /** Diagnostic counters. */
+    virtual const SchedulerStats &stats() const = 0;
+
+    /** Human-readable policy name for reports. */
+    virtual const char *name() const = 0;
+};
+
+/** Factory used by replicas to instantiate a scheduler per replica. */
+using SchedulerFactory =
+    std::function<std::unique_ptr<Scheduler>(const SchedulerEnv &)>;
+
+} // namespace qoserve
+
+#endif // QOSERVE_SCHED_SCHEDULER_HH

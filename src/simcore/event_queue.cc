@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Discrete-event queue implementation.
+ */
+
+#include "simcore/event_queue.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+EventId
+EventQueue::schedule(SimTime when, EventFn fn)
+{
+    QOSERVE_ASSERT(when >= now_,
+                   "event scheduled in the past: ", when, " < ", now_);
+    EventId id = nextId_++;
+    heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+    ++pendingCount_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(SimDuration delay, EventFn fn)
+{
+    QOSERVE_ASSERT(delay >= 0.0, "negative delay: ", delay);
+    return schedule(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == 0 || id >= nextId_)
+        return false;
+    if (isCancelled(id))
+        return false;
+    cancelled_.push_back(id);
+    if (pendingCount_ > 0)
+        --pendingCount_;
+    return true;
+}
+
+bool
+EventQueue::isCancelled(EventId id) const
+{
+    return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+           cancelled_.end();
+}
+
+std::uint64_t
+EventQueue::run(SimTime until)
+{
+    std::uint64_t fired = 0;
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        if (top.when > until)
+            break;
+        if (isCancelled(top.id)) {
+            // Lazily drop cancelled events and compact the tombstone
+            // list; each tombstone is consumed exactly once.
+            cancelled_.erase(std::find(cancelled_.begin(),
+                                       cancelled_.end(), top.id));
+            heap_.pop();
+            continue;
+        }
+        Entry e = std::move(const_cast<Entry &>(top));
+        heap_.pop();
+        --pendingCount_;
+        now_ = e.when;
+        e.fn();
+        ++fired;
+    }
+    return fired;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        if (isCancelled(top.id)) {
+            cancelled_.erase(std::find(cancelled_.begin(),
+                                       cancelled_.end(), top.id));
+            heap_.pop();
+            continue;
+        }
+        Entry e = std::move(const_cast<Entry &>(top));
+        heap_.pop();
+        --pendingCount_;
+        now_ = e.when;
+        e.fn();
+        return true;
+    }
+    return false;
+}
+
+} // namespace qoserve

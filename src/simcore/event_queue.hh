@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The kernel is a time-ordered queue of callbacks. Components schedule
+ * work at future simulated times; run() drains events in timestamp
+ * order, advancing the clock to each event as it fires. Ties are broken
+ * by insertion order so simulations are fully deterministic.
+ */
+
+#ifndef QOSERVE_SIMCORE_EVENT_QUEUE_HH
+#define QOSERVE_SIMCORE_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "simcore/time.hh"
+
+namespace qoserve {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/** Handle that can be used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * A deterministic discrete-event queue with a simulation clock.
+ *
+ * Typical use:
+ * @code
+ *   EventQueue eq;
+ *   eq.schedule(0.5, [&]{ ... });
+ *   eq.run();
+ * @endcode
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @param when Absolute simulation time; must not be in the past.
+     * @param fn Callback to execute.
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(SimTime when, EventFn fn);
+
+    /** Schedule @p fn to run @p delay seconds from now. */
+    EventId scheduleAfter(SimDuration delay, EventFn fn);
+
+    /**
+     * Cancel a pending event.
+     *
+     * Cancelling an event that already fired (or was already
+     * cancelled) is a harmless no-op.
+     *
+     * @param id Handle returned by schedule().
+     * @return True if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingEvents() const { return pendingCount_; }
+
+    /** True if no events remain. */
+    bool empty() const { return pendingCount_ == 0; }
+
+    /**
+     * Run events until the queue empties or the clock would pass
+     * @p until.
+     *
+     * Events scheduled exactly at @p until still fire. The clock is
+     * left at the last fired event (or at @p until when finite and
+     * reached).
+     *
+     * @param until Stop once the next event is later than this.
+     * @return Number of events executed.
+     */
+    std::uint64_t run(SimTime until = kTimeNever);
+
+    /**
+     * Fire exactly one event, if any.
+     *
+     * @return True if an event fired.
+     */
+    bool step();
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        std::uint64_t seq;
+        EventId id;
+        EventFn fn;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    using Heap = std::priority_queue<Entry, std::vector<Entry>,
+                                     std::greater<Entry>>;
+
+    bool isCancelled(EventId id) const;
+
+    Heap heap_;
+    std::vector<EventId> cancelled_;
+    SimTime now_ = 0.0;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::size_t pendingCount_ = 0;
+};
+
+} // namespace qoserve
+
+#endif // QOSERVE_SIMCORE_EVENT_QUEUE_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Simulation time representation.
+ *
+ * All simulation timestamps and durations are kept in double-precision
+ * seconds. LLM serving operates on the scale of milliseconds to hours,
+ * which a double represents with sub-nanosecond resolution, and seconds
+ * keep every formula in the paper (deadlines, SLOs, slack) directly
+ * readable.
+ */
+
+#ifndef QOSERVE_SIMCORE_TIME_HH
+#define QOSERVE_SIMCORE_TIME_HH
+
+#include <limits>
+
+namespace qoserve {
+
+/** A point in simulated time, in seconds since simulation start. */
+using SimTime = double;
+
+/** A span of simulated time, in seconds. */
+using SimDuration = double;
+
+/** Sentinel for "no deadline" / "never". */
+inline constexpr SimTime kTimeNever =
+    std::numeric_limits<double>::infinity();
+
+/** Convert milliseconds to SimDuration. */
+constexpr SimDuration
+fromMillis(double ms)
+{
+    return ms * 1e-3;
+}
+
+/** Convert a SimDuration to milliseconds. */
+constexpr double
+toMillis(SimDuration t)
+{
+    return t * 1e3;
+}
+
+} // namespace qoserve
+
+#endif // QOSERVE_SIMCORE_TIME_HH

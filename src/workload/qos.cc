@@ -1,0 +1,84 @@
+/**
+ * @file
+ * QoS tier definitions and deadline arithmetic.
+ */
+
+#include "workload/qos.hh"
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+SimTime
+QosTier::firstTokenDeadline(SimTime arrival) const
+{
+    if (interactive)
+        return arrival + ttftSlo;
+    // Non-interactive requests only promise completion; the first
+    // token shares the completion deadline.
+    return arrival + ttltSlo;
+}
+
+SimTime
+QosTier::tokenDeadline(SimTime arrival, int n) const
+{
+    QOSERVE_ASSERT(n >= 1, "token index must be >= 1");
+    if (!interactive)
+        return kTimeNever;
+    return arrival + ttftSlo + (n - 1) * tbtSlo;
+}
+
+SimTime
+QosTier::completionDeadline(SimTime arrival, int decode_tokens) const
+{
+    if (interactive)
+        return tokenDeadline(arrival, decode_tokens < 1 ? 1
+                                                        : decode_tokens);
+    return arrival + ttltSlo;
+}
+
+QosTier
+interactiveTier(int id, const std::string &name, SimDuration ttft_slo,
+                SimDuration tbt_slo)
+{
+    QosTier t;
+    t.id = id;
+    t.name = name;
+    t.interactive = true;
+    t.ttftSlo = ttft_slo;
+    t.tbtSlo = tbt_slo;
+    return t;
+}
+
+QosTier
+batchTier(int id, const std::string &name, SimDuration ttlt_slo)
+{
+    QosTier t;
+    t.id = id;
+    t.name = name;
+    t.interactive = false;
+    t.ttltSlo = ttlt_slo;
+    return t;
+}
+
+TierTable
+paperTierTable()
+{
+    return {
+        interactiveTier(0, "Q1", 6.0, fromMillis(50.0)),
+        batchTier(1, "Q2", 600.0),
+        batchTier(2, "Q3", 1800.0),
+    };
+}
+
+TierTable
+strictTierTable()
+{
+    return {
+        interactiveTier(0, "Q1", 3.0, fromMillis(50.0)),
+        interactiveTier(1, "Q2", 6.0, fromMillis(50.0)),
+        batchTier(2, "Q3", 1000.0),
+    };
+}
+
+} // namespace qoserve

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Trace synthesis implementation.
+ */
+
+#include "workload/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+TraceBuilder::TraceBuilder()
+    : dataset_(azureCode()), tiers_(paperTierTable())
+{
+}
+
+TraceBuilder &
+TraceBuilder::dataset(Dataset d)
+{
+    dataset_ = std::move(d);
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::tiers(TierTable t)
+{
+    QOSERVE_ASSERT(!t.empty(), "tier table must not be empty");
+    tiers_ = std::move(t);
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::tierMix(std::vector<double> mix)
+{
+    tierMix_ = std::move(mix);
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::lowPriorityFraction(double f)
+{
+    QOSERVE_ASSERT(f >= 0.0 && f <= 1.0, "fraction out of range");
+    lowPriorityFraction_ = f;
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::seed(std::uint64_t s)
+{
+    seed_ = s;
+    return *this;
+}
+
+Trace
+TraceBuilder::build(const ArrivalProcess &arrivals,
+                    SimDuration duration) const
+{
+    return generate(arrivals, duration,
+                    std::numeric_limits<std::size_t>::max());
+}
+
+Trace
+TraceBuilder::buildCount(const ArrivalProcess &arrivals,
+                         std::size_t count) const
+{
+    return generate(arrivals, kTimeNever, count);
+}
+
+Trace
+TraceBuilder::generate(const ArrivalProcess &arrivals,
+                       SimDuration duration, std::size_t max_count) const
+{
+    std::vector<double> mix = tierMix_;
+    if (mix.empty())
+        mix.assign(tiers_.size(), 1.0 / tiers_.size());
+    if (mix.size() != tiers_.size())
+        QOSERVE_FATAL("tier mix size (", mix.size(),
+                      ") != tier count (", tiers_.size(), ")");
+    double total = std::accumulate(mix.begin(), mix.end(), 0.0);
+    if (std::abs(total - 1.0) > 1e-6)
+        QOSERVE_FATAL("tier mix must sum to 1, got ", total);
+
+    Rng root(seed_);
+    Rng arrival_rng = root.split("arrivals");
+    Rng length_rng = root.split("lengths");
+    Rng tier_rng = root.split("tiers");
+    Rng prio_rng = root.split("priority");
+
+    Trace trace;
+    trace.tiers = tiers_;
+    trace.averageQps = arrivals.averageQps();
+
+    SimTime t = 0.0;
+    while (trace.requests.size() < max_count) {
+        t = arrivals.nextArrival(t, arrival_rng);
+        if (t > duration)
+            break;
+
+        RequestSpec spec;
+        spec.id = trace.requests.size();
+        spec.arrival = t;
+        spec.promptTokens = dataset_.prompt.sample(length_rng);
+        spec.decodeTokens = dataset_.decode.sample(length_rng);
+
+        double u = tier_rng.uniform();
+        double acc = 0.0;
+        spec.tierId = static_cast<int>(tiers_.size()) - 1;
+        for (std::size_t i = 0; i < mix.size(); ++i) {
+            acc += mix[i];
+            if (u < acc) {
+                spec.tierId = static_cast<int>(i);
+                break;
+            }
+        }
+        // One application per tier: the paper assigns each third of
+        // the dataset to a distinct application with its own SLO.
+        spec.appId = spec.tierId;
+        spec.important = !prio_rng.bernoulli(lowPriorityFraction_);
+
+        trace.requests.push_back(spec);
+    }
+
+    trace.appStats = computeAppStats(trace.requests);
+    return trace;
+}
+
+std::vector<AppStats>
+computeAppStats(const std::vector<RequestSpec> &requests)
+{
+    int max_app = -1;
+    for (const auto &r : requests)
+        max_app = std::max(max_app, r.appId);
+
+    std::vector<AppStats> stats(max_app + 1);
+    std::vector<double> sum(max_app + 1, 0.0);
+    std::vector<double> sumsq(max_app + 1, 0.0);
+    std::vector<std::int64_t> count(max_app + 1, 0);
+
+    for (const auto &r : requests) {
+        sum[r.appId] += r.decodeTokens;
+        sumsq[r.appId] +=
+            static_cast<double>(r.decodeTokens) * r.decodeTokens;
+        ++count[r.appId];
+    }
+
+    for (int a = 0; a <= max_app; ++a) {
+        if (count[a] == 0)
+            continue;
+        double n = static_cast<double>(count[a]);
+        double mean = sum[a] / n;
+        double var = std::max(0.0, sumsq[a] / n - mean * mean);
+        stats[a].meanDecode = mean;
+        stats[a].stddevDecode = std::sqrt(var);
+    }
+    return stats;
+}
+
+} // namespace qoserve

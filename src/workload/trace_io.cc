@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Trace CSV serialization implementation.
+ */
+
+#include "workload/trace_io.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+namespace {
+
+const char *kHeader =
+    "id,arrival,prompt_tokens,decode_tokens,tier_id,important,app_id";
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream iss(line);
+    while (std::getline(iss, field, ','))
+        fields.push_back(field);
+    return fields;
+}
+
+} // namespace
+
+void
+writeTraceCsv(const Trace &trace, std::ostream &out)
+{
+    out << kHeader << '\n';
+    // Full round-trip precision for timestamps.
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
+    for (const RequestSpec &r : trace.requests) {
+        out << r.id << ',' << r.arrival << ',' << r.promptTokens << ','
+            << r.decodeTokens << ',' << r.tierId << ','
+            << (r.important ? 1 : 0) << ',' << r.appId << '\n';
+    }
+}
+
+void
+writeTraceCsvFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        QOSERVE_FATAL("cannot open trace file for writing: ", path);
+    writeTraceCsv(trace, out);
+    if (!out)
+        QOSERVE_FATAL("error writing trace file: ", path);
+}
+
+Trace
+readTraceCsv(std::istream &in, TierTable tiers)
+{
+    QOSERVE_ASSERT(!tiers.empty(), "tier table required");
+
+    std::string line;
+    if (!std::getline(in, line))
+        QOSERVE_FATAL("empty trace file");
+    // Tolerate trailing carriage returns from foreign tools.
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    if (line != kHeader)
+        QOSERVE_FATAL("bad trace header: expected '", kHeader, "', got '",
+                      line, "'");
+
+    Trace trace;
+    trace.tiers = std::move(tiers);
+
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        auto fields = splitCsvLine(line);
+        if (fields.size() != 7)
+            QOSERVE_FATAL("trace line ", line_no, ": expected 7 fields, got ",
+                          fields.size());
+        RequestSpec spec;
+        try {
+            spec.id = std::stoull(fields[0]);
+            spec.arrival = std::stod(fields[1]);
+            spec.promptTokens = std::stoi(fields[2]);
+            spec.decodeTokens = std::stoi(fields[3]);
+            spec.tierId = std::stoi(fields[4]);
+            spec.important = std::stoi(fields[5]) != 0;
+            spec.appId = std::stoi(fields[6]);
+        } catch (const std::exception &e) {
+            QOSERVE_FATAL("trace line ", line_no, ": parse error: ",
+                          e.what());
+        }
+        if (spec.promptTokens <= 0 || spec.decodeTokens <= 0)
+            QOSERVE_FATAL("trace line ", line_no,
+                          ": token counts must be positive");
+        if (spec.tierId < 0 ||
+            spec.tierId >= static_cast<int>(trace.tiers.size()))
+            QOSERVE_FATAL("trace line ", line_no, ": tier ", spec.tierId,
+                          " out of range");
+        if (spec.arrival < 0.0)
+            QOSERVE_FATAL("trace line ", line_no, ": negative arrival");
+        trace.requests.push_back(spec);
+    }
+
+    std::sort(trace.requests.begin(), trace.requests.end(),
+              [](const RequestSpec &a, const RequestSpec &b) {
+                  if (a.arrival != b.arrival)
+                      return a.arrival < b.arrival;
+                  return a.id < b.id;
+              });
+    trace.appStats = computeAppStats(trace.requests);
+    if (!trace.requests.empty() && trace.requests.back().arrival > 0.0) {
+        trace.averageQps = static_cast<double>(trace.requests.size()) /
+                           trace.requests.back().arrival;
+    }
+    return trace;
+}
+
+Trace
+readTraceCsvFile(const std::string &path, TierTable tiers)
+{
+    std::ifstream in(path);
+    if (!in)
+        QOSERVE_FATAL("cannot open trace file: ", path);
+    return readTraceCsv(in, std::move(tiers));
+}
+
+} // namespace qoserve

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Trace serialization.
+ *
+ * Traces round-trip through a simple CSV format so experiments can
+ * be frozen, shared and replayed, and so externally-generated traces
+ * (e.g. resampled production logs) can be fed to the simulator.
+ *
+ * Format (header line required):
+ *   id,arrival,prompt_tokens,decode_tokens,tier_id,important,app_id
+ *
+ * Tier tables are not embedded; the loader takes the TierTable the
+ * tier_id column refers to.
+ */
+
+#ifndef QOSERVE_WORKLOAD_TRACE_IO_HH
+#define QOSERVE_WORKLOAD_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace qoserve {
+
+/** Write @p trace as CSV to @p out. */
+void writeTraceCsv(const Trace &trace, std::ostream &out);
+
+/** Write @p trace as CSV to the file at @p path (fatal on error). */
+void writeTraceCsvFile(const Trace &trace, const std::string &path);
+
+/**
+ * Parse a CSV trace.
+ *
+ * Rows are re-sorted by arrival time; app statistics are recomputed
+ * from the parsed rows. Malformed input is a fatal (user) error.
+ *
+ * @param in Stream positioned at the header line.
+ * @param tiers Tier table tier_id refers to.
+ */
+Trace readTraceCsv(std::istream &in, TierTable tiers);
+
+/** Parse a CSV trace from the file at @p path (fatal on error). */
+Trace readTraceCsvFile(const std::string &path, TierTable tiers);
+
+} // namespace qoserve
+
+#endif // QOSERVE_WORKLOAD_TRACE_IO_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for admission control and its integration with the cluster.
+ */
+
+#include "cluster/admission.hh"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "sched/baseline_schedulers.hh"
+
+namespace qoserve {
+namespace {
+
+/** Minimal scheduler stub exposing a configurable backlog. */
+class BacklogStub : public Scheduler
+{
+  public:
+    explicit BacklogStub(std::int64_t backlog) : backlog_(backlog) {}
+
+    void enqueue(Request *, SimTime) override {}
+    Batch formBatch(SimTime) override { return {}; }
+    void onBatchComplete(const Batch &, SimTime) override {}
+    bool hasWork() const override { return false; }
+    std::size_t decodeQueueSize() const override { return 0; }
+    std::size_t prefillQueueSize() const override { return 0; }
+    std::int64_t pendingPrefillTokens() const override { return backlog_; }
+    const SchedulerStats &stats() const override { return stats_; }
+    const char *name() const override { return "stub"; }
+
+  private:
+    std::int64_t backlog_;
+    SchedulerStats stats_;
+};
+
+RequestSpec
+spec(std::uint64_t id)
+{
+    RequestSpec s;
+    s.id = id;
+    s.promptTokens = 100;
+    s.decodeTokens = 10;
+    return s;
+}
+
+TEST(AdmissionController, NoneAdmitsEverything)
+{
+    AdmissionController ac({});
+    BacklogStub target(1 << 30);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(ac.admit(spec(i), i * 0.001, target));
+    EXPECT_EQ(ac.admitted(), 100u);
+    EXPECT_EQ(ac.rejected(), 0u);
+}
+
+TEST(AdmissionController, RateLimitEnforcesSustainedRate)
+{
+    AdmissionController::Config cfg;
+    cfg.policy = AdmissionPolicy::RateLimit;
+    cfg.rateLimitQps = 10.0;
+    cfg.burstSize = 1.0;
+    AdmissionController ac(cfg);
+    BacklogStub target(0);
+
+    // 100 arrivals over 5 s at 20 QPS: about half must be rejected.
+    int admitted = 0;
+    for (int i = 0; i < 100; ++i)
+        admitted += ac.admit(spec(i), i * 0.05, target);
+    EXPECT_NEAR(admitted, 50, 3);
+}
+
+TEST(AdmissionController, BurstBucketAbsorbsSpikes)
+{
+    AdmissionController::Config cfg;
+    cfg.policy = AdmissionPolicy::RateLimit;
+    cfg.rateLimitQps = 1.0;
+    cfg.burstSize = 8.0;
+    AdmissionController ac(cfg);
+    BacklogStub target(0);
+
+    // Eight simultaneous arrivals fit the bucket; the ninth does not.
+    int admitted = 0;
+    for (int i = 0; i < 9; ++i)
+        admitted += ac.admit(spec(i), 1.0, target);
+    EXPECT_EQ(admitted, 8);
+
+    // After 4 idle seconds, ~4 tokens refill.
+    admitted = 0;
+    for (int i = 0; i < 9; ++i)
+        admitted += ac.admit(spec(100 + i), 5.0, target);
+    EXPECT_EQ(admitted, 4);
+}
+
+TEST(AdmissionController, LoadShedUsesBacklogThreshold)
+{
+    AdmissionController::Config cfg;
+    cfg.policy = AdmissionPolicy::LoadShed;
+    cfg.maxBacklogTokens = 1000;
+    AdmissionController ac(cfg);
+
+    BacklogStub light(500), heavy(2000);
+    EXPECT_TRUE(ac.admit(spec(1), 0.0, light));
+    EXPECT_FALSE(ac.admit(spec(2), 0.0, heavy));
+    EXPECT_EQ(ac.rejected(), 1u);
+}
+
+TEST(ClusterAdmission, RejectedRequestsBecomeViolationRecords)
+{
+    Trace trace = TraceBuilder().seed(83).buildCount(
+        PoissonArrivals(10.0), 300);
+
+    ClusterSim::Config cc;
+    cc.replica.hw = llama3_8b_a100_tp1();
+    cc.admission.policy = AdmissionPolicy::RateLimit;
+    cc.admission.rateLimitQps = 5.0;
+    cc.admission.burstSize = 4.0;
+
+    ClusterSim sim(cc, trace);
+    sim.addReplicaGroup(1, [](const SchedulerEnv &env) {
+        return std::make_unique<FcfsScheduler>(env);
+    });
+    const MetricsCollector &metrics = sim.run();
+
+    // Every request accounted for, rejected ones flagged.
+    EXPECT_EQ(metrics.size(), 300u);
+    RunSummary s = summarize(metrics);
+    EXPECT_GT(s.rejectedFraction, 0.3);
+    EXPECT_LT(s.rejectedFraction, 0.7);
+    // A rejected request is necessarily an SLO violation.
+    EXPECT_GE(s.violationRate, s.rejectedFraction);
+    EXPECT_NEAR(static_cast<double>(sim.admission().rejected()) / 300.0,
+                s.rejectedFraction, 1e-9);
+}
+
+TEST(ClusterAdmission, DefaultAdmitsEverything)
+{
+    Trace trace =
+        TraceBuilder().seed(89).buildCount(PoissonArrivals(2.0), 100);
+    ClusterSim::Config cc;
+    cc.replica.hw = llama3_8b_a100_tp1();
+    ClusterSim sim(cc, trace);
+    sim.addReplicaGroup(1, [](const SchedulerEnv &env) {
+        return std::make_unique<FcfsScheduler>(env);
+    });
+    RunSummary s = summarize(sim.run());
+    EXPECT_EQ(s.rejectedFraction, 0.0);
+}
+
+} // namespace
+} // namespace qoserve

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the goodput search harness.
+ */
+
+#include "cluster/capacity.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qoserve {
+namespace {
+
+/** Synthetic runner: violations jump past a known capacity. */
+LoadRunner
+stepRunner(double capacity, std::vector<double> *probes = nullptr)
+{
+    return [capacity, probes](double qps) {
+        if (probes != nullptr)
+            probes->push_back(qps);
+        RunSummary s;
+        s.count = 1000;
+        s.violationRate = qps <= capacity ? 0.0 : 0.5;
+        return s;
+    };
+}
+
+TEST(GoodputCriteria, ThresholdRespected)
+{
+    GoodputCriteria criteria;
+    RunSummary ok;
+    ok.violationRate = 0.01;
+    RunSummary bad;
+    bad.violationRate = 0.011;
+    EXPECT_TRUE(meetsGoodputCriteria(ok, criteria));
+    EXPECT_FALSE(meetsGoodputCriteria(bad, criteria));
+}
+
+TEST(MeasureMaxGoodput, FindsStepCapacity)
+{
+    double goodput = measureMaxGoodput(stepRunner(3.7));
+    EXPECT_NEAR(goodput, 3.7, 0.125);
+    EXPECT_LE(goodput, 3.7);
+}
+
+TEST(MeasureMaxGoodput, ZeroWhenNothingPasses)
+{
+    EXPECT_EQ(measureMaxGoodput(stepRunner(0.1)), 0.0);
+}
+
+TEST(MeasureMaxGoodput, CapsAtMaxQps)
+{
+    GoodputSearch search;
+    search.maxQps = 8.0;
+    double goodput = measureMaxGoodput(stepRunner(1000.0), {}, search);
+    EXPECT_GE(goodput, 8.0);
+}
+
+TEST(MeasureMaxGoodput, ResolutionControlsProbeCount)
+{
+    std::vector<double> coarse_probes, fine_probes;
+    GoodputSearch coarse;
+    coarse.resolutionQps = 1.0;
+    GoodputSearch fine;
+    fine.resolutionQps = 0.0625;
+
+    measureMaxGoodput(stepRunner(5.3, &coarse_probes), {}, coarse);
+    measureMaxGoodput(stepRunner(5.3, &fine_probes), {}, fine);
+    EXPECT_LT(coarse_probes.size(), fine_probes.size());
+}
+
+TEST(MeasureMaxGoodput, ResultIsAlwaysFeasible)
+{
+    for (double cap : {0.6, 1.0, 2.9, 7.45, 23.0}) {
+        double goodput = measureMaxGoodput(stepRunner(cap));
+        EXPECT_LE(goodput, cap) << "capacity " << cap;
+        EXPECT_GT(goodput, cap - 0.3) << "capacity " << cap;
+    }
+}
+
+TEST(ReplicasForLoad, CeilingDivision)
+{
+    EXPECT_EQ(replicasForLoad(35.0, 5.0), 7);
+    EXPECT_EQ(replicasForLoad(35.0, 4.9), 8);
+    EXPECT_EQ(replicasForLoad(1.0, 10.0), 1);
+}
+
+} // namespace
+} // namespace qoserve

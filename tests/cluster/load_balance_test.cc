@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for replica-group load-balancing policies.
+ */
+
+#include "cluster/cluster.hh"
+
+#include <gtest/gtest.h>
+
+#include "sched/baseline_schedulers.hh"
+
+namespace qoserve {
+namespace {
+
+SchedulerFactory
+fcfsFactory()
+{
+    return [](const SchedulerEnv &env) {
+        return std::make_unique<FcfsScheduler>(env);
+    };
+}
+
+ClusterSim::Config
+defaultConfig()
+{
+    ClusterSim::Config cfg;
+    cfg.replica.hw = llama3_8b_a100_tp1();
+    return cfg;
+}
+
+TEST(LoadBalance, NamesAreStable)
+{
+    EXPECT_STREQ(loadBalanceName(LoadBalancePolicy::RoundRobin),
+                 "round-robin");
+    EXPECT_STREQ(loadBalanceName(LoadBalancePolicy::LeastLoaded),
+                 "least-loaded");
+    EXPECT_STREQ(loadBalanceName(LoadBalancePolicy::ShortestQueue),
+                 "shortest-queue");
+}
+
+TEST(LoadBalance, RoundRobinDistributesExactlyEvenly)
+{
+    // With simultaneous arrivals, round-robin is the only policy
+    // with a deterministic 1/N split by construction.
+    Trace trace;
+    trace.tiers = paperTierTable();
+    for (int i = 0; i < 40; ++i) {
+        RequestSpec spec;
+        spec.id = i;
+        spec.arrival = 0.001 * i;
+        spec.promptTokens = 100;
+        spec.decodeTokens = 2;
+        spec.tierId = 0;
+        trace.requests.push_back(spec);
+    }
+    trace.appStats = computeAppStats(trace.requests);
+
+    ClusterSim sim(defaultConfig(), trace);
+    sim.addReplicaGroup(4, fcfsFactory(), LoadBalancePolicy::RoundRobin);
+    sim.run();
+
+    // All replicas saw the same share of prefill work.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(
+            sim.replica(i).scheduler().stats().prefillTokensScheduled,
+            10u * 100u)
+            << "replica " << i;
+    }
+}
+
+TEST(LoadBalance, ShortestQueueAvoidsTheBusyReplica)
+{
+    // One giant prompt lands first; with shortest-queue balancing,
+    // the following small requests must all dodge that replica.
+    Trace trace;
+    trace.tiers = paperTierTable();
+    RequestSpec big;
+    big.id = 0;
+    big.arrival = 0.0;
+    big.promptTokens = 8000;
+    big.decodeTokens = 2;
+    big.tierId = 2;
+    trace.requests.push_back(big);
+    for (int i = 1; i <= 8; ++i) {
+        RequestSpec spec;
+        spec.id = i;
+        spec.arrival = 0.01 * i;
+        spec.promptTokens = 100;
+        spec.decodeTokens = 2;
+        spec.tierId = 0;
+        trace.requests.push_back(spec);
+    }
+    trace.appStats = computeAppStats(trace.requests);
+
+    ClusterSim sim(defaultConfig(), trace);
+    sim.addReplicaGroup(2, fcfsFactory(),
+                        LoadBalancePolicy::ShortestQueue);
+    sim.run();
+
+    // The replica that got the big prompt processed ~8000 tokens;
+    // the other got all eight small requests (~800).
+    auto t0 = sim.replica(0).scheduler().stats().prefillTokensScheduled;
+    auto t1 = sim.replica(1).scheduler().stats().prefillTokensScheduled;
+    EXPECT_EQ(t0 + t1, 8800u);
+    EXPECT_EQ(std::min(t0, t1), 800u);
+}
+
+TEST(LoadBalance, LeastLoadedCountsLiveRequests)
+{
+    // Same setup; least-loaded balances by request count instead, so
+    // the small requests alternate between replicas once both hold
+    // one live request.
+    Trace trace;
+    trace.tiers = paperTierTable();
+    for (int i = 0; i < 9; ++i) {
+        RequestSpec spec;
+        spec.id = i;
+        spec.arrival = 0.001 * i;
+        spec.promptTokens = 100;
+        spec.decodeTokens = 50; // long decodes keep requests live
+        spec.tierId = 0;
+        trace.requests.push_back(spec);
+    }
+    trace.appStats = computeAppStats(trace.requests);
+
+    ClusterSim sim(defaultConfig(), trace);
+    sim.addReplicaGroup(3, fcfsFactory(), LoadBalancePolicy::LeastLoaded);
+    sim.run();
+
+    // 9 near-simultaneous arrivals over 3 replicas: 3 each.
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(
+            sim.replica(i).scheduler().stats().prefillTokensScheduled,
+            3u * 100u)
+            << "replica " << i;
+    }
+}
+
+TEST(LoadBalance, AllPoliciesCompleteTheSameTrace)
+{
+    Trace trace = TraceBuilder().seed(101).buildCount(
+        PoissonArrivals(6.0), 300);
+    for (LoadBalancePolicy lb :
+         {LoadBalancePolicy::RoundRobin, LoadBalancePolicy::LeastLoaded,
+          LoadBalancePolicy::ShortestQueue}) {
+        ClusterSim sim(defaultConfig(), trace);
+        sim.addReplicaGroup(3, fcfsFactory(), lb);
+        EXPECT_EQ(sim.run().size(), 300u) << loadBalanceName(lb);
+    }
+}
+
+} // namespace
+} // namespace qoserve

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the replica simulation driver.
+ */
+
+#include "cluster/replica.hh"
+
+#include <gtest/gtest.h>
+
+#include "metrics/slo_report.hh"
+#include "sched/baseline_schedulers.hh"
+
+namespace qoserve {
+namespace {
+
+RequestSpec
+makeSpec(std::uint64_t id, SimTime arrival, int prompt, int decode,
+         int tier)
+{
+    RequestSpec spec;
+    spec.id = id;
+    spec.arrival = arrival;
+    spec.promptTokens = prompt;
+    spec.decodeTokens = decode;
+    spec.tierId = tier;
+    spec.appId = tier;
+    return spec;
+}
+
+class ReplicaTest : public ::testing::Test
+{
+  protected:
+    ReplicaTest()
+    {
+        cfg_.hw = llama3_8b_a100_tp1();
+        factory_ = [](const SchedulerEnv &env) {
+            return std::make_unique<FcfsScheduler>(env);
+        };
+    }
+
+    std::unique_ptr<Replica>
+    makeReplica()
+    {
+        return std::make_unique<Replica>(
+            eq_, cfg_, factory_, nullptr, paperTierTable(),
+            std::vector<AppStats>(3),
+            [this](const RequestRecord &rec) { records_.push_back(rec); });
+    }
+
+    EventQueue eq_;
+    Replica::Config cfg_;
+    SchedulerFactory factory_;
+    std::vector<RequestRecord> records_;
+};
+
+TEST_F(ReplicaTest, SingleRequestCompletes)
+{
+    auto replica = makeReplica();
+    eq_.schedule(1.0, [&] { replica->submit(makeSpec(1, 1.0, 500, 5, 0)); });
+    eq_.run();
+
+    ASSERT_EQ(records_.size(), 1u);
+    const RequestRecord &rec = records_[0];
+    EXPECT_GT(rec.ttft(), 0.0);
+    EXPECT_GE(rec.ttlt(), rec.ttft());
+    EXPECT_EQ(replica->liveRequests(), 0u);
+    EXPECT_EQ(replica->kv().usedBlocks(), 0);
+}
+
+TEST_F(ReplicaTest, TtftReflectsPrefillTime)
+{
+    auto replica = makeReplica();
+    eq_.schedule(0.0, [&] { replica->submit(makeSpec(1, 0.0, 512, 2, 0)); });
+    eq_.run();
+
+    ASSERT_EQ(records_.size(), 1u);
+    // Two 256-token chunked iterations at ~40 ms each.
+    EXPECT_GT(records_[0].ttft(), 0.05);
+    EXPECT_LT(records_[0].ttft(), 0.25);
+}
+
+TEST_F(ReplicaTest, ManyRequestsAllComplete)
+{
+    auto replica = makeReplica();
+    for (int i = 0; i < 20; ++i) {
+        SimTime at = 0.1 * i;
+        eq_.schedule(at, [this, &replica, i, at] {
+            replica->submit(makeSpec(i, at, 300 + 50 * i, 3, i % 3));
+        });
+    }
+    eq_.run();
+    EXPECT_EQ(records_.size(), 20u);
+    EXPECT_GT(replica->iterations(), 20u);
+    EXPECT_GT(replica->busyTime(), 0.0);
+}
+
+TEST_F(ReplicaTest, EngineIsWorkConserving)
+{
+    // Busy time must equal the span from first submission to last
+    // completion when work never runs out.
+    auto replica = makeReplica();
+    eq_.schedule(0.0, [&] {
+        for (int i = 0; i < 5; ++i)
+            replica->submit(makeSpec(i, 0.0, 1000, 5, 0));
+    });
+    eq_.run();
+    EXPECT_NEAR(replica->busyTime(), eq_.now(), 1e-9);
+}
+
+TEST_F(ReplicaTest, BatchObserverSeesEveryIteration)
+{
+    auto replica = makeReplica();
+    std::vector<BatchObservation> observations;
+    replica->setBatchObserver(
+        [&](const BatchObservation &obs) { observations.push_back(obs); });
+
+    eq_.schedule(0.0, [&] { replica->submit(makeSpec(1, 0.0, 600, 3, 0)); });
+    eq_.run();
+
+    EXPECT_EQ(observations.size(), replica->iterations());
+    // First iterations carry prefill tokens; the last ones decode.
+    EXPECT_EQ(observations.front().prefillTokens, 256);
+    EXPECT_EQ(observations.back().prefillTokens, 0);
+    EXPECT_EQ(observations.back().numDecodes, 1);
+    for (const auto &obs : observations)
+        EXPECT_GT(obs.latency, 0.0);
+}
+
+TEST_F(ReplicaTest, DuplicateSubmissionPanics)
+{
+    auto replica = makeReplica();
+    eq_.schedule(0.0, [&] {
+        replica->submit(makeSpec(1, 0.0, 500, 5, 0));
+        EXPECT_DEATH(replica->submit(makeSpec(1, 0.0, 500, 5, 0)),
+                     "duplicate");
+    });
+    eq_.run();
+}
+
+TEST_F(ReplicaTest, IdleReplicaWakesOnSubmission)
+{
+    auto replica = makeReplica();
+    eq_.schedule(0.0, [&] { replica->submit(makeSpec(1, 0.0, 200, 2, 0)); });
+    // Long idle gap, then more work.
+    eq_.schedule(100.0,
+                 [&] { replica->submit(makeSpec(2, 100.0, 200, 2, 0)); });
+    eq_.run();
+    ASSERT_EQ(records_.size(), 2u);
+    // The second request starts fresh at t=100, not queued behind
+    // phantom work.
+    EXPECT_LT(records_[1].ttft(), 0.2);
+}
+
+} // namespace
+} // namespace qoserve

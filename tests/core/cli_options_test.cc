@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the qoserve_sim option parser.
+ */
+
+#include "core/cli_options.hh"
+
+#include <gtest/gtest.h>
+
+namespace qoserve {
+namespace {
+
+TEST(CliOptions, DefaultsAreSane)
+{
+    CliOptions opts = parseCliOptions({});
+    EXPECT_EQ(opts.serving.policy, Policy::QoServe);
+    EXPECT_EQ(opts.serving.numReplicas, 1);
+    EXPECT_EQ(opts.dataset.name, "Az-Code");
+    EXPECT_DOUBLE_EQ(opts.qps, 3.0);
+    EXPECT_DOUBLE_EQ(opts.duration, 600.0);
+    EXPECT_FALSE(opts.helpRequested);
+    EXPECT_FALSE(opts.traceIn.has_value());
+}
+
+TEST(CliOptions, ParsesFullInvocation)
+{
+    CliOptions opts = parseCliOptions({
+        "--policy", "edf", "--dataset", "sharegpt", "--tiers", "strict",
+        "--mix", "0.5,0.3,0.2", "--low-priority", "0.2", "--qps", "4.5",
+        "--duration", "1200", "--seed", "99", "--replicas", "3",
+        "--lb", "jsq", "--chunk", "512", "--alpha", "2.5",
+        "--adaptive-alpha", "--max-chunk", "4096", "--oracle-predictor",
+        "--trace-out", "/tmp/t.csv", "--records-out", "/tmp/r.csv",
+        "--summary-out", "/tmp/s.csv",
+    });
+
+    EXPECT_EQ(opts.serving.policy, Policy::SarathiEdf);
+    EXPECT_EQ(opts.dataset.name, "ShareGPT");
+    EXPECT_TRUE(opts.tiers[0].interactive);
+    EXPECT_DOUBLE_EQ(opts.tiers[0].ttftSlo, 3.0);
+    EXPECT_EQ(opts.tierMix, (std::vector<double>{0.5, 0.3, 0.2}));
+    EXPECT_DOUBLE_EQ(opts.lowPriorityFraction, 0.2);
+    EXPECT_DOUBLE_EQ(opts.qps, 4.5);
+    EXPECT_DOUBLE_EQ(opts.duration, 1200.0);
+    EXPECT_EQ(opts.seed, 99u);
+    EXPECT_EQ(opts.serving.numReplicas, 3);
+    EXPECT_EQ(opts.loadBalance, LoadBalancePolicy::ShortestQueue);
+    EXPECT_EQ(opts.serving.base.fixedChunkTokens, 512);
+    EXPECT_DOUBLE_EQ(opts.serving.qoserve.alphaMsPerToken, 2.5);
+    EXPECT_TRUE(opts.serving.qoserve.adaptiveAlpha);
+    EXPECT_EQ(opts.serving.qoserve.maxChunkTokens, 4096);
+    EXPECT_FALSE(opts.serving.useForestPredictor);
+    EXPECT_EQ(opts.traceOut, "/tmp/t.csv");
+    EXPECT_EQ(opts.recordsOut, "/tmp/r.csv");
+    EXPECT_EQ(opts.summaryOut, "/tmp/s.csv");
+}
+
+TEST(CliOptions, HelpFlag)
+{
+    EXPECT_TRUE(parseCliOptions({"--help"}).helpRequested);
+    EXPECT_TRUE(parseCliOptions({"-h"}).helpRequested);
+    EXPECT_NE(cliUsage().find("--policy"), std::string::npos);
+}
+
+TEST(CliOptions, PolicyNames)
+{
+    EXPECT_EQ(parsePolicyName("qoserve"), Policy::QoServe);
+    EXPECT_EQ(parsePolicyName("fcfs"), Policy::SarathiFcfs);
+    EXPECT_EQ(parsePolicyName("edf"), Policy::SarathiEdf);
+    EXPECT_EQ(parsePolicyName("sjf"), Policy::SarathiSjf);
+    EXPECT_EQ(parsePolicyName("srpf"), Policy::SarathiSrpf);
+    EXPECT_EQ(parsePolicyName("medha"), Policy::Medha);
+    EXPECT_EQ(parsePolicyName("dp"), Policy::SlosServeDp);
+    EXPECT_DEATH(parsePolicyName("vllm"), "unknown policy");
+}
+
+TEST(CliOptions, HwPresets)
+{
+    EXPECT_EQ(parseHwName("llama3-8b-a100-tp1").tpDegree, 1);
+    EXPECT_EQ(parseHwName("qwen-7b-a100-tp2").tpDegree, 2);
+    EXPECT_EQ(parseHwName("llama3-70b-h100-tp4").tpDegree, 4);
+    EXPECT_DEATH(parseHwName("tpu"), "unknown hardware");
+}
+
+TEST(CliOptions, UnknownFlagIsFatal)
+{
+    EXPECT_DEATH(parseCliOptions({"--frobnicate"}), "unknown flag");
+}
+
+TEST(CliOptions, MissingValueIsFatal)
+{
+    EXPECT_DEATH(parseCliOptions({"--qps"}), "requires a value");
+}
+
+TEST(CliOptions, MalformedNumberIsFatal)
+{
+    EXPECT_DEATH(parseCliOptions({"--qps", "fast"}), "not a number");
+    EXPECT_DEATH(parseCliOptions({"--seed", "1.5"}), "not an integer");
+}
+
+TEST(CliOptions, RangeValidation)
+{
+    EXPECT_DEATH(parseCliOptions({"--qps", "0"}), "must be positive");
+    EXPECT_DEATH(parseCliOptions({"--duration", "-5"}),
+                 "must be positive");
+    EXPECT_DEATH(parseCliOptions({"--replicas", "0"}), "at least 1");
+}
+
+} // namespace
+} // namespace qoserve

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit and property tests for the paged KV-cache block manager.
+ */
+
+#include "kvcache/block_manager.hh"
+
+#include <gtest/gtest.h>
+
+#include "simcore/rng.hh"
+
+namespace qoserve {
+namespace {
+
+TEST(BlockManager, CapacityRoundsDownToBlocks)
+{
+    BlockManager bm(100, 16);
+    EXPECT_EQ(bm.totalBlocks(), 6);
+    EXPECT_EQ(bm.freeBlocks(), 6);
+    EXPECT_EQ(bm.blockTokens(), 16);
+}
+
+TEST(BlockManager, GrowAllocatesCeilOfTokens)
+{
+    BlockManager bm(1600, 16);
+    EXPECT_TRUE(bm.grow(1, 17)); // 2 blocks
+    EXPECT_EQ(bm.ownedBlocks(1), 2);
+    EXPECT_EQ(bm.ownedTokens(1), 17);
+    EXPECT_EQ(bm.usedBlocks(), 2);
+}
+
+TEST(BlockManager, GrowReusesPartialBlockSlack)
+{
+    BlockManager bm(1600, 16);
+    ASSERT_TRUE(bm.grow(1, 10)); // 1 block, 6 tokens slack
+    EXPECT_EQ(bm.blocksNeeded(1, 6), 0);
+    ASSERT_TRUE(bm.grow(1, 6));
+    EXPECT_EQ(bm.ownedBlocks(1), 1);
+    ASSERT_TRUE(bm.grow(1, 1));
+    EXPECT_EQ(bm.ownedBlocks(1), 2);
+}
+
+TEST(BlockManager, GrowFailsAtomicallyWhenFull)
+{
+    BlockManager bm(64, 16); // 4 blocks
+    ASSERT_TRUE(bm.grow(1, 48));
+    EXPECT_FALSE(bm.grow(2, 32)); // needs 2, only 1 free
+    EXPECT_EQ(bm.ownedTokens(2), 0);
+    EXPECT_EQ(bm.ownedBlocks(2), 0);
+    EXPECT_EQ(bm.freeBlocks(), 1);
+    EXPECT_TRUE(bm.grow(2, 16));
+}
+
+TEST(BlockManager, CanGrowAgreesWithGrow)
+{
+    BlockManager bm(96, 16); // 6 blocks
+    ASSERT_TRUE(bm.grow(1, 50)); // 4 blocks, 2 free
+    EXPECT_FALSE(bm.canGrow(2, 33)); // needs 3 blocks
+    EXPECT_TRUE(bm.canGrow(2, 32));  // needs 2 blocks
+    EXPECT_TRUE(bm.canGrow(1, 14));  // fits in owner 1's slack
+    EXPECT_FALSE(bm.canGrow(1, 47)); // needs 3 more blocks
+}
+
+TEST(BlockManager, ReleaseReturnsAllBlocks)
+{
+    BlockManager bm(160, 16);
+    ASSERT_TRUE(bm.grow(1, 90));
+    ASSERT_TRUE(bm.grow(2, 30));
+    bm.release(1);
+    EXPECT_EQ(bm.ownedTokens(1), 0);
+    EXPECT_EQ(bm.usedBlocks(), 2);
+    EXPECT_EQ(bm.numOwners(), 1u);
+}
+
+TEST(BlockManager, ReleaseUnknownOwnerIsNoOp)
+{
+    BlockManager bm(160, 16);
+    bm.release(42);
+    EXPECT_EQ(bm.usedBlocks(), 0);
+}
+
+TEST(BlockManager, ZeroGrowthIsFreeAndSucceeds)
+{
+    BlockManager bm(160, 16);
+    EXPECT_TRUE(bm.grow(1, 0));
+    EXPECT_EQ(bm.usedBlocks(), 0);
+}
+
+TEST(BlockManager, UtilizationTracksUsage)
+{
+    BlockManager bm(160, 16); // 10 blocks
+    EXPECT_DOUBLE_EQ(bm.utilization(), 0.0);
+    ASSERT_TRUE(bm.grow(1, 80));
+    EXPECT_DOUBLE_EQ(bm.utilization(), 0.5);
+    bm.release(1);
+    EXPECT_DOUBLE_EQ(bm.utilization(), 0.0);
+}
+
+/** Property: random grow/release sequences keep accounting exact. */
+TEST(BlockManagerProperty, RandomOperationsConserveBlocks)
+{
+    Rng rng(99);
+    BlockManager bm(16384, 16);
+    constexpr int num_owners = 40;
+
+    for (int step = 0; step < 5000; ++step) {
+        KvOwnerId owner = static_cast<KvOwnerId>(
+            rng.uniformInt(0, num_owners - 1));
+        if (rng.bernoulli(0.7)) {
+            auto tokens = rng.uniformInt(0, 200);
+            std::int64_t before_free = bm.freeBlocks();
+            std::int64_t need = bm.blocksNeeded(owner, tokens);
+            bool ok = bm.grow(owner, tokens);
+            EXPECT_EQ(ok, need <= before_free);
+            if (ok) {
+                EXPECT_EQ(bm.freeBlocks(), before_free - need);
+            }
+        } else {
+            bm.release(owner);
+            EXPECT_EQ(bm.ownedTokens(owner), 0);
+        }
+
+        // Invariant: used + free == total, and per-owner blocks
+        // cover per-owner tokens exactly.
+        EXPECT_EQ(bm.usedBlocks() + bm.freeBlocks(), bm.totalBlocks());
+        for (KvOwnerId o = 0; o < num_owners; ++o) {
+            std::int64_t t = bm.ownedTokens(o);
+            std::int64_t b = bm.ownedBlocks(o);
+            EXPECT_LE(t, b * bm.blockTokens());
+            EXPECT_GT(t, (b - 1) * bm.blockTokens() - 1);
+        }
+    }
+}
+
+} // namespace
+} // namespace qoserve

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for percentile utilities.
+ */
+
+#include "metrics/percentile.hh"
+
+#include <gtest/gtest.h>
+
+namespace qoserve {
+namespace {
+
+TEST(Percentile, EmptyReturnsZero)
+{
+    EXPECT_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleElement)
+{
+    EXPECT_EQ(percentile({42.0}, 0.0), 42.0);
+    EXPECT_EQ(percentile({42.0}, 50.0), 42.0);
+    EXPECT_EQ(percentile({42.0}, 100.0), 42.0);
+}
+
+TEST(Percentile, EndpointsAreMinAndMax)
+{
+    std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Percentile, MedianInterpolates)
+{
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, UnsortedInputHandled)
+{
+    std::vector<double> v = {9.0, 1.0, 5.0, 3.0, 7.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+}
+
+TEST(Percentile, SortedVariantMatches)
+{
+    std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+    for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(percentileSorted(sorted, p),
+                         percentile(sorted, p));
+}
+
+TEST(Percentile, P99OnLargeUniformSample)
+{
+    std::vector<double> v(10000);
+    for (int i = 0; i < 10000; ++i)
+        v[i] = static_cast<double>(i);
+    EXPECT_NEAR(percentile(v, 99.0), 9899.0, 1.0);
+}
+
+TEST(Percentile, MonotoneInP)
+{
+    std::vector<double> v = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+    double prev = percentile(v, 0.0);
+    for (double p = 5.0; p <= 100.0; p += 5.0) {
+        double cur = percentile(v, p);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(Mean, BasicAndEmpty)
+{
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+} // namespace
+} // namespace qoserve

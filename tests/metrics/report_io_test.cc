@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for result CSV serialization.
+ */
+
+#include "metrics/report_io.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qoserve {
+namespace {
+
+RequestRecord
+makeRecord(std::uint64_t id, int tier, double ttft, double ttlt)
+{
+    RequestRecord rec;
+    rec.spec.id = id;
+    rec.spec.arrival = 1.0;
+    rec.spec.promptTokens = 100;
+    rec.spec.decodeTokens = 10;
+    rec.spec.tierId = tier;
+    rec.firstTokenTime = 1.0 + ttft;
+    rec.finishTime = 1.0 + ttlt;
+    return rec;
+}
+
+TEST(ReportIo, RecordsCsvHasHeaderAndRows)
+{
+    MetricsCollector collector(paperTierTable());
+    collector.record(makeRecord(0, 0, 2.0, 3.0));
+    collector.record(makeRecord(1, 1, 5.0, 700.0)); // Q2 violation
+
+    std::stringstream out;
+    writeRecordsCsv(collector, out);
+
+    std::string line;
+    ASSERT_TRUE(std::getline(out, line));
+    EXPECT_NE(line.find("id,arrival"), std::string::npos);
+
+    ASSERT_TRUE(std::getline(out, line));
+    EXPECT_EQ(line.rfind("0,1,100,10,0,1,2,3", 0), 0u) << line;
+
+    ASSERT_TRUE(std::getline(out, line));
+    // The Q2 record exceeded its 600 s TTLT: violated column = 1.
+    EXPECT_NE(line.find(",1,0,0"), std::string::npos) << line;
+    EXPECT_FALSE(std::getline(out, line));
+}
+
+TEST(ReportIo, SummaryCsvContainsAllMetrics)
+{
+    MetricsCollector collector(paperTierTable());
+    collector.record(makeRecord(0, 0, 2.0, 3.0));
+    RunSummary summary = summarize(collector);
+
+    std::stringstream out;
+    writeSummaryCsv(summary, out);
+    std::string text = out.str();
+
+    for (const char *key :
+         {"count,1", "violation_rate,0", "p50_latency,2",
+          "tier0_count,1", "tier0_p50_ttft,2"}) {
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(ReportIo, PrintSummaryIsHumanReadable)
+{
+    MetricsCollector collector(paperTierTable());
+    collector.record(makeRecord(0, 0, 2.0, 3.0));
+    collector.record(makeRecord(1, 2, 5.0, 100.0));
+    RunSummary summary = summarize(collector);
+
+    std::stringstream out;
+    printSummary(summary, collector.tiers(), out);
+    std::string text = out.str();
+    EXPECT_NE(text.find("requests: 2"), std::string::npos);
+    EXPECT_NE(text.find("Q1"), std::string::npos);
+    EXPECT_NE(text.find("Q3"), std::string::npos);
+    EXPECT_NE(text.find("slo"), std::string::npos);
+}
+
+} // namespace
+} // namespace qoserve

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the per-iteration telemetry recorder.
+ */
+
+#include "metrics/telemetry.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/cluster.hh"
+#include "sched/baseline_schedulers.hh"
+
+namespace qoserve {
+namespace {
+
+BatchObservation
+obs(SimTime start, SimDuration latency, int chunk, int decodes)
+{
+    BatchObservation o;
+    o.start = start;
+    o.latency = latency;
+    o.prefillTokens = chunk;
+    o.numDecodes = decodes;
+    return o;
+}
+
+TEST(Telemetry, AggregatesBasicStats)
+{
+    TelemetryRecorder rec;
+    auto sink = rec.observerFor(0);
+    sink(obs(0.0, 0.05, 256, 4));
+    sink(obs(0.05, 0.10, 1024, 4));
+    sink(obs(0.15, 0.05, 0, 5));
+
+    EXPECT_EQ(rec.size(), 3u);
+    EXPECT_NEAR(rec.meanChunkTokens(), (256 + 1024) / 3.0, 1e-9);
+    EXPECT_EQ(rec.maxChunkTokens(), 1024);
+}
+
+TEST(Telemetry, HistogramBucketsCorrectly)
+{
+    TelemetryRecorder rec;
+    auto sink = rec.observerFor(0);
+    sink(obs(0.0, 0.05, 100, 0));
+    sink(obs(0.1, 0.05, 130, 0));
+    sink(obs(0.2, 0.05, 300, 0));
+
+    auto hist = rec.chunkHistogram(128);
+    ASSERT_EQ(hist.size(), 3u);
+    EXPECT_EQ(hist[0], 1); // 100
+    EXPECT_EQ(hist[1], 1); // 130
+    EXPECT_EQ(hist[2], 1); // 300
+}
+
+TEST(Telemetry, UtilizationWindowed)
+{
+    TelemetryRecorder rec;
+    auto sink = rec.observerFor(0);
+    // Busy [0, 1) and [2, 3) within a 4-second window: 50%.
+    sink(obs(0.0, 1.0, 256, 0));
+    sink(obs(2.0, 1.0, 256, 0));
+    EXPECT_NEAR(rec.utilization(0.0, 4.0), 0.5, 1e-9);
+    // Window clipping.
+    EXPECT_NEAR(rec.utilization(0.5, 1.5), 0.5, 1e-9);
+}
+
+TEST(Telemetry, MultiReplicaUtilizationExceedsOne)
+{
+    TelemetryRecorder rec;
+    auto r0 = rec.observerFor(0);
+    auto r1 = rec.observerFor(1);
+    r0(obs(0.0, 1.0, 0, 1));
+    r1(obs(0.0, 1.0, 0, 1));
+    EXPECT_NEAR(rec.utilization(0.0, 1.0), 2.0, 1e-9);
+}
+
+TEST(Telemetry, CsvContainsReplicaTags)
+{
+    TelemetryRecorder rec;
+    rec.observerFor(3)(obs(1.0, 0.05, 256, 7));
+    std::stringstream out;
+    rec.writeCsv(out);
+    std::string text = out.str();
+    EXPECT_NE(text.find("replica,start,latency"), std::string::npos);
+    EXPECT_NE(text.find("3,1,0.05,256,7"), std::string::npos);
+}
+
+TEST(Telemetry, IntegratesWithClusterReplicas)
+{
+    Trace trace =
+        TraceBuilder().seed(91).buildCount(PoissonArrivals(2.0), 60);
+    ClusterSim::Config cc;
+    cc.replica.hw = llama3_8b_a100_tp1();
+    ClusterSim sim(cc, trace);
+    sim.addReplicaGroup(2, [](const SchedulerEnv &env) {
+        return std::make_unique<FcfsScheduler>(env);
+    });
+
+    TelemetryRecorder rec;
+    sim.replica(0).setBatchObserver(rec.observerFor(0));
+    sim.replica(1).setBatchObserver(rec.observerFor(1));
+    sim.run();
+
+    EXPECT_EQ(rec.size(),
+              sim.replica(0).iterations() + sim.replica(1).iterations());
+    EXPECT_GT(rec.meanChunkTokens(), 0.0);
+}
+
+} // namespace
+} // namespace qoserve

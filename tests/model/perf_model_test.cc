@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the analytical execution-time model.
+ */
+
+#include "model/perf_model.hh"
+
+#include <gtest/gtest.h>
+
+namespace qoserve {
+namespace {
+
+class PerfModelTest : public ::testing::Test
+{
+  protected:
+    PerfModel model_{llama3_8b_a100_tp1()};
+};
+
+TEST_F(PerfModelTest, EmptyBatchTakesNoTime)
+{
+    EXPECT_EQ(model_.iterationTime(BatchWork{}), 0.0);
+}
+
+TEST_F(PerfModelTest, LatencyMonotonicInChunkSize)
+{
+    double prev = 0.0;
+    for (int chunk = 64; chunk <= 4096; chunk *= 2) {
+        BatchWork w;
+        w.prefillTokens = chunk;
+        w.prefillCtxProduct = chunk * (chunk / 2.0);
+        double t = model_.iterationTime(w);
+        EXPECT_GT(t, prev) << "chunk " << chunk;
+        prev = t;
+    }
+}
+
+TEST_F(PerfModelTest, LatencyMonotonicInDecodeContext)
+{
+    BatchWork a, b;
+    a.numDecodes = b.numDecodes = 32;
+    a.decodeCtxSum = 32 * 1000;
+    b.decodeCtxSum = 32 * 4000;
+    EXPECT_LT(model_.iterationTime(a), model_.iterationTime(b));
+}
+
+TEST_F(PerfModelTest, WeightStreamingFloorsSmallBatches)
+{
+    // Even one token cannot beat the time to stream the weights.
+    double weight_floor =
+        static_cast<double>(llama3_8b().weightBytes()) /
+        (a100_80gb().memBandwidth * model_.params().weightBwEff);
+    EXPECT_GE(model_.linearTime(1), weight_floor);
+}
+
+TEST_F(PerfModelTest, LargeBatchesAreComputeBound)
+{
+    // At saturating token counts the linear time approaches
+    // 2*P*T / (peak * mfuMax).
+    std::int64_t tokens = 8192;
+    double ideal = 2.0 * 8.03e9 * tokens /
+                   (312e12 * model_.params().mfuMax);
+    double actual = model_.linearTime(tokens);
+    EXPECT_NEAR(actual, ideal, 0.05 * ideal);
+}
+
+TEST_F(PerfModelTest, PrefillAttentionQuadraticInContext)
+{
+    // Same chunk against 4x the context costs ~4x attention time.
+    double t1 = model_.prefillAttnTime(512.0 * 2048.0);
+    double t4 = model_.prefillAttnTime(512.0 * 8192.0);
+    EXPECT_NEAR(t4 / t1, 4.0, 0.01);
+}
+
+TEST_F(PerfModelTest, DecodeAttentionScalesWithKvBytes)
+{
+    PerfModel mha(ReplicaHwConfig{qwen_7b(), a100_80gb(), 1});
+    // Qwen (MHA) reads 4x the KV bytes of Llama3 (GQA) per token.
+    double gqa = model_.decodeAttnTime(32, 32 * 2048);
+    double mha_t = mha.decodeAttnTime(32, 32 * 2048);
+    EXPECT_NEAR(mha_t / gqa, 4.0, 0.01);
+}
+
+TEST_F(PerfModelTest, TensorParallelismSpeedsUpLinear)
+{
+    PerfModel tp2(ReplicaHwConfig{llama3_8b(), a100_80gb(), 2});
+    EXPECT_LT(tp2.linearTime(2048), model_.linearTime(2048));
+}
+
+TEST_F(PerfModelTest, Tp1HasNoCommunicationCost)
+{
+    EXPECT_EQ(model_.commTime(1024), 0.0);
+    PerfModel tp2(ReplicaHwConfig{llama3_8b(), a100_80gb(), 2});
+    EXPECT_GT(tp2.commTime(1024), 0.0);
+}
+
+TEST_F(PerfModelTest, H100FasterThanA100)
+{
+    PerfModel h100(ReplicaHwConfig{llama3_8b(), h100_80gb(), 1});
+    BatchWork w;
+    w.prefillTokens = 1024;
+    w.prefillCtxProduct = 1024.0 * 512.0;
+    w.numDecodes = 32;
+    w.decodeCtxSum = 32 * 2000;
+    EXPECT_LT(h100.iterationTime(w), model_.iterationTime(w));
+}
+
+TEST_F(PerfModelTest, MixedBatchCostsMoreThanEitherAlone)
+{
+    BatchWork prefill_only, decode_only, mixed;
+    prefill_only.prefillTokens = 512;
+    prefill_only.prefillCtxProduct = 512.0 * 256.0;
+    decode_only.numDecodes = 32;
+    decode_only.decodeCtxSum = 32 * 2000;
+    mixed = prefill_only;
+    mixed.numDecodes = decode_only.numDecodes;
+    mixed.decodeCtxSum = decode_only.decodeCtxSum;
+
+    double tp = model_.iterationTime(prefill_only);
+    double td = model_.iterationTime(decode_only);
+    double tm = model_.iterationTime(mixed);
+    EXPECT_GT(tm, tp);
+    EXPECT_GT(tm, td);
+    // Fusing is cheaper than running the two sequentially (weights
+    // stream once, overhead paid once).
+    EXPECT_LT(tm, tp + td);
+}
+
+using ChunkSweep = ::testing::TestWithParam<int>;
+
+TEST_P(ChunkSweep, ThroughputNonDecreasingUpToSaturation)
+{
+    // Property: tokens/s is non-decreasing in chunk size up to the
+    // ~2.5K saturation point (larger chunks amortize fixed costs;
+    // beyond saturation the quadratic attention term takes over,
+    // which is exactly why the paper caps the dynamic chunk there).
+    PerfModel model(llama3_8b_a100_tp1());
+    int ctx = GetParam();
+    double prev_tput = 0.0;
+    for (int chunk = 128; chunk <= 2560; chunk += 128) {
+        BatchWork w;
+        w.prefillTokens = chunk;
+        w.prefillCtxProduct =
+            static_cast<double>(chunk) * (ctx + chunk / 2.0);
+        double tput = chunk / model.iterationTime(w);
+        EXPECT_GE(tput, prev_tput * 0.995) << "chunk " << chunk;
+        prev_tput = tput;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Contexts, ChunkSweep,
+                         ::testing::Values(0, 1024, 4096));
+
+} // namespace
+} // namespace qoserve

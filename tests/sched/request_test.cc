@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the request state machine.
+ */
+
+#include "sched/request.hh"
+
+#include <gtest/gtest.h>
+
+namespace qoserve {
+namespace {
+
+RequestSpec
+spec(std::uint64_t id, SimTime arrival, int prompt, int decode, int tier)
+{
+    RequestSpec s;
+    s.id = id;
+    s.arrival = arrival;
+    s.promptTokens = prompt;
+    s.decodeTokens = decode;
+    s.tierId = tier;
+    return s;
+}
+
+QosTier
+interactive()
+{
+    return interactiveTier(0, "Q1", 6.0, 0.05);
+}
+
+QosTier
+batch()
+{
+    return batchTier(1, "Q2", 600.0);
+}
+
+TEST(Request, InitialState)
+{
+    Request r(spec(1, 10.0, 100, 5, 0), interactive(), {});
+    EXPECT_EQ(r.phase(), RequestPhase::WaitingPrefill);
+    EXPECT_EQ(r.prefillDone(), 0);
+    EXPECT_EQ(r.prefillRemaining(), 100);
+    EXPECT_EQ(r.decodeDone(), 0);
+    EXPECT_EQ(r.decodeRemaining(), 5);
+    EXPECT_EQ(r.contextLength(), 0);
+    EXPECT_FALSE(r.relegated());
+}
+
+TEST(Request, PrefillProgressAndPhaseTransitions)
+{
+    Request r(spec(1, 0.0, 100, 3, 0), interactive(), {});
+    r.applyPrefill(40, 0.1);
+    EXPECT_EQ(r.phase(), RequestPhase::Prefilling);
+    EXPECT_EQ(r.prefillDone(), 40);
+    EXPECT_EQ(r.contextLength(), 40);
+
+    r.applyPrefill(60, 0.2);
+    EXPECT_EQ(r.phase(), RequestPhase::Decoding);
+    // First token emitted by the iteration completing the prefill.
+    EXPECT_EQ(r.decodeDone(), 1);
+    EXPECT_DOUBLE_EQ(r.record().firstTokenTime, 0.2);
+}
+
+TEST(Request, SingleTokenRequestFinishesAtPrefill)
+{
+    Request r(spec(1, 0.0, 50, 1, 0), interactive(), {});
+    r.applyPrefill(50, 0.3);
+    EXPECT_EQ(r.phase(), RequestPhase::Finished);
+    EXPECT_DOUBLE_EQ(r.record().finishTime, 0.3);
+    EXPECT_DOUBLE_EQ(r.record().ttft(), 0.3);
+    EXPECT_DOUBLE_EQ(r.record().ttlt(), 0.3);
+}
+
+TEST(Request, DecodeTokensCompleteRequest)
+{
+    Request r(spec(1, 0.0, 10, 3, 0), interactive(), {});
+    r.applyPrefill(10, 0.1);
+    EXPECT_EQ(r.phase(), RequestPhase::Decoding);
+    r.applyDecodeToken(0.15);
+    EXPECT_EQ(r.phase(), RequestPhase::Decoding);
+    r.applyDecodeToken(0.2);
+    EXPECT_EQ(r.phase(), RequestPhase::Finished);
+    EXPECT_DOUBLE_EQ(r.record().finishTime, 0.2);
+    EXPECT_EQ(r.decodeRemaining(), 0);
+}
+
+TEST(Request, MaxTbtTracksLargestGap)
+{
+    Request r(spec(1, 0.0, 10, 4, 0), interactive(), {});
+    r.applyPrefill(10, 0.1);
+    r.applyDecodeToken(0.15); // gap 0.05
+    r.applyDecodeToken(0.35); // gap 0.20
+    r.applyDecodeToken(0.40); // gap 0.05
+    EXPECT_DOUBLE_EQ(r.record().maxTbt, 0.20);
+}
+
+TEST(Request, TbtDeadlineMissesCounted)
+{
+    // TTFT SLO 6 s, TBT 50 ms; token n deadline = 6 + (n-1)*0.05.
+    Request r(spec(1, 0.0, 10, 3, 0), interactive(), {});
+    r.applyPrefill(10, 1.0);     // token 1 on time (deadline 6.0)
+    r.applyDecodeToken(6.2);     // token 2 late (deadline 6.05)
+    r.applyDecodeToken(6.25);    // token 3 late  (deadline 6.10)
+    EXPECT_EQ(r.record().tbtDeadlineMisses, 2);
+}
+
+TEST(Request, DeadlinesFollowEquations)
+{
+    Request r(spec(1, 100.0, 10, 50, 0), interactive(), {});
+    EXPECT_DOUBLE_EQ(r.firstTokenDeadline(), 106.0);
+    EXPECT_DOUBLE_EQ(r.nextTokenDeadline(), 106.0); // next token is #1
+    EXPECT_DOUBLE_EQ(r.completionDeadline(), 106.0 + 49 * 0.05);
+    EXPECT_DOUBLE_EQ(r.urgencyDeadline(), 106.0);
+
+    r.applyPrefill(10, 101.0);
+    // Next token is #2.
+    EXPECT_DOUBLE_EQ(r.nextTokenDeadline(), 106.05);
+}
+
+TEST(Request, BatchTierDeadlines)
+{
+    Request r(spec(1, 100.0, 10, 50, 1), batch(), {});
+    EXPECT_DOUBLE_EQ(r.firstTokenDeadline(), 700.0);
+    EXPECT_EQ(r.nextTokenDeadline(), kTimeNever);
+    EXPECT_DOUBLE_EQ(r.completionDeadline(), 700.0);
+    EXPECT_DOUBLE_EQ(r.urgencyDeadline(), 700.0);
+}
+
+TEST(Request, RelegationRecorded)
+{
+    Request r(spec(1, 0.0, 10, 2, 0), interactive(), {});
+    EXPECT_FALSE(r.record().wasRelegated);
+    r.setRelegated(true);
+    EXPECT_TRUE(r.relegated());
+    r.setRelegated(false);
+    EXPECT_FALSE(r.relegated());
+    // The record remembers that relegation happened at least once.
+    EXPECT_TRUE(r.record().wasRelegated);
+}
+
+TEST(Request, ConservativeDecodeUsesAppStats)
+{
+    AppStats stats;
+    stats.meanDecode = 100.0;
+    stats.stddevDecode = 25.0;
+    Request r(spec(1, 0.0, 10, 400, 1), batch(), stats);
+    EXPECT_DOUBLE_EQ(r.conservativeDecodeTokens(), 150.0);
+}
+
+TEST(Request, ConservativeDecodeFallsBackToOwnLength)
+{
+    Request r(spec(1, 0.0, 10, 400, 1), batch(), {});
+    EXPECT_DOUBLE_EQ(r.conservativeDecodeTokens(), 400.0);
+}
+
+TEST(Request, KvPreemptionResetsProgress)
+{
+    Request r(spec(1, 0.0, 100, 5, 0), interactive(), {});
+    r.applyPrefill(60, 0.1);
+    r.resetAfterKvPreemption();
+    EXPECT_EQ(r.phase(), RequestPhase::WaitingPrefill);
+    EXPECT_EQ(r.prefillDone(), 0);
+    EXPECT_EQ(r.decodeDone(), 0);
+    EXPECT_EQ(r.record().kvPreemptions, 1);
+    EXPECT_EQ(r.record().firstTokenTime, kTimeNever);
+
+    // The request can run again to completion afterwards.
+    r.applyPrefill(100, 0.5);
+    EXPECT_EQ(r.phase(), RequestPhase::Decoding);
+}
+
+TEST(Request, OverfillPanics)
+{
+    Request r(spec(1, 0.0, 100, 5, 0), interactive(), {});
+    EXPECT_DEATH(r.applyPrefill(101, 0.1), "invalid prefill chunk");
+}
+
+TEST(Request, DecodeInWrongPhasePanics)
+{
+    Request r(spec(1, 0.0, 100, 5, 0), interactive(), {});
+    EXPECT_DEATH(r.applyDecodeToken(0.1), "wrong phase");
+}
+
+} // namespace
+} // namespace qoserve

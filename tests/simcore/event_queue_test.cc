@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include "simcore/event_queue.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qoserve {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0.0);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pendingEvents(), 0u);
+}
+
+TEST(EventQueue, FiresEventsInTimestampOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(3.0, [&] { order.push_back(3); });
+    eq.schedule(1.0, [&] { order.push_back(1); });
+    eq.schedule(2.0, [&] { order.push_back(2); });
+
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(1.0, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ClockAdvancesToFiredEvent)
+{
+    EventQueue eq;
+    SimTime seen = -1.0;
+    eq.schedule(2.5, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 2.5);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue eq;
+    SimTime seen = -1.0;
+    eq.schedule(1.0, [&] {
+        eq.scheduleAfter(0.5, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_DOUBLE_EQ(seen, 1.5);
+}
+
+TEST(EventQueue, RunUntilStopsBeforeLaterEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1.0, [&] { ++fired; });
+    eq.schedule(2.0, [&] { ++fired; });
+    eq.schedule(3.0, [&] { ++fired; });
+
+    EXPECT_EQ(eq.run(2.0), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+}
+
+TEST(EventQueue, EventScheduledExactlyAtUntilFires)
+{
+    EventQueue eq;
+    bool fired = false;
+    eq.schedule(2.0, [&] { fired = true; });
+    eq.run(2.0);
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventId id = eq.schedule(1.0, [&] { fired = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_EQ(eq.pendingEvents(), 0u);
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceIsNoOp)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(1.0, [] {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.cancel(0));
+    EXPECT_FALSE(eq.cancel(12345));
+}
+
+TEST(EventQueue, EventsScheduledDuringRunAreExecuted)
+{
+    EventQueue eq;
+    int depth = 0;
+    eq.schedule(1.0, [&] {
+        ++depth;
+        eq.scheduleAfter(1.0, [&] { ++depth; });
+    });
+    eq.run();
+    EXPECT_EQ(depth, 2);
+    EXPECT_EQ(eq.now(), 2.0);
+}
+
+TEST(EventQueue, StepExecutesExactlyOneEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1.0, [&] { ++fired; });
+    eq.schedule(2.0, [&] { ++fired; });
+
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, LongChainTerminates)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> tick = [&] {
+        if (++count < 10000)
+            eq.scheduleAfter(0.001, tick);
+    };
+    eq.schedule(0.0, tick);
+    eq.run();
+    EXPECT_EQ(count, 10000);
+    EXPECT_NEAR(eq.now(), 9.999, 1e-6);
+}
+
+} // namespace
+} // namespace qoserve

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for arrival processes.
+ */
+
+#include "workload/arrival.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace qoserve {
+namespace {
+
+std::vector<SimTime>
+generate(const ArrivalProcess &proc, Rng &rng, int count)
+{
+    std::vector<SimTime> out;
+    SimTime t = 0.0;
+    for (int i = 0; i < count; ++i) {
+        t = proc.nextArrival(t, rng);
+        out.push_back(t);
+    }
+    return out;
+}
+
+TEST(PoissonArrivals, StrictlyIncreasing)
+{
+    PoissonArrivals proc(5.0);
+    Rng rng(1);
+    auto times = generate(proc, rng, 1000);
+    for (std::size_t i = 1; i < times.size(); ++i)
+        EXPECT_GT(times[i], times[i - 1]);
+}
+
+TEST(PoissonArrivals, RateMatchesQps)
+{
+    PoissonArrivals proc(4.0);
+    Rng rng(2);
+    auto times = generate(proc, rng, 40000);
+    double rate = 40000.0 / times.back();
+    EXPECT_NEAR(rate, 4.0, 0.1);
+}
+
+TEST(PoissonArrivals, AverageQpsReported)
+{
+    EXPECT_DOUBLE_EQ(PoissonArrivals(3.5).averageQps(), 3.5);
+}
+
+TEST(GammaArrivals, MeanRateMatchesQps)
+{
+    GammaArrivals proc(4.0, 2.0);
+    Rng rng(6);
+    auto times = generate(proc, rng, 40000);
+    EXPECT_NEAR(40000.0 / times.back(), 4.0, 0.15);
+    EXPECT_DOUBLE_EQ(proc.averageQps(), 4.0);
+}
+
+TEST(GammaArrivals, CvControlsBurstiness)
+{
+    // Empirical CV of the inter-arrival gaps tracks the parameter.
+    auto empirical_cv = [](double cv) {
+        GammaArrivals proc(5.0, cv);
+        Rng rng(7);
+        double sum = 0.0, sumsq = 0.0;
+        SimTime prev = 0.0;
+        constexpr int n = 60000;
+        for (int i = 0; i < n; ++i) {
+            SimTime t = proc.nextArrival(prev, rng);
+            double gap = t - prev;
+            sum += gap;
+            sumsq += gap * gap;
+            prev = t;
+        }
+        double mean = sum / n;
+        double var = sumsq / n - mean * mean;
+        return std::sqrt(var) / mean;
+    };
+
+    EXPECT_NEAR(empirical_cv(0.5), 0.5, 0.05);
+    EXPECT_NEAR(empirical_cv(1.0), 1.0, 0.05);
+    EXPECT_NEAR(empirical_cv(3.0), 3.0, 0.25);
+}
+
+TEST(GammaArrivals, Cv1MatchesPoissonStatistics)
+{
+    // CV = 1 Gamma renewals are exactly Poisson.
+    GammaArrivals gamma_proc(3.0, 1.0);
+    Rng rng(8);
+    auto times = generate(gamma_proc, rng, 30000);
+    EXPECT_NEAR(30000.0 / times.back(), 3.0, 0.1);
+}
+
+TEST(DiurnalArrivals, PhaseRatesAlternate)
+{
+    DiurnalArrivals proc(2.0, 5.0, 900.0);
+    EXPECT_DOUBLE_EQ(proc.qpsAt(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(proc.qpsAt(899.9), 2.0);
+    EXPECT_DOUBLE_EQ(proc.qpsAt(900.1), 5.0);
+    EXPECT_DOUBLE_EQ(proc.qpsAt(1800.5), 2.0);
+
+    DiurnalArrivals high_first(2.0, 5.0, 900.0, true);
+    EXPECT_DOUBLE_EQ(high_first.qpsAt(0.0), 5.0);
+}
+
+TEST(DiurnalArrivals, EmpiricalRatesPerPhase)
+{
+    DiurnalArrivals proc(2.0, 8.0, 1000.0);
+    Rng rng(3);
+    int low = 0, high = 0;
+    SimTime t = 0.0;
+    while (t < 20000.0) {
+        t = proc.nextArrival(t, rng);
+        if (t >= 20000.0)
+            break;
+        auto phase = static_cast<std::int64_t>(t / 1000.0);
+        (phase % 2 == 0 ? low : high) += 1;
+    }
+    // 10 low phases at 2 QPS and 10 high phases at 8 QPS.
+    EXPECT_NEAR(low / 10000.0, 2.0, 0.25);
+    EXPECT_NEAR(high / 10000.0, 8.0, 0.5);
+}
+
+TEST(DiurnalArrivals, AverageQpsIsMidpoint)
+{
+    DiurnalArrivals proc(2.0, 5.0, 900.0);
+    EXPECT_DOUBLE_EQ(proc.averageQps(), 3.5);
+}
+
+TEST(BurstArrivals, RateElevatedOnlyInWindow)
+{
+    BurstArrivals proc(1.0, 10.0, 100.0, 200.0);
+    EXPECT_DOUBLE_EQ(proc.qpsAt(50.0), 1.0);
+    EXPECT_DOUBLE_EQ(proc.qpsAt(150.0), 10.0);
+    EXPECT_DOUBLE_EQ(proc.qpsAt(250.0), 1.0);
+}
+
+TEST(BurstArrivals, BurstDensityObserved)
+{
+    BurstArrivals proc(1.0, 20.0, 500.0, 600.0);
+    Rng rng(4);
+    int in_burst = 0, outside = 0;
+    SimTime t = 0.0;
+    while (t < 1000.0) {
+        t = proc.nextArrival(t, rng);
+        if (t >= 1000.0)
+            break;
+        (t >= 500.0 && t < 600.0 ? in_burst : outside) += 1;
+    }
+    EXPECT_NEAR(in_burst, 2000, 300);  // 100 s at 20 QPS
+    EXPECT_NEAR(outside, 900, 150);    // 900 s at 1 QPS
+}
+
+TEST(BurstArrivals, CrossingTheBoundaryIsExact)
+{
+    // Arrivals generated just before the window must land inside it
+    // at the burst rate, not leak past it at the base rate.
+    BurstArrivals proc(0.001, 50.0, 10.0, 20.0);
+    Rng rng(5);
+    SimTime t = proc.nextArrival(0.0, rng);
+    // With base rate 0.001, the first draw almost surely crosses
+    // into the burst window and lands shortly after 10.0.
+    EXPECT_GT(t, 10.0);
+    EXPECT_LT(t, 11.0);
+}
+
+} // namespace
+} // namespace qoserve

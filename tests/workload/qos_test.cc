@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for QoS tiers and deadline arithmetic (Eqs. 1-3).
+ */
+
+#include "workload/qos.hh"
+
+#include <gtest/gtest.h>
+
+namespace qoserve {
+namespace {
+
+TEST(QosTier, InteractiveFirstTokenDeadlineIsEq1)
+{
+    QosTier q1 = interactiveTier(0, "Q1", 6.0, 0.05);
+    EXPECT_DOUBLE_EQ(q1.firstTokenDeadline(100.0), 106.0);
+}
+
+TEST(QosTier, InteractiveTokenDeadlineIsEq2)
+{
+    QosTier q1 = interactiveTier(0, "Q1", 6.0, 0.05);
+    SimTime arrival = 10.0;
+    EXPECT_DOUBLE_EQ(q1.tokenDeadline(arrival, 1), 16.0);
+    EXPECT_DOUBLE_EQ(q1.tokenDeadline(arrival, 2), 16.05);
+    EXPECT_DOUBLE_EQ(q1.tokenDeadline(arrival, 101), 16.0 + 100 * 0.05);
+}
+
+TEST(QosTier, BatchTierDeadlinesAreEq3)
+{
+    QosTier q3 = batchTier(2, "Q3", 1800.0);
+    EXPECT_DOUBLE_EQ(q3.firstTokenDeadline(50.0), 1850.0);
+    EXPECT_DOUBLE_EQ(q3.completionDeadline(50.0, 400), 1850.0);
+    EXPECT_EQ(q3.tokenDeadline(50.0, 7), kTimeNever);
+}
+
+TEST(QosTier, InteractiveCompletionDeadlineIsFinalTokenDeadline)
+{
+    QosTier q1 = interactiveTier(0, "Q1", 6.0, 0.05);
+    EXPECT_DOUBLE_EQ(q1.completionDeadline(0.0, 100),
+                     q1.tokenDeadline(0.0, 100));
+}
+
+TEST(QosTier, TokenDeadlinesAreMonotonic)
+{
+    QosTier q1 = interactiveTier(0, "Q1", 3.0, 0.025);
+    for (int n = 1; n < 50; ++n) {
+        EXPECT_LT(q1.tokenDeadline(0.0, n), q1.tokenDeadline(0.0, n + 1));
+    }
+}
+
+TEST(QosTier, PaperTierTableMatchesTable3)
+{
+    TierTable tiers = paperTierTable();
+    ASSERT_EQ(tiers.size(), 3u);
+
+    EXPECT_TRUE(tiers[0].interactive);
+    EXPECT_DOUBLE_EQ(tiers[0].ttftSlo, 6.0);
+    EXPECT_DOUBLE_EQ(tiers[0].tbtSlo, 0.05);
+
+    EXPECT_FALSE(tiers[1].interactive);
+    EXPECT_DOUBLE_EQ(tiers[1].ttltSlo, 600.0);
+
+    EXPECT_FALSE(tiers[2].interactive);
+    EXPECT_DOUBLE_EQ(tiers[2].ttltSlo, 1800.0);
+
+    for (std::size_t i = 0; i < tiers.size(); ++i)
+        EXPECT_EQ(tiers[i].id, static_cast<int>(i));
+}
+
+TEST(QosTier, StrictTierTableMatchesSection442)
+{
+    TierTable tiers = strictTierTable();
+    ASSERT_EQ(tiers.size(), 3u);
+    EXPECT_TRUE(tiers[0].interactive);
+    EXPECT_DOUBLE_EQ(tiers[0].ttftSlo, 3.0);
+    EXPECT_TRUE(tiers[1].interactive);
+    EXPECT_DOUBLE_EQ(tiers[1].ttftSlo, 6.0);
+    EXPECT_FALSE(tiers[2].interactive);
+    EXPECT_DOUBLE_EQ(tiers[2].ttltSlo, 1000.0);
+}
+
+} // namespace
+} // namespace qoserve

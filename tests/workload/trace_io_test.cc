@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for trace CSV round-tripping and validation.
+ */
+
+#include "workload/trace_io.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qoserve {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesEveryField)
+{
+    Trace original = TraceBuilder()
+                         .dataset(azureCode())
+                         .seed(5)
+                         .lowPriorityFraction(0.3)
+                         .buildCount(PoissonArrivals(4.0), 500);
+
+    std::stringstream buffer;
+    writeTraceCsv(original, buffer);
+    Trace parsed = readTraceCsv(buffer, paperTierTable());
+
+    ASSERT_EQ(parsed.requests.size(), original.requests.size());
+    for (std::size_t i = 0; i < parsed.requests.size(); ++i) {
+        const RequestSpec &a = original.requests[i];
+        const RequestSpec &b = parsed.requests[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_DOUBLE_EQ(a.arrival, b.arrival);
+        EXPECT_EQ(a.promptTokens, b.promptTokens);
+        EXPECT_EQ(a.decodeTokens, b.decodeTokens);
+        EXPECT_EQ(a.tierId, b.tierId);
+        EXPECT_EQ(a.important, b.important);
+        EXPECT_EQ(a.appId, b.appId);
+    }
+}
+
+TEST(TraceIo, AppStatsRecomputedOnLoad)
+{
+    Trace original = TraceBuilder().seed(6).buildCount(
+        PoissonArrivals(2.0), 300);
+    std::stringstream buffer;
+    writeTraceCsv(original, buffer);
+    Trace parsed = readTraceCsv(buffer, paperTierTable());
+
+    ASSERT_EQ(parsed.appStats.size(), original.appStats.size());
+    for (std::size_t a = 0; a < parsed.appStats.size(); ++a) {
+        EXPECT_NEAR(parsed.appStats[a].meanDecode,
+                    original.appStats[a].meanDecode, 1e-9);
+    }
+}
+
+TEST(TraceIo, UnsortedRowsAreSortedByArrival)
+{
+    std::stringstream in(
+        "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
+        "app_id\n"
+        "1,5.0,100,10,0,1,0\n"
+        "0,2.0,200,20,1,0,1\n");
+    Trace trace = readTraceCsv(in, paperTierTable());
+    ASSERT_EQ(trace.requests.size(), 2u);
+    EXPECT_EQ(trace.requests[0].id, 0u);
+    EXPECT_EQ(trace.requests[1].id, 1u);
+    EXPECT_FALSE(trace.requests[0].important);
+}
+
+TEST(TraceIo, WindowsLineEndingsAccepted)
+{
+    std::stringstream in(
+        "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
+        "app_id\r\n"
+        "0,1.0,100,10,0,1,0\r\n");
+    Trace trace = readTraceCsv(in, paperTierTable());
+    EXPECT_EQ(trace.requests.size(), 1u);
+}
+
+TEST(TraceIo, BadHeaderIsFatal)
+{
+    std::stringstream in("nope\n0,1.0,100,10,0,1,0\n");
+    EXPECT_DEATH(readTraceCsv(in, paperTierTable()), "bad trace header");
+}
+
+TEST(TraceIo, WrongFieldCountIsFatal)
+{
+    std::stringstream in(
+        "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
+        "app_id\n"
+        "0,1.0,100,10,0\n");
+    EXPECT_DEATH(readTraceCsv(in, paperTierTable()), "expected 7 fields");
+}
+
+TEST(TraceIo, OutOfRangeTierIsFatal)
+{
+    std::stringstream in(
+        "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
+        "app_id\n"
+        "0,1.0,100,10,9,1,0\n");
+    EXPECT_DEATH(readTraceCsv(in, paperTierTable()), "out of range");
+}
+
+TEST(TraceIo, NonPositiveTokensAreFatal)
+{
+    std::stringstream in(
+        "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
+        "app_id\n"
+        "0,1.0,0,10,0,1,0\n");
+    EXPECT_DEATH(readTraceCsv(in, paperTierTable()),
+                 "token counts must be positive");
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    Trace original =
+        TraceBuilder().seed(7).buildCount(PoissonArrivals(3.0), 100);
+    std::string path = ::testing::TempDir() + "/qoserve_trace_io.csv";
+    writeTraceCsvFile(original, path);
+    Trace parsed = readTraceCsvFile(path, paperTierTable());
+    EXPECT_EQ(parsed.requests.size(), 100u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    EXPECT_DEATH(readTraceCsvFile("/nonexistent/qoserve.csv",
+                                  paperTierTable()),
+                 "cannot open");
+}
+
+} // namespace
+} // namespace qoserve

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for trace synthesis.
+ */
+
+#include "workload/trace.hh"
+
+#include <gtest/gtest.h>
+
+namespace qoserve {
+namespace {
+
+TEST(TraceBuilder, BuildByDurationCoversWindow)
+{
+    Trace trace = TraceBuilder().seed(1).build(PoissonArrivals(5.0), 600.0);
+    EXPECT_NEAR(static_cast<double>(trace.requests.size()), 3000.0, 300.0);
+    for (const auto &r : trace.requests)
+        EXPECT_LE(r.arrival, 600.0);
+}
+
+TEST(TraceBuilder, BuildCountProducesExactCount)
+{
+    Trace trace =
+        TraceBuilder().seed(2).buildCount(PoissonArrivals(5.0), 1234);
+    EXPECT_EQ(trace.requests.size(), 1234u);
+}
+
+TEST(TraceBuilder, ArrivalsSortedAndIdsDense)
+{
+    Trace trace =
+        TraceBuilder().seed(3).buildCount(PoissonArrivals(10.0), 2000);
+    for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+        EXPECT_EQ(trace.requests[i].id, i);
+        if (i > 0) {
+            EXPECT_GE(trace.requests[i].arrival,
+                      trace.requests[i - 1].arrival);
+        }
+    }
+}
+
+TEST(TraceBuilder, DefaultTierMixIsEqualSplit)
+{
+    Trace trace =
+        TraceBuilder().seed(4).buildCount(PoissonArrivals(10.0), 30000);
+    std::vector<int> counts(3, 0);
+    for (const auto &r : trace.requests)
+        ++counts[r.tierId];
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 400);
+}
+
+TEST(TraceBuilder, SkewedTierMixRespected)
+{
+    Trace trace = TraceBuilder()
+                      .seed(5)
+                      .tierMix({0.7, 0.15, 0.15})
+                      .buildCount(PoissonArrivals(10.0), 20000);
+    std::vector<int> counts(3, 0);
+    for (const auto &r : trace.requests)
+        ++counts[r.tierId];
+    EXPECT_NEAR(counts[0], 14000, 400);
+    EXPECT_NEAR(counts[1], 3000, 250);
+    EXPECT_NEAR(counts[2], 3000, 250);
+}
+
+TEST(TraceBuilder, LowPriorityFractionTagsRequests)
+{
+    Trace trace = TraceBuilder()
+                      .seed(6)
+                      .lowPriorityFraction(0.2)
+                      .buildCount(PoissonArrivals(10.0), 20000);
+    int low = 0;
+    for (const auto &r : trace.requests)
+        low += !r.important;
+    EXPECT_NEAR(low / 20000.0, 0.2, 0.015);
+}
+
+TEST(TraceBuilder, DefaultIsAllImportant)
+{
+    Trace trace =
+        TraceBuilder().seed(7).buildCount(PoissonArrivals(10.0), 1000);
+    for (const auto &r : trace.requests)
+        EXPECT_TRUE(r.important);
+}
+
+TEST(TraceBuilder, DeterministicForSameSeed)
+{
+    Trace a = TraceBuilder().seed(8).buildCount(PoissonArrivals(5.0), 500);
+    Trace b = TraceBuilder().seed(8).buildCount(PoissonArrivals(5.0), 500);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_EQ(a.requests[i].arrival, b.requests[i].arrival);
+        EXPECT_EQ(a.requests[i].promptTokens, b.requests[i].promptTokens);
+        EXPECT_EQ(a.requests[i].decodeTokens, b.requests[i].decodeTokens);
+        EXPECT_EQ(a.requests[i].tierId, b.requests[i].tierId);
+    }
+}
+
+TEST(TraceBuilder, DifferentSeedsDiffer)
+{
+    Trace a = TraceBuilder().seed(9).buildCount(PoissonArrivals(5.0), 100);
+    Trace b = TraceBuilder().seed(10).buildCount(PoissonArrivals(5.0), 100);
+    int same = 0;
+    for (std::size_t i = 0; i < 100; ++i)
+        same += a.requests[i].promptTokens == b.requests[i].promptTokens;
+    EXPECT_LT(same, 10);
+}
+
+TEST(TraceBuilder, AppIdTracksTier)
+{
+    Trace trace =
+        TraceBuilder().seed(11).buildCount(PoissonArrivals(5.0), 1000);
+    for (const auto &r : trace.requests)
+        EXPECT_EQ(r.appId, r.tierId);
+}
+
+TEST(TraceBuilder, AppStatsReflectDecodeDistribution)
+{
+    Trace trace = TraceBuilder()
+                      .seed(12)
+                      .dataset(azureCode())
+                      .buildCount(PoissonArrivals(5.0), 30000);
+    ASSERT_EQ(trace.appStats.size(), 3u);
+    for (const auto &stats : trace.appStats) {
+        // Az-Code decodes: p50 = 8; the mean of the fitted lognormal
+        // is ~19. The conservative estimate must over-approximate.
+        EXPECT_GT(stats.meanDecode, 5.0);
+        EXPECT_LT(stats.meanDecode, 50.0);
+        EXPECT_GT(stats.conservativeDecodeTokens(), stats.meanDecode);
+    }
+}
+
+TEST(ComputeAppStats, MeanAndStddevExact)
+{
+    std::vector<RequestSpec> reqs(4);
+    for (auto &r : reqs)
+        r.appId = 0;
+    reqs[0].decodeTokens = 10;
+    reqs[1].decodeTokens = 20;
+    reqs[2].decodeTokens = 30;
+    reqs[3].decodeTokens = 40;
+    auto stats = computeAppStats(reqs);
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_DOUBLE_EQ(stats[0].meanDecode, 25.0);
+    EXPECT_NEAR(stats[0].stddevDecode, 11.1803, 1e-3);
+    EXPECT_NEAR(stats[0].conservativeDecodeTokens(), 47.36, 0.01);
+}
+
+TEST(ComputeAppStats, EmptyInputYieldsEmpty)
+{
+    EXPECT_TRUE(computeAppStats({}).empty());
+}
+
+} // namespace
+} // namespace qoserve

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * qoserve_sim — standalone simulator driver.
+ *
+ * Runs one serving experiment end-to-end from the command line:
+ * synthesize (or replay) a workload, serve it under the chosen
+ * policy and deployment, and print / export the results.
+ *
+ * Examples:
+ *   qoserve_sim --policy qoserve --qps 4 --duration 1200
+ *   qoserve_sim --policy edf --dataset sharegpt --replicas 2 \
+ *       --records-out records.csv
+ *   qoserve_sim --trace-in trace.csv --policy qoserve \
+ *       --summary-out summary.csv
+ */
+
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "core/cli_options.hh"
+#include "core/qoserve.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qoserve;
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    CliOptions opts = parseCliOptions(args);
+    if (opts.helpRequested) {
+        std::cout << cliUsage();
+        return 0;
+    }
+
+    // Workload: replay or synthesize.
+    Trace trace;
+    if (opts.traceIn) {
+        trace = readTraceCsvFile(*opts.traceIn, opts.tiers);
+        std::cerr << "replaying " << trace.requests.size()
+                  << " requests from " << *opts.traceIn << "\n";
+    } else {
+        trace = TraceBuilder()
+                    .dataset(opts.dataset)
+                    .tiers(opts.tiers)
+                    .tierMix(opts.tierMix)
+                    .lowPriorityFraction(opts.lowPriorityFraction)
+                    .seed(opts.seed)
+                    .build(PoissonArrivals(opts.qps), opts.duration);
+        std::cerr << "synthesized " << trace.requests.size()
+                  << " requests (" << opts.dataset.name << " at "
+                  << opts.qps << " QPS over " << opts.duration
+                  << " s)\n";
+    }
+    if (opts.traceOut)
+        writeTraceCsvFile(trace, *opts.traceOut);
+
+    // Deployment.
+    std::cerr << "policy " << policyName(opts.serving.policy) << ", "
+              << opts.serving.numReplicas << "x "
+              << opts.serving.hw.model.name << " on "
+              << opts.serving.hw.gpu.name << " (TP"
+              << opts.serving.hw.tpDegree << "), "
+              << loadBalanceName(opts.loadBalance) << " balancing\n";
+
+    auto predictor = makePredictor(opts.serving);
+    ClusterSim::Config cc;
+    cc.replica.hw = opts.serving.hw;
+    cc.replica.perfParams = opts.serving.perfParams;
+    cc.predictor = predictor.get();
+
+    ClusterSim sim(cc, trace);
+    sim.addReplicaGroup(opts.serving.numReplicas,
+                        makeSchedulerFactory(opts.serving),
+                        opts.loadBalance);
+
+    TelemetryRecorder telemetry;
+    if (opts.telemetryOut) {
+        for (std::size_t i = 0; i < sim.numReplicas(); ++i) {
+            sim.replica(i).setBatchObserver(
+                telemetry.observerFor(static_cast<int>(i)));
+        }
+    }
+    const MetricsCollector &metrics = sim.run();
+    if (opts.telemetryOut)
+        telemetry.writeCsvFile(*opts.telemetryOut);
+
+    RunSummary summary = summarize(metrics);
+    printSummary(summary, trace.tiers, std::cout);
+
+    if (opts.recordsOut)
+        writeRecordsCsvFile(metrics, *opts.recordsOut);
+    if (opts.summaryOut) {
+        std::ofstream out(*opts.summaryOut);
+        if (!out) {
+            std::cerr << "cannot write " << *opts.summaryOut << "\n";
+            return 1;
+        }
+        writeSummaryCsv(summary, out);
+    }
+    return 0;
+}
