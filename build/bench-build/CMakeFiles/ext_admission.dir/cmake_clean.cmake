@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_admission"
+  "../bench/ext_admission.pdb"
+  "CMakeFiles/ext_admission.dir/ext_admission.cc.o"
+  "CMakeFiles/ext_admission.dir/ext_admission.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

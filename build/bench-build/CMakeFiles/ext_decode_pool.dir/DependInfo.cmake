@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_decode_pool.cc" "bench-build/CMakeFiles/ext_decode_pool.dir/ext_decode_pool.cc.o" "gcc" "bench-build/CMakeFiles/ext_decode_pool.dir/ext_decode_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/qoserve_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qoserve_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/qoserve_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/qoserve_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/qoserve_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/qoserve_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/qoserve_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/qoserve_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/qoserve_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/qoserve_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_decode_pool"
+  "../bench/ext_decode_pool.pdb"
+  "CMakeFiles/ext_decode_pool.dir/ext_decode_pool.cc.o"
+  "CMakeFiles/ext_decode_pool.dir/ext_decode_pool.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_decode_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

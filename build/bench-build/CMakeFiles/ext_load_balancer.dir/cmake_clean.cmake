@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_load_balancer"
+  "../bench/ext_load_balancer.pdb"
+  "CMakeFiles/ext_load_balancer.dir/ext_load_balancer.cc.o"
+  "CMakeFiles/ext_load_balancer.dir/ext_load_balancer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_load_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_capacity"
+  "../bench/fig01_capacity.pdb"
+  "CMakeFiles/fig01_capacity.dir/fig01_capacity.cc.o"
+  "CMakeFiles/fig01_capacity.dir/fig01_capacity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_policies"
+  "../bench/fig02_policies.pdb"
+  "CMakeFiles/fig02_policies.dir/fig02_policies.cc.o"
+  "CMakeFiles/fig02_policies.dir/fig02_policies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

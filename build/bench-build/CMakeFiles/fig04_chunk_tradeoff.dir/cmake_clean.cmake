@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_chunk_tradeoff"
+  "../bench/fig04_chunk_tradeoff.pdb"
+  "CMakeFiles/fig04_chunk_tradeoff.dir/fig04_chunk_tradeoff.cc.o"
+  "CMakeFiles/fig04_chunk_tradeoff.dir/fig04_chunk_tradeoff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_chunk_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_relegation"
+  "../bench/fig05_relegation.pdb"
+  "CMakeFiles/fig05_relegation.dir/fig05_relegation.cc.o"
+  "CMakeFiles/fig05_relegation.dir/fig05_relegation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_relegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

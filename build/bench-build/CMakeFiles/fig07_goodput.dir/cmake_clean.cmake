@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_goodput"
+  "../bench/fig07_goodput.pdb"
+  "CMakeFiles/fig07_goodput.dir/fig07_goodput.cc.o"
+  "CMakeFiles/fig07_goodput.dir/fig07_goodput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

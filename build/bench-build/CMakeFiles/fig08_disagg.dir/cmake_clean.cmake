@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_disagg"
+  "../bench/fig08_disagg.pdb"
+  "CMakeFiles/fig08_disagg.dir/fig08_disagg.cc.o"
+  "CMakeFiles/fig08_disagg.dir/fig08_disagg.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_disagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_dynamic_chunking"
+  "../bench/fig09_dynamic_chunking.pdb"
+  "CMakeFiles/fig09_dynamic_chunking.dir/fig09_dynamic_chunking.cc.o"
+  "CMakeFiles/fig09_dynamic_chunking.dir/fig09_dynamic_chunking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dynamic_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

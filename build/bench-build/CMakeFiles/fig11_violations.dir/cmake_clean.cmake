@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_violations"
+  "../bench/fig11_violations.pdb"
+  "CMakeFiles/fig11_violations.dir/fig11_violations.cc.o"
+  "CMakeFiles/fig11_violations.dir/fig11_violations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_transient"
+  "../bench/fig12_transient.pdb"
+  "CMakeFiles/fig12_transient.dir/fig12_transient.cc.o"
+  "CMakeFiles/fig12_transient.dir/fig12_transient.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_rolling_tail"
+  "../bench/fig13_rolling_tail.pdb"
+  "CMakeFiles/fig13_rolling_tail.dir/fig13_rolling_tail.cc.o"
+  "CMakeFiles/fig13_rolling_tail.dir/fig13_rolling_tail.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_rolling_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_concurrent"
+  "../bench/fig15_concurrent.pdb"
+  "CMakeFiles/fig15_concurrent.dir/fig15_concurrent.cc.o"
+  "CMakeFiles/fig15_concurrent.dir/fig15_concurrent.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

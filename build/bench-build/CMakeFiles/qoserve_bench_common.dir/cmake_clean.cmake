@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoserve_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/qoserve_bench_common.dir/bench_common.cc.o.d"
+  "libqoserve_bench_common.a"
+  "libqoserve_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoserve_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

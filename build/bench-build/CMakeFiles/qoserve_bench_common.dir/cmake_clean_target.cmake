@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqoserve_bench_common.a"
+)

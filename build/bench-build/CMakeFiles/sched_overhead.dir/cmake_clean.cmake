@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sched_overhead"
+  "../bench/sched_overhead.pdb"
+  "CMakeFiles/sched_overhead.dir/sched_overhead.cc.o"
+  "CMakeFiles/sched_overhead.dir/sched_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

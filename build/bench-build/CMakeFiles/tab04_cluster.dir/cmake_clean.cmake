@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab04_cluster"
+  "../bench/tab04_cluster.pdb"
+  "CMakeFiles/tab04_cluster.dir/tab04_cluster.cc.o"
+  "CMakeFiles/tab04_cluster.dir/tab04_cluster.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

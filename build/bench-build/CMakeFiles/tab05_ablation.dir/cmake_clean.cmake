@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab05_ablation"
+  "../bench/tab05_ablation.pdb"
+  "CMakeFiles/tab05_ablation.dir/tab05_ablation.cc.o"
+  "CMakeFiles/tab05_ablation.dir/tab05_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

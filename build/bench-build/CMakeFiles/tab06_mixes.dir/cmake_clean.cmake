@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab06_mixes"
+  "../bench/tab06_mixes.pdb"
+  "CMakeFiles/tab06_mixes.dir/tab06_mixes.cc.o"
+  "CMakeFiles/tab06_mixes.dir/tab06_mixes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

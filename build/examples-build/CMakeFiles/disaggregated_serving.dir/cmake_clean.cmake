@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/disaggregated_serving"
+  "../examples/disaggregated_serving.pdb"
+  "CMakeFiles/disaggregated_serving.dir/disaggregated_serving.cpp.o"
+  "CMakeFiles/disaggregated_serving.dir/disaggregated_serving.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaggregated_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

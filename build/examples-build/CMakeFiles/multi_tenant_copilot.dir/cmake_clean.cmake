@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/multi_tenant_copilot"
+  "../examples/multi_tenant_copilot.pdb"
+  "CMakeFiles/multi_tenant_copilot.dir/multi_tenant_copilot.cpp.o"
+  "CMakeFiles/multi_tenant_copilot.dir/multi_tenant_copilot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_copilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

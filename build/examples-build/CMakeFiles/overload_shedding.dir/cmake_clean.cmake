@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/overload_shedding"
+  "../examples/overload_shedding.pdb"
+  "CMakeFiles/overload_shedding.dir/overload_shedding.cpp.o"
+  "CMakeFiles/overload_shedding.dir/overload_shedding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overload_shedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

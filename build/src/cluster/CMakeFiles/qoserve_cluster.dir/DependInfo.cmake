@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/admission.cc" "src/cluster/CMakeFiles/qoserve_cluster.dir/admission.cc.o" "gcc" "src/cluster/CMakeFiles/qoserve_cluster.dir/admission.cc.o.d"
+  "/root/repo/src/cluster/capacity.cc" "src/cluster/CMakeFiles/qoserve_cluster.dir/capacity.cc.o" "gcc" "src/cluster/CMakeFiles/qoserve_cluster.dir/capacity.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/qoserve_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/qoserve_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/disagg.cc" "src/cluster/CMakeFiles/qoserve_cluster.dir/disagg.cc.o" "gcc" "src/cluster/CMakeFiles/qoserve_cluster.dir/disagg.cc.o.d"
+  "/root/repo/src/cluster/replica.cc" "src/cluster/CMakeFiles/qoserve_cluster.dir/replica.cc.o" "gcc" "src/cluster/CMakeFiles/qoserve_cluster.dir/replica.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/qoserve_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/qoserve_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/qoserve_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/qoserve_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/qoserve_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/qoserve_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/qoserve_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoserve_cluster.dir/admission.cc.o"
+  "CMakeFiles/qoserve_cluster.dir/admission.cc.o.d"
+  "CMakeFiles/qoserve_cluster.dir/capacity.cc.o"
+  "CMakeFiles/qoserve_cluster.dir/capacity.cc.o.d"
+  "CMakeFiles/qoserve_cluster.dir/cluster.cc.o"
+  "CMakeFiles/qoserve_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/qoserve_cluster.dir/disagg.cc.o"
+  "CMakeFiles/qoserve_cluster.dir/disagg.cc.o.d"
+  "CMakeFiles/qoserve_cluster.dir/replica.cc.o"
+  "CMakeFiles/qoserve_cluster.dir/replica.cc.o.d"
+  "libqoserve_cluster.a"
+  "libqoserve_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoserve_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

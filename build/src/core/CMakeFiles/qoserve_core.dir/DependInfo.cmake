@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cli_options.cc" "src/core/CMakeFiles/qoserve_core.dir/cli_options.cc.o" "gcc" "src/core/CMakeFiles/qoserve_core.dir/cli_options.cc.o.d"
+  "/root/repo/src/core/serving_system.cc" "src/core/CMakeFiles/qoserve_core.dir/serving_system.cc.o" "gcc" "src/core/CMakeFiles/qoserve_core.dir/serving_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/qoserve_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/qoserve_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/qoserve_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/qoserve_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/qoserve_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/qoserve_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/qoserve_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/qoserve_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoserve_core.dir/cli_options.cc.o"
+  "CMakeFiles/qoserve_core.dir/cli_options.cc.o.d"
+  "CMakeFiles/qoserve_core.dir/serving_system.cc.o"
+  "CMakeFiles/qoserve_core.dir/serving_system.cc.o.d"
+  "libqoserve_core.a"
+  "libqoserve_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoserve_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoserve_kvcache.dir/block_manager.cc.o"
+  "CMakeFiles/qoserve_kvcache.dir/block_manager.cc.o.d"
+  "libqoserve_kvcache.a"
+  "libqoserve_kvcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoserve_kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

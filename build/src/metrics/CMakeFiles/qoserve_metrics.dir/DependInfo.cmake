@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/percentile.cc" "src/metrics/CMakeFiles/qoserve_metrics.dir/percentile.cc.o" "gcc" "src/metrics/CMakeFiles/qoserve_metrics.dir/percentile.cc.o.d"
+  "/root/repo/src/metrics/report_io.cc" "src/metrics/CMakeFiles/qoserve_metrics.dir/report_io.cc.o" "gcc" "src/metrics/CMakeFiles/qoserve_metrics.dir/report_io.cc.o.d"
+  "/root/repo/src/metrics/slo_report.cc" "src/metrics/CMakeFiles/qoserve_metrics.dir/slo_report.cc.o" "gcc" "src/metrics/CMakeFiles/qoserve_metrics.dir/slo_report.cc.o.d"
+  "/root/repo/src/metrics/telemetry.cc" "src/metrics/CMakeFiles/qoserve_metrics.dir/telemetry.cc.o" "gcc" "src/metrics/CMakeFiles/qoserve_metrics.dir/telemetry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/qoserve_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/qoserve_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/qoserve_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/qoserve_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/qoserve_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/qoserve_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoserve_metrics.dir/percentile.cc.o"
+  "CMakeFiles/qoserve_metrics.dir/percentile.cc.o.d"
+  "CMakeFiles/qoserve_metrics.dir/report_io.cc.o"
+  "CMakeFiles/qoserve_metrics.dir/report_io.cc.o.d"
+  "CMakeFiles/qoserve_metrics.dir/slo_report.cc.o"
+  "CMakeFiles/qoserve_metrics.dir/slo_report.cc.o.d"
+  "CMakeFiles/qoserve_metrics.dir/telemetry.cc.o"
+  "CMakeFiles/qoserve_metrics.dir/telemetry.cc.o.d"
+  "libqoserve_metrics.a"
+  "libqoserve_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoserve_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

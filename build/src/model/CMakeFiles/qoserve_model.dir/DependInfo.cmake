@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/hardware_config.cc" "src/model/CMakeFiles/qoserve_model.dir/hardware_config.cc.o" "gcc" "src/model/CMakeFiles/qoserve_model.dir/hardware_config.cc.o.d"
+  "/root/repo/src/model/model_config.cc" "src/model/CMakeFiles/qoserve_model.dir/model_config.cc.o" "gcc" "src/model/CMakeFiles/qoserve_model.dir/model_config.cc.o.d"
+  "/root/repo/src/model/perf_model.cc" "src/model/CMakeFiles/qoserve_model.dir/perf_model.cc.o" "gcc" "src/model/CMakeFiles/qoserve_model.dir/perf_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/qoserve_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

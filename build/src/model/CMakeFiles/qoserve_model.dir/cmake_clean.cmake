@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoserve_model.dir/hardware_config.cc.o"
+  "CMakeFiles/qoserve_model.dir/hardware_config.cc.o.d"
+  "CMakeFiles/qoserve_model.dir/model_config.cc.o"
+  "CMakeFiles/qoserve_model.dir/model_config.cc.o.d"
+  "CMakeFiles/qoserve_model.dir/perf_model.cc.o"
+  "CMakeFiles/qoserve_model.dir/perf_model.cc.o.d"
+  "libqoserve_model.a"
+  "libqoserve_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoserve_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictor/latency_predictor.cc" "src/predictor/CMakeFiles/qoserve_predictor.dir/latency_predictor.cc.o" "gcc" "src/predictor/CMakeFiles/qoserve_predictor.dir/latency_predictor.cc.o.d"
+  "/root/repo/src/predictor/profiler.cc" "src/predictor/CMakeFiles/qoserve_predictor.dir/profiler.cc.o" "gcc" "src/predictor/CMakeFiles/qoserve_predictor.dir/profiler.cc.o.d"
+  "/root/repo/src/predictor/random_forest.cc" "src/predictor/CMakeFiles/qoserve_predictor.dir/random_forest.cc.o" "gcc" "src/predictor/CMakeFiles/qoserve_predictor.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/qoserve_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/qoserve_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

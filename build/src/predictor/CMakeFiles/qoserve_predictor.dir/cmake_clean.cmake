@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoserve_predictor.dir/latency_predictor.cc.o"
+  "CMakeFiles/qoserve_predictor.dir/latency_predictor.cc.o.d"
+  "CMakeFiles/qoserve_predictor.dir/profiler.cc.o"
+  "CMakeFiles/qoserve_predictor.dir/profiler.cc.o.d"
+  "CMakeFiles/qoserve_predictor.dir/random_forest.cc.o"
+  "CMakeFiles/qoserve_predictor.dir/random_forest.cc.o.d"
+  "libqoserve_predictor.a"
+  "libqoserve_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoserve_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/baseline_schedulers.cc" "src/sched/CMakeFiles/qoserve_sched.dir/baseline_schedulers.cc.o" "gcc" "src/sched/CMakeFiles/qoserve_sched.dir/baseline_schedulers.cc.o.d"
+  "/root/repo/src/sched/batch.cc" "src/sched/CMakeFiles/qoserve_sched.dir/batch.cc.o" "gcc" "src/sched/CMakeFiles/qoserve_sched.dir/batch.cc.o.d"
+  "/root/repo/src/sched/chunked_scheduler.cc" "src/sched/CMakeFiles/qoserve_sched.dir/chunked_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/qoserve_sched.dir/chunked_scheduler.cc.o.d"
+  "/root/repo/src/sched/dp_scheduler.cc" "src/sched/CMakeFiles/qoserve_sched.dir/dp_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/qoserve_sched.dir/dp_scheduler.cc.o.d"
+  "/root/repo/src/sched/qoserve_scheduler.cc" "src/sched/CMakeFiles/qoserve_sched.dir/qoserve_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/qoserve_sched.dir/qoserve_scheduler.cc.o.d"
+  "/root/repo/src/sched/request.cc" "src/sched/CMakeFiles/qoserve_sched.dir/request.cc.o" "gcc" "src/sched/CMakeFiles/qoserve_sched.dir/request.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/predictor/CMakeFiles/qoserve_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/qoserve_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvcache/CMakeFiles/qoserve_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/qoserve_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/qoserve_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

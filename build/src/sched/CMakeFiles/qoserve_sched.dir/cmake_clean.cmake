@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoserve_sched.dir/baseline_schedulers.cc.o"
+  "CMakeFiles/qoserve_sched.dir/baseline_schedulers.cc.o.d"
+  "CMakeFiles/qoserve_sched.dir/batch.cc.o"
+  "CMakeFiles/qoserve_sched.dir/batch.cc.o.d"
+  "CMakeFiles/qoserve_sched.dir/chunked_scheduler.cc.o"
+  "CMakeFiles/qoserve_sched.dir/chunked_scheduler.cc.o.d"
+  "CMakeFiles/qoserve_sched.dir/dp_scheduler.cc.o"
+  "CMakeFiles/qoserve_sched.dir/dp_scheduler.cc.o.d"
+  "CMakeFiles/qoserve_sched.dir/qoserve_scheduler.cc.o"
+  "CMakeFiles/qoserve_sched.dir/qoserve_scheduler.cc.o.d"
+  "CMakeFiles/qoserve_sched.dir/request.cc.o"
+  "CMakeFiles/qoserve_sched.dir/request.cc.o.d"
+  "libqoserve_sched.a"
+  "libqoserve_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoserve_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoserve_simcore.dir/event_queue.cc.o"
+  "CMakeFiles/qoserve_simcore.dir/event_queue.cc.o.d"
+  "CMakeFiles/qoserve_simcore.dir/logging.cc.o"
+  "CMakeFiles/qoserve_simcore.dir/logging.cc.o.d"
+  "CMakeFiles/qoserve_simcore.dir/rng.cc.o"
+  "CMakeFiles/qoserve_simcore.dir/rng.cc.o.d"
+  "libqoserve_simcore.a"
+  "libqoserve_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoserve_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival.cc" "src/workload/CMakeFiles/qoserve_workload.dir/arrival.cc.o" "gcc" "src/workload/CMakeFiles/qoserve_workload.dir/arrival.cc.o.d"
+  "/root/repo/src/workload/dataset.cc" "src/workload/CMakeFiles/qoserve_workload.dir/dataset.cc.o" "gcc" "src/workload/CMakeFiles/qoserve_workload.dir/dataset.cc.o.d"
+  "/root/repo/src/workload/qos.cc" "src/workload/CMakeFiles/qoserve_workload.dir/qos.cc.o" "gcc" "src/workload/CMakeFiles/qoserve_workload.dir/qos.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/qoserve_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/qoserve_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/qoserve_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/qoserve_workload.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/qoserve_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoserve_workload.dir/arrival.cc.o"
+  "CMakeFiles/qoserve_workload.dir/arrival.cc.o.d"
+  "CMakeFiles/qoserve_workload.dir/dataset.cc.o"
+  "CMakeFiles/qoserve_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/qoserve_workload.dir/qos.cc.o"
+  "CMakeFiles/qoserve_workload.dir/qos.cc.o.d"
+  "CMakeFiles/qoserve_workload.dir/trace.cc.o"
+  "CMakeFiles/qoserve_workload.dir/trace.cc.o.d"
+  "CMakeFiles/qoserve_workload.dir/trace_io.cc.o"
+  "CMakeFiles/qoserve_workload.dir/trace_io.cc.o.d"
+  "libqoserve_workload.a"
+  "libqoserve_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoserve_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/admission_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/admission_test.cc.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/capacity_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/capacity_test.cc.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/cluster_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/cluster_test.cc.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/disagg_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/disagg_test.cc.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/load_balance_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/load_balance_test.cc.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/replica_test.cc.o"
+  "CMakeFiles/test_cluster.dir/cluster/replica_test.cc.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/cli_options_test.cc.o"
+  "CMakeFiles/test_core.dir/core/cli_options_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/integration_test.cc.o"
+  "CMakeFiles/test_core.dir/core/integration_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/serving_system_test.cc.o"
+  "CMakeFiles/test_core.dir/core/serving_system_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

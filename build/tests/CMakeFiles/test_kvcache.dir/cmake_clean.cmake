@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvcache.dir/kvcache/block_manager_test.cc.o"
+  "CMakeFiles/test_kvcache.dir/kvcache/block_manager_test.cc.o.d"
+  "test_kvcache"
+  "test_kvcache.pdb"
+  "test_kvcache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics.dir/metrics/percentile_test.cc.o"
+  "CMakeFiles/test_metrics.dir/metrics/percentile_test.cc.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/report_io_test.cc.o"
+  "CMakeFiles/test_metrics.dir/metrics/report_io_test.cc.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/slo_report_test.cc.o"
+  "CMakeFiles/test_metrics.dir/metrics/slo_report_test.cc.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/telemetry_test.cc.o"
+  "CMakeFiles/test_metrics.dir/metrics/telemetry_test.cc.o.d"
+  "test_metrics"
+  "test_metrics.pdb"
+  "test_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

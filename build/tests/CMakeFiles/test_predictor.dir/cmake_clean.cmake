@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictor.dir/predictor/latency_predictor_test.cc.o"
+  "CMakeFiles/test_predictor.dir/predictor/latency_predictor_test.cc.o.d"
+  "CMakeFiles/test_predictor.dir/predictor/profiler_test.cc.o"
+  "CMakeFiles/test_predictor.dir/predictor/profiler_test.cc.o.d"
+  "CMakeFiles/test_predictor.dir/predictor/random_forest_test.cc.o"
+  "CMakeFiles/test_predictor.dir/predictor/random_forest_test.cc.o.d"
+  "test_predictor"
+  "test_predictor.pdb"
+  "test_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

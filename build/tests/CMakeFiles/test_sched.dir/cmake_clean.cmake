@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/baseline_schedulers_test.cc.o"
+  "CMakeFiles/test_sched.dir/sched/baseline_schedulers_test.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/chunked_scheduler_test.cc.o"
+  "CMakeFiles/test_sched.dir/sched/chunked_scheduler_test.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/dp_scheduler_test.cc.o"
+  "CMakeFiles/test_sched.dir/sched/dp_scheduler_test.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/policy_invariants_test.cc.o"
+  "CMakeFiles/test_sched.dir/sched/policy_invariants_test.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/qoserve_scheduler_test.cc.o"
+  "CMakeFiles/test_sched.dir/sched/qoserve_scheduler_test.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/request_test.cc.o"
+  "CMakeFiles/test_sched.dir/sched/request_test.cc.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

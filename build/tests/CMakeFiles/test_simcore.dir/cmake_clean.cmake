@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simcore.dir/simcore/event_queue_test.cc.o"
+  "CMakeFiles/test_simcore.dir/simcore/event_queue_test.cc.o.d"
+  "CMakeFiles/test_simcore.dir/simcore/rng_test.cc.o"
+  "CMakeFiles/test_simcore.dir/simcore/rng_test.cc.o.d"
+  "test_simcore"
+  "test_simcore.pdb"
+  "test_simcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/qoserve_sim"
+  "../tools/qoserve_sim.pdb"
+  "CMakeFiles/qoserve_sim.dir/qoserve_sim.cc.o"
+  "CMakeFiles/qoserve_sim.dir/qoserve_sim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoserve_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
