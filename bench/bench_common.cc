@@ -5,8 +5,32 @@
 
 #include "bench_common.hh"
 
+#include <cstdlib>
+#include <fstream>
+#include <set>
+
 namespace qoserve {
 namespace bench {
+
+namespace {
+
+/** True when a config consults the trained forest predictor. */
+bool
+needsPredictor(const RunConfig &cfg)
+{
+    return cfg.policy == Policy::QoServe &&
+           cfg.qoserve.enableDynamicChunking;
+}
+
+/** Cache key of a hardware config. */
+std::string
+hwKey(const ReplicaHwConfig &hw)
+{
+    return hw.model.name + "/" + hw.gpu.name + "/tp" +
+           std::to_string(hw.tpDegree);
+}
+
+} // namespace
 
 PredictorCache &
 PredictorCache::instance()
@@ -18,9 +42,12 @@ PredictorCache::instance()
 const LatencyPredictor *
 PredictorCache::get(const ReplicaHwConfig &hw)
 {
-    std::string key =
-        hw.model.name + "/" + hw.gpu.name + "/tp" +
-        std::to_string(hw.tpDegree);
+    // Training runs under the lock: concurrent sweep tasks needing
+    // the same (model, GPU, TP) block until the first finishes, then
+    // share the result. Training itself is seed-deterministic, so
+    // whichever task trains produces the same predictor.
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string key = hwKey(hw);
     auto it = cache_.find(key);
     if (it == cache_.end()) {
         std::fprintf(stderr, "[bench] training forest predictor for %s\n",
@@ -32,6 +59,66 @@ PredictorCache::get(const ReplicaHwConfig &hw)
                  .first;
     }
     return it->second.get();
+}
+
+int
+BenchOptions::effectiveJobs() const
+{
+    return par::resolveJobs(jobs);
+}
+
+BenchOptions
+parseBenchArgs(const std::string &bench_name, int argc, char **argv)
+{
+    BenchOptions opts;
+    opts.benchName = bench_name;
+
+    auto usage = [&](std::FILE *out) {
+        std::fprintf(out,
+                     "usage: %s [--jobs N] [--json PATH]\n"
+                     "  --jobs N   sweep worker threads (default: "
+                     "hardware concurrency; 1 = serial).\n"
+                     "             Bench output is identical for every "
+                     "N.\n"
+                     "  --json P   write per-run wall-clock/throughput "
+                     "JSON to P\n",
+                     bench_name.c_str());
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--help" || flag == "-h") {
+            usage(stdout);
+            std::exit(0);
+        } else if (flag == "--jobs") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--jobs requires a value\n");
+                std::exit(1);
+            }
+            const char *value = argv[++i];
+            char *end = nullptr;
+            long jobs = std::strtol(value, &end, 10);
+            if (end == value || *end != '\0' || jobs < 0) {
+                std::fprintf(stderr,
+                             "--jobs: expected a non-negative "
+                             "integer, got '%s'\n",
+                             value);
+                std::exit(1);
+            }
+            opts.jobs = static_cast<int>(jobs);
+        } else if (flag == "--json") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--json requires a value\n");
+                std::exit(1);
+            }
+            opts.jsonOut = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+            usage(stderr);
+            std::exit(1);
+        }
+    }
+    return opts;
 }
 
 ServingConfig
@@ -70,10 +157,9 @@ runForInspection(const RunConfig &cfg, const Trace &trace)
 
     ClusterSim::Config cc;
     cc.replica.hw = cfg.hw;
-    bool needs_predictor =
-        cfg.policy == Policy::QoServe && cfg.qoserve.enableDynamicChunking;
-    cc.predictor =
-        needs_predictor ? PredictorCache::instance().get(cfg.hw) : nullptr;
+    cc.predictor = needsPredictor(cfg)
+                       ? PredictorCache::instance().get(cfg.hw)
+                       : nullptr;
 
     auto sim = std::make_unique<ClusterSim>(cc, trace);
     sim->addReplicaGroup(cfg.numReplicas, makeSchedulerFactory(sc));
@@ -87,12 +173,118 @@ runOnce(const RunConfig &cfg, double qps)
     return summarize(runForInspection(cfg, makeTrace(cfg, qps))->metrics());
 }
 
+std::vector<RunResult>
+runMany(const std::vector<RunPoint> &points, int jobs)
+{
+    // Train each distinct predictor before the fan-out, so sweep
+    // tasks never serialize on the cache lock and the per-run wall
+    // clocks measure simulation, not training waits. The training
+    // itself parallelizes over trees.
+    std::set<std::string> trained;
+    for (const RunPoint &pt : points) {
+        if (needsPredictor(pt.cfg) && trained.insert(hwKey(pt.cfg.hw)).second)
+            PredictorCache::instance().get(pt.cfg.hw);
+    }
+
+    return par::parallelMap(
+        jobs, points.size(), [&points](std::size_t i) {
+            const RunPoint &pt = points[i];
+            WallTimer timer;
+            RunResult res;
+            res.summary = runOnce(pt.cfg, pt.qps);
+            res.wallSeconds = timer.seconds();
+            return res;
+        });
+}
+
 double
 goodput(const RunConfig &cfg, const GoodputSearch &search,
         const GoodputCriteria &criteria)
 {
+    if (needsPredictor(cfg))
+        PredictorCache::instance().get(cfg.hw); // pre-train, see runMany
     LoadRunner runner = [&cfg](double qps) { return runOnce(cfg, qps); };
     return measureMaxGoodput(runner, criteria, search);
+}
+
+std::vector<JsonRun>
+toJsonRuns(const std::vector<RunPoint> &points,
+           const std::vector<RunResult> &results)
+{
+    std::vector<JsonRun> runs;
+    runs.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        JsonRun jr;
+        jr.label = points[i].label;
+        jr.qps = points[i].qps;
+        jr.wallSeconds = results[i].wallSeconds;
+        jr.requests = results[i].summary.count;
+        runs.push_back(jr);
+    }
+    return runs;
+}
+
+namespace {
+
+/** Minimal JSON string escape (labels are plain ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeBenchJson(const BenchOptions &opts, const std::vector<JsonRun> &runs,
+               double total_wall_seconds)
+{
+    if (!opts.jsonOut)
+        return;
+    std::ofstream out(*opts.jsonOut);
+    if (!out) {
+        std::fprintf(stderr, "[bench] cannot write %s\n",
+                     opts.jsonOut->c_str());
+        std::exit(1);
+    }
+
+    std::size_t total_requests = 0;
+    for (const JsonRun &r : runs)
+        total_requests += r.requests;
+
+    out << "{\n";
+    out << "  \"bench\": \"" << jsonEscape(opts.benchName) << "\",\n";
+    out << "  \"jobs\": " << opts.effectiveJobs() << ",\n";
+    out << "  \"total_wall_s\": " << total_wall_seconds << ",\n";
+    out << "  \"total_requests\": " << total_requests << ",\n";
+    out << "  \"requests_per_s\": "
+        << (total_wall_seconds > 0.0
+                ? static_cast<double>(total_requests) / total_wall_seconds
+                : 0.0)
+        << ",\n";
+    out << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const JsonRun &r = runs[i];
+        out << "    {\"label\": \"" << jsonEscape(r.label)
+            << "\", \"qps\": " << r.qps << ", \"wall_s\": "
+            << r.wallSeconds << ", \"requests\": " << r.requests
+            << ", \"requests_per_s\": "
+            << (r.wallSeconds > 0.0
+                    ? static_cast<double>(r.requests) / r.wallSeconds
+                    : 0.0)
+            << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+    std::fprintf(stderr, "[bench] wrote perf JSON to %s\n",
+                 opts.jsonOut->c_str());
 }
 
 void

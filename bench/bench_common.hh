@@ -9,14 +9,25 @@
  * counts, durations) are reduced relative to the paper's 4-hour GPU
  * runs to keep the full suite executable in minutes; EXPERIMENTS.md
  * records the mapping and the measured-vs-published comparison.
+ *
+ * Sweep benches fan their independent (policy, QPS, seed) runs across
+ * a worker pool via runMany(). Every bench accepts:
+ *   --jobs N   worker threads (default hardware concurrency; 1 =
+ *              serial). Output is bit-identical for every N.
+ *   --json P   dump per-run wall-clock and simulation throughput as
+ *              JSON (the perf-trajectory record, see
+ *              BENCH_parallel.json).
  */
 
 #ifndef QOSERVE_BENCH_BENCH_COMMON_HH
 #define QOSERVE_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 
 #include "core/qoserve.hh"
@@ -30,7 +41,8 @@ inline constexpr std::uint64_t kSeed = 42;
 /**
  * Cache of trained forest predictors keyed by hardware config, so
  * sweeps pay the training cost once per (model, GPU, TP) like the
- * paper's per-configuration profiling (§3.6.1).
+ * paper's per-configuration profiling (§3.6.1). get() is safe to
+ * call from concurrent sweep tasks.
  */
 class PredictorCache
 {
@@ -42,6 +54,7 @@ class PredictorCache
     static PredictorCache &instance();
 
   private:
+    std::mutex mutex_;
     std::map<std::string, std::unique_ptr<ForestLatencyPredictor>> cache_;
 };
 
@@ -74,6 +87,29 @@ struct RunConfig
     SimDuration traceDuration = 0.0;
 };
 
+/** Common bench command-line options. */
+struct BenchOptions
+{
+    /** Bench binary name (used in the JSON record). */
+    std::string benchName;
+
+    /** Sweep worker threads; 0 = hardware concurrency. */
+    int jobs = 0;
+
+    /** When set, write the per-run perf JSON here. */
+    std::optional<std::string> jsonOut;
+
+    /** jobs with 0 resolved to the hardware concurrency. */
+    int effectiveJobs() const;
+};
+
+/**
+ * Parse the shared bench flags (--jobs, --json, --help). Unknown
+ * flags and --help print usage; --help exits 0, errors exit 1.
+ */
+BenchOptions parseBenchArgs(const std::string &bench_name, int argc,
+                            char **argv);
+
 /** Build the ServingConfig for a RunConfig (predictor-cached). */
 ServingConfig toServingConfig(const RunConfig &cfg);
 
@@ -87,12 +123,82 @@ RunSummary runOnce(const RunConfig &cfg, double qps);
 std::unique_ptr<ClusterSim> runForInspection(const RunConfig &cfg,
                                              const Trace &trace);
 
+/** One point of a sweep fan-out. */
+struct RunPoint
+{
+    RunConfig cfg;
+    double qps = 0.0;
+
+    /** Row/series label, carried into the perf JSON. */
+    std::string label;
+};
+
+/** Result of one fan-out point. */
+struct RunResult
+{
+    RunSummary summary;
+
+    /** Wall-clock of this run (trace build + simulate + summarize). */
+    double wallSeconds = 0.0;
+};
+
+/**
+ * Run every point, fanning across @p jobs worker threads (0 =
+ * hardware concurrency), and join the results in point order.
+ * Metrics are bit-identical for every job count: each point's trace
+ * is derived from its own config seed and points share no mutable
+ * state. Only the recorded wall-clock varies between runs.
+ */
+std::vector<RunResult> runMany(const std::vector<RunPoint> &points,
+                               int jobs);
+
 /**
  * Per-replica goodput of a config (paper §4.1.2: max QPS with <= 1%
- * violations), via bracket + binary search.
+ * violations), via bracket + parallel grid refinement. Probe
+ * parallelism comes from @p search.jobs.
  */
 double goodput(const RunConfig &cfg, const GoodputSearch &search = {},
                const GoodputCriteria &criteria = {});
+
+/** One row of the perf-trajectory JSON. */
+struct JsonRun
+{
+    std::string label;
+    double qps = 0.0;
+    double wallSeconds = 0.0;
+    std::size_t requests = 0;
+};
+
+/** Convert a fan-out's points + results into JSON rows. */
+std::vector<JsonRun> toJsonRuns(const std::vector<RunPoint> &points,
+                                const std::vector<RunResult> &results);
+
+/**
+ * Write the perf JSON (per-run wall-clock and simulated-request
+ * throughput plus suite totals) to opts.jsonOut if set; no-op
+ * otherwise.
+ */
+void writeBenchJson(const BenchOptions &opts,
+                    const std::vector<JsonRun> &runs,
+                    double total_wall_seconds);
+
+/** Wall-clock stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds since construction. */
+    double seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 /** Print a rule line. */
 void printRule(int width = 78);

@@ -25,16 +25,8 @@ struct PolicyResult
 };
 
 PolicyResult
-evaluate(Policy policy, double qps)
+toPolicyResult(const RunSummary &s)
 {
-    bench::RunConfig cfg;
-    cfg.policy = policy;
-    cfg.traceDuration = 1200.0;
-    cfg.seed = 7;
-
-    auto sim = bench::runForInspection(cfg, bench::makeTrace(cfg, qps));
-    RunSummary s = summarize(sim->metrics());
-
     PolicyResult r;
     r.violations = 100.0 * s.violationRate;
     r.long_violations = 100.0 * s.longViolationRate;
@@ -49,7 +41,7 @@ evaluate(Policy policy, double qps)
 }
 
 void
-run()
+run(const bench::BenchOptions &opts)
 {
     bench::printBanner(
         "Traditional policies vs QoServe across load",
@@ -60,10 +52,29 @@ run()
                                Policy::QoServe};
     const double loads[] = {2.0, 3.0, 4.0, 5.0, 6.0};
 
+    // All 25 (policy, QPS) runs are independent: fan them out.
+    std::vector<bench::RunPoint> points;
+    for (int p = 0; p < 5; ++p) {
+        for (int l = 0; l < 5; ++l) {
+            bench::RunPoint pt;
+            pt.cfg.policy = policies[p];
+            pt.cfg.traceDuration = 1200.0;
+            pt.cfg.seed = 7;
+            pt.qps = loads[l];
+            pt.label = policyName(policies[p]);
+            points.push_back(std::move(pt));
+        }
+    }
+
+    bench::WallTimer suite;
+    std::vector<bench::RunResult> sweep =
+        bench::runMany(points, opts.jobs);
+    double total_wall = suite.seconds();
+
     PolicyResult results[5][5];
     for (int p = 0; p < 5; ++p)
         for (int l = 0; l < 5; ++l)
-            results[p][l] = evaluate(policies[p], loads[l]);
+            results[p][l] = toPolicyResult(sweep[p * 5 + l].summary);
 
     struct MetricView
     {
@@ -95,14 +106,18 @@ run()
                 "first; EDF perfect until the knee then collapses;\n"
                 "SJF/SRPF keep medians low but violate long requests "
                 "even at low load; QoServe stays lowest overall.\n");
+
+    bench::writeBenchJson(opts, bench::toJsonRuns(points, sweep),
+                          total_wall);
 }
 
 } // namespace
 } // namespace qoserve
 
 int
-main()
+main(int argc, char **argv)
 {
-    qoserve::run();
+    qoserve::run(qoserve::bench::parseBenchArgs("fig02_policies", argc,
+                                                argv));
     return 0;
 }

@@ -17,7 +17,7 @@ namespace qoserve {
 namespace {
 
 void
-run()
+run(const bench::BenchOptions &opts)
 {
     bench::printBanner("Per-replica goodput in a shared cluster",
                        "Figure 7");
@@ -36,32 +36,71 @@ run()
     const Policy policies[] = {Policy::SarathiFcfs, Policy::SarathiEdf,
                                Policy::QoServe};
 
-    for (const HwCase &hw_case : hw_cases) {
-        std::printf("\n%s\n", hw_case.label);
+    // The 27 (hw, dataset, policy) goodput searches are independent:
+    // fan them out at the outer level and keep each search's inner
+    // probes serial. Pre-train the three predictors first so sweep
+    // tasks never wait on the cache lock.
+    struct Cell
+    {
+        int hw;
+        int ds;
+        int policy;
+    };
+    std::vector<Cell> cells;
+    for (int h = 0; h < 3; ++h)
+        for (int d = 0; d < 3; ++d)
+            for (int p = 0; p < 3; ++p)
+                cells.push_back({h, d, p});
+
+    for (const HwCase &hw_case : hw_cases)
+        bench::PredictorCache::instance().get(hw_case.hw);
+
+    struct CellResult
+    {
+        double goodput = 0.0;
+        double wallSeconds = 0.0;
+    };
+    bench::WallTimer suite;
+    std::vector<CellResult> sweep = par::parallelMap(
+        opts.jobs, cells.size(), [&](std::size_t i) {
+            const Cell &cell = cells[i];
+            bench::RunConfig cfg;
+            cfg.policy = policies[cell.policy];
+            cfg.hw = hw_cases[cell.hw].hw;
+            cfg.dataset = datasetByName(datasets[cell.ds]);
+            cfg.traceDuration = 1500.0;
+            cfg.seed = 13;
+            GoodputSearch search;
+            search.resolutionQps = 0.125;
+            bench::WallTimer timer;
+            CellResult res;
+            res.goodput = bench::goodput(cfg, search);
+            res.wallSeconds = timer.seconds();
+            return res;
+        });
+    double total_wall = suite.seconds();
+
+    auto result = [&](int h, int d, int p) {
+        return sweep[static_cast<std::size_t>((h * 3 + d) * 3 + p)];
+    };
+
+    for (int h = 0; h < 3; ++h) {
+        std::printf("\n%s\n", hw_cases[h].label);
         std::printf("%-12s %14s %14s %14s %9s %9s\n", "dataset",
                     "Sarathi-FCFS", "Sarathi-EDF", "QoServe",
                     "vs FCFS", "vs EDF");
         bench::printRule(78);
-        for (const char *ds : datasets) {
-            double results[3] = {0, 0, 0};
-            for (int p = 0; p < 3; ++p) {
-                bench::RunConfig cfg;
-                cfg.policy = policies[p];
-                cfg.hw = hw_case.hw;
-                cfg.dataset = datasetByName(ds);
-                cfg.traceDuration = 1500.0;
-                cfg.seed = 13;
-                GoodputSearch search;
-                search.resolutionQps = 0.125;
-                results[p] = bench::goodput(cfg, search);
-            }
+        for (int d = 0; d < 3; ++d) {
             auto ratio = [](double num, double den) {
                 return den > 0.0 ? num / den : 0.0;
             };
             std::printf("%-12s %14.2f %14.2f %14.2f %8.2fx %8.2fx\n",
-                        ds, results[0], results[1], results[2],
-                        ratio(results[2], results[0]),
-                        ratio(results[2], results[1]));
+                        datasets[d], result(h, d, 0).goodput,
+                        result(h, d, 1).goodput, result(h, d, 2).goodput,
+                        ratio(result(h, d, 2).goodput,
+                              result(h, d, 0).goodput),
+                        ratio(result(h, d, 2).goodput,
+                              result(h, d, 1).goodput));
         }
     }
 
@@ -69,14 +108,27 @@ run()
                 "violations (Section 4.1.2).\nPaper: QoServe achieves "
                 "1.5-2.4x over Sarathi-FCFS and 20-40%% over "
                 "Sarathi-EDF.\n");
+
+    std::vector<bench::JsonRun> runs;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        bench::JsonRun jr;
+        jr.label = std::string(hw_cases[cells[i].hw].label) + "/" +
+                   datasets[cells[i].ds] + "/" +
+                   policyName(policies[cells[i].policy]);
+        jr.qps = sweep[i].goodput;
+        jr.wallSeconds = sweep[i].wallSeconds;
+        runs.push_back(std::move(jr));
+    }
+    bench::writeBenchJson(opts, runs, total_wall);
 }
 
 } // namespace
 } // namespace qoserve
 
 int
-main()
+main(int argc, char **argv)
 {
-    qoserve::run();
+    qoserve::run(qoserve::bench::parseBenchArgs("fig07_goodput", argc,
+                                                argv));
     return 0;
 }

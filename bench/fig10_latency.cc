@@ -19,7 +19,7 @@ namespace qoserve {
 namespace {
 
 void
-run()
+run(const bench::BenchOptions &opts)
 {
     bench::printBanner("Per-tier latency vs load", "Figure 10");
 
@@ -28,17 +28,29 @@ run()
     const double loads[] = {2.0, 3.0, 4.0, 5.0, 6.0};
     const double slos[] = {6.0, 600.0, 1800.0};
 
-    // results[policy][load] = per-tier summaries.
-    std::map<int, std::map<int, RunSummary>> results;
+    std::vector<bench::RunPoint> points;
     for (int p = 0; p < 4; ++p) {
         for (int l = 0; l < 5; ++l) {
-            bench::RunConfig cfg;
-            cfg.policy = policies[p];
-            cfg.traceDuration = 1200.0;
-            cfg.seed = 23;
-            results[p][l] = bench::runOnce(cfg, loads[l]);
+            bench::RunPoint pt;
+            pt.cfg.policy = policies[p];
+            pt.cfg.traceDuration = 1200.0;
+            pt.cfg.seed = 23;
+            pt.qps = loads[l];
+            pt.label = policyName(policies[p]);
+            points.push_back(std::move(pt));
         }
     }
+
+    bench::WallTimer suite;
+    std::vector<bench::RunResult> sweep =
+        bench::runMany(points, opts.jobs);
+    double total_wall = suite.seconds();
+
+    // results[policy][load] = per-tier summaries.
+    std::map<int, std::map<int, RunSummary>> results;
+    for (int p = 0; p < 4; ++p)
+        for (int l = 0; l < 5; ++l)
+            results[p][l] = sweep[p * 5 + l].summary;
 
     for (int tier = 0; tier < 3; ++tier) {
         for (bool tail : {false, true}) {
@@ -72,14 +84,18 @@ run()
     std::printf("\nTBT plots are omitted as in the paper: across all "
                 "schemes TBT deadline misses stay\nnegligible by "
                 "construction of the chunk size.\n");
+
+    bench::writeBenchJson(opts, bench::toJsonRuns(points, sweep),
+                          total_wall);
 }
 
 } // namespace
 } // namespace qoserve
 
 int
-main()
+main(int argc, char **argv)
 {
-    qoserve::run();
+    qoserve::run(qoserve::bench::parseBenchArgs("fig10_latency", argc,
+                                                argv));
     return 0;
 }

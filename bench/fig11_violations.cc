@@ -19,7 +19,7 @@ namespace qoserve {
 namespace {
 
 void
-run()
+run(const bench::BenchOptions &opts)
 {
     bench::printBanner("Deadline violations by length and tier",
                        "Figure 11");
@@ -28,16 +28,28 @@ run()
                                Policy::SarathiEdf, Policy::QoServe};
     const double loads[] = {2.0, 3.0, 4.0, 5.0, 6.0};
 
-    std::map<int, std::map<int, RunSummary>> results;
+    std::vector<bench::RunPoint> points;
     for (int p = 0; p < 4; ++p) {
         for (int l = 0; l < 5; ++l) {
-            bench::RunConfig cfg;
-            cfg.policy = policies[p];
-            cfg.traceDuration = 1200.0;
-            cfg.seed = 23;
-            results[p][l] = bench::runOnce(cfg, loads[l]);
+            bench::RunPoint pt;
+            pt.cfg.policy = policies[p];
+            pt.cfg.traceDuration = 1200.0;
+            pt.cfg.seed = 23;
+            pt.qps = loads[l];
+            pt.label = policyName(policies[p]);
+            points.push_back(std::move(pt));
         }
     }
+
+    bench::WallTimer suite;
+    std::vector<bench::RunResult> sweep =
+        bench::runMany(points, opts.jobs);
+    double total_wall = suite.seconds();
+
+    std::map<int, std::map<int, RunSummary>> results;
+    for (int p = 0; p < 4; ++p)
+        for (int l = 0; l < 5; ++l)
+            results[p][l] = sweep[p * 5 + l].summary;
 
     struct View
     {
@@ -84,14 +96,18 @@ run()
             std::printf("\n");
         }
     }
+
+    bench::writeBenchJson(opts, bench::toJsonRuns(points, sweep),
+                          total_wall);
 }
 
 } // namespace
 } // namespace qoserve
 
 int
-main()
+main(int argc, char **argv)
 {
-    qoserve::run();
+    qoserve::run(qoserve::bench::parseBenchArgs("fig11_violations", argc,
+                                                argv));
     return 0;
 }

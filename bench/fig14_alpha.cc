@@ -16,7 +16,7 @@ namespace qoserve {
 namespace {
 
 void
-run()
+run(const bench::BenchOptions &opts)
 {
     bench::printBanner("Hybrid prioritization alpha sweep", "Figure 14");
 
@@ -25,23 +25,36 @@ run()
 
     // Row 3 is the load-adaptive configuration from §3.6 (alpha=1
     // ms/token at low load ramping to 8 under overload).
-    RunSummary results[4][5];
+    std::vector<bench::RunPoint> points;
     for (int a = 0; a < 4; ++a) {
         for (int l = 0; l < 5; ++l) {
-            bench::RunConfig cfg;
-            cfg.policy = Policy::QoServe;
+            bench::RunPoint pt;
+            pt.cfg.policy = Policy::QoServe;
             if (a < 3) {
-                cfg.qoserve.alphaMsPerToken = alphas[a];
+                pt.cfg.qoserve.alphaMsPerToken = alphas[a];
+                pt.label = "alpha=" + std::to_string(alphas[a]);
             } else {
-                cfg.qoserve.adaptiveAlpha = true;
-                cfg.qoserve.alphaLowLoadMs = 1.0;
-                cfg.qoserve.alphaMsPerToken = 8.0;
+                pt.cfg.qoserve.adaptiveAlpha = true;
+                pt.cfg.qoserve.alphaLowLoadMs = 1.0;
+                pt.cfg.qoserve.alphaMsPerToken = 8.0;
+                pt.label = "alpha=adaptive";
             }
-            cfg.traceDuration = 1200.0;
-            cfg.seed = 31;
-            results[a][l] = bench::runOnce(cfg, loads[l]);
+            pt.cfg.traceDuration = 1200.0;
+            pt.cfg.seed = 31;
+            pt.qps = loads[l];
+            points.push_back(std::move(pt));
         }
     }
+
+    bench::WallTimer suite;
+    std::vector<bench::RunResult> sweep =
+        bench::runMany(points, opts.jobs);
+    double total_wall = suite.seconds();
+
+    RunSummary results[4][5];
+    for (int a = 0; a < 4; ++a)
+        for (int l = 0; l < 5; ++l)
+            results[a][l] = sweep[a * 5 + l].summary;
 
     struct View
     {
@@ -79,14 +92,18 @@ run()
                 "ms/token at low load (protects tails),\nalpha ~8 "
                 "ms/token under overload (minimizes violations); "
                 "load-adaptive in production.\n");
+
+    bench::writeBenchJson(opts, bench::toJsonRuns(points, sweep),
+                          total_wall);
 }
 
 } // namespace
 } // namespace qoserve
 
 int
-main()
+main(int argc, char **argv)
 {
-    qoserve::run();
+    qoserve::run(qoserve::bench::parseBenchArgs("fig14_alpha", argc,
+                                                argv));
     return 0;
 }

@@ -155,4 +155,41 @@ BENCHMARK(BM_ChunkBudgetSolve);
 } // namespace
 } // namespace qoserve
 
-BENCHMARK_MAIN();
+/**
+ * Same perf-JSON convention as the sweep benches: `--json PATH` maps
+ * onto google-benchmark's native JSON reporter, so the scheduler
+ * microbenchmarks land in the same trajectory record
+ * (BENCH_parallel.json's sched_overhead sibling) without a custom
+ * serializer.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--json requires a value\n");
+                return 1;
+            }
+            args.push_back(std::string("--benchmark_out=") + argv[++i]);
+            args.push_back("--benchmark_out_format=json");
+        } else {
+            args.push_back(std::move(arg));
+        }
+    }
+
+    std::vector<char *> argp;
+    argp.reserve(args.size());
+    for (std::string &a : args)
+        argp.push_back(a.data());
+    int count = static_cast<int>(argp.size());
+
+    benchmark::Initialize(&count, argp.data());
+    if (benchmark::ReportUnrecognizedArguments(count, argp.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -35,12 +35,40 @@ configFor(int stage)
 }
 
 void
-run()
+run(const bench::BenchOptions &opts)
 {
     bench::printBanner("Ablation of QoServe optimizations", "Table 5");
 
     const char *names[] = {"Sarathi-EDF", "QoServe (DC)",
                            "QoServe (DC+ER)", "QoServe (DC+ER+HP)"};
+
+    // Eight independent computations: per stage, the goodput search
+    // (tasks 0-3) and the fixed overload run at QPS 10 (tasks 4-7).
+    bench::PredictorCache::instance().get(configFor(1).hw);
+    struct TaskResult
+    {
+        double value = 0.0;
+        double wallSeconds = 0.0;
+    };
+    bench::WallTimer suite;
+    std::vector<TaskResult> tasks = par::parallelMap(
+        opts.jobs, std::size_t{8}, [&](std::size_t i) {
+            int stage = static_cast<int>(i % 4);
+            bench::RunConfig cfg = configFor(stage);
+            bench::WallTimer timer;
+            TaskResult res;
+            if (i < 4) {
+                GoodputSearch search;
+                search.resolutionQps = 0.05;
+                res.value = bench::goodput(cfg, search);
+            } else {
+                res.value =
+                    100.0 * bench::runOnce(cfg, 10.0).violationRate;
+            }
+            res.wallSeconds = timer.seconds();
+            return res;
+        });
+    double total_wall = suite.seconds();
 
     std::printf("%-20s %14s %9s %14s %9s\n", "config",
                 "optimal QPS", "gain", "viol @QPS=10", "impr.");
@@ -48,12 +76,8 @@ run()
 
     double prev_qps = 0.0, prev_viol = 0.0;
     for (int stage = 0; stage < 4; ++stage) {
-        bench::RunConfig cfg = configFor(stage);
-
-        GoodputSearch search;
-        search.resolutionQps = 0.05;
-        double optimal = bench::goodput(cfg, search);
-        double viol = 100.0 * bench::runOnce(cfg, 10.0).violationRate;
+        double optimal = tasks[stage].value;
+        double viol = tasks[stage + 4].value;
 
         if (stage == 0) {
             std::printf("%-20s %14.2f %9s %13.1f%% %9s\n", names[stage],
@@ -74,14 +98,26 @@ run()
                 "violations at QPS 6; HP +1.4%% goodput\nbut -32%% "
                 "violations under overload (DC: dynamic chunking, ER: "
                 "eager relegation,\nHP: hybrid prioritization).\n");
+
+    std::vector<bench::JsonRun> runs;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        bench::JsonRun jr;
+        jr.label = std::string(names[i % 4]) +
+                   (i < 4 ? "/goodput" : "/overload");
+        jr.qps = i < 4 ? tasks[i].value : 10.0;
+        jr.wallSeconds = tasks[i].wallSeconds;
+        runs.push_back(std::move(jr));
+    }
+    bench::writeBenchJson(opts, runs, total_wall);
 }
 
 } // namespace
 } // namespace qoserve
 
 int
-main()
+main(int argc, char **argv)
 {
-    qoserve::run();
+    qoserve::run(qoserve::bench::parseBenchArgs("tab05_ablation", argc,
+                                                argv));
     return 0;
 }

@@ -5,8 +5,12 @@
  * Implements the paper's goodput metric (§4.1.2): the maximum request
  * rate a replica sustains "while meeting the latency targets (p99)"
  * with "at most 1% of total requests" violating their deadlines. The
- * search brackets the feasible QPS by doubling, then binary-searches
- * to the requested resolution.
+ * search brackets the feasible QPS by doubling, then narrows the
+ * bracket by evaluating a QPS grid inside it each round until the
+ * requested resolution is reached. Grid points within a round are
+ * independent simulations, so they fan out across GoodputSearch::jobs
+ * worker threads; the search result is a function of the search
+ * configuration only, never of the job count.
  */
 
 #ifndef QOSERVE_CLUSTER_CAPACITY_HH
@@ -44,6 +48,23 @@ struct GoodputSearch
 
     /** Terminate when the bracket is this tight. */
     double resolutionQps = 0.125;
+
+    /**
+     * Interior grid points evaluated per refinement round. Part of
+     * the search geometry: it changes which QPS points are probed
+     * (and thus can move the result within one resolution step), so
+     * it is fixed independently of the job count. Larger fans expose
+     * more parallelism per round at the cost of extra probes when
+     * running serially.
+     */
+    int gridFan = 4;
+
+    /**
+     * Worker threads evaluating grid points (0 = hardware
+     * concurrency). Any value returns bit-identical results; jobs = 1
+     * evaluates the grid serially with early exit.
+     */
+    int jobs = 1;
 };
 
 /** Evaluate a load point: run a simulation and summarize it. */

@@ -129,6 +129,9 @@ deployment:
   --adaptive-alpha      enable load-adaptive alpha
   --max-chunk N         QoServe dynamic chunk cap (default 2560)
   --oracle-predictor    use the oracle instead of the random forest
+  --jobs N              worker threads for predictor training
+                        (default 0 = hardware concurrency; any value
+                        yields bit-identical results)
 
 output:
   --trace-out FILE      dump the workload as CSV
@@ -201,6 +204,9 @@ parseCliOptions(const std::vector<std::string> &args)
                 parseU64(flag, need_value(i++, flag)));
         } else if (flag == "--oracle-predictor") {
             opts.serving.useForestPredictor = false;
+        } else if (flag == "--jobs") {
+            opts.serving.trainJobs = static_cast<int>(
+                parseU64(flag, need_value(i++, flag)));
         } else if (flag == "--trace-out") {
             opts.traceOut = need_value(i++, flag);
         } else if (flag == "--records-out") {

@@ -33,6 +33,7 @@
 #include "simcore/event_queue.hh"
 #include "simcore/logging.hh"
 #include "simcore/rng.hh"
+#include "simcore/thread_pool.hh"
 #include "simcore/time.hh"
 #include "workload/arrival.hh"
 #include "workload/dataset.hh"

@@ -83,8 +83,11 @@ makePredictor(const ServingConfig &cfg)
         return nullptr;
 
     PerfModel model(cfg.hw, cfg.perfParams);
-    if (cfg.useForestPredictor)
-        return std::make_shared<ForestLatencyPredictor>(model);
+    if (cfg.useForestPredictor) {
+        ForestLatencyPredictor::Options options;
+        options.trainJobs = cfg.trainJobs;
+        return std::make_shared<ForestLatencyPredictor>(model, options);
+    }
     return std::make_shared<OracleLatencyPredictor>(model);
 }
 

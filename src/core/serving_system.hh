@@ -85,6 +85,13 @@ struct ServingConfig
      * predictor ablations).
      */
     bool useForestPredictor = true;
+
+    /**
+     * Worker threads for predictor training (0 = hardware
+     * concurrency, 1 = serial). The trained predictor is
+     * bit-identical for every value.
+     */
+    int trainJobs = 0;
 };
 
 /**

@@ -63,12 +63,15 @@ summarize(const MetricsCollector &collector, double long_percentile)
     if (records.empty())
         return out;
 
-    // Long-request threshold over this run's prompt lengths.
+    // Long-request threshold over this run's prompt lengths. Sort
+    // once and query the sorted sample rather than paying
+    // percentile()'s copy-and-sort.
     std::vector<double> prompts;
     prompts.reserve(records.size());
     for (const auto &r : records)
         prompts.push_back(static_cast<double>(r.spec.promptTokens));
-    double long_threshold = percentile(prompts, long_percentile);
+    std::sort(prompts.begin(), prompts.end());
+    double long_threshold = percentileSorted(prompts, long_percentile);
 
     std::size_t violations = 0;
     std::size_t violations_with_tbt = 0;
@@ -186,7 +189,8 @@ rollingLatency(const MetricsCollector &collector, SimDuration window,
         RollingPoint p;
         p.windowStart = static_cast<double>(bucket) * window;
         p.count = values.size();
-        p.value = percentile(std::move(values), pct);
+        std::sort(values.begin(), values.end());
+        p.value = percentileSorted(values, pct);
         out.push_back(p);
     }
     return out;

@@ -34,7 +34,8 @@ ForestLatencyPredictor::ForestLatencyPredictor(const PerfModel &model,
     : options_(std::move(options))
 {
     auto samples = collectProfile(model, options_.grid, options_.seed);
-    forest_.fit(samples, options_.forest, options_.seed);
+    forest_.fit(samples, options_.forest, options_.seed,
+                options_.trainJobs);
 }
 
 SimDuration

@@ -75,6 +75,13 @@ class ForestLatencyPredictor : public LatencyPredictor
 
         /** Extra multiplicative safety margin on the estimate. */
         double safetyMargin = 1.05;
+
+        /**
+         * Worker threads used to train the forest (0 = hardware
+         * concurrency). The fitted predictor is bit-identical for
+         * every value; 1 trains serially.
+         */
+        int trainJobs = 0;
     };
 
     /** Train on profiles of @p model with default options. */

@@ -7,9 +7,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
+#include <string>
 
 #include "simcore/logging.hh"
+#include "simcore/thread_pool.hh"
 
 namespace qoserve {
 
@@ -45,7 +46,8 @@ targetSse(const std::vector<TrainSample> &samples,
 int
 RegressionTree::build(const std::vector<TrainSample> &samples,
                       std::vector<std::uint32_t> &idx, int lo, int hi,
-                      int depth, const ForestParams &params, Rng &rng)
+                      int depth, const ForestParams &params, Rng &rng,
+                      SplitScratch &scratch)
 {
     int node_id = static_cast<int>(nodes_.size());
     nodes_.emplace_back();
@@ -65,36 +67,50 @@ RegressionTree::build(const std::vector<TrainSample> &samples,
     double best_sse = parent_sse;
 
     for (int f = 0; f < num_features; ++f) {
-        double fmin = std::numeric_limits<double>::max();
-        double fmax = std::numeric_limits<double>::lowest();
-        for (int i = lo; i < hi; ++i) {
-            double v = samples[idx[i]].x[f];
-            fmin = std::min(fmin, v);
-            fmax = std::max(fmax, v);
-        }
+        // Sort the node's samples by this feature once, then every
+        // candidate threshold resolves to a split position by binary
+        // search against prefix sums of (y, y²) — O((n + C) log n)
+        // per feature instead of rescanning all n samples for each
+        // of the C candidates. The RNG draw sequence is unchanged.
+        scratch.order.assign(idx.begin() + lo, idx.begin() + hi);
+        std::sort(scratch.order.begin(), scratch.order.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      return samples[a].x[f] < samples[b].x[f];
+                  });
+
+        double fmin = samples[scratch.order.front()].x[f];
+        double fmax = samples[scratch.order.back()].x[f];
         if (fmin >= fmax)
             continue;
 
+        scratch.values.resize(n);
+        scratch.prefY.resize(n + 1);
+        scratch.prefY2.resize(n + 1);
+        scratch.prefY[0] = 0.0;
+        scratch.prefY2[0] = 0.0;
+        for (int i = 0; i < n; ++i) {
+            const TrainSample &s = samples[scratch.order[i]];
+            scratch.values[i] = s.x[f];
+            scratch.prefY[i + 1] = scratch.prefY[i] + s.y;
+            scratch.prefY2[i + 1] = scratch.prefY2[i] + s.y * s.y;
+        }
+        double total_y = scratch.prefY[n];
+        double total_y2 = scratch.prefY2[n];
+
         for (int c = 0; c < params.splitCandidates; ++c) {
             double thr = rng.uniform(fmin, fmax);
-            // Welford-free two-pass split evaluation: accumulate
-            // count/sum/sumsq on each side.
-            double ls = 0, lss = 0, rs = 0, rss = 0;
-            int ln = 0, rn = 0;
-            for (int i = lo; i < hi; ++i) {
-                double y = samples[idx[i]].y;
-                if (samples[idx[i]].x[f] <= thr) {
-                    ls += y;
-                    lss += y * y;
-                    ++ln;
-                } else {
-                    rs += y;
-                    rss += y * y;
-                    ++rn;
-                }
-            }
+            // Left side takes values <= thr.
+            int ln = static_cast<int>(
+                std::upper_bound(scratch.values.begin(),
+                                 scratch.values.end(), thr) -
+                scratch.values.begin());
+            int rn = n - ln;
             if (ln < params.minSamplesLeaf || rn < params.minSamplesLeaf)
                 continue;
+            double ls = scratch.prefY[ln];
+            double lss = scratch.prefY2[ln];
+            double rs = total_y - ls;
+            double rss = total_y2 - lss;
             double sse = (lss - ls * ls / ln) + (rss - rs * rs / rn);
             if (sse < best_sse) {
                 best_sse = sse;
@@ -117,8 +133,10 @@ RegressionTree::build(const std::vector<TrainSample> &samples,
 
     nodes_[node_id].feature = best_feature;
     nodes_[node_id].threshold = best_threshold;
-    int left = build(samples, idx, lo, mid, depth + 1, params, rng);
-    int right = build(samples, idx, mid, hi, depth + 1, params, rng);
+    int left =
+        build(samples, idx, lo, mid, depth + 1, params, rng, scratch);
+    int right =
+        build(samples, idx, mid, hi, depth + 1, params, rng, scratch);
     nodes_[node_id].left = left;
     nodes_[node_id].right = right;
     return node_id;
@@ -133,7 +151,9 @@ RegressionTree::fit(const std::vector<TrainSample> &samples,
     std::vector<std::uint32_t> idx(samples.size());
     for (std::size_t i = 0; i < idx.size(); ++i)
         idx[i] = static_cast<std::uint32_t>(i);
-    build(samples, idx, 0, static_cast<int>(idx.size()), 0, params, rng);
+    SplitScratch scratch;
+    build(samples, idx, 0, static_cast<int>(idx.size()), 0, params, rng,
+          scratch);
 }
 
 double
@@ -152,7 +172,7 @@ RegressionTree::predict(const std::vector<double> &x) const
 
 void
 RandomForest::fit(const std::vector<TrainSample> &samples,
-                  ForestParams params, std::uint64_t seed)
+                  ForestParams params, std::uint64_t seed, int jobs)
 {
     QOSERVE_ASSERT(!samples.empty(), "empty training set");
     QOSERVE_ASSERT(params.numTrees > 0, "need at least one tree");
@@ -163,17 +183,22 @@ RandomForest::fit(const std::vector<TrainSample> &samples,
         std::max<std::size_t>(1, static_cast<std::size_t>(
             params.bootstrapFraction * samples.size()));
 
-    for (int t = 0; t < params.numTrees; ++t) {
-        Rng tree_rng = root.split("tree" + std::to_string(t));
-        std::vector<TrainSample> boot;
-        boot.reserve(draw);
-        for (std::size_t i = 0; i < draw; ++i) {
-            auto j = static_cast<std::size_t>(tree_rng.uniformInt(
-                0, static_cast<std::int64_t>(samples.size()) - 1));
-            boot.push_back(samples[j]);
-        }
-        trees_[t].fit(boot, params, tree_rng);
-    }
+    // Each tree's randomness is split from (seed, t) rather than
+    // drawn from a shared stream, so the trees can be grown in any
+    // order — or concurrently — with bit-identical results.
+    par::parallelFor(
+        jobs, static_cast<std::size_t>(params.numTrees),
+        [&](std::size_t t) {
+            Rng tree_rng = root.split("tree" + std::to_string(t));
+            std::vector<TrainSample> boot;
+            boot.reserve(draw);
+            for (std::size_t i = 0; i < draw; ++i) {
+                auto j = static_cast<std::size_t>(tree_rng.uniformInt(
+                    0, static_cast<std::int64_t>(samples.size()) - 1));
+                boot.push_back(samples[j]);
+            }
+            trees_[t].fit(boot, params, tree_rng);
+        });
 }
 
 double

@@ -80,9 +80,19 @@ class RegressionTree
         double value = 0.0;   ///< Leaf mean.
     };
 
+    /** Reusable per-node buffers for the split scan. */
+    struct SplitScratch
+    {
+        std::vector<std::uint32_t> order; ///< Indices sorted by feature.
+        std::vector<double> values;       ///< Feature values, sorted.
+        std::vector<double> prefY;        ///< Prefix sums of y.
+        std::vector<double> prefY2;       ///< Prefix sums of y².
+    };
+
     int build(const std::vector<TrainSample> &samples,
               std::vector<std::uint32_t> &idx, int lo, int hi, int depth,
-              const ForestParams &params, Rng &rng);
+              const ForestParams &params, Rng &rng,
+              SplitScratch &scratch);
 
     std::vector<Node> nodes_;
 };
@@ -93,9 +103,19 @@ class RegressionTree
 class RandomForest
 {
   public:
-    /** Fit the ensemble on @p samples with seed-derived randomness. */
+    /**
+     * Fit the ensemble on @p samples with seed-derived randomness.
+     *
+     * Each tree's bootstrap draw and growth randomness come from an
+     * independent stream split from (seed, tree index), so trees can
+     * be trained concurrently: the fitted ensemble is bit-identical
+     * for every @p jobs value.
+     *
+     * @param jobs Worker threads training trees (0 = hardware
+     *        concurrency, 1 = serial).
+     */
     void fit(const std::vector<TrainSample> &samples, ForestParams params,
-             std::uint64_t seed);
+             std::uint64_t seed, int jobs = 1);
 
     /** Mean prediction across trees. */
     double predict(const std::vector<double> &x) const;
