@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Compile-time selection of the simulation self-check level.
+ *
+ * Every result the simulator produces rests on its internal state
+ * machines staying consistent. QOSERVE_CHECK_LEVEL (a CMake cache
+ * variable mapped to a preprocessor define) selects how much of that
+ * consistency is machine-checked while the simulation runs:
+ *
+ *  - off (0): no auditing; hot-path hooks compile away entirely so
+ *    Release benchmarking pays nothing.
+ *  - cheap (1, the default): O(1) checks per iteration — aggregate
+ *    KV conservation, clock monotonicity, batch-budget respect.
+ *  - full (2): O(live state) checks per iteration — per-owner KV
+ *    accounting sums, scheduler queue exclusivity and ordering,
+ *    cross-layer KV-vs-request token agreement.
+ *
+ * This header is intentionally dependency-free so any module
+ * (including simcore) can guard micro-assertions with
+ * `if constexpr (audit::cheapChecks())` without linking the audit
+ * library.
+ */
+
+#ifndef QOSERVE_AUDIT_CHECK_LEVEL_HH
+#define QOSERVE_AUDIT_CHECK_LEVEL_HH
+
+namespace qoserve {
+namespace audit {
+
+/** How much invariant checking the build performs. */
+enum class CheckLevel
+{
+    Off = 0,   ///< No checks; zero overhead.
+    Cheap = 1, ///< Constant-cost checks every iteration.
+    Full = 2,  ///< Exhaustive state-walk checks every iteration.
+};
+
+#ifndef QOSERVE_CHECK_LEVEL
+/** Build-selected level; CMake injects 0/1/2, default cheap. */
+#define QOSERVE_CHECK_LEVEL 1
+#endif
+
+/** The level this build was compiled with. */
+inline constexpr CheckLevel kCompiledLevel =
+    static_cast<CheckLevel>(QOSERVE_CHECK_LEVEL);
+
+static_assert(QOSERVE_CHECK_LEVEL >= 0 && QOSERVE_CHECK_LEVEL <= 2,
+              "QOSERVE_CHECK_LEVEL must be 0 (off), 1 (cheap) or "
+              "2 (full)");
+
+/** True when any auditing is compiled in. */
+constexpr bool
+checksEnabled()
+{
+    return kCompiledLevel != CheckLevel::Off;
+}
+
+/** True when at least the constant-cost checks are compiled in. */
+constexpr bool
+cheapChecks()
+{
+    return kCompiledLevel >= CheckLevel::Cheap;
+}
+
+/** True when the exhaustive state-walk checks are compiled in. */
+constexpr bool
+fullChecks()
+{
+    return kCompiledLevel >= CheckLevel::Full;
+}
+
+/** Display name of a check level. */
+constexpr const char *
+checkLevelName(CheckLevel level)
+{
+    switch (level) {
+      case CheckLevel::Off:
+        return "off";
+      case CheckLevel::Cheap:
+        return "cheap";
+      case CheckLevel::Full:
+        return "full";
+    }
+    return "unknown";
+}
+
+} // namespace audit
+} // namespace qoserve
+
+#endif // QOSERVE_AUDIT_CHECK_LEVEL_HH

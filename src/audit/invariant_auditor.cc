@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Invariant auditor implementation.
+ */
+
+#include "audit/invariant_auditor.hh"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "kvcache/block_manager.hh"
+#include "sched/request.hh"
+#include "sched/scheduler.hh"
+#include "simcore/event_queue.hh"
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+InvariantAuditor::InvariantAuditor() : InvariantAuditor(Options{})
+{
+}
+
+InvariantAuditor::InvariantAuditor(Options opts) : opts_(opts)
+{
+}
+
+void
+InvariantAuditor::report(const char *invariant, std::string detail,
+                         SimTime when)
+{
+    ++violationCount_;
+    if (opts_.failFast) {
+        QOSERVE_PANIC("invariant violated [", invariant, "] at t=", when,
+                      ": ", detail);
+    }
+    if (violations_.size() < opts_.maxRetained)
+        violations_.push_back({invariant, std::move(detail), when});
+}
+
+void
+InvariantAuditor::onIterationComplete(const BlockManager &kv,
+                                      const Scheduler &sched,
+                                      const EventQueue &eq)
+{
+    if (opts_.level == audit::CheckLevel::Off)
+        return;
+    ++iterations_;
+    checkEventTime(eq);
+    checkBlockManager(kv, eq.now());
+    checkScheduler(sched, &kv, eq.now());
+}
+
+void
+InvariantAuditor::checkEventTime(const EventQueue &eq)
+{
+    if (!cheap())
+        return;
+    SimTime now = eq.now();
+    if (!std::isfinite(now)) {
+        report("clock-finite",
+               detail::composeMessage("clock is not finite: ", now), now);
+    } else if (now < lastEventTime_) {
+        report("clock-monotone",
+               detail::composeMessage("clock moved backwards: ", now,
+                                      " < ", lastEventTime_),
+               now);
+    }
+    lastEventTime_ = std::max(lastEventTime_, now);
+}
+
+void
+InvariantAuditor::checkBlockManager(const BlockManager &kv, SimTime now)
+{
+    if (!cheap())
+        return;
+
+    // Cheap: aggregate conservation. free + used == total holds by
+    // construction (free is derived), so the checkable half is that
+    // the used counter stayed inside [0, total].
+    if (kv.usedBlocks() < 0 || kv.usedBlocks() > kv.totalBlocks()) {
+        report("kv-conservation",
+               detail::composeMessage("used blocks ", kv.usedBlocks(),
+                                      " outside [0, ", kv.totalBlocks(),
+                                      "]"),
+               now);
+    }
+
+    if (!full())
+        return;
+
+    // Full: per-owner accounting must sum to the aggregate, and each
+    // owner's blocks must exactly cover its tokens.
+    std::int64_t block_sum = 0;
+    for (const KvOwnerUsage &u : kv.ownerUsage()) {
+        block_sum += u.blocks;
+        if (u.tokens < 0 || u.blocks < 0) {
+            report("kv-owner-accounting",
+                   detail::composeMessage("owner ", u.owner,
+                                          " negative usage: tokens=",
+                                          u.tokens, " blocks=", u.blocks),
+                   now);
+            continue;
+        }
+        std::int64_t cover =
+            u.blocks * static_cast<std::int64_t>(kv.blockTokens());
+        std::int64_t prev_cover =
+            (u.blocks - 1) * static_cast<std::int64_t>(kv.blockTokens());
+        bool exact = u.blocks == 0 ? u.tokens == 0
+                                   : u.tokens <= cover &&
+                                         u.tokens > prev_cover;
+        if (!exact) {
+            report("kv-owner-accounting",
+                   detail::composeMessage("owner ", u.owner, " holds ",
+                                          u.blocks, " blocks for ",
+                                          u.tokens, " tokens (",
+                                          kv.blockTokens(),
+                                          " tokens/block)"),
+                   now);
+        }
+    }
+    if (block_sum != kv.usedBlocks()) {
+        report("kv-conservation",
+               detail::composeMessage("per-owner blocks sum to ",
+                                      block_sum, " but used counter is ",
+                                      kv.usedBlocks()),
+               now);
+    }
+}
+
+void
+InvariantAuditor::checkScheduler(const Scheduler &sched,
+                                 const BlockManager *kv, SimTime now)
+{
+    if (!cheap())
+        return;
+    checkSchedulerView(sched.auditView(), kv, now);
+}
+
+void
+InvariantAuditor::checkSchedulerView(const SchedulerAuditView &view,
+                                     const BlockManager *kv, SimTime now)
+{
+    if (!cheap() || !view.populated)
+        return;
+
+    // Cheap: counters inside their configured bounds.
+    if (view.maxDecodeBatch > 0 &&
+        view.decodes.size() >
+            static_cast<std::size_t>(view.maxDecodeBatch)) {
+        report("sched-decode-bound",
+               detail::composeMessage(view.decodes.size(),
+                                      " decodes exceed the batch cap ",
+                                      view.maxDecodeBatch),
+               now);
+    }
+    if (view.pendingPrefillTokens < 0) {
+        report("sched-pending-prefill",
+               detail::composeMessage("pending prefill counter is ",
+                                      view.pendingPrefillTokens),
+               now);
+    }
+
+    if (!full())
+        return;
+
+    // Full: a request lives in exactly one queue, with the phase that
+    // queue implies.
+    std::unordered_set<std::uint64_t> seen;
+    std::int64_t pending_sum = 0;
+    const Request *prev = nullptr;
+    for (const Request *req : view.prefills) {
+        if (!seen.insert(req->id()).second) {
+            report("sched-exclusivity",
+                   detail::composeMessage("request ", req->id(),
+                                          " queued twice"),
+                   now);
+        }
+        if (req->phase() != RequestPhase::WaitingPrefill &&
+            req->phase() != RequestPhase::Prefilling) {
+            report("sched-phase",
+                   detail::composeMessage(
+                       "request ", req->id(),
+                       " in prefill queue with phase ",
+                       static_cast<int>(req->phase())),
+                   now);
+        }
+        if (req->prefillRemaining() <= 0) {
+            report("sched-phase",
+                   detail::composeMessage("request ", req->id(),
+                                          " queued for prefill with ",
+                                          req->prefillRemaining(),
+                                          " tokens remaining"),
+                   now);
+        }
+        pending_sum += req->prefillRemaining();
+
+        // Priority order: regular before relegated; within a class,
+        // (cachedPriority, id) strictly increasing.
+        if (prev != nullptr) {
+            bool ordered;
+            if (prev->relegated() != req->relegated())
+                ordered = !prev->relegated();
+            else if (prev->cachedPriority != req->cachedPriority)
+                ordered = prev->cachedPriority < req->cachedPriority;
+            else
+                ordered = prev->id() < req->id();
+            if (!ordered) {
+                report("sched-priority-order",
+                       detail::composeMessage(
+                           "request ", prev->id(), " (prio ",
+                           prev->cachedPriority,
+                           prev->relegated() ? ", relegated" : "",
+                           ") precedes ", req->id(), " (prio ",
+                           req->cachedPriority,
+                           req->relegated() ? ", relegated" : "", ")"),
+                       now);
+            }
+        }
+        prev = req;
+    }
+    if (pending_sum != view.pendingPrefillTokens) {
+        report("sched-pending-prefill",
+               detail::composeMessage("queued prefill tokens sum to ",
+                                      pending_sum,
+                                      " but the counter says ",
+                                      view.pendingPrefillTokens),
+               now);
+    }
+
+    for (const Request *req : view.decodes) {
+        if (!seen.insert(req->id()).second) {
+            report("sched-exclusivity",
+                   detail::composeMessage("request ", req->id(),
+                                          " in prefill and decode "
+                                          "queues at once"),
+                   now);
+        }
+        if (req->phase() != RequestPhase::Decoding) {
+            report("sched-phase",
+                   detail::composeMessage("request ", req->id(),
+                                          " in decode queue with phase ",
+                                          static_cast<int>(req->phase())),
+                   now);
+        }
+        if (req->prefillRemaining() != 0) {
+            report("sched-phase",
+                   detail::composeMessage("decoding request ", req->id(),
+                                          " still has ",
+                                          req->prefillRemaining(),
+                                          " prefill tokens"),
+                   now);
+        }
+    }
+
+    // Cross-layer: between iterations every queued request's KV
+    // allocation covers exactly its computed context. A decoding
+    // request's newest sampled token has no KV yet — its entry is
+    // appended when the token is fed back next iteration — so the
+    // expected allocation there is one behind the context length.
+    if (kv != nullptr) {
+        auto check_kv = [&](const Request *req) {
+            std::int64_t expected =
+                req->phase() == RequestPhase::Decoding
+                    ? req->contextLength() - 1
+                    : req->contextLength();
+            if (kv->ownedTokens(req->id()) != expected) {
+                report("kv-request-agreement",
+                       detail::composeMessage(
+                           "request ", req->id(), " owns ",
+                           kv->ownedTokens(req->id()),
+                           " KV tokens but expected ", expected,
+                           " (context ", req->contextLength(), ")"),
+                       now);
+            }
+        };
+        for (const Request *req : view.prefills)
+            check_kv(req);
+        for (const Request *req : view.decodes)
+            check_kv(req);
+    }
+}
+
+void
+InvariantAuditor::checkRecord(const RequestRecord &rec,
+                              const TierTable &tiers)
+{
+    if (!cheap())
+        return;
+
+    SimTime when = rec.finishTime;
+    if (rec.spec.tierId < 0 ||
+        rec.spec.tierId >= static_cast<int>(tiers.size())) {
+        report("slo-record",
+               detail::composeMessage("record ", rec.spec.id,
+                                      " references unknown tier ",
+                                      rec.spec.tierId),
+               when);
+        return;
+    }
+    if (rec.rejected)
+        return; // Never executed: latencies are deliberately infinite.
+
+    if (rec.firstTokenTime < rec.spec.arrival) {
+        report("slo-ttft-sample",
+               detail::composeMessage("record ", rec.spec.id,
+                                      " has negative TTFT: first token ",
+                                      rec.firstTokenTime, " < arrival ",
+                                      rec.spec.arrival),
+               when);
+    }
+    if (rec.finishTime < rec.firstTokenTime) {
+        report("slo-token-order",
+               detail::composeMessage("record ", rec.spec.id,
+                                      " finished at ", rec.finishTime,
+                                      " before its first token at ",
+                                      rec.firstTokenTime),
+               when);
+    }
+    if (!(rec.maxTbt >= 0.0) || !std::isfinite(rec.maxTbt)) {
+        report("slo-tbt-sample",
+               detail::composeMessage("record ", rec.spec.id,
+                                      " has invalid max TBT ",
+                                      rec.maxTbt),
+               when);
+    }
+    if (rec.tbtDeadlineMisses < 0 ||
+        rec.tbtDeadlineMisses > rec.spec.decodeTokens) {
+        report("slo-miss-count",
+               detail::composeMessage("record ", rec.spec.id, " counts ",
+                                      rec.tbtDeadlineMisses,
+                                      " TBT misses over ",
+                                      rec.spec.decodeTokens, " tokens"),
+               when);
+    }
+    if (rec.kvPreemptions < 0) {
+        report("slo-record",
+               detail::composeMessage("record ", rec.spec.id,
+                                      " has negative preemption count"),
+               when);
+    }
+}
+
+} // namespace qoserve

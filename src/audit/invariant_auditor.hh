@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Runtime invariant auditor for the simulation loop.
+ *
+ * The auditor is the dynamic half of the correctness tooling layer
+ * (the static half is tools/qoserve_lint and the clang-tidy profile):
+ * it hooks the end of every replica iteration and verifies that the
+ * state machines the results depend on have not corrupted — KV block
+ * conservation, event-clock monotonicity, scheduler queue
+ * consistency, and SLO record sanity. ClusterSim installs one
+ * automatically when the build's QOSERVE_CHECK_LEVEL is not `off`;
+ * tests construct their own (usually with failFast disabled) to
+ * inspect violations.
+ *
+ * All check methods are compiled unconditionally — the compile-time
+ * level only selects the *default* runtime level and whether the
+ * hot-path hooks are wired — so unit tests can exercise every
+ * invariant regardless of the build configuration.
+ */
+
+#ifndef QOSERVE_AUDIT_INVARIANT_AUDITOR_HH
+#define QOSERVE_AUDIT_INVARIANT_AUDITOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/check_level.hh"
+#include "simcore/time.hh"
+#include "workload/qos.hh"
+
+namespace qoserve {
+
+class BlockManager;
+class EventQueue;
+class Scheduler;
+struct RequestRecord;
+struct SchedulerAuditView;
+
+/**
+ * Verifies global simulation invariants; see DESIGN.md §7 for the
+ * catalogue.
+ */
+class InvariantAuditor
+{
+  public:
+    /** One detected invariant violation. */
+    struct Violation
+    {
+        /** Short invariant identifier, e.g. "kv-conservation". */
+        std::string invariant;
+
+        /** Human-readable description of the corrupt state. */
+        std::string detail;
+
+        /** Simulation time at which the violation was observed. */
+        SimTime when = 0.0;
+    };
+
+    /** Auditor configuration. */
+    struct Options
+    {
+        /** Runtime check level (default: the compiled level). */
+        audit::CheckLevel level = audit::kCompiledLevel;
+
+        /**
+         * Panic on the first violation (the production setting: a
+         * corrupt simulation must not keep producing numbers).
+         * Disable in tests to collect and inspect violations.
+         */
+        bool failFast = true;
+
+        /** Retained violations when failFast is off (count is
+         *  unbounded; the list is capped). */
+        std::size_t maxRetained = 64;
+    };
+
+    /** Construct with the compiled default options. */
+    InvariantAuditor();
+
+    explicit InvariantAuditor(Options opts);
+
+    /** Runtime level in effect. */
+    audit::CheckLevel level() const { return opts_.level; }
+
+    /**
+     * Audit hook for one completed replica iteration: clock
+     * monotonicity, KV conservation, scheduler consistency and the
+     * cross-layer KV-vs-request agreement, at the configured level.
+     */
+    void onIterationComplete(const BlockManager &kv,
+                             const Scheduler &sched,
+                             const EventQueue &eq);
+
+    /**
+     * Check KV block accounting: used within [0, total]; at full
+     * level, per-owner block/token sums match the aggregate and each
+     * owner's blocks exactly cover its tokens.
+     */
+    void checkBlockManager(const BlockManager &kv, SimTime now);
+
+    /**
+     * Check that observed event-queue time never moves backwards
+     * across calls (the auditor remembers the last observed clock).
+     */
+    void checkEventTime(const EventQueue &eq);
+
+    /**
+     * Check a scheduler's queues via its audit view: decode batch
+     * within bounds; at full level, queue exclusivity, phase/queue
+     * agreement, pending-token accounting and priority ordering.
+     * @p kv, when non-null, enables the cross-layer check that every
+     * queued request's KV allocation equals its context length.
+     */
+    void checkScheduler(const Scheduler &sched, const BlockManager *kv,
+                        SimTime now);
+
+    /**
+     * Check one scheduler audit view directly (exposed so tests can
+     * feed deliberately corrupt views without a scheduler).
+     */
+    void checkSchedulerView(const SchedulerAuditView &view,
+                            const BlockManager *kv, SimTime now);
+
+    /**
+     * Check a completed-request record: valid tier, non-negative
+     * TTFT/TBT samples, ordered token timestamps, miss counts within
+     * the token budget.
+     */
+    void checkRecord(const RequestRecord &rec, const TierTable &tiers);
+
+    /** Iterations audited so far. */
+    std::uint64_t iterationsAudited() const { return iterations_; }
+
+    /** Total violations detected (including ones beyond the cap). */
+    std::uint64_t violationCount() const { return violationCount_; }
+
+    /** Retained violations (capped at Options::maxRetained). */
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** True when no violation has been detected. */
+    bool clean() const { return violationCount_ == 0; }
+
+  private:
+    /** Record (or panic on) one violation. */
+    void report(const char *invariant, std::string detail, SimTime when);
+
+    bool cheap() const
+    {
+        return opts_.level >= audit::CheckLevel::Cheap;
+    }
+
+    bool full() const
+    {
+        return opts_.level >= audit::CheckLevel::Full;
+    }
+
+    Options opts_;
+    SimTime lastEventTime_ = -kTimeNever;
+    std::uint64_t iterations_ = 0;
+    std::uint64_t violationCount_ = 0;
+    std::vector<Violation> violations_;
+};
+
+} // namespace qoserve
+
+#endif // QOSERVE_AUDIT_INVARIANT_AUDITOR_HH

@@ -15,6 +15,21 @@ ClusterSim::ClusterSim(Config cfg, Trace trace)
       admission_(cfg_.admission)
 {
     QOSERVE_ASSERT(!trace_.tiers.empty(), "trace has no tiers");
+    if (audit::checksEnabled()) {
+        // Builds with checks on audit themselves by default; a run
+        // that survives to completion is then certified corruption
+        // free. Release builds (level off) skip the hook entirely.
+        ownedAuditor_ = std::make_unique<InvariantAuditor>();
+        auditor_ = ownedAuditor_.get();
+    }
+}
+
+void
+ClusterSim::setAuditor(InvariantAuditor *auditor)
+{
+    auditor_ = auditor;
+    for (auto &replica : replicas_)
+        replica->attachAuditor(auditor_);
 }
 
 const char *
@@ -41,8 +56,12 @@ ClusterSim::addReplicaGroup(int count, const SchedulerFactory &factory,
     for (int i = 0; i < count; ++i) {
         auto replica = std::make_unique<Replica>(
             eq_, cfg_.replica, factory, cfg_.predictor, trace_.tiers,
-            trace_.appStats,
-            [this](const RequestRecord &rec) { metrics_.record(rec); });
+            trace_.appStats, [this](const RequestRecord &rec) {
+                if (auditor_ != nullptr)
+                    auditor_->checkRecord(rec, trace_.tiers);
+                metrics_.record(rec);
+            });
+        replica->attachAuditor(auditor_);
         group.replicaIdx.push_back(replicas_.size());
         replicas_.push_back(std::move(replica));
     }
@@ -110,6 +129,8 @@ ClusterSim::injectArrival(std::size_t index)
         RequestRecord rec;
         rec.spec = spec;
         rec.rejected = true;
+        if (auditor_ != nullptr)
+            auditor_->checkRecord(rec, trace_.tiers);
         metrics_.record(rec);
     }
 

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "audit/invariant_auditor.hh"
 #include "cluster/admission.hh"
 #include "cluster/replica.hh"
 #include "metrics/slo_report.hh"
@@ -108,6 +109,19 @@ class ClusterSim
     /** Admission statistics. */
     const AdmissionController &admission() const { return admission_; }
 
+    /**
+     * The active invariant auditor, or null when the build has checks
+     * off and no auditor was installed.
+     */
+    InvariantAuditor *auditor() { return auditor_; }
+
+    /**
+     * Replace the auditor (not owned; null detaches). Call before
+     * addReplicaGroup() so every replica sees it. Tests use this to
+     * install a failFast-disabled auditor and inspect violations.
+     */
+    void setAuditor(InvariantAuditor *auditor);
+
   private:
     struct Group
     {
@@ -122,6 +136,8 @@ class ClusterSim
     Config cfg_;
     Trace trace_;
     EventQueue eq_;
+    std::unique_ptr<InvariantAuditor> ownedAuditor_;
+    InvariantAuditor *auditor_ = nullptr;
     std::vector<std::unique_ptr<Replica>> replicas_;
     std::vector<Group> groups_;
     std::vector<int> tierRoute_;

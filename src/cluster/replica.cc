@@ -5,6 +5,7 @@
 
 #include "cluster/replica.hh"
 
+#include "audit/invariant_auditor.hh"
 #include "simcore/logging.hh"
 
 namespace qoserve {
@@ -92,6 +93,10 @@ Replica::completeIteration(const Batch &batch, SimTime)
 {
     busy_ = false;
     scheduler_->onBatchComplete(batch, eq_.now());
+    // Audit between batch completion and the next formBatch: every
+    // queue and the KV cache are at rest here.
+    if (auditor_ != nullptr)
+        auditor_->onIterationComplete(kv_, *scheduler_, eq_);
     maybeStartIteration();
 }
 

@@ -23,6 +23,8 @@
 
 namespace qoserve {
 
+class InvariantAuditor;
+
 /** Observer invoked after every executed batch (Fig. 9 timelines). */
 struct BatchObservation
 {
@@ -85,6 +87,13 @@ class Replica
     /** Install a per-batch observer (may be empty). */
     void setBatchObserver(BatchObserver obs) { observer_ = std::move(obs); }
 
+    /**
+     * Attach an invariant auditor (not owned; may be null to
+     * detach). Its onIterationComplete() hook runs after every
+     * completed batch, when the scheduler and KV cache are at rest.
+     */
+    void attachAuditor(InvariantAuditor *auditor) { auditor_ = auditor; }
+
   private:
     void maybeStartIteration();
     void completeIteration(const Batch &batch, SimTime start);
@@ -97,6 +106,7 @@ class Replica
     std::vector<AppStats> appStats_;
     std::function<void(const RequestRecord &)> onComplete_;
     BatchObserver observer_;
+    InvariantAuditor *auditor_ = nullptr;
 
     std::unordered_map<std::uint64_t, std::unique_ptr<Request>> live_;
     bool busy_ = false;

@@ -5,6 +5,8 @@
 
 #include "kvcache/block_manager.hh"
 
+#include <algorithm>
+
 #include "simcore/logging.hh"
 
 namespace qoserve {
@@ -12,10 +14,22 @@ namespace qoserve {
 BlockManager::BlockManager(std::int64_t capacity_tokens, int block_tokens)
     : blockTokens_(block_tokens)
 {
-    QOSERVE_ASSERT(capacity_tokens > 0, "KV capacity must be positive");
-    QOSERVE_ASSERT(block_tokens > 0, "block size must be positive");
+    // Constructor arguments come from deployment configuration, so a
+    // bad value is a user error (fatal), not a library bug (panic).
+    if (capacity_tokens <= 0) {
+        QOSERVE_FATAL("KV capacity must be positive, got ",
+                      capacity_tokens, " tokens");
+    }
+    if (block_tokens <= 0) {
+        QOSERVE_FATAL("KV block size must be positive, got ",
+                      block_tokens, " tokens");
+    }
     totalBlocks_ = capacity_tokens / block_tokens;
-    QOSERVE_ASSERT(totalBlocks_ > 0, "KV capacity below one block");
+    if (totalBlocks_ <= 0) {
+        QOSERVE_FATAL("KV capacity of ", capacity_tokens,
+                      " tokens is below one ", block_tokens,
+                      "-token block");
+    }
 }
 
 double
@@ -79,11 +93,31 @@ void
 BlockManager::release(KvOwnerId owner)
 {
     auto it = owners_.find(owner);
-    if (it == owners_.end())
-        return;
+    if (it == owners_.end()) {
+        QOSERVE_PANIC("release of unknown KV owner ", owner,
+                      " (double free, or the request never "
+                      "allocated)");
+    }
     usedBlocks_ -= it->second.blocks;
     QOSERVE_ASSERT(usedBlocks_ >= 0, "block accounting underflow");
     owners_.erase(it);
+}
+
+std::vector<KvOwnerUsage>
+BlockManager::ownerUsage() const
+{
+    std::vector<KvOwnerUsage> usage;
+    usage.reserve(owners_.size());
+    // The map is iterated only to snapshot it; the sort below makes
+    // the result independent of hash order.
+    // qoserve-lint: allow(unordered-iter)
+    for (const auto &[owner, o] : owners_)
+        usage.push_back({owner, o.tokens, o.blocks});
+    std::sort(usage.begin(), usage.end(),
+              [](const KvOwnerUsage &a, const KvOwnerUsage &b) {
+                  return a.owner < b.owner;
+              });
+    return usage;
 }
 
 } // namespace qoserve

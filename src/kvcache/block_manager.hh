@@ -16,11 +16,20 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 namespace qoserve {
 
 /** Identifier of the request owning a block chain. */
 using KvOwnerId = std::uint64_t;
+
+/** One owner's usage in an audit snapshot (see ownerUsage()). */
+struct KvOwnerUsage
+{
+    KvOwnerId owner = 0;
+    std::int64_t tokens = 0;
+    std::int64_t blocks = 0;
+};
 
 /**
  * Fixed-size-block KV-cache allocator.
@@ -33,8 +42,11 @@ class BlockManager
 {
   public:
     /**
-     * @param capacity_tokens Total KV capacity in tokens.
-     * @param block_tokens Tokens per block (vLLM default: 16).
+     * @param capacity_tokens Total KV capacity in tokens; must be
+     *        positive and hold at least one block (fatal otherwise —
+     *        a zero-capacity cache is a configuration error).
+     * @param block_tokens Tokens per block (vLLM default: 16); must
+     *        be positive.
      */
     explicit BlockManager(std::int64_t capacity_tokens,
                           int block_tokens = 16);
@@ -80,16 +92,32 @@ class BlockManager
     /** Blocks currently held by @p owner (0 if unknown). */
     std::int64_t ownedBlocks(KvOwnerId owner) const;
 
+    /** True if @p owner has an allocation record (possibly empty). */
+    bool owns(KvOwnerId owner) const
+    {
+        return owners_.find(owner) != owners_.end();
+    }
+
     /**
      * Release every block owned by @p owner.
      *
-     * Freeing an unknown owner is a no-op (requests that never
-     * allocated can be completed uniformly).
+     * Freeing an owner with no allocation record — a double free, or
+     * a free of a request that never allocated — panics: both point
+     * at scheduler bookkeeping corruption that would otherwise decay
+     * silently into wrong capacity numbers. Callers completing
+     * requests that may legitimately never have allocated check
+     * owns() first.
      */
     void release(KvOwnerId owner);
 
     /** Number of distinct owners holding blocks. */
     std::size_t numOwners() const { return owners_.size(); }
+
+    /**
+     * Per-owner usage snapshot for the invariant auditor and
+     * diagnostics, sorted by owner id (deterministic order).
+     */
+    std::vector<KvOwnerUsage> ownerUsage() const;
 
   private:
     struct Ownership

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <map>
 
+#include "audit/check_level.hh"
 #include "metrics/percentile.hh"
 #include "simcore/logging.hh"
 
@@ -159,6 +160,30 @@ summarize(const MetricsCollector &collector, double long_percentile)
         ts.violationRate = rate(acc.viol, acc.count);
         ts.tbtMissRate = rate(acc.tbt_miss, acc.count);
         out.tiers.push_back(ts);
+    }
+
+    if constexpr (audit::cheapChecks()) {
+        // Accounting sanity: the short/long and per-tier partitions
+        // must cover every record exactly once, and every rate is a
+        // probability.
+        QOSERVE_ASSERT(shorts + longs == records.size(),
+                       "short/long split lost records");
+        std::size_t tier_total = 0;
+        for (const auto &ts : out.tiers)
+            tier_total += ts.count;
+        QOSERVE_ASSERT(tier_total == records.size(),
+                       "per-tier counts lost records");
+        for (double r : {out.violationRate, out.violationRateWithTbt,
+                         out.importantViolationRate,
+                         out.shortViolationRate, out.longViolationRate,
+                         out.relegatedFraction, out.rejectedFraction}) {
+            QOSERVE_ASSERT(r >= 0.0 && r <= 1.0,
+                           "rate outside [0, 1]: ", r);
+        }
+        QOSERVE_ASSERT(out.violationRateWithTbt >=
+                           out.violationRate,
+                       "TBT-inclusive violation rate below the "
+                       "TTFT/TTLT-only rate");
     }
     return out;
 }

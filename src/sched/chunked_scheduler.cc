@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "audit/check_level.hh"
 #include "simcore/logging.hh"
 
 namespace qoserve {
@@ -158,6 +159,11 @@ ChunkedScheduler::formBatch(SimTime now)
     int decode_slots =
         cfg_.maxDecodeBatch - static_cast<int>(decodes_.size());
 
+    // Largest budget the batch was ever allowed to draw from; the
+    // audit at the end of this function checks the scheduled tokens
+    // never exceeded it.
+    int budget_cap = budget;
+
     std::unordered_set<Request *> taken;
 
     // Pass 0: in-flight requests that would violate their deadline if
@@ -180,8 +186,10 @@ ChunkedScheduler::formBatch(SimTime now)
     // partial prefills, nothing decoding, nothing schedulable.
     // Reclaim one victim so the walk below can make progress.
     if (budget <= 0 && decodes_.empty() && !prefillQueue_.empty()) {
-        if (preemptForKv(now))
+        if (preemptForKv(now)) {
             budget = kvCappedBudget(chunkBudget(now, batch));
+            budget_cap = std::max(budget_cap, budget);
+        }
     }
 
     // Main pass: walk the queue in priority order filling the budget
@@ -216,6 +224,17 @@ ChunkedScheduler::formBatch(SimTime now)
             break;
     }
 
+    if constexpr (audit::cheapChecks()) {
+        QOSERVE_ASSERT(batch.prefillTokens() <= budget_cap,
+                       "batch of ", batch.prefillTokens(),
+                       " prefill tokens exceeds its budget ",
+                       budget_cap);
+        QOSERVE_ASSERT(static_cast<int>(batch.decodes.size()) <=
+                           cfg_.maxDecodeBatch,
+                       "decode batch of ", batch.decodes.size(),
+                       " exceeds the cap ", cfg_.maxDecodeBatch);
+    }
+
     if (!batch.empty()) {
         ++stats_.batchesFormed;
         stats_.prefillTokensScheduled += batch.prefillTokens();
@@ -236,11 +255,18 @@ bool
 ChunkedScheduler::preemptForKv(SimTime now)
 {
     // Prefer a partially prefilled request (its first token has not
-    // been produced); among those, take the lowest-priority one.
+    // been produced); among those, take the lowest-priority one,
+    // breaking priority ties toward the youngest request. The tie
+    // break makes the choice a pure function of request state — the
+    // set hashes pointers, so without it the victim would depend on
+    // heap addresses and vary run to run under ASLR.
     Request *victim = nullptr;
+    // qoserve-lint: allow(unordered-iter)
     for (Request *cand : partiallyPrefilled_) {
         if (victim == nullptr ||
-            cand->cachedPriority > victim->cachedPriority) {
+            cand->cachedPriority > victim->cachedPriority ||
+            (cand->cachedPriority == victim->cachedPriority &&
+             cand->id() > victim->id())) {
             victim = cand;
         }
     }
@@ -368,6 +394,18 @@ const SchedulerStats &
 ChunkedScheduler::stats() const
 {
     return stats_;
+}
+
+SchedulerAuditView
+ChunkedScheduler::auditView() const
+{
+    SchedulerAuditView view;
+    view.populated = true;
+    view.prefills.assign(prefillQueue_.begin(), prefillQueue_.end());
+    view.decodes.assign(decodes_.begin(), decodes_.end());
+    view.pendingPrefillTokens = pendingPrefill_;
+    view.maxDecodeBatch = cfg_.maxDecodeBatch;
+    return view;
 }
 
 } // namespace qoserve

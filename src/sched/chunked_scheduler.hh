@@ -53,6 +53,7 @@ class ChunkedScheduler : public Scheduler
     std::size_t decodeQueueSize() const override;
     std::size_t prefillQueueSize() const override;
     const SchedulerStats &stats() const override;
+    SchedulerAuditView auditView() const override;
 
     /** Install the replica's completion handler. */
     void setCompletionHandler(CompletionFn fn) { onComplete_ = std::move(fn); }

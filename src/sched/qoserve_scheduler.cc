@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "audit/check_level.hh"
 #include "predictor/latency_predictor.hh"
 #include "simcore/logging.hh"
 
@@ -59,6 +60,15 @@ QoServeScheduler::priorityOf(const Request &req, SimTime) const
     return deadline + alpha * work;
 }
 
+SchedulerAuditView
+QoServeScheduler::auditView() const
+{
+    SchedulerAuditView view = ChunkedScheduler::auditView();
+    if (qosCfg_.enableDynamicChunking)
+        view.minChunkTokens = qosCfg_.minChunkTokens;
+    return view;
+}
+
 int
 QoServeScheduler::chunkBudget(SimTime now, const Batch &batch) const
 {
@@ -103,7 +113,14 @@ QoServeScheduler::chunkBudget(SimTime now, const Batch &batch) const
     // When slack is exhausted, revert to the TBT-sized floor rather
     // than starving prefill (§3.5): per-token deadlines are absolute,
     // so a small transient deficit heals on subsequent iterations.
-    return std::max(solved, qosCfg_.minChunkTokens);
+    int budget = std::max(solved, qosCfg_.minChunkTokens);
+    if constexpr (audit::cheapChecks()) {
+        QOSERVE_ASSERT(budget >= qosCfg_.minChunkTokens,
+                       "dynamic chunk ", budget,
+                       " below the configured floor ",
+                       qosCfg_.minChunkTokens);
+    }
+    return budget;
 }
 
 bool
@@ -153,6 +170,9 @@ QoServeScheduler::collectUrgentInflight(SimTime now,
     // absorb one more iteration of delay must not be preempted this
     // iteration (§3.4 condition 2).
     SimDuration margin = typicalIterationTime();
+    // The sort below imposes a total order, so hash order here cannot
+    // leak into the result.
+    // qoserve-lint: allow(unordered-iter)
     for (Request *req : partiallyPrefilled()) {
         if (req->relegated())
             continue;
@@ -162,8 +182,13 @@ QoServeScheduler::collectUrgentInflight(SimTime now,
         if (eta > req->firstTokenDeadline())
             out.push_back(req);
     }
+    // Tie-break equal deadlines on request id: std::sort is unstable
+    // and the input order is hash-dependent, so without the id key the
+    // ordering would vary with heap addresses.
     std::sort(out.begin(), out.end(), [](Request *a, Request *b) {
-        return a->firstTokenDeadline() < b->firstTokenDeadline();
+        if (a->firstTokenDeadline() != b->firstTokenDeadline())
+            return a->firstTokenDeadline() < b->firstTokenDeadline();
+        return a->id() < b->id();
     });
 }
 

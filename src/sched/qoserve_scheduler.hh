@@ -111,6 +111,8 @@ class QoServeScheduler : public ChunkedScheduler
     /** Configuration in effect. */
     const QoServeConfig &qosConfig() const { return qosCfg_; }
 
+    SchedulerAuditView auditView() const override;
+
     /**
      * True when the estimated prefill backlog exceeds the overload
      * threshold (drives hint-based relegation).

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "kvcache/block_manager.hh"
 #include "model/perf_model.hh"
@@ -63,6 +64,32 @@ struct SchedulerStats
 };
 
 /**
+ * Read-only snapshot of a scheduler's queues for invariant auditing
+ * (consumed by qoserve::InvariantAuditor; see DESIGN.md §7).
+ */
+struct SchedulerAuditView
+{
+    /** True when the scheduler filled the view in; the auditor
+     *  skips unpopulated views (e.g. toy test schedulers). */
+    bool populated = false;
+
+    /** Prefill queue in priority order (head first). */
+    std::vector<const Request *> prefills;
+
+    /** Decode-phase requests in admission order. */
+    std::vector<const Request *> decodes;
+
+    /** Scheduler's own pending-prefill token counter. */
+    std::int64_t pendingPrefillTokens = 0;
+
+    /** Decode-batch bound the scheduler enforces (0 = unbounded). */
+    int maxDecodeBatch = 0;
+
+    /** Dynamic-chunk floor the policy guarantees (0 = none). */
+    int minChunkTokens = 0;
+};
+
+/**
  * Iteration-level scheduler.
  */
 class Scheduler
@@ -105,6 +132,13 @@ class Scheduler
 
     /** Diagnostic counters. */
     virtual const SchedulerStats &stats() const = 0;
+
+    /**
+     * Queue snapshot for the invariant auditor. The default is an
+     * unpopulated view (nothing auditable); ChunkedScheduler and its
+     * policies override it.
+     */
+    virtual SchedulerAuditView auditView() const { return {}; }
 
     /** Human-readable policy name for reports. */
     virtual const char *name() const = 0;

@@ -6,6 +6,7 @@
 #include "simcore/event_queue.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "simcore/logging.hh"
 
@@ -14,8 +15,17 @@ namespace qoserve {
 EventId
 EventQueue::schedule(SimTime when, EventFn fn)
 {
-    QOSERVE_ASSERT(when >= now_,
-                   "event scheduled in the past: ", when, " < ", now_);
+    // A NaN timestamp would poison every heap comparison and an
+    // infinite one would wedge run(); both are always rejected, as is
+    // scheduling into the simulated past.
+    if (!std::isfinite(when)) {
+        QOSERVE_PANIC("event scheduled at non-finite time ", when,
+                      " (now=", now_, ")");
+    }
+    if (when < now_) {
+        QOSERVE_PANIC("event scheduled in the past: ", when, " < now=",
+                      now_);
+    }
     EventId id = nextId_++;
     heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
     ++pendingCount_;
@@ -25,7 +35,10 @@ EventQueue::schedule(SimTime when, EventFn fn)
 EventId
 EventQueue::scheduleAfter(SimDuration delay, EventFn fn)
 {
-    QOSERVE_ASSERT(delay >= 0.0, "negative delay: ", delay);
+    if (!std::isfinite(delay) || delay < 0.0) {
+        QOSERVE_PANIC("event delay must be finite and non-negative, "
+                      "got ", delay);
+    }
     return schedule(now_ + delay, std::move(fn));
 }
 
@@ -68,6 +81,9 @@ EventQueue::run(SimTime until)
         Entry e = std::move(const_cast<Entry &>(top));
         heap_.pop();
         --pendingCount_;
+        QOSERVE_ASSERT(e.when >= now_,
+                       "clock would move backwards: ", e.when, " < ",
+                       now_);
         now_ = e.when;
         e.fn();
         ++fired;
@@ -89,6 +105,9 @@ EventQueue::step()
         Entry e = std::move(const_cast<Entry &>(top));
         heap_.pop();
         --pendingCount_;
+        QOSERVE_ASSERT(e.when >= now_,
+                       "clock would move backwards: ", e.when, " < ",
+                       now_);
         now_ = e.when;
         e.fn();
         return true;

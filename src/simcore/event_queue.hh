@@ -47,13 +47,22 @@ class EventQueue
     /**
      * Schedule @p fn to run at absolute time @p when.
      *
-     * @param when Absolute simulation time; must not be in the past.
+     * @param when Absolute simulation time; must be finite and not
+     *        in the past (panics otherwise — enforced, not merely
+     *        documented, so a NaN or past timestamp is caught at the
+     *        call that produced it rather than as heap corruption).
      * @param fn Callback to execute.
      * @return Handle usable with cancel().
      */
     EventId schedule(SimTime when, EventFn fn);
 
-    /** Schedule @p fn to run @p delay seconds from now. */
+    /**
+     * Schedule @p fn to run @p delay seconds from now.
+     *
+     * @param delay Must be finite and non-negative (panics
+     *        otherwise).
+     * @param fn Callback to execute.
+     */
     EventId scheduleAfter(SimDuration delay, EventFn fn);
 
     /**

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * End-to-end audit runs: scaled-down versions of the Fig. 2 policy
+ * sweep and the Table 5 feature ablation execute under a full-level,
+ * violation-collecting auditor, and every run must finish with zero
+ * invariant violations. This is the "the real simulator never trips
+ * its own checks" half of the correctness tooling layer; the unit
+ * tests prove the checks can trip at all.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "audit/invariant_auditor.hh"
+#include "core/serving_system.hh"
+#include "workload/arrival.hh"
+#include "workload/trace.hh"
+
+namespace qoserve {
+namespace {
+
+/** A small but non-trivial trace (overload included). */
+Trace
+smallTrace(std::uint64_t seed = 7)
+{
+    return TraceBuilder()
+        .seed(seed)
+        .lowPriorityFraction(0.2)
+        .buildCount(PoissonArrivals(6.0), 150);
+}
+
+/** Describe retained violations for failure messages. */
+std::string
+describe(const InvariantAuditor &auditor)
+{
+    std::ostringstream out;
+    out << auditor.violationCount() << " violation(s):";
+    for (const auto &v : auditor.violations()) {
+        out << "\n  [" << v.invariant << "] t=" << v.when << " "
+            << v.detail;
+    }
+    return out.str();
+}
+
+/**
+ * Run @p cfg over @p trace with a full-level auditor attached and
+ * return the auditor's verdict.
+ */
+void
+expectCleanRun(const ServingConfig &cfg, const Trace &trace,
+               const std::string &label)
+{
+    auto predictor = makePredictor(cfg);
+    ClusterSim::Config ccfg;
+    ccfg.replica.hw = cfg.hw;
+    ccfg.replica.perfParams = cfg.perfParams;
+    ccfg.predictor = predictor.get();
+
+    ClusterSim sim(ccfg, trace);
+    InvariantAuditor::Options opts;
+    opts.level = audit::CheckLevel::Full;
+    opts.failFast = false;
+    InvariantAuditor auditor(opts);
+    sim.setAuditor(&auditor);
+    sim.addReplicaGroup(cfg.numReplicas, makeSchedulerFactory(cfg));
+    sim.run();
+
+    EXPECT_GT(auditor.iterationsAudited(), 0u) << label;
+    EXPECT_TRUE(auditor.clean()) << label << ": " << describe(auditor);
+}
+
+TEST(AuditE2E, PolicySweepRunsClean)
+{
+    // Fig. 2 in miniature: every policy family over the same trace.
+    Trace trace = smallTrace();
+    for (Policy policy :
+         {Policy::QoServe, Policy::SarathiFcfs, Policy::SarathiEdf,
+          Policy::SarathiSjf, Policy::SarathiSrpf, Policy::Medha,
+          Policy::SlosServeDp}) {
+        ServingConfig cfg;
+        cfg.policy = policy;
+        cfg.useForestPredictor = false; // Oracle: fast and exact.
+        expectCleanRun(cfg, trace, policyName(policy));
+    }
+}
+
+TEST(AuditE2E, FeatureAblationRunsClean)
+{
+    // Table 5 in miniature: QoServe with each feature toggled off.
+    Trace trace = smallTrace(11);
+    struct Variant
+    {
+        const char *name;
+        void (*apply)(QoServeConfig &);
+    };
+    const Variant variants[] = {
+        {"full", [](QoServeConfig &) {}},
+        {"no-dynamic-chunking",
+         [](QoServeConfig &q) { q.enableDynamicChunking = false; }},
+        {"no-eager-relegation",
+         [](QoServeConfig &q) { q.enableEagerRelegation = false; }},
+        {"no-hybrid-priority",
+         [](QoServeConfig &q) { q.enableHybridPriority = false; }},
+        {"no-selective-preemption",
+         [](QoServeConfig &q) { q.enableSelectivePreemption = false; }},
+    };
+    for (const Variant &variant : variants) {
+        ServingConfig cfg;
+        cfg.policy = Policy::QoServe;
+        cfg.useForestPredictor = false;
+        variant.apply(cfg.qoserve);
+        expectCleanRun(cfg, trace, variant.name);
+    }
+}
+
+TEST(AuditE2E, MultiReplicaSharedClusterRunsClean)
+{
+    ServingConfig cfg;
+    cfg.policy = Policy::QoServe;
+    cfg.numReplicas = 2;
+    cfg.useForestPredictor = false;
+    expectCleanRun(cfg, smallTrace(23), "2-replica shared");
+}
+
+TEST(AuditE2E, AutoAuditorInstalledWhenChecksCompiledIn)
+{
+    ServingConfig cfg;
+    cfg.useForestPredictor = false;
+    auto predictor = makePredictor(cfg);
+    ClusterSim::Config ccfg;
+    ccfg.replica.hw = cfg.hw;
+    ccfg.predictor = predictor.get();
+    ClusterSim sim(ccfg, smallTrace(3));
+    if (audit::checksEnabled()) {
+        ASSERT_NE(sim.auditor(), nullptr);
+        EXPECT_EQ(sim.auditor()->level(), audit::kCompiledLevel);
+        sim.addReplicaGroup(1, makeSchedulerFactory(cfg));
+        sim.run();
+        // failFast auditing: surviving run() means zero violations.
+        EXPECT_TRUE(sim.auditor()->clean());
+        EXPECT_GT(sim.auditor()->iterationsAudited(), 0u);
+    } else {
+        EXPECT_EQ(sim.auditor(), nullptr);
+    }
+}
+
+} // namespace
+} // namespace qoserve

@@ -72,11 +72,64 @@ TEST(BlockManager, ReleaseReturnsAllBlocks)
     EXPECT_EQ(bm.numOwners(), 1u);
 }
 
-TEST(BlockManager, ReleaseUnknownOwnerIsNoOp)
+TEST(BlockManager, ReleaseUnknownOwnerPanics)
 {
     BlockManager bm(160, 16);
-    bm.release(42);
-    EXPECT_EQ(bm.usedBlocks(), 0);
+    EXPECT_DEATH(bm.release(42), "unknown KV owner");
+}
+
+TEST(BlockManager, DoubleFreePanics)
+{
+    BlockManager bm(160, 16);
+    ASSERT_TRUE(bm.grow(1, 32));
+    bm.release(1);
+    EXPECT_DEATH(bm.release(1), "unknown KV owner");
+}
+
+TEST(BlockManager, ConstructorRejectsBadArguments)
+{
+    EXPECT_EXIT({ BlockManager bm(0, 16); },
+                ::testing::ExitedWithCode(1), "capacity must be positive");
+    EXPECT_EXIT({ BlockManager bm(-64, 16); },
+                ::testing::ExitedWithCode(1), "capacity must be positive");
+    EXPECT_EXIT({ BlockManager bm(160, 0); },
+                ::testing::ExitedWithCode(1),
+                "block size must be positive");
+    EXPECT_EXIT({ BlockManager bm(160, -16); },
+                ::testing::ExitedWithCode(1),
+                "block size must be positive");
+    EXPECT_EXIT({ BlockManager bm(8, 16); },
+                ::testing::ExitedWithCode(1), "below one");
+}
+
+TEST(BlockManager, OwnsTracksAllocationRecords)
+{
+    BlockManager bm(160, 16);
+    EXPECT_FALSE(bm.owns(1));
+    ASSERT_TRUE(bm.grow(1, 10));
+    EXPECT_TRUE(bm.owns(1));
+    bm.release(1);
+    EXPECT_FALSE(bm.owns(1));
+}
+
+TEST(BlockManager, OwnerUsageSnapshotIsSortedAndExact)
+{
+    BlockManager bm(1600, 16);
+    ASSERT_TRUE(bm.grow(7, 33));
+    ASSERT_TRUE(bm.grow(3, 16));
+    ASSERT_TRUE(bm.grow(11, 1));
+    auto usage = bm.ownerUsage();
+    ASSERT_EQ(usage.size(), 3u);
+    EXPECT_EQ(usage[0].owner, 3u);
+    EXPECT_EQ(usage[0].tokens, 16);
+    EXPECT_EQ(usage[0].blocks, 1);
+    EXPECT_EQ(usage[1].owner, 7u);
+    EXPECT_EQ(usage[1].blocks, 3);
+    EXPECT_EQ(usage[2].owner, 11u);
+    std::int64_t sum = 0;
+    for (const auto &u : usage)
+        sum += u.blocks;
+    EXPECT_EQ(sum, bm.usedBlocks());
 }
 
 TEST(BlockManager, ZeroGrowthIsFreeAndSucceeds)
@@ -115,7 +168,7 @@ TEST(BlockManagerProperty, RandomOperationsConserveBlocks)
             if (ok) {
                 EXPECT_EQ(bm.freeBlocks(), before_free - need);
             }
-        } else {
+        } else if (bm.owns(owner)) {
             bm.release(owner);
             EXPECT_EQ(bm.ownedTokens(owner), 0);
         }

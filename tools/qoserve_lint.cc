@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Determinism and style lint for the qoserve sources.
+ *
+ * The simulator's contract (DESIGN.md §6) is that results are a pure
+ * function of (seed, config) — never of wall-clock time, global RNG
+ * state, or heap addresses. This scanner enforces the source-level
+ * half of that contract plus two repo conventions:
+ *
+ *  - no-wall-clock:   std::chrono system/steady clocks, time(),
+ *                     clock(), gettimeofday() in simulation code;
+ *  - no-std-rand:     std::rand/srand, random_device,
+ *                     random_shuffle, *rand48 (use simcore Rng);
+ *  - unordered-iter:  range-for over an unordered_map/unordered_set
+ *                     — iteration order is hash/address dependent, so
+ *                     anything order-sensitive downstream becomes
+ *                     nondeterministic under ASLR;
+ *  - header-guard:    every .hh carries a QOSERVE_-prefixed guard;
+ *  - doxygen-file:    every file opens with a Doxygen @file comment.
+ *
+ * A finding is suppressed by a marker on the same or the preceding
+ * line:
+ *
+ *     // qoserve-lint: allow(unordered-iter)
+ *
+ * Suppress only with a comment explaining why the flagged pattern is
+ * deterministic (e.g. the loop's result is re-sorted, or selection
+ * uses a total order).
+ *
+ * Usage: qoserve_lint <file-or-directory>...
+ * Exits 1 when any violation is found, 2 on usage errors.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** One lint finding. */
+struct Finding
+{
+    std::string file;
+    std::size_t line;
+    std::string rule;
+    std::string message;
+};
+
+bool
+isWordChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/** Line number (1-based) of byte offset @p pos in @p text. */
+std::size_t
+lineOf(const std::string &text, std::size_t pos)
+{
+    return 1 + static_cast<std::size_t>(
+                   std::count(text.begin(), text.begin() + pos, '\n'));
+}
+
+/**
+ * Replace comments and string/char literals with spaces, preserving
+ * newlines so byte offsets keep mapping to the same lines. Token
+ * rules run on the blanked text so prose in comments cannot trip
+ * them; suppression markers are collected from the raw text first.
+ */
+std::string
+blankCommentsAndStrings(const std::string &src)
+{
+    std::string out = src;
+    enum class State { Code, Line, Block, Str, Chr };
+    State st = State::Code;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        char c = out[i];
+        char n = i + 1 < out.size() ? out[i + 1] : '\0';
+        switch (st) {
+          case State::Code:
+            if (c == '/' && n == '/') {
+                st = State::Line;
+                out[i] = ' ';
+            } else if (c == '/' && n == '*') {
+                st = State::Block;
+                out[i] = ' ';
+            } else if (c == '"') {
+                st = State::Str;
+                out[i] = ' ';
+            } else if (c == '\'') {
+                st = State::Chr;
+                out[i] = ' ';
+            }
+            break;
+          case State::Line:
+            if (c == '\n')
+                st = State::Code;
+            else
+                out[i] = ' ';
+            break;
+          case State::Block:
+            if (c == '*' && n == '/') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+                st = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::Str:
+          case State::Chr: {
+            char quote = st == State::Str ? '"' : '\'';
+            if (c == '\\' && n != '\0') {
+                out[i] = ' ';
+                if (n != '\n')
+                    out[i + 1] = ' ';
+                ++i;
+            } else if (c == quote) {
+                out[i] = ' ';
+                st = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+/**
+ * Suppression markers per line: `qoserve-lint: allow(rule-a, rule-b)`
+ * covers its own line and the line after it.
+ */
+std::map<std::size_t, std::set<std::string>>
+collectAllowMarkers(const std::string &src)
+{
+    std::map<std::size_t, std::set<std::string>> allow;
+    const std::string tag = "qoserve-lint: allow(";
+    std::size_t pos = 0;
+    while ((pos = src.find(tag, pos)) != std::string::npos) {
+        std::size_t start = pos + tag.size();
+        std::size_t end = src.find(')', start);
+        if (end == std::string::npos)
+            break;
+        std::size_t line = lineOf(src, pos);
+        std::stringstream rules(src.substr(start, end - start));
+        std::string rule;
+        while (std::getline(rules, rule, ',')) {
+            rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                      [](unsigned char c) {
+                                          return std::isspace(c) != 0;
+                                      }),
+                       rule.end());
+            if (!rule.empty()) {
+                allow[line].insert(rule);
+                allow[line + 1].insert(rule);
+            }
+        }
+        pos = end;
+    }
+    return allow;
+}
+
+bool
+isAllowed(const std::map<std::size_t, std::set<std::string>> &allow,
+          std::size_t line, const std::string &rule)
+{
+    auto it = allow.find(line);
+    return it != allow.end() && it->second.count(rule) > 0;
+}
+
+/** One file loaded for scanning. */
+struct SourceFile
+{
+    std::string path;
+    std::string raw;
+    std::string code; ///< raw with comments/strings blanked.
+    std::map<std::size_t, std::set<std::string>> allow;
+};
+
+/**
+ * Find every occurrence of @p token in @p text whose preceding
+ * character is not a word character (so `time(` does not match
+ * `iter_time(`). When @p boundedAfter is set the following character
+ * must not be a word character either.
+ */
+std::vector<std::size_t>
+findToken(const std::string &text, const std::string &token,
+          bool boundedAfter)
+{
+    std::vector<std::size_t> hits;
+    std::size_t pos = 0;
+    while ((pos = text.find(token, pos)) != std::string::npos) {
+        bool okBefore = pos == 0 || !isWordChar(text[pos - 1]);
+        std::size_t after = pos + token.size();
+        bool okAfter = !boundedAfter || after >= text.size() ||
+                       !isWordChar(text[after]);
+        if (okBefore && okAfter)
+            hits.push_back(pos);
+        pos = after;
+    }
+    return hits;
+}
+
+/** Token-based rule: any hit is a violation unless allowed. */
+void
+tokenRule(const SourceFile &f, const std::string &rule,
+          const std::string &token, bool boundedAfter,
+          const std::string &message, std::vector<Finding> &out)
+{
+    for (std::size_t pos : findToken(f.code, token, boundedAfter)) {
+        std::size_t line = lineOf(f.code, pos);
+        if (!isAllowed(f.allow, line, rule))
+            out.push_back({f.path, line, rule, message});
+    }
+}
+
+/**
+ * Collect, across every scanned file, the names of variables and
+ * accessor functions declared with an unordered_map/unordered_set
+ * type — including declarations where the name sits on the line after
+ * the type. Range-fors whose range expression mentions one of these
+ * names are then flagged file-independently, so iterating a
+ * container through an accessor does not dodge the rule.
+ */
+void
+collectUnorderedNames(const SourceFile &f, std::set<std::string> &names)
+{
+    for (const char *marker : {"unordered_map<", "unordered_set<"}) {
+        std::size_t pos = 0;
+        const std::string tok(marker);
+        while ((pos = f.code.find(tok, pos)) != std::string::npos) {
+            // Bracket-match the template argument list.
+            std::size_t i = pos + tok.size();
+            int depth = 1;
+            while (i < f.code.size() && depth > 0) {
+                if (f.code[i] == '<')
+                    ++depth;
+                else if (f.code[i] == '>')
+                    --depth;
+                ++i;
+            }
+            // Skip reference/pointer decoration and whitespace (the
+            // declared name may start on the next line).
+            while (i < f.code.size() &&
+                   (std::isspace(static_cast<unsigned char>(
+                        f.code[i])) != 0 ||
+                    f.code[i] == '&' || f.code[i] == '*')) {
+                ++i;
+            }
+            if (f.code.compare(i, 6, "const ") == 0)
+                i += 6;
+            std::size_t start = i;
+            while (i < f.code.size() && isWordChar(f.code[i]))
+                ++i;
+            if (i > start) {
+                std::string name = f.code.substr(start, i - start);
+                if (name != "iterator" && name != "const_iterator")
+                    names.insert(name);
+            }
+            pos += tok.size();
+        }
+    }
+}
+
+/**
+ * Flag range-based for loops whose range expression names an
+ * unordered container (declared anywhere in the scanned set) or an
+ * unordered type directly.
+ */
+void
+unorderedIterRule(const SourceFile &f,
+                  const std::set<std::string> &names,
+                  std::vector<Finding> &out)
+{
+    const std::string rule = "unordered-iter";
+    for (std::size_t pos : findToken(f.code, "for", true)) {
+        std::size_t i = pos + 3;
+        while (i < f.code.size() &&
+               std::isspace(static_cast<unsigned char>(f.code[i])) != 0)
+            ++i;
+        if (i >= f.code.size() || f.code[i] != '(')
+            continue;
+        // Bracket-match the for header; note any top-level ':' that
+        // is not part of a '::'.
+        int depth = 0;
+        std::size_t colon = std::string::npos;
+        for (; i < f.code.size(); ++i) {
+            char c = f.code[i];
+            if (c == '(' || c == '[' || c == '{')
+                ++depth;
+            else if (c == ')' || c == ']' || c == '}') {
+                --depth;
+                if (depth == 0)
+                    break;
+            } else if (c == ':' && depth == 1 &&
+                       colon == std::string::npos) {
+                bool scoped = (i > 0 && f.code[i - 1] == ':') ||
+                              (i + 1 < f.code.size() &&
+                               f.code[i + 1] == ':');
+                if (!scoped)
+                    colon = i;
+            }
+        }
+        if (colon == std::string::npos || i >= f.code.size())
+            continue; // Classic for loop (or unterminated header).
+        std::string range = f.code.substr(colon + 1, i - colon - 1);
+        bool hit = range.find("unordered_") != std::string::npos;
+        for (const auto &name : names) {
+            if (hit)
+                break;
+            if (!findToken(range, name, true).empty())
+                hit = true;
+        }
+        if (!hit)
+            continue;
+        std::size_t line = lineOf(f.code, pos);
+        if (isAllowed(f.allow, line, rule))
+            continue;
+        out.push_back(
+            {f.path, line, rule,
+             "range-for over an unordered container: iteration order "
+             "depends on hashing (and, for pointer keys, heap "
+             "addresses), so order-sensitive consumers break the "
+             "determinism contract; iterate a sorted snapshot or "
+             "impose a total order, then suppress with "
+             "qoserve-lint: allow(unordered-iter)"});
+    }
+}
+
+/** Every header carries an include guard with the repo prefix. */
+void
+headerGuardRule(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (f.path.size() < 3 ||
+        f.path.compare(f.path.size() - 3, 3, ".hh") != 0)
+        return;
+    bool ifndef = f.raw.find("#ifndef QOSERVE_") != std::string::npos;
+    bool define = f.raw.find("#define QOSERVE_") != std::string::npos;
+    if (!ifndef || !define) {
+        out.push_back({f.path, 1, "header-guard",
+                       "header lacks a QOSERVE_-prefixed include "
+                       "guard (#ifndef QOSERVE_... / #define "
+                       "QOSERVE_...)"});
+    }
+}
+
+/** Every source file opens with a Doxygen @file comment. */
+void
+doxygenFileRule(const SourceFile &f, std::vector<Finding> &out)
+{
+    std::size_t i = 0;
+    while (i < f.raw.size() &&
+           std::isspace(static_cast<unsigned char>(f.raw[i])) != 0)
+        ++i;
+    bool opensDoc = f.raw.compare(i, 3, "/**") == 0;
+    std::size_t end = opensDoc ? f.raw.find("*/", i) : std::string::npos;
+    bool hasFileTag =
+        opensDoc && end != std::string::npos &&
+        f.raw.substr(i, end - i).find("@file") != std::string::npos;
+    if (!opensDoc || !hasFileTag) {
+        out.push_back({f.path, 1, "doxygen-file",
+                       "file does not start with a Doxygen /** @file "
+                       "*/ comment describing its purpose"});
+    }
+}
+
+bool
+loadFile(const fs::path &path, SourceFile &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out.path = path.generic_string();
+    out.raw = buf.str();
+    out.code = blankCommentsAndStrings(out.raw);
+    out.allow = collectAllowMarkers(out.raw);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: qoserve_lint <file-or-directory>...\n";
+        return 2;
+    }
+
+    std::vector<SourceFile> files;
+    for (int a = 1; a < argc; ++a) {
+        fs::path root(argv[a]);
+        std::error_code ec;
+        if (fs::is_directory(root, ec)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(root)) {
+                if (!entry.is_regular_file())
+                    continue;
+                auto ext = entry.path().extension().string();
+                if (ext != ".hh" && ext != ".cc")
+                    continue;
+                SourceFile f;
+                if (loadFile(entry.path(), f))
+                    files.push_back(std::move(f));
+            }
+        } else if (fs::is_regular_file(root, ec)) {
+            SourceFile f;
+            if (loadFile(root, f))
+                files.push_back(std::move(f));
+        } else {
+            std::cerr << "qoserve_lint: cannot read " << root << "\n";
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end(),
+              [](const SourceFile &a, const SourceFile &b) {
+                  return a.path < b.path;
+              });
+
+    std::set<std::string> unorderedNames;
+    for (const auto &f : files)
+        collectUnorderedNames(f, unorderedNames);
+
+    std::vector<Finding> findings;
+    for (const auto &f : files) {
+        const std::string clockMsg =
+            "wall-clock time in simulation code: results must be a "
+            "function of (seed, config) only — use the EventQueue "
+            "clock";
+        const std::string randMsg =
+            "global/non-deterministic RNG in simulation code: use the "
+            "seeded simcore Rng so runs reproduce";
+        tokenRule(f, "no-wall-clock", "system_clock", true, clockMsg,
+                  findings);
+        tokenRule(f, "no-wall-clock", "steady_clock", true, clockMsg,
+                  findings);
+        tokenRule(f, "no-wall-clock", "high_resolution_clock", true,
+                  clockMsg, findings);
+        tokenRule(f, "no-wall-clock", "gettimeofday", true, clockMsg,
+                  findings);
+        tokenRule(f, "no-wall-clock", "time(", false, clockMsg,
+                  findings);
+        tokenRule(f, "no-wall-clock", "clock(", false, clockMsg,
+                  findings);
+        tokenRule(f, "no-std-rand", "std::rand", true, randMsg,
+                  findings);
+        tokenRule(f, "no-std-rand", "rand(", false, randMsg, findings);
+        tokenRule(f, "no-std-rand", "srand(", false, randMsg,
+                  findings);
+        tokenRule(f, "no-std-rand", "random_device", true, randMsg,
+                  findings);
+        tokenRule(f, "no-std-rand", "random_shuffle", true, randMsg,
+                  findings);
+        tokenRule(f, "no-std-rand", "drand48", true, randMsg,
+                  findings);
+        tokenRule(f, "no-std-rand", "lrand48", true, randMsg,
+                  findings);
+        unorderedIterRule(f, unorderedNames, findings);
+        headerGuardRule(f, findings);
+        doxygenFileRule(f, findings);
+    }
+
+    for (const auto &v : findings) {
+        std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
+                  << v.message << "\n";
+    }
+    if (!findings.empty()) {
+        std::cerr << "qoserve_lint: " << findings.size()
+                  << " violation(s) in " << files.size() << " file(s)\n";
+        return 1;
+    }
+    std::cout << "qoserve_lint: " << files.size() << " file(s) clean\n";
+    return 0;
+}
