@@ -338,6 +338,51 @@ InvariantAuditor::checkRecord(const RequestRecord &rec,
                                       " has negative preemption count"),
                when);
     }
+    if (rec.retries < 0) {
+        report("slo-record",
+               detail::composeMessage("record ", rec.spec.id,
+                                      " has negative retry count"),
+               when);
+    }
+}
+
+void
+InvariantAuditor::onReplicaCrash(const BlockManager &kv,
+                                 const Scheduler &sched,
+                                 std::size_t live_requests, SimTime now)
+{
+    if (!cheap())
+        return;
+
+    // Block conservation across crash-release: a dead process holds
+    // no memory. Any remainder is a leak that would starve the
+    // recovered replica.
+    if (kv.usedBlocks() != 0 || kv.numOwners() != 0) {
+        report("kv-crash-release",
+               detail::composeMessage("crashed replica still holds ",
+                                      kv.usedBlocks(), " blocks for ",
+                                      kv.numOwners(), " owners"),
+               now);
+    }
+
+    // No request stranded on a down replica: every live request must
+    // have been handed back to the cluster, and the rebuilt scheduler
+    // must have nothing queued.
+    if (live_requests != 0) {
+        report("crash-stranded-request",
+               detail::composeMessage(live_requests,
+                                      " requests still owned by a "
+                                      "crashed replica"),
+               now);
+    }
+    if (sched.hasWork()) {
+        report("crash-stranded-request",
+               detail::composeMessage(
+                   "crashed replica's scheduler still has work: ",
+                   sched.prefillQueueSize(), " prefills, ",
+                   sched.decodeQueueSize(), " decodes"),
+               now);
+    }
 }
 
 } // namespace qoserve

@@ -125,9 +125,19 @@ class InvariantAuditor
     /**
      * Check a completed-request record: valid tier, non-negative
      * TTFT/TBT samples, ordered token timestamps, miss counts within
-     * the token budget.
+     * the token budget, non-negative retry count.
      */
     void checkRecord(const RequestRecord &rec, const TierTable &tiers);
+
+    /**
+     * Audit hook for a replica crash, called after the failure path
+     * tore the replica down: the KV cache must hold zero blocks and
+     * zero owners (block conservation across crash-release), the
+     * rebuilt scheduler must be idle, and no request may still be
+     * owned by the dead replica (no request stranded).
+     */
+    void onReplicaCrash(const BlockManager &kv, const Scheduler &sched,
+                        std::size_t live_requests, SimTime now);
 
     /** Iterations audited so far. */
     std::uint64_t iterationsAudited() const { return iterations_; }

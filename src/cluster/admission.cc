@@ -6,6 +6,7 @@
 #include "cluster/admission.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "simcore/logging.hh"
 
@@ -14,14 +15,26 @@ namespace qoserve {
 AdmissionController::AdmissionController(Config cfg)
     : cfg_(cfg), bucket_(cfg.burstSize)
 {
+    // Misconfiguration is a user error, not an internal invariant:
+    // fail with a clear message instead of aborting (mirrors
+    // BlockManager's constructor validation).
     if (cfg_.policy == AdmissionPolicy::RateLimit) {
-        QOSERVE_ASSERT(cfg_.rateLimitQps > 0.0,
-                       "rate limit must be positive");
-        QOSERVE_ASSERT(cfg_.burstSize >= 1.0, "burst must be >= 1");
+        if (!(cfg_.rateLimitQps > 0.0) ||
+            !std::isfinite(cfg_.rateLimitQps))
+            QOSERVE_FATAL("RateLimit admission requires a positive "
+                          "finite rateLimitQps, got ",
+                          cfg_.rateLimitQps);
+        if (!(cfg_.burstSize >= 1.0) || !std::isfinite(cfg_.burstSize))
+            QOSERVE_FATAL("RateLimit admission requires burstSize >= 1 "
+                          "(a bucket that can never hold one token "
+                          "admits nothing), got ",
+                          cfg_.burstSize);
     }
     if (cfg_.policy == AdmissionPolicy::LoadShed) {
-        QOSERVE_ASSERT(cfg_.maxBacklogTokens > 0,
-                       "backlog threshold must be positive");
+        if (cfg_.maxBacklogTokens <= 0)
+            QOSERVE_FATAL("LoadShed admission requires a positive "
+                          "maxBacklogTokens, got ",
+                          cfg_.maxBacklogTokens);
     }
 }
 

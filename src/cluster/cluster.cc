@@ -5,9 +5,20 @@
 
 #include "cluster/cluster.hh"
 
+#include <algorithm>
+
 #include "simcore/logging.hh"
 
 namespace qoserve {
+
+SimDuration
+RetryPolicy::backoffFor(int attempt) const
+{
+    SimDuration delay = initialBackoff;
+    for (int i = 0; i < attempt && delay < maxBackoff; ++i)
+        delay *= backoffMultiplier;
+    return std::min(delay, maxBackoff);
+}
 
 ClusterSim::ClusterSim(Config cfg, Trace trace)
     : cfg_(cfg), trace_(std::move(trace)),
@@ -62,6 +73,10 @@ ClusterSim::addReplicaGroup(int count, const SchedulerFactory &factory,
                 metrics_.record(rec);
             });
         replica->attachAuditor(auditor_);
+        replica->setFailureHandler(
+            [this](const RequestFailureSnapshot &snap) {
+                requeue(snap);
+            });
         group.replicaIdx.push_back(replicas_.size());
         replicas_.push_back(std::move(replica));
     }
@@ -84,28 +99,59 @@ ClusterSim::routeTier(int tier_id, int group_id)
 std::size_t
 ClusterSim::pickReplica(Group &group) const
 {
+    // Health-aware routing skips down replicas and multiplies load
+    // scores by the straggler slowdown. With every replica Up the
+    // skip never triggers and the factor is exactly 1.0, so the
+    // choice (including tie-breaks) matches blind routing bit for
+    // bit — fault-free runs are unchanged.
+    const bool aware = cfg_.healthAwareRouting;
+    auto usable = [&](std::size_t idx) {
+        return !aware ||
+               replicas_[idx]->health() != ReplicaHealth::Down;
+    };
+
     switch (group.lb) {
       case LoadBalancePolicy::RoundRobin: {
-        std::size_t idx = group.replicaIdx[group.nextRr];
-        group.nextRr = (group.nextRr + 1) % group.replicaIdx.size();
-        return idx;
+        const std::size_t n = group.replicaIdx.size();
+        for (std::size_t k = 0; k < n; ++k) {
+            std::size_t slot = (group.nextRr + k) % n;
+            std::size_t idx = group.replicaIdx[slot];
+            if (usable(idx)) {
+                group.nextRr = (slot + 1) % n;
+                return idx;
+            }
+        }
+        return kNoReplica;
       }
       case LoadBalancePolicy::LeastLoaded: {
-        std::size_t best = group.replicaIdx.front();
+        std::size_t best = kNoReplica;
+        double best_score = 0.0;
         for (std::size_t idx : group.replicaIdx) {
-            if (replicas_[idx]->liveRequests() <
-                replicas_[best]->liveRequests()) {
+            if (!usable(idx))
+                continue;
+            double score =
+                static_cast<double>(replicas_[idx]->liveRequests()) *
+                (aware ? replicas_[idx]->slowdown() : 1.0);
+            if (best == kNoReplica || score < best_score) {
                 best = idx;
+                best_score = score;
             }
         }
         return best;
       }
       case LoadBalancePolicy::ShortestQueue: {
-        std::size_t best = group.replicaIdx.front();
+        std::size_t best = kNoReplica;
+        double best_score = 0.0;
         for (std::size_t idx : group.replicaIdx) {
-            if (replicas_[idx]->scheduler().pendingPrefillTokens() <
-                replicas_[best]->scheduler().pendingPrefillTokens()) {
+            if (!usable(idx))
+                continue;
+            double score =
+                static_cast<double>(
+                    replicas_[idx]->scheduler().pendingPrefillTokens()) *
+                (aware ? replicas_[idx]->slowdown() : 1.0);
+            if (best == kNoReplica || score < best_score) {
                 best = idx;
+                best_score = score;
             }
         }
         return best;
@@ -120,8 +166,18 @@ ClusterSim::injectArrival(std::size_t index)
     const RequestSpec &spec = trace_.requests[index];
     Group &group = groups_[tierRoute_[spec.tierId]];
     std::size_t replica_idx = pickReplica(group);
-    if (admission_.admit(spec, eq_.now(),
-                         replicas_[replica_idx]->scheduler())) {
+    if (replica_idx == kNoReplica ||
+        replicas_[replica_idx]->health() == ReplicaHealth::Down) {
+        // No live target — every replica is down, or a blind front
+        // door routed to a dead box. The request enters the retry
+        // path (backoff + budget) instead of being dropped; admission
+        // control only ever evaluates dispatches that reach a live
+        // replica.
+        RequestFailureSnapshot snap;
+        snap.spec = spec;
+        requeue(std::move(snap));
+    } else if (admission_.admit(spec, eq_.now(),
+                                replicas_[replica_idx]->scheduler())) {
         replicas_[replica_idx]->submit(spec);
     } else {
         // Rejected outright: record an un-served request (infinite
@@ -141,6 +197,58 @@ ClusterSim::injectArrival(std::size_t index)
         eq_.schedule(trace_.requests[next].arrival,
                      [this, next]() { injectArrival(next); });
     }
+}
+
+void
+ClusterSim::requeue(RequestFailureSnapshot snap)
+{
+    if (snap.retries >= cfg_.retry.maxRetries) {
+        recordExhausted(snap);
+        return;
+    }
+    SimDuration delay = cfg_.retry.backoffFor(snap.retries);
+    snap.retries += 1;
+    ++redispatches_;
+    eq_.scheduleAfter(delay, [this, snap = std::move(snap)]() {
+        redispatch(snap);
+    });
+}
+
+void
+ClusterSim::redispatch(RequestFailureSnapshot snap)
+{
+    Group &group = groups_[tierRoute_[snap.spec.tierId]];
+    std::size_t replica_idx = pickReplica(group);
+    if (replica_idx == kNoReplica ||
+        replicas_[replica_idx]->health() == ReplicaHealth::Down) {
+        // Still no live target: burn another attempt. The budget
+        // bounds this loop, so the run terminates even if the whole
+        // group never recovers.
+        requeue(std::move(snap));
+        return;
+    }
+    replicas_[replica_idx]->resubmit(snap);
+}
+
+void
+ClusterSim::recordExhausted(const RequestFailureSnapshot &snap)
+{
+    // Abandoned after the retry budget: the request terminates
+    // unserved. Latencies stay infinite (like a rejection) but the
+    // partial progress fields survive for failure attribution.
+    RequestRecord rec;
+    rec.spec = snap.spec;
+    rec.firstTokenTime = snap.firstTokenTime;
+    rec.maxTbt = snap.maxTbt;
+    rec.tbtDeadlineMisses = snap.tbtDeadlineMisses;
+    rec.wasRelegated = snap.wasRelegated;
+    rec.kvPreemptions = snap.kvPreemptions;
+    rec.retries = snap.retries;
+    rec.retryExhausted = true;
+    ++retriesExhausted_;
+    if (auditor_ != nullptr)
+        auditor_->checkRecord(rec, trace_.tiers);
+    metrics_.record(rec);
 }
 
 const MetricsCollector &

@@ -40,6 +40,28 @@ enum class LoadBalancePolicy
 const char *loadBalanceName(LoadBalancePolicy policy);
 
 /**
+ * Re-dispatch policy for requests handed back by a failed replica:
+ * capped exponential backoff with a bounded retry budget.
+ */
+struct RetryPolicy
+{
+    /** Re-dispatch attempts before a request is abandoned. */
+    int maxRetries = 3;
+
+    /** Backoff before the first re-dispatch, seconds. */
+    SimDuration initialBackoff = 0.05;
+
+    /** Backoff growth per attempt. */
+    double backoffMultiplier = 2.0;
+
+    /** Backoff ceiling, seconds. */
+    SimDuration maxBackoff = 2.0;
+
+    /** Backoff before attempt @p attempt (0-based). */
+    SimDuration backoffFor(int attempt) const;
+};
+
+/**
  * A cluster of replicas executing one trace.
  */
 class ClusterSim
@@ -56,6 +78,18 @@ class ClusterSim
 
         /** Front-door admission control (default: admit all). */
         AdmissionController::Config admission{};
+
+        /** Re-dispatch policy after replica failures. */
+        RetryPolicy retry{};
+
+        /**
+         * Health-aware routing: skip down replicas and de-weight
+         * stragglers when picking a target. With every replica
+         * healthy the choice is identical to blind routing, so this
+         * costs nothing on fault-free runs. Disable to model a
+         * health-oblivious front door (the ext_failures baseline).
+         */
+        bool healthAwareRouting = true;
     };
 
     /**
@@ -109,6 +143,12 @@ class ClusterSim
     /** Admission statistics. */
     const AdmissionController &admission() const { return admission_; }
 
+    /** Requests abandoned after exhausting their retry budget. */
+    std::uint64_t retriesExhausted() const { return retriesExhausted_; }
+
+    /** Re-dispatch attempts performed across all requests. */
+    std::uint64_t redispatches() const { return redispatches_; }
+
     /**
      * The active invariant auditor, or null when the build has checks
      * off and no auditor was installed.
@@ -130,8 +170,25 @@ class ClusterSim
         LoadBalancePolicy lb = LoadBalancePolicy::RoundRobin;
     };
 
+    /** pickReplica result when every replica in the group is down. */
+    static constexpr std::size_t kNoReplica =
+        static_cast<std::size_t>(-1);
+
     std::size_t pickReplica(Group &group) const;
     void injectArrival(std::size_t index);
+
+    /**
+     * Enter the retry path for @p snap: schedule a backed-off
+     * re-dispatch, or record the request as retry-exhausted when its
+     * budget is spent.
+     */
+    void requeue(RequestFailureSnapshot snap);
+
+    /** Attempt one re-dispatch of a failed request. */
+    void redispatch(RequestFailureSnapshot snap);
+
+    /** Record an abandoned request (budget exhausted). */
+    void recordExhausted(const RequestFailureSnapshot &snap);
 
     Config cfg_;
     Trace trace_;
@@ -144,6 +201,8 @@ class ClusterSim
     MetricsCollector metrics_;
     AdmissionController admission_;
     bool ran_ = false;
+    std::uint64_t retriesExhausted_ = 0;
+    std::uint64_t redispatches_ = 0;
 };
 
 /**

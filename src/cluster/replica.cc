@@ -5,10 +5,26 @@
 
 #include "cluster/replica.hh"
 
+#include <algorithm>
+
 #include "audit/invariant_auditor.hh"
 #include "simcore/logging.hh"
 
 namespace qoserve {
+
+const char *
+replicaHealthName(ReplicaHealth health)
+{
+    switch (health) {
+      case ReplicaHealth::Up:
+        return "up";
+      case ReplicaHealth::Degraded:
+        return "degraded";
+      case ReplicaHealth::Down:
+        return "down";
+    }
+    QOSERVE_PANIC("unknown replica health");
+}
 
 Replica::Replica(EventQueue &eq, Config cfg,
                  const SchedulerFactory &factory,
@@ -17,14 +33,21 @@ Replica::Replica(EventQueue &eq, Config cfg,
                  std::function<void(const RequestRecord &)> on_complete)
     : eq_(eq), perf_(cfg.hw, cfg.perfParams),
       kv_(cfg.hw.kvCapacityTokens(), cfg.kvBlockTokens),
-      tiers_(std::move(tiers)), appStats_(std::move(app_stats)),
+      factory_(factory), predictor_(predictor), tiers_(std::move(tiers)),
+      appStats_(std::move(app_stats)),
       onComplete_(std::move(on_complete))
+{
+    buildScheduler();
+}
+
+void
+Replica::buildScheduler()
 {
     SchedulerEnv env;
     env.kv = &kv_;
     env.perf = &perf_;
-    env.predictor = predictor;
-    scheduler_ = factory(env);
+    env.predictor = predictor_;
+    scheduler_ = factory_(env);
     QOSERVE_ASSERT(scheduler_ != nullptr, "factory returned no scheduler");
 
     auto *chunked = dynamic_cast<ChunkedScheduler *>(scheduler_.get());
@@ -38,9 +61,11 @@ Replica::Replica(EventQueue &eq, Config cfg,
     });
 }
 
-void
-Replica::submit(const RequestSpec &spec)
+Request *
+Replica::admit(const RequestSpec &spec)
 {
+    QOSERVE_ASSERT(health_ != ReplicaHealth::Down,
+                   "request submitted to a down replica");
     QOSERVE_ASSERT(spec.tierId >= 0 &&
                        spec.tierId < static_cast<int>(tiers_.size()),
                    "request references unknown tier");
@@ -53,14 +78,31 @@ Replica::submit(const RequestSpec &spec)
     Request *ptr = req.get();
     auto [it, inserted] = live_.emplace(spec.id, std::move(req));
     QOSERVE_ASSERT(inserted, "duplicate request id submitted");
-    scheduler_->enqueue(ptr, eq_.now());
+    return ptr;
+}
+
+void
+Replica::submit(const RequestSpec &spec)
+{
+    Request *req = admit(spec);
+    scheduler_->enqueue(req, eq_.now());
+    maybeStartIteration();
+}
+
+void
+Replica::resubmit(const RequestFailureSnapshot &snap)
+{
+    Request *req = admit(snap.spec);
+    req->restoreForRetry(snap);
+    scheduler_->enqueue(req, eq_.now());
     maybeStartIteration();
 }
 
 void
 Replica::maybeStartIteration()
 {
-    if (busy_ || !scheduler_->hasWork())
+    if (busy_ || health_ == ReplicaHealth::Down ||
+        !scheduler_->hasWork())
         return;
 
     SimTime start = eq_.now();
@@ -68,11 +110,13 @@ Replica::maybeStartIteration()
     if (batch.empty())
         return;
 
-    SimDuration latency = perf_.iterationTime(batch.work());
+    // Straggling multiplies latency; the healthy factor of exactly
+    // 1.0 leaves the product bit-identical to the undisturbed run.
+    SimDuration latency = perf_.iterationTime(batch.work()) * slowdown_;
     QOSERVE_ASSERT(latency > 0.0, "non-empty batch with zero latency");
     busy_ = true;
     ++iterations_;
-    busyTime_ += latency;
+    inflightStart_ = start;
 
     if (observer_) {
         BatchObservation obs;
@@ -83,21 +127,95 @@ Replica::maybeStartIteration()
         observer_(obs);
     }
 
-    eq_.scheduleAfter(latency, [this, batch = std::move(batch), start]() {
-        completeIteration(batch, start);
-    });
+    inflightEvent_ = eq_.scheduleAfter(
+        latency, [this, batch = std::move(batch), start, latency]() {
+            busyTime_ += latency;
+            completeIteration(batch, start);
+        });
 }
 
 void
 Replica::completeIteration(const Batch &batch, SimTime)
 {
     busy_ = false;
+    inflightEvent_ = 0;
     scheduler_->onBatchComplete(batch, eq_.now());
     // Audit between batch completion and the next formBatch: every
     // queue and the KV cache are at rest here.
     if (auditor_ != nullptr)
         auditor_->onIterationComplete(kv_, *scheduler_, eq_);
     maybeStartIteration();
+}
+
+void
+Replica::fail()
+{
+    QOSERVE_ASSERT(health_ != ReplicaHealth::Down,
+                   "fail() on an already-down replica");
+    QOSERVE_ASSERT(failureHandler_,
+                   "replica crash with no failure handler installed: "
+                   "live requests would be lost");
+    health_ = ReplicaHealth::Down;
+    slowdown_ = 1.0;
+    ++crashes_;
+
+    // Discard the in-flight batch: its completion event is cancelled
+    // (tombstoned in the queue) and only the elapsed part of the
+    // iteration counts as busy time.
+    if (busy_) {
+        eq_.cancel(inflightEvent_);
+        busyTime_ += eq_.now() - inflightStart_;
+        busy_ = false;
+        inflightEvent_ = 0;
+    }
+
+    // Snapshot every live request in id order — live_ is hash-ordered
+    // and the hand-back order must be deterministic.
+    std::vector<RequestFailureSnapshot> snaps;
+    snaps.reserve(live_.size());
+    // qoserve-lint: allow(unordered-iter) — sorted below.
+    for (const auto &entry : live_)
+        snaps.push_back(entry.second->failureSnapshot());
+    std::sort(snaps.begin(), snaps.end(),
+              [](const RequestFailureSnapshot &a,
+                 const RequestFailureSnapshot &b) {
+                  return a.spec.id < b.spec.id;
+              });
+
+    // The process is gone: every KV block is freed at once, the
+    // scheduler is rebuilt empty (its queues pointed into live_), and
+    // the request objects are destroyed after snapshotting.
+    kv_.releaseAll();
+    buildScheduler();
+    live_.clear();
+
+    if (auditor_ != nullptr)
+        auditor_->onReplicaCrash(kv_, *scheduler_, live_.size(),
+                                 eq_.now());
+
+    for (const RequestFailureSnapshot &snap : snaps)
+        failureHandler_(snap);
+}
+
+void
+Replica::recover()
+{
+    QOSERVE_ASSERT(health_ == ReplicaHealth::Down,
+                   "recover() on a replica that is not down");
+    health_ = ReplicaHealth::Up;
+    slowdown_ = 1.0;
+    maybeStartIteration();
+}
+
+void
+Replica::setSlowdown(double factor)
+{
+    QOSERVE_ASSERT(health_ != ReplicaHealth::Down,
+                   "setSlowdown() on a down replica");
+    QOSERVE_ASSERT(factor >= 1.0,
+                   "slowdown factor must be >= 1, got ", factor);
+    slowdown_ = factor;
+    health_ = factor > 1.0 ? ReplicaHealth::Degraded : ReplicaHealth::Up;
 }
 
 } // namespace qoserve

@@ -25,6 +25,25 @@ namespace qoserve {
 
 class InvariantAuditor;
 
+/**
+ * Health of a replica (fault-injection state machine, DESIGN.md §8).
+ */
+enum class ReplicaHealth
+{
+    Up,       ///< Healthy, serving at full speed.
+    Degraded, ///< Straggling: serving with a latency slowdown factor.
+    Down,     ///< Crashed: owns nothing, accepts nothing.
+};
+
+/** Display name of a health state. */
+const char *replicaHealthName(ReplicaHealth health);
+
+/**
+ * Callback receiving each live request's failure snapshot when the
+ * replica crashes; the cluster re-dispatches or abandons them.
+ */
+using FailureHandler = std::function<void(const RequestFailureSnapshot &)>;
+
 /** Observer invoked after every executed batch (Fig. 9 timelines). */
 struct BatchObservation
 {
@@ -69,6 +88,49 @@ class Replica
     /** Admit a request at the current simulation time. */
     void submit(const RequestSpec &spec);
 
+    /**
+     * Admit a request re-dispatched after a failure elsewhere: its
+     * prefill restarts from chunk 0 and decode resumes from the
+     * snapshot's emitted-token count.
+     */
+    void resubmit(const RequestFailureSnapshot &snap);
+
+    /** Current health state. */
+    ReplicaHealth health() const { return health_; }
+
+    /** Current latency slowdown factor (1.0 when not straggling). */
+    double slowdown() const { return slowdown_; }
+
+    /**
+     * Crash this replica: the in-flight batch is discarded (its
+     * completion event cancelled), every KV block is released, the
+     * scheduler is rebuilt from scratch (its queues died with the
+     * process), and each live request's failure snapshot is handed to
+     * the failure handler in request-id order. Panics when no failure
+     * handler is installed (requests would be lost) or when already
+     * down.
+     */
+    void fail();
+
+    /** Restart a crashed replica: healthy, empty, ready for work. */
+    void recover();
+
+    /**
+     * Set the straggler slowdown factor: batch latencies are
+     * multiplied by @p factor. 1.0 restores full speed; > 1.0 marks
+     * the replica Degraded. Invalid while Down.
+     */
+    void setSlowdown(double factor);
+
+    /** Install the crash handler (the cluster's re-dispatch path). */
+    void setFailureHandler(FailureHandler handler)
+    {
+        failureHandler_ = std::move(handler);
+    }
+
+    /** Crashes this replica has suffered. */
+    std::uint64_t crashes() const { return crashes_; }
+
     /** Scheduler under this replica (for stats and tests). */
     const Scheduler &scheduler() const { return *scheduler_; }
 
@@ -97,21 +159,34 @@ class Replica
   private:
     void maybeStartIteration();
     void completeIteration(const Batch &batch, SimTime start);
+    Request *admit(const RequestSpec &spec);
+    void buildScheduler();
 
     EventQueue &eq_;
     PerfModel perf_;
     BlockManager kv_;
     std::unique_ptr<Scheduler> scheduler_;
+    SchedulerFactory factory_;
+    const LatencyPredictor *predictor_ = nullptr;
     TierTable tiers_;
     std::vector<AppStats> appStats_;
     std::function<void(const RequestRecord &)> onComplete_;
     BatchObserver observer_;
+    FailureHandler failureHandler_;
     InvariantAuditor *auditor_ = nullptr;
 
     std::unordered_map<std::uint64_t, std::unique_ptr<Request>> live_;
     bool busy_ = false;
     std::uint64_t iterations_ = 0;
     SimDuration busyTime_ = 0.0;
+
+    ReplicaHealth health_ = ReplicaHealth::Up;
+    double slowdown_ = 1.0;
+    std::uint64_t crashes_ = 0;
+
+    /** In-flight completion event, for cancellation on crash. */
+    EventId inflightEvent_ = 0;
+    SimTime inflightStart_ = 0.0;
 };
 
 } // namespace qoserve

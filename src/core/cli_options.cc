@@ -133,6 +133,25 @@ deployment:
                         (default 0 = hardware concurrency; any value
                         yields bit-identical results)
 
+faults:
+  --fault-mtbf S        mean time between replica crashes, seconds
+                        (default 0 = no crashes)
+  --fault-mttr S        mean time to repair a crashed replica
+                        (default 20)
+  --straggler-mtbf S    mean time between straggler episodes
+                        (default 0 = no stragglers)
+  --straggler-duration S  mean straggler episode length (default 10)
+  --straggler-factor X  latency multiplier while straggling
+                        (default 2)
+  --fault-seed N        fault-schedule seed, independent of the
+                        workload seed (default 1)
+  --max-retries N       re-dispatch budget per failed request
+                        (default 3; 0 = never retry)
+  --retry-backoff S     initial re-dispatch backoff, doubled per
+                        attempt (default 0.05)
+  --no-health-aware     route blindly: ignore replica health and
+                        slowdown when picking a replica
+
 output:
   --trace-out FILE      dump the workload as CSV
   --records-out FILE    dump per-request records as CSV
@@ -207,6 +226,31 @@ parseCliOptions(const std::vector<std::string> &args)
         } else if (flag == "--jobs") {
             opts.serving.trainJobs = static_cast<int>(
                 parseU64(flag, need_value(i++, flag)));
+        } else if (flag == "--fault-mtbf") {
+            opts.fault.crashMtbf =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--fault-mttr") {
+            opts.fault.crashMttr =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--straggler-mtbf") {
+            opts.fault.stragglerMtbf =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--straggler-duration") {
+            opts.fault.stragglerDuration =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--straggler-factor") {
+            opts.fault.stragglerFactor =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--fault-seed") {
+            opts.fault.seed = parseU64(flag, need_value(i++, flag));
+        } else if (flag == "--max-retries") {
+            opts.retry.maxRetries = static_cast<int>(
+                parseU64(flag, need_value(i++, flag)));
+        } else if (flag == "--retry-backoff") {
+            opts.retry.initialBackoff =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--no-health-aware") {
+            opts.healthAwareRouting = false;
         } else if (flag == "--trace-out") {
             opts.traceOut = need_value(i++, flag);
         } else if (flag == "--records-out") {
@@ -227,6 +271,12 @@ parseCliOptions(const std::vector<std::string> &args)
         QOSERVE_FATAL("--duration must be positive");
     if (opts.serving.numReplicas < 1)
         QOSERVE_FATAL("--replicas must be at least 1");
+    if (opts.fault.crashMtbf < 0.0)
+        QOSERVE_FATAL("--fault-mtbf must be non-negative");
+    if (opts.fault.stragglerMtbf < 0.0)
+        QOSERVE_FATAL("--straggler-mtbf must be non-negative");
+    if (opts.retry.initialBackoff <= 0.0)
+        QOSERVE_FATAL("--retry-backoff must be positive");
     return opts;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/serving_system.hh"
+#include "fault/fault_injector.hh"
 
 namespace qoserve {
 
@@ -38,6 +39,15 @@ struct CliOptions
 
     /** Load-balancing policy. */
     LoadBalancePolicy loadBalance = LoadBalancePolicy::RoundRobin;
+
+    /** Fault injection (horizon is filled in from the workload). */
+    FaultConfig fault{};
+
+    /** Re-dispatch policy for requests lost to replica failures. */
+    RetryPolicy retry{};
+
+    /** Skip down replicas / de-weight stragglers when routing. */
+    bool healthAwareRouting = true;
 
     /** Optional trace replay input (overrides synthesis). */
     std::optional<std::string> traceIn;

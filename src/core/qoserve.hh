@@ -12,6 +12,7 @@
 #include "cluster/disagg.hh"
 #include "cluster/replica.hh"
 #include "core/serving_system.hh"
+#include "fault/fault_injector.hh"
 #include "kvcache/block_manager.hh"
 #include "metrics/percentile.hh"
 #include "metrics/report_io.hh"

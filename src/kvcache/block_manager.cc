@@ -103,6 +103,15 @@ BlockManager::release(KvOwnerId owner)
     owners_.erase(it);
 }
 
+std::int64_t
+BlockManager::releaseAll()
+{
+    std::int64_t freed = usedBlocks_;
+    owners_.clear();
+    usedBlocks_ = 0;
+    return freed;
+}
+
 std::vector<KvOwnerUsage>
 BlockManager::ownerUsage() const
 {

@@ -110,6 +110,15 @@ class BlockManager
      */
     void release(KvOwnerId owner);
 
+    /**
+     * Release every block of every owner at once — the crash path: a
+     * failed replica's cache dies with the process, so no per-owner
+     * bookkeeping survives to double-free later.
+     *
+     * @return Blocks freed.
+     */
+    std::int64_t releaseAll();
+
     /** Number of distinct owners holding blocks. */
     std::size_t numOwners() const { return owners_.size(); }
 

@@ -7,7 +7,9 @@
 
 #include <fstream>
 #include <iomanip>
+#include <istream>
 #include <ostream>
+#include <string>
 
 #include "simcore/logging.hh"
 
@@ -18,7 +20,7 @@ writeRecordsCsv(const MetricsCollector &collector, std::ostream &out)
 {
     out << "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
            "ttft,ttlt,max_tbt,tbt_misses,violated,relegated,"
-           "kv_preemptions\n";
+           "kv_preemptions,retries,retry_exhausted\n";
     for (const RequestRecord &r : collector.records()) {
         const QosTier &tier = collector.tiers()[r.spec.tierId];
         out << r.spec.id << ',' << r.spec.arrival << ','
@@ -27,8 +29,8 @@ writeRecordsCsv(const MetricsCollector &collector, std::ostream &out)
             << r.ttft() << ',' << r.ttlt() << ',' << r.maxTbt << ','
             << r.tbtDeadlineMisses << ','
             << (violatedSlo(r, tier) ? 1 : 0) << ','
-            << (r.wasRelegated ? 1 : 0) << ',' << r.kvPreemptions
-            << '\n';
+            << (r.wasRelegated ? 1 : 0) << ',' << r.kvPreemptions << ','
+            << r.retries << ',' << (r.retryExhausted ? 1 : 0) << '\n';
     }
 }
 
@@ -57,6 +59,16 @@ writeSummaryCsv(const RunSummary &summary, std::ostream &out)
     out << "short_violation_rate," << summary.shortViolationRate << '\n';
     out << "long_violation_rate," << summary.longViolationRate << '\n';
     out << "relegated_fraction," << summary.relegatedFraction << '\n';
+    if (summary.hasFaultActivity()) {
+        out << "availability," << summary.availability << '\n';
+        out << "retry_exhausted_fraction,"
+            << summary.retryExhaustedFraction << '\n';
+        out << "mean_retries," << summary.meanRetries << '\n';
+        out << "failure_affected_fraction,"
+            << summary.failureAffectedFraction << '\n';
+        out << "failure_violation_rate," << summary.failureViolationRate
+            << '\n';
+    }
     out << "p50_latency," << summary.p50Latency << '\n';
     out << "p95_latency," << summary.p95Latency << '\n';
     out << "p99_latency," << summary.p99Latency << '\n';
@@ -70,6 +82,76 @@ writeSummaryCsv(const RunSummary &summary, std::ostream &out)
         out << prefix << "p99_ttlt," << tier.p99Ttlt << '\n';
         out << prefix << "tbt_miss_rate," << tier.tbtMissRate << '\n';
     }
+}
+
+namespace {
+
+/** Strict double parse: the whole field must be consumed. */
+double
+parseSummaryValue(const std::string &field, std::size_t line_no)
+{
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(field, &pos);
+    } catch (const std::exception &) {
+        QOSERVE_FATAL("summary CSV line ", line_no,
+                      ": value is not a number: '", field, "'");
+    }
+    if (pos != field.size())
+        QOSERVE_FATAL("summary CSV line ", line_no,
+                      ": trailing characters after value: '", field,
+                      "'");
+    return value;
+}
+
+} // namespace
+
+std::vector<SummaryCsvRow>
+readSummaryCsv(std::istream &in)
+{
+    std::vector<SummaryCsvRow> rows;
+    std::string line;
+    std::size_t line_no = 0;
+    bool saw_header = false;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            QOSERVE_FATAL("summary CSV line ", line_no, ": empty line");
+        if (!saw_header) {
+            if (line != "metric,value")
+                QOSERVE_FATAL("summary CSV line ", line_no,
+                              ": expected header 'metric,value', got '",
+                              line, "'");
+            saw_header = true;
+            continue;
+        }
+        std::size_t comma = line.find(',');
+        if (comma == std::string::npos ||
+            line.find(',', comma + 1) != std::string::npos)
+            QOSERVE_FATAL("summary CSV line ", line_no,
+                          ": expected 2 fields: '", line, "'");
+        SummaryCsvRow row;
+        row.key = line.substr(0, comma);
+        if (row.key.empty())
+            QOSERVE_FATAL("summary CSV line ", line_no, ": empty key");
+        row.value = parseSummaryValue(line.substr(comma + 1), line_no);
+        rows.push_back(std::move(row));
+    }
+    if (!saw_header)
+        QOSERVE_FATAL("summary CSV is empty (missing header)");
+    return rows;
+}
+
+std::vector<SummaryCsvRow>
+readSummaryCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        QOSERVE_FATAL("cannot open summary file for reading: ", path);
+    return readSummaryCsv(in);
 }
 
 void
@@ -86,6 +168,14 @@ printSummary(const RunSummary &summary, const TierTable &tiers,
         << 100.0 * summary.shortViolationRate << "% / "
         << 100.0 * summary.longViolationRate << "%\n";
     out << "relegated: " << 100.0 * summary.relegatedFraction << "%\n";
+    if (summary.hasFaultActivity()) {
+        out << "availability: " << 100.0 * summary.availability
+            << "% (retry-exhausted "
+            << 100.0 * summary.retryExhaustedFraction
+            << "%), mean retries: " << summary.meanRetries
+            << ", failure-attributed violations: "
+            << 100.0 * summary.failureViolationRate << "%\n";
+    }
     out << "headline latency p50/p95/p99: " << summary.p50Latency
         << " / " << summary.p95Latency << " / " << summary.p99Latency
         << " s\n";

@@ -9,6 +9,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "metrics/slo_report.hh"
 
@@ -19,7 +20,7 @@ namespace qoserve {
  *
  * Columns: id, arrival, prompt_tokens, decode_tokens, tier_id,
  * important, ttft, ttlt, max_tbt, tbt_misses, violated, relegated,
- * kv_preemptions.
+ * kv_preemptions, retries, retry_exhausted.
  */
 void writeRecordsCsv(const MetricsCollector &collector, std::ostream &out);
 
@@ -27,8 +28,32 @@ void writeRecordsCsv(const MetricsCollector &collector, std::ostream &out);
 void writeRecordsCsvFile(const MetricsCollector &collector,
                          const std::string &path);
 
-/** Write a RunSummary as key,value CSV rows. */
+/**
+ * Write a RunSummary as key,value CSV rows.
+ *
+ * Fault/retry metrics (availability, mean_retries, ...) are emitted
+ * only when the summary shows failure activity, so fault-free runs
+ * produce byte-identical output to builds without fault support.
+ */
 void writeSummaryCsv(const RunSummary &summary, std::ostream &out);
+
+/** One parsed key,value row of a summary CSV. */
+struct SummaryCsvRow
+{
+    std::string key;
+    double value = 0.0;
+};
+
+/**
+ * Parse a summary CSV written by writeSummaryCsv.
+ *
+ * Fatal (with the 1-based line number) on a malformed header, a row
+ * without exactly two fields, an empty key, or a non-numeric value.
+ */
+std::vector<SummaryCsvRow> readSummaryCsv(std::istream &in);
+
+/** Read a summary CSV from a file (fatal on error). */
+std::vector<SummaryCsvRow> readSummaryCsvFile(const std::string &path);
 
 /** Render a human-readable summary table to @p out. */
 void printSummary(const RunSummary &summary, const TierTable &tiers,

@@ -33,6 +33,12 @@ MetricsCollector::record(const RequestRecord &rec)
 bool
 violatedSlo(const RequestRecord &rec, const QosTier &tier)
 {
+    // Never-served requests violate unconditionally. Rejected records
+    // fall out of the latency comparison anyway (infinite TTFT/TTLT),
+    // but a retry-exhausted interactive request may have emitted its
+    // first token before the crash that doomed it.
+    if (rec.rejected || rec.retryExhausted)
+        return true;
     if (tier.interactive)
         return rec.ttft() > tier.ttftSlo;
     return rec.ttlt() > tier.ttltSlo;
@@ -81,6 +87,9 @@ summarize(const MetricsCollector &collector, double long_percentile)
     std::size_t longs = 0, long_viol = 0;
     std::size_t relegated = 0;
     std::size_t rejected = 0;
+    std::size_t exhausted = 0;
+    std::size_t affected = 0, affected_viol = 0;
+    std::int64_t total_retries = 0;
     std::vector<double> latencies;
     latencies.reserve(records.size());
 
@@ -104,6 +113,13 @@ summarize(const MetricsCollector &collector, double long_percentile)
             ++relegated;
         if (r.rejected)
             ++rejected;
+        if (r.retryExhausted)
+            ++exhausted;
+        total_retries += r.retries;
+        if (r.retries > 0 || r.retryExhausted) {
+            ++affected;
+            affected_viol += viol;
+        }
         if (r.spec.important) {
             ++important;
             important_viol += viol;
@@ -139,6 +155,13 @@ summarize(const MetricsCollector &collector, double long_percentile)
     out.longViolationRate = rate(long_viol, longs);
     out.relegatedFraction = rate(relegated, records.size());
     out.rejectedFraction = rate(rejected, records.size());
+    out.retryExhaustedFraction = rate(exhausted, records.size());
+    out.availability =
+        rate(records.size() - rejected - exhausted, records.size());
+    out.meanRetries = static_cast<double>(total_retries) /
+                      static_cast<double>(records.size());
+    out.failureAffectedFraction = rate(affected, records.size());
+    out.failureViolationRate = rate(affected_viol, records.size());
 
     std::sort(latencies.begin(), latencies.end());
     out.p50Latency = percentileSorted(latencies, 50.0);
@@ -176,7 +199,10 @@ summarize(const MetricsCollector &collector, double long_percentile)
         for (double r : {out.violationRate, out.violationRateWithTbt,
                          out.importantViolationRate,
                          out.shortViolationRate, out.longViolationRate,
-                         out.relegatedFraction, out.rejectedFraction}) {
+                         out.relegatedFraction, out.rejectedFraction,
+                         out.retryExhaustedFraction, out.availability,
+                         out.failureAffectedFraction,
+                         out.failureViolationRate}) {
             QOSERVE_ASSERT(r >= 0.0 && r <= 1.0,
                            "rate outside [0, 1]: ", r);
         }
@@ -184,6 +210,11 @@ summarize(const MetricsCollector &collector, double long_percentile)
                            out.violationRate,
                        "TBT-inclusive violation rate below the "
                        "TTFT/TTLT-only rate");
+        QOSERVE_ASSERT(out.failureViolationRate <= out.violationRate,
+                       "failure-attributed violations exceed total "
+                       "violations");
+        QOSERVE_ASSERT(out.meanRetries >= 0.0,
+                       "negative mean retry count");
     }
     return out;
 }

@@ -95,6 +95,38 @@ struct RunSummary
     double p95Latency = 0.0;
     double p99Latency = 0.0;
     std::vector<TierSummary> tiers;
+
+    /**
+     * Fraction of requests fully served — neither rejected at the
+     * front door nor abandoned after exhausting the retry budget.
+     * 1.0 on fault-free, admission-free runs.
+     */
+    double availability = 1.0;
+
+    /** Fraction abandoned after exhausting the retry budget. */
+    double retryExhaustedFraction = 0.0;
+
+    /** Mean failure re-dispatches per request. */
+    double meanRetries = 0.0;
+
+    /** Fraction of requests that were re-dispatched at least once. */
+    double failureAffectedFraction = 0.0;
+
+    /**
+     * Fraction of all requests that both touched the failure path
+     * (retried or abandoned) and violated their SLO — the
+     * failure-attributed share of the violation rate.
+     */
+    double failureViolationRate = 0.0;
+
+    /** True when any record shows failure/retry involvement; output
+     *  writers gate their fault sections on this so fault-free runs
+     *  keep their exact historical format. */
+    bool
+    hasFaultActivity() const
+    {
+        return meanRetries > 0.0 || retryExhaustedFraction > 0.0;
+    }
 };
 
 /**

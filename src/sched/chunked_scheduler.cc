@@ -111,8 +111,11 @@ ChunkedScheduler::tryScheduleChunk(Request *req, Batch &batch, int budget,
     int rem = req->prefillRemaining();
     QOSERVE_ASSERT(rem > 0, "prefill-complete request in prefill queue");
 
+    // decodeRemaining() > 1: completing the prefill emits one token
+    // and leaves more to decode (for failure-resumed requests the
+    // spec's decode count alone would overstate the remainder).
     int take = std::min(budget, rem);
-    if (take == rem && req->spec().decodeTokens > 1 && decode_slots <= 0) {
+    if (take == rem && req->decodeRemaining() > 1 && decode_slots <= 0) {
         // Completing the prefill would admit a new decode, but the
         // decode batch is full; hold back the final token so the
         // request stays in the prefill queue.
@@ -130,7 +133,7 @@ ChunkedScheduler::tryScheduleChunk(Request *req, Batch &batch, int budget,
     chunk.contextBefore = req->contextLength();
     batch.prefills.push_back(chunk);
 
-    if (take == rem && req->spec().decodeTokens > 1)
+    if (take == rem && req->decodeRemaining() > 1)
         --decode_slots;
     return take;
 }
@@ -184,8 +187,13 @@ ChunkedScheduler::formBatch(SimTime now)
 
     // Guard against a wedged queue: every block held by paused
     // partial prefills, nothing decoding, nothing schedulable.
-    // Reclaim one victim so the walk below can make progress.
-    if (budget <= 0 && decodes_.empty() && !prefillQueue_.empty()) {
+    // Reclaim one victim so the walk below can make progress. Only a
+    // batch with no scheduled work is wedged — if pass 0 consumed the
+    // whole budget the engine is making progress, and refreshing the
+    // budget here would both overfill the iteration and risk evicting
+    // a request already in the batch.
+    if (budget <= 0 && batch.prefills.empty() && decodes_.empty() &&
+        !prefillQueue_.empty()) {
         if (preemptForKv(now)) {
             budget = kvCappedBudget(chunkBudget(now, batch));
             budget_cap = std::max(budget_cap, budget);

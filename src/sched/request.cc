@@ -12,7 +12,8 @@
 namespace qoserve {
 
 Request::Request(RequestSpec spec, QosTier tier, AppStats app_stats)
-    : spec_(spec), tier_(std::move(tier)), appStats_(app_stats)
+    : spec_(spec), tier_(std::move(tier)), appStats_(app_stats),
+      prefillTarget_(spec.promptTokens)
 {
     QOSERVE_ASSERT(spec_.promptTokens > 0, "request needs a prompt");
     QOSERVE_ASSERT(spec_.decodeTokens >= 1,
@@ -79,13 +80,20 @@ Request::applyPrefill(int tokens, SimTime now)
     prefillDone_ += tokens;
     phase_ = RequestPhase::Prefilling;
 
-    if (prefillDone_ == spec_.promptTokens) {
+    if (prefillDone_ == prefillTarget_) {
         // The iteration that processes the final chunk emits the
-        // first output token.
-        record_.firstTokenTime = now;
+        // next output token: the first one for a fresh request, or
+        // token resumedTokens_+1 when resuming after a failure (the
+        // first token was already delivered in a previous life).
+        if (decodeDone_ == 0) {
+            record_.firstTokenTime = now;
+        } else if (lastTokenTime_ != kTimeNever) {
+            record_.maxTbt =
+                std::max(record_.maxTbt, now - lastTokenTime_);
+        }
         lastTokenTime_ = now;
-        decodeDone_ = 1;
-        if (nextTokenCheckMissed(now, 1))
+        ++decodeDone_;
+        if (nextTokenCheckMissed(now, decodeDone_))
             ++record_.tbtDeadlineMisses;
         if (decodeDone_ == spec_.decodeTokens) {
             phase_ = RequestPhase::Finished;
@@ -145,10 +153,55 @@ Request::resetAfterKvPreemption()
                    "cannot preempt a finished request");
     ++record_.kvPreemptions;
     prefillDone_ = 0;
-    decodeDone_ = 0;
+    // A failure-resumed request keeps its delivered tokens: recompute
+    // restarts at the same resume point, not from scratch.
+    decodeDone_ = resumedTokens_;
     phase_ = RequestPhase::WaitingPrefill;
-    lastTokenTime_ = kTimeNever;
-    record_.firstTokenTime = kTimeNever;
+    if (resumedTokens_ == 0) {
+        lastTokenTime_ = kTimeNever;
+        record_.firstTokenTime = kTimeNever;
+    }
+}
+
+RequestFailureSnapshot
+Request::failureSnapshot() const
+{
+    QOSERVE_ASSERT(phase_ != RequestPhase::Finished,
+                   "snapshot of a finished request");
+    RequestFailureSnapshot snap;
+    snap.spec = spec_;
+    snap.decodeDone = decodeDone_;
+    snap.firstTokenTime = record_.firstTokenTime;
+    snap.lastTokenTime = lastTokenTime_;
+    snap.maxTbt = record_.maxTbt;
+    snap.tbtDeadlineMisses = record_.tbtDeadlineMisses;
+    snap.wasRelegated = record_.wasRelegated;
+    snap.kvPreemptions = record_.kvPreemptions;
+    snap.retries = record_.retries;
+    return snap;
+}
+
+void
+Request::restoreForRetry(const RequestFailureSnapshot &snap)
+{
+    QOSERVE_ASSERT(phase_ == RequestPhase::WaitingPrefill &&
+                       prefillDone_ == 0 && decodeDone_ == 0,
+                   "restoreForRetry on a request with progress");
+    QOSERVE_ASSERT(snap.spec.id == spec_.id,
+                   "snapshot restored into the wrong request");
+    QOSERVE_ASSERT(snap.decodeDone >= 0 &&
+                       snap.decodeDone < spec_.decodeTokens,
+                   "snapshot decode progress out of range");
+    resumedTokens_ = snap.decodeDone;
+    decodeDone_ = snap.decodeDone;
+    prefillTarget_ = spec_.promptTokens + snap.decodeDone;
+    lastTokenTime_ = snap.lastTokenTime;
+    record_.firstTokenTime = snap.firstTokenTime;
+    record_.maxTbt = snap.maxTbt;
+    record_.tbtDeadlineMisses = snap.tbtDeadlineMisses;
+    record_.wasRelegated = snap.wasRelegated;
+    record_.kvPreemptions = snap.kvPreemptions;
+    record_.retries = snap.retries;
 }
 
 } // namespace qoserve

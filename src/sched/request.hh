@@ -55,11 +55,46 @@ struct RequestRecord
     /** Times the request lost already-computed KV to preemption. */
     int kvPreemptions = 0;
 
+    /** Times the request was re-dispatched after a replica failure. */
+    int retries = 0;
+
+    /** True if the request was abandoned after exhausting its retry
+     *  budget (it never finished; finishTime stays infinite). */
+    bool retryExhausted = false;
+
     /** TTFT, or +inf if no token was produced. */
     SimDuration ttft() const { return firstTokenTime - spec.arrival; }
 
     /** TTLT, or +inf if never finished. */
     SimDuration ttlt() const { return finishTime - spec.arrival; }
+};
+
+/**
+ * Everything the cluster must carry to re-dispatch a request after
+ * its replica failed. The KV cache died with the replica, so the
+ * snapshot holds only externally visible progress: tokens already
+ * delivered to the client and the record fields accumulated so far.
+ * Prefill always restarts from chunk 0 on the new replica; a request
+ * that was decoding resumes emission from decodeDone (its context —
+ * prompt plus emitted tokens — is recomputed as prefill first).
+ */
+struct RequestFailureSnapshot
+{
+    RequestSpec spec;
+
+    /** Output tokens the client had received before the crash. */
+    int decodeDone = 0;
+
+    /** Record fields that survive the crash. */
+    SimTime firstTokenTime = kTimeNever;
+    SimTime lastTokenTime = kTimeNever;
+    SimDuration maxTbt = 0.0;
+    int tbtDeadlineMisses = 0;
+    bool wasRelegated = false;
+    int kvPreemptions = 0;
+
+    /** Re-dispatch attempts consumed so far. */
+    int retries = 0;
 };
 
 /**
@@ -91,8 +126,12 @@ class Request
     /** Prompt tokens whose KV is already computed. */
     int prefillDone() const { return prefillDone_; }
 
-    /** Prompt tokens still to prefill. */
-    int prefillRemaining() const { return spec_.promptTokens - prefillDone_; }
+    /**
+     * Prefill tokens still to compute. For a request resumed after a
+     * replica failure this covers the prompt plus the previously
+     * emitted tokens whose KV must be recomputed.
+     */
+    int prefillRemaining() const { return prefillTarget_ - prefillDone_; }
 
     /** Output tokens emitted so far. */
     int decodeDone() const { return decodeDone_; }
@@ -104,7 +143,9 @@ class Request
     std::int64_t
     contextLength() const
     {
-        return prefillDone_ + decodeDone_;
+        // Tokens emitted before a crash are recomputed as prefill on
+        // the new replica, so until then they contribute no KV here.
+        return prefillDone_ + decodeDone_ - resumedTokens_;
     }
 
     /** True once the request is in the relegated queue (§3.4). */
@@ -175,6 +216,21 @@ class Request
      */
     void resetAfterKvPreemption();
 
+    /**
+     * Capture the state the cluster needs to re-dispatch this request
+     * after its replica failed. Valid in any phase but Finished.
+     */
+    RequestFailureSnapshot failureSnapshot() const;
+
+    /**
+     * Restore progress from a failure snapshot on a fresh replica.
+     * Only valid before any progress was recorded. The request stays
+     * in WaitingPrefill; its prefill target grows by the snapshot's
+     * emitted tokens (their KV must be recomputed) and decode resumes
+     * from the emitted-token count once prefill completes.
+     */
+    void restoreForRetry(const RequestFailureSnapshot &snap);
+
     /** Cached priority key used by schedulers' ordered queues. */
     double cachedPriority = 0.0;
 
@@ -192,6 +248,15 @@ class Request
     RequestPhase phase_ = RequestPhase::WaitingPrefill;
     int prefillDone_ = 0;
     int decodeDone_ = 0;
+
+    /** Prefill tokens to compute before decode (resumes include the
+     *  previously emitted tokens). */
+    int prefillTarget_ = 0;
+
+    /** Tokens emitted in a previous life whose KV is rebuilt via
+     *  prefill (0 unless restored from a failure snapshot). */
+    int resumedTokens_ = 0;
+
     bool relegated_ = false;
     SimTime lastTokenTime_ = kTimeNever;
 

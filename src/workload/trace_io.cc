@@ -6,6 +6,7 @@
 #include "workload/trace_io.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -29,6 +30,71 @@ splitCsvLine(const std::string &line)
     while (std::getline(iss, field, ','))
         fields.push_back(field);
     return fields;
+}
+
+// Strict field parsers: the whole field must be consumed, so trailing
+// garbage ("12x") and embedded whitespace are rejected with the field
+// name and line number rather than silently truncated by std::stoi.
+
+[[noreturn]] void
+fieldError(std::size_t line_no, const char *name, const std::string &value,
+           const char *what)
+{
+    QOSERVE_FATAL("trace line ", line_no, ": field '", name, "': ", what,
+                  ": '", value, "'");
+}
+
+std::uint64_t
+parseFieldU64(const std::string &value, const char *name,
+              std::size_t line_no)
+{
+    if (value.empty() || value[0] == '-')
+        fieldError(line_no, name, value, "expected unsigned integer");
+    std::size_t pos = 0;
+    std::uint64_t parsed = 0;
+    try {
+        parsed = std::stoull(value, &pos);
+    } catch (const std::exception &) {
+        fieldError(line_no, name, value, "expected unsigned integer");
+    }
+    if (pos != value.size())
+        fieldError(line_no, name, value,
+                   "trailing characters after integer");
+    return parsed;
+}
+
+int
+parseFieldInt(const std::string &value, const char *name,
+              std::size_t line_no)
+{
+    std::size_t pos = 0;
+    int parsed = 0;
+    try {
+        parsed = std::stoi(value, &pos);
+    } catch (const std::exception &) {
+        fieldError(line_no, name, value, "expected integer");
+    }
+    if (pos != value.size())
+        fieldError(line_no, name, value,
+                   "trailing characters after integer");
+    return parsed;
+}
+
+double
+parseFieldDouble(const std::string &value, const char *name,
+                 std::size_t line_no)
+{
+    std::size_t pos = 0;
+    double parsed = 0.0;
+    try {
+        parsed = std::stod(value, &pos);
+    } catch (const std::exception &) {
+        fieldError(line_no, name, value, "expected number");
+    }
+    if (pos != value.size())
+        fieldError(line_no, name, value,
+                   "trailing characters after number");
+    return parsed;
 }
 
 } // namespace
@@ -87,18 +153,16 @@ readTraceCsv(std::istream &in, TierTable tiers)
             QOSERVE_FATAL("trace line ", line_no, ": expected 7 fields, got ",
                           fields.size());
         RequestSpec spec;
-        try {
-            spec.id = std::stoull(fields[0]);
-            spec.arrival = std::stod(fields[1]);
-            spec.promptTokens = std::stoi(fields[2]);
-            spec.decodeTokens = std::stoi(fields[3]);
-            spec.tierId = std::stoi(fields[4]);
-            spec.important = std::stoi(fields[5]) != 0;
-            spec.appId = std::stoi(fields[6]);
-        } catch (const std::exception &e) {
-            QOSERVE_FATAL("trace line ", line_no, ": parse error: ",
-                          e.what());
-        }
+        spec.id = parseFieldU64(fields[0], "id", line_no);
+        spec.arrival = parseFieldDouble(fields[1], "arrival", line_no);
+        spec.promptTokens =
+            parseFieldInt(fields[2], "prompt_tokens", line_no);
+        spec.decodeTokens =
+            parseFieldInt(fields[3], "decode_tokens", line_no);
+        spec.tierId = parseFieldInt(fields[4], "tier_id", line_no);
+        spec.important =
+            parseFieldInt(fields[5], "important", line_no) != 0;
+        spec.appId = parseFieldInt(fields[6], "app_id", line_no);
         if (spec.promptTokens <= 0 || spec.decodeTokens <= 0)
             QOSERVE_FATAL("trace line ", line_no,
                           ": token counts must be positive");

@@ -15,6 +15,7 @@
 
 #include "audit/invariant_auditor.hh"
 #include "core/serving_system.hh"
+#include "fault/fault_injector.hh"
 #include "workload/arrival.hh"
 #include "workload/trace.hh"
 
@@ -122,6 +123,48 @@ TEST(AuditE2E, MultiReplicaSharedClusterRunsClean)
     cfg.numReplicas = 2;
     cfg.useForestPredictor = false;
     expectCleanRun(cfg, smallTrace(23), "2-replica shared");
+}
+
+TEST(AuditE2E, FaultedRunsAuditClean)
+{
+    // Crash/straggler injection at full check level: every injected
+    // crash must satisfy the crash-release invariants (no KV block
+    // survives, no request stranded) and the run must stay clean
+    // end to end, including re-dispatched resumed requests.
+    Trace trace = smallTrace(37);
+    for (Policy policy : {Policy::QoServe, Policy::SarathiFcfs}) {
+        ServingConfig cfg;
+        cfg.policy = policy;
+        cfg.useForestPredictor = false;
+        auto predictor = makePredictor(cfg);
+        ClusterSim::Config ccfg;
+        ccfg.replica.hw = cfg.hw;
+        ccfg.replica.perfParams = cfg.perfParams;
+        ccfg.predictor = predictor.get();
+
+        ClusterSim sim(ccfg, trace);
+        InvariantAuditor::Options opts;
+        opts.level = audit::CheckLevel::Full;
+        opts.failFast = false;
+        InvariantAuditor auditor(opts);
+        sim.setAuditor(&auditor);
+        sim.addReplicaGroup(2, makeSchedulerFactory(cfg));
+
+        FaultConfig fc;
+        fc.crashMtbf = 8.0;
+        fc.crashMttr = 3.0;
+        fc.stragglerMtbf = 15.0;
+        fc.stragglerDuration = 4.0;
+        fc.stragglerFactor = 2.0;
+        fc.horizon = trace.requests.back().arrival;
+        FaultInjector injector(fc, sim);
+        sim.run();
+
+        ASSERT_GT(injector.stats().crashes, 0u)
+            << policyName(policy);
+        EXPECT_TRUE(auditor.clean())
+            << policyName(policy) << ": " << describe(auditor);
+    }
 }
 
 TEST(AuditE2E, AutoAuditorInstalledWhenChecksCompiledIn)

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "cluster/cluster.hh"
 #include "sched/baseline_schedulers.hh"
 
@@ -90,6 +92,64 @@ TEST(AdmissionController, BurstBucketAbsorbsSpikes)
     for (int i = 0; i < 9; ++i)
         admitted += ac.admit(spec(100 + i), 5.0, target);
     EXPECT_EQ(admitted, 4);
+}
+
+TEST(AdmissionController, FullBucketAdmitsBurstAtTimeZero)
+{
+    // The bucket starts full: a burst arriving at t=0 is admitted up
+    // to burstSize even though no refill time has elapsed. This pins
+    // the "pre-warmed bucket" semantics benches rely on.
+    AdmissionController::Config cfg;
+    cfg.policy = AdmissionPolicy::RateLimit;
+    cfg.rateLimitQps = 2.0;
+    cfg.burstSize = 5.0;
+    AdmissionController ac(cfg);
+    BacklogStub target(0);
+
+    int admitted = 0;
+    for (int i = 0; i < 10; ++i)
+        admitted += ac.admit(spec(i), 0.0, target);
+    EXPECT_EQ(admitted, 5);
+    EXPECT_EQ(ac.rejected(), 5u);
+}
+
+TEST(AdmissionController, RateLimitWithoutRateIsFatal)
+{
+    // Misconfiguration must fail loudly at construction, not admit
+    // nothing (or everything) silently at runtime.
+    AdmissionController::Config cfg;
+    cfg.policy = AdmissionPolicy::RateLimit;
+    cfg.rateLimitQps = 0.0;
+    EXPECT_EXIT(AdmissionController ac(cfg),
+                ::testing::ExitedWithCode(1), "rateLimitQps");
+}
+
+TEST(AdmissionController, SubUnityBurstSizeIsFatal)
+{
+    AdmissionController::Config cfg;
+    cfg.policy = AdmissionPolicy::RateLimit;
+    cfg.rateLimitQps = 5.0;
+    cfg.burstSize = 0.5; // can never accumulate one whole token
+    EXPECT_EXIT(AdmissionController ac(cfg),
+                ::testing::ExitedWithCode(1), "burstSize");
+}
+
+TEST(AdmissionController, NonFiniteRateIsFatal)
+{
+    AdmissionController::Config cfg;
+    cfg.policy = AdmissionPolicy::RateLimit;
+    cfg.rateLimitQps = std::numeric_limits<double>::infinity();
+    EXPECT_EXIT(AdmissionController ac(cfg),
+                ::testing::ExitedWithCode(1), "finite");
+}
+
+TEST(AdmissionController, LoadShedWithoutThresholdIsFatal)
+{
+    AdmissionController::Config cfg;
+    cfg.policy = AdmissionPolicy::LoadShed;
+    cfg.maxBacklogTokens = 0;
+    EXPECT_EXIT(AdmissionController ac(cfg),
+                ::testing::ExitedWithCode(1), "maxBacklogTokens");
 }
 
 TEST(AdmissionController, LoadShedUsesBacklogThreshold)

@@ -151,5 +151,146 @@ TEST_F(ReplicaTest, IdleReplicaWakesOnSubmission)
     EXPECT_LT(records_[1].ttft(), 0.2);
 }
 
+TEST_F(ReplicaTest, FailReleasesKvAndHandsBackLiveRequests)
+{
+    auto replica = makeReplica();
+    std::vector<RequestFailureSnapshot> orphans;
+    replica->setFailureHandler(
+        [&](const RequestFailureSnapshot &snap) {
+            orphans.push_back(snap);
+        });
+
+    eq_.schedule(0.0, [&] {
+        for (int i = 0; i < 4; ++i)
+            replica->submit(makeSpec(i, 0.0, 800, 10, 0));
+    });
+    eq_.schedule(0.2, [&] {
+        ASSERT_GT(replica->kv().usedBlocks(), 0);
+        ASSERT_GT(replica->liveRequests(), 0u);
+        replica->fail();
+        // Crash semantics: all KV gone, nothing live, nothing queued.
+        EXPECT_EQ(replica->kv().usedBlocks(), 0);
+        EXPECT_EQ(replica->liveRequests(), 0u);
+        EXPECT_FALSE(replica->scheduler().hasWork());
+        EXPECT_EQ(replica->health(), ReplicaHealth::Down);
+        EXPECT_EQ(orphans.size(), 4u);
+        // Snapshots arrive in request-id order (determinism).
+        for (std::size_t i = 1; i < orphans.size(); ++i)
+            EXPECT_LT(orphans[i - 1].spec.id, orphans[i].spec.id);
+    });
+    eq_.run();
+    EXPECT_EQ(replica->crashes(), 1u);
+    EXPECT_TRUE(records_.empty()) << "crashed work completed anyway";
+}
+
+TEST_F(ReplicaTest, RecoveredReplicaServesResubmissions)
+{
+    auto replica = makeReplica();
+    std::vector<RequestFailureSnapshot> orphans;
+    replica->setFailureHandler(
+        [&](const RequestFailureSnapshot &snap) {
+            orphans.push_back(snap);
+        });
+
+    eq_.schedule(0.0,
+                 [&] { replica->submit(makeSpec(1, 0.0, 2000, 50, 0)); });
+    eq_.schedule(0.2, [&] { replica->fail(); });
+    eq_.schedule(1.0, [&] {
+        replica->recover();
+        EXPECT_EQ(replica->health(), ReplicaHealth::Up);
+        ASSERT_EQ(orphans.size(), 1u);
+        replica->resubmit(orphans[0]);
+    });
+    eq_.run();
+
+    ASSERT_EQ(records_.size(), 1u);
+    const RequestRecord &rec = records_[0];
+    EXPECT_NE(rec.finishTime, kTimeNever);
+    EXPECT_GE(rec.ttlt(), rec.ttft());
+    EXPECT_EQ(replica->kv().usedBlocks(), 0);
+}
+
+TEST_F(ReplicaTest, ResubmitAfterFirstTokenKeepsTtft)
+{
+    auto replica = makeReplica();
+    std::vector<RequestFailureSnapshot> orphans;
+    replica->setFailureHandler(
+        [&](const RequestFailureSnapshot &snap) {
+            orphans.push_back(snap);
+        });
+
+    // Long decode so the crash lands mid-decode, after first token.
+    eq_.schedule(0.0,
+                 [&] { replica->submit(makeSpec(1, 0.0, 256, 200, 0)); });
+    eq_.schedule(2.0, [&] { replica->fail(); });
+    eq_.schedule(2.5, [&] {
+        replica->recover();
+        ASSERT_EQ(orphans.size(), 1u);
+        ASSERT_GT(orphans[0].decodeDone, 0)
+            << "crash landed before the first token";
+        EXPECT_NE(orphans[0].firstTokenTime, kTimeNever);
+        replica->resubmit(orphans[0]);
+    });
+    eq_.run();
+
+    ASSERT_EQ(records_.size(), 1u);
+    // TTFT is the original pre-crash first token, not the resumed one.
+    EXPECT_EQ(records_[0].firstTokenTime, orphans[0].firstTokenTime);
+    EXPECT_NE(records_[0].finishTime, kTimeNever);
+}
+
+TEST_F(ReplicaTest, SlowdownScalesIterationLatency)
+{
+    // Two identical one-request runs, one at 2x slowdown.
+    auto timed = [&](double factor) {
+        EventQueue eq;
+        std::vector<RequestRecord> records;
+        Replica replica(
+            eq, cfg_, factory_, nullptr, paperTierTable(),
+            std::vector<AppStats>(3),
+            [&](const RequestRecord &rec) { records.push_back(rec); });
+        eq.schedule(0.0, [&] {
+            if (factor != 1.0)
+                replica.setSlowdown(factor);
+            replica.submit(makeSpec(1, 0.0, 512, 4, 0));
+        });
+        eq.run();
+        return records.at(0).ttlt();
+    };
+
+    double base = timed(1.0);
+    double slowed = timed(2.0);
+    EXPECT_NEAR(slowed, 2.0 * base, 1e-9);
+}
+
+TEST_F(ReplicaTest, SlowdownTransitionsHealth)
+{
+    auto replica = makeReplica();
+    EXPECT_EQ(replica->health(), ReplicaHealth::Up);
+    replica->setSlowdown(1.5);
+    EXPECT_EQ(replica->health(), ReplicaHealth::Degraded);
+    EXPECT_DOUBLE_EQ(replica->slowdown(), 1.5);
+    replica->setSlowdown(1.0);
+    EXPECT_EQ(replica->health(), ReplicaHealth::Up);
+}
+
+TEST_F(ReplicaTest, FailWithoutHandlerPanics)
+{
+    auto replica = makeReplica();
+    EXPECT_DEATH(replica->fail(), "handler");
+}
+
+TEST_F(ReplicaTest, SubmitWhileDownPanics)
+{
+    auto replica = makeReplica();
+    replica->setFailureHandler([](const RequestFailureSnapshot &) {});
+    eq_.schedule(0.0, [&] {
+        replica->fail();
+        EXPECT_DEATH(replica->submit(makeSpec(1, 0.0, 100, 2, 0)),
+                     "down");
+    });
+    eq_.run();
+}
+
 } // namespace
 } // namespace qoserve

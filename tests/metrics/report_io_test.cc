@@ -65,6 +65,119 @@ TEST(ReportIo, SummaryCsvContainsAllMetrics)
     }
 }
 
+TEST(ReportIo, RecordsCsvCarriesRetryColumns)
+{
+    MetricsCollector collector(paperTierTable());
+    RequestRecord rec = makeRecord(0, 0, 2.0, 3.0);
+    rec.retries = 2;
+    collector.record(rec);
+    RequestRecord lost = makeRecord(1, 1, 0.0, 0.0);
+    lost.firstTokenTime = kTimeNever;
+    lost.finishTime = kTimeNever;
+    lost.retries = 3;
+    lost.retryExhausted = true;
+    collector.record(lost);
+
+    std::stringstream out;
+    writeRecordsCsv(collector, out);
+    std::string line;
+    ASSERT_TRUE(std::getline(out, line));
+    EXPECT_NE(line.find(",retries,retry_exhausted"), std::string::npos)
+        << line;
+    ASSERT_TRUE(std::getline(out, line));
+    EXPECT_EQ(line.substr(line.size() - 4), ",2,0") << line;
+    ASSERT_TRUE(std::getline(out, line));
+    EXPECT_EQ(line.substr(line.size() - 4), ",3,1") << line;
+}
+
+TEST(ReportIo, SummaryCsvOmitsFaultRowsWhenNoFaultActivity)
+{
+    // A fault-free run's summary must be byte-identical to a build
+    // without the fault subsystem: no availability/retry rows.
+    MetricsCollector collector(paperTierTable());
+    collector.record(makeRecord(0, 0, 2.0, 3.0));
+    std::stringstream out;
+    writeSummaryCsv(summarize(collector), out);
+    EXPECT_EQ(out.str().find("availability"), std::string::npos);
+    EXPECT_EQ(out.str().find("retries"), std::string::npos);
+}
+
+TEST(ReportIo, SummaryCsvEmitsFaultRowsWhenRetriesHappened)
+{
+    MetricsCollector collector(paperTierTable());
+    RequestRecord rec = makeRecord(0, 0, 2.0, 3.0);
+    rec.retries = 1;
+    collector.record(rec);
+    std::stringstream out;
+    writeSummaryCsv(summarize(collector), out);
+    std::string text = out.str();
+    for (const char *key :
+         {"availability,1", "retry_exhausted_fraction,0",
+          "mean_retries,1", "failure_affected_fraction,1",
+          "failure_violation_rate,0"}) {
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(ReportIo, SummaryCsvRoundTrips)
+{
+    MetricsCollector collector(paperTierTable());
+    RequestRecord rec = makeRecord(0, 0, 2.0, 3.0);
+    rec.retries = 1;
+    collector.record(rec);
+    collector.record(makeRecord(1, 1, 5.0, 700.0));
+    RunSummary summary = summarize(collector);
+
+    std::stringstream buffer;
+    writeSummaryCsv(summary, buffer);
+    std::vector<SummaryCsvRow> rows = readSummaryCsv(buffer);
+    ASSERT_FALSE(rows.empty());
+
+    auto lookup = [&](const std::string &key) -> double {
+        for (const SummaryCsvRow &row : rows)
+            if (row.key == key)
+                return row.value;
+        ADD_FAILURE() << "missing key " << key;
+        return -1.0;
+    };
+    EXPECT_EQ(lookup("count"), 2.0);
+    EXPECT_EQ(lookup("violation_rate"), summary.violationRate);
+    EXPECT_EQ(lookup("availability"), summary.availability);
+    EXPECT_EQ(lookup("mean_retries"), summary.meanRetries);
+    EXPECT_EQ(lookup("tier0_count"), 1.0);
+}
+
+TEST(ReportIo, SummaryCsvBadHeaderIsFatal)
+{
+    std::stringstream in("metrics,values\ncount,1\n");
+    EXPECT_DEATH(readSummaryCsv(in), "expected header");
+}
+
+TEST(ReportIo, SummaryCsvBadValueIsFatalWithLineNumber)
+{
+    std::stringstream in("metric,value\ncount,1\np50_latency,fast\n");
+    EXPECT_DEATH(readSummaryCsv(in),
+                 "summary CSV line 3.*not a number");
+}
+
+TEST(ReportIo, SummaryCsvTrailingGarbageIsFatal)
+{
+    std::stringstream in("metric,value\ncount,12x\n");
+    EXPECT_DEATH(readSummaryCsv(in), "trailing characters");
+}
+
+TEST(ReportIo, SummaryCsvWrongFieldCountIsFatal)
+{
+    std::stringstream in("metric,value\ncount,1,2\n");
+    EXPECT_DEATH(readSummaryCsv(in), "expected 2 fields");
+}
+
+TEST(ReportIo, SummaryCsvEmptyInputIsFatal)
+{
+    std::stringstream in("");
+    EXPECT_DEATH(readSummaryCsv(in), "missing header");
+}
+
 TEST(ReportIo, PrintSummaryIsHumanReadable)
 {
     MetricsCollector collector(paperTierTable());

@@ -13,11 +13,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "cluster/capacity.hh"
 #include "core/serving_system.hh"
+#include "fault/fault_injector.hh"
 #include "predictor/random_forest.hh"
 #include "simcore/thread_pool.hh"
 
@@ -40,6 +43,13 @@ expectIdentical(const RunSummary &a, const RunSummary &b,
     EXPECT_EQ(a.p50Latency, b.p50Latency) << what;
     EXPECT_EQ(a.p95Latency, b.p95Latency) << what;
     EXPECT_EQ(a.p99Latency, b.p99Latency) << what;
+    EXPECT_EQ(a.availability, b.availability) << what;
+    EXPECT_EQ(a.retryExhaustedFraction, b.retryExhaustedFraction)
+        << what;
+    EXPECT_EQ(a.meanRetries, b.meanRetries) << what;
+    EXPECT_EQ(a.failureAffectedFraction, b.failureAffectedFraction)
+        << what;
+    EXPECT_EQ(a.failureViolationRate, b.failureViolationRate) << what;
 }
 
 /**
@@ -87,6 +97,58 @@ TEST(ParallelDeterminism, PolicySweepIsIdenticalAcrossJobCounts)
     // Sanity: the sweep produced real runs, not empty summaries.
     for (const RunSummary &s : serial)
         EXPECT_EQ(s.count, 150u);
+}
+
+/**
+ * A fault sweep: independent simulations with crash/straggler
+ * injection fanned across the pool. Same seed + same fault schedule
+ * must give bit-identical reports at every job count — recovery
+ * (snapshot, backoff, re-dispatch) introduces no nondeterminism.
+ */
+std::vector<RunSummary>
+faultSweep(int jobs)
+{
+    const std::uint64_t fault_seeds[] = {1, 2, 3, 4};
+    return par::parallelMap(
+        jobs, std::size(fault_seeds), [&](std::size_t i) {
+            Trace trace = TraceBuilder()
+                              .dataset(azureCode())
+                              .seed(13)
+                              .buildCount(PoissonArrivals(4.0), 200);
+            ServingConfig cfg;
+            cfg.policy = Policy::QoServe;
+            cfg.useForestPredictor = false;
+            auto predictor = makePredictor(cfg);
+            ClusterSim::Config ccfg;
+            ccfg.replica.hw = cfg.hw;
+            ccfg.predictor = predictor.get();
+            ClusterSim sim(ccfg, trace);
+            sim.addReplicaGroup(2, makeSchedulerFactory(cfg));
+
+            FaultConfig fc;
+            fc.crashMtbf = 12.0;
+            fc.crashMttr = 4.0;
+            fc.stragglerMtbf = 25.0;
+            fc.seed = fault_seeds[i];
+            fc.horizon = trace.requests.back().arrival;
+            FaultInjector injector(fc, sim);
+            return summarize(sim.run());
+        });
+}
+
+TEST(ParallelDeterminism, FaultSweepIsIdenticalAcrossJobCounts)
+{
+    std::vector<RunSummary> serial = faultSweep(1);
+    std::vector<RunSummary> parallel = faultSweep(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], parallel[i],
+                        "fault seed " + std::to_string(i + 1));
+    // The sweep exercised the recovery path, not a quiet cluster.
+    bool saw_faults = false;
+    for (const RunSummary &s : serial)
+        saw_faults |= s.failureAffectedFraction > 0.0;
+    EXPECT_TRUE(saw_faults);
 }
 
 /** Noisy nonlinear training set for the forest tests. */

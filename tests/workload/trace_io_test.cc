@@ -111,6 +111,50 @@ TEST(TraceIo, NonPositiveTokensAreFatal)
                  "token counts must be positive");
 }
 
+TEST(TraceIo, TrailingGarbageInFieldIsFatalWithLineNumber)
+{
+    // "12x" must not silently parse as 12: every field must consume
+    // its whole text, and the error names the 1-based line and field.
+    std::stringstream in(
+        "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
+        "app_id\n"
+        "0,1.0,100,10,0,1,0\n"
+        "1,2.0,12x,10,0,1,0\n");
+    EXPECT_DEATH(readTraceCsv(in, paperTierTable()),
+                 "trace line 3: field 'prompt_tokens'");
+}
+
+TEST(TraceIo, NonNumericArrivalIsFatal)
+{
+    std::stringstream in(
+        "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
+        "app_id\n"
+        "0,soon,100,10,0,1,0\n");
+    EXPECT_DEATH(readTraceCsv(in, paperTierTable()),
+                 "field 'arrival'.*expected number");
+}
+
+TEST(TraceIo, NegativeIdIsFatal)
+{
+    // Request ids are unsigned; "-1" must be rejected, not wrapped.
+    std::stringstream in(
+        "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
+        "app_id\n"
+        "-1,1.0,100,10,0,1,0\n");
+    EXPECT_DEATH(readTraceCsv(in, paperTierTable()),
+                 "field 'id'.*expected unsigned integer");
+}
+
+TEST(TraceIo, EmptyFieldIsFatal)
+{
+    std::stringstream in(
+        "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
+        "app_id\n"
+        "0,1.0,100,,0,1,0\n");
+    EXPECT_DEATH(readTraceCsv(in, paperTierTable()),
+                 "field 'decode_tokens'");
+}
+
 TEST(TraceIo, FileRoundTrip)
 {
     Trace original =

@@ -10,7 +10,10 @@
  *  - no-wall-clock:   std::chrono system/steady clocks, time(),
  *                     clock(), gettimeofday() in simulation code;
  *  - no-std-rand:     std::rand/srand, random_device,
- *                     random_shuffle, *rand48 (use simcore Rng);
+ *                     random_shuffle, *rand48, mt19937,
+ *                     default_random_engine, minstd_rand (use the
+ *                     simcore Rng — fault schedules in src/fault
+ *                     depend on its splittable streams);
  *  - unordered-iter:  range-for over an unordered_map/unordered_set
  *                     — iteration order is hash/address dependent, so
  *                     anything order-sensitive downstream becomes
@@ -467,6 +470,12 @@ main(int argc, char **argv)
         tokenRule(f, "no-std-rand", "drand48", true, randMsg,
                   findings);
         tokenRule(f, "no-std-rand", "lrand48", true, randMsg,
+                  findings);
+        tokenRule(f, "no-std-rand", "mt19937", true, randMsg,
+                  findings);
+        tokenRule(f, "no-std-rand", "default_random_engine", true,
+                  randMsg, findings);
+        tokenRule(f, "no-std-rand", "minstd_rand", true, randMsg,
                   findings);
         unorderedIterRule(f, unorderedNames, findings);
         headerGuardRule(f, findings);

@@ -16,6 +16,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "core/cli_options.hh"
@@ -68,11 +69,30 @@ main(int argc, char **argv)
     cc.replica.hw = opts.serving.hw;
     cc.replica.perfParams = opts.serving.perfParams;
     cc.predictor = predictor.get();
+    cc.retry = opts.retry;
+    cc.healthAwareRouting = opts.healthAwareRouting;
 
     ClusterSim sim(cc, trace);
     sim.addReplicaGroup(opts.serving.numReplicas,
                         makeSchedulerFactory(opts.serving),
                         opts.loadBalance);
+
+    // Fault injection: episodes may start any time up to the last
+    // arrival; in-flight outages still resolve after that.
+    std::optional<FaultInjector> faults;
+    if (opts.fault.enabled()) {
+        opts.fault.horizon = trace.requests.empty()
+                                 ? 0.0
+                                 : trace.requests.back().arrival;
+        if (opts.fault.horizon > 0.0) {
+            faults.emplace(opts.fault, sim);
+            std::cerr << "injecting faults: crash MTBF "
+                      << opts.fault.crashMtbf << " s, MTTR "
+                      << opts.fault.crashMttr << " s, straggler MTBF "
+                      << opts.fault.stragglerMtbf << " s (seed "
+                      << opts.fault.seed << ")\n";
+        }
+    }
 
     TelemetryRecorder telemetry;
     if (opts.telemetryOut) {
@@ -87,6 +107,18 @@ main(int argc, char **argv)
 
     RunSummary summary = summarize(metrics);
     printSummary(summary, trace.tiers, std::cout);
+    if (faults) {
+        const FaultStats &fs = faults->stats();
+        std::cout << "faults: " << fs.crashes << " crashes, "
+                  << fs.stragglerEpisodes
+                  << " straggler episodes, observed MTTR "
+                  << fs.meanTimeToRepair()
+                  << " s, machine availability "
+                  << 100.0 * faults->machineAvailability() << "%\n";
+        std::cout << "recovery: " << sim.redispatches()
+                  << " re-dispatches, " << sim.retriesExhausted()
+                  << " retry budgets exhausted\n";
+    }
 
     if (opts.recordsOut)
         writeRecordsCsvFile(metrics, *opts.recordsOut);
