@@ -6,9 +6,11 @@
 #include "audit/invariant_auditor.hh"
 
 #include <cmath>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "kvcache/block_manager.hh"
+#include "prefixcache/prefix_cache.hh"
 #include "sched/request.hh"
 #include "sched/scheduler.hh"
 #include "simcore/event_queue.hh"
@@ -40,7 +42,8 @@ InvariantAuditor::report(const char *invariant, std::string detail,
 void
 InvariantAuditor::onIterationComplete(const BlockManager &kv,
                                       const Scheduler &sched,
-                                      const EventQueue &eq)
+                                      const EventQueue &eq,
+                                      const PrefixCache *cache)
 {
     if (opts_.level == audit::CheckLevel::Off)
         return;
@@ -48,6 +51,8 @@ InvariantAuditor::onIterationComplete(const BlockManager &kv,
     checkEventTime(eq);
     checkBlockManager(kv, eq.now());
     checkScheduler(sched, &kv, eq.now());
+    if (cache != nullptr && cache->enabled())
+        checkPrefixCache(*cache, kv, eq.now());
 }
 
 void
@@ -91,8 +96,12 @@ InvariantAuditor::checkBlockManager(const BlockManager &kv, SimTime now)
     // Full: per-owner accounting must sum to the aggregate, and each
     // owner's blocks must exactly cover its tokens.
     std::int64_t block_sum = 0;
+    KvSharedAuditView shared;
+    shared.blockTokens = kv.blockTokens();
     for (const KvOwnerUsage &u : kv.ownerUsage()) {
         block_sum += u.blocks;
+        shared.owners.push_back(
+            {u.owner, u.sharedTokens, kv.ownerSharedIds(u.owner)});
         if (u.tokens < 0 || u.blocks < 0) {
             report("kv-owner-accounting",
                    detail::composeMessage("owner ", u.owner,
@@ -118,12 +127,161 @@ InvariantAuditor::checkBlockManager(const BlockManager &kv, SimTime now)
                    now);
         }
     }
-    if (block_sum != kv.usedBlocks()) {
+    if (block_sum + kv.sharedBlockCount() != kv.usedBlocks()) {
         report("kv-conservation",
                detail::composeMessage("per-owner blocks sum to ",
-                                      block_sum, " but used counter is ",
+                                      block_sum, " plus ",
+                                      kv.sharedBlockCount(),
+                                      " shared, but used counter is ",
                                       kv.usedBlocks()),
                now);
+    }
+
+    shared.table = kv.sharedBlockTable();
+    shared.cacheHeldBlocks = kv.cacheHeldBlocks();
+    shared.evictableBlocks = kv.evictableBlocks();
+    shared.cacheWatermark = kv.cacheWatermark();
+    checkSharedTable(shared, now);
+}
+
+void
+InvariantAuditor::checkSharedTable(const KvSharedAuditView &view,
+                                   SimTime now)
+{
+    if (!full())
+        return;
+
+    // Shared-block refcount conservation: every shared block's
+    // refcount is exactly the owners referencing it plus the cache's
+    // own hold, and the aggregate cache-held / evictable tallies match
+    // the table. An evictable block (refs == 1, cache-held) is by the
+    // same arithmetic disjoint from every owner's holdings — the
+    // property availableBlocks() and the kv-capped batch budget lean
+    // on.
+    std::unordered_map<KvBlockId, std::int64_t> owner_refs;
+    for (const KvSharedAuditView::OwnerRefs &o : view.owners) {
+        for (KvBlockId id : o.sharedIds)
+            ++owner_refs[id];
+        if (o.sharedTokens !=
+            static_cast<std::int64_t>(o.sharedIds.size()) *
+                static_cast<std::int64_t>(view.blockTokens)) {
+            report("kv-shared-refcount",
+                   detail::composeMessage(
+                       "owner ", o.owner, " counts ", o.sharedTokens,
+                       " shared tokens over ", o.sharedIds.size(),
+                       " shared blocks (", view.blockTokens,
+                       " tokens/block; shared blocks are always full)"),
+                   now);
+        }
+    }
+    std::int64_t cache_held = 0;
+    std::int64_t evictable = 0;
+    for (const KvSharedBlockInfo &info : view.table) {
+        if (info.cacheHeld)
+            ++cache_held;
+        if (info.cacheHeld && info.refs == 1)
+            ++evictable;
+        if (info.refs <= 0) {
+            report("kv-shared-refcount",
+                   detail::composeMessage("shared block ", info.id,
+                                          " alive with refcount ",
+                                          info.refs),
+                   now);
+            continue;
+        }
+        auto it = owner_refs.find(info.id);
+        std::int64_t held =
+            it == owner_refs.end() ? 0 : it->second;
+        std::int64_t expected = held + (info.cacheHeld ? 1 : 0);
+        if (info.refs != expected) {
+            report("kv-shared-refcount",
+                   detail::composeMessage(
+                       "shared block ", info.id, " has refcount ",
+                       info.refs, " but ", held, " owners hold it",
+                       info.cacheHeld ? " plus the cache" : ""),
+                   now);
+        }
+    }
+    if (cache_held != view.cacheHeldBlocks) {
+        report("kv-shared-refcount",
+               detail::composeMessage(cache_held,
+                                      " cache-held blocks in the table "
+                                      "but the counter says ",
+                                      view.cacheHeldBlocks),
+               now);
+    }
+    if (evictable != view.evictableBlocks) {
+        report("kv-shared-refcount",
+               detail::composeMessage(evictable,
+                                      " evictable blocks in the table "
+                                      "but the counter says ",
+                                      view.evictableBlocks),
+               now);
+    }
+    if (view.cacheWatermark > 0 &&
+        view.cacheHeldBlocks > view.cacheWatermark) {
+        report("kv-cache-watermark",
+               detail::composeMessage("cache holds ",
+                                      view.cacheHeldBlocks,
+                                      " blocks over its watermark of ",
+                                      view.cacheWatermark),
+               now);
+    }
+}
+
+void
+InvariantAuditor::checkPrefixCache(const PrefixCache &cache,
+                                   const BlockManager &kv, SimTime now)
+{
+    if (!full())
+        return;
+    PrefixCacheAuditView view = cache.auditView();
+    if (!view.populated)
+        return;
+
+    // The radix tree and the block manager must agree on which blocks
+    // the cache holds: one tree node per cache-held block, no node
+    // pointing at a dead or non-cache-held block, no cache-held block
+    // missing from the tree.
+    if (view.treeBlocks.size() != view.nodeCount) {
+        report("prefix-tree-blocks",
+               detail::composeMessage(view.nodeCount, " tree nodes but ",
+                                      view.treeBlocks.size(),
+                                      " distinct blocks"),
+               now);
+    }
+    std::vector<KvBlockId> held;
+    for (const KvSharedBlockInfo &info : kv.sharedBlockTable()) {
+        if (info.cacheHeld)
+            held.push_back(info.id);
+    }
+    // Both sides are sorted by block id; mismatches are reported per
+    // block for debuggability.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < view.treeBlocks.size() || j < held.size()) {
+        if (j == held.size() ||
+            (i < view.treeBlocks.size() &&
+             view.treeBlocks[i] < held[j])) {
+            report("prefix-tree-blocks",
+                   detail::composeMessage("tree references block ",
+                                          view.treeBlocks[i],
+                                          " the KV manager does not "
+                                          "hold for the cache"),
+                   now);
+            ++i;
+        } else if (i == view.treeBlocks.size() ||
+                   held[j] < view.treeBlocks[i]) {
+            report("prefix-tree-blocks",
+                   detail::composeMessage("cache-held block ", held[j],
+                                          " missing from the radix "
+                                          "tree"),
+                   now);
+            ++j;
+        } else {
+            ++i;
+            ++j;
+        }
     }
 }
 
@@ -253,22 +411,27 @@ InvariantAuditor::checkSchedulerView(const SchedulerAuditView &view,
     }
 
     // Cross-layer: between iterations every queued request's KV
-    // allocation covers exactly its computed context. A decoding
-    // request's newest sampled token has no KV yet — its entry is
-    // appended when the token is fed back next iteration — so the
-    // expected allocation there is one behind the context length.
+    // allocation — private blocks plus attached shared blocks —
+    // covers exactly its computed context. A decoding request's
+    // newest sampled token has no KV yet — its entry is appended when
+    // the token is fed back next iteration — so the expected
+    // allocation there is one behind the context length.
     if (kv != nullptr) {
         auto check_kv = [&](const Request *req) {
             std::int64_t expected =
                 req->phase() == RequestPhase::Decoding
                     ? req->contextLength() - 1
                     : req->contextLength();
-            if (kv->ownedTokens(req->id()) != expected) {
+            std::int64_t held = kv->ownedTokens(req->id()) +
+                                kv->sharedTokens(req->id());
+            if (held != expected) {
                 report("kv-request-agreement",
                        detail::composeMessage(
-                           "request ", req->id(), " owns ",
-                           kv->ownedTokens(req->id()),
-                           " KV tokens but expected ", expected,
+                           "request ", req->id(), " holds ", held,
+                           " KV tokens (",
+                           kv->ownedTokens(req->id()), " private + ",
+                           kv->sharedTokens(req->id()),
+                           " shared) but expected ", expected,
                            " (context ", req->contextLength(), ")"),
                        now);
             }
@@ -362,6 +525,18 @@ InvariantAuditor::onReplicaCrash(const BlockManager &kv,
                detail::composeMessage("crashed replica still holds ",
                                       kv.usedBlocks(), " blocks for ",
                                       kv.numOwners(), " owners"),
+               now);
+    }
+    if (kv.sharedBlockCount() != 0 || kv.cacheHeldBlocks() != 0 ||
+        kv.evictableBlocks() != 0) {
+        report("kv-crash-release",
+               detail::composeMessage("crashed replica still tracks ",
+                                      kv.sharedBlockCount(),
+                                      " shared blocks (",
+                                      kv.cacheHeldBlocks(),
+                                      " cache-held, ",
+                                      kv.evictableBlocks(),
+                                      " evictable)"),
                now);
     }
 

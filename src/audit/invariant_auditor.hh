@@ -26,16 +26,41 @@
 #include <vector>
 
 #include "audit/check_level.hh"
+#include "kvcache/block_manager.hh"
 #include "simcore/time.hh"
 #include "workload/qos.hh"
 
 namespace qoserve {
 
-class BlockManager;
 class EventQueue;
+class PrefixCache;
 class Scheduler;
 struct RequestRecord;
 struct SchedulerAuditView;
+
+/**
+ * Snapshot of the KV manager's shared-block state for refcount
+ * conservation checks. checkBlockManager() builds one from a live
+ * BlockManager; tests feed deliberately corrupt snapshots directly
+ * (the manager's own API cannot produce them).
+ */
+struct KvSharedAuditView
+{
+    /** One owner's shared-block references. */
+    struct OwnerRefs
+    {
+        KvOwnerId owner = 0;
+        std::int64_t sharedTokens = 0;
+        std::vector<KvBlockId> sharedIds;
+    };
+
+    int blockTokens = 16;
+    std::vector<OwnerRefs> owners;
+    std::vector<KvSharedBlockInfo> table; ///< Sorted by block id.
+    std::int64_t cacheHeldBlocks = 0;     ///< The manager's counter.
+    std::int64_t evictableBlocks = 0;     ///< The manager's counter.
+    std::int64_t cacheWatermark = 0;      ///< 0 when unconfigured.
+};
 
 /**
  * Verifies global simulation invariants; see DESIGN.md §7 for the
@@ -87,17 +112,42 @@ class InvariantAuditor
      * Audit hook for one completed replica iteration: clock
      * monotonicity, KV conservation, scheduler consistency and the
      * cross-layer KV-vs-request agreement, at the configured level.
+     * @p cache, when non-null and enabled, adds the prefix-cache
+     * tree-vs-block-table agreement check.
      */
     void onIterationComplete(const BlockManager &kv,
                              const Scheduler &sched,
-                             const EventQueue &eq);
+                             const EventQueue &eq,
+                             const PrefixCache *cache = nullptr);
 
     /**
      * Check KV block accounting: used within [0, total]; at full
-     * level, per-owner block/token sums match the aggregate and each
-     * owner's blocks exactly cover its tokens.
+     * level, per-owner block/token sums (plus shared blocks) match
+     * the aggregate, each owner's blocks exactly cover its tokens,
+     * and the shared-block table conserves refcounts: every shared
+     * block's refcount equals the owners referencing it plus the
+     * cache's own hold, the cache-held and evictable tallies match
+     * the table, and the cache stays under its watermark.
      */
     void checkBlockManager(const BlockManager &kv, SimTime now);
+
+    /**
+     * Check shared-block refcount conservation on one snapshot (full
+     * level): every block's refcount equals the owners referencing it
+     * plus the cache's hold, per-owner shared tokens are block-
+     * aligned, the cache-held / evictable tallies match the table,
+     * and the cache respects its watermark. Exposed so tests can feed
+     * deliberately corrupt snapshots (see KvSharedAuditView).
+     */
+    void checkSharedTable(const KvSharedAuditView &view, SimTime now);
+
+    /**
+     * Check the prefix cache's radix tree against the KV manager's
+     * shared-block table (full level): the tree's blocks must be
+     * exactly the cache-held blocks, one node per block.
+     */
+    void checkPrefixCache(const PrefixCache &cache,
+                          const BlockManager &kv, SimTime now);
 
     /**
      * Check that observed event-queue time never moves backwards
@@ -131,8 +181,9 @@ class InvariantAuditor
 
     /**
      * Audit hook for a replica crash, called after the failure path
-     * tore the replica down: the KV cache must hold zero blocks and
-     * zero owners (block conservation across crash-release), the
+     * tore the replica down: the KV cache must hold zero blocks,
+     * zero owners and zero shared blocks (block conservation across
+     * crash-release, including the prefix cache's holdings), the
      * rebuilt scheduler must be idle, and no request may still be
      * owned by the dead replica (no request stranded).
      */

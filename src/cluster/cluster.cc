@@ -97,7 +97,7 @@ ClusterSim::routeTier(int tier_id, int group_id)
 }
 
 std::size_t
-ClusterSim::pickReplica(Group &group) const
+ClusterSim::pickReplica(Group &group, const RequestSpec &spec) const
 {
     // Health-aware routing skips down replicas and multiplies load
     // scores by the straggler slowdown. With every replica Up the
@@ -109,6 +109,28 @@ ClusterSim::pickReplica(Group &group) const
         return !aware ||
                replicas_[idx]->health() != ReplicaHealth::Down;
     };
+
+    // Cache-affinity pre-pass: the replica already holding the
+    // longest cached prefix of this prompt serves it cheapest. Only a
+    // strictly positive match diverts the request — a universal miss
+    // (in particular, every probe when the prefix cache is disabled)
+    // leaves the policy below, including its round-robin cursor,
+    // exactly as if this pass did not exist.
+    if (cfg_.cacheAffinityRouting) {
+        std::size_t best = kNoReplica;
+        int best_tokens = 0;
+        for (std::size_t idx : group.replicaIdx) {
+            if (!usable(idx))
+                continue;
+            int tokens = replicas_[idx]->probeCachedTokens(spec);
+            if (tokens > best_tokens) {
+                best = idx;
+                best_tokens = tokens;
+            }
+        }
+        if (best != kNoReplica)
+            return best;
+    }
 
     switch (group.lb) {
       case LoadBalancePolicy::RoundRobin: {
@@ -165,7 +187,7 @@ ClusterSim::injectArrival(std::size_t index)
 {
     const RequestSpec &spec = trace_.requests[index];
     Group &group = groups_[tierRoute_[spec.tierId]];
-    std::size_t replica_idx = pickReplica(group);
+    std::size_t replica_idx = pickReplica(group, spec);
     if (replica_idx == kNoReplica ||
         replicas_[replica_idx]->health() == ReplicaHealth::Down) {
         // No live target — every replica is down, or a blind front
@@ -218,7 +240,7 @@ void
 ClusterSim::redispatch(RequestFailureSnapshot snap)
 {
     Group &group = groups_[tierRoute_[snap.spec.tierId]];
-    std::size_t replica_idx = pickReplica(group);
+    std::size_t replica_idx = pickReplica(group, snap.spec);
     if (replica_idx == kNoReplica ||
         replicas_[replica_idx]->health() == ReplicaHealth::Down) {
         // Still no live target: burn another attempt. The budget

@@ -90,6 +90,19 @@ class ClusterSim
          * health-oblivious front door (the ext_failures baseline).
          */
         bool healthAwareRouting = true;
+
+        /**
+         * Cache-affinity routing: before the group's load-balancing
+         * policy runs, probe every usable replica's prefix cache and
+         * route to the one with the longest cached prefix of the
+         * request's prompt (ties to the lowest replica index). A
+         * zero-length match everywhere falls through to the normal
+         * policy untouched (round-robin state is not advanced by an
+         * affinity hit), so with the prefix cache off — every probe
+         * returns zero — routing is bit-identical to this flag off.
+         * Requires the replica prefix cache to be enabled.
+         */
+        bool cacheAffinityRouting = false;
     };
 
     /**
@@ -174,7 +187,7 @@ class ClusterSim
     static constexpr std::size_t kNoReplica =
         static_cast<std::size_t>(-1);
 
-    std::size_t pickReplica(Group &group) const;
+    std::size_t pickReplica(Group &group, const RequestSpec &spec) const;
     void injectArrival(std::size_t index);
 
     /**

@@ -37,6 +37,9 @@ Replica::Replica(EventQueue &eq, Config cfg,
       appStats_(std::move(app_stats)),
       onComplete_(std::move(on_complete))
 {
+    // The cache must exist before the scheduler: the factory wires it
+    // into the scheduler environment.
+    prefixCache_ = std::make_unique<PrefixCache>(kv_, cfg.prefixCache);
     buildScheduler();
 }
 
@@ -47,6 +50,7 @@ Replica::buildScheduler()
     env.kv = &kv_;
     env.perf = &perf_;
     env.predictor = predictor_;
+    env.prefixCache = prefixCache_.get();
     scheduler_ = factory_(env);
     QOSERVE_ASSERT(scheduler_ != nullptr, "factory returned no scheduler");
 
@@ -85,6 +89,7 @@ void
 Replica::submit(const RequestSpec &spec)
 {
     Request *req = admit(spec);
+    attachCachedPrefix(req);
     scheduler_->enqueue(req, eq_.now());
     maybeStartIteration();
 }
@@ -94,8 +99,21 @@ Replica::resubmit(const RequestFailureSnapshot &snap)
 {
     Request *req = admit(snap.spec);
     req->restoreForRetry(snap);
+    // Re-resolve the prefix against *this* replica's cache — the one
+    // on the crashed replica died with it.
+    attachCachedPrefix(req);
     scheduler_->enqueue(req, eq_.now());
     maybeStartIteration();
+}
+
+void
+Replica::attachCachedPrefix(Request *req)
+{
+    if (!prefixCache_->enabled())
+        return;
+    int tokens = prefixCache_->attach(req->id(), req->spec(), eq_.now());
+    if (tokens > 0)
+        req->attachCachedPrefix(tokens);
 }
 
 void
@@ -143,7 +161,8 @@ Replica::completeIteration(const Batch &batch, SimTime)
     // Audit between batch completion and the next formBatch: every
     // queue and the KV cache are at rest here.
     if (auditor_ != nullptr)
-        auditor_->onIterationComplete(kv_, *scheduler_, eq_);
+        auditor_->onIterationComplete(kv_, *scheduler_, eq_,
+                                      prefixCache_.get());
     maybeStartIteration();
 }
 
@@ -186,6 +205,9 @@ Replica::fail()
     // scheduler is rebuilt empty (its queues pointed into live_), and
     // the request objects are destroyed after snapshotting.
     kv_.releaseAll();
+    // The prefix cache's blocks died in releaseAll(); drop the tree
+    // that pointed at them.
+    prefixCache_->dropAll();
     buildScheduler();
     live_.clear();
 

@@ -17,6 +17,7 @@
 
 #include "kvcache/block_manager.hh"
 #include "model/perf_model.hh"
+#include "prefixcache/prefix_cache.hh"
 #include "sched/chunked_scheduler.hh"
 #include "simcore/event_queue.hh"
 #include "workload/trace.hh"
@@ -66,6 +67,9 @@ class Replica
         ReplicaHwConfig hw;
         PerfModelParams perfParams{};
         int kvBlockTokens = 16;
+
+        /** Shared-prefix cache (disabled by default). */
+        PrefixCacheConfig prefixCache{};
     };
 
     /**
@@ -137,6 +141,21 @@ class Replica
     /** KV-cache manager (for tests). */
     const BlockManager &kv() const { return kv_; }
 
+    /** Shared-prefix cache (for tests and stats aggregation). */
+    const PrefixCache &prefixCache() const { return *prefixCache_; }
+
+    /**
+     * Prompt tokens of @p spec the local prefix cache could serve
+     * right now (0 when down, or the cache is off or misses) — the
+     * cache-affinity routing signal.
+     */
+    int probeCachedTokens(const RequestSpec &spec) const
+    {
+        if (health_ == ReplicaHealth::Down)
+            return 0;
+        return prefixCache_->probe(spec);
+    }
+
     /** Total batches executed. */
     std::uint64_t iterations() const { return iterations_; }
 
@@ -160,11 +179,17 @@ class Replica
     void maybeStartIteration();
     void completeIteration(const Batch &batch, SimTime start);
     Request *admit(const RequestSpec &spec);
+    void attachCachedPrefix(Request *req);
     void buildScheduler();
 
     EventQueue &eq_;
     PerfModel perf_;
     BlockManager kv_;
+
+    /** Declared after kv_ (it installs the eviction handler there)
+     *  and destroyed before it. */
+    std::unique_ptr<PrefixCache> prefixCache_;
+
     std::unique_ptr<Scheduler> scheduler_;
     SchedulerFactory factory_;
     const LatencyPredictor *predictor_ = nullptr;

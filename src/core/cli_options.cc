@@ -133,6 +133,19 @@ deployment:
                         (default 0 = hardware concurrency; any value
                         yields bit-identical results)
 
+prefix cache:
+  --prefix-cache        enable shared-prefix KV cache reuse
+  --cache-capacity-frac F  fraction of KV blocks the cache may hold
+                        (default 0.5)
+  --cache-affinity      route each request to the replica holding the
+                        longest cached prefix (requires --prefix-cache)
+  --share-ratio F       fraction of synthesized requests drawing a
+                        shared prompt prefix (default 0 = all unique)
+  --prefix-pools N      system-prompt pool count for shared prefixes
+                        (default 8)
+  --multi-turn F        fraction of shared requests that continue an
+                        earlier conversation (default 0.5)
+
 faults:
   --fault-mtbf S        mean time between replica crashes, seconds
                         (default 0 = no crashes)
@@ -226,6 +239,22 @@ parseCliOptions(const std::vector<std::string> &args)
         } else if (flag == "--jobs") {
             opts.serving.trainJobs = static_cast<int>(
                 parseU64(flag, need_value(i++, flag)));
+        } else if (flag == "--prefix-cache") {
+            opts.serving.prefixCache.enabled = true;
+        } else if (flag == "--cache-capacity-frac") {
+            opts.serving.prefixCache.capacityFrac =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--cache-affinity") {
+            opts.serving.cacheAffinityRouting = true;
+        } else if (flag == "--share-ratio") {
+            opts.sharedPrefix.shareRatio =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--prefix-pools") {
+            opts.sharedPrefix.numPools = static_cast<int>(
+                parseU64(flag, need_value(i++, flag)));
+        } else if (flag == "--multi-turn") {
+            opts.sharedPrefix.multiTurnFrac =
+                parseDouble(flag, need_value(i++, flag));
         } else if (flag == "--fault-mtbf") {
             opts.fault.crashMtbf =
                 parseDouble(flag, need_value(i++, flag));
@@ -277,6 +306,11 @@ parseCliOptions(const std::vector<std::string> &args)
         QOSERVE_FATAL("--straggler-mtbf must be non-negative");
     if (opts.retry.initialBackoff <= 0.0)
         QOSERVE_FATAL("--retry-backoff must be positive");
+    opts.serving.prefixCache.validate();
+    opts.sharedPrefix.validate();
+    if (opts.serving.cacheAffinityRouting &&
+        !opts.serving.prefixCache.enabled)
+        QOSERVE_FATAL("--cache-affinity requires --prefix-cache");
     return opts;
 }
 

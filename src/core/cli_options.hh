@@ -33,6 +33,7 @@ struct CliOptions
     TierTable tiers = paperTierTable();
     std::vector<double> tierMix{};
     double lowPriorityFraction = 0.0;
+    SharedPrefixConfig sharedPrefix{};
     double qps = 3.0;
     SimDuration duration = 600.0;
     std::uint64_t seed = 42;

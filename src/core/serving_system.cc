@@ -95,6 +95,10 @@ ServingSystem::ServingSystem(ServingConfig cfg)
     : cfg_(std::move(cfg))
 {
     QOSERVE_ASSERT(cfg_.numReplicas >= 1, "need at least one replica");
+    cfg_.prefixCache.validate();
+    if (cfg_.cacheAffinityRouting && !cfg_.prefixCache.enabled)
+        QOSERVE_FATAL("cache-affinity routing requires the prefix "
+                      "cache to be enabled");
     predictor_ = makePredictor(cfg_);
 }
 
@@ -104,6 +108,8 @@ ServingSystem::serveForInspection(const Trace &trace)
     ClusterSim::Config cc;
     cc.replica.hw = cfg_.hw;
     cc.replica.perfParams = cfg_.perfParams;
+    cc.replica.prefixCache = cfg_.prefixCache;
+    cc.cacheAffinityRouting = cfg_.cacheAffinityRouting;
     cc.predictor = predictor_.get();
 
     auto sim = std::make_unique<ClusterSim>(cc, trace);

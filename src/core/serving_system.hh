@@ -29,6 +29,7 @@
 
 #include "cluster/cluster.hh"
 #include "predictor/latency_predictor.hh"
+#include "prefixcache/prefix_cache.hh"
 #include "sched/baseline_schedulers.hh"
 #include "sched/dp_scheduler.hh"
 #include "sched/qoserve_scheduler.hh"
@@ -92,6 +93,16 @@ struct ServingConfig
      * bit-identical for every value.
      */
     int trainJobs = 0;
+
+    /** Shared-prefix KV cache on every replica (off by default; off
+     *  leaves every run byte-identical to a build without it). */
+    PrefixCacheConfig prefixCache{};
+
+    /** Route each request to the replica holding the longest cached
+     *  prefix of its prompt; requires prefixCache.enabled (fatal
+     *  otherwise — affinity without a cache is a configuration
+     *  error). */
+    bool cacheAffinityRouting = false;
 };
 
 /**

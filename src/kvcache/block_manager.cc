@@ -59,13 +59,24 @@ BlockManager::blocksNeeded(KvOwnerId owner, std::int64_t new_tokens) const
 bool
 BlockManager::canGrow(KvOwnerId owner, std::int64_t new_tokens) const
 {
-    return blocksNeeded(owner, new_tokens) <= freeBlocks();
+    std::int64_t needed = blocksNeeded(owner, new_tokens);
+    if (needed <= freeBlocks())
+        return true;
+    // Evictable cached blocks can be reclaimed on demand, but only if
+    // a handler is installed to do the reclaiming.
+    return evictionHandler_ && needed <= availableBlocks();
 }
 
 bool
 BlockManager::grow(KvOwnerId owner, std::int64_t new_tokens)
 {
     std::int64_t needed = blocksNeeded(owner, new_tokens);
+    // Reclaim cold cached blocks only when that can actually satisfy
+    // the request — a doomed grow must not drain the cache for free.
+    if (needed > freeBlocks() && needed <= availableBlocks() &&
+        evictionHandler_) {
+        evictionHandler_(needed - freeBlocks());
+    }
     if (needed > freeBlocks())
         return false;
     Ownership &o = owners_[owner];
@@ -100,6 +111,21 @@ BlockManager::release(KvOwnerId owner)
     }
     usedBlocks_ -= it->second.blocks;
     QOSERVE_ASSERT(usedBlocks_ >= 0, "block accounting underflow");
+    for (KvBlockId id : it->second.sharedIds) {
+        auto sit = shared_.find(id);
+        QOSERVE_ASSERT(sit != shared_.end(),
+                       "owner references unknown shared block");
+        SharedBlock &b = sit->second;
+        --b.refs;
+        if (b.refs == 0) {
+            QOSERVE_ASSERT(!b.cacheHeld,
+                           "cache-held block lost its cache reference");
+            shared_.erase(sit);
+            --usedBlocks_;
+        } else if (b.cacheHeld && b.refs == 1) {
+            ++evictableBlocks_;
+        }
+    }
     owners_.erase(it);
 }
 
@@ -108,6 +134,9 @@ BlockManager::releaseAll()
 {
     std::int64_t freed = usedBlocks_;
     owners_.clear();
+    shared_.clear();
+    cacheHeldBlocks_ = 0;
+    evictableBlocks_ = 0;
     usedBlocks_ = 0;
     return freed;
 }
@@ -120,13 +149,181 @@ BlockManager::ownerUsage() const
     // The map is iterated only to snapshot it; the sort below makes
     // the result independent of hash order.
     // qoserve-lint: allow(unordered-iter)
-    for (const auto &[owner, o] : owners_)
-        usage.push_back({owner, o.tokens, o.blocks});
+    for (const auto &[owner, o] : owners_) {
+        usage.push_back({owner, o.tokens, o.blocks, o.sharedTokens,
+                         static_cast<std::int64_t>(o.sharedIds.size())});
+    }
     std::sort(usage.begin(), usage.end(),
               [](const KvOwnerUsage &a, const KvOwnerUsage &b) {
                   return a.owner < b.owner;
               });
     return usage;
+}
+
+void
+BlockManager::setCacheWatermark(std::int64_t blocks)
+{
+    if (blocks < 1) {
+        QOSERVE_FATAL("prefix-cache watermark must be at least one "
+                      "block, got ", blocks);
+    }
+    cacheWatermark_ = blocks;
+}
+
+std::vector<KvBlockId>
+BlockManager::convertToCached(KvOwnerId owner, int count)
+{
+    QOSERVE_ASSERT(count > 0, "conversion of zero blocks");
+    auto it = owners_.find(owner);
+    QOSERVE_ASSERT(it != owners_.end(),
+                   "conversion for unknown KV owner");
+    Ownership &o = it->second;
+    // Only full blocks are shareable: count must fit in the owner's
+    // whole private blocks, not its partially-filled tail.
+    QOSERVE_ASSERT(o.tokens / blockTokens_ >= count,
+                   "conversion exceeds owner's full private blocks");
+    QOSERVE_ASSERT(cacheHeldBlocks_ + count <= cacheWatermark_,
+                   "conversion would exceed the cache watermark");
+    std::vector<KvBlockId> ids;
+    ids.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        KvBlockId id = nextSharedId_++;
+        // Two references: the owner keeps using the block, and the
+        // cache now holds it in the radix tree.
+        shared_.emplace(id, SharedBlock{2, true});
+        ids.push_back(id);
+        o.sharedIds.push_back(id);
+    }
+    std::int64_t moved_tokens =
+        static_cast<std::int64_t>(count) * blockTokens_;
+    o.tokens -= moved_tokens;
+    o.blocks -= count;
+    o.sharedTokens += moved_tokens;
+    cacheHeldBlocks_ += count;
+    QOSERVE_ASSERT(o.tokens >= 0 && o.blocks >= 0,
+                   "conversion drained the private region below zero");
+    return ids;
+}
+
+void
+BlockManager::attachShared(KvOwnerId owner,
+                           const std::vector<KvBlockId> &ids)
+{
+    QOSERVE_ASSERT(!ids.empty(), "attach of zero shared blocks");
+    Ownership &o = owners_[owner];
+    for (KvBlockId id : ids) {
+        auto it = shared_.find(id);
+        if (it == shared_.end())
+            QOSERVE_PANIC("attach of unknown shared block ", id);
+        SharedBlock &b = it->second;
+        if (b.cacheHeld && b.refs == 1)
+            --evictableBlocks_;
+        ++b.refs;
+        o.sharedIds.push_back(id);
+    }
+    o.sharedTokens +=
+        static_cast<std::int64_t>(ids.size()) * blockTokens_;
+}
+
+void
+BlockManager::dedupToShared(KvOwnerId owner,
+                            const std::vector<KvBlockId> &ids)
+{
+    QOSERVE_ASSERT(!ids.empty(), "dedup of zero blocks");
+    auto it = owners_.find(owner);
+    QOSERVE_ASSERT(it != owners_.end(), "dedup for unknown KV owner");
+    Ownership &o = it->second;
+    auto count = static_cast<std::int64_t>(ids.size());
+    QOSERVE_ASSERT(o.tokens / blockTokens_ >= count,
+                   "dedup exceeds owner's full private blocks");
+    for (KvBlockId id : ids) {
+        auto sit = shared_.find(id);
+        if (sit == shared_.end())
+            QOSERVE_PANIC("dedup onto unknown shared block ", id);
+        SharedBlock &b = sit->second;
+        if (b.cacheHeld && b.refs == 1)
+            --evictableBlocks_;
+        ++b.refs;
+        o.sharedIds.push_back(id);
+    }
+    std::int64_t moved_tokens = count * blockTokens_;
+    o.tokens -= moved_tokens;
+    o.blocks -= count;
+    o.sharedTokens += moved_tokens;
+    usedBlocks_ -= count;
+    QOSERVE_ASSERT(usedBlocks_ >= 0, "block accounting underflow");
+}
+
+bool
+BlockManager::dropCacheRef(KvBlockId id)
+{
+    auto it = shared_.find(id);
+    if (it == shared_.end())
+        QOSERVE_PANIC("cache drop of unknown shared block ", id);
+    SharedBlock &b = it->second;
+    if (!b.cacheHeld)
+        QOSERVE_PANIC("cache drop of block ", id,
+                      " the cache does not hold");
+    if (b.refs == 1)
+        --evictableBlocks_;
+    b.cacheHeld = false;
+    --cacheHeldBlocks_;
+    --b.refs;
+    if (b.refs == 0) {
+        shared_.erase(it);
+        --usedBlocks_;
+        QOSERVE_ASSERT(usedBlocks_ >= 0, "block accounting underflow");
+        return true;
+    }
+    return false;
+}
+
+std::int64_t
+BlockManager::sharedRefs(KvBlockId id) const
+{
+    auto it = shared_.find(id);
+    return it == shared_.end() ? 0 : it->second.refs;
+}
+
+std::int64_t
+BlockManager::sharedTokens(KvOwnerId owner) const
+{
+    auto it = owners_.find(owner);
+    return it == owners_.end() ? 0 : it->second.sharedTokens;
+}
+
+std::int64_t
+BlockManager::ownerSharedBlocks(KvOwnerId owner) const
+{
+    auto it = owners_.find(owner);
+    return it == owners_.end()
+               ? 0
+               : static_cast<std::int64_t>(it->second.sharedIds.size());
+}
+
+std::vector<KvBlockId>
+BlockManager::ownerSharedIds(KvOwnerId owner) const
+{
+    auto it = owners_.find(owner);
+    return it == owners_.end() ? std::vector<KvBlockId>{}
+                               : it->second.sharedIds;
+}
+
+std::vector<KvSharedBlockInfo>
+BlockManager::sharedBlockTable() const
+{
+    std::vector<KvSharedBlockInfo> table;
+    table.reserve(shared_.size());
+    // Snapshot only; the sort below makes the result independent of
+    // hash order.
+    // qoserve-lint: allow(unordered-iter)
+    for (const auto &[id, b] : shared_)
+        table.push_back({id, b.refs, b.cacheHeld});
+    std::sort(table.begin(), table.end(),
+              [](const KvSharedBlockInfo &a, const KvSharedBlockInfo &b) {
+                  return a.id < b.id;
+              });
+    return table;
 }
 
 } // namespace qoserve

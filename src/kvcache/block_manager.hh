@@ -9,12 +9,22 @@
  * which is what creates memory pressure and bounds batch size in the
  * simulation — the same constraint the paper's selective-preemption
  * policy is designed around (§3.4).
+ *
+ * On top of the private per-owner chains sits a shared-block layer
+ * used by the prefix cache (src/prefixcache): a full block computed
+ * by one request can be converted into a reference-counted shared
+ * block that later requests attach to instead of recomputing it. A
+ * shared block's refcount counts every request holding it plus one
+ * for the cache itself while the block stays in the radix tree; a
+ * block whose only reference is the cache is *evictable* and can be
+ * reclaimed under memory pressure through the eviction handler.
  */
 
 #ifndef QOSERVE_KVCACHE_BLOCK_MANAGER_HH
 #define QOSERVE_KVCACHE_BLOCK_MANAGER_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -23,12 +33,29 @@ namespace qoserve {
 /** Identifier of the request owning a block chain. */
 using KvOwnerId = std::uint64_t;
 
+/** Identifier of a shared (prefix-cached) KV block. */
+using KvBlockId = std::uint64_t;
+
 /** One owner's usage in an audit snapshot (see ownerUsage()). */
 struct KvOwnerUsage
 {
     KvOwnerId owner = 0;
     std::int64_t tokens = 0;
     std::int64_t blocks = 0;
+
+    /** Tokens the owner holds through shared (prefix-cached) blocks. */
+    std::int64_t sharedTokens = 0;
+
+    /** Shared blocks the owner references. */
+    std::int64_t sharedBlocks = 0;
+};
+
+/** One shared block's state in an audit snapshot (sharedBlockTable()). */
+struct KvSharedBlockInfo
+{
+    KvBlockId id = 0;
+    std::int64_t refs = 0;
+    bool cacheHeld = false;
 };
 
 /**
@@ -41,6 +68,13 @@ struct KvOwnerUsage
 class BlockManager
 {
   public:
+    /**
+     * Callback invoked by grow() when free blocks alone cannot cover
+     * a request but evictable cached blocks exist. Receives the
+     * number of blocks wanted and returns the number actually freed.
+     */
+    using EvictionHandler = std::function<std::int64_t(std::int64_t)>;
+
     /**
      * @param capacity_tokens Total KV capacity in tokens; must be
      *        positive and hold at least one block (fatal otherwise —
@@ -57,8 +91,18 @@ class BlockManager
     /** Blocks currently free. */
     std::int64_t freeBlocks() const { return totalBlocks_ - usedBlocks_; }
 
-    /** Blocks currently allocated. */
+    /** Blocks currently allocated (private chains plus shared blocks). */
     std::int64_t usedBlocks() const { return usedBlocks_; }
+
+    /**
+     * Blocks obtainable without preempting any request: free blocks
+     * plus cached blocks whose only reference is the cache. Equals
+     * freeBlocks() whenever the prefix cache is disabled or empty.
+     */
+    std::int64_t availableBlocks() const
+    {
+        return freeBlocks() + evictableBlocks_;
+    }
 
     /** Tokens per block. */
     int blockTokens() const { return blockTokens_; }
@@ -70,7 +114,8 @@ class BlockManager
      * Blocks needed to extend @p owner by @p new_tokens tokens.
      *
      * Accounts for slack already present in the owner's last
-     * partially-filled block.
+     * partially-filled block. Shared blocks are always full, so only
+     * the private region enters the computation.
      */
     std::int64_t blocksNeeded(KvOwnerId owner,
                               std::int64_t new_tokens) const;
@@ -81,15 +126,20 @@ class BlockManager
     /**
      * Extend @p owner's cached tokens by @p new_tokens.
      *
-     * @return True on success; false (with no state change) if the
-     *         required blocks are not available.
+     * If free blocks alone cannot satisfy the request but evictable
+     * cached blocks exist, the eviction handler (when installed) is
+     * asked to reclaim the shortfall first.
+     *
+     * @return True on success; false (with no state change beyond any
+     *         evictions performed) if the required blocks are not
+     *         available.
      */
     bool grow(KvOwnerId owner, std::int64_t new_tokens);
 
-    /** Tokens currently cached for @p owner (0 if unknown). */
+    /** Tokens privately cached for @p owner (0 if unknown). */
     std::int64_t ownedTokens(KvOwnerId owner) const;
 
-    /** Blocks currently held by @p owner (0 if unknown). */
+    /** Private blocks currently held by @p owner (0 if unknown). */
     std::int64_t ownedBlocks(KvOwnerId owner) const;
 
     /** True if @p owner has an allocation record (possibly empty). */
@@ -99,7 +149,10 @@ class BlockManager
     }
 
     /**
-     * Release every block owned by @p owner.
+     * Release every block owned by @p owner, dropping its references
+     * on shared blocks (a shared block whose refcount reaches zero is
+     * freed; one left holding only the cache reference becomes
+     * evictable).
      *
      * Freeing an owner with no allocation record — a double free, or
      * a free of a request that never allocated — panics: both point
@@ -113,7 +166,9 @@ class BlockManager
     /**
      * Release every block of every owner at once — the crash path: a
      * failed replica's cache dies with the process, so no per-owner
-     * bookkeeping survives to double-free later.
+     * bookkeeping survives to double-free later. Shared blocks die
+     * too; the prefix cache must drop its tree separately (it holds
+     * block ids, not block state).
      *
      * @return Blocks freed.
      */
@@ -128,17 +183,120 @@ class BlockManager
      */
     std::vector<KvOwnerUsage> ownerUsage() const;
 
+    // ------------------------------------------------------------------
+    // Shared-block layer (prefix cache support).
+    // ------------------------------------------------------------------
+
+    /** Install the eviction handler (prefix cache reclaim hook). */
+    void setEvictionHandler(EvictionHandler handler)
+    {
+        evictionHandler_ = std::move(handler);
+    }
+
+    /**
+     * Cap on cache-held blocks. convertToCached() refuses to push the
+     * cache-held count past the watermark; the prefix cache evicts to
+     * stay under it. Must be at least one block.
+     */
+    void setCacheWatermark(std::int64_t blocks);
+
+    /** Cache-held block cap (0 until configured). */
+    std::int64_t cacheWatermark() const { return cacheWatermark_; }
+
+    /** Shared blocks currently held by the cache (in the radix tree). */
+    std::int64_t cacheHeldBlocks() const { return cacheHeldBlocks_; }
+
+    /** Cache-held blocks whose only reference is the cache. */
+    std::int64_t evictableBlocks() const { return evictableBlocks_; }
+
+    /** Total shared blocks (cache-held or not). */
+    std::int64_t sharedBlockCount() const
+    {
+        return static_cast<std::int64_t>(shared_.size());
+    }
+
+    /**
+     * Convert @p count full blocks of @p owner's private region into
+     * cache-held shared blocks the owner keeps referencing. The
+     * owner must hold at least @p count full private blocks and the
+     * conversion must fit under the cache watermark (both enforced —
+     * callers size the request first). No physical blocks move, so
+     * usedBlocks() is unchanged.
+     *
+     * @return The new block ids, in prefix order (monotonic ids, so
+     *         parents always sort before children — the eviction
+     *         tie-break relies on this).
+     */
+    std::vector<KvBlockId> convertToCached(KvOwnerId owner, int count);
+
+    /**
+     * Add @p owner as a reference holder on each of @p ids (a cache
+     * hit: the owner reuses the blocks instead of recomputing them).
+     * Each id must name a live shared block.
+     */
+    void attachShared(KvOwnerId owner, const std::vector<KvBlockId> &ids);
+
+    /**
+     * Replace @p owner's private copies of already-cached blocks with
+     * references to the shared copies in @p ids, freeing the
+     * duplicate physical blocks (one full private block per id). The
+     * owner must hold at least ids.size() full private blocks.
+     */
+    void dedupToShared(KvOwnerId owner, const std::vector<KvBlockId> &ids);
+
+    /**
+     * Drop the cache's reference on shared block @p id (eviction).
+     * Only valid while the block is cache-held.
+     *
+     * @return True if the block's refcount reached zero and its
+     *         physical block was freed.
+     */
+    bool dropCacheRef(KvBlockId id);
+
+    /** Refcount of shared block @p id (0 if unknown). */
+    std::int64_t sharedRefs(KvBlockId id) const;
+
+    /** Tokens @p owner holds through shared blocks (0 if unknown). */
+    std::int64_t sharedTokens(KvOwnerId owner) const;
+
+    /** Shared blocks @p owner references (0 if unknown). */
+    std::int64_t ownerSharedBlocks(KvOwnerId owner) const;
+
+    /** Shared-block ids @p owner references (empty if unknown). */
+    std::vector<KvBlockId> ownerSharedIds(KvOwnerId owner) const;
+
+    /**
+     * Shared-block snapshot for the invariant auditor, sorted by
+     * block id (deterministic order).
+     */
+    std::vector<KvSharedBlockInfo> sharedBlockTable() const;
+
   private:
     struct Ownership
     {
         std::int64_t tokens = 0;
         std::int64_t blocks = 0;
+        std::int64_t sharedTokens = 0;
+        std::vector<KvBlockId> sharedIds;
+    };
+
+    struct SharedBlock
+    {
+        std::int64_t refs = 0;
+        bool cacheHeld = false;
     };
 
     int blockTokens_;
     std::int64_t totalBlocks_;
     std::int64_t usedBlocks_ = 0;
     std::unordered_map<KvOwnerId, Ownership> owners_;
+
+    std::unordered_map<KvBlockId, SharedBlock> shared_;
+    KvBlockId nextSharedId_ = 1;
+    std::int64_t cacheHeldBlocks_ = 0;
+    std::int64_t evictableBlocks_ = 0;
+    std::int64_t cacheWatermark_ = 0;
+    EvictionHandler evictionHandler_;
 };
 
 } // namespace qoserve

@@ -69,6 +69,14 @@ writeSummaryCsv(const RunSummary &summary, std::ostream &out)
         out << "failure_violation_rate," << summary.failureViolationRate
             << '\n';
     }
+    if (summary.hasPrefixActivity()) {
+        out << "prefix_hit_fraction," << summary.prefixHitFraction
+            << '\n';
+        out << "prefix_tokens_saved_fraction,"
+            << summary.prefixTokensSavedFraction << '\n';
+        out << "mean_cached_prefix_tokens,"
+            << summary.meanCachedPrefixTokens << '\n';
+    }
     out << "p50_latency," << summary.p50Latency << '\n';
     out << "p95_latency," << summary.p95Latency << '\n';
     out << "p99_latency," << summary.p99Latency << '\n';
@@ -175,6 +183,13 @@ printSummary(const RunSummary &summary, const TierTable &tiers,
             << "%), mean retries: " << summary.meanRetries
             << ", failure-attributed violations: "
             << 100.0 * summary.failureViolationRate << "%\n";
+    }
+    if (summary.hasPrefixActivity()) {
+        out << "prefix cache: " << 100.0 * summary.prefixHitFraction
+            << "% of requests hit, "
+            << 100.0 * summary.prefixTokensSavedFraction
+            << "% of prompt tokens reused (mean "
+            << summary.meanCachedPrefixTokens << " tokens/request)\n";
     }
     out << "headline latency p50/p95/p99: " << summary.p50Latency
         << " / " << summary.p95Latency << " / " << summary.p99Latency

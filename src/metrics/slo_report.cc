@@ -90,6 +90,9 @@ summarize(const MetricsCollector &collector, double long_percentile)
     std::size_t exhausted = 0;
     std::size_t affected = 0, affected_viol = 0;
     std::int64_t total_retries = 0;
+    std::size_t prefix_hits = 0;
+    std::int64_t prefix_tokens = 0;
+    std::int64_t prompt_tokens = 0;
     std::vector<double> latencies;
     latencies.reserve(records.size());
 
@@ -116,6 +119,11 @@ summarize(const MetricsCollector &collector, double long_percentile)
         if (r.retryExhausted)
             ++exhausted;
         total_retries += r.retries;
+        prompt_tokens += r.spec.promptTokens;
+        if (r.cachedPrefixTokens > 0) {
+            ++prefix_hits;
+            prefix_tokens += r.cachedPrefixTokens;
+        }
         if (r.retries > 0 || r.retryExhausted) {
             ++affected;
             affected_viol += viol;
@@ -162,6 +170,13 @@ summarize(const MetricsCollector &collector, double long_percentile)
                       static_cast<double>(records.size());
     out.failureAffectedFraction = rate(affected, records.size());
     out.failureViolationRate = rate(affected_viol, records.size());
+    out.prefixHitFraction = rate(prefix_hits, records.size());
+    out.prefixTokensSavedFraction =
+        prompt_tokens == 0 ? 0.0
+                           : static_cast<double>(prefix_tokens) /
+                                 static_cast<double>(prompt_tokens);
+    out.meanCachedPrefixTokens = static_cast<double>(prefix_tokens) /
+                                 static_cast<double>(records.size());
 
     std::sort(latencies.begin(), latencies.end());
     out.p50Latency = percentileSorted(latencies, 50.0);
@@ -202,7 +217,8 @@ summarize(const MetricsCollector &collector, double long_percentile)
                          out.relegatedFraction, out.rejectedFraction,
                          out.retryExhaustedFraction, out.availability,
                          out.failureAffectedFraction,
-                         out.failureViolationRate}) {
+                         out.failureViolationRate, out.prefixHitFraction,
+                         out.prefixTokensSavedFraction}) {
             QOSERVE_ASSERT(r >= 0.0 && r <= 1.0,
                            "rate outside [0, 1]: ", r);
         }
@@ -215,6 +231,8 @@ summarize(const MetricsCollector &collector, double long_percentile)
                        "violations");
         QOSERVE_ASSERT(out.meanRetries >= 0.0,
                        "negative mean retry count");
+        QOSERVE_ASSERT(out.meanCachedPrefixTokens >= 0.0,
+                       "negative mean cached-prefix tokens");
     }
     return out;
 }

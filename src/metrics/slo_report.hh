@@ -127,6 +127,26 @@ struct RunSummary
     {
         return meanRetries > 0.0 || retryExhaustedFraction > 0.0;
     }
+
+    /** Fraction of requests served with a cached prefix attached
+     *  (shared-prefix KV cache hits). */
+    double prefixHitFraction = 0.0;
+
+    /** Prompt tokens served from the prefix cache instead of being
+     *  recomputed, as a fraction of all prompt tokens. */
+    double prefixTokensSavedFraction = 0.0;
+
+    /** Mean cached-prefix tokens per request, over all requests. */
+    double meanCachedPrefixTokens = 0.0;
+
+    /** True when any record reused a cached prefix; output writers
+     *  gate their prefix-cache sections on this so cache-off runs
+     *  keep their exact historical format. */
+    bool
+    hasPrefixActivity() const
+    {
+        return prefixHitFraction > 0.0;
+    }
 };
 
 /**

@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "audit/check_level.hh"
+#include "prefixcache/prefix_cache.hh"
 #include "simcore/logging.hh"
 
 namespace qoserve {
@@ -142,11 +143,12 @@ int
 ChunkedScheduler::kvCappedBudget(int policy_budget) const
 {
     // Reserve one token of KV growth per decoding request, then cap
-    // the chunk budget by the remaining KV space.
+    // the chunk budget by the remaining KV space. Evictable cached
+    // blocks count as available — grow() reclaims them on demand.
     std::int64_t reserved_blocks =
         static_cast<std::int64_t>(decodes_.size());
     std::int64_t free_tokens =
-        (env_.kv->freeBlocks() - reserved_blocks) *
+        (env_.kv->availableBlocks() - reserved_blocks) *
         env_.kv->blockTokens();
     return static_cast<int>(std::min<std::int64_t>(
         policy_budget, std::max<std::int64_t>(0, free_tokens)));
@@ -330,9 +332,19 @@ ChunkedScheduler::onBatchComplete(const Batch &batch, SimTime end)
           case RequestPhase::Decoding:
             partiallyPrefilled_.erase(req);
             decodes_.push_back(req);
+            // The prompt KV is now complete: offer its full blocks to
+            // the shared-prefix cache so later requests with the same
+            // prefix can skip recomputing them.
+            if (env_.prefixCache != nullptr)
+                env_.prefixCache->insert(req->id(), req->spec(), end);
             break;
           case RequestPhase::Finished:
             partiallyPrefilled_.erase(req);
+            // Single-token requests complete in the same iteration as
+            // their final chunk; cache their prompt before the KV is
+            // released (the blocks survive as cache-held copies).
+            if (env_.prefixCache != nullptr)
+                env_.prefixCache->insert(req->id(), req->spec(), end);
             finish(req);
             break;
           default:

@@ -68,6 +68,19 @@ Request::urgencyDeadline() const
 }
 
 void
+Request::attachCachedPrefix(int tokens)
+{
+    QOSERVE_ASSERT(phase_ == RequestPhase::WaitingPrefill &&
+                       prefillDone_ == 0,
+                   "cached-prefix attach on a request with progress");
+    QOSERVE_ASSERT(tokens > 0 && tokens < prefillTarget_,
+                   "cached prefix must leave prefill work: ", tokens,
+                   " of ", prefillTarget_);
+    prefillDone_ = tokens;
+    record_.cachedPrefixTokens = tokens;
+}
+
+void
 Request::applyPrefill(int tokens, SimTime now)
 {
     QOSERVE_ASSERT(phase_ == RequestPhase::WaitingPrefill ||
@@ -153,6 +166,9 @@ Request::resetAfterKvPreemption()
                    "cannot preempt a finished request");
     ++record_.kvPreemptions;
     prefillDone_ = 0;
+    // Preemption dropped the attached blocks with the rest of the KV;
+    // the recompute starts from scratch, so the credit is void.
+    record_.cachedPrefixTokens = 0;
     // A failure-resumed request keeps its delivered tokens: recompute
     // restarts at the same resume point, not from scratch.
     decodeDone_ = resumedTokens_;

@@ -58,6 +58,10 @@ struct RequestRecord
     /** Times the request was re-dispatched after a replica failure. */
     int retries = 0;
 
+    /** Prompt tokens served from the shared-prefix cache instead of
+     *  being prefilled (0 when the cache is off or missed). */
+    int cachedPrefixTokens = 0;
+
     /** True if the request was abandoned after exhausting its retry
      *  budget (it never finished; finishTime stays infinite). */
     bool retryExhausted = false;
@@ -178,6 +182,15 @@ class Request
      * (Eqs. 4-5 use arrival + SLO).
      */
     SimTime urgencyDeadline() const;
+
+    /**
+     * Credit @p tokens of prompt KV attached from the shared-prefix
+     * cache: prefill starts @p tokens in, so the scheduler's chunk
+     * solver and predictor see only the uncached suffix. Only valid
+     * before any progress was recorded, and must leave at least one
+     * real prefill token (the cache caps its attach accordingly).
+     */
+    void attachCachedPrefix(int tokens);
 
     /**
      * Record @p tokens of prefill progress at time @p now.

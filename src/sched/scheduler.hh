@@ -25,6 +25,7 @@
 namespace qoserve {
 
 class LatencyPredictor;
+class PrefixCache;
 
 /**
  * Shared services a scheduler needs from its replica.
@@ -39,6 +40,10 @@ struct SchedulerEnv
 
     /** Batch-latency predictor; may be null for fixed-chunk policies. */
     const LatencyPredictor *predictor = nullptr;
+
+    /** Shared-prefix cache; null or disabled when prefix caching is
+     *  off (the scheduler then never touches it). */
+    PrefixCache *prefixCache = nullptr;
 };
 
 /**

@@ -23,6 +23,24 @@
 namespace qoserve {
 
 /**
+ * One content-addressed span of a prompt.
+ *
+ * Two requests share KV-cacheable prefix content exactly as far as
+ * their segment lists agree token-by-token: equal contentId means
+ * equal token content for the whole segment (a system prompt drawn
+ * from a pool, or a previous conversation turn). Requests without
+ * segments are wholly unique.
+ */
+struct PromptSegment
+{
+    /** Opaque content identity (equal id == equal tokens). */
+    std::uint64_t contentId = 0;
+
+    /** Segment length in tokens; positive. */
+    int tokens = 0;
+};
+
+/**
  * Immutable description of a single request.
  */
 struct RequestSpec
@@ -48,6 +66,11 @@ struct RequestSpec
 
     /** Application id for decode-length history lookups. */
     int appId = 0;
+
+    /** Prompt content layout for prefix caching; empty means the
+     *  whole prompt is unique content. When non-empty the segment
+     *  token counts sum to promptTokens. */
+    std::vector<PromptSegment> promptSegments;
 };
 
 /**
@@ -92,6 +115,40 @@ struct Trace
 };
 
 /**
+ * Shared-prefix synthesis knobs (see TraceBuilder::sharedPrefix).
+ *
+ * A share-ratio fraction of requests draw a shared prompt prefix:
+ * either a fresh conversation opened on one of a pool of system
+ * prompts, or a continuation of an earlier conversation whose prompt
+ * re-sends the whole history (previous prompt + previous answer +
+ * a new user turn). Everything is sampled from a dedicated split of
+ * the trace seed, so traces stay replayable and requests outside the
+ * shared fraction are untouched.
+ */
+struct SharedPrefixConfig
+{
+    /** Fraction of requests given a shared prefix, in [0, 1];
+     *  0 disables synthesis entirely (and byte-identically). */
+    double shareRatio = 0.0;
+
+    /** Number of distinct system prompts in the pool. */
+    int numPools = 8;
+
+    /** System-prompt length range in tokens, inclusive. */
+    int poolTokensLo = 128;
+    int poolTokensHi = 1024;
+
+    /** Of the shared requests, the fraction that continue an earlier
+     *  conversation rather than opening a new one, in [0, 1]. */
+    double multiTurnFrac = 0.5;
+
+    bool enabled() const { return shareRatio > 0.0; }
+
+    /** Fatal on out-of-range values (user configuration). */
+    void validate() const;
+};
+
+/**
  * Builder that synthesises traces from a dataset model, a tier mix
  * and an arrival process.
  */
@@ -122,6 +179,9 @@ class TraceBuilder
     /** Root seed (default 42). */
     TraceBuilder &seed(std::uint64_t s);
 
+    /** Configure shared-prefix synthesis (default: disabled). */
+    TraceBuilder &sharedPrefix(SharedPrefixConfig cfg);
+
     /** Generate requests until @p duration of arrivals. */
     Trace build(const ArrivalProcess &arrivals,
                 SimDuration duration) const;
@@ -139,6 +199,7 @@ class TraceBuilder
     std::vector<double> tierMix_;
     double lowPriorityFraction_ = 0.0;
     std::uint64_t seed_ = 42;
+    SharedPrefixConfig sharedPrefix_;
 };
 
 /** Compute per-app decode statistics over a request list. */

@@ -21,6 +21,12 @@ namespace {
 const char *kHeader =
     "id,arrival,prompt_tokens,decode_tokens,tier_id,important,app_id";
 
+// Extended header used only when some request carries prompt
+// segments, so traces without them keep the historical byte format.
+const char *kHeaderSegments =
+    "id,arrival,prompt_tokens,decode_tokens,tier_id,important,app_id,"
+    "prompt_segments";
+
 std::vector<std::string>
 splitCsvLine(const std::string &line)
 {
@@ -97,18 +103,69 @@ parseFieldDouble(const std::string &value, const char *name,
     return parsed;
 }
 
+std::vector<PromptSegment>
+parseSegments(const std::string &value, std::size_t line_no)
+{
+    std::vector<PromptSegment> segments;
+    std::istringstream iss(value);
+    std::string item;
+    while (std::getline(iss, item, ';')) {
+        std::size_t colon = item.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= item.size()) {
+            fieldError(line_no, "prompt_segments", item,
+                       "expected contentId:tokens");
+        }
+        PromptSegment seg;
+        seg.contentId = parseFieldU64(item.substr(0, colon),
+                                      "prompt_segments", line_no);
+        seg.tokens = parseFieldInt(item.substr(colon + 1),
+                                   "prompt_segments", line_no);
+        if (seg.tokens <= 0) {
+            fieldError(line_no, "prompt_segments", item,
+                       "segment tokens must be positive");
+        }
+        segments.push_back(seg);
+    }
+    if (segments.empty()) {
+        fieldError(line_no, "prompt_segments", value,
+                   "expected '-' or contentId:tokens list");
+    }
+    return segments;
+}
+
 } // namespace
 
 void
 writeTraceCsv(const Trace &trace, std::ostream &out)
 {
-    out << kHeader << '\n';
+    bool segments = false;
+    for (const RequestSpec &r : trace.requests)
+        segments = segments || !r.promptSegments.empty();
+
+    out << (segments ? kHeaderSegments : kHeader) << '\n';
     // Full round-trip precision for timestamps.
     out << std::setprecision(std::numeric_limits<double>::max_digits10);
     for (const RequestSpec &r : trace.requests) {
         out << r.id << ',' << r.arrival << ',' << r.promptTokens << ','
             << r.decodeTokens << ',' << r.tierId << ','
-            << (r.important ? 1 : 0) << ',' << r.appId << '\n';
+            << (r.important ? 1 : 0) << ',' << r.appId;
+        if (segments) {
+            // contentId:tokens pairs joined by ';', or '-' for a
+            // wholly unique prompt.
+            out << ',';
+            if (r.promptSegments.empty()) {
+                out << '-';
+            } else {
+                for (std::size_t i = 0; i < r.promptSegments.size(); ++i) {
+                    if (i > 0)
+                        out << ';';
+                    out << r.promptSegments[i].contentId << ':'
+                        << r.promptSegments[i].tokens;
+                }
+            }
+        }
+        out << '\n';
     }
 }
 
@@ -134,9 +191,11 @@ readTraceCsv(std::istream &in, TierTable tiers)
     // Tolerate trailing carriage returns from foreign tools.
     if (!line.empty() && line.back() == '\r')
         line.pop_back();
-    if (line != kHeader)
+    bool segments = line == kHeaderSegments;
+    if (line != kHeader && !segments)
         QOSERVE_FATAL("bad trace header: expected '", kHeader, "', got '",
                       line, "'");
+    std::size_t expected_fields = segments ? 8 : 7;
 
     Trace trace;
     trace.tiers = std::move(tiers);
@@ -149,9 +208,11 @@ readTraceCsv(std::istream &in, TierTable tiers)
         if (line.empty())
             continue;
         auto fields = splitCsvLine(line);
-        if (fields.size() != 7)
-            QOSERVE_FATAL("trace line ", line_no, ": expected 7 fields, got ",
+        if (fields.size() != expected_fields) {
+            QOSERVE_FATAL("trace line ", line_no, ": expected ",
+                          expected_fields, " fields, got ",
                           fields.size());
+        }
         RequestSpec spec;
         spec.id = parseFieldU64(fields[0], "id", line_no);
         spec.arrival = parseFieldDouble(fields[1], "arrival", line_no);
@@ -163,6 +224,19 @@ readTraceCsv(std::istream &in, TierTable tiers)
         spec.important =
             parseFieldInt(fields[5], "important", line_no) != 0;
         spec.appId = parseFieldInt(fields[6], "app_id", line_no);
+        if (segments && fields[7] != "-")
+            spec.promptSegments = parseSegments(fields[7], line_no);
+        if (!spec.promptSegments.empty()) {
+            std::int64_t sum = 0;
+            for (const PromptSegment &s : spec.promptSegments)
+                sum += s.tokens;
+            if (sum != spec.promptTokens) {
+                QOSERVE_FATAL("trace line ", line_no,
+                              ": prompt segments sum to ", sum,
+                              " tokens but prompt_tokens is ",
+                              spec.promptTokens);
+            }
+        }
         if (spec.promptTokens <= 0 || spec.decodeTokens <= 0)
             QOSERVE_FATAL("trace line ", line_no,
                           ": token counts must be positive");

@@ -32,6 +32,19 @@ smallTrace(std::uint64_t seed = 7)
         .buildCount(PoissonArrivals(6.0), 150);
 }
 
+/** A trace where most requests share prompt prefixes. */
+Trace
+sharedPrefixTrace(std::uint64_t seed = 7)
+{
+    SharedPrefixConfig sp;
+    sp.shareRatio = 0.7;
+    sp.numPools = 4;
+    return TraceBuilder()
+        .seed(seed)
+        .sharedPrefix(sp)
+        .buildCount(PoissonArrivals(6.0), 150);
+}
+
 /** Describe retained violations for failure messages. */
 std::string
 describe(const InvariantAuditor &auditor)
@@ -57,6 +70,8 @@ expectCleanRun(const ServingConfig &cfg, const Trace &trace,
     ClusterSim::Config ccfg;
     ccfg.replica.hw = cfg.hw;
     ccfg.replica.perfParams = cfg.perfParams;
+    ccfg.replica.prefixCache = cfg.prefixCache;
+    ccfg.cacheAffinityRouting = cfg.cacheAffinityRouting;
     ccfg.predictor = predictor.get();
 
     ClusterSim sim(ccfg, trace);
@@ -165,6 +180,82 @@ TEST(AuditE2E, FaultedRunsAuditClean)
         EXPECT_TRUE(auditor.clean())
             << policyName(policy) << ": " << describe(auditor);
     }
+}
+
+TEST(AuditE2E, PrefixCacheRunsClean)
+{
+    // The full cached-prefill stack — radix tree, COW tails, LRU
+    // eviction, dedup at insert — audited every iteration at full
+    // level, including the tree-vs-block-table agreement check.
+    Trace trace = sharedPrefixTrace(19);
+    for (Policy policy : {Policy::QoServe, Policy::SarathiFcfs}) {
+        ServingConfig cfg;
+        cfg.policy = policy;
+        cfg.useForestPredictor = false;
+        cfg.prefixCache.enabled = true;
+        cfg.prefixCache.capacityFrac = 0.3;
+        expectCleanRun(cfg, trace,
+                       std::string("prefix-cache ") + policyName(policy));
+    }
+}
+
+TEST(AuditE2E, CacheAffinityClusterRunsClean)
+{
+    ServingConfig cfg;
+    cfg.policy = Policy::QoServe;
+    cfg.numReplicas = 2;
+    cfg.useForestPredictor = false;
+    cfg.prefixCache.enabled = true;
+    cfg.cacheAffinityRouting = true;
+    expectCleanRun(cfg, sharedPrefixTrace(29), "cache-affinity cluster");
+}
+
+TEST(AuditE2E, CrashDuringCachedPrefillRunsClean)
+{
+    // Crashes while the prefix cache is hot: the crash releases every
+    // shared block (audited by onReplicaCrash), the tree is dropped,
+    // and re-dispatched requests re-resolve their prefix against the
+    // surviving replica's cache. The run must stay clean end to end.
+    Trace trace = sharedPrefixTrace(41);
+    ServingConfig cfg;
+    cfg.policy = Policy::QoServe;
+    cfg.useForestPredictor = false;
+    cfg.prefixCache.enabled = true;
+    auto predictor = makePredictor(cfg);
+    ClusterSim::Config ccfg;
+    ccfg.replica.hw = cfg.hw;
+    ccfg.replica.perfParams = cfg.perfParams;
+    ccfg.replica.prefixCache = cfg.prefixCache;
+    ccfg.predictor = predictor.get();
+
+    ClusterSim sim(ccfg, trace);
+    InvariantAuditor::Options opts;
+    opts.level = audit::CheckLevel::Full;
+    opts.failFast = false;
+    InvariantAuditor auditor(opts);
+    sim.setAuditor(&auditor);
+    sim.addReplicaGroup(2, makeSchedulerFactory(cfg));
+
+    FaultConfig fc;
+    fc.crashMtbf = 8.0;
+    fc.crashMttr = 3.0;
+    fc.horizon = trace.requests.back().arrival;
+    FaultInjector injector(fc, sim);
+    sim.run();
+
+    ASSERT_GT(injector.stats().crashes, 0u);
+    EXPECT_TRUE(auditor.clean()) << describe(auditor);
+
+    // The caches were exercised: some crashed replica dropped a tree
+    // and lookups kept happening afterwards.
+    std::int64_t lookups = 0;
+    std::int64_t drops = 0;
+    for (std::size_t i = 0; i < sim.numReplicas(); ++i) {
+        lookups += sim.replica(i).prefixCache().stats().lookups;
+        drops += sim.replica(i).prefixCache().stats().treeDrops;
+    }
+    EXPECT_GT(lookups, 0);
+    EXPECT_GT(drops, 0);
 }
 
 TEST(AuditE2E, AutoAuditorInstalledWhenChecksCompiledIn)

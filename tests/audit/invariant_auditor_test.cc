@@ -17,6 +17,9 @@
 #include <vector>
 
 #include "kvcache/block_manager.hh"
+#include "model/perf_model.hh"
+#include "prefixcache/prefix_cache.hh"
+#include "sched/baseline_schedulers.hh"
 #include "sched/request.hh"
 #include "sched/scheduler.hh"
 #include "simcore/event_queue.hh"
@@ -253,6 +256,226 @@ TEST(InvariantAuditor, HealthyBlockManagerPasses)
     auto auditor = makeAuditor();
     auditor.checkBlockManager(kv, 0.0);
     EXPECT_TRUE(auditor.clean());
+}
+
+// --- Shared-block refcount conservation ----------------------------------
+
+/** A consistent snapshot: one shared block held by one owner plus
+ *  the cache (refs 2), one evictable block held by the cache alone. */
+KvSharedAuditView
+makeSharedView()
+{
+    KvSharedAuditView view;
+    view.blockTokens = 16;
+    view.owners.push_back({7, 16, {1}});
+    view.table = {{1, 2, true}, {2, 1, true}};
+    view.cacheHeldBlocks = 2;
+    view.evictableBlocks = 1;
+    view.cacheWatermark = 4;
+    return view;
+}
+
+TEST(InvariantAuditor, ConsistentSharedTableIsClean)
+{
+    auto auditor = makeAuditor();
+    auditor.checkSharedTable(makeSharedView(), 0.0);
+    EXPECT_TRUE(auditor.clean());
+}
+
+TEST(InvariantAuditor, DetectsMisalignedSharedTokens)
+{
+    auto view = makeSharedView();
+    view.owners[0].sharedTokens = 20; // Not a multiple of 16.
+    auto auditor = makeAuditor();
+    auditor.checkSharedTable(view, 0.0);
+    EXPECT_EQ(soleViolation(auditor), "kv-shared-refcount");
+}
+
+TEST(InvariantAuditor, DetectsDeadSharedBlockInTable)
+{
+    auto view = makeSharedView();
+    view.table[1].refs = 0;
+    view.evictableBlocks = 0; // Keep the tallies consistent.
+    auto auditor = makeAuditor();
+    auditor.checkSharedTable(view, 0.0);
+    EXPECT_EQ(soleViolation(auditor), "kv-shared-refcount");
+}
+
+TEST(InvariantAuditor, DetectsRefcountDrift)
+{
+    auto view = makeSharedView();
+    view.table[0].refs = 3; // One owner + the cache can only be 2.
+    auto auditor = makeAuditor();
+    auditor.checkSharedTable(view, 0.0);
+    EXPECT_EQ(soleViolation(auditor), "kv-shared-refcount");
+}
+
+TEST(InvariantAuditor, DetectsPhantomOwnerReference)
+{
+    auto view = makeSharedView();
+    // Owner claims a block the table says only the cache holds: its
+    // refcount (1) no longer covers owner + cache (2).
+    view.owners[0].sharedIds = {2};
+    auto auditor = makeAuditor();
+    auditor.checkSharedTable(view, 0.0);
+    // Both blocks now disagree (block 1 lost its owner, block 2
+    // gained one); every finding must be the refcount invariant.
+    EXPECT_EQ(soleViolation(auditor), "kv-shared-refcount");
+}
+
+TEST(InvariantAuditor, DetectsCacheHeldTallyDrift)
+{
+    auto view = makeSharedView();
+    view.cacheHeldBlocks = 3; // Table only shows 2.
+    auto auditor = makeAuditor();
+    auditor.checkSharedTable(view, 0.0);
+    EXPECT_EQ(soleViolation(auditor), "kv-shared-refcount");
+}
+
+TEST(InvariantAuditor, DetectsEvictableTallyDrift)
+{
+    auto view = makeSharedView();
+    view.evictableBlocks = 2; // Table only shows 1 (block 2).
+    auto auditor = makeAuditor();
+    auditor.checkSharedTable(view, 0.0);
+    EXPECT_EQ(soleViolation(auditor), "kv-shared-refcount");
+}
+
+TEST(InvariantAuditor, DetectsWatermarkOverrun)
+{
+    auto view = makeSharedView();
+    view.cacheWatermark = 1; // The cache holds 2.
+    auto auditor = makeAuditor();
+    auditor.checkSharedTable(view, 0.0);
+    EXPECT_EQ(soleViolation(auditor), "kv-cache-watermark");
+}
+
+TEST(InvariantAuditor, WatermarkOverrunOnLiveManager)
+{
+    // The one watermark corruption reachable through the real API:
+    // reconfiguring the watermark below the current holdings.
+    BlockManager kv(320, 16);
+    kv.setCacheWatermark(4);
+    ASSERT_TRUE(kv.grow(1, 48));
+    kv.convertToCached(1, 3);
+    kv.setCacheWatermark(2);
+    auto auditor = makeAuditor();
+    auditor.checkBlockManager(kv, 0.0);
+    EXPECT_EQ(soleViolation(auditor), "kv-cache-watermark");
+}
+
+TEST(InvariantAuditor, HealthySharedBlocksPassCheckBlockManager)
+{
+    BlockManager kv(320, 16);
+    kv.setCacheWatermark(8);
+    ASSERT_TRUE(kv.grow(1, 48));
+    auto ids = kv.convertToCached(1, 2);
+    kv.attachShared(2, ids);
+    kv.release(1);
+    auto auditor = makeAuditor();
+    auditor.checkBlockManager(kv, 0.0);
+    EXPECT_TRUE(auditor.clean());
+}
+
+TEST(InvariantAuditor, CheapLevelSkipsSharedTableWalk)
+{
+    auto view = makeSharedView();
+    view.table[0].refs = 3;
+    auto auditor = makeAuditor(audit::CheckLevel::Cheap);
+    auditor.checkSharedTable(view, 0.0);
+    EXPECT_TRUE(auditor.clean());
+}
+
+// --- Prefix-cache tree vs shared-block table ------------------------------
+
+TEST(InvariantAuditor, DetectsTreeBlockTheManagerDropped)
+{
+    // The cache's radix tree is built on one manager but audited
+    // against another that holds nothing: every tree block is a
+    // dangling reference.
+    BlockManager kv(320, 16);
+    PrefixCacheConfig cfg;
+    cfg.enabled = true;
+    PrefixCache cache(kv, cfg);
+    RequestSpec spec;
+    spec.id = 1;
+    spec.promptTokens = 32;
+    spec.promptSegments = {{7, 32}};
+    ASSERT_TRUE(kv.grow(1, 32));
+    cache.insert(1, spec, 1.0);
+    ASSERT_EQ(cache.nodeCount(), 2u);
+
+    BlockManager other(320, 16);
+    auto auditor = makeAuditor();
+    auditor.checkPrefixCache(cache, other, 0.0);
+    EXPECT_EQ(soleViolation(auditor), "prefix-tree-blocks");
+    EXPECT_EQ(auditor.violationCount(), 2u);
+}
+
+TEST(InvariantAuditor, DetectsCacheHeldBlockMissingFromTree)
+{
+    // Blocks enter the cache-held state behind the tree's back (a
+    // direct conversion): the tree has no node for them.
+    BlockManager kv(320, 16);
+    PrefixCacheConfig cfg;
+    cfg.enabled = true;
+    PrefixCache cache(kv, cfg);
+    ASSERT_TRUE(kv.grow(1, 32));
+    kv.convertToCached(1, 2);
+
+    auto auditor = makeAuditor();
+    auditor.checkPrefixCache(cache, kv, 0.0);
+    EXPECT_EQ(soleViolation(auditor), "prefix-tree-blocks");
+    EXPECT_EQ(auditor.violationCount(), 2u);
+}
+
+TEST(InvariantAuditor, ConsistentPrefixCachePasses)
+{
+    BlockManager kv(320, 16);
+    PrefixCacheConfig cfg;
+    cfg.enabled = true;
+    PrefixCache cache(kv, cfg);
+    RequestSpec spec;
+    spec.id = 1;
+    spec.promptTokens = 32;
+    spec.promptSegments = {{7, 32}};
+    ASSERT_TRUE(kv.grow(1, 32));
+    cache.insert(1, spec, 1.0);
+
+    auto auditor = makeAuditor();
+    auditor.checkPrefixCache(cache, kv, 0.0);
+    auditor.checkBlockManager(kv, 0.0);
+    EXPECT_TRUE(auditor.clean());
+}
+
+// --- Crash-release including shared blocks --------------------------------
+
+TEST(InvariantAuditor, CrashWithSurvivingSharedBlocksIsReported)
+{
+    BlockManager kv(1 << 14, 16);
+    kv.setCacheWatermark(8);
+    PerfModel perf(llama3_8b_a100_tp1());
+    SchedulerEnv env;
+    env.kv = &kv;
+    env.perf = &perf;
+    FcfsScheduler sched(env);
+
+    // A clean post-crash state passes...
+    auto auditor = makeAuditor();
+    auditor.onReplicaCrash(kv, sched, 0, 1.0);
+    EXPECT_TRUE(auditor.clean());
+
+    // ...but shared blocks surviving the crash-release are a leak.
+    ASSERT_TRUE(kv.grow(1, 32));
+    kv.convertToCached(1, 2);
+    kv.release(1); // Cache-held, evictable — and nothing else.
+    auto auditor2 = makeAuditor();
+    auditor2.onReplicaCrash(kv, sched, 0, 2.0);
+    EXPECT_FALSE(auditor2.clean());
+    bool saw_crash_release = false;
+    for (const auto &v : auditor2.violations())
+        saw_crash_release |= v.invariant == "kv-crash-release";
+    EXPECT_TRUE(saw_crash_release);
 }
 
 TEST(InvariantAuditor, DetectsClockRegression)

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for cache-affinity routing: the front door probes every
+ * replica's prefix cache and sends a request to the replica holding
+ * the longest cached prefix of its prompt, falling back to the
+ * group's load-balancing policy (with untouched state) on a miss.
+ */
+
+#include "cluster/cluster.hh"
+
+#include <gtest/gtest.h>
+
+#include "sched/baseline_schedulers.hh"
+
+namespace qoserve {
+namespace {
+
+SchedulerFactory
+fcfsFactory()
+{
+    return [](const SchedulerEnv &env) {
+        return std::make_unique<FcfsScheduler>(env);
+    };
+}
+
+ClusterSim::Config
+affinityConfig()
+{
+    ClusterSim::Config cfg;
+    cfg.replica.hw = llama3_8b_a100_tp1();
+    cfg.replica.prefixCache.enabled = true;
+    cfg.cacheAffinityRouting = true;
+    return cfg;
+}
+
+/** A request whose prompt opens with shared pool content. */
+RequestSpec
+pooledSpec(std::uint64_t id, SimTime arrival, std::uint64_t pool,
+           std::uint64_t turn)
+{
+    RequestSpec spec;
+    spec.id = id;
+    spec.arrival = arrival;
+    spec.promptSegments = {{pool, 128}, {turn, 100}};
+    spec.promptTokens = 228;
+    spec.decodeTokens = 2;
+    spec.tierId = 0;
+    return spec;
+}
+
+/** A wholly unique prompt (no segments). */
+RequestSpec
+uniqueSpec(std::uint64_t id, SimTime arrival)
+{
+    RequestSpec spec;
+    spec.id = id;
+    spec.arrival = arrival;
+    spec.promptTokens = 100;
+    spec.decodeTokens = 2;
+    spec.tierId = 0;
+    return spec;
+}
+
+TEST(CacheAffinity, RepeatPromptFollowsTheCachedPrefix)
+{
+    // Request 0 seeds replica 0's cache with pool content; request 1
+    // reuses that pool, so affinity must divert it to replica 0 even
+    // though round-robin would have sent it to replica 1. The miss
+    // pass must not advance the round-robin cursor, so the later
+    // unique request still lands on replica 1.
+    Trace trace;
+    trace.tiers = paperTierTable();
+    trace.requests.push_back(pooledSpec(0, 0.0, 77, 1001));
+    trace.requests.push_back(pooledSpec(1, 5.0, 77, 1002));
+    trace.requests.push_back(uniqueSpec(2, 10.0));
+    trace.appStats = computeAppStats(trace.requests);
+
+    ClusterSim sim(affinityConfig(), trace);
+    sim.addReplicaGroup(2, fcfsFactory(), LoadBalancePolicy::RoundRobin);
+    sim.run();
+
+    // Both pooled prompts on replica 0 (228 tokens each, the second
+    // with its cached prefix skipped), the unique one on replica 1.
+    auto t0 = sim.replica(0).scheduler().stats().prefillTokensScheduled;
+    auto t1 = sim.replica(1).scheduler().stats().prefillTokensScheduled;
+    EXPECT_LT(t0, 2u * 228u); // Cached prefix tokens were not re-run.
+    EXPECT_GT(t0, 228u);
+    EXPECT_EQ(t1, 100u);
+    EXPECT_GE(sim.replica(0).prefixCache().stats().hits, 1);
+    EXPECT_EQ(sim.replica(1).prefixCache().stats().hits, 0);
+}
+
+TEST(CacheAffinity, UniversalMissReducesToRoundRobin)
+{
+    // All-unique prompts never match any cache, so affinity routing
+    // must reproduce plain round-robin exactly: alternating replicas,
+    // identical per-replica token totals with the feature on or off.
+    Trace trace;
+    trace.tiers = paperTierTable();
+    for (int i = 0; i < 8; ++i)
+        trace.requests.push_back(
+            uniqueSpec(static_cast<std::uint64_t>(i), 1.0 * i));
+    trace.appStats = computeAppStats(trace.requests);
+
+    ClusterSim with(affinityConfig(), trace);
+    with.addReplicaGroup(2, fcfsFactory(), LoadBalancePolicy::RoundRobin);
+    with.run();
+
+    ClusterSim::Config plain;
+    plain.replica.hw = llama3_8b_a100_tp1();
+    ClusterSim without(plain, trace);
+    without.addReplicaGroup(2, fcfsFactory(),
+                            LoadBalancePolicy::RoundRobin);
+    without.run();
+
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_EQ(
+            with.replica(i).scheduler().stats().prefillTokensScheduled,
+            without.replica(i)
+                .scheduler()
+                .stats()
+                .prefillTokensScheduled)
+            << "replica " << i;
+        EXPECT_EQ(
+            with.replica(i).scheduler().stats().prefillTokensScheduled,
+            4u * 100u)
+            << "replica " << i;
+    }
+}
+
+TEST(CacheAffinity, DistinctPoolsPartitionAcrossReplicas)
+{
+    // Two interleaved prompt pools: round-robin seeds pool A on
+    // replica 0 and pool B on replica 1, after which affinity keeps
+    // every follow-up on its pool's home replica.
+    Trace trace;
+    trace.tiers = paperTierTable();
+    std::uint64_t id = 0;
+    for (int round = 0; round < 4; ++round) {
+        trace.requests.push_back(
+            pooledSpec(id, 3.0 * static_cast<double>(id), 500,
+                       2000 + id));
+        ++id;
+        trace.requests.push_back(
+            pooledSpec(id, 3.0 * static_cast<double>(id), 600,
+                       2000 + id));
+        ++id;
+    }
+    trace.appStats = computeAppStats(trace.requests);
+
+    ClusterSim sim(affinityConfig(), trace);
+    sim.addReplicaGroup(2, fcfsFactory(), LoadBalancePolicy::RoundRobin);
+    sim.run();
+
+    // Each replica served one cold prompt and three warm follow-ups
+    // of its own pool.
+    EXPECT_EQ(sim.replica(0).prefixCache().stats().hits, 3);
+    EXPECT_EQ(sim.replica(1).prefixCache().stats().hits, 3);
+    auto t0 = sim.replica(0).scheduler().stats().prefillTokensScheduled;
+    auto t1 = sim.replica(1).scheduler().stats().prefillTokensScheduled;
+    EXPECT_EQ(t0, t1);
+    EXPECT_LT(t0, 4u * 228u);
+}
+
+} // namespace
+} // namespace qoserve

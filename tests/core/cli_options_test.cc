@@ -55,6 +55,55 @@ TEST(CliOptions, ParsesFullInvocation)
     EXPECT_EQ(opts.summaryOut, "/tmp/s.csv");
 }
 
+TEST(CliOptions, PrefixCacheFlagsParse)
+{
+    CliOptions opts = parseCliOptions({
+        "--prefix-cache", "--cache-capacity-frac", "0.4",
+        "--cache-affinity", "--share-ratio", "0.6", "--prefix-pools",
+        "16", "--multi-turn", "0.3",
+    });
+    EXPECT_TRUE(opts.serving.prefixCache.enabled);
+    EXPECT_DOUBLE_EQ(opts.serving.prefixCache.capacityFrac, 0.4);
+    EXPECT_TRUE(opts.serving.cacheAffinityRouting);
+    EXPECT_DOUBLE_EQ(opts.sharedPrefix.shareRatio, 0.6);
+    EXPECT_EQ(opts.sharedPrefix.numPools, 16);
+    EXPECT_DOUBLE_EQ(opts.sharedPrefix.multiTurnFrac, 0.3);
+}
+
+TEST(CliOptions, PrefixCacheDefaultsOff)
+{
+    CliOptions opts = parseCliOptions({});
+    EXPECT_FALSE(opts.serving.prefixCache.enabled);
+    EXPECT_FALSE(opts.serving.cacheAffinityRouting);
+    EXPECT_DOUBLE_EQ(opts.sharedPrefix.shareRatio, 0.0);
+    EXPECT_NE(cliUsage().find("--prefix-cache"), std::string::npos);
+    EXPECT_NE(cliUsage().find("--share-ratio"), std::string::npos);
+}
+
+TEST(CliOptions, CacheAffinityRequiresPrefixCache)
+{
+    EXPECT_DEATH(parseCliOptions({"--cache-affinity"}),
+                 "requires --prefix-cache");
+}
+
+TEST(CliOptions, PrefixCacheRangeValidation)
+{
+    EXPECT_DEATH(
+        parseCliOptions({"--prefix-cache", "--cache-capacity-frac", "0"}),
+        "capacity fraction");
+    EXPECT_DEATH(
+        parseCliOptions(
+            {"--prefix-cache", "--cache-capacity-frac", "1.5"}),
+        "capacity fraction");
+    EXPECT_DEATH(parseCliOptions({"--share-ratio", "2"}), "share ratio");
+    EXPECT_DEATH(
+        parseCliOptions({"--share-ratio", "0.5", "--prefix-pools", "0"}),
+        "pool count");
+    EXPECT_DEATH(
+        parseCliOptions({"--share-ratio", "0.5", "--multi-turn", "-1"}),
+        "multi-turn fraction");
+}
+
 TEST(CliOptions, HelpFlag)
 {
     EXPECT_TRUE(parseCliOptions({"--help"}).helpRequested);

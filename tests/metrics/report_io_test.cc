@@ -119,6 +119,80 @@ TEST(ReportIo, SummaryCsvEmitsFaultRowsWhenRetriesHappened)
     }
 }
 
+TEST(ReportIo, SummaryCsvOmitsPrefixRowsWithoutCacheActivity)
+{
+    // A cache-off run's summary must keep the exact historical
+    // format: no prefix-cache rows.
+    MetricsCollector collector(paperTierTable());
+    collector.record(makeRecord(0, 0, 2.0, 3.0));
+    std::stringstream out;
+    writeSummaryCsv(summarize(collector), out);
+    EXPECT_EQ(out.str().find("prefix"), std::string::npos);
+}
+
+TEST(ReportIo, SummaryCsvEmitsPrefixRowsWhenPrefixesReused)
+{
+    MetricsCollector collector(paperTierTable());
+    RequestRecord rec = makeRecord(0, 0, 2.0, 3.0);
+    rec.cachedPrefixTokens = 50;
+    collector.record(rec);
+    collector.record(makeRecord(1, 0, 2.0, 3.0));
+
+    std::stringstream out;
+    writeSummaryCsv(summarize(collector), out);
+    std::string text = out.str();
+    // One of two requests hit; 50 of 200 prompt tokens were reused.
+    for (const char *key :
+         {"prefix_hit_fraction,0.5", "prefix_tokens_saved_fraction,0.25",
+          "mean_cached_prefix_tokens,25"}) {
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(ReportIo, SummaryCsvRoundTripsPrefixRows)
+{
+    MetricsCollector collector(paperTierTable());
+    RequestRecord rec = makeRecord(0, 0, 2.0, 3.0);
+    rec.cachedPrefixTokens = 64;
+    collector.record(rec);
+    collector.record(makeRecord(1, 1, 5.0, 700.0));
+    RunSummary summary = summarize(collector);
+
+    std::stringstream buffer;
+    writeSummaryCsv(summary, buffer);
+    std::vector<SummaryCsvRow> rows = readSummaryCsv(buffer);
+
+    auto lookup = [&](const std::string &key) -> double {
+        for (const SummaryCsvRow &row : rows)
+            if (row.key == key)
+                return row.value;
+        ADD_FAILURE() << "missing key " << key;
+        return -1.0;
+    };
+    EXPECT_EQ(lookup("prefix_hit_fraction"), summary.prefixHitFraction);
+    EXPECT_EQ(lookup("prefix_tokens_saved_fraction"),
+              summary.prefixTokensSavedFraction);
+    EXPECT_EQ(lookup("mean_cached_prefix_tokens"),
+              summary.meanCachedPrefixTokens);
+}
+
+TEST(ReportIo, PrintSummaryPrefixLineIsGatedOnActivity)
+{
+    MetricsCollector off(paperTierTable());
+    off.record(makeRecord(0, 0, 2.0, 3.0));
+    std::stringstream quiet;
+    printSummary(summarize(off), off.tiers(), quiet);
+    EXPECT_EQ(quiet.str().find("prefix cache"), std::string::npos);
+
+    MetricsCollector on(paperTierTable());
+    RequestRecord rec = makeRecord(0, 0, 2.0, 3.0);
+    rec.cachedPrefixTokens = 50;
+    on.record(rec);
+    std::stringstream loud;
+    printSummary(summarize(on), on.tiers(), loud);
+    EXPECT_NE(loud.str().find("prefix cache"), std::string::npos);
+}
+
 TEST(ReportIo, SummaryCsvRoundTrips)
 {
     MetricsCollector collector(paperTierTable());

@@ -151,6 +151,73 @@ TEST(ParallelDeterminism, FaultSweepIsIdenticalAcrossJobCounts)
     EXPECT_TRUE(saw_faults);
 }
 
+/**
+ * A prefix-cache sweep: (capacity fraction, affinity routing) grid
+ * over a heavily shared trace. Cache state — radix tree, LRU order,
+ * eviction victims — lives entirely inside each simulation, so the
+ * summaries (including the cache-derived rows) must be bit-identical
+ * at every job count.
+ */
+std::vector<RunSummary>
+prefixCacheSweep(int jobs)
+{
+    const double fracs[] = {0.2, 0.6};
+    const bool affinity[] = {false, true};
+    struct Point
+    {
+        double frac;
+        bool affinity;
+    };
+    std::vector<Point> points;
+    for (double f : fracs)
+        for (bool a : affinity)
+            points.push_back({f, a});
+
+    return par::parallelMap(jobs, points.size(), [&](std::size_t i) {
+        SharedPrefixConfig sp;
+        sp.shareRatio = 0.6;
+        sp.numPools = 4;
+        Trace trace = TraceBuilder()
+                          .dataset(azureCode())
+                          .seed(17)
+                          .sharedPrefix(sp)
+                          .buildCount(PoissonArrivals(4.0), 150);
+        ServingConfig cfg;
+        cfg.policy = Policy::QoServe;
+        cfg.useForestPredictor = false;
+        cfg.numReplicas = 2;
+        cfg.prefixCache.enabled = true;
+        cfg.prefixCache.capacityFrac = points[i].frac;
+        cfg.cacheAffinityRouting = points[i].affinity;
+        return ServingSystem(cfg).serve(trace);
+    });
+}
+
+TEST(ParallelDeterminism, PrefixCacheSweepIsIdenticalAcrossJobCounts)
+{
+    std::vector<RunSummary> serial = prefixCacheSweep(1);
+    std::vector<RunSummary> parallel = prefixCacheSweep(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const std::string what = "cache point " + std::to_string(i);
+        expectIdentical(serial[i], parallel[i], what);
+        EXPECT_EQ(serial[i].prefixHitFraction,
+                  parallel[i].prefixHitFraction)
+            << what;
+        EXPECT_EQ(serial[i].prefixTokensSavedFraction,
+                  parallel[i].prefixTokensSavedFraction)
+            << what;
+        EXPECT_EQ(serial[i].meanCachedPrefixTokens,
+                  parallel[i].meanCachedPrefixTokens)
+            << what;
+    }
+    // The sweep really exercised the cache: shared prompts hit.
+    for (const RunSummary &s : serial) {
+        EXPECT_EQ(s.count, 150u);
+        EXPECT_GT(s.prefixHitFraction, 0.0);
+    }
+}
+
 /** Noisy nonlinear training set for the forest tests. */
 std::vector<TrainSample>
 makeTrainingData(int n, std::uint64_t seed)

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 namespace qoserve {
@@ -153,6 +154,108 @@ TEST(TraceIo, EmptyFieldIsFatal)
         "0,1.0,100,,0,1,0\n");
     EXPECT_DEATH(readTraceCsv(in, paperTierTable()),
                  "field 'decode_tokens'");
+}
+
+TEST(TraceIo, HeaderStaysLegacyWithoutSegments)
+{
+    // Traces without prompt segments must keep the historical byte
+    // format: 7-column header, no trailing column.
+    Trace original =
+        TraceBuilder().seed(8).buildCount(PoissonArrivals(3.0), 10);
+    std::stringstream buffer;
+    writeTraceCsv(original, buffer);
+    std::string header;
+    ASSERT_TRUE(std::getline(buffer, header));
+    EXPECT_EQ(header,
+              "id,arrival,prompt_tokens,decode_tokens,tier_id,"
+              "important,app_id");
+    std::string row;
+    ASSERT_TRUE(std::getline(buffer, row));
+    EXPECT_EQ(std::count(row.begin(), row.end(), ','), 6);
+}
+
+TEST(TraceIo, SegmentsRoundTrip)
+{
+    SharedPrefixConfig sp;
+    sp.shareRatio = 0.6;
+    sp.numPools = 3;
+    Trace original = TraceBuilder()
+                         .seed(9)
+                         .sharedPrefix(sp)
+                         .buildCount(PoissonArrivals(4.0), 400);
+
+    std::stringstream buffer;
+    writeTraceCsv(original, buffer);
+    std::string header;
+    ASSERT_TRUE(std::getline(buffer, header));
+    EXPECT_EQ(header,
+              "id,arrival,prompt_tokens,decode_tokens,tier_id,"
+              "important,app_id,prompt_segments");
+    buffer.seekg(0);
+
+    Trace parsed = readTraceCsv(buffer, paperTierTable());
+    ASSERT_EQ(parsed.requests.size(), original.requests.size());
+    for (std::size_t i = 0; i < parsed.requests.size(); ++i) {
+        const RequestSpec &a = original.requests[i];
+        const RequestSpec &b = parsed.requests[i];
+        EXPECT_EQ(a.promptTokens, b.promptTokens);
+        ASSERT_EQ(a.promptSegments.size(), b.promptSegments.size());
+        for (std::size_t s = 0; s < a.promptSegments.size(); ++s) {
+            EXPECT_EQ(a.promptSegments[s].contentId,
+                      b.promptSegments[s].contentId);
+            EXPECT_EQ(a.promptSegments[s].tokens,
+                      b.promptSegments[s].tokens);
+        }
+    }
+}
+
+TEST(TraceIo, DashMarksUniquePromptsInSegmentTraces)
+{
+    // In a trace that has any segments, segment-free requests carry
+    // '-' in the extra column and read back as wholly unique.
+    std::stringstream in(
+        "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
+        "app_id,prompt_segments\n"
+        "0,1.0,300,10,0,1,0,7:200;9:100\n"
+        "1,2.0,150,10,0,1,0,-\n");
+    Trace trace = readTraceCsv(in, paperTierTable());
+    ASSERT_EQ(trace.requests.size(), 2u);
+    ASSERT_EQ(trace.requests[0].promptSegments.size(), 2u);
+    EXPECT_EQ(trace.requests[0].promptSegments[0].contentId, 7u);
+    EXPECT_EQ(trace.requests[0].promptSegments[0].tokens, 200);
+    EXPECT_EQ(trace.requests[0].promptSegments[1].contentId, 9u);
+    EXPECT_EQ(trace.requests[0].promptSegments[1].tokens, 100);
+    EXPECT_TRUE(trace.requests[1].promptSegments.empty());
+}
+
+TEST(TraceIo, SegmentSumMismatchIsFatal)
+{
+    std::stringstream in(
+        "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
+        "app_id,prompt_segments\n"
+        "0,1.0,300,10,0,1,0,7:200;9:50\n");
+    EXPECT_DEATH(readTraceCsv(in, paperTierTable()),
+                 "prompt segments sum to 250");
+}
+
+TEST(TraceIo, MalformedSegmentIsFatal)
+{
+    std::stringstream in(
+        "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
+        "app_id,prompt_segments\n"
+        "0,1.0,300,10,0,1,0,7-300\n");
+    EXPECT_DEATH(readTraceCsv(in, paperTierTable()),
+                 "expected contentId:tokens");
+}
+
+TEST(TraceIo, NonPositiveSegmentTokensAreFatal)
+{
+    std::stringstream in(
+        "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
+        "app_id,prompt_segments\n"
+        "0,1.0,300,10,0,1,0,7:300;9:0\n");
+    EXPECT_DEATH(readTraceCsv(in, paperTierTable()),
+                 "segment tokens must be positive");
 }
 
 TEST(TraceIo, FileRoundTrip)

@@ -130,6 +130,194 @@ TEST(TraceBuilder, AppStatsReflectDecodeDistribution)
     }
 }
 
+TEST(TraceBuilder, SharedPrefixSegmentsSumToPromptTokens)
+{
+    SharedPrefixConfig sp;
+    sp.shareRatio = 0.6;
+    Trace trace = TraceBuilder()
+                      .seed(13)
+                      .sharedPrefix(sp)
+                      .buildCount(PoissonArrivals(5.0), 4000);
+    int shared = 0;
+    for (const auto &r : trace.requests) {
+        if (r.promptSegments.empty())
+            continue;
+        ++shared;
+        std::int64_t sum = 0;
+        for (const auto &s : r.promptSegments) {
+            EXPECT_GT(s.tokens, 0);
+            sum += s.tokens;
+        }
+        EXPECT_EQ(sum, r.promptTokens);
+    }
+    EXPECT_NEAR(shared / 4000.0, 0.6, 0.03);
+}
+
+TEST(TraceBuilder, SharedPrefixDrawsSystemPromptsFromPool)
+{
+    SharedPrefixConfig sp;
+    sp.shareRatio = 0.5;
+    sp.numPools = 4;
+    sp.multiTurnFrac = 0.0; // Fresh conversations only.
+    Trace trace = TraceBuilder()
+                      .seed(14)
+                      .sharedPrefix(sp)
+                      .buildCount(PoissonArrivals(5.0), 2000);
+    // Every shared request opens on one of numPools system prompts:
+    // segment 0 repeats across requests, so at most 4 distinct
+    // (contentId, tokens) pairs appear in the lead position.
+    std::vector<std::uint64_t> leads;
+    for (const auto &r : trace.requests) {
+        if (r.promptSegments.empty())
+            continue;
+        ASSERT_EQ(r.promptSegments.size(), 2u);
+        std::uint64_t lead = r.promptSegments[0].contentId;
+        bool seen = false;
+        for (std::uint64_t l : leads)
+            seen = seen || l == lead;
+        if (!seen)
+            leads.push_back(lead);
+    }
+    EXPECT_GT(leads.size(), 1u);
+    EXPECT_LE(leads.size(), 4u);
+}
+
+TEST(TraceBuilder, MultiTurnContinuationExtendsAnEarlierPrompt)
+{
+    SharedPrefixConfig sp;
+    sp.shareRatio = 0.7;
+    sp.numPools = 2;
+    sp.multiTurnFrac = 0.8;
+    Trace trace = TraceBuilder()
+                      .seed(15)
+                      .sharedPrefix(sp)
+                      .buildCount(PoissonArrivals(5.0), 1500);
+
+    // A continuation re-sends the whole parent conversation: its
+    // segment list must start with an earlier request's full segment
+    // list, extended by exactly the answer and the new user turn.
+    auto key = [](const std::vector<PromptSegment> &segs) {
+        std::uint64_t h = segs.size();
+        for (const auto &s : segs) {
+            h = h * 1000003 + s.contentId;
+            h = h * 1000003 + static_cast<std::uint64_t>(s.tokens);
+        }
+        return h;
+    };
+    std::vector<std::uint64_t> prior_prompts;
+    int continuations = 0;
+    for (const auto &r : trace.requests) {
+        const auto &segs = r.promptSegments;
+        if (segs.empty())
+            continue;
+        if (segs.size() > 2u) {
+            ++continuations;
+            EXPECT_EQ(segs.size() % 2, 0u);
+            std::vector<PromptSegment> parent(segs.begin(),
+                                              segs.end() - 2);
+            std::uint64_t parent_key = key(parent);
+            bool found = false;
+            for (std::uint64_t k : prior_prompts)
+                found = found || k == parent_key;
+            EXPECT_TRUE(found)
+                << "continuation without a matching parent prompt";
+        }
+        prior_prompts.push_back(key(segs));
+    }
+    EXPECT_GT(continuations, 100);
+}
+
+TEST(TraceBuilder, SharedPrefixDeterministicForSameSeed)
+{
+    SharedPrefixConfig sp;
+    sp.shareRatio = 0.5;
+    auto make = [&sp] {
+        return TraceBuilder().seed(16).sharedPrefix(sp).buildCount(
+            PoissonArrivals(5.0), 800);
+    };
+    Trace a = make();
+    Trace b = make();
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        const auto &ra = a.requests[i];
+        const auto &rb = b.requests[i];
+        EXPECT_EQ(ra.promptTokens, rb.promptTokens);
+        ASSERT_EQ(ra.promptSegments.size(), rb.promptSegments.size());
+        for (std::size_t s = 0; s < ra.promptSegments.size(); ++s) {
+            EXPECT_EQ(ra.promptSegments[s].contentId,
+                      rb.promptSegments[s].contentId);
+            EXPECT_EQ(ra.promptSegments[s].tokens,
+                      rb.promptSegments[s].tokens);
+        }
+    }
+}
+
+TEST(TraceBuilder, ZeroShareRatioMatchesPlainBuilderExactly)
+{
+    // shareRatio 0 must disable synthesis byte-identically: the same
+    // seed with and without the (inert) config yields the same trace.
+    Trace plain =
+        TraceBuilder().seed(17).buildCount(PoissonArrivals(5.0), 600);
+    SharedPrefixConfig sp;
+    sp.shareRatio = 0.0;
+    Trace gated = TraceBuilder().seed(17).sharedPrefix(sp).buildCount(
+        PoissonArrivals(5.0), 600);
+    ASSERT_EQ(plain.requests.size(), gated.requests.size());
+    for (std::size_t i = 0; i < plain.requests.size(); ++i) {
+        const auto &ra = plain.requests[i];
+        const auto &rb = gated.requests[i];
+        EXPECT_EQ(ra.arrival, rb.arrival);
+        EXPECT_EQ(ra.promptTokens, rb.promptTokens);
+        EXPECT_EQ(ra.decodeTokens, rb.decodeTokens);
+        EXPECT_EQ(ra.tierId, rb.tierId);
+        EXPECT_EQ(ra.important, rb.important);
+        EXPECT_TRUE(rb.promptSegments.empty());
+    }
+}
+
+TEST(TraceBuilder, SharedPrefixLeavesBaseStreamsUntouched)
+{
+    // Prefix synthesis draws from its own seed split: enabling it
+    // must not perturb arrivals, decode lengths, tiers or priority,
+    // and only prepends tokens to shared prompts.
+    Trace plain =
+        TraceBuilder().seed(18).buildCount(PoissonArrivals(5.0), 600);
+    SharedPrefixConfig sp;
+    sp.shareRatio = 0.5;
+    Trace shared = TraceBuilder().seed(18).sharedPrefix(sp).buildCount(
+        PoissonArrivals(5.0), 600);
+    ASSERT_EQ(plain.requests.size(), shared.requests.size());
+    for (std::size_t i = 0; i < plain.requests.size(); ++i) {
+        const auto &ra = plain.requests[i];
+        const auto &rb = shared.requests[i];
+        EXPECT_EQ(ra.arrival, rb.arrival);
+        EXPECT_EQ(ra.decodeTokens, rb.decodeTokens);
+        EXPECT_EQ(ra.tierId, rb.tierId);
+        EXPECT_EQ(ra.important, rb.important);
+        if (rb.promptSegments.empty())
+            EXPECT_EQ(ra.promptTokens, rb.promptTokens);
+        else
+            EXPECT_GT(rb.promptTokens, ra.promptTokens);
+    }
+}
+
+TEST(SharedPrefixConfig, ValidateRejectsBadRanges)
+{
+    SharedPrefixConfig sp;
+    sp.shareRatio = 1.5;
+    EXPECT_DEATH(sp.validate(), "share ratio");
+    sp.shareRatio = 0.5;
+    sp.numPools = 0;
+    EXPECT_DEATH(sp.validate(), "pool count");
+    sp.numPools = 4;
+    sp.poolTokensLo = 256;
+    sp.poolTokensHi = 128;
+    EXPECT_DEATH(sp.validate(), "pool token range");
+    sp.poolTokensHi = 512;
+    sp.multiTurnFrac = -0.1;
+    EXPECT_DEATH(sp.validate(), "multi-turn fraction");
+}
+
 TEST(ComputeAppStats, MeanAndStddevExact)
 {
     std::vector<RequestSpec> reqs(4);

@@ -46,12 +46,20 @@ main(int argc, char **argv)
                     .tiers(opts.tiers)
                     .tierMix(opts.tierMix)
                     .lowPriorityFraction(opts.lowPriorityFraction)
+                    .sharedPrefix(opts.sharedPrefix)
                     .seed(opts.seed)
                     .build(PoissonArrivals(opts.qps), opts.duration);
         std::cerr << "synthesized " << trace.requests.size()
                   << " requests (" << opts.dataset.name << " at "
                   << opts.qps << " QPS over " << opts.duration
                   << " s)\n";
+        if (opts.sharedPrefix.enabled()) {
+            std::cerr << "shared prefixes: ratio "
+                      << opts.sharedPrefix.shareRatio << ", "
+                      << opts.sharedPrefix.numPools
+                      << " prompt pools, multi-turn fraction "
+                      << opts.sharedPrefix.multiTurnFrac << "\n";
+        }
     }
     if (opts.traceOut)
         writeTraceCsvFile(trace, *opts.traceOut);
@@ -64,10 +72,20 @@ main(int argc, char **argv)
               << opts.serving.hw.tpDegree << "), "
               << loadBalanceName(opts.loadBalance) << " balancing\n";
 
+    if (opts.serving.prefixCache.enabled) {
+        std::cerr << "prefix cache: capacity frac "
+                  << opts.serving.prefixCache.capacityFrac
+                  << ", affinity routing "
+                  << (opts.serving.cacheAffinityRouting ? "on" : "off")
+                  << "\n";
+    }
+
     auto predictor = makePredictor(opts.serving);
     ClusterSim::Config cc;
     cc.replica.hw = opts.serving.hw;
     cc.replica.perfParams = opts.serving.perfParams;
+    cc.replica.prefixCache = opts.serving.prefixCache;
+    cc.cacheAffinityRouting = opts.serving.cacheAffinityRouting;
     cc.predictor = predictor.get();
     cc.retry = opts.retry;
     cc.healthAwareRouting = opts.healthAwareRouting;
@@ -118,6 +136,26 @@ main(int argc, char **argv)
         std::cout << "recovery: " << sim.redispatches()
                   << " re-dispatches, " << sim.retriesExhausted()
                   << " retry budgets exhausted\n";
+    }
+    if (opts.serving.prefixCache.enabled) {
+        PrefixCacheStats agg;
+        for (std::size_t i = 0; i < sim.numReplicas(); ++i) {
+            const PrefixCacheStats &s =
+                sim.replica(i).prefixCache().stats();
+            agg.lookups += s.lookups;
+            agg.hits += s.hits;
+            agg.tokensAttached += s.tokensAttached;
+            agg.cowCopies += s.cowCopies;
+            agg.blocksInserted += s.blocksInserted;
+            agg.blocksEvicted += s.blocksEvicted;
+        }
+        std::cout << "prefix cache: " << agg.hits << "/" << agg.lookups
+                  << " lookups hit, " << agg.tokensAttached
+                  << " prompt tokens reused, " << agg.cowCopies
+                  << " COW copies\n";
+        std::cout << "cache blocks: " << agg.blocksInserted
+                  << " inserted, " << agg.blocksEvicted
+                  << " evicted\n";
     }
 
     if (opts.recordsOut)
