@@ -64,10 +64,13 @@ AdmissionController::admit(const RequestSpec &spec, SimTime now,
         ok = target.pendingPrefillTokens() < cfg_.maxBacklogTokens;
         break;
     }
-    if (ok)
+    if (ok) {
         ++admitted_;
-    else
+    } else {
         ++rejected_;
+        if (trace_ != nullptr)
+            trace_->emit(TraceEventKind::AdmissionReject, spec.id);
+    }
     return ok;
 }
 

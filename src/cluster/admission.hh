@@ -70,8 +70,13 @@ class AdmissionController
     /** Requests admitted so far. */
     std::uint64_t admitted() const { return admitted_; }
 
+    /** Attach the cluster's trace handle (not owned; null detaches)
+     *  so rejections appear in the lifecycle trace. */
+    void setTrace(const TraceScope *trace) { trace_ = trace; }
+
   private:
     Config cfg_;
+    const TraceScope *trace_ = nullptr;
     double bucket_;
     SimTime lastRefill_ = 0.0;
     std::uint64_t rejected_ = 0;

@@ -43,6 +43,17 @@ ClusterSim::setAuditor(InvariantAuditor *auditor)
         replica->attachAuditor(auditor_);
 }
 
+void
+ClusterSim::setTraceSink(TraceSink *sink)
+{
+    traceScope_.sink = sink;
+    traceScope_.clock = &eq_;
+    traceScope_.replica = -1;
+    admission_.setTrace(&traceScope_);
+    for (std::size_t i = 0; i < replicas_.size(); ++i)
+        replicas_[i]->setTraceSink(sink, static_cast<int>(i));
+}
+
 const char *
 loadBalanceName(LoadBalancePolicy policy)
 {
@@ -77,6 +88,10 @@ ClusterSim::addReplicaGroup(int count, const SchedulerFactory &factory,
             [this](const RequestFailureSnapshot &snap) {
                 requeue(snap);
             });
+        if (traceScope_.sink != nullptr) {
+            replica->setTraceSink(traceScope_.sink,
+                                  static_cast<int>(replicas_.size()));
+        }
         group.replicaIdx.push_back(replicas_.size());
         replicas_.push_back(std::move(replica));
     }
@@ -186,6 +201,7 @@ void
 ClusterSim::injectArrival(std::size_t index)
 {
     const RequestSpec &spec = trace_.requests[index];
+    traceScope_.emit(TraceEventKind::Arrival, spec.id);
     Group &group = groups_[tierRoute_[spec.tierId]];
     std::size_t replica_idx = pickReplica(group, spec);
     if (replica_idx == kNoReplica ||
@@ -200,6 +216,8 @@ ClusterSim::injectArrival(std::size_t index)
         requeue(std::move(snap));
     } else if (admission_.admit(spec, eq_.now(),
                                 replicas_[replica_idx]->scheduler())) {
+        traceScope_.emitOn(static_cast<int>(replica_idx),
+                           TraceEventKind::Dispatch, spec.id);
         replicas_[replica_idx]->submit(spec);
     } else {
         // Rejected outright: record an un-served request (infinite
@@ -231,6 +249,8 @@ ClusterSim::requeue(RequestFailureSnapshot snap)
     SimDuration delay = cfg_.retry.backoffFor(snap.retries);
     snap.retries += 1;
     ++redispatches_;
+    traceScope_.emit(TraceEventKind::RetryQueued, snap.spec.id,
+                     snap.retries);
     eq_.scheduleAfter(delay, [this, snap = std::move(snap)]() {
         redispatch(snap);
     });
@@ -249,6 +269,9 @@ ClusterSim::redispatch(RequestFailureSnapshot snap)
         requeue(std::move(snap));
         return;
     }
+    traceScope_.emitOn(static_cast<int>(replica_idx),
+                       TraceEventKind::Dispatch, snap.spec.id,
+                       snap.retries);
     replicas_[replica_idx]->resubmit(snap);
 }
 
@@ -268,6 +291,8 @@ ClusterSim::recordExhausted(const RequestFailureSnapshot &snap)
     rec.retries = snap.retries;
     rec.retryExhausted = true;
     ++retriesExhausted_;
+    traceScope_.emit(TraceEventKind::RetryExhausted, snap.spec.id,
+                     snap.retries);
     if (auditor_ != nullptr)
         auditor_->checkRecord(rec, trace_.tiers);
     metrics_.record(rec);

@@ -175,6 +175,19 @@ class ClusterSim
      */
     void setAuditor(InvariantAuditor *auditor);
 
+    /**
+     * Attach a lifecycle trace sink (not owned; null detaches).
+     * Propagates to every replica, present and future — the front
+     * door, admission controller, schedulers, and fault injector all
+     * emit through it. With no sink attached every emission site is
+     * an inlined null check.
+     */
+    void setTraceSink(TraceSink *sink);
+
+    /** The attached trace sink, or null (the fault injector's way
+     *  in). */
+    TraceSink *traceSink() const { return traceScope_.sink; }
+
   private:
     struct Group
     {
@@ -213,6 +226,9 @@ class ClusterSim
     std::vector<int> tierRoute_;
     MetricsCollector metrics_;
     AdmissionController admission_;
+
+    /** Front-door trace handle (replica -1); replicas own their own. */
+    TraceScope traceScope_;
     bool ran_ = false;
     std::uint64_t retriesExhausted_ = 0;
     std::uint64_t redispatches_ = 0;

@@ -40,6 +40,7 @@ Replica::Replica(EventQueue &eq, Config cfg,
     // The cache must exist before the scheduler: the factory wires it
     // into the scheduler environment.
     prefixCache_ = std::make_unique<PrefixCache>(kv_, cfg.prefixCache);
+    prefixCache_->setTrace(&trace_);
     buildScheduler();
 }
 
@@ -51,6 +52,7 @@ Replica::buildScheduler()
     env.perf = &perf_;
     env.predictor = predictor_;
     env.prefixCache = prefixCache_.get();
+    env.trace = &trace_;
     scheduler_ = factory_(env);
     QOSERVE_ASSERT(scheduler_ != nullptr, "factory returned no scheduler");
 
@@ -145,6 +147,16 @@ Replica::maybeStartIteration()
         observer_(obs);
     }
 
+    if (trace_.on()) {
+        trace_.emit(TraceEventKind::IterStart, kNoTraceRequest,
+                    batch.prefillTokens(),
+                    static_cast<double>(batch.decodes.size()));
+        for (const ScheduledChunk &chunk : batch.prefills) {
+            trace_.emit(TraceEventKind::ChunkStart,
+                        chunk.request->id(), chunk.chunkTokens);
+        }
+    }
+
     inflightEvent_ = eq_.scheduleAfter(
         latency, [this, batch = std::move(batch), start, latency]() {
             busyTime_ += latency;
@@ -157,6 +169,7 @@ Replica::completeIteration(const Batch &batch, SimTime)
 {
     busy_ = false;
     inflightEvent_ = 0;
+    trace_.emit(TraceEventKind::IterEnd);
     scheduler_->onBatchComplete(batch, eq_.now());
     // Audit between batch completion and the next formBatch: every
     // queue and the KV cache are at rest here.
@@ -186,6 +199,8 @@ Replica::fail()
         busyTime_ += eq_.now() - inflightStart_;
         busy_ = false;
         inflightEvent_ = 0;
+        // Close the aborted iteration on the trace's engine track.
+        trace_.emit(TraceEventKind::IterEnd, kNoTraceRequest, 1);
     }
 
     // Snapshot every live request in id order — live_ is hash-ordered
@@ -215,8 +230,10 @@ Replica::fail()
         auditor_->onReplicaCrash(kv_, *scheduler_, live_.size(),
                                  eq_.now());
 
-    for (const RequestFailureSnapshot &snap : snaps)
+    for (const RequestFailureSnapshot &snap : snaps) {
+        trace_.emit(TraceEventKind::RequestFailed, snap.spec.id);
         failureHandler_(snap);
+    }
 }
 
 void

@@ -17,6 +17,7 @@
 
 #include "kvcache/block_manager.hh"
 #include "model/perf_model.hh"
+#include "obs/trace_sink.hh"
 #include "prefixcache/prefix_cache.hh"
 #include "sched/chunked_scheduler.hh"
 #include "simcore/event_queue.hh"
@@ -175,6 +176,19 @@ class Replica
      */
     void attachAuditor(InvariantAuditor *auditor) { auditor_ = auditor; }
 
+    /**
+     * Attach a lifecycle trace sink (not owned; null detaches).
+     * @p replica_id stamps every event this replica emits. The
+     * scheduler environment points at the same scope, so emission
+     * stays wired across crash-time scheduler rebuilds.
+     */
+    void setTraceSink(TraceSink *sink, int replica_id)
+    {
+        trace_.sink = sink;
+        trace_.clock = &eq_;
+        trace_.replica = replica_id;
+    }
+
   private:
     void maybeStartIteration();
     void completeIteration(const Batch &batch, SimTime start);
@@ -199,6 +213,9 @@ class Replica
     BatchObserver observer_;
     FailureHandler failureHandler_;
     InvariantAuditor *auditor_ = nullptr;
+
+    /** Stable trace handle; SchedulerEnv::trace points here. */
+    TraceScope trace_;
 
     std::unordered_map<std::uint64_t, std::unique_ptr<Request>> live_;
     bool busy_ = false;

@@ -170,6 +170,13 @@ output:
   --records-out FILE    dump per-request records as CSV
   --telemetry-out FILE  dump per-iteration engine telemetry as CSV
   --summary-out FILE    dump the run summary as CSV
+  --trace FILE          dump the request-lifecycle trace as Chrome /
+                        Perfetto trace_event JSON (one process per
+                        replica, one thread per request)
+  --trace-csv FILE      dump the raw lifecycle events as flat CSV
+  --metrics-out FILE    dump the metrics time series as CSV
+  --metrics-interval S  metrics sampling cadence in sim seconds
+                        (default 5)
   --help                this text
 )";
 }
@@ -282,6 +289,15 @@ parseCliOptions(const std::vector<std::string> &args)
             opts.healthAwareRouting = false;
         } else if (flag == "--trace-out") {
             opts.traceOut = need_value(i++, flag);
+        } else if (flag == "--trace") {
+            opts.traceJsonOut = need_value(i++, flag);
+        } else if (flag == "--trace-csv") {
+            opts.traceEventsOut = need_value(i++, flag);
+        } else if (flag == "--metrics-out") {
+            opts.metricsOut = need_value(i++, flag);
+        } else if (flag == "--metrics-interval") {
+            opts.metricsInterval =
+                parseDouble(flag, need_value(i++, flag));
         } else if (flag == "--records-out") {
             opts.recordsOut = need_value(i++, flag);
         } else if (flag == "--telemetry-out") {
@@ -306,6 +322,8 @@ parseCliOptions(const std::vector<std::string> &args)
         QOSERVE_FATAL("--straggler-mtbf must be non-negative");
     if (opts.retry.initialBackoff <= 0.0)
         QOSERVE_FATAL("--retry-backoff must be positive");
+    if (opts.metricsInterval <= 0.0)
+        QOSERVE_FATAL("--metrics-interval must be positive");
     opts.serving.prefixCache.validate();
     opts.sharedPrefix.validate();
     if (opts.serving.cacheAffinityRouting &&

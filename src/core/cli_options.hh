@@ -59,6 +59,15 @@ struct CliOptions
     std::optional<std::string> telemetryOut;
     std::optional<std::string> summaryOut;
 
+    /** Lifecycle trace sinks (--trace Perfetto JSON, --trace-csv
+     *  flat events). Either one enables tracing. */
+    std::optional<std::string> traceJsonOut;
+    std::optional<std::string> traceEventsOut;
+
+    /** Metrics time-series sink and sampling cadence. */
+    std::optional<std::string> metricsOut;
+    double metricsInterval = 5.0;
+
     /** True when --help was requested. */
     bool helpRequested = false;
 };

@@ -88,6 +88,10 @@ void
 FaultInjector::crash(std::size_t i)
 {
     SimTime now = cluster_.eventQueue().now();
+    if (TraceSink *sink = cluster_.traceSink()) {
+        sink->emit({TraceEventKind::Crash, now, kNoTraceRequest,
+                    static_cast<int>(i), 0, 0.0});
+    }
     cluster_.replica(i).fail();
     ++stats_.crashes;
     downSince_[i] = now;
@@ -105,6 +109,10 @@ void
 FaultInjector::recoverReplica(std::size_t i)
 {
     SimTime now = cluster_.eventQueue().now();
+    if (TraceSink *sink = cluster_.traceSink()) {
+        sink->emit({TraceEventKind::Recover, now, kNoTraceRequest,
+                    static_cast<int>(i), 0, 0.0});
+    }
     cluster_.replica(i).recover();
     ++stats_.recoveries;
     stats_.downSeconds += now - downSince_[i];
@@ -134,6 +142,11 @@ FaultInjector::startEpisode(std::size_t i)
         return;
     }
     SimTime now = cluster_.eventQueue().now();
+    if (TraceSink *sink = cluster_.traceSink()) {
+        sink->emit({TraceEventKind::StragglerStart, now,
+                    kNoTraceRequest, static_cast<int>(i), 0,
+                    cfg_.stragglerFactor});
+    }
     cluster_.replica(i).setSlowdown(cfg_.stragglerFactor);
     ++stats_.stragglerEpisodes;
     std::uint64_t epoch = ++episodeEpoch_[i];
@@ -155,6 +168,11 @@ FaultInjector::endEpisode(std::size_t i, std::uint64_t epoch)
     // recovery restores full speed); only an intact Degraded replica
     // needs the factor removed here.
     if (cluster_.replica(i).health() == ReplicaHealth::Degraded) {
+        if (TraceSink *sink = cluster_.traceSink()) {
+            sink->emit({TraceEventKind::StragglerEnd,
+                        cluster_.eventQueue().now(), kNoTraceRequest,
+                        static_cast<int>(i), 0, 0.0});
+        }
         cluster_.replica(i).setSlowdown(1.0);
         events_.push_back({FaultKind::StragglerEnd, i,
                            cluster_.eventQueue().now(), 1.0});

@@ -55,6 +55,49 @@ std::vector<SummaryCsvRow> readSummaryCsv(std::istream &in);
 /** Read a summary CSV from a file (fatal on error). */
 std::vector<SummaryCsvRow> readSummaryCsvFile(const std::string &path);
 
+/** One parsed row of a records CSV (the explainer's join input). */
+struct RecordsCsvRow
+{
+    std::uint64_t id = 0;
+    double arrival = 0.0;
+    std::int64_t promptTokens = 0;
+    std::int64_t decodeTokens = 0;
+    int tierId = 0;
+    bool important = false;
+    double ttft = 0.0; ///< +inf for never-served requests.
+    double ttlt = 0.0; ///< +inf for never-served requests.
+    double maxTbt = 0.0;
+    std::int64_t tbtMisses = 0;
+    bool violated = false;
+    bool relegated = false;
+    std::int64_t kvPreemptions = 0;
+    int retries = 0;
+    bool retryExhausted = false;
+};
+
+/**
+ * Parse a records CSV written by writeRecordsCsv. Fatal (with the
+ * 1-based line number) on a malformed header, a row without exactly
+ * 15 fields, or a non-numeric field.
+ */
+std::vector<RecordsCsvRow> readRecordsCsv(std::istream &in);
+
+/** Read a records CSV from a file (fatal on error). */
+std::vector<RecordsCsvRow> readRecordsCsvFile(const std::string &path);
+
+/**
+ * Write a rolling-percentile series (see rollingLatency) as CSV with
+ * header `window_start,value,count`, round-trip exact.
+ */
+void writeRollingCsv(const std::vector<RollingPoint> &points,
+                     std::ostream &out);
+
+/**
+ * Parse a rolling-series CSV written by writeRollingCsv. Fatal (with
+ * the 1-based line number) on a malformed header or row.
+ */
+std::vector<RollingPoint> readRollingCsv(std::istream &in);
+
 /** Render a human-readable summary table to @p out. */
 void printSummary(const RunSummary &summary, const TierTable &tiers,
                   std::ostream &out);

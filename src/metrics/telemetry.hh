@@ -61,7 +61,11 @@ class TelemetryRecorder
     /**
      * Fraction of wall-clock time the engine was executing batches
      * within [t0, t1], summed across replicas (so a 2-replica
-     * recorder saturates at 2.0).
+     * recorder saturates at 2.0). Overlapping observations on the
+     * same replica — a crash-cancelled batch recorded with its full
+     * planned latency under the batches run after recovery — are
+     * merged, never double-counted. A zero-length window (t0 == t1)
+     * reports 0; t1 < t0 is a caller error.
      */
     double utilization(SimTime t0, SimTime t1) const;
 

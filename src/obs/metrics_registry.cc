@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Metrics registry implementation.
+ */
+
+#include "obs/metrics_registry.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+MetricsHistogram::MetricsHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+{
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+        QOSERVE_ASSERT(bounds_[i - 1] < bounds_[i],
+                       "histogram bounds must be strictly ascending");
+    }
+}
+
+void
+MetricsHistogram::observe(double v)
+{
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i])
+        ++i;
+    ++counts_[i];
+    ++count_;
+    sum_ += v;
+}
+
+std::int64_t
+MetricsHistogram::bucketCount(std::size_t i) const
+{
+    QOSERVE_ASSERT(i < bounds_.size(), "histogram bucket out of range");
+    std::int64_t total = 0;
+    for (std::size_t b = 0; b <= i; ++b)
+        total += counts_[b];
+    return total;
+}
+
+std::int64_t &
+MetricsRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+double &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return gauges_[name];
+}
+
+MetricsHistogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(name, MetricsHistogram(std::move(bounds)))
+                 .first;
+    }
+    return it->second;
+}
+
+namespace {
+
+/** Bound rendered for a column name: `4` not `4.000000`. */
+std::string
+boundLabel(double bound)
+{
+    std::ostringstream oss;
+    oss << std::setprecision(17) << bound;
+    return oss.str();
+}
+
+} // namespace
+
+void
+MetricsRegistry::snapshot(SimTime now)
+{
+    Row row;
+    row.time = now;
+    for (const auto &entry : counters_)
+        row.values[entry.first] = static_cast<double>(entry.second);
+    for (const auto &entry : gauges_)
+        row.values[entry.first] = entry.second;
+    for (const auto &entry : histograms_) {
+        const MetricsHistogram &h = entry.second;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+            row.values[entry.first + "_le_" +
+                       boundLabel(h.bounds()[i])] =
+                static_cast<double>(h.bucketCount(i));
+        }
+        row.values[entry.first + "_le_inf"] =
+            static_cast<double>(h.count());
+        row.values[entry.first + "_sum"] = h.sum();
+        row.values[entry.first + "_count"] =
+            static_cast<double>(h.count());
+    }
+    rows_.push_back(std::move(row));
+}
+
+void
+MetricsRegistry::writeCsv(std::ostream &out) const
+{
+    // Columns are the union of every row's keys (cells may register
+    // mid-run), in name order — deterministic layout.
+    std::set<std::string> columns;
+    for (const Row &row : rows_) {
+        for (const auto &entry : row.values)
+            columns.insert(entry.first);
+    }
+    std::ostringstream fmt;
+    fmt << std::setprecision(17);
+    out << "time";
+    for (const std::string &col : columns)
+        out << ',' << col;
+    out << '\n';
+    for (const Row &row : rows_) {
+        fmt.str("");
+        fmt << row.time;
+        for (const std::string &col : columns) {
+            auto it = row.values.find(col);
+            fmt << ',' << (it == row.values.end() ? 0.0 : it->second);
+        }
+        fmt << '\n';
+        out << fmt.str();
+    }
+}
+
+void
+MetricsRegistry::writeCsvFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        QOSERVE_FATAL("cannot open metrics file for writing: ", path);
+    writeCsv(out);
+    if (!out)
+        QOSERVE_FATAL("error writing metrics file: ", path);
+}
+
+MetricsSampler::MetricsSampler(EventQueue &eq, MetricsRegistry &registry,
+                               SimDuration interval, SampleFn fn)
+    : eq_(eq), registry_(registry), interval_(interval),
+      fn_(std::move(fn))
+{
+    QOSERVE_ASSERT(interval_ > 0.0,
+                   "metrics sampling interval must be positive, got ",
+                   interval_);
+    QOSERVE_ASSERT(fn_, "metrics sampler needs a sample callback");
+}
+
+void
+MetricsSampler::start()
+{
+    eq_.schedule(eq_.now(), [this]() { fire(); });
+}
+
+void
+MetricsSampler::fire()
+{
+    fn_(registry_, eq_.now());
+    registry_.snapshot(eq_.now());
+    ++samples_;
+    // Reschedule only while other work is pending: the cadence
+    // observes the simulation but must never extend it.
+    if (!eq_.empty())
+        eq_.scheduleAfter(interval_, [this]() { fire(); });
+}
+
+} // namespace qoserve

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Typed request-lifecycle trace events (DESIGN.md §10).
+ *
+ * Every observable step of a request's life — arrival, dispatch,
+ * prefill chunks, decode iterations, preemption, cache hits, crash
+ * retries, completion — is one flat TraceEvent. Components append
+ * events through a TraceScope; exporters (Perfetto JSON, CSV, the
+ * SLO-violation explainer) reconstruct per-request timelines from the
+ * stream. The stream is append-only and strictly in simulation-time
+ * order, so its byte serialization is deterministic by construction.
+ */
+
+#ifndef QOSERVE_OBS_TRACE_EVENT_HH
+#define QOSERVE_OBS_TRACE_EVENT_HH
+
+#include <cstdint>
+
+#include "simcore/time.hh"
+
+namespace qoserve {
+
+/**
+ * Kind of a lifecycle event. The integer values are part of the CSV
+ * schema; append new kinds at the end.
+ */
+enum class TraceEventKind : std::uint8_t
+{
+    Arrival,         ///< Request entered the cluster front door.
+    AdmissionReject, ///< Admission control rejected it outright.
+    Dispatch,        ///< Routed to a replica; arg = attempt (0 first).
+    IterStart,       ///< Engine iteration began; arg = prefill tokens,
+                     ///< value = decode batch size.
+    IterEnd,         ///< Engine iteration ended; arg = 1 when the
+                     ///< iteration was aborted by a crash.
+    ChunkStart,      ///< Prefill chunk scheduled; arg = chunk tokens.
+    ChunkEnd,        ///< Prefill chunk applied; arg = prompt tokens
+                     ///< still unprefilled.
+    Preempt,         ///< KV preemption evicted the request.
+    Relegate,        ///< Scheduler relegated the request.
+    Finish,          ///< Request completed (all tokens emitted).
+    CacheHit,        ///< Prefix-cache attach; arg = tokens reused.
+    CacheEvict,      ///< Prefix-cache eviction; arg = blocks freed.
+    Crash,           ///< Replica crashed.
+    Recover,         ///< Replica recovered.
+    StragglerStart,  ///< Slowdown episode began; value = factor.
+    StragglerEnd,    ///< Slowdown episode ended.
+    RequestFailed,   ///< Request lost to a replica crash.
+    RetryQueued,     ///< Re-dispatch scheduled; arg = attempt consumed.
+    RetryExhausted,  ///< Retry budget spent; request abandoned.
+};
+
+/** Number of distinct event kinds (CSV parser bound). */
+inline constexpr int kTraceEventKinds =
+    static_cast<int>(TraceEventKind::RetryExhausted) + 1;
+
+/** Stable lowercase name of an event kind (the CSV `event` field). */
+const char *traceEventKindName(TraceEventKind kind);
+
+/** Request id for events not tied to any request. */
+inline constexpr std::uint64_t kNoTraceRequest =
+    static_cast<std::uint64_t>(-1);
+
+/**
+ * One lifecycle event. `replica` is the replica index, or -1 for
+ * cluster-level events (arrival, admission, retry backoff). The
+ * meaning of `arg` / `value` depends on the kind (see the enum).
+ */
+struct TraceEvent
+{
+    TraceEventKind kind = TraceEventKind::Arrival;
+    SimTime time = 0.0;
+    std::uint64_t request = kNoTraceRequest;
+    int replica = -1;
+    std::int64_t arg = 0;
+    double value = 0.0;
+
+    bool
+    operator==(const TraceEvent &o) const
+    {
+        return kind == o.kind && time == o.time &&
+               request == o.request && replica == o.replica &&
+               arg == o.arg && value == o.value;
+    }
+};
+
+} // namespace qoserve
+
+#endif // QOSERVE_OBS_TRACE_EVENT_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Trace sink and the narrow emission handle components hold.
+ *
+ * A TraceSink is an append-only, time-ordered store of TraceEvents.
+ * Components never talk to the sink directly: each holds a TraceScope
+ * — a (sink, clock, replica) triple — and calls its emit() helper.
+ * With no sink installed the scope is inert and emission sites cost
+ * one pointer compare, so tracing is zero-overhead when disabled.
+ */
+
+#ifndef QOSERVE_OBS_TRACE_SINK_HH
+#define QOSERVE_OBS_TRACE_SINK_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.hh"
+#include "simcore/event_queue.hh"
+
+namespace qoserve {
+
+/**
+ * Append-only recorder of lifecycle events.
+ */
+class TraceSink
+{
+  public:
+    TraceSink() = default;
+
+    /** Append one event. Events must arrive in non-decreasing
+     *  simulation time (panics otherwise — the exporters depend on
+     *  stream order). */
+    void emit(const TraceEvent &ev);
+
+    /** All events, in emission order. */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /**
+     * Write the stream as flat CSV:
+     * event,time,request,replica,arg,value. Times and values are
+     * printed with max_digits10 precision so a read-back is exact;
+     * `request` is -1 for events not tied to a request.
+     */
+    void writeCsv(std::ostream &out) const;
+
+    /** Write the CSV to a file (fatal on error). */
+    void writeCsvFile(const std::string &path) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * Parse a trace CSV written by TraceSink::writeCsv. Fatal (with the
+ * 1-based line number) on malformed headers, rows, or unknown kinds.
+ */
+std::vector<TraceEvent> readTraceCsv(std::istream &in);
+
+/** Read a trace CSV from a file (fatal on error). */
+std::vector<TraceEvent> readTraceCsvFile(const std::string &path);
+
+/**
+ * Per-component emission handle: the sink, the simulation clock that
+ * timestamps events, and the replica index stamped on them (-1 for
+ * cluster-level scopes). Copyable; components hold it by value or
+ * point at a replica-owned instance.
+ */
+struct TraceScope
+{
+    TraceSink *sink = nullptr;
+    const EventQueue *clock = nullptr;
+    int replica = -1;
+
+    /** True when a sink is installed (emission sites guard on this). */
+    bool on() const { return sink != nullptr; }
+
+    /** Emit at the current simulation time on this scope's replica. */
+    void
+    emit(TraceEventKind kind, std::uint64_t request = kNoTraceRequest,
+         std::int64_t arg = 0, double value = 0.0) const
+    {
+        if (sink == nullptr)
+            return;
+        sink->emit({kind, clock->now(), request, replica, arg, value});
+    }
+
+    /** Emit on behalf of a specific replica (the cluster front door
+     *  stamping a dispatch with its target). */
+    void
+    emitOn(int replica_idx, TraceEventKind kind,
+           std::uint64_t request = kNoTraceRequest, std::int64_t arg = 0,
+           double value = 0.0) const
+    {
+        if (sink == nullptr)
+            return;
+        sink->emit(
+            {kind, clock->now(), request, replica_idx, arg, value});
+    }
+};
+
+} // namespace qoserve
+
+#endif // QOSERVE_OBS_TRACE_SINK_HH

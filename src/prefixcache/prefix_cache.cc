@@ -170,6 +170,8 @@ PrefixCache::attach(KvOwnerId owner, const RequestSpec &spec, SimTime now)
     }
     ++stats_.hits;
     stats_.tokensAttached += tokens;
+    if (trace_ != nullptr)
+        trace_->emit(TraceEventKind::CacheHit, owner, tokens);
     return static_cast<int>(tokens);
 }
 
@@ -291,6 +293,8 @@ PrefixCache::evictBlocks(std::int64_t wanted)
         ++freed;
         ++stats_.blocksEvicted;
     }
+    if (freed > 0 && trace_ != nullptr)
+        trace_->emit(TraceEventKind::CacheEvict, kNoTraceRequest, freed);
     return freed;
 }
 

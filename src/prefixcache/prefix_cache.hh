@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "kvcache/block_manager.hh"
+#include "obs/trace_sink.hh"
 #include "simcore/time.hh"
 #include "workload/trace.hh"
 
@@ -173,6 +174,10 @@ class PrefixCache
     /** Snapshot for the invariant auditor. */
     PrefixCacheAuditView auditView() const;
 
+    /** Attach the owning replica's trace handle (not owned; null
+     *  detaches) so cache hits and evictions appear in the trace. */
+    void setTrace(const TraceScope *trace) { trace_ = trace; }
+
   private:
     struct Node
     {
@@ -207,6 +212,7 @@ class PrefixCache
     std::set<std::pair<SimTime, KvBlockId>> lru_;
 
     PrefixCacheStats stats_;
+    const TraceScope *trace_ = nullptr;
 };
 
 } // namespace qoserve

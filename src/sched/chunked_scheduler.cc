@@ -103,6 +103,8 @@ ChunkedScheduler::relegate(Request *req, SimTime now)
     req->cachedPriority = priorityOf(*req, now);
     prefillQueue_.insert(req);
     ++stats_.relegations;
+    if (env_.trace != nullptr)
+        env_.trace->emit(TraceEventKind::Relegate, req->id());
 }
 
 int
@@ -256,6 +258,8 @@ ChunkedScheduler::formBatch(SimTime now)
 void
 ChunkedScheduler::finish(Request *req)
 {
+    if (env_.trace != nullptr)
+        env_.trace->emit(TraceEventKind::Finish, req->id());
     env_.kv->release(req->id());
     if (onComplete_)
         onComplete_(req);
@@ -291,6 +295,8 @@ ChunkedScheduler::preemptForKv(SimTime now)
         victim->cachedPriority = priorityOf(*victim, now);
         prefillQueue_.insert(victim);
         ++stats_.kvPreemptions;
+        if (env_.trace != nullptr)
+            env_.trace->emit(TraceEventKind::Preempt, victim->id());
         return true;
     }
 
@@ -307,6 +313,8 @@ ChunkedScheduler::preemptForKv(SimTime now)
     prefillQueue_.insert(victim);
     pendingPrefill_ += victim->prefillRemaining();
     ++stats_.kvPreemptions;
+    if (env_.trace != nullptr)
+        env_.trace->emit(TraceEventKind::Preempt, victim->id());
     return true;
 }
 
@@ -323,6 +331,10 @@ ChunkedScheduler::onBatchComplete(const Batch &batch, SimTime end)
         pendingPrefill_ -= chunk.chunkTokens;
 
         req->applyPrefill(chunk.chunkTokens, end);
+        if (env_.trace != nullptr) {
+            env_.trace->emit(TraceEventKind::ChunkEnd, req->id(),
+                             req->prefillRemaining());
+        }
         switch (req->phase()) {
           case RequestPhase::Prefilling:
             partiallyPrefilled_.insert(req);

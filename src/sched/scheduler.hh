@@ -20,6 +20,7 @@
 
 #include "kvcache/block_manager.hh"
 #include "model/perf_model.hh"
+#include "obs/trace_sink.hh"
 #include "sched/batch.hh"
 
 namespace qoserve {
@@ -44,6 +45,10 @@ struct SchedulerEnv
     /** Shared-prefix cache; null or disabled when prefix caching is
      *  off (the scheduler then never touches it). */
     PrefixCache *prefixCache = nullptr;
+
+    /** Lifecycle trace handle owned by the replica; null or off when
+     *  tracing is disabled (emissions are no-ops either way). */
+    const TraceScope *trace = nullptr;
 };
 
 /**

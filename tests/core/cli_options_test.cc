@@ -104,6 +104,35 @@ TEST(CliOptions, PrefixCacheRangeValidation)
         "multi-turn fraction");
 }
 
+TEST(CliOptions, ObservabilityFlagsParse)
+{
+    CliOptions opts = parseCliOptions({
+        "--trace", "/tmp/trace.json", "--trace-csv", "/tmp/ev.csv",
+        "--metrics-out", "/tmp/m.csv", "--metrics-interval", "2.5",
+    });
+    EXPECT_EQ(opts.traceJsonOut, "/tmp/trace.json");
+    EXPECT_EQ(opts.traceEventsOut, "/tmp/ev.csv");
+    EXPECT_EQ(opts.metricsOut, "/tmp/m.csv");
+    EXPECT_DOUBLE_EQ(opts.metricsInterval, 2.5);
+}
+
+TEST(CliOptions, ObservabilityDefaultsOff)
+{
+    CliOptions opts = parseCliOptions({});
+    EXPECT_FALSE(opts.traceJsonOut.has_value());
+    EXPECT_FALSE(opts.traceEventsOut.has_value());
+    EXPECT_FALSE(opts.metricsOut.has_value());
+    EXPECT_DOUBLE_EQ(opts.metricsInterval, 5.0);
+}
+
+TEST(CliOptions, MetricsIntervalMustBePositive)
+{
+    EXPECT_DEATH(parseCliOptions({"--metrics-interval", "0"}),
+                 "must be positive");
+    EXPECT_DEATH(parseCliOptions({"--metrics-interval", "-1"}),
+                 "must be positive");
+}
+
 TEST(CliOptions, HelpFlag)
 {
     EXPECT_TRUE(parseCliOptions({"--help"}).helpRequested);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 namespace qoserve {
@@ -219,6 +220,130 @@ TEST(ReportIo, SummaryCsvRoundTrips)
     EXPECT_EQ(lookup("availability"), summary.availability);
     EXPECT_EQ(lookup("mean_retries"), summary.meanRetries);
     EXPECT_EQ(lookup("tier0_count"), 1.0);
+}
+
+TEST(ReportIo, RecordsCsvRoundTrips)
+{
+    // Served, lost-to-crash (infinite latencies), and preempted
+    // records must all survive a write/read cycle exactly —
+    // qoserve_explain joins on this file.
+    MetricsCollector collector(paperTierTable());
+    RequestRecord served = makeRecord(0, 0, 2.0, 3.0);
+    served.maxTbt = 0.125;
+    served.tbtDeadlineMisses = 2;
+    served.kvPreemptions = 1;
+    served.retries = 1;
+    collector.record(served);
+    RequestRecord lost = makeRecord(1, 1, 0.0, 0.0);
+    lost.firstTokenTime = kTimeNever;
+    lost.finishTime = kTimeNever;
+    lost.retries = 3;
+    lost.retryExhausted = true;
+    collector.record(lost);
+
+    std::stringstream buffer;
+    writeRecordsCsv(collector, buffer);
+    std::vector<RecordsCsvRow> rows = readRecordsCsv(buffer);
+    ASSERT_EQ(rows.size(), 2u);
+
+    EXPECT_EQ(rows[0].id, 0u);
+    EXPECT_EQ(rows[0].arrival, 1.0);
+    EXPECT_EQ(rows[0].promptTokens, 100);
+    EXPECT_EQ(rows[0].decodeTokens, 10);
+    EXPECT_EQ(rows[0].tierId, 0);
+    EXPECT_EQ(rows[0].ttft, 2.0);
+    EXPECT_EQ(rows[0].ttlt, 3.0);
+    EXPECT_EQ(rows[0].maxTbt, 0.125);
+    EXPECT_EQ(rows[0].tbtMisses, 2);
+    EXPECT_EQ(rows[0].kvPreemptions, 1);
+    EXPECT_EQ(rows[0].retries, 1);
+    EXPECT_FALSE(rows[0].retryExhausted);
+
+    EXPECT_EQ(rows[1].id, 1u);
+    EXPECT_TRUE(std::isinf(rows[1].ttft));
+    EXPECT_TRUE(std::isinf(rows[1].ttlt));
+    EXPECT_EQ(rows[1].retries, 3);
+    EXPECT_TRUE(rows[1].retryExhausted);
+    EXPECT_TRUE(rows[1].violated);
+}
+
+TEST(ReportIo, RecordsCsvRoundTripsNonRepresentableDoubles)
+{
+    // Precision-17 output must reproduce arrival times that have no
+    // short decimal form.
+    MetricsCollector collector(paperTierTable());
+    RequestRecord rec = makeRecord(0, 0, 2.0, 3.0);
+    rec.spec.arrival = 1.0 / 3.0;
+    rec.firstTokenTime = rec.spec.arrival + 0.1;
+    rec.finishTime = rec.spec.arrival + 0.3;
+    collector.record(rec);
+
+    std::stringstream buffer;
+    writeRecordsCsv(collector, buffer);
+    std::vector<RecordsCsvRow> rows = readRecordsCsv(buffer);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].arrival, 1.0 / 3.0);
+    EXPECT_EQ(rows[0].ttft, (1.0 / 3.0 + 0.1) - 1.0 / 3.0);
+}
+
+TEST(ReportIo, RecordsCsvBadHeaderIsFatal)
+{
+    std::stringstream in("id,when\n0,1\n");
+    EXPECT_DEATH(readRecordsCsv(in), "header");
+}
+
+TEST(ReportIo, RecordsCsvWrongFieldCountIsFatalWithLineNumber)
+{
+    MetricsCollector collector(paperTierTable());
+    collector.record(makeRecord(0, 0, 2.0, 3.0));
+    std::stringstream buffer;
+    writeRecordsCsv(collector, buffer);
+    std::string text = buffer.str() + "1,2,3\n";
+    std::stringstream in(text);
+    EXPECT_DEATH(readRecordsCsv(in), "line 3.*expected 15 fields");
+}
+
+TEST(ReportIo, RollingCsvRoundTrips)
+{
+    std::vector<RollingPoint> points = {
+        {0.0, 1.5, 10},
+        {30.0, 1.0 / 3.0, 7},
+        {60.0, 0.0, 0},
+    };
+    std::stringstream buffer;
+    writeRollingCsv(points, buffer);
+    std::vector<RollingPoint> parsed = readRollingCsv(buffer);
+    ASSERT_EQ(parsed.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(parsed[i].windowStart, points[i].windowStart) << i;
+        EXPECT_EQ(parsed[i].value, points[i].value) << i;
+        EXPECT_EQ(parsed[i].count, points[i].count) << i;
+    }
+}
+
+TEST(ReportIo, RollingCsvMatchesRollingLatencyOutput)
+{
+    MetricsCollector collector(paperTierTable());
+    collector.record(makeRecord(0, 0, 2.0, 3.0));
+    collector.record(makeRecord(1, 0, 4.0, 9.0));
+    std::vector<RollingPoint> series =
+        rollingLatency(collector, 60.0, 0.5);
+    ASSERT_FALSE(series.empty());
+
+    std::stringstream buffer;
+    writeRollingCsv(series, buffer);
+    std::vector<RollingPoint> parsed = readRollingCsv(buffer);
+    ASSERT_EQ(parsed.size(), series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        EXPECT_EQ(parsed[i].value, series[i].value) << i;
+        EXPECT_EQ(parsed[i].count, series[i].count) << i;
+    }
+}
+
+TEST(ReportIo, RollingCsvNegativeCountIsFatal)
+{
+    std::stringstream in("window_start,value,count\n0,1,-2\n");
+    EXPECT_DEATH(readRollingCsv(in), "negative");
 }
 
 TEST(ReportIo, SummaryCsvBadHeaderIsFatal)

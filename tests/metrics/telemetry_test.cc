@@ -76,6 +76,42 @@ TEST(Telemetry, MultiReplicaUtilizationExceedsOne)
     EXPECT_NEAR(rec.utilization(0.0, 1.0), 2.0, 1e-9);
 }
 
+TEST(Telemetry, UtilizationZeroLengthWindowIsZero)
+{
+    TelemetryRecorder rec;
+    rec.observerFor(0)(obs(0.0, 1.0, 256, 0));
+    EXPECT_EQ(rec.utilization(0.5, 0.5), 0.0);
+    // An empty recorder over an empty window is also fine.
+    TelemetryRecorder empty;
+    EXPECT_EQ(empty.utilization(2.0, 2.0), 0.0);
+}
+
+TEST(Telemetry, UtilizationMergesOverlapsWithinReplica)
+{
+    // A crash-cancelled batch is observed with its full planned
+    // latency, overlapping the batches run after recovery on the same
+    // replica. That engine time must be counted once, not twice.
+    TelemetryRecorder rec;
+    auto sink = rec.observerFor(0);
+    sink(obs(0.0, 2.0, 256, 0)); // cancelled, planned [0, 2)
+    sink(obs(1.0, 1.0, 256, 0)); // post-recovery, [1, 2)
+    sink(obs(1.5, 1.0, 256, 0)); // [1.5, 2.5)
+    EXPECT_NEAR(rec.utilization(0.0, 2.5), 1.0, 1e-9);
+    // And the merge respects window clipping.
+    EXPECT_NEAR(rec.utilization(0.5, 2.0), 1.0, 1e-9);
+}
+
+TEST(Telemetry, UtilizationOverlapAcrossReplicasStillSums)
+{
+    // Identical intervals on *different* replicas are genuinely
+    // concurrent engine time: they sum, never merge.
+    TelemetryRecorder rec;
+    rec.observerFor(0)(obs(0.0, 1.0, 256, 0));
+    rec.observerFor(1)(obs(0.0, 1.0, 256, 0));
+    rec.observerFor(0)(obs(0.5, 1.0, 256, 0)); // overlaps replica 0 only
+    EXPECT_NEAR(rec.utilization(0.0, 2.0), (1.5 + 1.0) / 2.0, 1e-9);
+}
+
 TEST(Telemetry, CsvContainsReplicaTags)
 {
     TelemetryRecorder rec;

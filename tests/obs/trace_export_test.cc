@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for timeline reconstruction and the Perfetto exporter.
+ */
+
+#include "obs/trace_export.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/explain.hh"
+
+namespace qoserve {
+namespace {
+
+TraceEvent
+ev(TraceEventKind kind, SimTime t, std::uint64_t request, int replica,
+   std::int64_t arg = 0, double value = 0.0)
+{
+    return {kind, t, request, replica, arg, value};
+}
+
+/** The canonical served request: queue, two chunks, decode, finish. */
+std::vector<TraceEvent>
+servedStream()
+{
+    return {
+        ev(TraceEventKind::Arrival, 0.0, 1, -1),
+        ev(TraceEventKind::Dispatch, 0.0, 1, 0),
+        ev(TraceEventKind::ChunkStart, 1.0, 1, 0, 512),
+        ev(TraceEventKind::ChunkEnd, 2.0, 1, 0, 100), // 100 left
+        ev(TraceEventKind::ChunkStart, 3.0, 1, 0, 100),
+        ev(TraceEventKind::ChunkEnd, 4.0, 1, 0, 0), // prefill done
+        ev(TraceEventKind::Finish, 6.0, 1, 0),
+    };
+}
+
+TEST(TraceExport, TimelineTilesServedLifetimeWithoutGaps)
+{
+    auto timelines = buildRequestTimelines(servedStream());
+    ASSERT_EQ(timelines.size(), 1u);
+    const RequestTimeline &tl = timelines.at(1);
+
+    EXPECT_EQ(tl.arrival, 0.0);
+    EXPECT_EQ(tl.finish, 6.0);
+    EXPECT_FALSE(tl.rejected);
+    EXPECT_EQ(tl.failures, 0);
+
+    ASSERT_EQ(tl.spans.size(), 5u);
+    EXPECT_EQ(tl.spans[0].phase, TracePhase::Queued);
+    EXPECT_EQ(tl.spans[1].phase, TracePhase::Prefill);
+    EXPECT_EQ(tl.spans[2].phase, TracePhase::Starved);
+    EXPECT_EQ(tl.spans[3].phase, TracePhase::Prefill);
+    EXPECT_EQ(tl.spans[4].phase, TracePhase::Decode);
+
+    // Gap-free: every span opens where the previous one closed.
+    EXPECT_EQ(tl.spans.front().begin, 0.0);
+    for (std::size_t i = 1; i < tl.spans.size(); ++i)
+        EXPECT_EQ(tl.spans[i].begin, tl.spans[i - 1].end) << i;
+    EXPECT_EQ(tl.spans.back().end, 6.0);
+}
+
+TEST(TraceExport, BreakdownAttributesEverything)
+{
+    auto timelines = buildRequestTimelines(servedStream());
+    PhaseBreakdown bd = breakdownFor(timelines.at(1), 0.0);
+    EXPECT_TRUE(bd.served);
+    EXPECT_EQ(bd.endToEnd, 6.0);
+    EXPECT_EQ(bd.seconds[static_cast<int>(TracePhase::Queued)], 1.0);
+    EXPECT_EQ(bd.seconds[static_cast<int>(TracePhase::Prefill)], 2.0);
+    EXPECT_EQ(bd.seconds[static_cast<int>(TracePhase::Starved)], 1.0);
+    EXPECT_EQ(bd.seconds[static_cast<int>(TracePhase::Decode)], 2.0);
+    EXPECT_EQ(bd.residual, 0.0);
+    EXPECT_EQ(bd.coverage(), 1.0);
+}
+
+TEST(TraceExport, PreemptionOpensStalledSpan)
+{
+    auto timelines = buildRequestTimelines({
+        ev(TraceEventKind::Dispatch, 0.0, 1, 0),
+        ev(TraceEventKind::ChunkStart, 1.0, 1, 0, 256),
+        ev(TraceEventKind::Preempt, 2.0, 1, 0),
+        ev(TraceEventKind::ChunkStart, 5.0, 1, 0, 256),
+        ev(TraceEventKind::ChunkEnd, 6.0, 1, 0, 0),
+        ev(TraceEventKind::Finish, 7.0, 1, 0),
+    });
+    const RequestTimeline &tl = timelines.at(1);
+    ASSERT_EQ(tl.spans.size(), 5u);
+    EXPECT_EQ(tl.spans[2].phase, TracePhase::Preempted);
+    EXPECT_EQ(tl.spans[2].begin, 2.0);
+    EXPECT_EQ(tl.spans[2].end, 5.0);
+}
+
+TEST(TraceExport, CrashRetryOpensRetrySpanAndCountsFailures)
+{
+    auto timelines = buildRequestTimelines({
+        ev(TraceEventKind::Dispatch, 0.0, 1, 0),
+        ev(TraceEventKind::RequestFailed, 2.0, 1, 0),
+        ev(TraceEventKind::RetryQueued, 2.0, 1, -1, 1),
+        // A second RetryQueued from inside the retry phase (all
+        // replicas down) must extend, not restart, the span.
+        ev(TraceEventKind::RetryQueued, 3.0, 1, -1, 2),
+        ev(TraceEventKind::Dispatch, 4.0, 1, 1, 2),
+        ev(TraceEventKind::ChunkStart, 4.5, 1, 1, 64),
+        ev(TraceEventKind::ChunkEnd, 5.0, 1, 1, 0),
+        ev(TraceEventKind::Finish, 5.5, 1, 1),
+    });
+    const RequestTimeline &tl = timelines.at(1);
+    EXPECT_EQ(tl.failures, 1);
+    EXPECT_FALSE(tl.abandoned);
+    ASSERT_EQ(tl.spans.size(), 5u);
+    EXPECT_EQ(tl.spans[0].phase, TracePhase::Queued);
+    EXPECT_EQ(tl.spans[1].phase, TracePhase::Retry);
+    EXPECT_EQ(tl.spans[1].begin, 2.0);
+    EXPECT_EQ(tl.spans[1].end, 4.0);
+    EXPECT_EQ(tl.spans[1].replica, -1);
+    EXPECT_EQ(tl.spans[2].phase, TracePhase::Queued);
+    EXPECT_EQ(tl.spans[2].replica, 1);
+}
+
+TEST(TraceExport, AbandonmentClosesTheTimeline)
+{
+    auto timelines = buildRequestTimelines({
+        ev(TraceEventKind::Dispatch, 0.0, 1, 0),
+        ev(TraceEventKind::RequestFailed, 1.0, 1, 0),
+        ev(TraceEventKind::RetryQueued, 1.0, 1, -1, 1),
+        ev(TraceEventKind::RetryExhausted, 3.0, 1, -1, 1),
+    });
+    const RequestTimeline &tl = timelines.at(1);
+    EXPECT_TRUE(tl.abandoned);
+    ASSERT_EQ(tl.spans.size(), 2u);
+    EXPECT_EQ(tl.spans.back().phase, TracePhase::Retry);
+    EXPECT_EQ(tl.spans.back().end, 3.0);
+    EXPECT_EQ(tl.lastSpanEnd(), 3.0);
+}
+
+TEST(TraceExport, RejectionYieldsNoSpans)
+{
+    auto timelines = buildRequestTimelines({
+        ev(TraceEventKind::Arrival, 1.0, 7, -1),
+        ev(TraceEventKind::AdmissionReject, 1.0, 7, -1),
+    });
+    const RequestTimeline &tl = timelines.at(7);
+    EXPECT_TRUE(tl.rejected);
+    EXPECT_TRUE(tl.spans.empty());
+    EXPECT_EQ(tl.lastSpanEnd(), kTimeNever);
+}
+
+TEST(TraceExport, TruncatedStreamClosesOpenSpansAtStreamEnd)
+{
+    auto timelines = buildRequestTimelines({
+        ev(TraceEventKind::Dispatch, 0.0, 1, 0),
+        ev(TraceEventKind::ChunkStart, 1.0, 1, 0, 256),
+        ev(TraceEventKind::IterStart, 2.0, kNoTraceRequest, 0, 256, 1),
+    });
+    const RequestTimeline &tl = timelines.at(1);
+    ASSERT_EQ(tl.spans.size(), 2u);
+    EXPECT_EQ(tl.spans.back().phase, TracePhase::Prefill);
+    EXPECT_EQ(tl.spans.back().end, 2.0); // last stream timestamp
+}
+
+TEST(TraceExport, CacheHitsAccumulateTokens)
+{
+    auto timelines = buildRequestTimelines({
+        ev(TraceEventKind::Dispatch, 0.0, 1, 0),
+        ev(TraceEventKind::CacheHit, 0.0, 1, 0, 128),
+        ev(TraceEventKind::RequestFailed, 1.0, 1, 0),
+        ev(TraceEventKind::RetryQueued, 1.0, 1, -1, 1),
+        ev(TraceEventKind::Dispatch, 2.0, 1, 1, 1),
+        ev(TraceEventKind::CacheHit, 2.0, 1, 1, 64),
+        ev(TraceEventKind::Finish, 3.0, 1, 1),
+    });
+    EXPECT_EQ(timelines.at(1).cachedTokens, 128 + 64);
+}
+
+/** Count occurrences of @p needle in @p text. */
+std::size_t
+countOf(const std::string &text, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+TEST(TraceExport, PerfettoJsonBalancesDurationPairs)
+{
+    std::vector<TraceEvent> events = servedStream();
+    // Engine iterations plus a crash-truncated open chunk on another
+    // request: the exporter must still balance every B with an E.
+    events.push_back(
+        ev(TraceEventKind::IterStart, 6.0, kNoTraceRequest, 0, 512, 2));
+    events.push_back(
+        ev(TraceEventKind::IterEnd, 6.5, kNoTraceRequest, 0));
+    events.push_back(ev(TraceEventKind::Dispatch, 7.0, 2, 0));
+    events.push_back(ev(TraceEventKind::ChunkStart, 8.0, 2, 0, 64));
+
+    std::stringstream out;
+    writePerfettoJson(events, out);
+    const std::string json = out.str();
+
+    EXPECT_EQ(countOf(json, "\"ph\":\"B\""), countOf(json, "\"ph\":\"E\""));
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"cluster\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"replica 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"prefill-running\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"iter\""), std::string::npos);
+}
+
+TEST(TraceExport, PerfettoJsonIsByteDeterministic)
+{
+    std::vector<TraceEvent> events = servedStream();
+    std::stringstream a, b;
+    writePerfettoJson(events, a);
+    writePerfettoJson(events, b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(TraceExport, PerfettoSpuriousIterEndIsDropped)
+{
+    // A crash-time IterEnd with no open iteration must not emit an
+    // unmatched E.
+    std::stringstream out;
+    writePerfettoJson(
+        {ev(TraceEventKind::IterEnd, 1.0, kNoTraceRequest, 0, 1)}, out);
+    EXPECT_EQ(countOf(out.str(), "\"ph\":\"E\""), 0u);
+}
+
+} // namespace
+} // namespace qoserve

@@ -18,6 +18,12 @@
  *                     — iteration order is hash/address dependent, so
  *                     anything order-sensitive downstream becomes
  *                     nondeterministic under ASLR;
+ *  - no-raw-io:       printf/fprintf/puts and std::cout/std::cerr in
+ *                     library code (src/): diagnostics go through
+ *                     simcore/logging so they carry severity, stay
+ *                     uniform, and can be captured in tests.
+ *                     Formatting into buffers (snprintf) and the CLI
+ *                     drivers under tools/ are unaffected;
  *  - header-guard:    every .hh carries a QOSERVE_-prefixed guard;
  *  - doxygen-file:    every file opens with a Doxygen @file comment.
  *
@@ -341,6 +347,40 @@ unorderedIterRule(const SourceFile &f,
     }
 }
 
+/**
+ * True for library sources — paths under a src/ tree. The raw-io ban
+ * applies only there; tools/, tests/, and benches legitimately write
+ * to the standard streams.
+ */
+bool
+inLibrary(const std::string &path)
+{
+    return path.rfind("src/", 0) == 0 ||
+           path.find("/src/") != std::string::npos;
+}
+
+/**
+ * Library code must not write to the standard streams directly;
+ * diagnostics route through simcore/logging (QOSERVE_FATAL / _WARN /
+ * _INFO), which is itself the one exempt file. Bounded token matching
+ * keeps snprintf-into-buffer formatting legal.
+ */
+void
+rawIoRule(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!inLibrary(f.path) ||
+        f.path.find("simcore/logging.") != std::string::npos)
+        return;
+    const std::string msg =
+        "raw stdio/iostream output in library code: route diagnostics "
+        "through simcore/logging (QOSERVE_FATAL/QOSERVE_WARN/"
+        "QOSERVE_INFO) so severity and formatting stay uniform";
+    for (const char *token : {"printf", "fprintf", "puts", "cerr",
+                              "cout"}) {
+        tokenRule(f, "no-raw-io", token, true, msg, out);
+    }
+}
+
 /** Every header carries an include guard with the repo prefix. */
 void
 headerGuardRule(const SourceFile &f, std::vector<Finding> &out)
@@ -478,6 +518,7 @@ main(int argc, char **argv)
         tokenRule(f, "no-std-rand", "minstd_rand", true, randMsg,
                   findings);
         unorderedIterRule(f, unorderedNames, findings);
+        rawIoRule(f, findings);
         headerGuardRule(f, findings);
         doxygenFileRule(f, findings);
     }

@@ -17,10 +17,14 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/cli_options.hh"
 #include "core/qoserve.hh"
+#include "obs/metrics_registry.hh"
+#include "obs/trace_export.hh"
+#include "obs/trace_sink.hh"
 
 int
 main(int argc, char **argv)
@@ -95,6 +99,11 @@ main(int argc, char **argv)
                         makeSchedulerFactory(opts.serving),
                         opts.loadBalance);
 
+    // Lifecycle tracing: attach the sink before any event can fire.
+    TraceSink traceSink;
+    if (opts.traceJsonOut || opts.traceEventsOut)
+        sim.setTraceSink(&traceSink);
+
     // Fault injection: episodes may start any time up to the last
     // arrival; in-flight outages still resolve after that.
     std::optional<FaultInjector> faults;
@@ -119,9 +128,70 @@ main(int argc, char **argv)
                 telemetry.observerFor(static_cast<int>(i)));
         }
     }
+
+    // Metrics cadence: poll live queue/KV/health state every interval.
+    MetricsRegistry registry;
+    std::optional<MetricsSampler> sampler;
+    if (opts.metricsOut) {
+        sampler.emplace(
+            sim.eventQueue(), registry, opts.metricsInterval,
+            [&sim](MetricsRegistry &reg, SimTime) {
+                for (std::size_t i = 0; i < sim.numReplicas(); ++i) {
+                    const Replica &rep = sim.replica(i);
+                    const std::string tag = std::to_string(i);
+                    reg.gauge("replica" + tag + "_prefill_queue") =
+                        static_cast<double>(
+                            rep.scheduler().prefillQueueSize());
+                    reg.gauge("replica" + tag + "_decode_queue") =
+                        static_cast<double>(
+                            rep.scheduler().decodeQueueSize());
+                    reg.gauge("replica" + tag + "_pending_prefill_tokens") =
+                        static_cast<double>(
+                            rep.scheduler().pendingPrefillTokens());
+                    reg.gauge("replica" + tag + "_kv_blocks_used") =
+                        static_cast<double>(rep.kv().usedBlocks());
+                    reg.gauge("replica" + tag + "_up") =
+                        rep.health() == ReplicaHealth::Down ? 0.0 : 1.0;
+                    reg.histogram("queue_depth",
+                                  {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0,
+                                   64.0, 128.0})
+                        .observe(static_cast<double>(
+                            rep.scheduler().prefillQueueSize()));
+                    reg.histogram("batch_occupancy",
+                                  {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0,
+                                   64.0})
+                        .observe(static_cast<double>(
+                            rep.scheduler().decodeQueueSize()));
+                }
+                reg.counter("redispatches") = static_cast<std::int64_t>(
+                    sim.redispatches());
+                reg.counter("retries_exhausted") =
+                    static_cast<std::int64_t>(sim.retriesExhausted());
+                reg.counter("admission_rejected") =
+                    static_cast<std::int64_t>(sim.admission().rejected());
+                reg.counter("requests_completed") =
+                    static_cast<std::int64_t>(sim.metrics().size());
+            });
+        sampler->start();
+    }
+
     const MetricsCollector &metrics = sim.run();
     if (opts.telemetryOut)
         telemetry.writeCsvFile(*opts.telemetryOut);
+    if (opts.traceJsonOut)
+        writePerfettoJsonFile(traceSink.events(), *opts.traceJsonOut);
+    if (opts.traceEventsOut)
+        traceSink.writeCsvFile(*opts.traceEventsOut);
+    if (opts.metricsOut) {
+        registry.writeCsvFile(*opts.metricsOut);
+        std::cerr << "metrics: " << sampler->samples()
+                  << " samples every " << opts.metricsInterval
+                  << " s -> " << *opts.metricsOut << "\n";
+    }
+    if (opts.traceJsonOut || opts.traceEventsOut) {
+        std::cerr << "trace: " << traceSink.size()
+                  << " lifecycle events captured\n";
+    }
 
     RunSummary summary = summarize(metrics);
     printSummary(summary, trace.tiers, std::cout);
