@@ -9,6 +9,8 @@
 #include <fstream>
 #include <set>
 
+#include "bench_build_info.hh"
+
 namespace qoserve {
 namespace bench {
 
@@ -261,6 +263,12 @@ writeBenchJson(const BenchOptions &opts, const std::vector<JsonRun> &runs,
 
     out << "{\n";
     out << "  \"bench\": \"" << jsonEscape(opts.benchName) << "\",\n";
+    out << "  \"git_describe\": \"" << jsonEscape(QOSERVE_GIT_DESCRIBE)
+        << "\",\n";
+    out << "  \"git_commit\": \"" << jsonEscape(QOSERVE_GIT_COMMIT)
+        << "\",\n";
+    out << "  \"build_type\": \"" << jsonEscape(QOSERVE_BUILD_TYPE)
+        << "\",\n";
     out << "  \"jobs\": " << opts.effectiveJobs() << ",\n";
     out << "  \"total_wall_s\": " << total_wall_seconds << ",\n";
     out << "  \"total_requests\": " << total_requests << ",\n";
@@ -278,8 +286,15 @@ writeBenchJson(const BenchOptions &opts, const std::vector<JsonRun> &runs,
             << ", \"requests_per_s\": "
             << (r.wallSeconds > 0.0
                     ? static_cast<double>(r.requests) / r.wallSeconds
-                    : 0.0)
-            << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+                    : 0.0);
+        if (r.events > 0) {
+            out << ", \"events\": " << r.events << ", \"ns_per_event\": "
+                << (r.events > 0
+                        ? 1e9 * r.wallSeconds /
+                              static_cast<double>(r.events)
+                        : 0.0);
+        }
+        out << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
     }
     out << "  ]\n";
     out << "}\n";

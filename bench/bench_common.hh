@@ -167,6 +167,10 @@ struct JsonRun
     double qps = 0.0;
     double wallSeconds = 0.0;
     std::size_t requests = 0;
+
+    /** Kernel events fired during the run; 0 (the default) omits the
+     *  per-event columns, so only scale benches report them. */
+    std::uint64_t events = 0;
 };
 
 /** Convert a fan-out's points + results into JSON rows. */

@@ -152,6 +152,85 @@ BM_ChunkBudgetSolve(benchmark::State &state)
 
 BENCHMARK(BM_ChunkBudgetSolve);
 
+/**
+ * Predictor-eval phase through the solver cache's chunk plane — the
+ * probe path every QoServe iteration actually takes (contrast with
+ * BM_ForestPredict, the uncached full-forest walk).
+ */
+void
+BM_ForestPredictPlane(benchmark::State &state)
+{
+    static PerfModel perf(llama3_8b_a100_tp1());
+    static ForestLatencyPredictor forest(perf);
+    ChunkSolverCache cache;
+    BatchFeatures f;
+    f.prefillContext = 1024;
+    f.numDecodes = 64;
+    f.decodeCtxSum = 64 * 2000;
+    int chunk = 64;
+    for (auto _ : state) {
+        // Cycle the probed chunk like the solver's bisection does;
+        // the composition stays inside the plane box, so every
+        // iteration after the first is a plane hit.
+        chunk = chunk >= 2560 ? 64 : chunk + 64;
+        benchmark::DoNotOptimize(
+            cache.lookupOrPredict(forest, f, chunk, 64));
+    }
+}
+
+BENCHMARK(BM_ForestPredictPlane);
+
+/**
+ * Budget-solve phase with the memoised solver under a drifting
+ * prefill context — the per-iteration mix of replay hits and cold
+ * plane searches the QoServe scheduler sees, versus
+ * BM_ChunkBudgetSolve's always-cold uncached search.
+ */
+void
+BM_ChunkBudgetSolveMemoised(benchmark::State &state)
+{
+    static PerfModel perf(llama3_8b_a100_tp1());
+    static ForestLatencyPredictor forest(perf);
+    ChunkSolverCache cache;
+    BatchFeatures f;
+    f.numDecodes = 64;
+    f.decodeCtxSum = 64 * 2000;
+    double pctx = 0.0;
+    for (auto _ : state) {
+        // The head prefill's context advances by the granted chunk
+        // each iteration and resets when the prefill finishes.
+        f.prefillContext = pctx;
+        int solved = solveChunkBudget(forest, f, 0.05, 2560, 64, &cache);
+        benchmark::DoNotOptimize(solved);
+        pctx += static_cast<double>(solved > 0 ? solved : 64);
+        if (pctx > 8192.0)
+            pctx = 0.0;
+    }
+}
+
+BENCHMARK(BM_ChunkBudgetSolveMemoised);
+
+/**
+ * Event-queue phase: steady-state schedule + fire through the slot
+ * pool and flat heap. Batches of 64 keep the heap populated the way
+ * a running cluster does.
+ */
+void
+BM_EventQueueOps(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(eq.now() + 0.001 * (64 - i), [&fired] { ++fired; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+}
+
+BENCHMARK(BM_EventQueueOps);
+
 } // namespace
 } // namespace qoserve
 

@@ -311,8 +311,10 @@ ClusterSim::run()
     }
     eq_.run();
 
-    QOSERVE_ASSERT(metrics_.size() == trace_.requests.size(),
-                   "requests lost: ", metrics_.size(), " of ",
+    // totalRecorded, not size: a streaming (non-retaining) collector
+    // keeps no records but still counts every completion.
+    QOSERVE_ASSERT(metrics_.totalRecorded() == trace_.requests.size(),
+                   "requests lost: ", metrics_.totalRecorded(), " of ",
                    trace_.requests.size(), " completed");
     return metrics_;
 }

@@ -141,6 +141,10 @@ class ClusterSim
     /** Metrics collected so far. */
     const MetricsCollector &metrics() const { return metrics_; }
 
+    /** Mutable collector access, for attaching a streaming record
+     *  sink or disabling retention before run(). */
+    MetricsCollector &metricsCollector() { return metrics_; }
+
     /** Replica access (stats, observers). */
     Replica &replica(std::size_t i) { return *replicas_[i]; }
 

@@ -44,6 +44,18 @@ Replica::Replica(EventQueue &eq, Config cfg,
     buildScheduler();
 }
 
+Replica::~Replica()
+{
+    // The scheduler's queues point into the pool; drop them before
+    // the requests they reference.
+    scheduler_.reset();
+    inflightBatch_.clear();
+    // qoserve-lint: allow(unordered-iter) — destruction is unobservable.
+    for (auto &entry : live_)
+        pool_.destroy(entry.second);
+    live_.clear();
+}
+
 void
 Replica::buildScheduler()
 {
@@ -62,6 +74,7 @@ Replica::buildScheduler()
     chunked->setCompletionHandler([this](Request *req) {
         RequestRecord rec = req->record();
         live_.erase(req->id());
+        pool_.destroy(req);
         if (onComplete_)
             onComplete_(rec);
     });
@@ -80,10 +93,12 @@ Replica::admit(const RequestSpec &spec)
         spec.appId < static_cast<int>(appStats_.size())) {
         stats = appStats_[spec.appId];
     }
-    auto req = std::make_unique<Request>(spec, tiers_[spec.tierId], stats);
-    Request *ptr = req.get();
-    auto [it, inserted] = live_.emplace(spec.id, std::move(req));
-    QOSERVE_ASSERT(inserted, "duplicate request id submitted");
+    Request *ptr = pool_.create(spec, tiers_[spec.tierId], stats);
+    auto [it, inserted] = live_.emplace(spec.id, ptr);
+    if (!inserted) {
+        pool_.destroy(ptr);
+        QOSERVE_PANIC("duplicate request id submitted: ", spec.id);
+    }
     return ptr;
 }
 
@@ -126,7 +141,8 @@ Replica::maybeStartIteration()
         return;
 
     SimTime start = eq_.now();
-    Batch batch = scheduler_->formBatch(start);
+    scheduler_->formBatchInto(inflightBatch_, start);
+    const Batch &batch = inflightBatch_;
     if (batch.empty())
         return;
 
@@ -137,6 +153,7 @@ Replica::maybeStartIteration()
     busy_ = true;
     ++iterations_;
     inflightStart_ = start;
+    inflightLatency_ = latency;
 
     if (observer_) {
         BatchObservation obs;
@@ -157,11 +174,13 @@ Replica::maybeStartIteration()
         }
     }
 
-    inflightEvent_ = eq_.scheduleAfter(
-        latency, [this, batch = std::move(batch), start, latency]() {
-            busyTime_ += latency;
-            completeIteration(batch, start);
-        });
+    // The closure captures only `this`: the batch lives in
+    // inflightBatch_, so the capture fits std::function's small
+    // buffer and the iteration hot path performs no heap allocation.
+    inflightEvent_ = eq_.scheduleAfter(latency, [this]() {
+        busyTime_ += inflightLatency_;
+        completeIteration(inflightBatch_, inflightStart_);
+    });
 }
 
 void
@@ -199,6 +218,9 @@ Replica::fail()
         busyTime_ += eq_.now() - inflightStart_;
         busy_ = false;
         inflightEvent_ = 0;
+        // The discarded batch points into live_, which is about to be
+        // destroyed; drop the stale request pointers now.
+        inflightBatch_.clear();
         // Close the aborted iteration on the trace's engine track.
         trace_.emit(TraceEventKind::IterEnd, kNoTraceRequest, 1);
     }
@@ -224,6 +246,9 @@ Replica::fail()
     // that pointed at them.
     prefixCache_->dropAll();
     buildScheduler();
+    // qoserve-lint: allow(unordered-iter) — destruction is unobservable.
+    for (auto &entry : live_)
+        pool_.destroy(entry.second);
     live_.clear();
 
     if (auditor_ != nullptr)

@@ -20,6 +20,7 @@
 #include "obs/trace_sink.hh"
 #include "prefixcache/prefix_cache.hh"
 #include "sched/chunked_scheduler.hh"
+#include "sched/request_pool.hh"
 #include "simcore/event_queue.hh"
 #include "workload/trace.hh"
 
@@ -89,6 +90,9 @@ class Replica
             const LatencyPredictor *predictor, TierTable tiers,
             std::vector<AppStats> app_stats,
             std::function<void(const RequestRecord &)> on_complete);
+
+    /** Destroys any still-live requests back into the pool. */
+    ~Replica();
 
     /** Admit a request at the current simulation time. */
     void submit(const RequestSpec &spec);
@@ -217,7 +221,11 @@ class Replica
     /** Stable trace handle; SchedulerEnv::trace points here. */
     TraceScope trace_;
 
-    std::unordered_map<std::uint64_t, std::unique_ptr<Request>> live_;
+    /** Slab pool the live requests live in. Declared before live_ and
+     *  the scheduler state so it outlives every raw Request*. */
+    RequestPool pool_;
+
+    std::unordered_map<std::uint64_t, Request *> live_;
     bool busy_ = false;
     std::uint64_t iterations_ = 0;
     SimDuration busyTime_ = 0.0;
@@ -229,6 +237,17 @@ class Replica
     /** In-flight completion event, for cancellation on crash. */
     EventId inflightEvent_ = 0;
     SimTime inflightStart_ = 0.0;
+
+    /**
+     * The batch being executed. Only one batch is ever in flight, so
+     * it lives here instead of inside the completion closure: the
+     * closure then captures nothing but `this` (fits std::function's
+     * small-buffer storage — no per-iteration heap allocation) and
+     * the chunk/decode vectors keep their capacity across
+     * iterations.
+     */
+    Batch inflightBatch_;
+    SimDuration inflightLatency_ = 0.0;
 };
 
 } // namespace qoserve

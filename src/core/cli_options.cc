@@ -128,6 +128,8 @@ deployment:
   --alpha MS            hybrid alpha, ms/token (default 8)
   --adaptive-alpha      enable load-adaptive alpha
   --max-chunk N         QoServe dynamic chunk cap (default 2560)
+  --no-solver-cache     disable the chunk-budget solver memo (results
+                        are identical; only wall-clock changes)
   --oracle-predictor    use the oracle instead of the random forest
   --jobs N              worker threads for predictor training
                         (default 0 = hardware concurrency; any value
@@ -241,6 +243,8 @@ parseCliOptions(const std::vector<std::string> &args)
         } else if (flag == "--max-chunk") {
             opts.serving.qoserve.maxChunkTokens = static_cast<int>(
                 parseU64(flag, need_value(i++, flag)));
+        } else if (flag == "--no-solver-cache") {
+            opts.serving.qoserve.enableSolverMemo = false;
         } else if (flag == "--oracle-predictor") {
             opts.serving.useForestPredictor = false;
         } else if (flag == "--jobs") {

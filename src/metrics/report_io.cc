@@ -16,7 +16,7 @@
 namespace qoserve {
 
 void
-writeRecordsCsv(const MetricsCollector &collector, std::ostream &out)
+writeRecordsCsvHeader(std::ostream &out)
 {
     // max_digits10: doubles survive the round trip through
     // readRecordsCsv bit-exactly (the explainer joins on these).
@@ -24,17 +24,62 @@ writeRecordsCsv(const MetricsCollector &collector, std::ostream &out)
     out << "id,arrival,prompt_tokens,decode_tokens,tier_id,important,"
            "ttft,ttlt,max_tbt,tbt_misses,violated,relegated,"
            "kv_preemptions,retries,retry_exhausted\n";
-    for (const RequestRecord &r : collector.records()) {
-        const QosTier &tier = collector.tiers()[r.spec.tierId];
-        out << r.spec.id << ',' << r.spec.arrival << ','
-            << r.spec.promptTokens << ',' << r.spec.decodeTokens << ','
-            << r.spec.tierId << ',' << (r.spec.important ? 1 : 0) << ','
-            << r.ttft() << ',' << r.ttlt() << ',' << r.maxTbt << ','
-            << r.tbtDeadlineMisses << ','
-            << (violatedSlo(r, tier) ? 1 : 0) << ','
-            << (r.wasRelegated ? 1 : 0) << ',' << r.kvPreemptions << ','
-            << r.retries << ',' << (r.retryExhausted ? 1 : 0) << '\n';
-    }
+}
+
+void
+writeRecordCsvRow(const RequestRecord &r, const QosTier &tier,
+                  std::ostream &out)
+{
+    out << r.spec.id << ',' << r.spec.arrival << ','
+        << r.spec.promptTokens << ',' << r.spec.decodeTokens << ','
+        << r.spec.tierId << ',' << (r.spec.important ? 1 : 0) << ','
+        << r.ttft() << ',' << r.ttlt() << ',' << r.maxTbt << ','
+        << r.tbtDeadlineMisses << ',' << (violatedSlo(r, tier) ? 1 : 0)
+        << ',' << (r.wasRelegated ? 1 : 0) << ',' << r.kvPreemptions
+        << ',' << r.retries << ',' << (r.retryExhausted ? 1 : 0) << '\n';
+}
+
+void
+writeRecordsCsv(const MetricsCollector &collector, std::ostream &out)
+{
+    writeRecordsCsvHeader(out);
+    for (const RequestRecord &r : collector.records())
+        writeRecordCsvRow(r, collector.tiers()[r.spec.tierId], out);
+}
+
+RecordsCsvStreamWriter::RecordsCsvStreamWriter(TierTable tiers,
+                                               const std::string &path)
+    : tiers_(std::move(tiers)), path_(path), out_(path)
+{
+    QOSERVE_ASSERT(!tiers_.empty(), "stream writer needs a tier table");
+    if (!out_)
+        QOSERVE_FATAL("cannot open records file for writing: ", path_);
+    writeRecordsCsvHeader(out_);
+}
+
+void
+RecordsCsvStreamWriter::write(const RequestRecord &rec)
+{
+    QOSERVE_ASSERT(rec.spec.tierId >= 0 &&
+                       rec.spec.tierId <
+                           static_cast<int>(tiers_.size()),
+                   "record references unknown tier");
+    writeRecordCsvRow(rec, tiers_[rec.spec.tierId], out_);
+}
+
+void
+RecordsCsvStreamWriter::close()
+{
+    if (!out_.is_open())
+        return;
+    out_.close();
+    if (!out_)
+        QOSERVE_FATAL("error writing records file: ", path_);
+}
+
+RecordsCsvStreamWriter::~RecordsCsvStreamWriter()
+{
+    close();
 }
 
 void

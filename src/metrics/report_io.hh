@@ -7,6 +7,7 @@
 #ifndef QOSERVE_METRICS_REPORT_IO_HH
 #define QOSERVE_METRICS_REPORT_IO_HH
 
+#include <fstream>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -27,6 +28,46 @@ void writeRecordsCsv(const MetricsCollector &collector, std::ostream &out);
 /** Write records CSV to a file (fatal on error). */
 void writeRecordsCsvFile(const MetricsCollector &collector,
                          const std::string &path);
+
+/** Write the records-CSV header row and set the stream precision the
+ *  row writer below relies on (max_digits10 round-trip). */
+void writeRecordsCsvHeader(std::ostream &out);
+
+/** Write one records-CSV row (see writeRecordsCsv for columns). */
+void writeRecordCsvRow(const RequestRecord &rec, const QosTier &tier,
+                       std::ostream &out);
+
+/**
+ * Streams records to a CSV file one row at a time, for runs too large
+ * to retain every record in memory. Feed it completion-order records
+ * (e.g. as a MetricsCollector sink) and the resulting file is
+ * byte-identical to writeRecordsCsvFile on a retaining collector —
+ * both paths share the same header and row writers.
+ */
+class RecordsCsvStreamWriter
+{
+  public:
+    /** Open @p path and write the header (fatal on error). */
+    RecordsCsvStreamWriter(TierTable tiers, const std::string &path);
+
+    /** Append one record's row. */
+    void write(const RequestRecord &rec);
+
+    /** Flush and close; fatal on a write error. Idempotent, and also
+     *  run by the destructor. */
+    void close();
+
+    ~RecordsCsvStreamWriter();
+
+    RecordsCsvStreamWriter(const RecordsCsvStreamWriter &) = delete;
+    RecordsCsvStreamWriter &
+    operator=(const RecordsCsvStreamWriter &) = delete;
+
+  private:
+    TierTable tiers_;
+    std::string path_;
+    std::ofstream out_;
+};
 
 /**
  * Write a RunSummary as key,value CSV rows.

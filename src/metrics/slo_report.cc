@@ -27,7 +27,11 @@ MetricsCollector::record(const RequestRecord &rec)
     QOSERVE_ASSERT(rec.spec.tierId >= 0 &&
                        rec.spec.tierId < static_cast<int>(tiers_.size()),
                    "record references unknown tier");
-    records_.push_back(rec);
+    ++totalRecorded_;
+    if (sink_)
+        sink_(rec);
+    if (retain_)
+        records_.push_back(rec);
 }
 
 bool

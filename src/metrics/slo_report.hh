@@ -13,6 +13,7 @@
 #ifndef QOSERVE_METRICS_SLO_REPORT_HH
 #define QOSERVE_METRICS_SLO_REPORT_HH
 
+#include <functional>
 #include <vector>
 
 #include "sched/request.hh"
@@ -22,28 +23,54 @@ namespace qoserve {
 
 /**
  * Sink for completed-request records.
+ *
+ * By default every record is retained in completion order for
+ * post-run summarization. For scale runs that would hold millions of
+ * records, attach a streaming sink (setRecordSink) and disable
+ * retention (setRetainRecords(false)): each record is then handed to
+ * the sink at completion time and dropped, keeping memory flat in the
+ * trace length. The sink observes the exact sequence records() would
+ * have held, so a streaming CSV writer produces byte-identical output
+ * to the buffered writer.
  */
 class MetricsCollector
 {
   public:
+    /** Per-record streaming callback (completion order). */
+    using RecordSink = std::function<void(const RequestRecord &)>;
+
     /** @param tiers Tier table the records' tierId fields refer to. */
     explicit MetricsCollector(TierTable tiers);
 
     /** Record a completed request. */
     void record(const RequestRecord &rec);
 
-    /** All records, in completion order. */
+    /** All records, in completion order. Empty when retention is
+     *  disabled — use totalRecorded() for the count. */
     const std::vector<RequestRecord> &records() const { return records_; }
 
     /** Tier table. */
     const TierTable &tiers() const { return tiers_; }
 
-    /** Number of records. */
+    /** Number of retained records. */
     std::size_t size() const { return records_.size(); }
+
+    /** Records seen, retained or not. */
+    std::size_t totalRecorded() const { return totalRecorded_; }
+
+    /** Invoke @p sink on every subsequent record (at completion). */
+    void setRecordSink(RecordSink sink) { sink_ = std::move(sink); }
+
+    /** Toggle in-memory retention (default on). Summaries require
+     *  retention; streaming-only runs must compute their own. */
+    void setRetainRecords(bool retain) { retain_ = retain; }
 
   private:
     TierTable tiers_;
     std::vector<RequestRecord> records_;
+    RecordSink sink_;
+    std::size_t totalRecorded_ = 0;
+    bool retain_ = true;
 };
 
 /** True if the record violated its tier's headline SLO. */

@@ -6,6 +6,7 @@
 #include "predictor/latency_predictor.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "simcore/logging.hh"
 
@@ -41,19 +42,277 @@ ForestLatencyPredictor::ForestLatencyPredictor(const PerfModel &model,
 SimDuration
 ForestLatencyPredictor::predict(const BatchFeatures &features) const
 {
-    double est =
-        forest_.predictQuantile(features.toVector(), options_.quantile);
+    auto x = features.toArray();
+    double est = forest_.predictQuantile(x.data(), BatchFeatures::kCount,
+                                         options_.quantile);
     return est * options_.safetyMargin;
+}
+
+SimDuration
+ForestLatencyPredictor::predictSupported(const BatchFeatures &features,
+                                         FeatureSupport &support) const
+{
+    auto x = features.toArray();
+    double est = forest_.predictQuantileTracked(
+        x.data(), BatchFeatures::kCount, options_.quantile, support);
+    return est * options_.safetyMargin;
+}
+
+namespace {
+
+/** True when box (lo, hi] is contained in @p outer on every axis. */
+bool
+boxWithin(const double *lo, const double *hi, const FeatureSupport &outer,
+          int dims)
+{
+    if (outer.dims != dims)
+        return false;
+    for (int i = 0; i < dims; ++i) {
+        if (lo[i] < outer.lo[i] || hi[i] > outer.hi[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+ForestLatencyPredictor::buildChunkPlane(const BatchFeatures &features,
+                                        ChunkPlane &out,
+                                        ChunkPlane *super_scratch) const
+{
+    // chunkTokens and prefillContext stay fully free: the solver
+    // varies the former per probe and the latter drifts by the
+    // granted chunk every iteration. The composition features get a
+    // slack box around their current values so small drifts (decodes
+    // joining/leaving, contexts growing) don't force a rebuild.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const double lo[BatchFeatures::kCount] = {
+        -kInf, -kInf, features.numDecodes - options_.planeDecodeSlack,
+        features.decodeCtxSum - options_.planeContextSlack};
+    const double hi[BatchFeatures::kCount] = {
+        kInf, kInf, features.numDecodes + options_.planeDecodeSlack,
+        features.decodeCtxSum + options_.planeContextSlack};
+
+    // Restriction composes exactly, so deriving the plane from a
+    // wider super-plane yields the node-for-node identical forest as
+    // deriving it from the source forest — at a fraction of the walk.
+    // The super-plane is refreshed (from the full forest) only when
+    // the requested box escapes it, which the slack scale makes rare.
+    if (super_scratch != nullptr && options_.superSlackScale >= 1.0) {
+        if (!super_scratch->valid() ||
+            !boxWithin(lo, hi, super_scratch->support,
+                       BatchFeatures::kCount)) {
+            double s = options_.superSlackScale;
+            const double slo[BatchFeatures::kCount] = {
+                -kInf, -kInf,
+                features.numDecodes - s * options_.planeDecodeSlack,
+                features.decodeCtxSum - s * options_.planeContextSlack};
+            const double shi[BatchFeatures::kCount] = {
+                kInf, kInf,
+                features.numDecodes + s * options_.planeDecodeSlack,
+                features.decodeCtxSum + s * options_.planeContextSlack};
+            forest_.restrictToBox(slo, shi, BatchFeatures::kCount,
+                                  super_scratch->forest,
+                                  super_scratch->support);
+        }
+        super_scratch->forest.restrictToBox(lo, hi,
+                                            BatchFeatures::kCount,
+                                            out.forest, out.support);
+    } else {
+        forest_.restrictToBox(lo, hi, BatchFeatures::kCount, out.forest,
+                              out.support);
+    }
+    out.quantile = options_.quantile;
+    out.safetyMargin = options_.safetyMargin;
+    return true;
+}
+
+void
+ChunkSolverCache::invalidate()
+{
+    plane_.forest.clear();
+    super_.forest.clear();
+    for (SolveRecord &r : records_)
+        r.valid = false;
+    ++stats_.invalidations;
+}
+
+void
+ChunkSolverCache::attributeMiss(const double *x)
+{
+    // Attribute the miss to the first escaped dimension, so the perf
+    // benches can report which feature's drift limits reuse.
+    for (int i = 0; i < plane_.support.dims; ++i) {
+        if (!(plane_.support.lo[i] < x[static_cast<std::size_t>(i)] &&
+              x[static_cast<std::size_t>(i)] <= plane_.support.hi[i])) {
+            ++stats_.dimMisses[i];
+            break;
+        }
+    }
+}
+
+SimDuration
+ChunkSolverCache::lookupOrPredict(const LatencyPredictor &predictor,
+                                  BatchFeatures features, int chunk,
+                                  int step)
+{
+    QOSERVE_ASSERT(chunk >= 0 && step > 0, "bad cache key");
+    features.chunkTokens = static_cast<double>(chunk);
+    auto x = features.toArray();
+
+    ++stats_.queries;
+    if (plane_.valid()) {
+        if (plane_.support.contains(x.data(), BatchFeatures::kCount)) {
+            ++stats_.hits;
+            return plane_.predict(x.data(), BatchFeatures::kCount);
+        }
+        attributeMiss(x.data());
+    }
+
+    ++stats_.evaluations;
+    if (predictor.buildChunkPlane(features, plane_, &super_))
+        return plane_.predict(x.data(), BatchFeatures::kCount);
+    return predictor.predict(features);
+}
+
+bool
+ChunkSolverCache::ensurePlane(const LatencyPredictor &predictor,
+                              const BatchFeatures &features,
+                              const double *x)
+{
+    if (plane_.valid()) {
+        if (plane_.support.contains(x, BatchFeatures::kCount))
+            return true;
+        attributeMiss(x);
+    }
+    ++stats_.evaluations;
+    if (!predictor.buildChunkPlane(features, plane_, &super_))
+        return false;
+    ++generation_;
+    return true;
+}
+
+int
+ChunkSolverCache::solve(const LatencyPredictor &predictor,
+                        const BatchFeatures &decode_state,
+                        SimDuration budget, int max_chunk, int step)
+{
+    ++stats_.solves;
+    const int units = max_chunk / step;
+
+    BatchFeatures features = decode_state;
+    // The chunk axis is free in the plane's box, so any value
+    // validates the composition check below.
+    features.chunkTokens = 0.0;
+    auto x = features.toArray();
+
+    if (!ensurePlane(predictor, features, x.data())) {
+        // Predictor cannot partially evaluate: plain cold search with
+        // per-probe predictions.
+        auto feasible = [&](int chunk) {
+            BatchFeatures f = decode_state;
+            f.chunkTokens = static_cast<double>(chunk);
+            ++stats_.queries;
+            return predictor.predict(f) <= budget;
+        };
+        int lo = 0, hi = units;
+        if (feasible(units * step))
+            return units * step;
+        while (hi - lo > 1) {
+            int mid = lo + (hi - lo) / 2;
+            if (feasible(mid * step))
+                lo = mid;
+            else
+                hi = mid;
+        }
+        return lo * step;
+    }
+
+    // Replay: a record from the current plane whose box contains the
+    // query (composition and prefill context; the chunk axis is
+    // skipped — each recorded probe fixed its own chunk) and whose
+    // budget interval contains the budget would probe the exact same
+    // chunks, observe bitwise-identical latencies, and take the same
+    // branch at every feasibility test — so its result IS this
+    // solve's result.
+    for (const SolveRecord &r : records_) {
+        if (!r.valid || r.generation != generation_)
+            continue;
+        bool inside = true;
+        for (int i = 1; i < BatchFeatures::kCount; ++i) {
+            if (!(r.box.lo[i] < x[static_cast<std::size_t>(i)] &&
+                  x[static_cast<std::size_t>(i)] <= r.box.hi[i])) {
+                inside = false;
+                break;
+            }
+        }
+        if (!inside)
+            continue;
+        if (!(r.budgetLo <= budget && budget < r.budgetHi))
+            continue;
+        ++stats_.replayHits;
+        return r.resultUnits * step;
+    }
+
+    // Cold search against the plane, with tracked probes feeding the
+    // next record. Probe latencies are bitwise identical to the
+    // untracked plane path (same walk, same quantile kernel).
+    SolveRecord rec;
+    rec.generation = generation_;
+    rec.box.reset(BatchFeatures::kCount);
+    rec.budgetLo = -std::numeric_limits<double>::infinity();
+    rec.budgetHi = std::numeric_limits<double>::infinity();
+    auto feasible = [&](int chunk) {
+        x[0] = static_cast<double>(chunk);
+        ++stats_.queries;
+        ++stats_.hits;
+        SimDuration lat = plane_.forest.predictQuantileTracked(
+                              x.data(), BatchFeatures::kCount,
+                              plane_.quantile, rec.box) *
+                          plane_.safetyMargin;
+        if (lat <= budget) {
+            rec.budgetLo = std::max(rec.budgetLo, lat);
+            return true;
+        }
+        rec.budgetHi = std::min(rec.budgetHi, lat);
+        return false;
+    };
+
+    int lo = 0; // feasible (empty chunk) by definition
+    int hi = units;
+    if (feasible(units * step)) {
+        lo = units;
+    } else {
+        // Invariant: lo feasible, hi infeasible.
+        while (hi - lo > 1) {
+            int mid = lo + (hi - lo) / 2;
+            if (feasible(mid * step))
+                lo = mid;
+            else
+                hi = mid;
+        }
+    }
+
+    rec.resultUnits = lo;
+    rec.valid = true;
+    records_[recordHead_] = rec;
+    recordHead_ = (recordHead_ + 1) % kSolveRecords;
+    return lo * step;
 }
 
 int
 solveChunkBudget(const LatencyPredictor &predictor,
                  BatchFeatures decode_state, SimDuration budget,
-                 int max_chunk, int step)
+                 int max_chunk, int step, ChunkSolverCache *cache)
 {
     QOSERVE_ASSERT(max_chunk >= 0 && step > 0, "bad solver bounds");
     if (budget <= 0.0 || max_chunk < step)
         return 0;
+
+    if (cache != nullptr)
+        return cache->solve(predictor, decode_state, budget, max_chunk,
+                            step);
 
     auto feasible = [&](int chunk) {
         BatchFeatures f = decode_state;
@@ -61,8 +320,8 @@ solveChunkBudget(const LatencyPredictor &predictor,
         return predictor.predict(f) <= budget;
     };
 
-    int lo = 0;                    // feasible (empty chunk) by definition
-    int hi = max_chunk / step;     // in units of step
+    int lo = 0;                // feasible (empty chunk) by definition
+    int hi = max_chunk / step; // in units of step
     if (feasible(hi * step))
         return hi * step;
     // Invariant: lo feasible, hi infeasible.

@@ -14,11 +14,45 @@
 #ifndef QOSERVE_PREDICTOR_LATENCY_PREDICTOR_HH
 #define QOSERVE_PREDICTOR_LATENCY_PREDICTOR_HH
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "predictor/profiler.hh"
 
 namespace qoserve {
+
+/**
+ * A predictor partially evaluated over the (chunkTokens,
+ * prefillContext) plane.
+ *
+ * The chunk-budget solver probes many chunk sizes per iteration, and
+ * the prefill head's context drifts by exactly the granted chunk
+ * every iteration — but the rest of the batch composition (decode
+ * count, decode context sum) changes slowly. Fixing the slow features
+ * and leaving the per-probe ones free yields a tiny restricted forest
+ * whose predictions are bitwise identical to the full predictor's for
+ * as long as the fixed features stay inside @ref support.
+ */
+struct ChunkPlane
+{
+    RestrictedForest forest;
+
+    /** Box over the fixed features; free axes are unbounded, so one
+     *  contains() on the full feature vector validates reuse. */
+    FeatureSupport support;
+
+    double quantile = 0.5;
+    double safetyMargin = 1.0;
+
+    bool valid() const { return forest.valid(); }
+
+    /** Predicted latency at @p x (flattened BatchFeatures). */
+    SimDuration predict(const double *x, int dims) const
+    {
+        return forest.predictQuantile(x, dims, quantile) * safetyMargin;
+    }
+};
 
 /**
  * Predicts the execution time of one iteration's batch.
@@ -30,6 +64,46 @@ class LatencyPredictor
 
     /** Predicted iteration time, seconds. */
     virtual SimDuration predict(const BatchFeatures &features) const = 0;
+
+    /**
+     * Predict and, when possible, report a leaf-stability box.
+     *
+     * The default forwards to predict() and marks the support invalid
+     * (dims = 0), which disables caching for predictors that cannot
+     * bound the region over which their output is constant.
+     */
+    virtual SimDuration
+    predictSupported(const BatchFeatures &features,
+                     FeatureSupport &support) const
+    {
+        support.dims = 0;
+        return predict(features);
+    }
+
+    /**
+     * Partially evaluate over the (chunkTokens, prefillContext) plane
+     * at @p features' remaining coordinates.
+     *
+     * Returns false (the default) when the predictor cannot partially
+     * evaluate; the solver then falls back to per-probe predict().
+     *
+     * @p super_scratch, when non-null, is caller-owned storage for a
+     * wider intermediate restriction: the plane is then derived from
+     * it (restriction composes exactly) instead of from the full
+     * source forest, which makes the frequent small rebuilds several
+     * times cheaper. The scratch is (re)built here whenever it does
+     * not cover the requested plane's box; its contents are opaque to
+     * the caller.
+     */
+    virtual bool buildChunkPlane(const BatchFeatures &features,
+                                 ChunkPlane &out,
+                                 ChunkPlane *super_scratch = nullptr) const
+    {
+        (void)features;
+        (void)out;
+        (void)super_scratch;
+        return false;
+    }
 };
 
 /**
@@ -82,6 +156,27 @@ class ForestLatencyPredictor : public LatencyPredictor
          * every value; 1 trains serially.
          */
         int trainJobs = 0;
+
+        /**
+         * Half-width of the chunk plane's validity box on the decode
+         * batch-size axis. Pure performance knob: splits inside the
+         * box are kept and re-evaluated per query, so predictions are
+         * identical for every value — wider boxes mean rarer plane
+         * rebuilds but a larger restricted forest.
+         */
+        double planeDecodeSlack = 16.0;
+
+        /** Half-width of the validity box on the decode context-sum
+         *  axis (same trade-off as planeDecodeSlack). */
+        double planeContextSlack = 32768.0;
+
+        /**
+         * Multiplier on both plane slacks for the super-plane used as
+         * the intermediate restriction source (see buildChunkPlane).
+         * Another pure performance knob: predictions are identical
+         * for every value >= 1.
+         */
+        double superSlackScale = 4.0;
     };
 
     /** Train on profiles of @p model with default options. */
@@ -92,6 +187,13 @@ class ForestLatencyPredictor : public LatencyPredictor
 
     SimDuration predict(const BatchFeatures &features) const override;
 
+    SimDuration predictSupported(const BatchFeatures &features,
+                                 FeatureSupport &support) const override;
+
+    bool buildChunkPlane(const BatchFeatures &features, ChunkPlane &out,
+                         ChunkPlane *super_scratch = nullptr)
+        const override;
+
     /** Access the fitted ensemble (tests, diagnostics). */
     const RandomForest &forest() const { return forest_; }
 
@@ -101,6 +203,128 @@ class ForestLatencyPredictor : public LatencyPredictor
   private:
     RandomForest forest_;
     Options options_;
+};
+
+/**
+ * Memoises the chunk-budget search at two levels.
+ *
+ * Probe level: holds one ChunkPlane — the predictor partially
+ * evaluated over the (chunkTokens, prefillContext) axes the solver
+ * actually varies. A probe is served from the plane iff the remaining
+ * composition features (decode batch size, context sum) still fall
+ * inside the plane's box, which makes every hit provably bitwise
+ * identical to a fresh forest evaluation: chunk probes and the head
+ * prefill's context drift never force a rebuild, only genuine
+ * composition changes do.
+ *
+ * Solve level: every cold search runs its probes in *tracked* mode,
+ * intersecting their leaf-stability boxes, and records the resulting
+ * box together with the budget interval that preserves every probe's
+ * feasibility sign and the plane generation it ran against. A later
+ * solve matching a record (same plane, features inside the box,
+ * budget inside the interval) would probe the exact same chunks,
+ * observe the exact same latencies and signs, and therefore return
+ * the identical result — so the search is skipped outright.
+ *
+ * No explicit invalidation is required at either level — the box
+ * proofs alone guard reuse.
+ */
+class ChunkSolverCache
+{
+  public:
+    /** Hit/miss counters (diagnostics and the perf benchmarks). */
+    struct Stats
+    {
+        std::uint64_t solves = 0;      ///< solve() calls.
+        std::uint64_t replayHits = 0;  ///< Solves answered by replay.
+        std::uint64_t queries = 0;     ///< Individual probe lookups.
+        std::uint64_t hits = 0;        ///< Box-validated plane reuses.
+        std::uint64_t evaluations = 0; ///< Plane rebuilds + fallbacks.
+        std::uint64_t invalidations = 0; ///< invalidate() calls.
+
+        /** Misses attributed to the first feature dimension whose
+         *  value escaped a valid plane's box (diagnostics: which
+         *  feature's drift limits the hit rate). */
+        std::uint64_t dimMisses[kMaxForestFeatures] = {};
+    };
+
+    /** Drop the cached planes and solve records (forces a rebuild on
+     *  the next query). */
+    void invalidate();
+
+    /**
+     * Latency for @p chunk from the cached plane, or from a freshly
+     * rebuilt plane (or plain predict() for predictors that cannot
+     * partially evaluate) when the composition escaped the box.
+     */
+    SimDuration lookupOrPredict(const LatencyPredictor &predictor,
+                                BatchFeatures features, int chunk,
+                                int step);
+
+    /**
+     * Largest feasible chunk for @p budget — the memoised equivalent
+     * of solveChunkBudget()'s cold search, returning a bitwise
+     * identical result.
+     *
+     * @param decode_state Batch composition (chunkTokens ignored).
+     * @param budget Latency budget, seconds (> 0).
+     * @param max_chunk Upper bound on the chunk (>= step).
+     * @param step Chunk granularity.
+     */
+    int solve(const LatencyPredictor &predictor,
+              const BatchFeatures &decode_state, SimDuration budget,
+              int max_chunk, int step);
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    /** One recorded cold search (see class doc). */
+    struct SolveRecord
+    {
+        /** Plane generation the search ran against. */
+        std::uint64_t generation = 0;
+
+        /** Intersection of the probes' leaf-stability boxes. */
+        FeatureSupport box;
+
+        /** Half-open budget interval [budgetLo, budgetHi): any budget
+         *  inside it reproduces every feasibility sign (lat <= budget)
+         *  of the recorded search, because budgetLo is the largest
+         *  probed latency that was feasible and budgetHi the smallest
+         *  that was not. */
+        SimDuration budgetLo = 0.0;
+        SimDuration budgetHi = 0.0;
+
+        /** Solved chunk, in units of step. */
+        int resultUnits = 0;
+
+        bool valid = false;
+    };
+
+    /** Recorded solves kept (ring; newest overwrite oldest). */
+    static constexpr int kSolveRecords = 16;
+
+    void attributeMiss(const double *x);
+
+    /** Rebuild plane_ for @p x if its box no longer covers it; true
+     *  when a valid plane is available afterwards. */
+    bool ensurePlane(const LatencyPredictor &predictor,
+                     const BatchFeatures &features, const double *x);
+
+    ChunkPlane plane_;
+
+    /** Wide intermediate restriction the predictor derives plane_
+     *  from (see LatencyPredictor::buildChunkPlane). */
+    ChunkPlane super_;
+
+    /** Bumped on every plane_ rebuild; ties solve records to the
+     *  exact plane contents they were recorded against. */
+    std::uint64_t generation_ = 0;
+
+    SolveRecord records_[kSolveRecords];
+    int recordHead_ = 0;
+
+    Stats stats_;
 };
 
 /**
@@ -115,12 +339,16 @@ class ForestLatencyPredictor : public LatencyPredictor
  * @param budget Latency budget, seconds.
  * @param max_chunk Upper bound on the chunk.
  * @param step Chunk granularity.
+ * @param cache Optional prediction memo shared across solves; hits
+ *        are bitwise identical to fresh evaluations, so the solve
+ *        result is unchanged.
  * @return Largest feasible chunk (multiple of step), or 0 when even
  *         the smallest step exceeds the budget.
  */
 int solveChunkBudget(const LatencyPredictor &predictor,
                      BatchFeatures decode_state, SimDuration budget,
-                     int max_chunk, int step = 64);
+                     int max_chunk, int step = 64,
+                     ChunkSolverCache *cache = nullptr);
 
 } // namespace qoserve
 

@@ -13,6 +13,7 @@
 #ifndef QOSERVE_PREDICTOR_PROFILER_HH
 #define QOSERVE_PREDICTOR_PROFILER_HH
 
+#include <array>
 #include <vector>
 
 #include "model/perf_model.hh"
@@ -29,6 +30,9 @@ namespace qoserve {
  */
 struct BatchFeatures
 {
+    /** Number of features in the flattened layout. */
+    static constexpr int kCount = 4;
+
     double chunkTokens = 0.0;
     double prefillContext = 0.0;
     double numDecodes = 0.0;
@@ -37,6 +41,13 @@ struct BatchFeatures
     /** Flatten into the vector form consumed by the forest. */
     std::vector<double>
     toVector() const
+    {
+        return {chunkTokens, prefillContext, numDecodes, decodeCtxSum};
+    }
+
+    /** Allocation-free flattening for the hot prediction path. */
+    std::array<double, kCount>
+    toArray() const
     {
         return {chunkTokens, prefillContext, numDecodes, decodeCtxSum};
     }

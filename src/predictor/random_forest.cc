@@ -7,12 +7,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 
 #include "simcore/logging.hh"
 #include "simcore/thread_pool.hh"
 
 namespace qoserve {
+
+void
+FeatureSupport::reset(int d)
+{
+    QOSERVE_ASSERT(d > 0 && d <= kMaxForestFeatures,
+                   "unsupported feature count ", d);
+    dims = d;
+    for (int i = 0; i < d; ++i) {
+        lo[i] = -std::numeric_limits<double>::infinity();
+        hi[i] = std::numeric_limits<double>::infinity();
+    }
+}
+
+bool
+FeatureSupport::contains(const double *x, int d) const
+{
+    if (d != dims || dims == 0)
+        return false;
+    for (int i = 0; i < d; ++i) {
+        if (!(lo[i] < x[i] && x[i] <= hi[i]))
+            return false;
+    }
+    return true;
+}
 
 namespace {
 
@@ -156,6 +181,29 @@ RegressionTree::fit(const std::vector<TrainSample> &samples,
           scratch);
 }
 
+void
+RegressionTree::flattenInto(std::vector<FlatNode> &out) const
+{
+    QOSERVE_ASSERT(!nodes_.empty(), "flattenInto() before fit()");
+    auto base = static_cast<std::uint32_t>(out.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        FlatNode f;
+        if (n.feature < 0) {
+            f.key = n.value;
+        } else {
+            // Preorder invariant from build(): the left child is the
+            // next node, so only the right index needs storing.
+            QOSERVE_ASSERT(n.left == static_cast<int>(i) + 1,
+                           "tree is not in preorder");
+            f.key = n.threshold;
+            f.feature = n.feature;
+            f.right = base + static_cast<std::uint32_t>(n.right);
+        }
+        out.push_back(f);
+    }
+}
+
 double
 RegressionTree::predict(const std::vector<double> &x) const
 {
@@ -199,12 +247,507 @@ RandomForest::fit(const std::vector<TrainSample> &samples,
             }
             trees_[t].fit(boot, params, tree_rng);
         });
+
+    // Flatten the trained ensemble into one contiguous node array so
+    // the hot evaluation path walks cache-friendly 16-byte records
+    // instead of pointer-chasing per-tree vectors.
+    flat_.clear();
+    roots_.clear();
+    roots_.reserve(trees_.size());
+    std::size_t total = 0;
+    for (const auto &t : trees_)
+        total += t.numNodes();
+    flat_.reserve(total);
+    for (const auto &t : trees_) {
+        roots_.push_back(static_cast<std::uint32_t>(flat_.size()));
+        t.flattenInto(flat_);
+    }
+
+    // Depth bound and feature width for the lockstep walk: the walk
+    // runs a fixed number of levels (leaves self-loop), and the query
+    // width is validated once per evaluation instead of per node.
+    maxTreeDepth_ = 0;
+    featureDims_ = 0;
+    for (std::size_t t = 0; t < roots_.size(); ++t) {
+        std::uint32_t begin = roots_[t];
+        std::uint32_t end = t + 1 < roots_.size()
+                                ? roots_[t + 1]
+                                : static_cast<std::uint32_t>(flat_.size());
+        // Preorder layout: a node's depth is its parent's plus one,
+        // and every node's parent precedes it, so one forward pass
+        // with a depth stack suffices.
+        std::vector<int> depth(end - begin, 0);
+        for (std::uint32_t i = begin; i < end; ++i) {
+            const FlatNode &n = flat_[i];
+            maxTreeDepth_ = std::max(maxTreeDepth_, depth[i - begin]);
+            if (n.feature < 0)
+                continue;
+            featureDims_ = std::max(featureDims_, n.feature + 1);
+            depth[i + 1 - begin] = depth[i - begin] + 1;
+            depth[n.right - begin] = depth[i - begin] + 1;
+        }
+    }
+}
+
+double
+RandomForest::evalTree(std::uint32_t root, const double *x,
+                       int dims) const
+{
+    QOSERVE_ASSERT(dims >= featureDims_, "feature vector too short");
+    const FlatNode *nodes = flat_.data();
+    std::uint32_t node = root;
+    std::int32_t f;
+    while ((f = nodes[node].feature) >= 0) {
+        // Branchless child select: left child is node + 1 by layout.
+        node = x[f] <= nodes[node].key ? node + 1 : nodes[node].right;
+    }
+    return nodes[node].key;
+}
+
+double
+RandomForest::evalTreeTracked(std::uint32_t root, const double *x,
+                              int dims, FeatureSupport &support) const
+{
+    QOSERVE_ASSERT(dims >= featureDims_, "feature vector too short");
+    const FlatNode *nodes = flat_.data();
+    std::uint32_t node = root;
+    std::int32_t f;
+    while ((f = nodes[node].feature) >= 0) {
+        double thr = nodes[node].key;
+        if (x[f] <= thr) {
+            if (thr < support.hi[f])
+                support.hi[f] = thr;
+            node = node + 1;
+        } else {
+            if (thr > support.lo[f])
+                support.lo[f] = thr;
+            node = nodes[node].right;
+        }
+    }
+    return nodes[node].key;
+}
+
+namespace {
+
+/** Largest ensemble sorted with the branchless network. */
+constexpr std::size_t kMaxNetworkSort = 64;
+
+/**
+ * Batcher odd-even compare-exchange schedules for every size up to
+ * kMaxNetworkSort, built once. A fixed network sorts with min/max
+ * selects only — no data-dependent branches — which matters because
+ * the quantile sort runs once per chunk-solver probe and mispredicted
+ * comparison sorts dominated that path.
+ */
+const std::vector<std::pair<int, int>> &
+sortNetwork(std::size_t n)
+{
+    static const auto table = [] {
+        std::vector<std::vector<std::pair<int, int>>> nets(
+            kMaxNetworkSort + 1);
+        for (int size = 2; size <= static_cast<int>(kMaxNetworkSort);
+             ++size) {
+            auto &net = nets[static_cast<std::size_t>(size)];
+            for (int p = 1; p < size; p <<= 1) {
+                for (int k = p; k >= 1; k >>= 1) {
+                    for (int j = k % p; j + k < size; j += 2 * k) {
+                        for (int i = 0;
+                             i < k && i + j + k < size; ++i) {
+                            if ((i + j) / (2 * p) ==
+                                (i + j + k) / (2 * p))
+                                net.emplace_back(i + j, i + j + k);
+                        }
+                    }
+                }
+            }
+        }
+        return nets;
+    }();
+    return table[n];
+}
+
+/** Shared quantile-of-tree-predictions kernel. */
+double
+quantileOfPreds(std::vector<double> &preds, double q)
+{
+    // The interpolation reads only the lo-th and (lo+1)-th smallest
+    // values; any correct sort or selection produces exactly the
+    // doubles the original sort-and-interpolate placed there, so both
+    // paths below stay bitwise identical to it.
+    double pos = q * (preds.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    auto hi = std::min(lo + 1, preds.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    double v_lo, v_hi;
+    if (preds.size() >= 2 && preds.size() <= kMaxNetworkSort) {
+        double *v = preds.data();
+        for (auto [a, b] : sortNetwork(preds.size())) {
+            double x = v[a], y = v[b];
+            v[a] = std::min(x, y);
+            v[b] = std::max(x, y);
+        }
+        v_lo = v[lo];
+        v_hi = v[hi];
+    } else {
+        auto pivot = preds.begin() + static_cast<std::ptrdiff_t>(lo);
+        std::nth_element(preds.begin(), pivot, preds.end());
+        v_lo = *pivot;
+        v_hi = hi > lo ? *std::min_element(pivot + 1, preds.end())
+                       : v_lo;
+    }
+    return v_lo * (1.0 - frac) + v_hi * frac;
+}
+
+/**
+ * Lockstep walk shared by the full and restricted forests: each
+ * tree's node chain is serially dependent, but steps of *different*
+ * trees are independent, so advancing every tree one level per pass
+ * keeps many node fetches in flight instead of draining one 12-deep
+ * chain at a time. Leaves self-loop (their feature is negative) until
+ * the deepest tree finishes; all selects compile to conditional
+ * moves.
+ */
+void
+lockstepFill(const FlatNode *nodes, const std::uint32_t *roots,
+             std::size_t n, int max_depth, const double *x,
+             double *preds)
+{
+    constexpr std::size_t kBlock = 32;
+    for (std::size_t base = 0; base < n; base += kBlock) {
+        std::size_t m = std::min(kBlock, n - base);
+        std::uint32_t cur[kBlock];
+        for (std::size_t t = 0; t < m; ++t)
+            cur[t] = roots[base + t];
+        for (int level = 0; level < max_depth; ++level) {
+            for (std::size_t t = 0; t < m; ++t) {
+                const FlatNode &nd = nodes[cur[t]];
+                bool leaf = nd.feature < 0;
+                std::int32_t f = leaf ? 0 : nd.feature;
+                std::uint32_t next =
+                    x[f] <= nd.key ? cur[t] + 1 : nd.right;
+                cur[t] = leaf ? cur[t] : next;
+            }
+        }
+        for (std::size_t t = 0; t < m; ++t)
+            preds[base + t] = nodes[cur[t]].key;
+    }
+}
+
+} // namespace
+
+void
+RestrictedForest::clear()
+{
+    flat_.clear();
+    roots_.clear();
+    maxDepth_ = 0;
+    featureDims_ = 0;
+}
+
+double
+RestrictedForest::predictQuantile(const double *x, int dims,
+                                  double q) const
+{
+    QOSERVE_ASSERT(valid(), "predictQuantile() on an empty restriction");
+    QOSERVE_ASSERT(dims >= featureDims_, "feature vector too short");
+    QOSERVE_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
+    static thread_local std::vector<double> preds;
+    preds.resize(roots_.size());
+    lockstepFill(flat_.data(), roots_.data(), roots_.size(), maxDepth_,
+                 x, preds.data());
+    return quantileOfPreds(preds, q);
+}
+
+double
+RestrictedForest::predictQuantileTracked(const double *x, int dims,
+                                         double q,
+                                         FeatureSupport &support) const
+{
+    QOSERVE_ASSERT(valid(), "predictQuantileTracked() on an empty "
+                            "restriction");
+    QOSERVE_ASSERT(dims >= featureDims_, "feature vector too short");
+    QOSERVE_ASSERT(support.dims >= featureDims_,
+                   "support not initialised by the caller");
+    const FlatNode *nodes = flat_.data();
+    static thread_local std::vector<double> preds;
+    preds.resize(roots_.size());
+    for (std::size_t t = 0; t < roots_.size(); ++t) {
+        std::uint32_t node = roots_[t];
+        std::int32_t f;
+        while ((f = nodes[node].feature) >= 0) {
+            double thr = nodes[node].key;
+            if (x[f] <= thr) {
+                if (thr < support.hi[f])
+                    support.hi[f] = thr;
+                node = node + 1;
+            } else {
+                if (thr > support.lo[f])
+                    support.lo[f] = thr;
+                node = nodes[node].right;
+            }
+        }
+        preds[t] = nodes[node].key;
+    }
+    return quantileOfPreds(preds, q);
+}
+
+double
+RandomForest::quantileOf(std::vector<double> &preds, double q) const
+{
+    return quantileOfPreds(preds, q);
+}
+
+void
+RandomForest::fillTreePreds(const double *x, int dims,
+                            std::vector<double> &preds) const
+{
+    QOSERVE_ASSERT(dims >= featureDims_, "feature vector too short");
+    preds.resize(roots_.size());
+    lockstepFill(flat_.data(), roots_.data(), roots_.size(),
+                 maxTreeDepth_, x, preds.data());
+}
+
+void
+RandomForest::restrictToBox(const double *lo, const double *hi, int dims,
+                            RestrictedForest &out,
+                            FeatureSupport &support) const
+{
+    QOSERVE_ASSERT(trained(), "restrictToBox() before fit()");
+    RestrictedForest::restrictImpl(flat_.data(), roots_.data(),
+                                   roots_.size(), maxTreeDepth_,
+                                   featureDims_, lo, hi, dims, out,
+                                   support);
+}
+
+void
+RestrictedForest::restrictToBox(const double *lo, const double *hi,
+                                int dims, RestrictedForest &out,
+                                FeatureSupport &support) const
+{
+    QOSERVE_ASSERT(valid(), "restrictToBox() on an empty restriction");
+    restrictImpl(flat_.data(), roots_.data(), roots_.size(), maxDepth_,
+                 featureDims_, lo, hi, dims, out, support);
+}
+
+void
+RestrictedForest::restrictImpl(const FlatNode *nodes,
+                               const std::uint32_t *src_roots,
+                               std::size_t num_roots, int max_depth,
+                               int feature_dims, const double *lo,
+                               const double *hi, int dims,
+                               RestrictedForest &out,
+                               FeatureSupport &support)
+{
+    QOSERVE_ASSERT(dims >= feature_dims, "feature vector too short");
+    support.reset(dims);
+    for (int i = 0; i < dims; ++i) {
+        QOSERVE_ASSERT(lo[i] < hi[i], "empty restriction box on axis ",
+                       i);
+        support.lo[i] = lo[i];
+        support.hi[i] = hi[i];
+    }
+    out.clear();
+    out.featureDims_ = feature_dims;
+    out.roots_.reserve(num_roots);
+
+    // Preorder re-emission. A split with the whole box on one side is
+    // resolved: every in-box query (lo < x <= hi) takes that branch,
+    // since hi <= thr forces x <= thr and lo >= thr forces x > thr.
+    // Box-crossing splits are kept with both subtrees; the left child
+    // lands at parent + 1 by construction, preserving the flat layout
+    // the lockstep walk expects. Depth counts emitted edges only,
+    // giving the restricted walk its (much smaller) level bound.
+    //
+    // The walk is iterative with an explicit right-subtree stack: the
+    // source forest is far larger than cache, so the traversal is
+    // bound by serial node-fetch latency. Prefetching each deferred
+    // right subtree when it is pushed overlaps its miss with the
+    // entire emission of the left subtree.
+    constexpr std::uint32_t kPatchNone = 0xffffffffu;
+    constexpr std::uint32_t kPatchRoot = 0xfffffffeu;
+    struct Deferred
+    {
+        std::uint32_t src;   ///< Source index of the right subtree.
+        std::uint32_t patch; ///< Emitted parent awaiting its .right.
+        int depth;           ///< Emitted depth of the subtree root.
+    };
+    std::vector<Deferred> stack;
+    stack.reserve(static_cast<std::size_t>(max_depth) + 1);
+    for (std::size_t t = 0; t < num_roots; ++t) {
+        std::uint32_t cur = src_roots[t];
+        std::uint32_t patch = kPatchRoot;
+        int depth = 0;
+        while (true) {
+            const FlatNode &nd = nodes[cur];
+            std::int32_t f = nd.feature;
+            if (f >= 0) {
+                if (hi[f] <= nd.key) {
+                    cur = cur + 1;
+                    continue;
+                }
+                if (lo[f] >= nd.key) {
+                    cur = nd.right;
+                    continue;
+                }
+            }
+            auto idx = static_cast<std::uint32_t>(out.flat_.size());
+            out.flat_.push_back(nd);
+            if (patch == kPatchRoot)
+                out.roots_.push_back(idx);
+            else if (patch != kPatchNone)
+                out.flat_[patch].right = idx;
+            patch = kPatchNone;
+            if (f >= 0) {
+                __builtin_prefetch(&nodes[nd.right]);
+                stack.push_back({nd.right, idx, depth + 1});
+                cur = cur + 1;
+                ++depth;
+                continue;
+            }
+            out.maxDepth_ = std::max(out.maxDepth_, depth);
+            if (stack.empty())
+                break;
+            Deferred top = stack.back();
+            stack.pop_back();
+            cur = top.src;
+            patch = top.patch;
+            depth = top.depth;
+        }
+    }
+}
+
+bool
+RestrictedForest::monotoneNonDecreasingIn(int feature) const
+{
+    QOSERVE_ASSERT(valid(), "monotonicity query on an empty restriction");
+    struct Range
+    {
+        double min, max;
+    };
+    const FlatNode *nodes = flat_.data();
+    bool ok = true;
+    // Leaf-value range per subtree; a kept split on the axis must put
+    // all of its left range at or below all of its right range. Two
+    // queries differing only in x[feature] first diverge at such a
+    // split (x1 <= thr < x2), so the condition pins v(x1) <= v(x2) for
+    // every tree — and therefore every order statistic of the
+    // ensemble, including the interpolated quantile, is
+    // non-decreasing.
+    auto walk = [&](auto &&self, std::uint32_t node) -> Range {
+        const FlatNode &nd = nodes[node];
+        if (nd.feature < 0)
+            return {nd.key, nd.key};
+        Range l = self(self, node + 1);
+        Range r = self(self, nd.right);
+        if (nd.feature == feature && l.max > r.min)
+            ok = false;
+        return {std::min(l.min, r.min), std::max(l.max, r.max)};
+    };
+    for (std::uint32_t root : roots_)
+        walk(walk, root);
+    return ok;
 }
 
 double
 RandomForest::predict(const std::vector<double> &x) const
 {
     QOSERVE_ASSERT(trained(), "predict() before fit()");
+    auto dims = static_cast<int>(x.size());
+    double sum = 0.0;
+    for (std::uint32_t root : roots_)
+        sum += evalTree(root, x.data(), dims);
+    return sum / static_cast<double>(trees_.size());
+}
+
+double
+RandomForest::predictQuantile(const std::vector<double> &x, double q) const
+{
+    return predictQuantile(x.data(), static_cast<int>(x.size()), q);
+}
+
+double
+RandomForest::predictQuantile(const double *x, int dims, double q) const
+{
+    QOSERVE_ASSERT(trained(), "predictQuantile() before fit()");
+    QOSERVE_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
+    static thread_local std::vector<double> preds;
+    fillTreePreds(x, dims, preds);
+    return quantileOf(preds, q);
+}
+
+double
+RandomForest::predictQuantileTracked(const double *x, int dims, double q,
+                                     FeatureSupport &support) const
+{
+    QOSERVE_ASSERT(trained(), "predictQuantileTracked() before fit()");
+    QOSERVE_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
+    QOSERVE_ASSERT(dims >= featureDims_, "feature vector too short");
+    support.reset(dims);
+    static thread_local std::vector<double> preds;
+    std::size_t n = roots_.size();
+    preds.resize(n);
+    // Same lockstep walk as fillTreePreds, with branch-free support
+    // narrowing folded in: every level conditionally tightens the box
+    // on the tested feature (leaves write their old bounds back).
+    const FlatNode *nodes = flat_.data();
+    constexpr std::size_t kBlock = 32;
+    for (std::size_t base = 0; base < n; base += kBlock) {
+        std::size_t m = std::min(kBlock, n - base);
+        std::uint32_t cur[kBlock];
+        for (std::size_t t = 0; t < m; ++t)
+            cur[t] = roots_[base + t];
+        for (int level = 0; level < maxTreeDepth_; ++level) {
+            for (std::size_t t = 0; t < m; ++t) {
+                const FlatNode &nd = nodes[cur[t]];
+                bool leaf = nd.feature < 0;
+                std::int32_t f = leaf ? 0 : nd.feature;
+                double key = nd.key;
+                bool left = x[f] <= key;
+                double lo = support.lo[f];
+                double hi = support.hi[f];
+                support.hi[f] = !leaf && left && key < hi ? key : hi;
+                support.lo[f] = !leaf && !left && key > lo ? key : lo;
+                std::uint32_t next = left ? cur[t] + 1 : nd.right;
+                cur[t] = leaf ? cur[t] : next;
+            }
+        }
+        for (std::size_t t = 0; t < m; ++t)
+            preds[base + t] = nodes[cur[t]].key;
+    }
+    return quantileOf(preds, q);
+}
+
+void
+RandomForest::predictQuantileMany(const double *xs, int dims,
+                                  std::size_t count, double q,
+                                  double *out) const
+{
+    QOSERVE_ASSERT(trained(), "predictQuantileMany() before fit()");
+    QOSERVE_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
+    // Trees outer, queries inner: one streaming pass over the flat
+    // node array serves the whole batch, keeping it hot in cache.
+    static thread_local std::vector<double> preds;
+    preds.resize(count * trees_.size());
+    std::size_t ntrees = trees_.size();
+    for (std::size_t t = 0; t < ntrees; ++t) {
+        std::uint32_t root = roots_[t];
+        for (std::size_t i = 0; i < count; ++i)
+            preds[i * ntrees + t] = evalTree(root, xs + i * dims, dims);
+    }
+    static thread_local std::vector<double> row;
+    row.resize(ntrees);
+    for (std::size_t i = 0; i < count; ++i) {
+        row.assign(preds.begin() + static_cast<std::ptrdiff_t>(i * ntrees),
+                   preds.begin() +
+                       static_cast<std::ptrdiff_t>((i + 1) * ntrees));
+        out[i] = quantileOf(row, q);
+    }
+}
+
+double
+RandomForest::predictReference(const std::vector<double> &x) const
+{
+    QOSERVE_ASSERT(trained(), "predictReference() before fit()");
     double sum = 0.0;
     for (const auto &t : trees_)
         sum += t.predict(x);
@@ -212,20 +755,16 @@ RandomForest::predict(const std::vector<double> &x) const
 }
 
 double
-RandomForest::predictQuantile(const std::vector<double> &x, double q) const
+RandomForest::predictQuantileReference(const std::vector<double> &x,
+                                       double q) const
 {
-    QOSERVE_ASSERT(trained(), "predictQuantile() before fit()");
+    QOSERVE_ASSERT(trained(), "predictQuantileReference() before fit()");
     QOSERVE_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
     std::vector<double> preds;
     preds.reserve(trees_.size());
     for (const auto &t : trees_)
         preds.push_back(t.predict(x));
-    std::sort(preds.begin(), preds.end());
-    double pos = q * (preds.size() - 1);
-    auto lo = static_cast<std::size_t>(pos);
-    auto hi = std::min(lo + 1, preds.size() - 1);
-    double frac = pos - static_cast<double>(lo);
-    return preds[lo] * (1.0 - frac) + preds[hi] * frac;
+    return quantileOf(preds, q);
 }
 
 } // namespace qoserve

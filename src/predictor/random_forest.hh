@@ -22,6 +22,55 @@
 
 namespace qoserve {
 
+/** Feature-dimension cap for FeatureSupport tracking. */
+inline constexpr int kMaxForestFeatures = 8;
+
+/**
+ * Axis-aligned region of feature space over which a forest
+ * evaluation is provably constant.
+ *
+ * Every comparison a forest walk performs is `x[f] <= threshold`.
+ * Recording, per feature, the tightest threshold passed on each side
+ * yields a box (lo, hi] per axis: any query inside the box takes the
+ * exact same branch at every node of every tree and therefore lands
+ * on the exact same leaves — its prediction is bitwise identical to
+ * the recorded one. This is what makes prediction memoisation safe
+ * under drifting context features (the chunk-budget solver's cache
+ * keys on these boxes rather than on exact feature equality).
+ */
+struct FeatureSupport
+{
+    /** Exclusive lower bounds per feature. */
+    double lo[kMaxForestFeatures];
+
+    /** Inclusive upper bounds per feature. */
+    double hi[kMaxForestFeatures];
+
+    /** Tracked feature count; 0 marks an invalid (unusable) support. */
+    int dims = 0;
+
+    /** Reset to the full space over @p d features. */
+    void reset(int d);
+
+    /** True if @p x lies strictly inside the box (lo < x[i] <= hi). */
+    bool contains(const double *x, int d) const;
+};
+
+/**
+ * One node of a flattened tree.
+ *
+ * Trees are stored in preorder, so an internal node's left child is
+ * always the next array slot — only the right-child index is stored.
+ * A leaf keeps its value in @ref key; an internal node keeps its split
+ * threshold there.
+ */
+struct FlatNode
+{
+    double key = 0.0;          ///< Split threshold, or leaf value.
+    std::uint32_t right = 0;   ///< Right-child index (internal only).
+    std::int32_t feature = -1; ///< Split feature; -1 marks a leaf.
+};
+
 /** A training/evaluation sample: feature vector plus target. */
 struct TrainSample
 {
@@ -70,6 +119,15 @@ class RegressionTree
     /** Number of nodes in the fitted tree (0 before fit). */
     std::size_t numNodes() const { return nodes_.size(); }
 
+    /**
+     * Append this tree's nodes to a flat preorder array.
+     *
+     * The builder already emits nodes in preorder (left child is
+     * parent + 1), so flattening is a direct re-encoding with indices
+     * rebased to @p out's current size.
+     */
+    void flattenInto(std::vector<FlatNode> &out) const;
+
   private:
     struct Node
     {
@@ -98,6 +156,103 @@ class RegressionTree
 };
 
 /**
+ * A forest partially evaluated over a subset of its features.
+ *
+ * Produced by RandomForest::restrictTo(): every split on a *fixed*
+ * feature is resolved against the query it was built from, leaving a
+ * (much smaller) forest that splits only on the *free* features. For
+ * any query whose fixed coordinates stay inside the box reported at
+ * construction, evaluating the restricted forest takes the exact
+ * same branch sequence as the full forest — predictions are bitwise
+ * identical. The chunk-budget solver uses this to turn its repeated
+ * per-probe forest walks into walks of a few-KB structure that stays
+ * resident in L1.
+ */
+class RestrictedForest
+{
+  public:
+    /** True once restrictTo() has populated this object. */
+    bool valid() const { return !roots_.empty(); }
+
+    /** Drop the restriction (valid() becomes false). */
+    void clear();
+
+    /**
+     * Quantile of the per-tree predictions.
+     *
+     * Only the free features of @p x are read; bitwise identical to
+     * RandomForest::predictQuantile on the full forest whenever the
+     * fixed coordinates lie inside the construction box.
+     */
+    double predictQuantile(const double *x, int dims, double q) const;
+
+    /**
+     * Quantile prediction that narrows a caller-owned support box.
+     *
+     * Unlike RandomForest::predictQuantileTracked this does NOT reset
+     * @p support: the caller initialises it (reset()) and may issue
+     * several tracked predictions into the same box, obtaining the
+     * intersection of their leaf-stability regions — any query inside
+     * the final box reproduces every one of those predictions bitwise.
+     * The chunk-budget solver uses this to certify whole search
+     * replays, not just single probes.
+     */
+    double predictQuantileTracked(const double *x, int dims, double q,
+                                  FeatureSupport &support) const;
+
+    /**
+     * Conservative monotonicity certificate along one feature axis.
+     *
+     * True when every kept split on @p feature has its left subtree's
+     * maximum leaf value at or below its right subtree's minimum — a
+     * sufficient condition for every tree (and hence any quantile of
+     * the ensemble) to be non-decreasing in that feature over the
+     * restriction box. Under the certificate every probe order of a
+     * feasibility search finds the same largest-feasible chunk, so a
+     * reordered search would be provably result-identical to the cold
+     * binary search. Diagnostics only: fitted ensembles rarely pass
+     * (bootstrap noise breaks per-split ordering), so the solver does
+     * not rely on it.
+     */
+    bool monotoneNonDecreasingIn(int feature) const;
+
+    /** Nodes retained by the restriction (diagnostics). */
+    std::size_t numNodes() const { return flat_.size(); }
+
+    /**
+     * Restrict further, to a sub-box of this restriction's box.
+     *
+     * Restriction composes: a split resolved by the outer box is also
+     * resolved (identically) by any sub-box, and a split the sub-box
+     * crosses was necessarily kept by the outer box — so the emitted
+     * forest is node-for-node identical to restricting the original
+     * forest with @p lo / @p hi directly. The caller must guarantee
+     * the sub-box relation; this lets a solver cache rebuild its
+     * small working plane from a mid-sized super-plane instead of
+     * walking the full source forest every time.
+     */
+    void restrictToBox(const double *lo, const double *hi, int dims,
+                       RestrictedForest &out,
+                       FeatureSupport &support) const;
+
+  private:
+    friend class RandomForest;
+
+    static void restrictImpl(const FlatNode *nodes,
+                             const std::uint32_t *roots,
+                             std::size_t num_roots, int max_depth,
+                             int feature_dims, const double *lo,
+                             const double *hi, int dims,
+                             RestrictedForest &out,
+                             FeatureSupport &support);
+
+    std::vector<FlatNode> flat_;
+    std::vector<std::uint32_t> roots_;
+    int maxDepth_ = 0;
+    int featureDims_ = 0;
+};
+
+/**
  * Bagged ensemble of regression trees.
  */
 class RandomForest
@@ -117,11 +272,11 @@ class RandomForest
     void fit(const std::vector<TrainSample> &samples, ForestParams params,
              std::uint64_t seed, int jobs = 1);
 
-    /** Mean prediction across trees. */
+    /** Mean prediction across trees (flattened fast path). */
     double predict(const std::vector<double> &x) const;
 
     /**
-     * Quantile of the per-tree predictions.
+     * Quantile of the per-tree predictions (flattened fast path).
      *
      * Quantiles below 0.5 bias the ensemble toward under-prediction,
      * which the chunk solver uses for conservatism.
@@ -131,14 +286,97 @@ class RandomForest
      */
     double predictQuantile(const std::vector<double> &x, double q) const;
 
+    /** Zero-allocation quantile prediction over a raw feature array. */
+    double predictQuantile(const double *x, int dims, double q) const;
+
+    /**
+     * Quantile prediction that also reports its leaf-stability box.
+     *
+     * @p support is reset to the full space and narrowed at every
+     * comparison the walk performs; on return, any query strictly
+     * inside the box is guaranteed to produce a bitwise-identical
+     * prediction.
+     */
+    double predictQuantileTracked(const double *x, int dims, double q,
+                                  FeatureSupport &support) const;
+
+    /**
+     * Evaluate all trees over @p count feature vectors in one pass.
+     *
+     * @param xs Row-major array of @p count × @p dims features.
+     * @param out Receives @p count quantile predictions, each bitwise
+     *        identical to the corresponding predictQuantile() call.
+     */
+    void predictQuantileMany(const double *xs, int dims,
+                             std::size_t count, double q,
+                             double *out) const;
+
+    /**
+     * Partially evaluate the forest over an axis-aligned box.
+     *
+     * Splits the box falls entirely on one side of are resolved away;
+     * splits that cut through it are kept and re-evaluated against
+     * the actual query at prediction time. The result is exact: for
+     * any query x with lo[i] < x[i] <= hi[i] on every axis, the
+     * restricted forest's prediction is bitwise identical to the full
+     * forest's — resolved splits decide identically for every point
+     * of the box, and kept splits are decided per query. @p support
+     * is set to the box itself, so a contains() test validates reuse.
+     *
+     * Unbounded axes (lo = -inf, hi = +inf) are fully free; narrow
+     * axes shrink the emitted forest at the cost of more frequent
+     * rebuilds when queries drift out of the box.
+     */
+    void restrictToBox(const double *lo, const double *hi, int dims,
+                       RestrictedForest &out,
+                       FeatureSupport &support) const;
+
+    /**
+     * Mean prediction via the original per-tree recursive walk.
+     *
+     * Kept as the ground truth for bitwise-equivalence tests of the
+     * flattened path.
+     */
+    double predictReference(const std::vector<double> &x) const;
+
+    /** Quantile prediction via the original per-tree walk. */
+    double predictQuantileReference(const std::vector<double> &x,
+                                    double q) const;
+
     /** Number of fitted trees. */
     std::size_t numTrees() const { return trees_.size(); }
+
+    /** Individual fitted tree — with predictReference(), the ground
+     *  truth for bitwise-equivalence tests of the flattened path. */
+    const RegressionTree &tree(std::size_t t) const { return trees_[t]; }
+
+    /** Total nodes in the flattened forest (diagnostics). */
+    std::size_t numFlatNodes() const { return flat_.size(); }
 
     /** True once fit() has run. */
     bool trained() const { return !trees_.empty(); }
 
   private:
+    double evalTree(std::uint32_t root, const double *x, int dims) const;
+    double evalTreeTracked(std::uint32_t root, const double *x, int dims,
+                           FeatureSupport &support) const;
+    double quantileOf(std::vector<double> &preds, double q) const;
+    void fillTreePreds(const double *x, int dims,
+                       std::vector<double> &preds) const;
+
     std::vector<RegressionTree> trees_;
+
+    /** All trees' nodes, concatenated; tree t starts at roots_[t]. */
+    std::vector<FlatNode> flat_;
+    std::vector<std::uint32_t> roots_;
+
+    /** Deepest root-to-leaf edge count across trees: the lockstep
+     *  walk runs exactly this many levels. */
+    int maxTreeDepth_ = 0;
+
+    /** 1 + max feature index any node tests: evaluation validates the
+     *  query width once instead of per node. */
+    int featureDims_ = 0;
 };
 
 } // namespace qoserve

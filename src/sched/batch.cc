@@ -16,6 +16,26 @@ Batch::prefillTokens() const
     return total;
 }
 
+std::int64_t
+Batch::decodeCtxSum() const
+{
+    if (decodeCtxSumCache_ < 0) {
+        std::int64_t sum = 0;
+        for (const Request *r : decodes)
+            sum += r->contextLength();
+        decodeCtxSumCache_ = sum;
+    }
+    return decodeCtxSumCache_;
+}
+
+void
+Batch::clear()
+{
+    prefills.clear();
+    decodes.clear();
+    decodeCtxSumCache_ = -1;
+}
+
 BatchWork
 Batch::work() const
 {
@@ -27,8 +47,7 @@ Batch::work() const
             (static_cast<double>(c.contextBefore) + c.chunkTokens / 2.0);
     }
     w.numDecodes = static_cast<int>(decodes.size());
-    for (const Request *r : decodes)
-        w.decodeCtxSum += r->contextLength();
+    w.decodeCtxSum = decodeCtxSum();
     return w;
 }
 

@@ -49,8 +49,26 @@ struct Batch
         return prefills.empty() && decodes.empty();
     }
 
+    /**
+     * Summed KV context over the decode side, computed once.
+     *
+     * Several consumers (the dynamic-chunk solver, the execution-time
+     * model) need this sum each iteration; the first call walks the
+     * decode list, later calls return the memo. Valid only while the
+     * decode set and contexts are frozen, i.e. between formBatch()
+     * and onBatchComplete().
+     */
+    std::int64_t decodeCtxSum() const;
+
+    /** Reset for reuse, keeping vector capacity. */
+    void clear();
+
     /** Aggregate work for the execution-time model. */
     BatchWork work() const;
+
+  private:
+    /** Memo for decodeCtxSum(); -1 until computed. */
+    mutable std::int64_t decodeCtxSumCache_ = -1;
 };
 
 } // namespace qoserve

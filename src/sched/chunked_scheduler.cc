@@ -80,6 +80,7 @@ ChunkedScheduler::enqueue(Request *req, SimTime now)
     auto [it, inserted] = prefillQueue_.insert(req);
     QOSERVE_ASSERT(inserted, "request enqueued twice");
     pendingPrefill_ += req->prefillRemaining();
+    onCompositionChange();
 }
 
 void
@@ -105,6 +106,7 @@ ChunkedScheduler::relegate(Request *req, SimTime now)
     ++stats_.relegations;
     if (env_.trace != nullptr)
         env_.trace->emit(TraceEventKind::Relegate, req->id());
+    onCompositionChange();
 }
 
 int
@@ -160,6 +162,14 @@ Batch
 ChunkedScheduler::formBatch(SimTime now)
 {
     Batch batch;
+    formBatchInto(batch, now);
+    return batch;
+}
+
+void
+ChunkedScheduler::formBatchInto(Batch &batch, SimTime now)
+{
+    batch.clear();
     batch.decodes = decodes_;
 
     int budget = kvCappedBudget(chunkBudget(now, batch));
@@ -171,11 +181,13 @@ ChunkedScheduler::formBatch(SimTime now)
     // never exceeded it.
     int budget_cap = budget;
 
-    std::unordered_set<Request *> taken;
+    takenScratch_.clear();
+    std::unordered_set<Request *> &taken = takenScratch_;
 
     // Pass 0: in-flight requests that would violate their deadline if
     // delayed one more iteration are protected from preemption.
-    std::vector<Request *> urgent;
+    urgentScratch_.clear();
+    std::vector<Request *> &urgent = urgentScratch_;
     collectUrgentInflight(now, urgent);
     for (Request *req : urgent) {
         if (budget <= 0)
@@ -252,7 +264,6 @@ ChunkedScheduler::formBatch(SimTime now)
         stats_.prefillTokensScheduled += batch.prefillTokens();
         stats_.decodeTokensScheduled += batch.decodes.size();
     }
-    return batch;
 }
 
 void
@@ -261,6 +272,7 @@ ChunkedScheduler::finish(Request *req)
     if (env_.trace != nullptr)
         env_.trace->emit(TraceEventKind::Finish, req->id());
     env_.kv->release(req->id());
+    onCompositionChange();
     if (onComplete_)
         onComplete_(req);
 }
@@ -297,6 +309,7 @@ ChunkedScheduler::preemptForKv(SimTime now)
         ++stats_.kvPreemptions;
         if (env_.trace != nullptr)
             env_.trace->emit(TraceEventKind::Preempt, victim->id());
+        onCompositionChange();
         return true;
     }
 
@@ -315,6 +328,7 @@ ChunkedScheduler::preemptForKv(SimTime now)
     ++stats_.kvPreemptions;
     if (env_.trace != nullptr)
         env_.trace->emit(TraceEventKind::Preempt, victim->id());
+    onCompositionChange();
     return true;
 }
 
@@ -344,6 +358,7 @@ ChunkedScheduler::onBatchComplete(const Batch &batch, SimTime end)
           case RequestPhase::Decoding:
             partiallyPrefilled_.erase(req);
             decodes_.push_back(req);
+            onCompositionChange();
             // The prompt KV is now complete: offer its full blocks to
             // the shared-prefix cache so later requests with the same
             // prefix can skip recomputing them.
@@ -404,6 +419,12 @@ ChunkedScheduler::prefillSnapshot() const
     return {prefillQueue_.begin(), prefillQueue_.end()};
 }
 
+void
+ChunkedScheduler::prefillSnapshotInto(std::vector<Request *> &out) const
+{
+    out.assign(prefillQueue_.begin(), prefillQueue_.end());
+}
+
 bool
 ChunkedScheduler::hasWork() const
 {
@@ -429,12 +450,16 @@ ChunkedScheduler::stats() const
 }
 
 SchedulerAuditView
-ChunkedScheduler::auditView() const
+ChunkedScheduler::auditView(bool full_detail) const
 {
     SchedulerAuditView view;
     view.populated = true;
-    view.prefills.assign(prefillQueue_.begin(), prefillQueue_.end());
-    view.decodes.assign(decodes_.begin(), decodes_.end());
+    view.prefillCount = prefillQueue_.size();
+    view.decodeCount = decodes_.size();
+    if (full_detail) {
+        view.prefills.assign(prefillQueue_.begin(), prefillQueue_.end());
+        view.decodes.assign(decodes_.begin(), decodes_.end());
+    }
     view.pendingPrefillTokens = pendingPrefill_;
     view.maxDecodeBatch = cfg_.maxDecodeBatch;
     return view;

@@ -48,12 +48,14 @@ class ChunkedScheduler : public Scheduler
 
     void enqueue(Request *req, SimTime now) override;
     Batch formBatch(SimTime now) override;
+    void formBatchInto(Batch &batch, SimTime now) override;
     void onBatchComplete(const Batch &batch, SimTime end) override;
     bool hasWork() const override;
     std::size_t decodeQueueSize() const override;
     std::size_t prefillQueueSize() const override;
     const SchedulerStats &stats() const override;
-    SchedulerAuditView auditView() const override;
+    SchedulerAuditView auditView(bool full_detail) const override;
+    using Scheduler::auditView;
 
     /** Install the replica's completion handler. */
     void setCompletionHandler(CompletionFn fn) { onComplete_ = std::move(fn); }
@@ -96,6 +98,15 @@ class ChunkedScheduler : public Scheduler
     virtual void collectUrgentInflight(SimTime now,
                                        std::vector<Request *> &out) const;
 
+    /**
+     * Hook fired whenever the batch composition changes: a request is
+     * admitted, relegated, preempted, joins the decode batch, or
+     * finishes. Policies that memoise composition-dependent work
+     * (e.g. QoServe's chunk-budget solve) invalidate here. Default:
+     * nothing.
+     */
+    virtual void onCompositionChange() {}
+
     /** Estimated wall time to prefill @p tokens at full throughput. */
     SimDuration estPrefillTime(double tokens) const;
 
@@ -116,6 +127,9 @@ class ChunkedScheduler : public Scheduler
 
     /** Ordered snapshot of the prefill queue (diagnostics, hooks). */
     std::vector<Request *> prefillSnapshot() const;
+
+    /** Snapshot into @p out, reusing its capacity (hot paths). */
+    void prefillSnapshotInto(std::vector<Request *> &out) const;
 
     /**
      * Requests with some prefill chunks processed that are still in
@@ -198,6 +212,10 @@ class ChunkedScheduler : public Scheduler
     std::int64_t pendingPrefill_ = 0;
     SchedulerStats stats_;
     CompletionFn onComplete_;
+
+    /** Per-iteration scratch hoisted out of formBatchInto(). */
+    std::vector<Request *> urgentScratch_;
+    std::unordered_set<Request *> takenScratch_;
 
     /** Cached estimate: prefill tokens per second at large chunks. */
     double prefillRate_ = 0.0;

@@ -30,10 +30,10 @@ DpScheduler::priorityOf(const Request &req, SimTime) const
     return req.urgencyDeadline();
 }
 
-Batch
-DpScheduler::formBatch(SimTime now)
+void
+DpScheduler::formBatchInto(Batch &batch, SimTime now)
 {
-    Batch batch;
+    batch.clear();
     batch.decodes = decodeQueue();
 
     int budget = kvCappedBudget(options_.chunkTokens);
@@ -48,19 +48,19 @@ DpScheduler::formBatch(SimTime now)
             budget = kvCappedBudget(options_.chunkTokens);
     }
 
-    std::vector<Request *> candidates = prefillSnapshot();
-    if (budget > 0 && !candidates.empty()) {
+    prefillSnapshotInto(candidates_);
+    if (budget > 0 && !candidates_.empty()) {
         // Build knapsack items: one per queued request.
         int capacity = budget / options_.tokenQuantum;
-        int n = static_cast<int>(candidates.size());
+        int n = static_cast<int>(candidates_.size());
 
-        std::vector<int> weight(n);
-        std::vector<double> value(n);
+        weight_.assign(static_cast<std::size_t>(n), 0);
+        value_.assign(static_cast<std::size_t>(n), 0.0);
         for (int i = 0; i < n; ++i) {
-            Request *r = candidates[i];
+            Request *r = candidates_[i];
             int take =
                 std::min(r->prefillRemaining(), options_.maxItemTokens);
-            weight[i] = std::max(
+            weight_[i] = std::max(
                 1, (take + options_.tokenQuantum - 1) /
                        options_.tokenQuantum);
             // Urgency value: inverse slack to the urgency deadline,
@@ -70,43 +70,51 @@ DpScheduler::formBatch(SimTime now)
                 std::max(0.01, r->urgencyDeadline() - now -
                                    estPrefillTime(static_cast<double>(
                                        r->prefillRemaining())));
-            value[i] = 1.0 / slack;
+            value_[i] = 1.0 / slack;
             if (take == r->prefillRemaining())
-                value[i] *= 1.5;
+                value_[i] *= 1.5;
         }
 
         // 0/1 knapsack over all queued requests — the O(N * M)
         // per-iteration cost the paper's complexity argument is
-        // about.
-        std::vector<std::vector<double>> table(
-            n + 1, std::vector<double>(capacity + 1, 0.0));
+        // about. The table is a flat row-major scratch member so the
+        // allocation is amortised across iterations.
+        int stride = capacity + 1;
+        table_.assign(static_cast<std::size_t>(n + 1) *
+                          static_cast<std::size_t>(stride),
+                      0.0);
+        auto cell = [&](int i, int c) -> double & {
+            return table_[static_cast<std::size_t>(i) *
+                              static_cast<std::size_t>(stride) +
+                          static_cast<std::size_t>(c)];
+        };
         for (int i = 1; i <= n; ++i) {
             for (int c = 0; c <= capacity; ++c) {
                 ++dpCells_;
-                table[i][c] = table[i - 1][c];
-                if (weight[i - 1] <= c) {
-                    table[i][c] = std::max(
-                        table[i][c], table[i - 1][c - weight[i - 1]] +
-                                         value[i - 1]);
+                cell(i, c) = cell(i - 1, c);
+                if (weight_[i - 1] <= c) {
+                    cell(i, c) = std::max(
+                        cell(i, c), cell(i - 1, c - weight_[i - 1]) +
+                                        value_[i - 1]);
                 }
             }
         }
 
         // Backtrack the chosen set.
-        std::vector<Request *> chosen;
+        chosen_.clear();
         int c = capacity;
         for (int i = n; i >= 1; --i) {
-            if (table[i][c] != table[i - 1][c]) {
-                chosen.push_back(candidates[i - 1]);
-                c -= weight[i - 1];
+            if (cell(i, c) != cell(i - 1, c)) {
+                chosen_.push_back(candidates_[i - 1]);
+                c -= weight_[i - 1];
             }
         }
         // Serve the chosen set most-urgent first.
-        std::sort(chosen.begin(), chosen.end(),
+        std::sort(chosen_.begin(), chosen_.end(),
                   [](Request *a, Request *b) {
                       return a->urgencyDeadline() < b->urgencyDeadline();
                   });
-        for (Request *r : chosen) {
+        for (Request *r : chosen_) {
             if (budget <= 0)
                 break;
             int cap =
@@ -123,7 +131,6 @@ DpScheduler::formBatch(SimTime now)
         stats.prefillTokensScheduled += batch.prefillTokens();
         stats.decodeTokensScheduled += batch.decodes.size();
     }
-    return batch;
 }
 
 } // namespace qoserve

@@ -49,7 +49,7 @@ class DpScheduler : public ChunkedScheduler
 
     const char *name() const override { return "SLOs-Serve-DP"; }
 
-    Batch formBatch(SimTime now) override;
+    void formBatchInto(Batch &batch, SimTime now) override;
 
     /** DP table cells evaluated so far (overhead diagnostics). */
     std::uint64_t dpCellsEvaluated() const { return dpCells_; }
@@ -60,6 +60,13 @@ class DpScheduler : public ChunkedScheduler
   private:
     Options options_;
     std::uint64_t dpCells_ = 0;
+
+    /** Per-iteration scratch hoisted out of formBatchInto(). */
+    std::vector<Request *> candidates_;
+    std::vector<Request *> chosen_;
+    std::vector<int> weight_;
+    std::vector<double> value_;
+    std::vector<double> table_; ///< (n+1) × (capacity+1), row-major.
 };
 
 } // namespace qoserve

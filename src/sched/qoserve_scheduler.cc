@@ -61,12 +61,27 @@ QoServeScheduler::priorityOf(const Request &req, SimTime) const
 }
 
 SchedulerAuditView
-QoServeScheduler::auditView() const
+QoServeScheduler::auditView(bool full_detail) const
 {
-    SchedulerAuditView view = ChunkedScheduler::auditView();
+    SchedulerAuditView view = ChunkedScheduler::auditView(full_detail);
     if (qosCfg_.enableDynamicChunking)
         view.minChunkTokens = qosCfg_.minChunkTokens;
     return view;
+}
+
+void
+QoServeScheduler::onCompositionChange()
+{
+    // Intentionally no cache invalidation: the solver cache's plane
+    // and solve records each carry the feature box over which their
+    // contents are provably bit-identical to a fresh forest
+    // evaluation, and reuse is gated on the query lying strictly
+    // inside that box. A composition change moves the features; if it
+    // moves them outside the box the plane simply rebuilds and the
+    // records go stale via the generation counter. Invalidating here
+    // would be correct but needless — composition changes happen
+    // nearly every iteration, while the slack box absorbs most of
+    // them.
 }
 
 int
@@ -98,17 +113,22 @@ QoServeScheduler::chunkBudget(SimTime now, const Batch &batch) const
 
     BatchFeatures f;
     f.numDecodes = static_cast<double>(batch.decodes.size());
-    for (const Request *r : batch.decodes)
-        f.decodeCtxSum += static_cast<double>(r->contextLength());
+    // Integer-valued contexts sum exactly in doubles, so the batch's
+    // memoised integer sum is bitwise identical to the old per-call
+    // accumulation loop.
+    f.decodeCtxSum = static_cast<double>(batch.decodeCtxSum());
     const Request *head = peekPrefillHead();
     f.prefillContext =
         head != nullptr ? static_cast<double>(head->contextLength()) : 0.0;
 
+    ChunkSolverCache *memo =
+        qosCfg_.enableSolverMemo ? &solverCache_ : nullptr;
     int solved =
         min_slack <= 0.0
             ? 0
             : solveChunkBudget(*env().predictor, f, min_slack,
-                               qosCfg_.maxChunkTokens, qosCfg_.chunkStep);
+                               qosCfg_.maxChunkTokens, qosCfg_.chunkStep,
+                               memo);
 
     // When slack is exhausted, revert to the TBT-sized floor rather
     // than starving prefill (§3.5): per-token deadlines are absolute,

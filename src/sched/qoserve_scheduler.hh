@@ -24,6 +24,7 @@
 #ifndef QOSERVE_SCHED_QOSERVE_SCHEDULER_HH
 #define QOSERVE_SCHED_QOSERVE_SCHEDULER_HH
 
+#include "predictor/latency_predictor.hh"
 #include "sched/chunked_scheduler.hh"
 
 namespace qoserve {
@@ -83,6 +84,15 @@ struct QoServeConfig
     int chunkStep = 64;
 
     /**
+     * Memoise the chunk-budget solve's predictor queries across
+     * iterations. Cached values are reused only inside their
+     * leaf-stability box (see ChunkSolverCache), so results are
+     * bitwise identical with the memo on or off; the flag exists as
+     * the compatibility switch for golden-output comparison.
+     */
+    bool enableSolverMemo = true;
+
+    /**
      * Estimated prefill-queue drain time beyond which the system is
      * considered overloaded and non-important requests are eagerly
      * relegated before they violate.
@@ -111,7 +121,15 @@ class QoServeScheduler : public ChunkedScheduler
     /** Configuration in effect. */
     const QoServeConfig &qosConfig() const { return qosCfg_; }
 
-    SchedulerAuditView auditView() const override;
+    /** Chunk-solver memo counters (diagnostics, benches). */
+    const ChunkSolverCache::Stats &
+    solverCacheStats() const
+    {
+        return solverCache_.stats();
+    }
+
+    SchedulerAuditView auditView(bool full_detail) const override;
+    using ChunkedScheduler::auditView;
 
     /**
      * True when the estimated prefill backlog exceeds the overload
@@ -139,9 +157,18 @@ class QoServeScheduler : public ChunkedScheduler
     bool shouldRelegate(const Request &req, SimTime now) const override;
     void collectUrgentInflight(SimTime now,
                                std::vector<Request *> &out) const override;
+    void onCompositionChange() override;
 
   private:
     QoServeConfig qosCfg_;
+
+    /**
+     * Prediction memo for the chunk-budget solve; mutable because
+     * chunkBudget() is logically const (the memo never changes any
+     * observable result — hits are bitwise identical by the box
+     * proof).
+     */
+    mutable ChunkSolverCache solverCache_;
 };
 
 } // namespace qoserve

@@ -12,8 +12,8 @@
 namespace qoserve {
 
 Request::Request(RequestSpec spec, QosTier tier, AppStats app_stats)
-    : spec_(spec), tier_(std::move(tier)), appStats_(app_stats),
-      prefillTarget_(spec.promptTokens)
+    : prefillTarget_(spec.promptTokens), spec_(std::move(spec)),
+      tier_(std::move(tier)), appStats_(app_stats)
 {
     QOSERVE_ASSERT(spec_.promptTokens > 0, "request needs a prompt");
     QOSERVE_ASSERT(spec_.decodeTokens >= 1,

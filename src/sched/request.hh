@@ -254,10 +254,11 @@ class Request
     /** True if token @p token_index would be late when emitted now. */
     bool nextTokenCheckMissed(SimTime now, int token_index) const;
 
-    RequestSpec spec_;
-    QosTier tier_;
-    AppStats appStats_;
-
+    // Hot scheduling state first: together with the public
+    // cachedPriority above, every field the schedulers touch each
+    // iteration sits in the object's leading bytes, so queue scans
+    // over pooled requests stay within the first cache lines and
+    // never drag the cold spec/tier/record payload in.
     RequestPhase phase_ = RequestPhase::WaitingPrefill;
     int prefillDone_ = 0;
     int decodeDone_ = 0;
@@ -273,6 +274,11 @@ class Request
     bool relegated_ = false;
     SimTime lastTokenTime_ = kTimeNever;
 
+    // Cold payload: read at admission and completion, not per
+    // iteration.
+    RequestSpec spec_;
+    QosTier tier_;
+    AppStats appStats_;
     RequestRecord record_;
 };
 

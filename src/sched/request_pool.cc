@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Request slab-pool implementation.
+ */
+
+#include "sched/request_pool.hh"
+
+#include <new>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+// Slabs come from operator new[] on std::byte, which only guarantees
+// fundamental alignment; Request holds doubles, integers and standard
+// containers, all of which fit.
+static_assert(alignof(Request) <= alignof(std::max_align_t),
+              "Request over-aligned for slab storage");
+
+RequestPool::~RequestPool()
+{
+    QOSERVE_ASSERT(liveCount_ == 0,
+                   "request pool destroyed with ", liveCount_,
+                   " live requests");
+}
+
+void
+RequestPool::grow()
+{
+    auto slab = std::make_unique<std::byte[]>(kSlabRequests *
+                                              sizeof(Request));
+    std::byte *base = slab.get();
+    // Push in reverse so the free list hands out slots in ascending
+    // address order: consecutive admissions land adjacent in memory.
+    for (std::size_t i = kSlabRequests; i-- > 0;) {
+        freeList_.push_back(
+            reinterpret_cast<Request *>(base + i * sizeof(Request)));
+    }
+    slabs_.push_back(std::move(slab));
+}
+
+Request *
+RequestPool::create(const RequestSpec &spec, const QosTier &tier,
+                    const AppStats &app_stats)
+{
+    if (freeList_.empty())
+        grow();
+    Request *slot = freeList_.back();
+    freeList_.pop_back();
+    ++liveCount_;
+    return new (slot) Request(spec, tier, app_stats);
+}
+
+void
+RequestPool::destroy(Request *req)
+{
+    QOSERVE_ASSERT(req != nullptr, "destroying a null request");
+    QOSERVE_ASSERT(liveCount_ > 0,
+                   "request pool destroy with no live requests");
+    req->~Request();
+    --liveCount_;
+    freeList_.push_back(req);
+}
+
+} // namespace qoserve

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Slab pool for Request objects.
+ *
+ * Replicas churn through one Request per served request; allocating
+ * each from the global heap scatters them across the address space and
+ * costs a malloc/free pair per request. The pool carves fixed-size
+ * slabs of raw storage and recycles slots through a free list, so at
+ * steady state admission is a placement-new into warm, contiguous
+ * memory and completion is a destructor call plus a pointer push.
+ *
+ * Addresses are stable for the lifetime of the object — schedulers and
+ * batches hold raw Request* across iterations — and slabs are never
+ * returned to the OS until the pool dies, so a recycled slot can only
+ * ever be reused for another Request.
+ */
+
+#ifndef QOSERVE_SCHED_REQUEST_POOL_HH
+#define QOSERVE_SCHED_REQUEST_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sched/request.hh"
+
+namespace qoserve {
+
+/**
+ * Pool allocator for Request objects (slab + free list).
+ */
+class RequestPool
+{
+  public:
+    RequestPool() = default;
+    RequestPool(const RequestPool &) = delete;
+    RequestPool &operator=(const RequestPool &) = delete;
+
+    /** Panics if any request is still live: the owner must destroy
+     *  every outstanding object first (their slots point into the
+     *  slabs released here). */
+    ~RequestPool();
+
+    /**
+     * Construct a Request in a pooled slot. Arguments mirror the
+     * Request constructor.
+     */
+    Request *create(const RequestSpec &spec, const QosTier &tier,
+                    const AppStats &app_stats);
+
+    /** Destroy @p req and recycle its slot. Must have come from this
+     *  pool. */
+    void destroy(Request *req);
+
+    /** Requests currently alive in the pool. */
+    std::size_t liveCount() const { return liveCount_; }
+
+    /** Total slots carved so far (high-water mark, diagnostics). */
+    std::size_t capacity() const
+    {
+        return slabs_.size() * kSlabRequests;
+    }
+
+  private:
+    /** Requests per slab: big enough to amortise the slab allocation,
+     *  small enough that an idle replica wastes little. */
+    static constexpr std::size_t kSlabRequests = 64;
+
+    /** Carve a fresh slab and push its slots onto the free list. */
+    void grow();
+
+    std::vector<std::unique_ptr<std::byte[]>> slabs_;
+    std::vector<Request *> freeList_;
+    std::size_t liveCount_ = 0;
+};
+
+} // namespace qoserve
+
+#endif // QOSERVE_SCHED_REQUEST_POOL_HH

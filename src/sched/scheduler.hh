@@ -83,11 +83,21 @@ struct SchedulerAuditView
      *  skips unpopulated views (e.g. toy test schedulers). */
     bool populated = false;
 
-    /** Prefill queue in priority order (head first). */
+    /**
+     * Prefill queue in priority order (head first). Filled only for
+     * full-detail views: materialising the queues is O(backlog) per
+     * iteration, which the cheap audit level must not pay.
+     */
     std::vector<const Request *> prefills;
 
-    /** Decode-phase requests in admission order. */
+    /** Decode-phase requests in admission order (full detail only). */
     std::vector<const Request *> decodes;
+
+    /** Prefill-queue length (always filled, even without vectors). */
+    std::size_t prefillCount = 0;
+
+    /** Decode-queue length (always filled, even without vectors). */
+    std::size_t decodeCount = 0;
 
     /** Scheduler's own pending-prefill token counter. */
     std::int64_t pendingPrefillTokens = 0;
@@ -119,6 +129,21 @@ class Scheduler
     virtual Batch formBatch(SimTime now) = 0;
 
     /**
+     * Form the next batch into @p batch, reusing its capacity.
+     *
+     * Hot-path variant of formBatch(): the replica keeps one Batch
+     * alive per replica and hands it back each iteration, so the
+     * chunk and decode vectors stop being reallocated every
+     * iteration. @p batch is cleared first; semantics are otherwise
+     * identical to formBatch().
+     */
+    virtual void
+    formBatchInto(Batch &batch, SimTime now)
+    {
+        batch = formBatch(now);
+    }
+
+    /**
      * Apply the effects of a completed batch: advance request
      * progress, migrate prefill-complete requests to the decode
      * queue, and drop finished requests from all queues.
@@ -147,8 +172,21 @@ class Scheduler
      * Queue snapshot for the invariant auditor. The default is an
      * unpopulated view (nothing auditable); ChunkedScheduler and its
      * policies override it.
+     *
+     * @param full_detail When false, only the O(1) scalar fields
+     *        (counts, counters, bounds) are filled in — the queue
+     *        vectors stay empty. The cheap audit level uses this to
+     *        avoid materialising the whole backlog every iteration.
      */
-    virtual SchedulerAuditView auditView() const { return {}; }
+    virtual SchedulerAuditView
+    auditView(bool full_detail) const
+    {
+        (void)full_detail;
+        return {};
+    }
+
+    /** Full-detail snapshot (tests, diagnostics). */
+    SchedulerAuditView auditView() const { return auditView(true); }
 
     /** Human-readable policy name for reports. */
     virtual const char *name() const = 0;

@@ -7,10 +7,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "simcore/logging.hh"
 
 namespace qoserve {
+
+std::uint32_t
+EventQueue::acquireSlot(EventFn fn)
+{
+    std::uint32_t index;
+    if (!freeSlots_.empty()) {
+        index = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        index = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot &slot = slots_[index];
+    slot.fn = std::move(fn);
+    slot.active = true;
+    return index;
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t index)
+{
+    Slot &slot = slots_[index];
+    slot.active = false;
+    slot.fn = nullptr;
+    // Bumping the generation invalidates every outstanding EventId
+    // for this slot, so stale heap entries and stale cancel() handles
+    // are rejected by a plain integer compare.
+    ++slot.gen;
+    freeSlots_.push_back(index);
+}
 
 EventId
 EventQueue::schedule(SimTime when, EventFn fn)
@@ -26,10 +57,12 @@ EventQueue::schedule(SimTime when, EventFn fn)
         QOSERVE_PANIC("event scheduled in the past: ", when, " < now=",
                       now_);
     }
-    EventId id = nextId_++;
-    heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+    std::uint32_t index = acquireSlot(std::move(fn));
+    std::uint32_t gen = slots_[index].gen;
+    heap_.push_back(HeapEntry{when, nextSeq_++, index, gen});
+    std::push_heap(heap_.begin(), heap_.end(), later);
     ++pendingCount_;
-    return id;
+    return (static_cast<EventId>(index) << 32) | gen;
 }
 
 EventId
@@ -45,48 +78,62 @@ EventQueue::scheduleAfter(SimDuration delay, EventFn fn)
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id == 0 || id >= nextId_)
+    auto index = static_cast<std::uint32_t>(id >> 32);
+    auto gen = static_cast<std::uint32_t>(id & 0xffffffffu);
+    if (index >= slots_.size())
         return false;
-    if (isCancelled(id))
+    Slot &slot = slots_[index];
+    if (slot.gen != gen || !slot.active)
         return false;
-    cancelled_.push_back(id);
+    // The heap entry stays behind as a tombstone — its generation no
+    // longer matches — and is dropped when it surfaces.
+    releaseSlot(index);
     if (pendingCount_ > 0)
         --pendingCount_;
     return true;
 }
 
 bool
-EventQueue::isCancelled(EventId id) const
+EventQueue::takeNext(SimTime until, SimTime &when, EventFn &fn)
 {
-    return std::find(cancelled_.begin(), cancelled_.end(), id) !=
-           cancelled_.end();
+    while (!heap_.empty()) {
+        const HeapEntry &top = heap_.front();
+        Slot &slot = slots_[top.slot];
+        if (slot.gen != top.gen || !slot.active) {
+            // Tombstone of a cancelled event.
+            std::pop_heap(heap_.begin(), heap_.end(), later);
+            heap_.pop_back();
+            continue;
+        }
+        if (top.when > until)
+            return false;
+        when = top.when;
+        std::uint32_t index = top.slot;
+        std::pop_heap(heap_.begin(), heap_.end(), later);
+        heap_.pop_back();
+        fn = std::move(slot.fn);
+        releaseSlot(index);
+        --pendingCount_;
+        return true;
+    }
+    return false;
 }
 
 std::uint64_t
 EventQueue::run(SimTime until)
 {
     std::uint64_t fired = 0;
-    while (!heap_.empty()) {
-        const Entry &top = heap_.top();
-        if (top.when > until)
-            break;
-        if (isCancelled(top.id)) {
-            // Lazily drop cancelled events and compact the tombstone
-            // list; each tombstone is consumed exactly once.
-            cancelled_.erase(std::find(cancelled_.begin(),
-                                       cancelled_.end(), top.id));
-            heap_.pop();
-            continue;
-        }
-        Entry e = std::move(const_cast<Entry &>(top));
-        heap_.pop();
-        --pendingCount_;
-        QOSERVE_ASSERT(e.when >= now_,
-                       "clock would move backwards: ", e.when, " < ",
+    SimTime when = 0.0;
+    EventFn fn;
+    while (takeNext(until, when, fn)) {
+        QOSERVE_ASSERT(when >= now_,
+                       "clock would move backwards: ", when, " < ",
                        now_);
-        now_ = e.when;
-        e.fn();
+        now_ = when;
+        fn();
+        fn = nullptr;
         ++fired;
+        ++firedCount_;
     }
     return fired;
 }
@@ -94,25 +141,16 @@ EventQueue::run(SimTime until)
 bool
 EventQueue::step()
 {
-    while (!heap_.empty()) {
-        const Entry &top = heap_.top();
-        if (isCancelled(top.id)) {
-            cancelled_.erase(std::find(cancelled_.begin(),
-                                       cancelled_.end(), top.id));
-            heap_.pop();
-            continue;
-        }
-        Entry e = std::move(const_cast<Entry &>(top));
-        heap_.pop();
-        --pendingCount_;
-        QOSERVE_ASSERT(e.when >= now_,
-                       "clock would move backwards: ", e.when, " < ",
-                       now_);
-        now_ = e.when;
-        e.fn();
-        return true;
-    }
-    return false;
+    SimTime when = 0.0;
+    EventFn fn;
+    if (!takeNext(kTimeNever, when, fn))
+        return false;
+    QOSERVE_ASSERT(when >= now_,
+                   "clock would move backwards: ", when, " < ", now_);
+    now_ = when;
+    fn();
+    ++firedCount_;
+    return true;
 }
 
 } // namespace qoserve

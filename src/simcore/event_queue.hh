@@ -6,6 +6,17 @@
  * work at future simulated times; run() drains events in timestamp
  * order, advancing the clock to each event as it fires. Ties are broken
  * by insertion order so simulations are fully deterministic.
+ *
+ * Storage is split into two arenas so the hot path stays allocation-
+ * free at steady state:
+ *
+ *  - a slot pool holding the callbacks, recycled through a free list
+ *    (a slot's generation counter is bumped on every release, which
+ *    both invalidates stale EventIds and turns cancel() into an O(1)
+ *    operation);
+ *  - a binary heap of trivially-copyable 24-byte entries {when, seq,
+ *    slot, gen} — sift operations move plain structs, never
+ *    std::function objects.
  */
 
 #ifndef QOSERVE_SIMCORE_EVENT_QUEUE_HH
@@ -13,7 +24,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "simcore/time.hh"
@@ -23,7 +33,13 @@ namespace qoserve {
 /** Callback type executed when an event fires. */
 using EventFn = std::function<void()>;
 
-/** Handle that can be used to cancel a scheduled event. */
+/**
+ * Handle that can be used to cancel a scheduled event.
+ *
+ * Encodes (slot index << 32) | slot generation; generations start at
+ * 1, so 0 is never a valid handle and handles from released slots
+ * never collide with live ones.
+ */
 using EventId = std::uint64_t;
 
 /**
@@ -66,10 +82,12 @@ class EventQueue
     EventId scheduleAfter(SimDuration delay, EventFn fn);
 
     /**
-     * Cancel a pending event.
+     * Cancel a pending event in O(1).
      *
      * Cancelling an event that already fired (or was already
-     * cancelled) is a harmless no-op.
+     * cancelled) is a harmless no-op: its slot generation no longer
+     * matches the handle. The callback is destroyed immediately; the
+     * heap entry is dropped lazily when it reaches the top.
      *
      * @param id Handle returned by schedule().
      * @return True if the event was pending and is now cancelled.
@@ -102,34 +120,59 @@ class EventQueue
      */
     bool step();
 
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t firedEvents() const { return firedCount_; }
+
+    /** Slots currently allocated in the pool (diagnostics). */
+    std::size_t poolSlots() const { return slots_.size(); }
+
   private:
-    struct Entry
+    /** Pooled callback storage. */
+    struct Slot
+    {
+        EventFn fn;
+        std::uint32_t gen = 1;  ///< Bumped on every release.
+        bool active = false;    ///< Scheduled and not yet fired.
+    };
+
+    /** Heap entry: plain data only, cheap to sift. */
+    struct HeapEntry
     {
         SimTime when;
         std::uint64_t seq;
-        EventId id;
-        EventFn fn;
-
-        bool
-        operator>(const Entry &other) const
-        {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
-        }
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
-    using Heap = std::priority_queue<Entry, std::vector<Entry>,
-                                     std::greater<Entry>>;
+    /** Min-heap order on (when, seq). */
+    static bool
+    later(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
 
-    bool isCancelled(EventId id) const;
+    /** Acquire a slot for @p fn; returns its index. */
+    std::uint32_t acquireSlot(EventFn fn);
 
-    Heap heap_;
-    std::vector<EventId> cancelled_;
+    /** Release a slot back to the free list, bumping its generation. */
+    void releaseSlot(std::uint32_t index);
+
+    /**
+     * Pop heap entries until the top is live; move its callback into
+     * @p fn and release the slot. Returns false when the heap empties
+     * or the next live event is later than @p until.
+     */
+    bool takeNext(SimTime until, SimTime &when, EventFn &fn);
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::vector<HeapEntry> heap_;
     SimTime now_ = 0.0;
     std::uint64_t nextSeq_ = 0;
-    EventId nextId_ = 1;
     std::size_t pendingCount_ = 0;
+    std::uint64_t firedCount_ = 0;
 };
 
 } // namespace qoserve

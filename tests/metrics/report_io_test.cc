@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <sstream>
 
 namespace qoserve {
@@ -391,6 +392,66 @@ TEST(ReportIo, PrintSummaryIsHumanReadable)
     EXPECT_NE(text.find("Q1"), std::string::npos);
     EXPECT_NE(text.find("Q3"), std::string::npos);
     EXPECT_NE(text.find("slo"), std::string::npos);
+}
+
+TEST(ReportIo, StreamWriterMatchesBufferedCsvByteForByte)
+{
+    // The simulator driver streams records to disk as they complete;
+    // the contract is byte-identical output to the buffered post-run
+    // dump (they share the header/row writers).
+    MetricsCollector collector(paperTierTable());
+    std::vector<RequestRecord> recs;
+    recs.push_back(makeRecord(0, 0, 2.0, 3.0));
+    recs.push_back(makeRecord(1, 1, 5.0, 700.0));
+    RequestRecord retried = makeRecord(2, 2, 0.123456789012345, 99.0);
+    retried.retries = 3;
+    retried.wasRelegated = true;
+    recs.push_back(retried);
+
+    std::string path = ::testing::TempDir() + "/qoserve_stream.csv";
+    RecordsCsvStreamWriter writer(collector.tiers(), path);
+    for (const RequestRecord &rec : recs) {
+        collector.record(rec);
+        writer.write(rec);
+    }
+    writer.close();
+
+    std::stringstream buffered;
+    writeRecordsCsv(collector, buffered);
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream streamed;
+    streamed << in.rdbuf();
+    EXPECT_EQ(streamed.str(), buffered.str());
+}
+
+TEST(ReportIo, CollectorSinkSeesEveryRecordInOrder)
+{
+    MetricsCollector collector(paperTierTable());
+    std::vector<std::uint64_t> seen;
+    collector.setRecordSink([&seen](const RequestRecord &rec) {
+        seen.push_back(rec.spec.id);
+    });
+    collector.record(makeRecord(5, 0, 2.0, 3.0));
+    collector.record(makeRecord(3, 1, 2.0, 3.0));
+    collector.record(makeRecord(9, 2, 2.0, 3.0));
+
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], 5u);
+    EXPECT_EQ(seen[1], 3u);
+    EXPECT_EQ(seen[2], 9u);
+    // Retention stays on by default: sink is a tee, not a redirect.
+    EXPECT_EQ(collector.size(), 3u);
+    EXPECT_EQ(collector.totalRecorded(), 3u);
+}
+
+TEST(ReportIo, RetentionOffKeepsCountersButDropsRecords)
+{
+    MetricsCollector collector(paperTierTable());
+    collector.setRetainRecords(false);
+    for (int i = 0; i < 10; ++i)
+        collector.record(makeRecord(i, 0, 2.0, 3.0));
+    EXPECT_EQ(collector.size(), 0u);
+    EXPECT_EQ(collector.totalRecorded(), 10u);
 }
 
 } // namespace

@@ -182,5 +182,70 @@ TEST_F(PredictorTest, SolvedChunkNeverExceedsTrueBudget)
     EXPECT_LE(violations, 10);
 }
 
+TEST_F(PredictorTest, PlaneLookupBitwiseEqualsDirectPredict)
+{
+    // The probe-level memo: every lookupOrPredict() answer — plane
+    // hit, plane rebuild or fallback — must be the bitwise answer a
+    // fresh forest evaluation would give.
+    ChunkSolverCache cache;
+    Rng rng(109);
+    BatchFeatures state = features(0, 0, 32, 32 * 1500);
+    for (int i = 0; i < 500; ++i) {
+        if (i % 50 == 0) {
+            // Composition change: the plane box should miss and
+            // rebuild, never drift the answers.
+            state.numDecodes = std::floor(rng.uniform(1, 128));
+            state.decodeCtxSum = state.numDecodes * rng.uniform(200, 4000);
+        }
+        int chunk = 64 * (1 + i % 40);
+        state.prefillContext = rng.uniform(0, 8000);
+        SimDuration cached =
+            cache.lookupOrPredict(*forest_, state, chunk, 64);
+        BatchFeatures at = state;
+        at.chunkTokens = chunk;
+        EXPECT_EQ(cached, forest_->predict(at));
+    }
+    EXPECT_GT(cache.stats().hits, 0u);
+    EXPECT_GT(cache.stats().evaluations, 0u);
+}
+
+TEST_F(PredictorTest, SolveMemoisedBitwiseEqualUnderDrift)
+{
+    // The solve-level memo under a scheduler-shaped workload: the
+    // prefill context drifts by exactly the granted chunk, the batch
+    // composition changes on admit/finish boundaries, and the budget
+    // wobbles with the decode slack. At every step the cached solve
+    // must equal the uncached search exactly.
+    ChunkSolverCache cache;
+    Rng rng(113);
+    double pctx = 0.0;
+    double nd = 24.0;
+    double dctx = 24.0 * 1800.0;
+    for (int i = 0; i < 1500; ++i) {
+        if (i % 97 == 0) {
+            // Admission / completion: composition jumps.
+            nd = std::floor(rng.uniform(4, 96));
+            dctx = nd * rng.uniform(500, 3000);
+        }
+        if (i % 53 == 0)
+            pctx = 0.0; // New prefill head (or preemption restart).
+        BatchFeatures state = features(0, pctx, nd, dctx);
+        double budget = 0.08 + 0.02 * std::sin(0.05 * i);
+
+        int fresh = solveChunkBudget(*forest_, state, budget, 4096, 64);
+        int cached = cache.solve(*forest_, state, budget, 4096, 64);
+        ASSERT_EQ(cached, fresh) << "step " << i;
+
+        pctx += cached; // Context advances by the granted chunk.
+        dctx += nd;     // Decodes each grew by one token.
+    }
+    const ChunkSolverCache::Stats &st = cache.stats();
+    EXPECT_EQ(st.solves, 1500u);
+    // Both memo levels must actually fire on this workload — the
+    // equality above would pass vacuously if every solve ran cold.
+    EXPECT_GT(st.replayHits, 0u);
+    EXPECT_GT(st.hits, 0u);
+}
+
 } // namespace
 } // namespace qoserve

@@ -138,6 +138,66 @@ TEST(EventQueue, StepExecutesExactlyOneEvent)
     EXPECT_FALSE(eq.step());
 }
 
+TEST(EventQueue, PoolSlotsBoundedByPeakConcurrency)
+{
+    // The arena property: slots are recycled on fire/cancel, so the
+    // pool grows to the peak number of *simultaneously pending*
+    // events, not the number ever scheduled. A self-rescheduling
+    // chain of bounded width must leave the pool small no matter how
+    // many events pass through it.
+    EventQueue eq;
+    constexpr int kWidth = 8;
+    constexpr int kRounds = 5000;
+    int fired = 0;
+    int reschedules = kWidth * (kRounds - 1);
+    std::function<void()> tick = [&] {
+        ++fired;
+        if (reschedules > 0) {
+            --reschedules;
+            eq.scheduleAfter(0.001, tick);
+        }
+    };
+    for (int i = 0; i < kWidth; ++i)
+        eq.schedule(0.0, tick);
+    eq.run();
+
+    EXPECT_EQ(fired, kWidth * kRounds);
+    EXPECT_EQ(eq.firedEvents(), static_cast<std::uint64_t>(fired));
+    // Allow a little headroom over the exact peak for growth policy,
+    // but 40k events through an O(width) pool must not grow it.
+    EXPECT_LE(eq.poolSlots(), static_cast<std::size_t>(4 * kWidth));
+}
+
+TEST(EventQueue, CancelRecyclesSlotImmediately)
+{
+    EventQueue eq;
+    eq.schedule(1.0, [] {});
+    std::size_t baseline = eq.poolSlots();
+    for (int i = 0; i < 1000; ++i) {
+        EventId id = eq.schedule(2.0, [] {});
+        EXPECT_TRUE(eq.cancel(id));
+    }
+    // Cancelled slots return to the free list, so the churn above
+    // reuses one slot instead of growing the pool.
+    EXPECT_LE(eq.poolSlots(), baseline + 1);
+    eq.run();
+    EXPECT_EQ(eq.firedEvents(), 1u);
+}
+
+TEST(EventQueue, FiredEventsCountsLifetimeNotPending)
+{
+    EventQueue eq;
+    eq.schedule(1.0, [] {});
+    eq.schedule(2.0, [] {});
+    EventId id = eq.schedule(3.0, [] {});
+    eq.cancel(id);
+    eq.run();
+    // Cancelled events never fire; the counter is the kernel's unit
+    // of work for per-event cost reporting (bench/ext_scale).
+    EXPECT_EQ(eq.firedEvents(), 2u);
+    EXPECT_EQ(eq.pendingEvents(), 0u);
+}
+
 TEST(EventQueue, LongChainTerminates)
 {
     EventQueue eq;

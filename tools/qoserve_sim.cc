@@ -104,6 +104,19 @@ main(int argc, char **argv)
     if (opts.traceJsonOut || opts.traceEventsOut)
         sim.setTraceSink(&traceSink);
 
+    // Stream per-request records to disk as they complete rather than
+    // buffering them for a post-run dump: same bytes (the writers are
+    // shared), but the file grows with the run and the driver never
+    // holds a second copy of the record set.
+    std::optional<RecordsCsvStreamWriter> recordsWriter;
+    if (opts.recordsOut) {
+        recordsWriter.emplace(trace.tiers, *opts.recordsOut);
+        sim.metricsCollector().setRecordSink(
+            [&recordsWriter](const RequestRecord &rec) {
+                recordsWriter->write(rec);
+            });
+    }
+
     // Fault injection: episodes may start any time up to the last
     // arrival; in-flight outages still resolve after that.
     std::optional<FaultInjector> faults;
@@ -228,8 +241,8 @@ main(int argc, char **argv)
                   << " evicted\n";
     }
 
-    if (opts.recordsOut)
-        writeRecordsCsvFile(metrics, *opts.recordsOut);
+    if (recordsWriter)
+        recordsWriter->close();
     if (opts.summaryOut) {
         std::ofstream out(*opts.summaryOut);
         if (!out) {
