@@ -30,7 +30,7 @@
 #include <optional>
 #include <string>
 
-#include "core/qoserve.hh"
+#include "app/qoserve.hh"
 
 namespace qoserve {
 namespace bench {

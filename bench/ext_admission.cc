@@ -30,7 +30,7 @@ run()
 
     // 2 QPS baseline with a 6 QPS burst for 5 minutes; 30% of
     // traffic is low-priority (free tier).
-    BurstArrivals arrivals(2.0, 6.0, 600.0, 900.0);
+    BurstArrivals arrivals(2.0, 6.0, SimTime{600.0}, SimTime{900.0});
     Trace trace = TraceBuilder()
                       .dataset(azureCode())
                       .seed(97)

@@ -73,7 +73,7 @@ runPoint(const ScalePoint &pt)
     ScaleResult res;
     res.completed = sim.metrics().totalRecorded();
     res.events = sim.eventQueue().firedEvents();
-    res.simSeconds = sim.eventQueue().now();
+    res.simSeconds = sim.eventQueue().now().seconds();
     res.wallSeconds = timer.seconds();
     return res;
 }

@@ -60,11 +60,11 @@ run()
         // Windows align across schemes (same arrivals).
         const auto &ref = series[0][tier];
         for (std::size_t w = 0; w < ref.size(); w += 4) {
-            double t = ref[w].windowStart;
+            double t = ref[w].windowStart.seconds();
             double vals[3] = {0, 0, 0};
             for (int p = 0; p < 3; ++p) {
                 for (const auto &pt : series[p][tier]) {
-                    if (pt.windowStart == t)
+                    if (pt.windowStart.seconds() == t)
                         vals[p] = pt.value;
                 }
             }

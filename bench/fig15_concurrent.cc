@@ -32,12 +32,12 @@ syntheticLongPrefillTrace(double qps, std::size_t count)
     trace.tiers = {interactiveTier(0, "Q1", 6.0, fromMillis(50.0))};
     trace.averageQps = qps;
     Rng rng(33);
-    SimTime t = 0.0;
+    SimTime t;
     for (std::size_t i = 0; i < count; ++i) {
         t += rng.exponential(qps);
         RequestSpec spec;
         spec.id = i;
-        spec.arrival = t;
+        spec.arrival = SimTime{t};
         spec.promptTokens = 10000;
         spec.decodeTokens = 500;
         spec.tierId = 0;

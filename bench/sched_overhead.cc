@@ -12,7 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/qoserve.hh"
+#include "app/qoserve.hh"
 
 namespace qoserve {
 namespace {
@@ -28,7 +28,7 @@ runIterationBenchmark(benchmark::State &state, SchedT &sched,
     TierTable tiers = paperTierTable();
     std::vector<std::unique_ptr<Request>> owned;
     std::uint64_t next_id = 0;
-    SimTime now = 0.0;
+    SimTime now;
 
     std::size_t completed = 0;
     sched.setCompletionHandler([&](Request *) { ++completed; });
@@ -36,7 +36,7 @@ runIterationBenchmark(benchmark::State &state, SchedT &sched,
     auto enqueue_one = [&]() {
         RequestSpec spec;
         spec.id = next_id++;
-        spec.arrival = now;
+        spec.arrival = SimTime{now};
         spec.promptTokens = 512;
         spec.decodeTokens = 1; // retire at prefill completion
         spec.tierId = static_cast<int>(spec.id % 3);
@@ -72,7 +72,7 @@ void
 BM_QoServeIteration(benchmark::State &state)
 {
     PerfModel perf(llama3_8b_a100_tp1());
-    BlockManager kv(perf.hw().kvCapacityTokens(), 16);
+    BlockManager kv(TokenCount{perf.hw().kvCapacityTokens()}, TokenCount{16});
     OracleLatencyPredictor oracle(perf);
     SchedulerEnv env{&kv, &perf, &oracle};
     QoServeScheduler sched(env);
@@ -90,7 +90,7 @@ void
 BM_SlosServeDpIteration(benchmark::State &state)
 {
     PerfModel perf(llama3_8b_a100_tp1());
-    BlockManager kv(perf.hw().kvCapacityTokens(), 16);
+    BlockManager kv(TokenCount{perf.hw().kvCapacityTokens()}, TokenCount{16});
     SchedulerEnv env{&kv, &perf, nullptr};
     DpScheduler sched(env, DpScheduler::Options{});
     runIterationBenchmark(state, sched, perf);

@@ -14,7 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/qoserve.hh"
+#include "app/qoserve.hh"
 
 namespace {
 

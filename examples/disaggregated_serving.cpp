@@ -17,7 +17,7 @@
 
 #include <cstdio>
 
-#include "core/qoserve.hh"
+#include "app/qoserve.hh"
 
 namespace {
 

@@ -16,7 +16,7 @@
 
 #include <cstdio>
 
-#include "core/qoserve.hh"
+#include "app/qoserve.hh"
 
 namespace {
 

@@ -21,7 +21,7 @@
 
 #include <cstdio>
 
-#include "core/qoserve.hh"
+#include "app/qoserve.hh"
 
 namespace {
 
@@ -83,9 +83,9 @@ crashRun(const Trace &trace, Policy policy,
 
     ClusterSim sim(cc, trace);
     sim.addReplicaGroup(2, makeSchedulerFactory(scfg));
-    sim.eventQueue().schedule(200.0,
+    sim.eventQueue().schedule(SimTime{200.0},
                               [&] { sim.replica(0).fail(); });
-    sim.eventQueue().schedule(320.0,
+    sim.eventQueue().schedule(SimTime{320.0},
                               [&] { sim.replica(0).recover(); });
     const MetricsCollector &metrics = sim.run();
 
@@ -113,7 +113,7 @@ main()
 
     // 900 s of traffic at 2 QPS with a 300 s burst at 6 QPS in the
     // middle — well past one replica's capacity.
-    BurstArrivals arrivals(2.0, 6.0, 300.0, 600.0);
+    BurstArrivals arrivals(2.0, 6.0, SimTime{300.0}, SimTime{600.0});
     Trace trace = TraceBuilder()
                       .dataset(azureCode())
                       .tiers(paperTierTable())

@@ -13,7 +13,7 @@
 
 #include <cstdio>
 
-#include "core/qoserve.hh"
+#include "app/qoserve.hh"
 
 int
 main()

@@ -3,7 +3,7 @@
  * CLI option parsing implementation.
  */
 
-#include "core/cli_options.hh"
+#include "app/cli_options.hh"
 
 #include <cstdlib>
 #include <sstream>

@@ -8,14 +8,14 @@
  * testable and reusable by downstream drivers.
  */
 
-#ifndef QOSERVE_CORE_CLI_OPTIONS_HH
-#define QOSERVE_CORE_CLI_OPTIONS_HH
+#ifndef QOSERVE_APP_CLI_OPTIONS_HH
+#define QOSERVE_APP_CLI_OPTIONS_HH
 
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "core/serving_system.hh"
+#include "app/serving_system.hh"
 #include "fault/fault_injector.hh"
 
 namespace qoserve {
@@ -94,4 +94,4 @@ ReplicaHwConfig parseHwName(const std::string &name);
 
 } // namespace qoserve
 
-#endif // QOSERVE_CORE_CLI_OPTIONS_HH
+#endif // QOSERVE_APP_CLI_OPTIONS_HH

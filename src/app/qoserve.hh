@@ -3,15 +3,15 @@
  * Umbrella header: the full public API of the QoServe library.
  */
 
-#ifndef QOSERVE_CORE_QOSERVE_HH
-#define QOSERVE_CORE_QOSERVE_HH
+#ifndef QOSERVE_APP_QOSERVE_HH
+#define QOSERVE_APP_QOSERVE_HH
 
 #include "cluster/admission.hh"
 #include "cluster/capacity.hh"
 #include "cluster/cluster.hh"
 #include "cluster/disagg.hh"
 #include "cluster/replica.hh"
-#include "core/serving_system.hh"
+#include "app/serving_system.hh"
 #include "fault/fault_injector.hh"
 #include "kvcache/block_manager.hh"
 #include "metrics/percentile.hh"
@@ -42,4 +42,4 @@
 #include "workload/trace.hh"
 #include "workload/trace_io.hh"
 
-#endif // QOSERVE_CORE_QOSERVE_HH
+#endif // QOSERVE_APP_QOSERVE_HH

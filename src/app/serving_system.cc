@@ -3,7 +3,7 @@
  * ServingSystem implementation.
  */
 
-#include "core/serving_system.hh"
+#include "app/serving_system.hh"
 
 #include "simcore/logging.hh"
 

@@ -21,8 +21,8 @@
  * @endcode
  */
 
-#ifndef QOSERVE_CORE_SERVING_SYSTEM_HH
-#define QOSERVE_CORE_SERVING_SYSTEM_HH
+#ifndef QOSERVE_APP_SERVING_SYSTEM_HH
+#define QOSERVE_APP_SERVING_SYSTEM_HH
 
 #include <memory>
 #include <string>
@@ -150,4 +150,4 @@ class ServingSystem
 
 } // namespace qoserve
 
-#endif // QOSERVE_CORE_SERVING_SYSTEM_HH
+#endif // QOSERVE_APP_SERVING_SYSTEM_HH

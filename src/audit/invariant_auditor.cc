@@ -61,7 +61,7 @@ InvariantAuditor::checkEventTime(const EventQueue &eq)
     if (!cheap())
         return;
     SimTime now = eq.now();
-    if (!std::isfinite(now)) {
+    if (!std::isfinite(now.seconds())) {
         report("clock-finite",
                detail::composeMessage("clock is not finite: ", now), now);
     } else if (now < lastEventTime_) {

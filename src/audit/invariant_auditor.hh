@@ -25,7 +25,7 @@
 #include <string>
 #include <vector>
 
-#include "audit/check_level.hh"
+#include "core/check_level.hh"
 #include "kvcache/block_manager.hh"
 #include "simcore/time.hh"
 #include "workload/qos.hh"
@@ -79,7 +79,7 @@ class InvariantAuditor
         std::string detail;
 
         /** Simulation time at which the violation was observed. */
-        SimTime when = 0.0;
+        SimTime when;
     };
 
     /** Auditor configuration. */
@@ -220,7 +220,7 @@ class InvariantAuditor
     }
 
     Options opts_;
-    SimTime lastEventTime_ = -kTimeNever;
+    SimTime lastEventTime_{-kTimeNever.seconds()};
     std::uint64_t iterations_ = 0;
     std::uint64_t violationCount_ = 0;
     std::vector<Violation> violations_;

@@ -78,7 +78,7 @@ class AdmissionController
     Config cfg_;
     const TraceScope *trace_ = nullptr;
     double bucket_;
-    SimTime lastRefill_ = 0.0;
+    SimTime lastRefill_;
     std::uint64_t rejected_ = 0;
     std::uint64_t admitted_ = 0;
 };

@@ -51,7 +51,7 @@ ClusterSim::setTraceSink(TraceSink *sink)
     traceScope_.replica = -1;
     admission_.setTrace(&traceScope_);
     for (std::size_t i = 0; i < replicas_.size(); ++i)
-        replicas_[i]->setTraceSink(sink, static_cast<int>(i));
+        replicas_[i]->setTraceSink(sink, ReplicaId{static_cast<int>(i)});
 }
 
 const char *
@@ -89,8 +89,9 @@ ClusterSim::addReplicaGroup(int count, const SchedulerFactory &factory,
                 requeue(snap);
             });
         if (traceScope_.sink != nullptr) {
-            replica->setTraceSink(traceScope_.sink,
-                                  static_cast<int>(replicas_.size()));
+            replica->setTraceSink(
+                traceScope_.sink,
+                ReplicaId{static_cast<int>(replicas_.size())});
         }
         group.replicaIdx.push_back(replicas_.size());
         replicas_.push_back(std::move(replica));
@@ -216,7 +217,7 @@ ClusterSim::injectArrival(std::size_t index)
         requeue(std::move(snap));
     } else if (admission_.admit(spec, eq_.now(),
                                 replicas_[replica_idx]->scheduler())) {
-        traceScope_.emitOn(static_cast<int>(replica_idx),
+        traceScope_.emitOn(ReplicaId{static_cast<int>(replica_idx)},
                            TraceEventKind::Dispatch, spec.id);
         replicas_[replica_idx]->submit(spec);
     } else {
@@ -269,7 +270,7 @@ ClusterSim::redispatch(RequestFailureSnapshot snap)
         requeue(std::move(snap));
         return;
     }
-    traceScope_.emitOn(static_cast<int>(replica_idx),
+    traceScope_.emitOn(ReplicaId{static_cast<int>(replica_idx)},
                        TraceEventKind::Dispatch, snap.spec.id,
                        snap.retries);
     replicas_[replica_idx]->resubmit(snap);

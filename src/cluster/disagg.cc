@@ -16,7 +16,7 @@ DecodeReplica::DecodeReplica(
     SimDuration strictest_tbt, int max_batch,
     std::function<void(const RequestRecord &)> on_complete)
     : eq_(eq), perf_(cfg.hw, cfg.perfParams),
-      kv_(cfg.hw.kvCapacityTokens(), cfg.kvBlockTokens), policy_(policy),
+      kv_(TokenCount{cfg.hw.kvCapacityTokens()}, TokenCount{cfg.kvBlockTokens}), policy_(policy),
       strictestTbt_(strictest_tbt), maxBatch_(max_batch),
       onComplete_(std::move(on_complete))
 {
@@ -104,7 +104,7 @@ DecodeReplica::maybeStart()
            active_.size() < static_cast<std::size_t>(maxBatch_)) {
         Request *r = pending_.front();
         std::int64_t reserve = r->contextLength() + r->decodeRemaining();
-        if (!kv_.grow(r->id(), reserve))
+        if (!kv_.grow(r->id(), TokenCount{reserve}))
             break;
         pending_.pop_front();
         active_.push_back(r);
@@ -159,12 +159,12 @@ DisaggCluster::DisaggCluster(Config cfg, Trace trace)
     QOSERVE_ASSERT(cfg_.kvTransferBandwidth > 0.0,
                    "transfer bandwidth must be positive");
 
-    SimDuration strictest_tbt = kTimeNever;
+    SimDuration strictest_tbt = kDurationNever;
     for (const QosTier &tier : trace_.tiers) {
         if (tier.interactive)
             strictest_tbt = std::min(strictest_tbt, tier.tbtSlo);
     }
-    if (strictest_tbt == kTimeNever)
+    if (strictest_tbt == kDurationNever)
         strictest_tbt = 0.1; // No interactive tier: loose default.
 
     for (int i = 0; i < cfg_.numPrefillReplicas; ++i) {

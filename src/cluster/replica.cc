@@ -32,7 +32,7 @@ Replica::Replica(EventQueue &eq, Config cfg,
                  std::vector<AppStats> app_stats,
                  std::function<void(const RequestRecord &)> on_complete)
     : eq_(eq), perf_(cfg.hw, cfg.perfParams),
-      kv_(cfg.hw.kvCapacityTokens(), cfg.kvBlockTokens),
+      kv_(TokenCount{cfg.hw.kvCapacityTokens()}, TokenCount{cfg.kvBlockTokens}),
       factory_(factory), predictor_(predictor), tiers_(std::move(tiers)),
       appStats_(std::move(app_stats)),
       onComplete_(std::move(on_complete))
@@ -130,7 +130,7 @@ Replica::attachCachedPrefix(Request *req)
         return;
     int tokens = prefixCache_->attach(req->id(), req->spec(), eq_.now());
     if (tokens > 0)
-        req->attachCachedPrefix(tokens);
+        req->attachCachedPrefix(TokenCount{tokens});
 }
 
 void

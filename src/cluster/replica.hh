@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "kvcache/block_manager.hh"
+#include "metrics/batch_observation.hh"
 #include "model/perf_model.hh"
 #include "obs/trace_sink.hh"
 #include "prefixcache/prefix_cache.hh"
@@ -46,16 +47,6 @@ const char *replicaHealthName(ReplicaHealth health);
  * replica crashes; the cluster re-dispatches or abandons them.
  */
 using FailureHandler = std::function<void(const RequestFailureSnapshot &)>;
-
-/** Observer invoked after every executed batch (Fig. 9 timelines). */
-struct BatchObservation
-{
-    SimTime start = 0.0;
-    SimDuration latency = 0.0;
-    int prefillTokens = 0;
-    int numDecodes = 0;
-};
-using BatchObserver = std::function<void(const BatchObservation &)>;
 
 /**
  * A single model replica.
@@ -186,11 +177,11 @@ class Replica
      * scheduler environment points at the same scope, so emission
      * stays wired across crash-time scheduler rebuilds.
      */
-    void setTraceSink(TraceSink *sink, int replica_id)
+    void setTraceSink(TraceSink *sink, ReplicaId replica_id)
     {
         trace_.sink = sink;
         trace_.clock = &eq_;
-        trace_.replica = replica_id;
+        trace_.replica = replica_id.value();
     }
 
   private:
@@ -236,7 +227,7 @@ class Replica
 
     /** In-flight completion event, for cancellation on crash. */
     EventId inflightEvent_ = 0;
-    SimTime inflightStart_ = 0.0;
+    SimTime inflightStart_;
 
     /**
      * The batch being executed. Only one batch is ever in flight, so

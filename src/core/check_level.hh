@@ -21,8 +21,8 @@
  * library.
  */
 
-#ifndef QOSERVE_AUDIT_CHECK_LEVEL_HH
-#define QOSERVE_AUDIT_CHECK_LEVEL_HH
+#ifndef QOSERVE_CORE_CHECK_LEVEL_HH
+#define QOSERVE_CORE_CHECK_LEVEL_HH
 
 namespace qoserve {
 namespace audit {
@@ -87,4 +87,4 @@ checkLevelName(CheckLevel level)
 } // namespace audit
 } // namespace qoserve
 
-#endif // QOSERVE_AUDIT_CHECK_LEVEL_HH
+#endif // QOSERVE_CORE_CHECK_LEVEL_HH

@@ -37,7 +37,8 @@ FaultInjector::FaultInjector(FaultConfig cfg, ClusterSim &cluster)
 
     // Configuration comes from flags/benches: bad values are user
     // errors, like BlockManager's capacity validation.
-    if (!(cfg_.horizon > 0.0) || !std::isfinite(cfg_.horizon)) {
+    if (!(cfg_.horizon > SimTime{}) ||
+        !std::isfinite(cfg_.horizon.seconds())) {
         QOSERVE_FATAL("fault injection needs a positive finite "
                       "horizon, got ",
                       cfg_.horizon);
@@ -204,7 +205,7 @@ FaultInjector::machineAvailability() const
         if (since != kTimeNever)
             down += cfg_.horizon - std::min(since, cfg_.horizon);
     }
-    double total = cfg_.horizon *
+    double total = cfg_.horizon.seconds() *
                    static_cast<double>(cluster_.numReplicas());
     return std::max(0.0, 1.0 - down / total);
 }

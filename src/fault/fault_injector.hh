@@ -59,7 +59,7 @@ struct FaultConfig
      * finite when any episode kind is enabled — without a horizon
      * the event queue would never drain).
      */
-    SimTime horizon = 0.0;
+    SimTime horizon;
 
     /** True when crash episodes are enabled. */
     bool crashesEnabled() const { return crashMtbf > 0.0; }
@@ -91,7 +91,7 @@ struct FaultEvent
 {
     FaultKind kind = FaultKind::Crash;
     std::size_t replica = 0;
-    SimTime when = 0.0;
+    SimTime when;
 
     /** Slowdown factor (StragglerStart only; 1.0 otherwise). */
     double factor = 1.0;

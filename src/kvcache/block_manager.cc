@@ -11,9 +11,11 @@
 
 namespace qoserve {
 
-BlockManager::BlockManager(std::int64_t capacity_tokens, int block_tokens)
-    : blockTokens_(block_tokens)
+BlockManager::BlockManager(TokenCount capacity, TokenCount block_size)
+    : blockTokens_(static_cast<int>(block_size.value()))
 {
+    std::int64_t capacity_tokens = capacity.value();
+    int block_tokens = blockTokens_;
     // Constructor arguments come from deployment configuration, so a
     // bad value is a user error (fatal), not a library bug (panic).
     if (capacity_tokens <= 0) {
@@ -40,8 +42,9 @@ BlockManager::utilization() const
 }
 
 std::int64_t
-BlockManager::blocksNeeded(KvOwnerId owner, std::int64_t new_tokens) const
+BlockManager::blocksNeeded(KvOwnerId owner, TokenCount growth) const
 {
+    std::int64_t new_tokens = growth.value();
     QOSERVE_ASSERT(new_tokens >= 0, "negative token growth");
     std::int64_t current = 0;
     std::int64_t blocks = 0;
@@ -57,7 +60,7 @@ BlockManager::blocksNeeded(KvOwnerId owner, std::int64_t new_tokens) const
 }
 
 bool
-BlockManager::canGrow(KvOwnerId owner, std::int64_t new_tokens) const
+BlockManager::canGrow(KvOwnerId owner, TokenCount new_tokens) const
 {
     std::int64_t needed = blocksNeeded(owner, new_tokens);
     if (needed <= freeBlocks())
@@ -68,9 +71,10 @@ BlockManager::canGrow(KvOwnerId owner, std::int64_t new_tokens) const
 }
 
 bool
-BlockManager::grow(KvOwnerId owner, std::int64_t new_tokens)
+BlockManager::grow(KvOwnerId owner, TokenCount growth)
 {
-    std::int64_t needed = blocksNeeded(owner, new_tokens);
+    std::int64_t new_tokens = growth.value();
+    std::int64_t needed = blocksNeeded(owner, growth);
     // Reclaim cold cached blocks only when that can actually satisfy
     // the request — a doomed grow must not drain the cache for free.
     if (needed > freeBlocks() && needed <= availableBlocks() &&

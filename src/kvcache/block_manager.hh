@@ -25,6 +25,8 @@
 
 #include <cstdint>
 #include <functional>
+
+#include "core/units.hh"
 #include <unordered_map>
 #include <vector>
 
@@ -82,8 +84,8 @@ class BlockManager
      * @param block_tokens Tokens per block (vLLM default: 16); must
      *        be positive.
      */
-    explicit BlockManager(std::int64_t capacity_tokens,
-                          int block_tokens = 16);
+    explicit BlockManager(TokenCount capacity_tokens,
+                          TokenCount block_tokens = TokenCount{16});
 
     /** Total block count. */
     std::int64_t totalBlocks() const { return totalBlocks_; }
@@ -118,10 +120,10 @@ class BlockManager
      * the private region enters the computation.
      */
     std::int64_t blocksNeeded(KvOwnerId owner,
-                              std::int64_t new_tokens) const;
+                              TokenCount new_tokens) const;
 
     /** True if grow() for the same arguments would succeed. */
-    bool canGrow(KvOwnerId owner, std::int64_t new_tokens) const;
+    bool canGrow(KvOwnerId owner, TokenCount new_tokens) const;
 
     /**
      * Extend @p owner's cached tokens by @p new_tokens.
@@ -134,7 +136,7 @@ class BlockManager
      *         evictions performed) if the required blocks are not
      *         available.
      */
-    bool grow(KvOwnerId owner, std::int64_t new_tokens);
+    bool grow(KvOwnerId owner, TokenCount new_tokens);
 
     /** Tokens privately cached for @p owner (0 if unknown). */
     std::int64_t ownedTokens(KvOwnerId owner) const;

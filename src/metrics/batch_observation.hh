@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Per-iteration batch observation record.
+ *
+ * The raw telemetry sample a replica emits after every executed
+ * batch (Fig. 9 timelines). Lives in the metrics layer so the
+ * telemetry recorder does not have to reach up into the cluster
+ * module for its input type; replicas include this header downward.
+ */
+
+#ifndef QOSERVE_METRICS_BATCH_OBSERVATION_HH
+#define QOSERVE_METRICS_BATCH_OBSERVATION_HH
+
+#include <functional>
+
+#include "simcore/time.hh"
+
+namespace qoserve {
+
+/** Observer invoked after every executed batch (Fig. 9 timelines). */
+struct BatchObservation
+{
+    SimTime start;
+    SimDuration latency = 0.0;
+    int prefillTokens = 0;
+    int numDecodes = 0;
+};
+using BatchObserver = std::function<void(const BatchObservation &)>;
+
+} // namespace qoserve
+
+#endif // QOSERVE_METRICS_BATCH_OBSERVATION_HH

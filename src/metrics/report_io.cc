@@ -309,7 +309,7 @@ readRollingCsv(std::istream &in)
         }
         auto f = splitCsvFields("rolling", line, 3, line_no);
         RollingPoint p;
-        p.windowStart = parseCsvDouble("rolling", f[0], line_no);
+        p.windowStart = SimTime{parseCsvDouble("rolling", f[0], line_no)};
         p.value = parseCsvDouble("rolling", f[1], line_no);
         std::int64_t count = parseCsvInt("rolling", f[2], line_no);
         if (count < 0)

@@ -9,7 +9,7 @@
 #include <cmath>
 #include <map>
 
-#include "audit/check_level.hh"
+#include "core/check_level.hh"
 #include "metrics/percentile.hh"
 #include "simcore/logging.hh"
 
@@ -256,7 +256,8 @@ rollingLatency(const MetricsCollector &collector, SimDuration window,
         if (important_only && !r.spec.important)
             continue;
         auto bucket =
-            static_cast<std::int64_t>(std::floor(r.spec.arrival / window));
+            static_cast<std::int64_t>(
+                std::floor(r.spec.arrival.seconds() / window));
         buckets[bucket].push_back(
             headlineLatency(r, tiers[r.spec.tierId]));
     }
@@ -265,7 +266,7 @@ rollingLatency(const MetricsCollector &collector, SimDuration window,
     out.reserve(buckets.size());
     for (auto &[bucket, values] : buckets) {
         RollingPoint p;
-        p.windowStart = static_cast<double>(bucket) * window;
+        p.windowStart = SimTime{static_cast<double>(bucket) * window};
         p.count = values.size();
         std::sort(values.begin(), values.end());
         p.value = percentileSorted(values, pct);

@@ -189,7 +189,7 @@ RunSummary summarize(const MetricsCollector &collector,
 /** One point of a rolling-percentile time series. */
 struct RollingPoint
 {
-    SimTime windowStart = 0.0;
+    SimTime windowStart;
     double value = 0.0;
     std::size_t count = 0;
 };

@@ -14,11 +14,12 @@
 namespace qoserve {
 
 BatchObserver
-TelemetryRecorder::observerFor(int replica_id)
+TelemetryRecorder::observerFor(ReplicaId replica_id)
 {
-    return [this, replica_id](const BatchObservation &obs) {
+    int rid = replica_id.value();
+    return [this, rid](const BatchObservation &obs) {
         observations_.push_back(obs);
-        replicaIds_.push_back(replica_id);
+        replicaIds_.push_back(rid);
     };
 }
 

@@ -16,7 +16,8 @@
 #include <string>
 #include <vector>
 
-#include "cluster/replica.hh"
+#include "core/units.hh"
+#include "metrics/batch_observation.hh"
 
 namespace qoserve {
 
@@ -32,7 +33,7 @@ class TelemetryRecorder
      * An observer bound to this recorder, tagged with a replica id.
      * Install via Replica::setBatchObserver.
      */
-    BatchObserver observerFor(int replica_id);
+    BatchObserver observerFor(ReplicaId replica_id);
 
     /** All observations in arrival order. */
     const std::vector<BatchObservation> &observations() const

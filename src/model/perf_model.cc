@@ -20,18 +20,21 @@ PerfModel::PerfModel(ReplicaHwConfig hw, PerfModelParams params)
 }
 
 SimDuration
-PerfModel::linearTime(std::int64_t total_tokens) const
+PerfModel::linearTime(TokenCount total_tokens) const
 {
-    if (total_tokens <= 0)
+    if (total_tokens.value() <= 0)
         return 0.0;
 
-    double t = static_cast<double>(total_tokens);
+    // The token count enters the formulas as a scalar; name it for
+    // what it is (a count, not a time).
+    double tokens_f = static_cast<double>(total_tokens.value());
     double tp = static_cast<double>(hw_.tpDegree);
 
     // Utilisation ramps with the number of tokens in flight; small
     // batches cannot fill the GPU's compute units.
-    double mfu = params_.mfuMax * t / (t + params_.mfuRampTokens);
-    double flops = 2.0 * static_cast<double>(hw_.model.numParams) * t;
+    double mfu = params_.mfuMax * tokens_f / (tokens_f + params_.mfuRampTokens);
+    double flops =
+        2.0 * static_cast<double>(hw_.model.numParams) * tokens_f;
     double compute = flops / (tp * hw_.gpu.peakFlops * mfu);
 
     // Regardless of batch size, every weight must stream from HBM
@@ -70,14 +73,14 @@ PerfModel::decodeAttnTime(int num_decodes, std::int64_t ctx_sum) const
 }
 
 SimDuration
-PerfModel::commTime(std::int64_t total_tokens) const
+PerfModel::commTime(TokenCount total_tokens) const
 {
-    if (hw_.tpDegree <= 1 || total_tokens <= 0)
+    if (hw_.tpDegree <= 1 || total_tokens.value() <= 0)
         return 0.0;
 
     // Two all-reduces of the activations per layer; ring all-reduce
     // moves ~2x the payload per participant.
-    double payload = static_cast<double>(total_tokens) *
+    double payload = static_cast<double>(total_tokens.value()) *
                      static_cast<double>(hw_.model.hiddenSize) *
                      static_cast<double>(hw_.model.bytesPerParam);
     double bytes_moved = 2.0 * 2.0 * payload *
@@ -95,10 +98,10 @@ PerfModel::iterationTime(const BatchWork &work) const
     if (work.totalTokens() == 0)
         return 0.0;
 
-    return params_.baseOverhead + linearTime(work.totalTokens()) +
+    return params_.baseOverhead + linearTime(TokenCount{work.totalTokens()}) +
            prefillAttnTime(work.prefillCtxProduct) +
            decodeAttnTime(work.numDecodes, work.decodeCtxSum) +
-           commTime(work.totalTokens());
+           commTime(TokenCount{work.totalTokens()});
 }
 
 } // namespace qoserve

@@ -30,7 +30,7 @@
 #include <cstdint>
 
 #include "model/hardware_config.hh"
-#include "simcore/time.hh"
+#include "core/units.hh"
 
 namespace qoserve {
 
@@ -114,7 +114,7 @@ class PerfModel
     SimDuration iterationTime(const BatchWork &work) const;
 
     /** Linear-layer (MLP + projection) time for a token count. */
-    SimDuration linearTime(std::int64_t total_tokens) const;
+    SimDuration linearTime(TokenCount total_tokens) const;
 
     /** Prefill attention time for a context product (see BatchWork). */
     SimDuration prefillAttnTime(double ctx_product) const;
@@ -124,7 +124,7 @@ class PerfModel
                                std::int64_t ctx_sum) const;
 
     /** Tensor-parallel collective time for a token count. */
-    SimDuration commTime(std::int64_t total_tokens) const;
+    SimDuration commTime(TokenCount total_tokens) const;
 
     /** Hardware description this model was built for. */
     const ReplicaHwConfig &hw() const { return hw_; }

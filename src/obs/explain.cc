@@ -116,7 +116,7 @@ writeExplainReport(const std::vector<TraceEvent> &events,
             continue;
         out << "\nreq " << rec.id << "  tier " << rec.tierId
             << (rec.important ? "  important" : "");
-        auto it = timelines.find(rec.id);
+        auto it = timelines.find(RequestId{rec.id});
         if (rec.rejected || it == timelines.end() ||
             it->second.spans.empty()) {
             out << "  rejected at admission (never served)\n";

@@ -28,7 +28,7 @@ namespace qoserve {
 struct ExplainRecord
 {
     std::uint64_t id = 0;
-    SimTime arrival = 0.0;
+    SimTime arrival;
     int tierId = 0;
     bool important = false;
     double ttft = 0.0; ///< May be +inf (never served).

@@ -102,7 +102,7 @@ class MetricsRegistry
 
     struct Row
     {
-        SimTime time = 0.0;
+        SimTime time;
         std::map<std::string, double> values;
     };
     std::vector<Row> rows_;

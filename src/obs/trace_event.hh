@@ -69,7 +69,7 @@ inline constexpr std::uint64_t kNoTraceRequest =
 struct TraceEvent
 {
     TraceEventKind kind = TraceEventKind::Arrival;
-    SimTime time = 0.0;
+    SimTime time;
     std::uint64_t request = kNoTraceRequest;
     int replica = -1;
     std::int64_t arg = 0;

@@ -48,7 +48,7 @@ struct SpanState
     bool open = false;
     TracePhase phase = TracePhase::Queued;
     int replica = -1;
-    SimTime since = 0.0;
+    SimTime since;
 };
 
 /** What a request-lifecycle event does to the open span. */
@@ -104,16 +104,16 @@ transitionFor(const TraceEvent &ev, const SpanState &st)
 
 } // namespace
 
-std::map<std::uint64_t, RequestTimeline>
+std::map<RequestId, RequestTimeline>
 buildRequestTimelines(const std::vector<TraceEvent> &events)
 {
-    std::map<std::uint64_t, RequestTimeline> timelines;
+    std::map<RequestId, RequestTimeline> timelines;
     std::map<std::uint64_t, SpanState> state;
 
     for (const TraceEvent &ev : events) {
         if (ev.request == kNoTraceRequest)
             continue;
-        RequestTimeline &tl = timelines[ev.request];
+        RequestTimeline &tl = timelines[RequestId{ev.request}];
         switch (ev.kind) {
           case TraceEventKind::Arrival:
             tl.arrival = ev.time;
@@ -149,11 +149,11 @@ buildRequestTimelines(const std::vector<TraceEvent> &events)
 
     // A truncated stream (tests, partial exports) can leave spans
     // open; close them at the stream's final timestamp.
-    const SimTime last = events.empty() ? 0.0 : events.back().time;
+    const SimTime last = events.empty() ? SimTime{} : events.back().time;
     for (auto &entry : state) {
         const SpanState &st = entry.second;
         if (st.open) {
-            timelines[entry.first].spans.push_back(
+            timelines[RequestId{entry.first}].spans.push_back(
                 {st.phase, st.replica, st.since, last});
         }
     }
@@ -168,7 +168,7 @@ std::string
 fmtTs(SimTime t)
 {
     char buf[64];
-    std::snprintf(buf, sizeof buf, "%.3f", t * 1e6);
+    std::snprintf(buf, sizeof buf, "%.3f", t.seconds() * 1e6);
     return buf;
 }
 
@@ -370,7 +370,7 @@ writePerfettoJson(const std::vector<TraceEvent> &events,
 
     // Close anything a truncated stream left open so B/E pairs always
     // balance (both maps iterate in sorted key order).
-    const SimTime last = events.empty() ? 0.0 : events.back().time;
+    const SimTime last = events.empty() ? SimTime{} : events.back().time;
     for (const auto &entry : state) {
         if (entry.second.open) {
             json.line(durEvent("E", nullptr, last,

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/units.hh"
 #include "obs/trace_event.hh"
 
 namespace qoserve {
@@ -52,8 +53,8 @@ struct PhaseSpan
     /** Replica the span ran on (-1 for cluster-level retry spans). */
     int replica = -1;
 
-    SimTime begin = 0.0;
-    SimTime end = 0.0;
+    SimTime begin;
+    SimTime end;
 
     SimDuration length() const { return end - begin; }
 };
@@ -87,7 +88,7 @@ struct RequestTimeline
  * Fold a trace stream into per-request timelines, keyed by request
  * id (deterministic id order).
  */
-std::map<std::uint64_t, RequestTimeline>
+std::map<RequestId, RequestTimeline>
 buildRequestTimelines(const std::vector<TraceEvent> &events);
 
 /**

@@ -184,7 +184,7 @@ readTraceCsv(std::istream &in)
                           ": expected 6 fields, got ", fields.size());
         TraceEvent ev;
         ev.kind = kindByName(fields[0], line_no);
-        ev.time = parseTraceDouble(fields[1], line_no);
+        ev.time = SimTime{parseTraceDouble(fields[1], line_no)};
         std::int64_t req = parseTraceInt(fields[2], line_no);
         ev.request = req < 0 ? kNoTraceRequest
                              : static_cast<std::uint64_t>(req);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/units.hh"
 #include "obs/trace_event.hh"
 #include "simcore/event_queue.hh"
 
@@ -92,14 +93,15 @@ struct TraceScope
     /** Emit on behalf of a specific replica (the cluster front door
      *  stamping a dispatch with its target). */
     void
-    emitOn(int replica_idx, TraceEventKind kind,
+    emitOn(ReplicaId replica_idx, TraceEventKind kind,
            std::uint64_t request = kNoTraceRequest, std::int64_t arg = 0,
            double value = 0.0) const
     {
         if (sink == nullptr)
             return;
         sink->emit(
-            {kind, clock->now(), request, replica_idx, arg, value});
+            {kind, clock->now(), request, replica_idx.value(), arg,
+             value});
     }
 };
 

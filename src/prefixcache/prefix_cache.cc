@@ -44,8 +44,9 @@ PrefixCacheConfig::validate() const
 }
 
 std::vector<std::uint64_t>
-prefixBlockKeys(const RequestSpec &spec, int block_tokens)
+prefixBlockKeys(const RequestSpec &spec, TokenCount block_size)
 {
+    int block_tokens = static_cast<int>(block_size.value());
     QOSERVE_ASSERT(block_tokens > 0, "non-positive block size");
     const int full = spec.promptTokens / block_tokens;
     std::vector<std::uint64_t> keys;
@@ -133,7 +134,7 @@ PrefixCache::attach(KvOwnerId owner, const RequestSpec &spec, SimTime now)
         return 0;
     ++stats_.lookups;
     const int B = kv_.blockTokens();
-    auto keys = prefixBlockKeys(spec, B);
+    auto keys = prefixBlockKeys(spec, TokenCount{B});
     std::size_t depth = walk(keys, true, now);
     if (depth == 0)
         return 0;
@@ -164,7 +165,7 @@ PrefixCache::attach(KvOwnerId owner, const RequestSpec &spec, SimTime now)
         kv_.attachShared(owner, ids);
     }
     if (tail > 0) {
-        bool grown = kv_.grow(owner, tail);
+        bool grown = kv_.grow(owner, TokenCount{tail});
         QOSERVE_ASSERT(grown, "COW copy failed after free-block check");
         ++stats_.cowCopies;
     }
@@ -181,7 +182,7 @@ PrefixCache::insert(KvOwnerId owner, const RequestSpec &spec, SimTime now)
     if (!cfg_.enabled)
         return;
     const int B = kv_.blockTokens();
-    auto keys = prefixBlockKeys(spec, B);
+    auto keys = prefixBlockKeys(spec, TokenCount{B});
     if (keys.empty())
         return;
 
@@ -246,7 +247,7 @@ PrefixCache::probe(const RequestSpec &spec) const
     if (!cfg_.enabled)
         return 0;
     const int B = kv_.blockTokens();
-    std::size_t depth = matchDepth(prefixBlockKeys(spec, B));
+    std::size_t depth = matchDepth(prefixBlockKeys(spec, TokenCount{B}));
     if (depth == 0)
         return 0;
     auto matched = static_cast<std::int64_t>(depth) * B;

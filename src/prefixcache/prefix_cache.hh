@@ -108,7 +108,7 @@ struct PrefixCacheAuditView
  * without segments (fully unique content) key off the request id.
  */
 std::vector<std::uint64_t> prefixBlockKeys(const RequestSpec &spec,
-                                           int block_tokens);
+                                           TokenCount block_tokens);
 
 /**
  * Deterministic shared-prefix cache layered on one replica's
@@ -183,7 +183,7 @@ class PrefixCache
     {
         KvBlockId block = 0;
         std::uint64_t parentKey = 0; ///< kNoParent for depth-0 nodes.
-        SimTime lastUse = 0.0;
+        SimTime lastUse;
         int children = 0;
     };
 

@@ -20,7 +20,7 @@ FcfsScheduler::FcfsScheduler(const SchedulerEnv &env,
 double
 FcfsScheduler::priorityOf(const Request &req, SimTime) const
 {
-    return req.spec().arrival;
+    return req.spec().arrival.seconds();
 }
 
 EdfScheduler::EdfScheduler(const SchedulerEnv &env,
@@ -32,7 +32,7 @@ EdfScheduler::EdfScheduler(const SchedulerEnv &env,
 double
 EdfScheduler::priorityOf(const Request &req, SimTime) const
 {
-    return req.urgencyDeadline();
+    return req.urgencyDeadline().seconds();
 }
 
 SjfScheduler::SjfScheduler(const SchedulerEnv &env,
@@ -74,7 +74,7 @@ MedhaScheduler::MedhaScheduler(const SchedulerEnv &env, Options options,
 double
 MedhaScheduler::priorityOf(const Request &req, SimTime) const
 {
-    return req.spec().arrival;
+    return req.spec().arrival.seconds();
 }
 
 int

@@ -8,7 +8,7 @@
 #include <algorithm>
 #include <unordered_set>
 
-#include "audit/check_level.hh"
+#include "core/check_level.hh"
 #include "prefixcache/prefix_cache.hh"
 #include "simcore/logging.hh"
 
@@ -129,7 +129,7 @@ ChunkedScheduler::tryScheduleChunk(Request *req, Batch &batch, int budget,
     if (take <= 0)
         return 0;
 
-    if (!env_.kv->grow(req->id(), take))
+    if (!env_.kv->grow(req->id(), TokenCount{take}))
         return 0;
 
     ScheduledChunk chunk;
@@ -344,7 +344,7 @@ ChunkedScheduler::onBatchComplete(const Batch &batch, SimTime end)
         prefillQueue_.erase(it);
         pendingPrefill_ -= chunk.chunkTokens;
 
-        req->applyPrefill(chunk.chunkTokens, end);
+        req->applyPrefill(TokenCount{chunk.chunkTokens}, end);
         if (env_.trace != nullptr) {
             env_.trace->emit(TraceEventKind::ChunkEnd, req->id(),
                              req->prefillRemaining());
@@ -384,7 +384,7 @@ ChunkedScheduler::onBatchComplete(const Batch &batch, SimTime end)
         if (req->phase() != RequestPhase::Decoding)
             continue; // Evicted by a KV preemption this iteration.
         while (req->phase() == RequestPhase::Decoding &&
-               !env_.kv->grow(req->id(), 1)) {
+               !env_.kv->grow(req->id(), TokenCount{1})) {
             if (!preemptForKv(end)) {
                 QOSERVE_PANIC("KV exhausted: request ", req->id(),
                               " cannot fit even alone");

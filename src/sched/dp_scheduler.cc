@@ -27,7 +27,7 @@ DpScheduler::priorityOf(const Request &req, SimTime) const
 {
     // The queue order only provides a stable iteration order; the
     // actual selection is the per-iteration knapsack.
-    return req.urgencyDeadline();
+    return req.urgencyDeadline().seconds();
 }
 
 void

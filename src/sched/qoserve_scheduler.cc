@@ -7,7 +7,7 @@
 
 #include <algorithm>
 
-#include "audit/check_level.hh"
+#include "core/check_level.hh"
 #include "predictor/latency_predictor.hh"
 #include "simcore/logging.hh"
 
@@ -53,7 +53,7 @@ QoServeScheduler::priorityOf(const Request &req, SimTime) const
     // keys are refreshed whenever a request's progress changes, so
     // an adaptive alpha takes effect incrementally.
     double alpha = effectiveAlpha();
-    double deadline = req.urgencyDeadline();
+    double deadline = req.urgencyDeadline().seconds();
     double work = static_cast<double>(req.prefillRemaining());
     if (!req.tier().interactive)
         work += req.conservativeDecodeTokens();
@@ -98,7 +98,7 @@ QoServeScheduler::chunkBudget(SimTime now, const Batch &batch) const
     // saved by pacing and must not drag the whole replica to the
     // floor chunk for their entire decode; they still receive a
     // token every iteration.
-    SimDuration min_slack = kTimeNever;
+    SimDuration min_slack = kDurationNever;
     for (const Request *r : batch.decodes) {
         if (!r->tier().interactive)
             continue;
@@ -108,7 +108,7 @@ QoServeScheduler::chunkBudget(SimTime now, const Batch &batch) const
         min_slack = std::min(min_slack, slack);
     }
 
-    if (min_slack == kTimeNever)
+    if (min_slack == kDurationNever)
         return qosCfg_.maxChunkTokens;
 
     BatchFeatures f;

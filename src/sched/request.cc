@@ -57,7 +57,8 @@ Request::nextTokenDeadline() const
 SimTime
 Request::completionDeadline() const
 {
-    return tier_.completionDeadline(spec_.arrival, spec_.decodeTokens);
+    return tier_.completionDeadline(spec_.arrival,
+                                    TokenCount{spec_.decodeTokens});
 }
 
 SimTime
@@ -68,8 +69,9 @@ Request::urgencyDeadline() const
 }
 
 void
-Request::attachCachedPrefix(int tokens)
+Request::attachCachedPrefix(TokenCount cached)
 {
+    int tokens = static_cast<int>(cached.value());
     QOSERVE_ASSERT(phase_ == RequestPhase::WaitingPrefill &&
                        prefillDone_ == 0,
                    "cached-prefix attach on a request with progress");
@@ -81,8 +83,9 @@ Request::attachCachedPrefix(int tokens)
 }
 
 void
-Request::applyPrefill(int tokens, SimTime now)
+Request::applyPrefill(TokenCount chunk, SimTime now)
 {
+    int tokens = static_cast<int>(chunk.value());
     QOSERVE_ASSERT(phase_ == RequestPhase::WaitingPrefill ||
                        phase_ == RequestPhase::Prefilling,
                    "prefill progress in wrong phase");

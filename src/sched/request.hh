@@ -190,7 +190,7 @@ class Request
      * before any progress was recorded, and must leave at least one
      * real prefill token (the cache caps its attach accordingly).
      */
-    void attachCachedPrefix(int tokens);
+    void attachCachedPrefix(TokenCount tokens);
 
     /**
      * Record @p tokens of prefill progress at time @p now.
@@ -200,7 +200,7 @@ class Request
      * prefill produces the first token in the same iteration the
      * last chunk runs).
      */
-    void applyPrefill(int tokens, SimTime now);
+    void applyPrefill(TokenCount tokens, SimTime now);
 
     /**
      * Record one decode token emitted at time @p now.

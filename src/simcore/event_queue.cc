@@ -49,7 +49,7 @@ EventQueue::schedule(SimTime when, EventFn fn)
     // A NaN timestamp would poison every heap comparison and an
     // infinite one would wedge run(); both are always rejected, as is
     // scheduling into the simulated past.
-    if (!std::isfinite(when)) {
+    if (!std::isfinite(when.seconds())) {
         QOSERVE_PANIC("event scheduled at non-finite time ", when,
                       " (now=", now_, ")");
     }
@@ -123,7 +123,7 @@ std::uint64_t
 EventQueue::run(SimTime until)
 {
     std::uint64_t fired = 0;
-    SimTime when = 0.0;
+    SimTime when;
     EventFn fn;
     while (takeNext(until, when, fn)) {
         QOSERVE_ASSERT(when >= now_,
@@ -141,7 +141,7 @@ EventQueue::run(SimTime until)
 bool
 EventQueue::step()
 {
-    SimTime when = 0.0;
+    SimTime when;
     EventFn fn;
     if (!takeNext(kTimeNever, when, fn))
         return false;

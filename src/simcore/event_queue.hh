@@ -169,7 +169,7 @@ class EventQueue
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> freeSlots_;
     std::vector<HeapEntry> heap_;
-    SimTime now_ = 0.0;
+    SimTime now_;
     std::uint64_t nextSeq_ = 0;
     std::size_t pendingCount_ = 0;
     std::uint64_t firedCount_ = 0;

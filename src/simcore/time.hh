@@ -2,28 +2,151 @@
  * @file
  * Simulation time representation.
  *
- * All simulation timestamps and durations are kept in double-precision
- * seconds. LLM serving operates on the scale of milliseconds to hours,
- * which a double represents with sub-nanosecond resolution, and seconds
- * keep every formula in the paper (deadlines, SLOs, slack) directly
- * readable.
+ * All simulation timestamps and durations are measured in
+ * double-precision seconds. LLM serving operates on the scale of
+ * milliseconds to hours, which a double represents with
+ * sub-nanosecond resolution, and seconds keep every formula in the
+ * paper (deadlines, SLOs, slack) directly readable.
+ *
+ * SimTime is a *strong* point-in-time type: it cannot be constructed
+ * from, or silently decay to, a raw double, and the only arithmetic
+ * it admits is dimension-correct —
+ *
+ *     SimTime  + SimDuration -> SimTime     (shift a point)
+ *     SimTime  - SimDuration -> SimTime
+ *     SimTime  - SimTime     -> SimDuration (distance between points)
+ *
+ * SimDuration stays a plain double alias: spans are ordinary scalars
+ * (they scale, divide, average), and keeping them raw means every
+ * latency formula reads exactly like the paper. The asymmetry is
+ * deliberate: mixing up two spans is harmless algebra, mixing up a
+ * point and a span is the classic simulation-clock bug the type
+ * system now rejects.
+ *
+ * Escape hatch: seconds() exposes the raw value for serialization
+ * and display; SimTime{x} converts back at parse boundaries. The
+ * lint's raw-unit pass keeps untyped `double` time parameters out of
+ * public headers so these conversions stay at the edges.
  */
 
 #ifndef QOSERVE_SIMCORE_TIME_HH
 #define QOSERVE_SIMCORE_TIME_HH
 
 #include <limits>
+#include <ostream>
 
 namespace qoserve {
-
-/** A point in simulated time, in seconds since simulation start. */
-using SimTime = double;
 
 /** A span of simulated time, in seconds. */
 using SimDuration = double;
 
+/** A point in simulated time, since simulation start. */
+class SimTime
+{
+  public:
+    /** Simulation start (t = 0). */
+    constexpr SimTime() = default;
+
+    /** Explicit construction from raw seconds (parse boundaries,
+     *  literals in tests and configs). */
+    constexpr explicit SimTime(double seconds) : sec_(seconds) {}
+
+    /** Raw seconds since simulation start (serialization, display,
+     *  and formulas that need the scalar). */
+    constexpr double seconds() const { return sec_; }
+
+    constexpr SimTime &
+    operator+=(SimDuration d)
+    {
+        sec_ += d;
+        return *this;
+    }
+
+    constexpr SimTime &
+    operator-=(SimDuration d)
+    {
+        sec_ -= d;
+        return *this;
+    }
+
+    friend constexpr SimTime
+    operator+(SimTime t, SimDuration d)
+    {
+        return SimTime(t.sec_ + d);
+    }
+
+    friend constexpr SimTime
+    operator+(SimDuration d, SimTime t)
+    {
+        return SimTime(d + t.sec_);
+    }
+
+    friend constexpr SimTime
+    operator-(SimTime t, SimDuration d)
+    {
+        return SimTime(t.sec_ - d);
+    }
+
+    /** Distance between two points is a span. */
+    friend constexpr SimDuration
+    operator-(SimTime a, SimTime b)
+    {
+        return a.sec_ - b.sec_;
+    }
+
+    friend constexpr bool
+    operator==(SimTime a, SimTime b)
+    {
+        return a.sec_ == b.sec_;
+    }
+
+    friend constexpr bool
+    operator!=(SimTime a, SimTime b)
+    {
+        return a.sec_ != b.sec_;
+    }
+
+    friend constexpr bool
+    operator<(SimTime a, SimTime b)
+    {
+        return a.sec_ < b.sec_;
+    }
+
+    friend constexpr bool
+    operator<=(SimTime a, SimTime b)
+    {
+        return a.sec_ <= b.sec_;
+    }
+
+    friend constexpr bool
+    operator>(SimTime a, SimTime b)
+    {
+        return a.sec_ > b.sec_;
+    }
+
+    friend constexpr bool
+    operator>=(SimTime a, SimTime b)
+    {
+        return a.sec_ >= b.sec_;
+    }
+
+    /** Streams the raw seconds, formatted like any double. */
+    friend std::ostream &
+    operator<<(std::ostream &out, SimTime t)
+    {
+        return out << t.sec_;
+    }
+
+  private:
+    double sec_ = 0.0;
+};
+
 /** Sentinel for "no deadline" / "never". */
-inline constexpr SimTime kTimeNever =
+inline constexpr SimTime kTimeNever{
+    std::numeric_limits<double>::infinity()};
+
+/** Span sentinel for "no bound" (e.g. an SLO a tier does not have). */
+inline constexpr SimDuration kDurationNever =
     std::numeric_limits<double>::infinity();
 
 /** Convert milliseconds to SimDuration. */

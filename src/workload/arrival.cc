@@ -86,7 +86,7 @@ DiurnalArrivals::DiurnalArrivals(double low_qps, double high_qps,
 double
 DiurnalArrivals::qpsAt(SimTime t) const
 {
-    auto phase = static_cast<std::int64_t>(std::floor(t / halfPeriod_));
+    auto phase = static_cast<std::int64_t>(std::floor(t.seconds() / halfPeriod_));
     bool high = (phase % 2 == 0) == startHigh_;
     return high ? highQps_ : lowQps_;
 }
@@ -102,8 +102,8 @@ DiurnalArrivals::nextArrival(SimTime prev, Rng &rng) const
 {
     auto rate_at = [this](SimTime t) { return qpsAt(t); };
     auto seg_end = [this](SimTime t) {
-        auto phase = static_cast<std::int64_t>(std::floor(t / halfPeriod_));
-        return (phase + 1) * halfPeriod_;
+        auto phase = static_cast<std::int64_t>(std::floor(t.seconds() / halfPeriod_));
+        return SimTime((phase + 1) * halfPeriod_);
     };
     return nextPiecewisePoisson(prev, rng, rate_at, seg_end);
 }

@@ -29,11 +29,12 @@ QosTier::tokenDeadline(SimTime arrival, int n) const
 }
 
 SimTime
-QosTier::completionDeadline(SimTime arrival, int decode_tokens) const
+QosTier::completionDeadline(SimTime arrival, TokenCount decode_tokens) const
 {
-    if (interactive)
-        return tokenDeadline(arrival, decode_tokens < 1 ? 1
-                                                        : decode_tokens);
+    if (interactive) {
+        int n = static_cast<int>(decode_tokens.value());
+        return tokenDeadline(arrival, n < 1 ? 1 : n);
+    }
     return arrival + ttltSlo;
 }
 

@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "simcore/time.hh"
+#include "core/units.hh"
 
 namespace qoserve {
 
@@ -37,13 +37,13 @@ struct QosTier
     bool interactive = false;
 
     /** TTFT SLO in seconds (interactive tiers only). */
-    SimDuration ttftSlo = kTimeNever;
+    SimDuration ttftSlo = kDurationNever;
 
     /** TBT SLO in seconds (interactive tiers only). */
-    SimDuration tbtSlo = kTimeNever;
+    SimDuration tbtSlo = kDurationNever;
 
     /** TTLT SLO in seconds (non-interactive tiers only). */
-    SimDuration ttltSlo = kTimeNever;
+    SimDuration ttltSlo = kDurationNever;
 
     /** Deadline for the first output token (Eq. 1). */
     SimTime firstTokenDeadline(SimTime arrival) const;
@@ -62,7 +62,7 @@ struct QosTier
      *
      * @param decode_tokens Number of output tokens the request emits.
      */
-    SimTime completionDeadline(SimTime arrival, int decode_tokens) const;
+    SimTime completionDeadline(SimTime arrival, TokenCount decode_tokens) const;
 };
 
 /** An indexed set of tiers used by one experiment. */

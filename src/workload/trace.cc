@@ -140,7 +140,7 @@ Trace
 TraceBuilder::buildCount(const ArrivalProcess &arrivals,
                          std::size_t count) const
 {
-    return generate(arrivals, kTimeNever, count);
+    return generate(arrivals, kDurationNever, count);
 }
 
 Trace
@@ -192,10 +192,10 @@ TraceBuilder::generate(const ArrivalProcess &arrivals,
     trace.tiers = tiers_;
     trace.averageQps = arrivals.averageQps();
 
-    SimTime t = 0.0;
+    SimTime t;
     while (trace.requests.size() < max_count) {
         t = arrivals.nextArrival(t, arrival_rng);
-        if (t > duration)
+        if (t > SimTime{duration})
             break;
 
         RequestSpec spec;

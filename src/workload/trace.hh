@@ -49,7 +49,7 @@ struct RequestSpec
     std::uint64_t id = 0;
 
     /** Arrival timestamp. */
-    SimTime arrival = 0.0;
+    SimTime arrival;
 
     /** Prompt (prefill) length in tokens. */
     int promptTokens = 0;

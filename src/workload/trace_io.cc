@@ -215,7 +215,8 @@ readTraceCsv(std::istream &in, TierTable tiers)
         }
         RequestSpec spec;
         spec.id = parseFieldU64(fields[0], "id", line_no);
-        spec.arrival = parseFieldDouble(fields[1], "arrival", line_no);
+        spec.arrival =
+            SimTime{parseFieldDouble(fields[1], "arrival", line_no)};
         spec.promptTokens =
             parseFieldInt(fields[2], "prompt_tokens", line_no);
         spec.decodeTokens =
@@ -244,7 +245,7 @@ readTraceCsv(std::istream &in, TierTable tiers)
             spec.tierId >= static_cast<int>(trace.tiers.size()))
             QOSERVE_FATAL("trace line ", line_no, ": tier ", spec.tierId,
                           " out of range");
-        if (spec.arrival < 0.0)
+        if (spec.arrival < SimTime{})
             QOSERVE_FATAL("trace line ", line_no, ": negative arrival");
         trace.requests.push_back(spec);
     }
@@ -256,9 +257,9 @@ readTraceCsv(std::istream &in, TierTable tiers)
                   return a.id < b.id;
               });
     trace.appStats = computeAppStats(trace.requests);
-    if (!trace.requests.empty() && trace.requests.back().arrival > 0.0) {
+    if (!trace.requests.empty() && trace.requests.back().arrival > SimTime{}) {
         trace.averageQps = static_cast<double>(trace.requests.size()) /
-                           trace.requests.back().arrival;
+                           trace.requests.back().arrival.seconds();
     }
     return trace;
 }

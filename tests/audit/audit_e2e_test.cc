@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "audit/invariant_auditor.hh"
-#include "core/serving_system.hh"
+#include "app/serving_system.hh"
 #include "fault/fault_injector.hh"
 #include "workload/arrival.hh"
 #include "workload/trace.hh"

@@ -42,7 +42,7 @@ makeAuditor(audit::CheckLevel level = audit::CheckLevel::Full)
 /** A request fixture in the WaitingPrefill phase. */
 std::unique_ptr<Request>
 makeRequest(std::uint64_t id, int prompt_tokens, int decode_tokens,
-            SimTime arrival = 0.0)
+            SimTime arrival = SimTime{})
 {
     RequestSpec spec;
     spec.id = id;
@@ -60,7 +60,7 @@ makeDecodingRequest(std::uint64_t id, int prompt_tokens,
                     int decode_tokens)
 {
     auto req = makeRequest(id, prompt_tokens, decode_tokens);
-    req->applyPrefill(prompt_tokens, 1.0);
+    req->applyPrefill(TokenCount{prompt_tokens}, SimTime{1.0});
     EXPECT_EQ(req->phase(), RequestPhase::Decoding);
     return req;
 }
@@ -101,7 +101,7 @@ TEST(InvariantAuditor, ConsistentViewIsClean)
     auto decoding = makeDecodingRequest(2, 50, 10);
     auto auditor = makeAuditor();
     auditor.checkSchedulerView(
-        makeView({waiting.get()}, {decoding.get()}), nullptr, 1.0);
+        makeView({waiting.get()}, {decoding.get()}), nullptr, SimTime{1.0});
     EXPECT_TRUE(auditor.clean());
     EXPECT_EQ(auditor.violationCount(), 0u);
 }
@@ -109,7 +109,7 @@ TEST(InvariantAuditor, ConsistentViewIsClean)
 TEST(InvariantAuditor, UnpopulatedViewIsIgnored)
 {
     auto auditor = makeAuditor();
-    auditor.checkSchedulerView(SchedulerAuditView{}, nullptr, 0.0);
+    auditor.checkSchedulerView(SchedulerAuditView{}, nullptr, SimTime{0.0});
     EXPECT_TRUE(auditor.clean());
 }
 
@@ -120,7 +120,7 @@ TEST(InvariantAuditor, DetectsDecodeBatchOverflow)
     auto view = makeView({}, {a.get(), b.get()});
     view.maxDecodeBatch = 1;
     auto auditor = makeAuditor();
-    auditor.checkSchedulerView(view, nullptr, 0.0);
+    auditor.checkSchedulerView(view, nullptr, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "sched-decode-bound");
 }
 
@@ -129,7 +129,7 @@ TEST(InvariantAuditor, DetectsNegativePendingPrefill)
     auto view = makeView({}, {});
     view.pendingPrefillTokens = -1;
     auto auditor = makeAuditor();
-    auditor.checkSchedulerView(view, nullptr, 0.0);
+    auditor.checkSchedulerView(view, nullptr, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "sched-pending-prefill");
 }
 
@@ -138,7 +138,7 @@ TEST(InvariantAuditor, DetectsDoubleQueuedRequest)
     auto req = makeRequest(7, 100, 10);
     auto view = makeView({req.get(), req.get()}, {});
     auto auditor = makeAuditor();
-    auditor.checkSchedulerView(view, nullptr, 0.0);
+    auditor.checkSchedulerView(view, nullptr, SimTime{0.0});
     // The duplicate also breaks strict priority ordering (equal ids
     // cannot be strictly increasing); exclusivity must be among the
     // findings.
@@ -158,7 +158,7 @@ TEST(InvariantAuditor, DetectsRequestInBothQueues)
     view.decodes = {req.get()};
     view.maxDecodeBatch = 8;
     auto auditor = makeAuditor();
-    auditor.checkSchedulerView(view, nullptr, 0.0);
+    auditor.checkSchedulerView(view, nullptr, SimTime{0.0});
     // The decoding request is wrong for the prefill queue (phase) and
     // queued twice (exclusivity); both must surface.
     EXPECT_FALSE(auditor.clean());
@@ -173,7 +173,7 @@ TEST(InvariantAuditor, DetectsDecodePhaseInPrefillQueue)
     auto req = makeDecodingRequest(3, 100, 10);
     auto view = makeView({req.get()}, {});
     auto auditor = makeAuditor();
-    auditor.checkSchedulerView(view, nullptr, 0.0);
+    auditor.checkSchedulerView(view, nullptr, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "sched-phase");
 }
 
@@ -182,7 +182,7 @@ TEST(InvariantAuditor, DetectsPrefillPhaseInDecodeQueue)
     auto req = makeRequest(3, 100, 10);
     auto view = makeView({}, {req.get()});
     auto auditor = makeAuditor();
-    auditor.checkSchedulerView(view, nullptr, 0.0);
+    auditor.checkSchedulerView(view, nullptr, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "sched-phase");
 }
 
@@ -192,7 +192,7 @@ TEST(InvariantAuditor, DetectsPendingPrefillCounterDrift)
     auto view = makeView({req.get()}, {});
     view.pendingPrefillTokens += 13; // Simulated bookkeeping drift.
     auto auditor = makeAuditor();
-    auditor.checkSchedulerView(view, nullptr, 0.0);
+    auditor.checkSchedulerView(view, nullptr, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "sched-pending-prefill");
 }
 
@@ -204,7 +204,7 @@ TEST(InvariantAuditor, DetectsPriorityOrderViolation)
     second->cachedPriority = 1.0; // Lower priority key queued later.
     auto view = makeView({first.get(), second.get()}, {});
     auto auditor = makeAuditor();
-    auditor.checkSchedulerView(view, nullptr, 0.0);
+    auditor.checkSchedulerView(view, nullptr, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "sched-priority-order");
 }
 
@@ -217,44 +217,44 @@ TEST(InvariantAuditor, DetectsRelegatedAheadOfRegular)
     second->cachedPriority = 1.0;
     auto view = makeView({first.get(), second.get()}, {});
     auto auditor = makeAuditor();
-    auditor.checkSchedulerView(view, nullptr, 0.0);
+    auditor.checkSchedulerView(view, nullptr, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "sched-priority-order");
 }
 
 TEST(InvariantAuditor, DetectsKvRequestDisagreement)
 {
     auto req = makeDecodingRequest(9, 64, 8);
-    BlockManager kv(1 << 14, 16);
+    BlockManager kv(TokenCount{1 << 14}, TokenCount{16});
     // Allocate the wrong number of tokens for request 9 (a decoding
     // request must own contextLength() - 1).
-    ASSERT_TRUE(kv.grow(9, req->contextLength() + 5));
+    ASSERT_TRUE(kv.grow(9, TokenCount{req->contextLength() + 5}));
     auto view = makeView({}, {req.get()});
     auto auditor = makeAuditor();
-    auditor.checkSchedulerView(view, &kv, 0.0);
+    auditor.checkSchedulerView(view, &kv, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "kv-request-agreement");
 }
 
 TEST(InvariantAuditor, AgreeingKvIsClean)
 {
     auto req = makeDecodingRequest(9, 64, 8);
-    BlockManager kv(1 << 14, 16);
+    BlockManager kv(TokenCount{1 << 14}, TokenCount{16});
     // The newest sampled token has no KV entry yet, so a consistent
     // decoding request owns one token less than its context.
-    ASSERT_TRUE(kv.grow(9, req->contextLength() - 1));
+    ASSERT_TRUE(kv.grow(9, TokenCount{req->contextLength() - 1}));
     auto view = makeView({}, {req.get()});
     auto auditor = makeAuditor();
-    auditor.checkSchedulerView(view, &kv, 0.0);
+    auditor.checkSchedulerView(view, &kv, SimTime{0.0});
     EXPECT_TRUE(auditor.clean());
 }
 
 TEST(InvariantAuditor, HealthyBlockManagerPasses)
 {
-    BlockManager kv(1024, 16);
-    ASSERT_TRUE(kv.grow(1, 100));
-    ASSERT_TRUE(kv.grow(2, 37));
+    BlockManager kv(TokenCount{1024}, TokenCount{16});
+    ASSERT_TRUE(kv.grow(1, TokenCount{100}));
+    ASSERT_TRUE(kv.grow(2, TokenCount{37}));
     kv.release(1);
     auto auditor = makeAuditor();
-    auditor.checkBlockManager(kv, 0.0);
+    auditor.checkBlockManager(kv, SimTime{0.0});
     EXPECT_TRUE(auditor.clean());
 }
 
@@ -278,7 +278,7 @@ makeSharedView()
 TEST(InvariantAuditor, ConsistentSharedTableIsClean)
 {
     auto auditor = makeAuditor();
-    auditor.checkSharedTable(makeSharedView(), 0.0);
+    auditor.checkSharedTable(makeSharedView(), SimTime{0.0});
     EXPECT_TRUE(auditor.clean());
 }
 
@@ -287,7 +287,7 @@ TEST(InvariantAuditor, DetectsMisalignedSharedTokens)
     auto view = makeSharedView();
     view.owners[0].sharedTokens = 20; // Not a multiple of 16.
     auto auditor = makeAuditor();
-    auditor.checkSharedTable(view, 0.0);
+    auditor.checkSharedTable(view, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "kv-shared-refcount");
 }
 
@@ -297,7 +297,7 @@ TEST(InvariantAuditor, DetectsDeadSharedBlockInTable)
     view.table[1].refs = 0;
     view.evictableBlocks = 0; // Keep the tallies consistent.
     auto auditor = makeAuditor();
-    auditor.checkSharedTable(view, 0.0);
+    auditor.checkSharedTable(view, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "kv-shared-refcount");
 }
 
@@ -306,7 +306,7 @@ TEST(InvariantAuditor, DetectsRefcountDrift)
     auto view = makeSharedView();
     view.table[0].refs = 3; // One owner + the cache can only be 2.
     auto auditor = makeAuditor();
-    auditor.checkSharedTable(view, 0.0);
+    auditor.checkSharedTable(view, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "kv-shared-refcount");
 }
 
@@ -317,7 +317,7 @@ TEST(InvariantAuditor, DetectsPhantomOwnerReference)
     // refcount (1) no longer covers owner + cache (2).
     view.owners[0].sharedIds = {2};
     auto auditor = makeAuditor();
-    auditor.checkSharedTable(view, 0.0);
+    auditor.checkSharedTable(view, SimTime{0.0});
     // Both blocks now disagree (block 1 lost its owner, block 2
     // gained one); every finding must be the refcount invariant.
     EXPECT_EQ(soleViolation(auditor), "kv-shared-refcount");
@@ -328,7 +328,7 @@ TEST(InvariantAuditor, DetectsCacheHeldTallyDrift)
     auto view = makeSharedView();
     view.cacheHeldBlocks = 3; // Table only shows 2.
     auto auditor = makeAuditor();
-    auditor.checkSharedTable(view, 0.0);
+    auditor.checkSharedTable(view, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "kv-shared-refcount");
 }
 
@@ -337,7 +337,7 @@ TEST(InvariantAuditor, DetectsEvictableTallyDrift)
     auto view = makeSharedView();
     view.evictableBlocks = 2; // Table only shows 1 (block 2).
     auto auditor = makeAuditor();
-    auditor.checkSharedTable(view, 0.0);
+    auditor.checkSharedTable(view, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "kv-shared-refcount");
 }
 
@@ -346,7 +346,7 @@ TEST(InvariantAuditor, DetectsWatermarkOverrun)
     auto view = makeSharedView();
     view.cacheWatermark = 1; // The cache holds 2.
     auto auditor = makeAuditor();
-    auditor.checkSharedTable(view, 0.0);
+    auditor.checkSharedTable(view, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "kv-cache-watermark");
 }
 
@@ -354,26 +354,26 @@ TEST(InvariantAuditor, WatermarkOverrunOnLiveManager)
 {
     // The one watermark corruption reachable through the real API:
     // reconfiguring the watermark below the current holdings.
-    BlockManager kv(320, 16);
+    BlockManager kv(TokenCount{320}, TokenCount{16});
     kv.setCacheWatermark(4);
-    ASSERT_TRUE(kv.grow(1, 48));
+    ASSERT_TRUE(kv.grow(1, TokenCount{48}));
     kv.convertToCached(1, 3);
     kv.setCacheWatermark(2);
     auto auditor = makeAuditor();
-    auditor.checkBlockManager(kv, 0.0);
+    auditor.checkBlockManager(kv, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "kv-cache-watermark");
 }
 
 TEST(InvariantAuditor, HealthySharedBlocksPassCheckBlockManager)
 {
-    BlockManager kv(320, 16);
+    BlockManager kv(TokenCount{320}, TokenCount{16});
     kv.setCacheWatermark(8);
-    ASSERT_TRUE(kv.grow(1, 48));
+    ASSERT_TRUE(kv.grow(1, TokenCount{48}));
     auto ids = kv.convertToCached(1, 2);
     kv.attachShared(2, ids);
     kv.release(1);
     auto auditor = makeAuditor();
-    auditor.checkBlockManager(kv, 0.0);
+    auditor.checkBlockManager(kv, SimTime{0.0});
     EXPECT_TRUE(auditor.clean());
 }
 
@@ -382,7 +382,7 @@ TEST(InvariantAuditor, CheapLevelSkipsSharedTableWalk)
     auto view = makeSharedView();
     view.table[0].refs = 3;
     auto auditor = makeAuditor(audit::CheckLevel::Cheap);
-    auditor.checkSharedTable(view, 0.0);
+    auditor.checkSharedTable(view, SimTime{0.0});
     EXPECT_TRUE(auditor.clean());
 }
 
@@ -393,7 +393,7 @@ TEST(InvariantAuditor, DetectsTreeBlockTheManagerDropped)
     // The cache's radix tree is built on one manager but audited
     // against another that holds nothing: every tree block is a
     // dangling reference.
-    BlockManager kv(320, 16);
+    BlockManager kv(TokenCount{320}, TokenCount{16});
     PrefixCacheConfig cfg;
     cfg.enabled = true;
     PrefixCache cache(kv, cfg);
@@ -401,13 +401,13 @@ TEST(InvariantAuditor, DetectsTreeBlockTheManagerDropped)
     spec.id = 1;
     spec.promptTokens = 32;
     spec.promptSegments = {{7, 32}};
-    ASSERT_TRUE(kv.grow(1, 32));
-    cache.insert(1, spec, 1.0);
+    ASSERT_TRUE(kv.grow(1, TokenCount{32}));
+    cache.insert(1, spec, SimTime{1.0});
     ASSERT_EQ(cache.nodeCount(), 2u);
 
-    BlockManager other(320, 16);
+    BlockManager other(TokenCount{320}, TokenCount{16});
     auto auditor = makeAuditor();
-    auditor.checkPrefixCache(cache, other, 0.0);
+    auditor.checkPrefixCache(cache, other, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "prefix-tree-blocks");
     EXPECT_EQ(auditor.violationCount(), 2u);
 }
@@ -416,22 +416,22 @@ TEST(InvariantAuditor, DetectsCacheHeldBlockMissingFromTree)
 {
     // Blocks enter the cache-held state behind the tree's back (a
     // direct conversion): the tree has no node for them.
-    BlockManager kv(320, 16);
+    BlockManager kv(TokenCount{320}, TokenCount{16});
     PrefixCacheConfig cfg;
     cfg.enabled = true;
     PrefixCache cache(kv, cfg);
-    ASSERT_TRUE(kv.grow(1, 32));
+    ASSERT_TRUE(kv.grow(1, TokenCount{32}));
     kv.convertToCached(1, 2);
 
     auto auditor = makeAuditor();
-    auditor.checkPrefixCache(cache, kv, 0.0);
+    auditor.checkPrefixCache(cache, kv, SimTime{0.0});
     EXPECT_EQ(soleViolation(auditor), "prefix-tree-blocks");
     EXPECT_EQ(auditor.violationCount(), 2u);
 }
 
 TEST(InvariantAuditor, ConsistentPrefixCachePasses)
 {
-    BlockManager kv(320, 16);
+    BlockManager kv(TokenCount{320}, TokenCount{16});
     PrefixCacheConfig cfg;
     cfg.enabled = true;
     PrefixCache cache(kv, cfg);
@@ -439,12 +439,12 @@ TEST(InvariantAuditor, ConsistentPrefixCachePasses)
     spec.id = 1;
     spec.promptTokens = 32;
     spec.promptSegments = {{7, 32}};
-    ASSERT_TRUE(kv.grow(1, 32));
-    cache.insert(1, spec, 1.0);
+    ASSERT_TRUE(kv.grow(1, TokenCount{32}));
+    cache.insert(1, spec, SimTime{1.0});
 
     auto auditor = makeAuditor();
-    auditor.checkPrefixCache(cache, kv, 0.0);
-    auditor.checkBlockManager(kv, 0.0);
+    auditor.checkPrefixCache(cache, kv, SimTime{0.0});
+    auditor.checkBlockManager(kv, SimTime{0.0});
     EXPECT_TRUE(auditor.clean());
 }
 
@@ -452,7 +452,7 @@ TEST(InvariantAuditor, ConsistentPrefixCachePasses)
 
 TEST(InvariantAuditor, CrashWithSurvivingSharedBlocksIsReported)
 {
-    BlockManager kv(1 << 14, 16);
+    BlockManager kv(TokenCount{1 << 14}, TokenCount{16});
     kv.setCacheWatermark(8);
     PerfModel perf(llama3_8b_a100_tp1());
     SchedulerEnv env;
@@ -462,15 +462,15 @@ TEST(InvariantAuditor, CrashWithSurvivingSharedBlocksIsReported)
 
     // A clean post-crash state passes...
     auto auditor = makeAuditor();
-    auditor.onReplicaCrash(kv, sched, 0, 1.0);
+    auditor.onReplicaCrash(kv, sched, 0, SimTime{1.0});
     EXPECT_TRUE(auditor.clean());
 
     // ...but shared blocks surviving the crash-release are a leak.
-    ASSERT_TRUE(kv.grow(1, 32));
+    ASSERT_TRUE(kv.grow(1, TokenCount{32}));
     kv.convertToCached(1, 2);
     kv.release(1); // Cache-held, evictable — and nothing else.
     auto auditor2 = makeAuditor();
-    auditor2.onReplicaCrash(kv, sched, 0, 2.0);
+    auditor2.onReplicaCrash(kv, sched, 0, SimTime{2.0});
     EXPECT_FALSE(auditor2.clean());
     bool saw_crash_release = false;
     for (const auto &v : auditor2.violations())
@@ -481,9 +481,9 @@ TEST(InvariantAuditor, CrashWithSurvivingSharedBlocksIsReported)
 TEST(InvariantAuditor, DetectsClockRegression)
 {
     EventQueue advanced;
-    advanced.schedule(10.0, [] {});
+    advanced.schedule(SimTime{10.0}, [] {});
     advanced.run();
-    ASSERT_DOUBLE_EQ(advanced.now(), 10.0);
+    ASSERT_DOUBLE_EQ(advanced.now().seconds(), 10.0);
 
     EventQueue fresh; // A second queue still at t = 0.
 
@@ -501,12 +501,12 @@ makeRecord(std::uint64_t id)
 {
     RequestRecord rec;
     rec.spec.id = id;
-    rec.spec.arrival = 5.0;
+    rec.spec.arrival = SimTime{5.0};
     rec.spec.promptTokens = 100;
     rec.spec.decodeTokens = 10;
     rec.spec.tierId = 0;
-    rec.firstTokenTime = 6.0;
-    rec.finishTime = 7.0;
+    rec.firstTokenTime = SimTime{6.0};
+    rec.finishTime = SimTime{7.0};
     rec.maxTbt = 0.05;
     return rec;
 }
@@ -587,7 +587,7 @@ TEST(InvariantAuditor, OffLevelIgnoresCorruptState)
     auto view = makeView({req.get(), req.get()}, {});
     view.pendingPrefillTokens = -5;
     auto auditor = makeAuditor(audit::CheckLevel::Off);
-    auditor.checkSchedulerView(view, nullptr, 0.0);
+    auditor.checkSchedulerView(view, nullptr, SimTime{0.0});
     EXPECT_TRUE(auditor.clean());
 }
 
@@ -599,11 +599,11 @@ TEST(InvariantAuditor, CheapLevelSkipsFullOnlyWalks)
     auto view = makeView({req.get(), req.get()}, {});
     view.pendingPrefillTokens = 2 * req->prefillRemaining();
     auto cheap = makeAuditor(audit::CheckLevel::Cheap);
-    cheap.checkSchedulerView(view, nullptr, 0.0);
+    cheap.checkSchedulerView(view, nullptr, SimTime{0.0});
     EXPECT_TRUE(cheap.clean());
 
     auto full = makeAuditor(audit::CheckLevel::Full);
-    full.checkSchedulerView(view, nullptr, 0.0);
+    full.checkSchedulerView(view, nullptr, SimTime{0.0});
     EXPECT_FALSE(full.clean());
 }
 
@@ -614,7 +614,7 @@ TEST(InvariantAuditor, FailFastPanicsOnFirstViolation)
     InvariantAuditor auditor; // Default: failFast, compiled level.
     if (auditor.level() == audit::CheckLevel::Off)
         GTEST_SKIP() << "auditing compiled out";
-    EXPECT_DEATH(auditor.checkSchedulerView(view, nullptr, 0.0),
+    EXPECT_DEATH(auditor.checkSchedulerView(view, nullptr, SimTime{0.0}),
                  "invariant violated");
 }
 
@@ -630,7 +630,7 @@ TEST(InvariantAuditor, RetainsViolationsUpToCap)
     // Each check trips the negative counter twice: the cheap bound
     // and the full-level sum-vs-counter comparison.
     for (int i = 0; i < 5; ++i)
-        auditor.checkSchedulerView(view, nullptr, 0.0);
+        auditor.checkSchedulerView(view, nullptr, SimTime{0.0});
     EXPECT_EQ(auditor.violationCount(), 10u);
     EXPECT_EQ(auditor.violations().size(), 2u);
     EXPECT_EQ(auditor.violations().front().invariant,
@@ -643,7 +643,7 @@ TEST(EventQueueValidation, RejectsNonFiniteTimestamps)
 {
     EventQueue eq;
     EXPECT_DEATH(
-        eq.schedule(std::numeric_limits<double>::quiet_NaN(), [] {}),
+        eq.schedule(SimTime{std::numeric_limits<double>::quiet_NaN()}, [] {}),
         "non-finite");
     EXPECT_DEATH(eq.schedule(kTimeNever, [] {}), "non-finite");
 }
@@ -651,10 +651,10 @@ TEST(EventQueueValidation, RejectsNonFiniteTimestamps)
 TEST(EventQueueValidation, RejectsSchedulingInThePast)
 {
     EventQueue eq;
-    eq.schedule(5.0, [] {});
+    eq.schedule(SimTime{5.0}, [] {});
     eq.run();
-    ASSERT_DOUBLE_EQ(eq.now(), 5.0);
-    EXPECT_DEATH(eq.schedule(4.0, [] {}), "in the past");
+    ASSERT_DOUBLE_EQ(eq.now().seconds(), 5.0);
+    EXPECT_DEATH(eq.schedule(SimTime{4.0}, [] {}), "in the past");
 }
 
 TEST(EventQueueValidation, RejectsInvalidDelays)
@@ -669,7 +669,7 @@ TEST(EventQueueValidation, RejectsInvalidDelays)
 TEST(EventQueueValidation, AcceptsPresentAndFutureTimes)
 {
     EventQueue eq;
-    eq.schedule(1.0, [] {});
+    eq.schedule(SimTime{1.0}, [] {});
     eq.run();
     int fired = 0;
     eq.schedule(eq.now(), [&] { ++fired; }); // Exactly now is legal.

@@ -51,7 +51,7 @@ TEST(AdmissionController, NoneAdmitsEverything)
     AdmissionController ac({});
     BacklogStub target(1 << 30);
     for (int i = 0; i < 100; ++i)
-        EXPECT_TRUE(ac.admit(spec(i), i * 0.001, target));
+        EXPECT_TRUE(ac.admit(spec(i), SimTime{i * 0.001}, target));
     EXPECT_EQ(ac.admitted(), 100u);
     EXPECT_EQ(ac.rejected(), 0u);
 }
@@ -68,7 +68,7 @@ TEST(AdmissionController, RateLimitEnforcesSustainedRate)
     // 100 arrivals over 5 s at 20 QPS: about half must be rejected.
     int admitted = 0;
     for (int i = 0; i < 100; ++i)
-        admitted += ac.admit(spec(i), i * 0.05, target);
+        admitted += ac.admit(spec(i), SimTime{i * 0.05}, target);
     EXPECT_NEAR(admitted, 50, 3);
 }
 
@@ -84,13 +84,13 @@ TEST(AdmissionController, BurstBucketAbsorbsSpikes)
     // Eight simultaneous arrivals fit the bucket; the ninth does not.
     int admitted = 0;
     for (int i = 0; i < 9; ++i)
-        admitted += ac.admit(spec(i), 1.0, target);
+        admitted += ac.admit(spec(i), SimTime{1.0}, target);
     EXPECT_EQ(admitted, 8);
 
     // After 4 idle seconds, ~4 tokens refill.
     admitted = 0;
     for (int i = 0; i < 9; ++i)
-        admitted += ac.admit(spec(100 + i), 5.0, target);
+        admitted += ac.admit(spec(100 + i), SimTime{5.0}, target);
     EXPECT_EQ(admitted, 4);
 }
 
@@ -108,7 +108,7 @@ TEST(AdmissionController, FullBucketAdmitsBurstAtTimeZero)
 
     int admitted = 0;
     for (int i = 0; i < 10; ++i)
-        admitted += ac.admit(spec(i), 0.0, target);
+        admitted += ac.admit(spec(i), SimTime{0.0}, target);
     EXPECT_EQ(admitted, 5);
     EXPECT_EQ(ac.rejected(), 5u);
 }
@@ -160,8 +160,8 @@ TEST(AdmissionController, LoadShedUsesBacklogThreshold)
     AdmissionController ac(cfg);
 
     BacklogStub light(500), heavy(2000);
-    EXPECT_TRUE(ac.admit(spec(1), 0.0, light));
-    EXPECT_FALSE(ac.admit(spec(2), 0.0, heavy));
+    EXPECT_TRUE(ac.admit(spec(1), SimTime{0.0}, light));
+    EXPECT_FALSE(ac.admit(spec(2), SimTime{0.0}, heavy));
     EXPECT_EQ(ac.rejected(), 1u);
 }
 

@@ -40,7 +40,7 @@ pooledSpec(std::uint64_t id, SimTime arrival, std::uint64_t pool,
 {
     RequestSpec spec;
     spec.id = id;
-    spec.arrival = arrival;
+    spec.arrival = SimTime{arrival};
     spec.promptSegments = {{pool, 128}, {turn, 100}};
     spec.promptTokens = 228;
     spec.decodeTokens = 2;
@@ -54,7 +54,7 @@ uniqueSpec(std::uint64_t id, SimTime arrival)
 {
     RequestSpec spec;
     spec.id = id;
-    spec.arrival = arrival;
+    spec.arrival = SimTime{arrival};
     spec.promptTokens = 100;
     spec.decodeTokens = 2;
     spec.tierId = 0;
@@ -70,9 +70,9 @@ TEST(CacheAffinity, RepeatPromptFollowsTheCachedPrefix)
     // unique request still lands on replica 1.
     Trace trace;
     trace.tiers = paperTierTable();
-    trace.requests.push_back(pooledSpec(0, 0.0, 77, 1001));
-    trace.requests.push_back(pooledSpec(1, 5.0, 77, 1002));
-    trace.requests.push_back(uniqueSpec(2, 10.0));
+    trace.requests.push_back(pooledSpec(0, SimTime{0.0}, 77, 1001));
+    trace.requests.push_back(pooledSpec(1, SimTime{5.0}, 77, 1002));
+    trace.requests.push_back(uniqueSpec(2, SimTime{10.0}));
     trace.appStats = computeAppStats(trace.requests);
 
     ClusterSim sim(affinityConfig(), trace);
@@ -99,7 +99,7 @@ TEST(CacheAffinity, UniversalMissReducesToRoundRobin)
     trace.tiers = paperTierTable();
     for (int i = 0; i < 8; ++i)
         trace.requests.push_back(
-            uniqueSpec(static_cast<std::uint64_t>(i), 1.0 * i));
+            uniqueSpec(static_cast<std::uint64_t>(i), SimTime{1.0 * i}));
     trace.appStats = computeAppStats(trace.requests);
 
     ClusterSim with(affinityConfig(), trace);
@@ -138,11 +138,11 @@ TEST(CacheAffinity, DistinctPoolsPartitionAcrossReplicas)
     std::uint64_t id = 0;
     for (int round = 0; round < 4; ++round) {
         trace.requests.push_back(
-            pooledSpec(id, 3.0 * static_cast<double>(id), 500,
+            pooledSpec(id, SimTime{3.0 * static_cast<double>(id)}, 500,
                        2000 + id));
         ++id;
         trace.requests.push_back(
-            pooledSpec(id, 3.0 * static_cast<double>(id), 600,
+            pooledSpec(id, SimTime{3.0 * static_cast<double>(id)}, 600,
                        2000 + id));
         ++id;
     }

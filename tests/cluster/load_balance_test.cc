@@ -47,7 +47,7 @@ TEST(LoadBalance, RoundRobinDistributesExactlyEvenly)
     for (int i = 0; i < 40; ++i) {
         RequestSpec spec;
         spec.id = i;
-        spec.arrival = 0.001 * i;
+        spec.arrival = SimTime{0.001 * i};
         spec.promptTokens = 100;
         spec.decodeTokens = 2;
         spec.tierId = 0;
@@ -76,7 +76,7 @@ TEST(LoadBalance, ShortestQueueAvoidsTheBusyReplica)
     trace.tiers = paperTierTable();
     RequestSpec big;
     big.id = 0;
-    big.arrival = 0.0;
+    big.arrival = SimTime{0.0};
     big.promptTokens = 8000;
     big.decodeTokens = 2;
     big.tierId = 2;
@@ -84,7 +84,7 @@ TEST(LoadBalance, ShortestQueueAvoidsTheBusyReplica)
     for (int i = 1; i <= 8; ++i) {
         RequestSpec spec;
         spec.id = i;
-        spec.arrival = 0.01 * i;
+        spec.arrival = SimTime{0.01 * i};
         spec.promptTokens = 100;
         spec.decodeTokens = 2;
         spec.tierId = 0;
@@ -115,7 +115,7 @@ TEST(LoadBalance, LeastLoadedCountsLiveRequests)
     for (int i = 0; i < 9; ++i) {
         RequestSpec spec;
         spec.id = i;
-        spec.arrival = 0.001 * i;
+        spec.arrival = SimTime{0.001 * i};
         spec.promptTokens = 100;
         spec.decodeTokens = 50; // long decodes keep requests live
         spec.tierId = 0;

@@ -19,7 +19,7 @@ makeSpec(std::uint64_t id, SimTime arrival, int prompt, int decode,
 {
     RequestSpec spec;
     spec.id = id;
-    spec.arrival = arrival;
+    spec.arrival = SimTime{arrival};
     spec.promptTokens = prompt;
     spec.decodeTokens = decode;
     spec.tierId = tier;
@@ -56,7 +56,7 @@ class ReplicaTest : public ::testing::Test
 TEST_F(ReplicaTest, SingleRequestCompletes)
 {
     auto replica = makeReplica();
-    eq_.schedule(1.0, [&] { replica->submit(makeSpec(1, 1.0, 500, 5, 0)); });
+    eq_.schedule(SimTime{1.0}, [&] { replica->submit(makeSpec(1, SimTime{1.0}, 500, 5, 0)); });
     eq_.run();
 
     ASSERT_EQ(records_.size(), 1u);
@@ -70,7 +70,7 @@ TEST_F(ReplicaTest, SingleRequestCompletes)
 TEST_F(ReplicaTest, TtftReflectsPrefillTime)
 {
     auto replica = makeReplica();
-    eq_.schedule(0.0, [&] { replica->submit(makeSpec(1, 0.0, 512, 2, 0)); });
+    eq_.schedule(SimTime{0.0}, [&] { replica->submit(makeSpec(1, SimTime{0.0}, 512, 2, 0)); });
     eq_.run();
 
     ASSERT_EQ(records_.size(), 1u);
@@ -83,7 +83,7 @@ TEST_F(ReplicaTest, ManyRequestsAllComplete)
 {
     auto replica = makeReplica();
     for (int i = 0; i < 20; ++i) {
-        SimTime at = 0.1 * i;
+        SimTime at{0.1 * i};
         eq_.schedule(at, [this, &replica, i, at] {
             replica->submit(makeSpec(i, at, 300 + 50 * i, 3, i % 3));
         });
@@ -99,12 +99,12 @@ TEST_F(ReplicaTest, EngineIsWorkConserving)
     // Busy time must equal the span from first submission to last
     // completion when work never runs out.
     auto replica = makeReplica();
-    eq_.schedule(0.0, [&] {
+    eq_.schedule(SimTime{0.0}, [&] {
         for (int i = 0; i < 5; ++i)
-            replica->submit(makeSpec(i, 0.0, 1000, 5, 0));
+            replica->submit(makeSpec(i, SimTime{0.0}, 1000, 5, 0));
     });
     eq_.run();
-    EXPECT_NEAR(replica->busyTime(), eq_.now(), 1e-9);
+    EXPECT_NEAR(replica->busyTime(), eq_.now().seconds(), 1e-9);
 }
 
 TEST_F(ReplicaTest, BatchObserverSeesEveryIteration)
@@ -114,7 +114,7 @@ TEST_F(ReplicaTest, BatchObserverSeesEveryIteration)
     replica->setBatchObserver(
         [&](const BatchObservation &obs) { observations.push_back(obs); });
 
-    eq_.schedule(0.0, [&] { replica->submit(makeSpec(1, 0.0, 600, 3, 0)); });
+    eq_.schedule(SimTime{0.0}, [&] { replica->submit(makeSpec(1, SimTime{0.0}, 600, 3, 0)); });
     eq_.run();
 
     EXPECT_EQ(observations.size(), replica->iterations());
@@ -129,9 +129,9 @@ TEST_F(ReplicaTest, BatchObserverSeesEveryIteration)
 TEST_F(ReplicaTest, DuplicateSubmissionPanics)
 {
     auto replica = makeReplica();
-    eq_.schedule(0.0, [&] {
-        replica->submit(makeSpec(1, 0.0, 500, 5, 0));
-        EXPECT_DEATH(replica->submit(makeSpec(1, 0.0, 500, 5, 0)),
+    eq_.schedule(SimTime{0.0}, [&] {
+        replica->submit(makeSpec(1, SimTime{0.0}, 500, 5, 0));
+        EXPECT_DEATH(replica->submit(makeSpec(1, SimTime{0.0}, 500, 5, 0)),
                      "duplicate");
     });
     eq_.run();
@@ -140,10 +140,10 @@ TEST_F(ReplicaTest, DuplicateSubmissionPanics)
 TEST_F(ReplicaTest, IdleReplicaWakesOnSubmission)
 {
     auto replica = makeReplica();
-    eq_.schedule(0.0, [&] { replica->submit(makeSpec(1, 0.0, 200, 2, 0)); });
+    eq_.schedule(SimTime{0.0}, [&] { replica->submit(makeSpec(1, SimTime{0.0}, 200, 2, 0)); });
     // Long idle gap, then more work.
-    eq_.schedule(100.0,
-                 [&] { replica->submit(makeSpec(2, 100.0, 200, 2, 0)); });
+    eq_.schedule(SimTime{100.0},
+                 [&] { replica->submit(makeSpec(2, SimTime{100.0}, 200, 2, 0)); });
     eq_.run();
     ASSERT_EQ(records_.size(), 2u);
     // The second request starts fresh at t=100, not queued behind
@@ -160,11 +160,11 @@ TEST_F(ReplicaTest, FailReleasesKvAndHandsBackLiveRequests)
             orphans.push_back(snap);
         });
 
-    eq_.schedule(0.0, [&] {
+    eq_.schedule(SimTime{0.0}, [&] {
         for (int i = 0; i < 4; ++i)
-            replica->submit(makeSpec(i, 0.0, 800, 10, 0));
+            replica->submit(makeSpec(i, SimTime{0.0}, 800, 10, 0));
     });
-    eq_.schedule(0.2, [&] {
+    eq_.schedule(SimTime{0.2}, [&] {
         ASSERT_GT(replica->kv().usedBlocks(), 0);
         ASSERT_GT(replica->liveRequests(), 0u);
         replica->fail();
@@ -192,10 +192,10 @@ TEST_F(ReplicaTest, RecoveredReplicaServesResubmissions)
             orphans.push_back(snap);
         });
 
-    eq_.schedule(0.0,
-                 [&] { replica->submit(makeSpec(1, 0.0, 2000, 50, 0)); });
-    eq_.schedule(0.2, [&] { replica->fail(); });
-    eq_.schedule(1.0, [&] {
+    eq_.schedule(SimTime{0.0},
+                 [&] { replica->submit(makeSpec(1, SimTime{0.0}, 2000, 50, 0)); });
+    eq_.schedule(SimTime{0.2}, [&] { replica->fail(); });
+    eq_.schedule(SimTime{1.0}, [&] {
         replica->recover();
         EXPECT_EQ(replica->health(), ReplicaHealth::Up);
         ASSERT_EQ(orphans.size(), 1u);
@@ -220,10 +220,10 @@ TEST_F(ReplicaTest, ResubmitAfterFirstTokenKeepsTtft)
         });
 
     // Long decode so the crash lands mid-decode, after first token.
-    eq_.schedule(0.0,
-                 [&] { replica->submit(makeSpec(1, 0.0, 256, 200, 0)); });
-    eq_.schedule(2.0, [&] { replica->fail(); });
-    eq_.schedule(2.5, [&] {
+    eq_.schedule(SimTime{0.0},
+                 [&] { replica->submit(makeSpec(1, SimTime{0.0}, 256, 200, 0)); });
+    eq_.schedule(SimTime{2.0}, [&] { replica->fail(); });
+    eq_.schedule(SimTime{2.5}, [&] {
         replica->recover();
         ASSERT_EQ(orphans.size(), 1u);
         ASSERT_GT(orphans[0].decodeDone, 0)
@@ -249,10 +249,10 @@ TEST_F(ReplicaTest, SlowdownScalesIterationLatency)
             eq, cfg_, factory_, nullptr, paperTierTable(),
             std::vector<AppStats>(3),
             [&](const RequestRecord &rec) { records.push_back(rec); });
-        eq.schedule(0.0, [&] {
+        eq.schedule(SimTime{0.0}, [&] {
             if (factor != 1.0)
                 replica.setSlowdown(factor);
-            replica.submit(makeSpec(1, 0.0, 512, 4, 0));
+            replica.submit(makeSpec(1, SimTime{0.0}, 512, 4, 0));
         });
         eq.run();
         return records.at(0).ttlt();
@@ -284,9 +284,9 @@ TEST_F(ReplicaTest, SubmitWhileDownPanics)
 {
     auto replica = makeReplica();
     replica->setFailureHandler([](const RequestFailureSnapshot &) {});
-    eq_.schedule(0.0, [&] {
+    eq_.schedule(SimTime{0.0}, [&] {
         replica->fail();
-        EXPECT_DEATH(replica->submit(makeSpec(1, 0.0, 100, 2, 0)),
+        EXPECT_DEATH(replica->submit(makeSpec(1, SimTime{0.0}, 100, 2, 0)),
                      "down");
     });
     eq_.run();

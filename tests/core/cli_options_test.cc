@@ -3,7 +3,7 @@
  * Tests for the qoserve_sim option parser.
  */
 
-#include "core/cli_options.hh"
+#include "app/cli_options.hh"
 
 #include <gtest/gtest.h>
 

@@ -6,7 +6,7 @@
  * throughput value of dynamic chunking.
  */
 
-#include "core/serving_system.hh"
+#include "app/serving_system.hh"
 
 #include <gtest/gtest.h>
 
@@ -131,8 +131,8 @@ TEST(Integration, DynamicChunkingShortensBatchOnlyMakespan)
     fixed.policy = Policy::SarathiEdf;
     auto fixed_sim = ServingSystem(fixed).serveForInspection(trace);
 
-    double dyn_makespan = dyn_sim->eventQueue().now();
-    double fixed_makespan = fixed_sim->eventQueue().now();
+    double dyn_makespan = dyn_sim->eventQueue().now().seconds();
+    double fixed_makespan = fixed_sim->eventQueue().now().seconds();
     EXPECT_LT(dyn_makespan, 0.85 * fixed_makespan);
 }
 

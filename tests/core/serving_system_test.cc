@@ -3,7 +3,7 @@
  * Tests for the ServingSystem façade.
  */
 
-#include "core/serving_system.hh"
+#include "app/serving_system.hh"
 
 #include <gtest/gtest.h>
 
@@ -54,7 +54,7 @@ TEST(ServingSystem, FactoryProducesNamedSchedulers)
         cfg.useForestPredictor = false;
 
         PerfModel perf(cfg.hw);
-        BlockManager kv(cfg.hw.kvCapacityTokens(), 16);
+        BlockManager kv(TokenCount{cfg.hw.kvCapacityTokens()}, TokenCount{16});
         auto predictor = makePredictor(cfg);
         SchedulerEnv env;
         env.kv = &kv;

@@ -45,7 +45,7 @@ crashyConfig(std::uint64_t seed = 7)
     fc.crashMtbf = 20.0;
     fc.crashMttr = 5.0;
     fc.seed = seed;
-    fc.horizon = 100.0;
+    fc.horizon = SimTime{100.0};
     return fc;
 }
 
@@ -140,7 +140,7 @@ TEST(FaultInjector, StragglerEpisodesSetAndClearSlowdown)
     fc.stragglerMtbf = 15.0;
     fc.stragglerDuration = 5.0;
     fc.stragglerFactor = 3.0;
-    fc.horizon = 60.0;
+    fc.horizon = SimTime{60.0};
     FaultInjector injector(fc, sim);
     sim.run();
 
@@ -171,7 +171,7 @@ TEST(FaultInjectorDeath, EnabledWithoutHorizonIsFatal)
     sim.addReplicaGroup(1, fcfsFactory());
     FaultConfig fc;
     fc.crashMtbf = 10.0;
-    fc.horizon = 0.0;
+    fc.horizon = SimTime{0.0};
     EXPECT_EXIT(FaultInjector(fc, sim),
                 ::testing::ExitedWithCode(1), "horizon");
 }
@@ -184,7 +184,7 @@ TEST(FaultInjectorDeath, SubUnityStragglerFactorIsFatal)
     FaultConfig fc;
     fc.stragglerMtbf = 10.0;
     fc.stragglerFactor = 0.5;
-    fc.horizon = 50.0;
+    fc.horizon = SimTime{50.0};
     EXPECT_EXIT(FaultInjector(fc, sim),
                 ::testing::ExitedWithCode(1), "factor");
 }
@@ -197,7 +197,7 @@ TEST(FaultInjectorDeath, NonPositiveMttrIsFatal)
     FaultConfig fc;
     fc.crashMtbf = 10.0;
     fc.crashMttr = 0.0;
-    fc.horizon = 50.0;
+    fc.horizon = SimTime{50.0};
     EXPECT_EXIT(FaultInjector(fc, sim),
                 ::testing::ExitedWithCode(1), "mttr|MTTR|repair");
 }

@@ -14,7 +14,7 @@ namespace {
 
 TEST(BlockManager, CapacityRoundsDownToBlocks)
 {
-    BlockManager bm(100, 16);
+    BlockManager bm(TokenCount{100}, TokenCount{16});
     EXPECT_EQ(bm.totalBlocks(), 6);
     EXPECT_EQ(bm.freeBlocks(), 6);
     EXPECT_EQ(bm.blockTokens(), 16);
@@ -22,8 +22,8 @@ TEST(BlockManager, CapacityRoundsDownToBlocks)
 
 TEST(BlockManager, GrowAllocatesCeilOfTokens)
 {
-    BlockManager bm(1600, 16);
-    EXPECT_TRUE(bm.grow(1, 17)); // 2 blocks
+    BlockManager bm(TokenCount{1600}, TokenCount{16});
+    EXPECT_TRUE(bm.grow(1, TokenCount{17})); // 2 blocks
     EXPECT_EQ(bm.ownedBlocks(1), 2);
     EXPECT_EQ(bm.ownedTokens(1), 17);
     EXPECT_EQ(bm.usedBlocks(), 2);
@@ -31,41 +31,41 @@ TEST(BlockManager, GrowAllocatesCeilOfTokens)
 
 TEST(BlockManager, GrowReusesPartialBlockSlack)
 {
-    BlockManager bm(1600, 16);
-    ASSERT_TRUE(bm.grow(1, 10)); // 1 block, 6 tokens slack
-    EXPECT_EQ(bm.blocksNeeded(1, 6), 0);
-    ASSERT_TRUE(bm.grow(1, 6));
+    BlockManager bm(TokenCount{1600}, TokenCount{16});
+    ASSERT_TRUE(bm.grow(1, TokenCount{10})); // 1 block, 6 tokens slack
+    EXPECT_EQ(bm.blocksNeeded(1, TokenCount{6}), 0);
+    ASSERT_TRUE(bm.grow(1, TokenCount{6}));
     EXPECT_EQ(bm.ownedBlocks(1), 1);
-    ASSERT_TRUE(bm.grow(1, 1));
+    ASSERT_TRUE(bm.grow(1, TokenCount{1}));
     EXPECT_EQ(bm.ownedBlocks(1), 2);
 }
 
 TEST(BlockManager, GrowFailsAtomicallyWhenFull)
 {
-    BlockManager bm(64, 16); // 4 blocks
-    ASSERT_TRUE(bm.grow(1, 48));
-    EXPECT_FALSE(bm.grow(2, 32)); // needs 2, only 1 free
+    BlockManager bm(TokenCount{64}, TokenCount{16}); // 4 blocks
+    ASSERT_TRUE(bm.grow(1, TokenCount{48}));
+    EXPECT_FALSE(bm.grow(2, TokenCount{32})); // needs 2, only 1 free
     EXPECT_EQ(bm.ownedTokens(2), 0);
     EXPECT_EQ(bm.ownedBlocks(2), 0);
     EXPECT_EQ(bm.freeBlocks(), 1);
-    EXPECT_TRUE(bm.grow(2, 16));
+    EXPECT_TRUE(bm.grow(2, TokenCount{16}));
 }
 
 TEST(BlockManager, CanGrowAgreesWithGrow)
 {
-    BlockManager bm(96, 16); // 6 blocks
-    ASSERT_TRUE(bm.grow(1, 50)); // 4 blocks, 2 free
-    EXPECT_FALSE(bm.canGrow(2, 33)); // needs 3 blocks
-    EXPECT_TRUE(bm.canGrow(2, 32));  // needs 2 blocks
-    EXPECT_TRUE(bm.canGrow(1, 14));  // fits in owner 1's slack
-    EXPECT_FALSE(bm.canGrow(1, 47)); // needs 3 more blocks
+    BlockManager bm(TokenCount{96}, TokenCount{16}); // 6 blocks
+    ASSERT_TRUE(bm.grow(1, TokenCount{50})); // 4 blocks, 2 free
+    EXPECT_FALSE(bm.canGrow(2, TokenCount{33})); // needs 3 blocks
+    EXPECT_TRUE(bm.canGrow(2, TokenCount{32}));  // needs 2 blocks
+    EXPECT_TRUE(bm.canGrow(1, TokenCount{14}));  // fits in owner 1's slack
+    EXPECT_FALSE(bm.canGrow(1, TokenCount{47})); // needs 3 more blocks
 }
 
 TEST(BlockManager, ReleaseReturnsAllBlocks)
 {
-    BlockManager bm(160, 16);
-    ASSERT_TRUE(bm.grow(1, 90));
-    ASSERT_TRUE(bm.grow(2, 30));
+    BlockManager bm(TokenCount{160}, TokenCount{16});
+    ASSERT_TRUE(bm.grow(1, TokenCount{90}));
+    ASSERT_TRUE(bm.grow(2, TokenCount{30}));
     bm.release(1);
     EXPECT_EQ(bm.ownedTokens(1), 0);
     EXPECT_EQ(bm.usedBlocks(), 2);
@@ -74,39 +74,39 @@ TEST(BlockManager, ReleaseReturnsAllBlocks)
 
 TEST(BlockManager, ReleaseUnknownOwnerPanics)
 {
-    BlockManager bm(160, 16);
+    BlockManager bm(TokenCount{160}, TokenCount{16});
     EXPECT_DEATH(bm.release(42), "unknown KV owner");
 }
 
 TEST(BlockManager, DoubleFreePanics)
 {
-    BlockManager bm(160, 16);
-    ASSERT_TRUE(bm.grow(1, 32));
+    BlockManager bm(TokenCount{160}, TokenCount{16});
+    ASSERT_TRUE(bm.grow(1, TokenCount{32}));
     bm.release(1);
     EXPECT_DEATH(bm.release(1), "unknown KV owner");
 }
 
 TEST(BlockManager, ConstructorRejectsBadArguments)
 {
-    EXPECT_EXIT({ BlockManager bm(0, 16); },
+    EXPECT_EXIT({ BlockManager bm(TokenCount{0}, TokenCount{16}); },
                 ::testing::ExitedWithCode(1), "capacity must be positive");
-    EXPECT_EXIT({ BlockManager bm(-64, 16); },
+    EXPECT_EXIT({ BlockManager bm(TokenCount{-64}, TokenCount{16}); },
                 ::testing::ExitedWithCode(1), "capacity must be positive");
-    EXPECT_EXIT({ BlockManager bm(160, 0); },
+    EXPECT_EXIT({ BlockManager bm(TokenCount{160}, TokenCount{0}); },
                 ::testing::ExitedWithCode(1),
                 "block size must be positive");
-    EXPECT_EXIT({ BlockManager bm(160, -16); },
+    EXPECT_EXIT({ BlockManager bm(TokenCount{160}, TokenCount{-16}); },
                 ::testing::ExitedWithCode(1),
                 "block size must be positive");
-    EXPECT_EXIT({ BlockManager bm(8, 16); },
+    EXPECT_EXIT({ BlockManager bm(TokenCount{8}, TokenCount{16}); },
                 ::testing::ExitedWithCode(1), "below one");
 }
 
 TEST(BlockManager, OwnsTracksAllocationRecords)
 {
-    BlockManager bm(160, 16);
+    BlockManager bm(TokenCount{160}, TokenCount{16});
     EXPECT_FALSE(bm.owns(1));
-    ASSERT_TRUE(bm.grow(1, 10));
+    ASSERT_TRUE(bm.grow(1, TokenCount{10}));
     EXPECT_TRUE(bm.owns(1));
     bm.release(1);
     EXPECT_FALSE(bm.owns(1));
@@ -114,10 +114,10 @@ TEST(BlockManager, OwnsTracksAllocationRecords)
 
 TEST(BlockManager, OwnerUsageSnapshotIsSortedAndExact)
 {
-    BlockManager bm(1600, 16);
-    ASSERT_TRUE(bm.grow(7, 33));
-    ASSERT_TRUE(bm.grow(3, 16));
-    ASSERT_TRUE(bm.grow(11, 1));
+    BlockManager bm(TokenCount{1600}, TokenCount{16});
+    ASSERT_TRUE(bm.grow(7, TokenCount{33}));
+    ASSERT_TRUE(bm.grow(3, TokenCount{16}));
+    ASSERT_TRUE(bm.grow(11, TokenCount{1}));
     auto usage = bm.ownerUsage();
     ASSERT_EQ(usage.size(), 3u);
     EXPECT_EQ(usage[0].owner, 3u);
@@ -134,16 +134,16 @@ TEST(BlockManager, OwnerUsageSnapshotIsSortedAndExact)
 
 TEST(BlockManager, ZeroGrowthIsFreeAndSucceeds)
 {
-    BlockManager bm(160, 16);
-    EXPECT_TRUE(bm.grow(1, 0));
+    BlockManager bm(TokenCount{160}, TokenCount{16});
+    EXPECT_TRUE(bm.grow(1, TokenCount{0}));
     EXPECT_EQ(bm.usedBlocks(), 0);
 }
 
 TEST(BlockManager, UtilizationTracksUsage)
 {
-    BlockManager bm(160, 16); // 10 blocks
+    BlockManager bm(TokenCount{160}, TokenCount{16}); // 10 blocks
     EXPECT_DOUBLE_EQ(bm.utilization(), 0.0);
-    ASSERT_TRUE(bm.grow(1, 80));
+    ASSERT_TRUE(bm.grow(1, TokenCount{80}));
     EXPECT_DOUBLE_EQ(bm.utilization(), 0.5);
     bm.release(1);
     EXPECT_DOUBLE_EQ(bm.utilization(), 0.0);
@@ -153,7 +153,7 @@ TEST(BlockManager, UtilizationTracksUsage)
 TEST(BlockManagerProperty, RandomOperationsConserveBlocks)
 {
     Rng rng(99);
-    BlockManager bm(16384, 16);
+    BlockManager bm(TokenCount{16384}, TokenCount{16});
     constexpr int num_owners = 40;
 
     for (int step = 0; step < 5000; ++step) {
@@ -162,8 +162,8 @@ TEST(BlockManagerProperty, RandomOperationsConserveBlocks)
         if (rng.bernoulli(0.7)) {
             auto tokens = rng.uniformInt(0, 200);
             std::int64_t before_free = bm.freeBlocks();
-            std::int64_t need = bm.blocksNeeded(owner, tokens);
-            bool ok = bm.grow(owner, tokens);
+            std::int64_t need = bm.blocksNeeded(owner, TokenCount{tokens});
+            bool ok = bm.grow(owner, TokenCount{tokens});
             EXPECT_EQ(ok, need <= before_free);
             if (ok) {
                 EXPECT_EQ(bm.freeBlocks(), before_free - need);

@@ -15,9 +15,9 @@ namespace {
 
 TEST(SharedBlocks, ConvertMovesFullBlocksToShared)
 {
-    BlockManager bm(160, 16); // 10 blocks
+    BlockManager bm(TokenCount{160}, TokenCount{16}); // 10 blocks
     bm.setCacheWatermark(5);
-    ASSERT_TRUE(bm.grow(1, 64)); // 4 full blocks
+    ASSERT_TRUE(bm.grow(1, TokenCount{64})); // 4 full blocks
     auto ids = bm.convertToCached(1, 3);
     ASSERT_EQ(ids.size(), 3u);
     // Ids are monotonic: parents sort before children.
@@ -41,9 +41,9 @@ TEST(SharedBlocks, ConvertMovesFullBlocksToShared)
 
 TEST(SharedBlocks, ReleaseLeavesCacheHeldBlocksEvictable)
 {
-    BlockManager bm(160, 16);
+    BlockManager bm(TokenCount{160}, TokenCount{16});
     bm.setCacheWatermark(5);
-    ASSERT_TRUE(bm.grow(1, 48));
+    ASSERT_TRUE(bm.grow(1, TokenCount{48}));
     auto ids = bm.convertToCached(1, 3);
     bm.release(1);
 
@@ -59,9 +59,9 @@ TEST(SharedBlocks, ReleaseLeavesCacheHeldBlocksEvictable)
 
 TEST(SharedBlocks, AttachAddsAndReleaseDropsReferences)
 {
-    BlockManager bm(160, 16);
+    BlockManager bm(TokenCount{160}, TokenCount{16});
     bm.setCacheWatermark(5);
-    ASSERT_TRUE(bm.grow(1, 32));
+    ASSERT_TRUE(bm.grow(1, TokenCount{32}));
     auto ids = bm.convertToCached(1, 2);
     bm.release(1);
     ASSERT_EQ(bm.evictableBlocks(), 2);
@@ -81,9 +81,9 @@ TEST(SharedBlocks, AttachAddsAndReleaseDropsReferences)
 
 TEST(SharedBlocks, DropCacheRefFreesUnreferencedBlock)
 {
-    BlockManager bm(160, 16);
+    BlockManager bm(TokenCount{160}, TokenCount{16});
     bm.setCacheWatermark(5);
-    ASSERT_TRUE(bm.grow(1, 32));
+    ASSERT_TRUE(bm.grow(1, TokenCount{32}));
     auto ids = bm.convertToCached(1, 2);
 
     // While the owner holds the block, dropping the cache ref keeps
@@ -105,14 +105,14 @@ TEST(SharedBlocks, DropCacheRefFreesUnreferencedBlock)
 
 TEST(SharedBlocks, DedupReplacesPrivateCopiesAndFreesBlocks)
 {
-    BlockManager bm(160, 16);
+    BlockManager bm(TokenCount{160}, TokenCount{16});
     bm.setCacheWatermark(5);
-    ASSERT_TRUE(bm.grow(1, 32));
+    ASSERT_TRUE(bm.grow(1, TokenCount{32}));
     auto ids = bm.convertToCached(1, 2);
 
     // A second request recomputed the same two blocks privately (it
     // missed the cache at admission), plus a private tail.
-    ASSERT_TRUE(bm.grow(2, 40));
+    ASSERT_TRUE(bm.grow(2, TokenCount{40}));
     ASSERT_EQ(bm.usedBlocks(), 5);
     bm.dedupToShared(2, ids);
 
@@ -128,9 +128,9 @@ TEST(SharedBlocks, DedupReplacesPrivateCopiesAndFreesBlocks)
 
 TEST(SharedBlocks, GrowEvictsThroughHandlerWhenFreeBlocksShort)
 {
-    BlockManager bm(64, 16); // 4 blocks
+    BlockManager bm(TokenCount{64}, TokenCount{16}); // 4 blocks
     bm.setCacheWatermark(4);
-    ASSERT_TRUE(bm.grow(1, 48));
+    ASSERT_TRUE(bm.grow(1, TokenCount{48}));
     std::vector<KvBlockId> ids = bm.convertToCached(1, 3);
     bm.release(1);
     ASSERT_EQ(bm.freeBlocks(), 1);
@@ -151,8 +151,8 @@ TEST(SharedBlocks, GrowEvictsThroughHandlerWhenFreeBlocksShort)
     });
 
     // 40 tokens need 3 blocks; only 1 is free, so 2 must be evicted.
-    EXPECT_TRUE(bm.canGrow(2, 40));
-    EXPECT_TRUE(bm.grow(2, 40));
+    EXPECT_TRUE(bm.canGrow(2, TokenCount{40}));
+    EXPECT_TRUE(bm.grow(2, TokenCount{40}));
     EXPECT_EQ(handler_calls, 1);
     EXPECT_EQ(bm.ownedTokens(2), 40);
     EXPECT_EQ(bm.cacheHeldBlocks(), 1);
@@ -160,9 +160,9 @@ TEST(SharedBlocks, GrowEvictsThroughHandlerWhenFreeBlocksShort)
 
 TEST(SharedBlocks, DoomedGrowDoesNotDrainTheCache)
 {
-    BlockManager bm(64, 16); // 4 blocks
+    BlockManager bm(TokenCount{64}, TokenCount{16}); // 4 blocks
     bm.setCacheWatermark(4);
-    ASSERT_TRUE(bm.grow(1, 32));
+    ASSERT_TRUE(bm.grow(1, TokenCount{32}));
     bm.convertToCached(1, 2);
     bm.release(1);
     ASSERT_EQ(bm.availableBlocks(), 4);
@@ -175,50 +175,50 @@ TEST(SharedBlocks, DoomedGrowDoesNotDrainTheCache)
 
     // 5 blocks can never be satisfied, even evicting everything: the
     // handler must not be consulted for a request that is doomed.
-    EXPECT_FALSE(bm.canGrow(2, 80));
-    EXPECT_FALSE(bm.grow(2, 80));
+    EXPECT_FALSE(bm.canGrow(2, TokenCount{80}));
+    EXPECT_FALSE(bm.grow(2, TokenCount{80}));
     EXPECT_EQ(handler_calls, 0);
     EXPECT_EQ(bm.evictableBlocks(), 2);
 }
 
 TEST(SharedBlocks, GrowWithoutHandlerIgnoresEvictableBlocks)
 {
-    BlockManager bm(64, 16);
+    BlockManager bm(TokenCount{64}, TokenCount{16});
     bm.setCacheWatermark(4);
-    ASSERT_TRUE(bm.grow(1, 48));
+    ASSERT_TRUE(bm.grow(1, TokenCount{48}));
     bm.convertToCached(1, 3);
     bm.release(1);
     ASSERT_EQ(bm.freeBlocks(), 1);
 
     // No handler installed: only genuinely free blocks count.
-    EXPECT_FALSE(bm.canGrow(2, 32));
-    EXPECT_FALSE(bm.grow(2, 32));
-    EXPECT_TRUE(bm.grow(2, 16));
+    EXPECT_FALSE(bm.canGrow(2, TokenCount{32}));
+    EXPECT_FALSE(bm.grow(2, TokenCount{32}));
+    EXPECT_TRUE(bm.grow(2, TokenCount{16}));
 }
 
 TEST(SharedBlocks, ConvertPastWatermarkPanics)
 {
-    BlockManager bm(160, 16);
+    BlockManager bm(TokenCount{160}, TokenCount{16});
     bm.setCacheWatermark(2);
-    ASSERT_TRUE(bm.grow(1, 64));
+    ASSERT_TRUE(bm.grow(1, TokenCount{64}));
     bm.convertToCached(1, 2);
-    ASSERT_TRUE(bm.grow(2, 64));
+    ASSERT_TRUE(bm.grow(2, TokenCount{64}));
     EXPECT_DEATH(bm.convertToCached(2, 1), "watermark");
 }
 
 TEST(SharedBlocks, ZeroWatermarkIsFatal)
 {
-    BlockManager bm(160, 16);
+    BlockManager bm(TokenCount{160}, TokenCount{16});
     EXPECT_DEATH(bm.setCacheWatermark(0), "watermark");
 }
 
 TEST(SharedBlocks, ReleaseAllDestroysSharedState)
 {
-    BlockManager bm(160, 16);
+    BlockManager bm(TokenCount{160}, TokenCount{16});
     bm.setCacheWatermark(5);
-    ASSERT_TRUE(bm.grow(1, 64));
+    ASSERT_TRUE(bm.grow(1, TokenCount{64}));
     bm.convertToCached(1, 4);
-    ASSERT_TRUE(bm.grow(2, 16));
+    ASSERT_TRUE(bm.grow(2, TokenCount{16}));
 
     EXPECT_EQ(bm.releaseAll(), 5);
     EXPECT_EQ(bm.usedBlocks(), 0);
@@ -230,12 +230,12 @@ TEST(SharedBlocks, ReleaseAllDestroysSharedState)
 
 TEST(SharedBlocks, BlockIdsStayMonotonicAcrossReleaseAll)
 {
-    BlockManager bm(160, 16);
+    BlockManager bm(TokenCount{160}, TokenCount{16});
     bm.setCacheWatermark(5);
-    ASSERT_TRUE(bm.grow(1, 32));
+    ASSERT_TRUE(bm.grow(1, TokenCount{32}));
     auto before = bm.convertToCached(1, 2);
     bm.releaseAll();
-    ASSERT_TRUE(bm.grow(1, 32));
+    ASSERT_TRUE(bm.grow(1, TokenCount{32}));
     auto after = bm.convertToCached(1, 2);
     // A recycled id could alias a stale tree entry after a crash;
     // monotonic ids make that structurally impossible.
@@ -244,9 +244,9 @@ TEST(SharedBlocks, BlockIdsStayMonotonicAcrossReleaseAll)
 
 TEST(SharedBlocks, OwnerUsageAndTableReportSharedState)
 {
-    BlockManager bm(160, 16);
+    BlockManager bm(TokenCount{160}, TokenCount{16});
     bm.setCacheWatermark(5);
-    ASSERT_TRUE(bm.grow(1, 40));
+    ASSERT_TRUE(bm.grow(1, TokenCount{40}));
     auto ids = bm.convertToCached(1, 2);
     bm.attachShared(2, ids);
 

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fixture: non-deterministic RNG in library code. Both the mt19937
+ * engine and the random_device seed must be flagged (no-std-rand),
+ * and the rand() call as well.
+ */
+
+#include <random>
+
+namespace fixture {
+
+int
+roll()
+{
+    std::mt19937 gen(std::random_device{}());
+    return static_cast<int>(gen()) + rand();
+}
+
+} // namespace fixture

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Fixture: a defaultless switch over a project enum that misses an
+ * enumerator (Color::Blue). The exhaustive-switch pass must flag it.
+ */
+
+#include "core/color.hh"
+
+namespace fixture {
+
+int
+pick(Color c)
+{
+    switch (c) {
+      case Color::Red:
+        return 1;
+      case Color::Green:
+        return 2;
+    }
+    return 0;
+}
+
+} // namespace fixture

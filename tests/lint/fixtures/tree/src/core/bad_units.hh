@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Fixture: raw unit scalars in a library header. Both parameters of
+ * scheduleAt must be flagged by the raw-unit pass — `double deadline`
+ * is a point in simulated time and `int total_tokens` is a token
+ * count.
+ */
+
+#ifndef QOSERVE_FIXTURE_CORE_BAD_UNITS_HH
+#define QOSERVE_FIXTURE_CORE_BAD_UNITS_HH
+
+namespace fixture {
+
+void scheduleAt(double deadline, int total_tokens);
+
+} // namespace fixture
+
+#endif // QOSERVE_FIXTURE_CORE_BAD_UNITS_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Fixture: a project enum for the exhaustive-switch pass. Lives in a
+ * library header because the enum table is collected from src/
+ * headers only.
+ */
+
+#ifndef QOSERVE_FIXTURE_CORE_COLOR_HH
+#define QOSERVE_FIXTURE_CORE_COLOR_HH
+
+namespace fixture {
+
+enum class Color : int
+{
+    Red,
+    Green = 7,
+    Blue,
+};
+
+/** A plain (unscoped) enum is collected too. */
+enum Phase
+{
+    Prefill,
+    Decode,
+};
+
+} // namespace fixture
+
+#endif // QOSERVE_FIXTURE_CORE_COLOR_HH

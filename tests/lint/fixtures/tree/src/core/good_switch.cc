@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fixture: exhaustive and opted-out switches the pass must accept —
+ * one naming every enumerator, one with a `default:`, and a nested
+ * switch whose inner labels must not leak into the outer count.
+ */
+
+#include "core/color.hh"
+
+namespace fixture {
+
+int
+pickAll(Color c)
+{
+    switch (c) {
+      case Color::Red:
+        return 1;
+      case Color::Green:
+        return 2;
+      case Color::Blue:
+        return 3;
+    }
+    return 0;
+}
+
+int
+pickDefault(Color c)
+{
+    switch (c) {
+      case Color::Red:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+int
+pickNested(Color c, Phase p)
+{
+    switch (c) {
+      case Color::Red:
+        switch (p) {
+          case Phase::Prefill:
+            return 10;
+          case Phase::Decode:
+            return 11;
+        }
+        return 1;
+      case Color::Green:
+        return 2;
+      case Color::Blue:
+        return 3;
+    }
+    return 0;
+}
+
+} // namespace fixture

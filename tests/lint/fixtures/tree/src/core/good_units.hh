@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Fixture: unit-clean signatures the raw-unit pass must accept —
+ * strong types for time points and token counts, a raw SimDuration
+ * span (spans stay double by design), and a fractional token
+ * *estimate* (`double tokens`), which the rule deliberately exempts.
+ */
+
+#ifndef QOSERVE_FIXTURE_CORE_GOOD_UNITS_HH
+#define QOSERVE_FIXTURE_CORE_GOOD_UNITS_HH
+
+namespace fixture {
+
+class SimTime;
+class TokenCount;
+using SimDuration = double;
+
+void scheduleAt(SimTime deadline, TokenCount tokens);
+void backoff(SimDuration delay);
+double estPrefillTime(double tokens);
+
+} // namespace fixture
+
+#endif // QOSERVE_FIXTURE_CORE_GOOD_UNITS_HH

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Fixture: a suppression marker with nothing to suppress. The code
+ * under the marker is clean, so the stale-suppression pass must flag
+ * the marker itself.
+ */
+
+namespace fixture {
+
+// qoserve-lint: allow(no-std-rand)
+int
+six()
+{
+    return 6; // Chosen by fair dice roll offline.
+}
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Fixture: the suppression tag inside a string literal. A marker must
+ * sit in a comment to count — a tool that merely *prints* the tag
+ * (as this file does) declares no suppression, so no marker may be
+ * collected and nothing here is stale.
+ */
+
+namespace fixture {
+
+const char *
+markerHelp()
+{
+    return "suppress with qoserve-lint: allow(no-std-rand)";
+}
+
+} // namespace fixture

@@ -1,0 +1,10 @@
+/**
+ * @file
+ * Fixture: a module the manifest does not declare. The layering pass
+ * must demand that `mystery` take a position in the DAG.
+ */
+
+#ifndef QOSERVE_FIXTURE_MYSTERY_ROGUE_HH
+#define QOSERVE_FIXTURE_MYSTERY_ROGUE_HH
+
+#endif // QOSERVE_FIXTURE_MYSTERY_ROGUE_HH

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fixture: downward includes only. sched may depend on core and
+ * simcore in the fixture DAG, and an in-module include never counts
+ * as an edge, so the layering pass must stay silent here.
+ */
+
+#ifndef QOSERVE_FIXTURE_SCHED_GOOD_LAYERED_HH
+#define QOSERVE_FIXTURE_SCHED_GOOD_LAYERED_HH
+
+#include "core/units.hh"
+#include "simcore/event_queue.hh"
+
+#include "request.hh"
+
+// A commented-out include must not create an edge:
+// #include "cluster/replica.hh"
+
+#endif // QOSERVE_FIXTURE_SCHED_GOOD_LAYERED_HH

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Fixture: an upward include. simcore sits at the bottom of the
+ * fixture DAG, so including sched/ must be flagged by the layering
+ * pass.
+ */
+
+#ifndef QOSERVE_FIXTURE_SIMCORE_BAD_UPWARD_HH
+#define QOSERVE_FIXTURE_SIMCORE_BAD_UPWARD_HH
+
+#include "sched/scheduler.hh"
+
+#endif // QOSERVE_FIXTURE_SIMCORE_BAD_UPWARD_HH

@@ -19,12 +19,12 @@ makeRecord(std::uint64_t id, int tier, double ttft, double ttlt)
 {
     RequestRecord rec;
     rec.spec.id = id;
-    rec.spec.arrival = 1.0;
+    rec.spec.arrival = SimTime{1.0};
     rec.spec.promptTokens = 100;
     rec.spec.decodeTokens = 10;
     rec.spec.tierId = tier;
-    rec.firstTokenTime = 1.0 + ttft;
-    rec.finishTime = 1.0 + ttlt;
+    rec.firstTokenTime = SimTime{1.0 + ttft};
+    rec.finishTime = SimTime{1.0 + ttlt};
     return rec;
 }
 
@@ -274,7 +274,7 @@ TEST(ReportIo, RecordsCsvRoundTripsNonRepresentableDoubles)
     // short decimal form.
     MetricsCollector collector(paperTierTable());
     RequestRecord rec = makeRecord(0, 0, 2.0, 3.0);
-    rec.spec.arrival = 1.0 / 3.0;
+    rec.spec.arrival = SimTime{1.0 / 3.0};
     rec.firstTokenTime = rec.spec.arrival + 0.1;
     rec.finishTime = rec.spec.arrival + 0.3;
     collector.record(rec);
@@ -307,9 +307,9 @@ TEST(ReportIo, RecordsCsvWrongFieldCountIsFatalWithLineNumber)
 TEST(ReportIo, RollingCsvRoundTrips)
 {
     std::vector<RollingPoint> points = {
-        {0.0, 1.5, 10},
-        {30.0, 1.0 / 3.0, 7},
-        {60.0, 0.0, 0},
+        {SimTime{0.0}, 1.5, 10},
+        {SimTime{30.0}, 1.0 / 3.0, 7},
+        {SimTime{60.0}, 0.0, 0},
     };
     std::stringstream buffer;
     writeRollingCsv(points, buffer);

@@ -17,7 +17,7 @@ makeRecord(std::uint64_t id, int tier, SimTime arrival, double ttft,
     RequestRecord rec;
     rec.spec.id = id;
     rec.spec.tierId = tier;
-    rec.spec.arrival = arrival;
+    rec.spec.arrival = SimTime{arrival};
     rec.spec.promptTokens = prompt;
     rec.spec.decodeTokens = 10;
     rec.spec.important = important;
@@ -38,17 +38,17 @@ TEST_F(SloReportTest, ViolationRulePerTierKind)
 {
     TierTable tiers = paperTierTable();
     // Q1 interactive: TTFT governs.
-    EXPECT_FALSE(violatedSlo(makeRecord(1, 0, 0, 5.0, 100.0), tiers[0]));
-    EXPECT_TRUE(violatedSlo(makeRecord(2, 0, 0, 6.5, 7.0), tiers[0]));
+    EXPECT_FALSE(violatedSlo(makeRecord(1, 0, SimTime{0}, 5.0, 100.0), tiers[0]));
+    EXPECT_TRUE(violatedSlo(makeRecord(2, 0, SimTime{0}, 6.5, 7.0), tiers[0]));
     // Q2 batch: TTLT governs; TTFT is irrelevant.
-    EXPECT_FALSE(violatedSlo(makeRecord(3, 1, 0, 500.0, 599.0), tiers[1]));
-    EXPECT_TRUE(violatedSlo(makeRecord(4, 1, 0, 1.0, 601.0), tiers[1]));
+    EXPECT_FALSE(violatedSlo(makeRecord(3, 1, SimTime{0}, 500.0, 599.0), tiers[1]));
+    EXPECT_TRUE(violatedSlo(makeRecord(4, 1, SimTime{0}, 1.0, 601.0), tiers[1]));
 }
 
 TEST_F(SloReportTest, HeadlineLatencyPicksTtftOrTtlt)
 {
     TierTable tiers = paperTierTable();
-    RequestRecord rec = makeRecord(1, 0, 10.0, 2.0, 50.0);
+    RequestRecord rec = makeRecord(1, 0, SimTime{10.0}, 2.0, 50.0);
     EXPECT_DOUBLE_EQ(headlineLatency(rec, tiers[0]), 2.0);
     rec.spec.tierId = 1;
     EXPECT_DOUBLE_EQ(headlineLatency(rec, tiers[1]), 50.0);
@@ -64,10 +64,10 @@ TEST_F(SloReportTest, EmptySummary)
 
 TEST_F(SloReportTest, OverallViolationRate)
 {
-    collector_.record(makeRecord(1, 0, 0, 1.0, 10.0));  // ok
-    collector_.record(makeRecord(2, 0, 0, 7.0, 10.0));  // viol
-    collector_.record(makeRecord(3, 1, 0, 1.0, 100.0)); // ok
-    collector_.record(makeRecord(4, 1, 0, 1.0, 700.0)); // viol
+    collector_.record(makeRecord(1, 0, SimTime{0}, 1.0, 10.0));  // ok
+    collector_.record(makeRecord(2, 0, SimTime{0}, 7.0, 10.0));  // viol
+    collector_.record(makeRecord(3, 1, SimTime{0}, 1.0, 100.0)); // ok
+    collector_.record(makeRecord(4, 1, SimTime{0}, 1.0, 700.0)); // viol
 
     RunSummary s = summarize(collector_);
     EXPECT_EQ(s.count, 4u);
@@ -76,9 +76,9 @@ TEST_F(SloReportTest, OverallViolationRate)
 
 TEST_F(SloReportTest, PerTierSummaries)
 {
-    collector_.record(makeRecord(1, 0, 0, 1.0, 2.0));
-    collector_.record(makeRecord(2, 0, 0, 3.0, 4.0));
-    collector_.record(makeRecord(3, 2, 0, 1.0, 2000.0)); // Q3 viol
+    collector_.record(makeRecord(1, 0, SimTime{0}, 1.0, 2.0));
+    collector_.record(makeRecord(2, 0, SimTime{0}, 3.0, 4.0));
+    collector_.record(makeRecord(3, 2, SimTime{0}, 1.0, 2000.0)); // Q3 viol
 
     RunSummary s = summarize(collector_);
     ASSERT_EQ(s.tiers.size(), 2u);
@@ -96,9 +96,9 @@ TEST_F(SloReportTest, PerTierSummaries)
 
 TEST_F(SloReportTest, ImportantViolationRateSeparated)
 {
-    collector_.record(makeRecord(1, 0, 0, 7.0, 8.0, 1000, false));
-    collector_.record(makeRecord(2, 0, 0, 1.0, 2.0, 1000, true));
-    collector_.record(makeRecord(3, 0, 0, 9.0, 10.0, 1000, true));
+    collector_.record(makeRecord(1, 0, SimTime{0}, 7.0, 8.0, 1000, false));
+    collector_.record(makeRecord(2, 0, SimTime{0}, 1.0, 2.0, 1000, true));
+    collector_.record(makeRecord(3, 0, SimTime{0}, 9.0, 10.0, 1000, true));
 
     RunSummary s = summarize(collector_);
     EXPECT_NEAR(s.violationRate, 2.0 / 3.0, 1e-12);
@@ -109,8 +109,8 @@ TEST_F(SloReportTest, ShortLongSplitUsesPromptPercentile)
 {
     // Nine short prompts (ok) and one long prompt (violating).
     for (int i = 0; i < 9; ++i)
-        collector_.record(makeRecord(i, 0, 0, 1.0, 2.0, 100));
-    collector_.record(makeRecord(9, 0, 0, 7.0, 8.0, 10000));
+        collector_.record(makeRecord(i, 0, SimTime{0}, 1.0, 2.0, 100));
+    collector_.record(makeRecord(9, 0, SimTime{0}, 7.0, 8.0, 10000));
 
     RunSummary s = summarize(collector_, 90.0);
     EXPECT_DOUBLE_EQ(s.longViolationRate, 1.0);
@@ -119,10 +119,10 @@ TEST_F(SloReportTest, ShortLongSplitUsesPromptPercentile)
 
 TEST_F(SloReportTest, RelegatedFractionCounted)
 {
-    RequestRecord r1 = makeRecord(1, 0, 0, 1.0, 2.0);
+    RequestRecord r1 = makeRecord(1, 0, SimTime{0}, 1.0, 2.0);
     r1.wasRelegated = true;
     collector_.record(r1);
-    collector_.record(makeRecord(2, 0, 0, 1.0, 2.0));
+    collector_.record(makeRecord(2, 0, SimTime{0}, 1.0, 2.0));
 
     RunSummary s = summarize(collector_);
     EXPECT_DOUBLE_EQ(s.relegatedFraction, 0.5);
@@ -130,10 +130,10 @@ TEST_F(SloReportTest, RelegatedFractionCounted)
 
 TEST_F(SloReportTest, TbtMissRateCounted)
 {
-    RequestRecord r1 = makeRecord(1, 0, 0, 1.0, 2.0);
+    RequestRecord r1 = makeRecord(1, 0, SimTime{0}, 1.0, 2.0);
     r1.tbtDeadlineMisses = 3;
     collector_.record(r1);
-    collector_.record(makeRecord(2, 0, 0, 1.0, 2.0));
+    collector_.record(makeRecord(2, 0, SimTime{0}, 1.0, 2.0));
 
     RunSummary s = summarize(collector_);
     ASSERT_EQ(s.tiers.size(), 1u);
@@ -143,7 +143,7 @@ TEST_F(SloReportTest, TbtMissRateCounted)
 TEST_F(SloReportTest, LatencyPercentilesOverHeadlineMetric)
 {
     for (int i = 1; i <= 100; ++i)
-        collector_.record(makeRecord(i, 0, 0, i * 0.01, 1.0));
+        collector_.record(makeRecord(i, 0, SimTime{0}, i * 0.01, 1.0));
     RunSummary s = summarize(collector_);
     EXPECT_NEAR(s.p50Latency, 0.5, 0.02);
     EXPECT_NEAR(s.p99Latency, 1.0, 0.02);
@@ -153,24 +153,24 @@ TEST_F(SloReportTest, RollingLatencyBucketsByArrival)
 {
     // Two 60 s windows with very different latencies.
     for (int i = 0; i < 10; ++i)
-        collector_.record(makeRecord(i, 0, 10.0 + i, 1.0, 2.0));
+        collector_.record(makeRecord(i, 0, SimTime{10.0 + i}, 1.0, 2.0));
     for (int i = 0; i < 10; ++i)
-        collector_.record(makeRecord(100 + i, 0, 70.0 + i, 9.0, 10.0));
+        collector_.record(makeRecord(100 + i, 0, SimTime{70.0 + i}, 9.0, 10.0));
 
     auto series = rollingLatency(collector_, 60.0, 99.0);
     ASSERT_EQ(series.size(), 2u);
-    EXPECT_DOUBLE_EQ(series[0].windowStart, 0.0);
+    EXPECT_DOUBLE_EQ(series[0].windowStart.seconds(), 0.0);
     EXPECT_NEAR(series[0].value, 1.0, 1e-9);
-    EXPECT_DOUBLE_EQ(series[1].windowStart, 60.0);
+    EXPECT_DOUBLE_EQ(series[1].windowStart.seconds(), 60.0);
     EXPECT_NEAR(series[1].value, 9.0, 1e-9);
     EXPECT_EQ(series[0].count, 10u);
 }
 
 TEST_F(SloReportTest, RollingLatencyFiltersTierAndImportance)
 {
-    collector_.record(makeRecord(1, 0, 10.0, 1.0, 2.0));
-    collector_.record(makeRecord(2, 1, 10.0, 1.0, 500.0));
-    RequestRecord low = makeRecord(3, 0, 10.0, 3.0, 4.0, 1000, false);
+    collector_.record(makeRecord(1, 0, SimTime{10.0}, 1.0, 2.0));
+    collector_.record(makeRecord(2, 1, SimTime{10.0}, 1.0, 500.0));
+    RequestRecord low = makeRecord(3, 0, SimTime{10.0}, 3.0, 4.0, 1000, false);
     collector_.record(low);
 
     auto q1_only = rollingLatency(collector_, 60.0, 50.0, 0);
@@ -186,7 +186,7 @@ TEST_F(SloReportTest, RollingLatencyFiltersTierAndImportance)
 
 TEST_F(SloReportTest, RecordWithUnknownTierPanics)
 {
-    RequestRecord bad = makeRecord(1, 0, 0, 1.0, 2.0);
+    RequestRecord bad = makeRecord(1, 0, SimTime{0}, 1.0, 2.0);
     bad.spec.tierId = 99;
     EXPECT_DEATH(collector_.record(bad), "unknown tier");
 }

@@ -29,10 +29,10 @@ obs(SimTime start, SimDuration latency, int chunk, int decodes)
 TEST(Telemetry, AggregatesBasicStats)
 {
     TelemetryRecorder rec;
-    auto sink = rec.observerFor(0);
-    sink(obs(0.0, 0.05, 256, 4));
-    sink(obs(0.05, 0.10, 1024, 4));
-    sink(obs(0.15, 0.05, 0, 5));
+    auto sink = rec.observerFor(ReplicaId{0});
+    sink(obs(SimTime{0.0}, 0.05, 256, 4));
+    sink(obs(SimTime{0.05}, 0.10, 1024, 4));
+    sink(obs(SimTime{0.15}, 0.05, 0, 5));
 
     EXPECT_EQ(rec.size(), 3u);
     EXPECT_NEAR(rec.meanChunkTokens(), (256 + 1024) / 3.0, 1e-9);
@@ -42,10 +42,10 @@ TEST(Telemetry, AggregatesBasicStats)
 TEST(Telemetry, HistogramBucketsCorrectly)
 {
     TelemetryRecorder rec;
-    auto sink = rec.observerFor(0);
-    sink(obs(0.0, 0.05, 100, 0));
-    sink(obs(0.1, 0.05, 130, 0));
-    sink(obs(0.2, 0.05, 300, 0));
+    auto sink = rec.observerFor(ReplicaId{0});
+    sink(obs(SimTime{0.0}, 0.05, 100, 0));
+    sink(obs(SimTime{0.1}, 0.05, 130, 0));
+    sink(obs(SimTime{0.2}, 0.05, 300, 0));
 
     auto hist = rec.chunkHistogram(128);
     ASSERT_EQ(hist.size(), 3u);
@@ -57,33 +57,33 @@ TEST(Telemetry, HistogramBucketsCorrectly)
 TEST(Telemetry, UtilizationWindowed)
 {
     TelemetryRecorder rec;
-    auto sink = rec.observerFor(0);
+    auto sink = rec.observerFor(ReplicaId{0});
     // Busy [0, 1) and [2, 3) within a 4-second window: 50%.
-    sink(obs(0.0, 1.0, 256, 0));
-    sink(obs(2.0, 1.0, 256, 0));
-    EXPECT_NEAR(rec.utilization(0.0, 4.0), 0.5, 1e-9);
+    sink(obs(SimTime{0.0}, 1.0, 256, 0));
+    sink(obs(SimTime{2.0}, 1.0, 256, 0));
+    EXPECT_NEAR(rec.utilization(SimTime{0.0}, SimTime{4.0}), 0.5, 1e-9);
     // Window clipping.
-    EXPECT_NEAR(rec.utilization(0.5, 1.5), 0.5, 1e-9);
+    EXPECT_NEAR(rec.utilization(SimTime{0.5}, SimTime{1.5}), 0.5, 1e-9);
 }
 
 TEST(Telemetry, MultiReplicaUtilizationExceedsOne)
 {
     TelemetryRecorder rec;
-    auto r0 = rec.observerFor(0);
-    auto r1 = rec.observerFor(1);
-    r0(obs(0.0, 1.0, 0, 1));
-    r1(obs(0.0, 1.0, 0, 1));
-    EXPECT_NEAR(rec.utilization(0.0, 1.0), 2.0, 1e-9);
+    auto r0 = rec.observerFor(ReplicaId{0});
+    auto r1 = rec.observerFor(ReplicaId{1});
+    r0(obs(SimTime{0.0}, 1.0, 0, 1));
+    r1(obs(SimTime{0.0}, 1.0, 0, 1));
+    EXPECT_NEAR(rec.utilization(SimTime{0.0}, SimTime{1.0}), 2.0, 1e-9);
 }
 
 TEST(Telemetry, UtilizationZeroLengthWindowIsZero)
 {
     TelemetryRecorder rec;
-    rec.observerFor(0)(obs(0.0, 1.0, 256, 0));
-    EXPECT_EQ(rec.utilization(0.5, 0.5), 0.0);
+    rec.observerFor(ReplicaId{0})(obs(SimTime{0.0}, 1.0, 256, 0));
+    EXPECT_EQ(rec.utilization(SimTime{0.5}, SimTime{0.5}), 0.0);
     // An empty recorder over an empty window is also fine.
     TelemetryRecorder empty;
-    EXPECT_EQ(empty.utilization(2.0, 2.0), 0.0);
+    EXPECT_EQ(empty.utilization(SimTime{2.0}, SimTime{2.0}), 0.0);
 }
 
 TEST(Telemetry, UtilizationMergesOverlapsWithinReplica)
@@ -92,13 +92,13 @@ TEST(Telemetry, UtilizationMergesOverlapsWithinReplica)
     // latency, overlapping the batches run after recovery on the same
     // replica. That engine time must be counted once, not twice.
     TelemetryRecorder rec;
-    auto sink = rec.observerFor(0);
-    sink(obs(0.0, 2.0, 256, 0)); // cancelled, planned [0, 2)
-    sink(obs(1.0, 1.0, 256, 0)); // post-recovery, [1, 2)
-    sink(obs(1.5, 1.0, 256, 0)); // [1.5, 2.5)
-    EXPECT_NEAR(rec.utilization(0.0, 2.5), 1.0, 1e-9);
+    auto sink = rec.observerFor(ReplicaId{0});
+    sink(obs(SimTime{0.0}, 2.0, 256, 0)); // cancelled, planned [0, 2)
+    sink(obs(SimTime{1.0}, 1.0, 256, 0)); // post-recovery, [1, 2)
+    sink(obs(SimTime{1.5}, 1.0, 256, 0)); // [1.5, 2.5)
+    EXPECT_NEAR(rec.utilization(SimTime{0.0}, SimTime{2.5}), 1.0, 1e-9);
     // And the merge respects window clipping.
-    EXPECT_NEAR(rec.utilization(0.5, 2.0), 1.0, 1e-9);
+    EXPECT_NEAR(rec.utilization(SimTime{0.5}, SimTime{2.0}), 1.0, 1e-9);
 }
 
 TEST(Telemetry, UtilizationOverlapAcrossReplicasStillSums)
@@ -106,16 +106,16 @@ TEST(Telemetry, UtilizationOverlapAcrossReplicasStillSums)
     // Identical intervals on *different* replicas are genuinely
     // concurrent engine time: they sum, never merge.
     TelemetryRecorder rec;
-    rec.observerFor(0)(obs(0.0, 1.0, 256, 0));
-    rec.observerFor(1)(obs(0.0, 1.0, 256, 0));
-    rec.observerFor(0)(obs(0.5, 1.0, 256, 0)); // overlaps replica 0 only
-    EXPECT_NEAR(rec.utilization(0.0, 2.0), (1.5 + 1.0) / 2.0, 1e-9);
+    rec.observerFor(ReplicaId{0})(obs(SimTime{0.0}, 1.0, 256, 0));
+    rec.observerFor(ReplicaId{1})(obs(SimTime{0.0}, 1.0, 256, 0));
+    rec.observerFor(ReplicaId{0})(obs(SimTime{0.5}, 1.0, 256, 0)); // overlaps replica 0 only
+    EXPECT_NEAR(rec.utilization(SimTime{0.0}, SimTime{2.0}), (1.5 + 1.0) / 2.0, 1e-9);
 }
 
 TEST(Telemetry, CsvContainsReplicaTags)
 {
     TelemetryRecorder rec;
-    rec.observerFor(3)(obs(1.0, 0.05, 256, 7));
+    rec.observerFor(ReplicaId{3})(obs(SimTime{1.0}, 0.05, 256, 7));
     std::stringstream out;
     rec.writeCsv(out);
     std::string text = out.str();
@@ -135,8 +135,8 @@ TEST(Telemetry, IntegratesWithClusterReplicas)
     });
 
     TelemetryRecorder rec;
-    sim.replica(0).setBatchObserver(rec.observerFor(0));
-    sim.replica(1).setBatchObserver(rec.observerFor(1));
+    sim.replica(0).setBatchObserver(rec.observerFor(ReplicaId{0}));
+    sim.replica(1).setBatchObserver(rec.observerFor(ReplicaId{1}));
     sim.run();
 
     EXPECT_EQ(rec.size(),

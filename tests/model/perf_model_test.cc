@@ -49,7 +49,7 @@ TEST_F(PerfModelTest, WeightStreamingFloorsSmallBatches)
     double weight_floor =
         static_cast<double>(llama3_8b().weightBytes()) /
         (a100_80gb().memBandwidth * model_.params().weightBwEff);
-    EXPECT_GE(model_.linearTime(1), weight_floor);
+    EXPECT_GE(model_.linearTime(TokenCount{1}), weight_floor);
 }
 
 TEST_F(PerfModelTest, LargeBatchesAreComputeBound)
@@ -59,7 +59,7 @@ TEST_F(PerfModelTest, LargeBatchesAreComputeBound)
     std::int64_t tokens = 8192;
     double ideal = 2.0 * 8.03e9 * tokens /
                    (312e12 * model_.params().mfuMax);
-    double actual = model_.linearTime(tokens);
+    double actual = model_.linearTime(TokenCount{tokens});
     EXPECT_NEAR(actual, ideal, 0.05 * ideal);
 }
 
@@ -83,14 +83,14 @@ TEST_F(PerfModelTest, DecodeAttentionScalesWithKvBytes)
 TEST_F(PerfModelTest, TensorParallelismSpeedsUpLinear)
 {
     PerfModel tp2(ReplicaHwConfig{llama3_8b(), a100_80gb(), 2});
-    EXPECT_LT(tp2.linearTime(2048), model_.linearTime(2048));
+    EXPECT_LT(tp2.linearTime(TokenCount{2048}), model_.linearTime(TokenCount{2048}));
 }
 
 TEST_F(PerfModelTest, Tp1HasNoCommunicationCost)
 {
-    EXPECT_EQ(model_.commTime(1024), 0.0);
+    EXPECT_EQ(model_.commTime(TokenCount{1024}), 0.0);
     PerfModel tp2(ReplicaHwConfig{llama3_8b(), a100_80gb(), 2});
-    EXPECT_GT(tp2.commTime(1024), 0.0);
+    EXPECT_GT(tp2.commTime(TokenCount{1024}), 0.0);
 }
 
 TEST_F(PerfModelTest, H100FasterThanA100)

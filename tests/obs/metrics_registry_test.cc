@@ -49,7 +49,7 @@ TEST(MetricsRegistry, CsvColumnsAreNameOrderedWithHistogramExpansion)
     reg.gauge("z_depth") = 1.0;
     reg.counter("a_count") = 2;
     reg.histogram("m_occ", {1.0, 4.0}).observe(3.0);
-    reg.snapshot(0.0);
+    reg.snapshot(SimTime{0.0});
 
     std::stringstream out;
     reg.writeCsv(out);
@@ -67,9 +67,9 @@ TEST(MetricsRegistry, LateRegisteredCellsBackfillZero)
 {
     MetricsRegistry reg;
     reg.gauge("early") = 1.0;
-    reg.snapshot(0.0);
+    reg.snapshot(SimTime{0.0});
     reg.gauge("late") = 5.0;
-    reg.snapshot(1.0);
+    reg.snapshot(SimTime{1.0});
 
     std::stringstream out;
     reg.writeCsv(out);
@@ -88,7 +88,7 @@ TEST(MetricsSampler, SamplesOnCadenceAndStopsWithTheSimulation)
     MetricsRegistry reg;
     // The "simulation": events at t = 0.5, 3.5, 9.0.
     int work = 0;
-    for (SimTime t : {0.5, 3.5, 9.0})
+    for (SimTime t : {SimTime{0.5}, SimTime{3.5}, SimTime{9.0}})
         eq.schedule(t, [&] { ++work; });
 
     MetricsSampler sampler(eq, reg, 2.0, [&](MetricsRegistry &r,

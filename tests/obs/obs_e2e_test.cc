@@ -99,7 +99,7 @@ TEST(ObsE2e, PhaseTilingCoversEveryServedRequest)
     for (const RequestRecord &rec : metrics.records()) {
         if (rec.rejected)
             continue;
-        auto it = timelines.find(rec.spec.id);
+        auto it = timelines.find(RequestId{rec.spec.id});
         ASSERT_NE(it, timelines.end()) << rec.spec.id;
         const RequestTimeline &tl = it->second;
         if (tl.spans.empty())
@@ -177,7 +177,7 @@ TEST(ObsE2e, ExplainReportNamesEveryViolatedRequest)
             rec.spec.tierId)];
         ExplainRecord er;
         er.id = rec.spec.id;
-        er.arrival = rec.spec.arrival;
+        er.arrival = SimTime{rec.spec.arrival};
         er.tierId = rec.spec.tierId;
         er.ttft = rec.firstTokenTime - rec.spec.arrival;
         er.ttlt = rec.finishTime - rec.spec.arrival;

@@ -26,13 +26,13 @@ std::vector<TraceEvent>
 servedStream()
 {
     return {
-        ev(TraceEventKind::Arrival, 0.0, 1, -1),
-        ev(TraceEventKind::Dispatch, 0.0, 1, 0),
-        ev(TraceEventKind::ChunkStart, 1.0, 1, 0, 512),
-        ev(TraceEventKind::ChunkEnd, 2.0, 1, 0, 100), // 100 left
-        ev(TraceEventKind::ChunkStart, 3.0, 1, 0, 100),
-        ev(TraceEventKind::ChunkEnd, 4.0, 1, 0, 0), // prefill done
-        ev(TraceEventKind::Finish, 6.0, 1, 0),
+        ev(TraceEventKind::Arrival, SimTime{0.0}, 1, -1),
+        ev(TraceEventKind::Dispatch, SimTime{0.0}, 1, 0),
+        ev(TraceEventKind::ChunkStart, SimTime{1.0}, 1, 0, 512),
+        ev(TraceEventKind::ChunkEnd, SimTime{2.0}, 1, 0, 100), // 100 left
+        ev(TraceEventKind::ChunkStart, SimTime{3.0}, 1, 0, 100),
+        ev(TraceEventKind::ChunkEnd, SimTime{4.0}, 1, 0, 0), // prefill done
+        ev(TraceEventKind::Finish, SimTime{6.0}, 1, 0),
     };
 }
 
@@ -40,10 +40,10 @@ TEST(TraceExport, TimelineTilesServedLifetimeWithoutGaps)
 {
     auto timelines = buildRequestTimelines(servedStream());
     ASSERT_EQ(timelines.size(), 1u);
-    const RequestTimeline &tl = timelines.at(1);
+    const RequestTimeline &tl = timelines.at(RequestId{1});
 
-    EXPECT_EQ(tl.arrival, 0.0);
-    EXPECT_EQ(tl.finish, 6.0);
+    EXPECT_EQ(tl.arrival, SimTime{0.0});
+    EXPECT_EQ(tl.finish, SimTime{6.0});
     EXPECT_FALSE(tl.rejected);
     EXPECT_EQ(tl.failures, 0);
 
@@ -55,16 +55,16 @@ TEST(TraceExport, TimelineTilesServedLifetimeWithoutGaps)
     EXPECT_EQ(tl.spans[4].phase, TracePhase::Decode);
 
     // Gap-free: every span opens where the previous one closed.
-    EXPECT_EQ(tl.spans.front().begin, 0.0);
+    EXPECT_EQ(tl.spans.front().begin, SimTime{0.0});
     for (std::size_t i = 1; i < tl.spans.size(); ++i)
         EXPECT_EQ(tl.spans[i].begin, tl.spans[i - 1].end) << i;
-    EXPECT_EQ(tl.spans.back().end, 6.0);
+    EXPECT_EQ(tl.spans.back().end, SimTime{6.0});
 }
 
 TEST(TraceExport, BreakdownAttributesEverything)
 {
     auto timelines = buildRequestTimelines(servedStream());
-    PhaseBreakdown bd = breakdownFor(timelines.at(1), 0.0);
+    PhaseBreakdown bd = breakdownFor(timelines.at(RequestId{1}), SimTime{0.0});
     EXPECT_TRUE(bd.served);
     EXPECT_EQ(bd.endToEnd, 6.0);
     EXPECT_EQ(bd.seconds[static_cast<int>(TracePhase::Queued)], 1.0);
@@ -78,42 +78,42 @@ TEST(TraceExport, BreakdownAttributesEverything)
 TEST(TraceExport, PreemptionOpensStalledSpan)
 {
     auto timelines = buildRequestTimelines({
-        ev(TraceEventKind::Dispatch, 0.0, 1, 0),
-        ev(TraceEventKind::ChunkStart, 1.0, 1, 0, 256),
-        ev(TraceEventKind::Preempt, 2.0, 1, 0),
-        ev(TraceEventKind::ChunkStart, 5.0, 1, 0, 256),
-        ev(TraceEventKind::ChunkEnd, 6.0, 1, 0, 0),
-        ev(TraceEventKind::Finish, 7.0, 1, 0),
+        ev(TraceEventKind::Dispatch, SimTime{0.0}, 1, 0),
+        ev(TraceEventKind::ChunkStart, SimTime{1.0}, 1, 0, 256),
+        ev(TraceEventKind::Preempt, SimTime{2.0}, 1, 0),
+        ev(TraceEventKind::ChunkStart, SimTime{5.0}, 1, 0, 256),
+        ev(TraceEventKind::ChunkEnd, SimTime{6.0}, 1, 0, 0),
+        ev(TraceEventKind::Finish, SimTime{7.0}, 1, 0),
     });
-    const RequestTimeline &tl = timelines.at(1);
+    const RequestTimeline &tl = timelines.at(RequestId{1});
     ASSERT_EQ(tl.spans.size(), 5u);
     EXPECT_EQ(tl.spans[2].phase, TracePhase::Preempted);
-    EXPECT_EQ(tl.spans[2].begin, 2.0);
-    EXPECT_EQ(tl.spans[2].end, 5.0);
+    EXPECT_EQ(tl.spans[2].begin, SimTime{2.0});
+    EXPECT_EQ(tl.spans[2].end, SimTime{5.0});
 }
 
 TEST(TraceExport, CrashRetryOpensRetrySpanAndCountsFailures)
 {
     auto timelines = buildRequestTimelines({
-        ev(TraceEventKind::Dispatch, 0.0, 1, 0),
-        ev(TraceEventKind::RequestFailed, 2.0, 1, 0),
-        ev(TraceEventKind::RetryQueued, 2.0, 1, -1, 1),
+        ev(TraceEventKind::Dispatch, SimTime{0.0}, 1, 0),
+        ev(TraceEventKind::RequestFailed, SimTime{2.0}, 1, 0),
+        ev(TraceEventKind::RetryQueued, SimTime{2.0}, 1, -1, 1),
         // A second RetryQueued from inside the retry phase (all
         // replicas down) must extend, not restart, the span.
-        ev(TraceEventKind::RetryQueued, 3.0, 1, -1, 2),
-        ev(TraceEventKind::Dispatch, 4.0, 1, 1, 2),
-        ev(TraceEventKind::ChunkStart, 4.5, 1, 1, 64),
-        ev(TraceEventKind::ChunkEnd, 5.0, 1, 1, 0),
-        ev(TraceEventKind::Finish, 5.5, 1, 1),
+        ev(TraceEventKind::RetryQueued, SimTime{3.0}, 1, -1, 2),
+        ev(TraceEventKind::Dispatch, SimTime{4.0}, 1, 1, 2),
+        ev(TraceEventKind::ChunkStart, SimTime{4.5}, 1, 1, 64),
+        ev(TraceEventKind::ChunkEnd, SimTime{5.0}, 1, 1, 0),
+        ev(TraceEventKind::Finish, SimTime{5.5}, 1, 1),
     });
-    const RequestTimeline &tl = timelines.at(1);
+    const RequestTimeline &tl = timelines.at(RequestId{1});
     EXPECT_EQ(tl.failures, 1);
     EXPECT_FALSE(tl.abandoned);
     ASSERT_EQ(tl.spans.size(), 5u);
     EXPECT_EQ(tl.spans[0].phase, TracePhase::Queued);
     EXPECT_EQ(tl.spans[1].phase, TracePhase::Retry);
-    EXPECT_EQ(tl.spans[1].begin, 2.0);
-    EXPECT_EQ(tl.spans[1].end, 4.0);
+    EXPECT_EQ(tl.spans[1].begin, SimTime{2.0});
+    EXPECT_EQ(tl.spans[1].end, SimTime{4.0});
     EXPECT_EQ(tl.spans[1].replica, -1);
     EXPECT_EQ(tl.spans[2].phase, TracePhase::Queued);
     EXPECT_EQ(tl.spans[2].replica, 1);
@@ -122,26 +122,26 @@ TEST(TraceExport, CrashRetryOpensRetrySpanAndCountsFailures)
 TEST(TraceExport, AbandonmentClosesTheTimeline)
 {
     auto timelines = buildRequestTimelines({
-        ev(TraceEventKind::Dispatch, 0.0, 1, 0),
-        ev(TraceEventKind::RequestFailed, 1.0, 1, 0),
-        ev(TraceEventKind::RetryQueued, 1.0, 1, -1, 1),
-        ev(TraceEventKind::RetryExhausted, 3.0, 1, -1, 1),
+        ev(TraceEventKind::Dispatch, SimTime{0.0}, 1, 0),
+        ev(TraceEventKind::RequestFailed, SimTime{1.0}, 1, 0),
+        ev(TraceEventKind::RetryQueued, SimTime{1.0}, 1, -1, 1),
+        ev(TraceEventKind::RetryExhausted, SimTime{3.0}, 1, -1, 1),
     });
-    const RequestTimeline &tl = timelines.at(1);
+    const RequestTimeline &tl = timelines.at(RequestId{1});
     EXPECT_TRUE(tl.abandoned);
     ASSERT_EQ(tl.spans.size(), 2u);
     EXPECT_EQ(tl.spans.back().phase, TracePhase::Retry);
-    EXPECT_EQ(tl.spans.back().end, 3.0);
-    EXPECT_EQ(tl.lastSpanEnd(), 3.0);
+    EXPECT_EQ(tl.spans.back().end, SimTime{3.0});
+    EXPECT_EQ(tl.lastSpanEnd(), SimTime{3.0});
 }
 
 TEST(TraceExport, RejectionYieldsNoSpans)
 {
     auto timelines = buildRequestTimelines({
-        ev(TraceEventKind::Arrival, 1.0, 7, -1),
-        ev(TraceEventKind::AdmissionReject, 1.0, 7, -1),
+        ev(TraceEventKind::Arrival, SimTime{1.0}, 7, -1),
+        ev(TraceEventKind::AdmissionReject, SimTime{1.0}, 7, -1),
     });
-    const RequestTimeline &tl = timelines.at(7);
+    const RequestTimeline &tl = timelines.at(RequestId{7});
     EXPECT_TRUE(tl.rejected);
     EXPECT_TRUE(tl.spans.empty());
     EXPECT_EQ(tl.lastSpanEnd(), kTimeNever);
@@ -150,28 +150,28 @@ TEST(TraceExport, RejectionYieldsNoSpans)
 TEST(TraceExport, TruncatedStreamClosesOpenSpansAtStreamEnd)
 {
     auto timelines = buildRequestTimelines({
-        ev(TraceEventKind::Dispatch, 0.0, 1, 0),
-        ev(TraceEventKind::ChunkStart, 1.0, 1, 0, 256),
-        ev(TraceEventKind::IterStart, 2.0, kNoTraceRequest, 0, 256, 1),
+        ev(TraceEventKind::Dispatch, SimTime{0.0}, 1, 0),
+        ev(TraceEventKind::ChunkStart, SimTime{1.0}, 1, 0, 256),
+        ev(TraceEventKind::IterStart, SimTime{2.0}, kNoTraceRequest, 0, 256, 1),
     });
-    const RequestTimeline &tl = timelines.at(1);
+    const RequestTimeline &tl = timelines.at(RequestId{1});
     ASSERT_EQ(tl.spans.size(), 2u);
     EXPECT_EQ(tl.spans.back().phase, TracePhase::Prefill);
-    EXPECT_EQ(tl.spans.back().end, 2.0); // last stream timestamp
+    EXPECT_EQ(tl.spans.back().end, SimTime{2.0}); // last stream timestamp
 }
 
 TEST(TraceExport, CacheHitsAccumulateTokens)
 {
     auto timelines = buildRequestTimelines({
-        ev(TraceEventKind::Dispatch, 0.0, 1, 0),
-        ev(TraceEventKind::CacheHit, 0.0, 1, 0, 128),
-        ev(TraceEventKind::RequestFailed, 1.0, 1, 0),
-        ev(TraceEventKind::RetryQueued, 1.0, 1, -1, 1),
-        ev(TraceEventKind::Dispatch, 2.0, 1, 1, 1),
-        ev(TraceEventKind::CacheHit, 2.0, 1, 1, 64),
-        ev(TraceEventKind::Finish, 3.0, 1, 1),
+        ev(TraceEventKind::Dispatch, SimTime{0.0}, 1, 0),
+        ev(TraceEventKind::CacheHit, SimTime{0.0}, 1, 0, 128),
+        ev(TraceEventKind::RequestFailed, SimTime{1.0}, 1, 0),
+        ev(TraceEventKind::RetryQueued, SimTime{1.0}, 1, -1, 1),
+        ev(TraceEventKind::Dispatch, SimTime{2.0}, 1, 1, 1),
+        ev(TraceEventKind::CacheHit, SimTime{2.0}, 1, 1, 64),
+        ev(TraceEventKind::Finish, SimTime{3.0}, 1, 1),
     });
-    EXPECT_EQ(timelines.at(1).cachedTokens, 128 + 64);
+    EXPECT_EQ(timelines.at(RequestId{1}).cachedTokens, 128 + 64);
 }
 
 /** Count occurrences of @p needle in @p text. */
@@ -191,11 +191,11 @@ TEST(TraceExport, PerfettoJsonBalancesDurationPairs)
     // Engine iterations plus a crash-truncated open chunk on another
     // request: the exporter must still balance every B with an E.
     events.push_back(
-        ev(TraceEventKind::IterStart, 6.0, kNoTraceRequest, 0, 512, 2));
+        ev(TraceEventKind::IterStart, SimTime{6.0}, kNoTraceRequest, 0, 512, 2));
     events.push_back(
-        ev(TraceEventKind::IterEnd, 6.5, kNoTraceRequest, 0));
-    events.push_back(ev(TraceEventKind::Dispatch, 7.0, 2, 0));
-    events.push_back(ev(TraceEventKind::ChunkStart, 8.0, 2, 0, 64));
+        ev(TraceEventKind::IterEnd, SimTime{6.5}, kNoTraceRequest, 0));
+    events.push_back(ev(TraceEventKind::Dispatch, SimTime{7.0}, 2, 0));
+    events.push_back(ev(TraceEventKind::ChunkStart, SimTime{8.0}, 2, 0, 64));
 
     std::stringstream out;
     writePerfettoJson(events, out);
@@ -225,7 +225,7 @@ TEST(TraceExport, PerfettoSpuriousIterEndIsDropped)
     // unmatched E.
     std::stringstream out;
     writePerfettoJson(
-        {ev(TraceEventKind::IterEnd, 1.0, kNoTraceRequest, 0, 1)}, out);
+        {ev(TraceEventKind::IterEnd, SimTime{1.0}, kNoTraceRequest, 0, 1)}, out);
     EXPECT_EQ(countOf(out.str(), "\"ph\":\"E\""), 0u);
 }
 

@@ -19,7 +19,7 @@ TEST(TraceSink, ScopeWithoutSinkIsInert)
     TraceScope scope;
     EXPECT_FALSE(scope.on());
     scope.emit(TraceEventKind::Arrival, 7);
-    scope.emitOn(3, TraceEventKind::Dispatch, 7);
+    scope.emitOn(ReplicaId{3}, TraceEventKind::Dispatch, 7);
 }
 
 TEST(TraceSink, ScopeStampsClockAndReplica)
@@ -29,16 +29,16 @@ TEST(TraceSink, ScopeStampsClockAndReplica)
     TraceScope scope{&sink, &eq, 2};
     ASSERT_TRUE(scope.on());
 
-    eq.schedule(1.5, [&] {
+    eq.schedule(SimTime{1.5}, [&] {
         scope.emit(TraceEventKind::ChunkStart, 9, 256);
-        scope.emitOn(5, TraceEventKind::Dispatch, 9, 1);
+        scope.emitOn(ReplicaId{5}, TraceEventKind::Dispatch, 9, 1);
     });
     eq.run();
 
     ASSERT_EQ(sink.size(), 2u);
     const TraceEvent &chunk = sink.events()[0];
     EXPECT_EQ(chunk.kind, TraceEventKind::ChunkStart);
-    EXPECT_EQ(chunk.time, 1.5);
+    EXPECT_EQ(chunk.time, SimTime{1.5});
     EXPECT_EQ(chunk.request, 9u);
     EXPECT_EQ(chunk.replica, 2);
     EXPECT_EQ(chunk.arg, 256);
@@ -50,20 +50,20 @@ TEST(TraceSink, ScopeStampsClockAndReplica)
 TEST(TraceSinkDeathTest, OutOfOrderEmitPanics)
 {
     TraceSink sink;
-    sink.emit({TraceEventKind::Arrival, 2.0, 1, -1, 0, 0.0});
+    sink.emit({TraceEventKind::Arrival, SimTime{2.0}, 1, -1, 0, 0.0});
     EXPECT_DEATH(
-        sink.emit({TraceEventKind::Arrival, 1.0, 2, -1, 0, 0.0}),
+        sink.emit({TraceEventKind::Arrival, SimTime{1.0}, 2, -1, 0, 0.0}),
         "precedes the stream tail");
 }
 
 TEST(TraceSink, CsvRoundTripsExactly)
 {
     TraceSink sink;
-    sink.emit({TraceEventKind::Arrival, 0.0, 4, -1, 0, 0.0});
-    sink.emit({TraceEventKind::Dispatch, 1.0 / 3.0, 4, 1, 2, 0.0});
+    sink.emit({TraceEventKind::Arrival, SimTime{0.0}, 4, -1, 0, 0.0});
+    sink.emit({TraceEventKind::Dispatch, SimTime{1.0 / 3.0}, 4, 1, 2, 0.0});
     sink.emit(
-        {TraceEventKind::IterStart, 0.5, kNoTraceRequest, 1, 512, 3.0});
-    sink.emit({TraceEventKind::StragglerStart, 0.75, kNoTraceRequest, 0,
+        {TraceEventKind::IterStart, SimTime{0.5}, kNoTraceRequest, 1, 512, 3.0});
+    sink.emit({TraceEventKind::StragglerStart, SimTime{0.75}, kNoTraceRequest, 0,
                0, 2.5});
 
     std::stringstream buffer;
@@ -77,7 +77,7 @@ TEST(TraceSink, CsvRoundTripsExactly)
 TEST(TraceSink, CsvEncodesNoRequestAsMinusOne)
 {
     TraceSink sink;
-    sink.emit({TraceEventKind::Crash, 1.0, kNoTraceRequest, 2, 0, 0.0});
+    sink.emit({TraceEventKind::Crash, SimTime{1.0}, kNoTraceRequest, 2, 0, 0.0});
     std::stringstream buffer;
     sink.writeCsv(buffer);
     EXPECT_NE(buffer.str().find("crash,1,-1,2,0,0"), std::string::npos)
@@ -89,7 +89,7 @@ TEST(TraceSink, EveryKindNameRoundTrips)
     TraceSink sink;
     for (int k = 0; k < kTraceEventKinds; ++k) {
         sink.emit({static_cast<TraceEventKind>(k),
-                   static_cast<double>(k), 1, 0, 0, 0.0});
+                   SimTime{static_cast<double>(k)}, 1, 0, 0, 0.0});
     }
     std::stringstream buffer;
     sink.writeCsv(buffer);

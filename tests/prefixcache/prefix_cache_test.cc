@@ -48,22 +48,22 @@ describe(const InvariantAuditor &auditor)
 
 TEST(PrefixBlockKeys, OneKeyPerFullBlock)
 {
-    auto keys = prefixBlockKeys(spec(1, {{7, 100}}), kB);
+    auto keys = prefixBlockKeys(spec(1, {{7, 100}}), TokenCount{kB});
     EXPECT_EQ(keys.size(), 6u); // floor(100 / 16)
-    EXPECT_TRUE(prefixBlockKeys(spec(2, {{7, 15}}), kB).empty());
+    EXPECT_TRUE(prefixBlockKeys(spec(2, {{7, 15}}), TokenCount{kB}).empty());
 }
 
 TEST(PrefixBlockKeys, EqualContentGivesEqualKeys)
 {
-    auto a = prefixBlockKeys(spec(1, {{7, 64}, {9, 32}}), kB);
-    auto b = prefixBlockKeys(spec(2, {{7, 64}, {9, 32}}), kB);
+    auto a = prefixBlockKeys(spec(1, {{7, 64}, {9, 32}}), TokenCount{kB});
+    auto b = prefixBlockKeys(spec(2, {{7, 64}, {9, 32}}), TokenCount{kB});
     EXPECT_EQ(a, b);
 }
 
 TEST(PrefixBlockKeys, KeysDivergeAtTheFirstDifferingSegment)
 {
-    auto a = prefixBlockKeys(spec(1, {{7, 64}, {9, 32}}), kB);
-    auto b = prefixBlockKeys(spec(2, {{7, 64}, {11, 32}}), kB);
+    auto a = prefixBlockKeys(spec(1, {{7, 64}, {9, 32}}), TokenCount{kB});
+    auto b = prefixBlockKeys(spec(2, {{7, 64}, {11, 32}}), TokenCount{kB});
     ASSERT_EQ(a.size(), 6u);
     ASSERT_EQ(b.size(), 6u);
     // Blocks fully inside the common segment agree...
@@ -76,13 +76,13 @@ TEST(PrefixBlockKeys, KeysDivergeAtTheFirstDifferingSegment)
 
 TEST(PrefixBlockKeys, UniquePromptsNeverCollide)
 {
-    auto a = prefixBlockKeys(uniqueSpec(1, 64), kB);
-    auto b = prefixBlockKeys(uniqueSpec(2, 64), kB);
+    auto a = prefixBlockKeys(uniqueSpec(1, 64), TokenCount{kB});
+    auto b = prefixBlockKeys(uniqueSpec(2, 64), TokenCount{kB});
     ASSERT_EQ(a.size(), 4u);
     for (std::size_t i = 0; i < a.size(); ++i)
         EXPECT_NE(a[i], b[i]) << "block " << i;
     // But the same request replayed keys identically.
-    EXPECT_EQ(a, prefixBlockKeys(uniqueSpec(1, 64), kB));
+    EXPECT_EQ(a, prefixBlockKeys(uniqueSpec(1, 64), TokenCount{kB}));
 }
 
 /** Drive one request through its lifecycle: attach at admission,
@@ -92,20 +92,20 @@ serveRequest(BlockManager &kv, PrefixCache &cache, KvOwnerId owner,
              const RequestSpec &s, SimTime now)
 {
     int cached = cache.attach(owner, s, now);
-    EXPECT_TRUE(kv.grow(owner, s.promptTokens - cached));
+    EXPECT_TRUE(kv.grow(owner, TokenCount{s.promptTokens - cached}));
     cache.insert(owner, s, now);
     return cached;
 }
 
 TEST(PrefixCache, DisabledCacheIsInert)
 {
-    BlockManager kv(320, kB);
+    BlockManager kv(TokenCount{320}, TokenCount{kB});
     PrefixCache cache(kv, PrefixCacheConfig{});
     EXPECT_FALSE(cache.enabled());
     RequestSpec s = spec(1, {{7, 64}});
-    EXPECT_EQ(cache.attach(1, s, 0.0), 0);
-    ASSERT_TRUE(kv.grow(1, 64));
-    cache.insert(1, s, 0.0);
+    EXPECT_EQ(cache.attach(1, s, SimTime{0.0}), 0);
+    ASSERT_TRUE(kv.grow(1, TokenCount{64}));
+    cache.insert(1, s, SimTime{0.0});
     EXPECT_EQ(cache.nodeCount(), 0u);
     EXPECT_EQ(cache.stats().lookups, 0);
     EXPECT_EQ(kv.sharedBlockCount(), 0);
@@ -116,14 +116,14 @@ TEST(PrefixCache, DisabledCacheIsInert)
 
 TEST(PrefixCache, InsertPopulatesTreeAndAttachReusesIt)
 {
-    BlockManager kv(320, kB); // 20 blocks
+    BlockManager kv(TokenCount{320}, TokenCount{kB}); // 20 blocks
     PrefixCacheConfig cfg;
     cfg.enabled = true;
     PrefixCache cache(kv, cfg);
 
     // First request misses and contributes its 4 full prompt blocks.
     RequestSpec first = spec(1, {{7, 64}, {9, 32}});
-    EXPECT_EQ(serveRequest(kv, cache, 1, first, 1.0), 0);
+    EXPECT_EQ(serveRequest(kv, cache, 1, first, SimTime{1.0}), 0);
     EXPECT_EQ(cache.nodeCount(), 6u);
     EXPECT_EQ(cache.stats().lookups, 1);
     EXPECT_EQ(cache.stats().hits, 0);
@@ -133,7 +133,7 @@ TEST(PrefixCache, InsertPopulatesTreeAndAttachReusesIt)
     // A second request sharing only the system prompt reuses the
     // four blocks of that segment.
     RequestSpec second = spec(2, {{7, 64}, {11, 32}});
-    int cached = cache.attach(2, second, 2.0);
+    int cached = cache.attach(2, second, SimTime{2.0});
     EXPECT_EQ(cached, 64);
     EXPECT_EQ(cache.stats().hits, 1);
     EXPECT_EQ(cache.stats().tokensAttached, 64);
@@ -144,20 +144,20 @@ TEST(PrefixCache, InsertPopulatesTreeAndAttachReusesIt)
 
 TEST(PrefixCache, FullPromptMatchCowCopiesTheTail)
 {
-    BlockManager kv(320, kB);
+    BlockManager kv(TokenCount{320}, TokenCount{kB});
     PrefixCacheConfig cfg;
     cfg.enabled = true;
     PrefixCache cache(kv, cfg);
 
     RequestSpec s = spec(1, {{7, 64}});
-    serveRequest(kv, cache, 1, s, 1.0);
+    serveRequest(kv, cache, 1, s, SimTime{1.0});
     kv.release(1);
 
     // Identical prompt: the match covers all 64 tokens but the attach
     // is capped at 63 so one real prefill token remains; the partial
     // fourth block is copied privately (COW).
     RequestSpec again = spec(2, {{7, 64}});
-    int cached = cache.attach(2, again, 2.0);
+    int cached = cache.attach(2, again, SimTime{2.0});
     EXPECT_EQ(cached, 63);
     EXPECT_EQ(cache.stats().cowCopies, 1);
     EXPECT_EQ(kv.sharedTokens(2), 48); // 3 full shared blocks
@@ -165,8 +165,8 @@ TEST(PrefixCache, FullPromptMatchCowCopiesTheTail)
 
     // Finishing the prefill dedups the recomputed fourth block onto
     // the cached copy instead of inserting a duplicate.
-    ASSERT_TRUE(kv.grow(2, 1));
-    cache.insert(2, again, 2.0);
+    ASSERT_TRUE(kv.grow(2, TokenCount{1}));
+    cache.insert(2, again, SimTime{2.0});
     EXPECT_EQ(cache.nodeCount(), 4u);
     EXPECT_EQ(kv.sharedTokens(2), 64);
     EXPECT_EQ(kv.ownedTokens(2), 0);
@@ -174,14 +174,14 @@ TEST(PrefixCache, FullPromptMatchCowCopiesTheTail)
 
 TEST(PrefixCache, CowTailNeedsAFreeBlock)
 {
-    BlockManager kv(64, kB); // 4 blocks
+    BlockManager kv(TokenCount{64}, TokenCount{kB}); // 4 blocks
     PrefixCacheConfig cfg;
     cfg.enabled = true;
     cfg.capacityFrac = 1.0;
     PrefixCache cache(kv, cfg);
 
     RequestSpec s = spec(1, {{7, 64}});
-    serveRequest(kv, cache, 1, s, 1.0);
+    serveRequest(kv, cache, 1, s, SimTime{1.0});
     kv.release(1);
     ASSERT_EQ(kv.freeBlocks(), 0);
 
@@ -189,7 +189,7 @@ TEST(PrefixCache, CowTailNeedsAFreeBlock)
     // part of the match attaches, but the COW tail is dropped rather
     // than evicting (the eviction could reclaim the very block the
     // copy reads from).
-    int cached = cache.attach(2, spec(2, {{7, 64}}), 2.0);
+    int cached = cache.attach(2, spec(2, {{7, 64}}), SimTime{2.0});
     EXPECT_EQ(cached, 48);
     EXPECT_EQ(cache.stats().cowCopies, 0);
     EXPECT_EQ(kv.ownedTokens(2), 0);
@@ -197,12 +197,12 @@ TEST(PrefixCache, CowTailNeedsAFreeBlock)
 
 TEST(PrefixCache, ProbeMatchesAttachWithoutSideEffects)
 {
-    BlockManager kv(320, kB);
+    BlockManager kv(TokenCount{320}, TokenCount{kB});
     PrefixCacheConfig cfg;
     cfg.enabled = true;
     PrefixCache cache(kv, cfg);
 
-    serveRequest(kv, cache, 1, spec(1, {{7, 64}, {9, 32}}), 1.0);
+    serveRequest(kv, cache, 1, spec(1, {{7, 64}, {9, 32}}), SimTime{1.0});
     kv.release(1);
 
     RequestSpec partial = spec(2, {{7, 64}, {11, 32}});
@@ -218,19 +218,19 @@ TEST(PrefixCache, ProbeMatchesAttachWithoutSideEffects)
     EXPECT_EQ(kv.numOwners(), 0u);
 
     // And probe agrees with what attach then delivers.
-    EXPECT_EQ(cache.attach(2, partial, 2.0), 64);
+    EXPECT_EQ(cache.attach(2, partial, SimTime{2.0}), 64);
 }
 
 TEST(PrefixCache, EvictionIsLruLeafOnlyWithIdTieBreak)
 {
-    BlockManager kv(320, kB);
+    BlockManager kv(TokenCount{320}, TokenCount{kB});
     PrefixCacheConfig cfg;
     cfg.enabled = true;
     PrefixCache cache(kv, cfg);
 
     // Two chains inserted at distinct times, then both released.
-    serveRequest(kv, cache, 1, spec(1, {{7, 32}}), 1.0);  // blocks A0<A1
-    serveRequest(kv, cache, 2, spec(2, {{9, 32}}), 2.0);  // blocks B0<B1
+    serveRequest(kv, cache, 1, spec(1, {{7, 32}}), SimTime{1.0});  // blocks A0<A1
+    serveRequest(kv, cache, 2, spec(2, {{9, 32}}), SimTime{2.0});  // blocks B0<B1
     kv.release(1);
     kv.release(2);
     auto table = kv.sharedBlockTable();
@@ -260,18 +260,18 @@ TEST(PrefixCache, EvictionIsLruLeafOnlyWithIdTieBreak)
 
 TEST(PrefixCache, AttachRefreshesLruOrder)
 {
-    BlockManager kv(320, kB);
+    BlockManager kv(TokenCount{320}, TokenCount{kB});
     PrefixCacheConfig cfg;
     cfg.enabled = true;
     PrefixCache cache(kv, cfg);
 
-    serveRequest(kv, cache, 1, spec(1, {{7, 16}}), 1.0);
-    serveRequest(kv, cache, 2, spec(2, {{9, 16}}), 2.0);
+    serveRequest(kv, cache, 1, spec(1, {{7, 16}}), SimTime{1.0});
+    serveRequest(kv, cache, 2, spec(2, {{9, 16}}), SimTime{2.0});
     kv.release(1);
     kv.release(2);
 
     // Touch the older chain: a hit at t=10 makes it the newer one.
-    EXPECT_EQ(cache.attach(3, spec(3, {{7, 32}}), 10.0), 16);
+    EXPECT_EQ(cache.attach(3, spec(3, {{7, 32}}), SimTime{10.0}), 16);
     kv.release(3);
 
     // Eviction now reclaims the untouched chain (content 9) first.
@@ -285,12 +285,12 @@ TEST(PrefixCache, AttachRefreshesLruOrder)
 
 TEST(PrefixCache, PinnedBlocksAreNotEvictable)
 {
-    BlockManager kv(320, kB);
+    BlockManager kv(TokenCount{320}, TokenCount{kB});
     PrefixCacheConfig cfg;
     cfg.enabled = true;
     PrefixCache cache(kv, cfg);
 
-    serveRequest(kv, cache, 1, spec(1, {{7, 32}}), 1.0);
+    serveRequest(kv, cache, 1, spec(1, {{7, 32}}), SimTime{1.0});
     // Owner 1 still references both blocks: nothing can be evicted.
     EXPECT_EQ(cache.evictBlocks(2), 0);
     EXPECT_EQ(cache.nodeCount(), 2u);
@@ -300,7 +300,7 @@ TEST(PrefixCache, PinnedBlocksAreNotEvictable)
 
 TEST(PrefixCache, InsertCachesOnlyWhatTheWatermarkAllows)
 {
-    BlockManager kv(128, kB); // 8 blocks
+    BlockManager kv(TokenCount{128}, TokenCount{kB}); // 8 blocks
     PrefixCacheConfig cfg;
     cfg.enabled = true;
     cfg.capacityFrac = 0.25; // watermark: 2 blocks
@@ -309,9 +309,9 @@ TEST(PrefixCache, InsertCachesOnlyWhatTheWatermarkAllows)
     // The owner still pins every cached block, so the insert cannot
     // evict its way to room: only the leading two blocks enter.
     RequestSpec s = spec(1, {{7, 64}});
-    EXPECT_EQ(cache.attach(1, s, 1.0), 0);
-    ASSERT_TRUE(kv.grow(1, 64));
-    cache.insert(1, s, 1.0);
+    EXPECT_EQ(cache.attach(1, s, SimTime{1.0}), 0);
+    ASSERT_TRUE(kv.grow(1, TokenCount{64}));
+    cache.insert(1, s, SimTime{1.0});
     EXPECT_EQ(cache.nodeCount(), 2u);
     EXPECT_EQ(kv.cacheHeldBlocks(), 2);
     EXPECT_EQ(kv.sharedTokens(1), 32);
@@ -320,7 +320,7 @@ TEST(PrefixCache, InsertCachesOnlyWhatTheWatermarkAllows)
     // Once the pins are gone a new insert evicts the cold blocks to
     // make room for its own, still respecting the watermark.
     kv.release(1);
-    serveRequest(kv, cache, 2, spec(2, {{9, 64}}), 2.0);
+    serveRequest(kv, cache, 2, spec(2, {{9, 64}}), SimTime{2.0});
     EXPECT_EQ(cache.nodeCount(), 2u);
     EXPECT_EQ(kv.cacheHeldBlocks(), 2);
     EXPECT_EQ(cache.stats().blocksEvicted, 2);
@@ -328,12 +328,12 @@ TEST(PrefixCache, InsertCachesOnlyWhatTheWatermarkAllows)
 
 TEST(PrefixCache, DropAllForgetsTheTree)
 {
-    BlockManager kv(320, kB);
+    BlockManager kv(TokenCount{320}, TokenCount{kB});
     PrefixCacheConfig cfg;
     cfg.enabled = true;
     PrefixCache cache(kv, cfg);
 
-    serveRequest(kv, cache, 1, spec(1, {{7, 64}}), 1.0);
+    serveRequest(kv, cache, 1, spec(1, {{7, 64}}), SimTime{1.0});
     ASSERT_EQ(cache.nodeCount(), 4u);
 
     // The crash path: the manager releases every block, then the
@@ -345,19 +345,19 @@ TEST(PrefixCache, DropAllForgetsTheTree)
     EXPECT_TRUE(cache.auditView().treeBlocks.empty());
 
     // The rebuilt tree serves hits again.
-    serveRequest(kv, cache, 2, spec(2, {{7, 64}}), 2.0);
+    serveRequest(kv, cache, 2, spec(2, {{7, 64}}), SimTime{2.0});
     kv.release(2);
-    EXPECT_EQ(cache.attach(3, spec(3, {{7, 64}}), 3.0), 63);
+    EXPECT_EQ(cache.attach(3, spec(3, {{7, 64}}), SimTime{3.0}), 63);
 }
 
 TEST(PrefixCache, AuditViewMirrorsTheSharedTable)
 {
-    BlockManager kv(320, kB);
+    BlockManager kv(TokenCount{320}, TokenCount{kB});
     PrefixCacheConfig cfg;
     cfg.enabled = true;
     PrefixCache cache(kv, cfg);
 
-    serveRequest(kv, cache, 1, spec(1, {{7, 48}}), 1.0);
+    serveRequest(kv, cache, 1, spec(1, {{7, 48}}), SimTime{1.0});
     auto view = cache.auditView();
     EXPECT_TRUE(view.populated);
     EXPECT_EQ(view.nodeCount, 3u);
@@ -375,7 +375,7 @@ TEST(PrefixCache, AuditViewMirrorsTheSharedTable)
  */
 TEST(PrefixCache, RandomizedLifecycleKeepsInvariants)
 {
-    BlockManager kv(1024, kB); // 64 blocks
+    BlockManager kv(TokenCount{1024}, TokenCount{kB}); // 64 blocks
     PrefixCacheConfig cfg;
     cfg.enabled = true;
     cfg.capacityFrac = 0.4;
@@ -389,7 +389,7 @@ TEST(PrefixCache, RandomizedLifecycleKeepsInvariants)
     Rng rng(20240805);
     std::vector<std::pair<KvOwnerId, RequestSpec>> active;
     KvOwnerId next_owner = 1;
-    SimTime now = 0.0;
+    SimTime now;
 
     for (int step = 0; step < 400; ++step) {
         now += 0.25;
@@ -420,7 +420,7 @@ TEST(PrefixCache, RandomizedLifecycleKeepsInvariants)
             }
             int cached = cache.attach(owner, s, now);
             ASSERT_LE(cached, s.promptTokens - 1);
-            if (kv.grow(owner, s.promptTokens - cached)) {
+            if (kv.grow(owner, TokenCount{s.promptTokens - cached})) {
                 cache.insert(owner, s, now);
                 active.emplace_back(owner, s);
             } else {

@@ -25,12 +25,12 @@ class BaselineTest : public ::testing::Test
 TEST_F(BaselineTest, FcfsServesInArrivalOrder)
 {
     FcfsScheduler sched(fx_.env);
-    Request *late = fx_.makeRequest(1, 5.0, 300, 2, 0);
-    Request *early = fx_.makeRequest(2, 1.0, 300, 2, 0);
-    sched.enqueue(late, 5.0);
-    sched.enqueue(early, 5.0);
+    Request *late = fx_.makeRequest(1, SimTime{5.0}, 300, 2, 0);
+    Request *early = fx_.makeRequest(2, SimTime{1.0}, 300, 2, 0);
+    sched.enqueue(late, SimTime{5.0});
+    sched.enqueue(early, SimTime{5.0});
 
-    Batch batch = sched.formBatch(5.0);
+    Batch batch = sched.formBatch(SimTime{5.0});
     ASSERT_FALSE(batch.prefills.empty());
     EXPECT_EQ(batch.prefills[0].request, early);
 }
@@ -40,12 +40,12 @@ TEST_F(BaselineTest, EdfServesEarliestDeadlineFirst)
     EdfScheduler sched(fx_.env);
     // Q3 (TTLT 1800) arrives first; Q1 (TTFT 6 s) arrives later but
     // has the much earlier deadline.
-    Request *batch_req = fx_.makeRequest(1, 0.0, 300, 2, 2);
-    Request *urgent = fx_.makeRequest(2, 1.0, 300, 2, 0);
-    sched.enqueue(batch_req, 1.0);
-    sched.enqueue(urgent, 1.0);
+    Request *batch_req = fx_.makeRequest(1, SimTime{0.0}, 300, 2, 2);
+    Request *urgent = fx_.makeRequest(2, SimTime{1.0}, 300, 2, 0);
+    sched.enqueue(batch_req, SimTime{1.0});
+    sched.enqueue(urgent, SimTime{1.0});
 
-    Batch batch = sched.formBatch(1.0);
+    Batch batch = sched.formBatch(SimTime{1.0});
     ASSERT_FALSE(batch.prefills.empty());
     EXPECT_EQ(batch.prefills[0].request, urgent);
 }
@@ -53,12 +53,12 @@ TEST_F(BaselineTest, EdfServesEarliestDeadlineFirst)
 TEST_F(BaselineTest, SjfPrefersShortTotalJobs)
 {
     SjfScheduler sched(fx_.env);
-    Request *big = fx_.makeRequest(1, 0.0, 4000, 100, 1);
-    Request *small = fx_.makeRequest(2, 1.0, 200, 5, 1);
-    sched.enqueue(big, 1.0);
-    sched.enqueue(small, 1.0);
+    Request *big = fx_.makeRequest(1, SimTime{0.0}, 4000, 100, 1);
+    Request *small = fx_.makeRequest(2, SimTime{1.0}, 200, 5, 1);
+    sched.enqueue(big, SimTime{1.0});
+    sched.enqueue(small, SimTime{1.0});
 
-    Batch batch = sched.formBatch(1.0);
+    Batch batch = sched.formBatch(SimTime{1.0});
     ASSERT_FALSE(batch.prefills.empty());
     EXPECT_EQ(batch.prefills[0].request, small);
 }
@@ -66,24 +66,24 @@ TEST_F(BaselineTest, SjfPrefersShortTotalJobs)
 TEST_F(BaselineTest, SrpfPrefersLeastRemainingPrompt)
 {
     SrpfScheduler sched(fx_.env);
-    Request *big = fx_.makeRequest(1, 0.0, 4000, 2, 1);
-    Request *small = fx_.makeRequest(2, 1.0, 500, 2, 1);
-    sched.enqueue(big, 1.0);
-    sched.enqueue(small, 1.0);
+    Request *big = fx_.makeRequest(1, SimTime{0.0}, 4000, 2, 1);
+    Request *small = fx_.makeRequest(2, SimTime{1.0}, 500, 2, 1);
+    sched.enqueue(big, SimTime{1.0});
+    sched.enqueue(small, SimTime{1.0});
 
     // Small runs first despite arriving later.
-    Batch b1 = sched.formBatch(1.0);
+    Batch b1 = sched.formBatch(SimTime{1.0});
     EXPECT_EQ(b1.prefills[0].request, small);
 }
 
 TEST_F(BaselineTest, SrpfReordersAsRemainingShrinks)
 {
     SrpfScheduler sched(fx_.env);
-    Request *a = fx_.makeRequest(1, 0.0, 600, 2, 1);
-    sched.enqueue(a, 0.0);
+    Request *a = fx_.makeRequest(1, SimTime{0.0}, 600, 2, 1);
+    sched.enqueue(a, SimTime{0.0});
 
     // a runs down to 600-256*2 = 88 remaining over two iterations.
-    SimTime now = 0.0;
+    SimTime now;
     runIteration(sched, fx_.perf, now);
     runIteration(sched, fx_.perf, now);
     ASSERT_EQ(a->prefillRemaining(), 88);
@@ -119,10 +119,10 @@ TEST_F(BaselineTest, AllBaselinesCompleteAMixedWorkload)
         sched->setCompletionHandler([&](Request *) { ++completed; });
         for (int i = 0; i < 12; ++i) {
             sched->enqueue(
-                fx.makeRequest(i, 0.0, 200 + 137 * i, 2 + i % 5, i % 3),
-                0.0);
+                fx.makeRequest(i, SimTime{0.0}, 200 + 137 * i, 2 + i % 5, i % 3),
+                SimTime{0.0});
         }
-        SimTime now = 0.0;
+        SimTime now;
         int guard = 0;
         while (sched->hasWork() && ++guard < 500)
             runIteration(*sched, fx.perf, now);
@@ -139,10 +139,10 @@ TEST_F(BaselineTest, MedhaShrinksChunkAsContextGrows)
 
     // One very long prompt: chunk sizes should be non-increasing as
     // the quadratic attention term grows with accumulated context.
-    Request *req = fx_.makeRequest(1, 0.0, 30000, 2, 2);
-    sched.enqueue(req, 0.0);
+    Request *req = fx_.makeRequest(1, SimTime{0.0}, 30000, 2, 2);
+    sched.enqueue(req, SimTime{0.0});
 
-    SimTime now = 0.0;
+    SimTime now;
     std::vector<int> chunks;
     while (req->phase() != RequestPhase::Decoding &&
            req->phase() != RequestPhase::Finished) {
@@ -167,10 +167,10 @@ TEST_F(BaselineTest, MedhaRespectsTbtTargetPerIteration)
     opts.tbtTarget = 0.05;
     MedhaScheduler sched(fx_.env, opts);
 
-    Request *req = fx_.makeRequest(1, 0.0, 20000, 2, 2);
-    sched.enqueue(req, 0.0);
+    Request *req = fx_.makeRequest(1, SimTime{0.0}, 20000, 2, 2);
+    sched.enqueue(req, SimTime{0.0});
 
-    SimTime now = 0.0;
+    SimTime now;
     while (req->prefillRemaining() > 0) {
         Batch batch = sched.formBatch(now);
         double latency = fx_.perf.iterationTime(batch.work());

@@ -26,7 +26,7 @@ TEST_F(ChunkedSchedulerTest, EmptySchedulerHasNoWork)
 {
     FcfsScheduler sched(fx_.env);
     EXPECT_FALSE(sched.hasWork());
-    EXPECT_TRUE(sched.formBatch(0.0).empty());
+    EXPECT_TRUE(sched.formBatch(SimTime{0.0}).empty());
     EXPECT_EQ(sched.prefillQueueSize(), 0u);
     EXPECT_EQ(sched.decodeQueueSize(), 0u);
 }
@@ -34,9 +34,9 @@ TEST_F(ChunkedSchedulerTest, EmptySchedulerHasNoWork)
 TEST_F(ChunkedSchedulerTest, ChunkBudgetLimitsPrefillTokens)
 {
     FcfsScheduler sched(fx_.env);
-    sched.enqueue(fx_.makeRequest(1, 0.0, 1000, 5, 0), 0.0);
+    sched.enqueue(fx_.makeRequest(1, SimTime{0.0}, 1000, 5, 0), SimTime{0.0});
 
-    Batch batch = sched.formBatch(0.0);
+    Batch batch = sched.formBatch(SimTime{0.0});
     ASSERT_EQ(batch.prefills.size(), 1u);
     EXPECT_EQ(batch.prefills[0].chunkTokens, 256);
     EXPECT_EQ(batch.prefillTokens(), 256);
@@ -45,11 +45,11 @@ TEST_F(ChunkedSchedulerTest, ChunkBudgetLimitsPrefillTokens)
 TEST_F(ChunkedSchedulerTest, BudgetSpansMultipleRequests)
 {
     FcfsScheduler sched(fx_.env);
-    sched.enqueue(fx_.makeRequest(1, 0.0, 100, 5, 0), 0.0);
-    sched.enqueue(fx_.makeRequest(2, 0.1, 100, 5, 0), 0.1);
-    sched.enqueue(fx_.makeRequest(3, 0.2, 500, 5, 0), 0.2);
+    sched.enqueue(fx_.makeRequest(1, SimTime{0.0}, 100, 5, 0), SimTime{0.0});
+    sched.enqueue(fx_.makeRequest(2, SimTime{0.1}, 100, 5, 0), SimTime{0.1});
+    sched.enqueue(fx_.makeRequest(3, SimTime{0.2}, 500, 5, 0), SimTime{0.2});
 
-    Batch batch = sched.formBatch(0.3);
+    Batch batch = sched.formBatch(SimTime{0.3});
     ASSERT_EQ(batch.prefills.size(), 3u);
     EXPECT_EQ(batch.prefills[0].chunkTokens, 100);
     EXPECT_EQ(batch.prefills[1].chunkTokens, 100);
@@ -60,10 +60,10 @@ TEST_F(ChunkedSchedulerTest, BudgetSpansMultipleRequests)
 TEST_F(ChunkedSchedulerTest, PrefillCompletionMovesToDecode)
 {
     FcfsScheduler sched(fx_.env);
-    Request *req = fx_.makeRequest(1, 0.0, 200, 5, 0);
-    sched.enqueue(req, 0.0);
+    Request *req = fx_.makeRequest(1, SimTime{0.0}, 200, 5, 0);
+    sched.enqueue(req, SimTime{0.0});
 
-    SimTime now = 0.0;
+    SimTime now;
     runIteration(sched, fx_.perf, now);
     EXPECT_EQ(req->phase(), RequestPhase::Decoding);
     EXPECT_EQ(sched.prefillQueueSize(), 0u);
@@ -76,10 +76,10 @@ TEST_F(ChunkedSchedulerTest, RequestRunsToCompletion)
     Request *done = nullptr;
     sched.setCompletionHandler([&](Request *r) { done = r; });
 
-    Request *req = fx_.makeRequest(1, 0.0, 600, 4, 0);
-    sched.enqueue(req, 0.0);
+    Request *req = fx_.makeRequest(1, SimTime{0.0}, 600, 4, 0);
+    sched.enqueue(req, SimTime{0.0});
 
-    SimTime now = 0.0;
+    SimTime now;
     int guard = 0;
     while (sched.hasWork() && ++guard < 100)
         runIteration(sched, fx_.perf, now);
@@ -97,9 +97,9 @@ TEST_F(ChunkedSchedulerTest, DecodesAllRunEveryIteration)
 {
     FcfsScheduler sched(fx_.env);
     for (int i = 0; i < 3; ++i)
-        sched.enqueue(fx_.makeRequest(i, 0.0, 50, 10, 0), 0.0);
+        sched.enqueue(fx_.makeRequest(i, SimTime{0.0}, 50, 10, 0), SimTime{0.0});
 
-    SimTime now = 0.0;
+    SimTime now;
     runIteration(sched, fx_.perf, now); // all prefills fit one chunk
     EXPECT_EQ(sched.decodeQueueSize(), 3u);
 
@@ -111,10 +111,10 @@ TEST_F(ChunkedSchedulerTest, DecodesAllRunEveryIteration)
 TEST_F(ChunkedSchedulerTest, KvGrowsWithProgressAndReleasesAtEnd)
 {
     FcfsScheduler sched(fx_.env);
-    Request *req = fx_.makeRequest(1, 0.0, 256, 8, 0);
-    sched.enqueue(req, 0.0);
+    Request *req = fx_.makeRequest(1, SimTime{0.0}, 256, 8, 0);
+    sched.enqueue(req, SimTime{0.0});
 
-    SimTime now = 0.0;
+    SimTime now;
     runIteration(sched, fx_.perf, now);
     EXPECT_EQ(fx_.kv.ownedTokens(1), 256);
 
@@ -134,9 +134,9 @@ TEST_F(ChunkedSchedulerTest, DecodeBatchCapHoldsBackFinalChunk)
     FcfsScheduler sched(fx_.env, cfg);
 
     for (int i = 0; i < 3; ++i)
-        sched.enqueue(fx_.makeRequest(i, 0.0, 64, 10, 0), 0.0);
+        sched.enqueue(fx_.makeRequest(i, SimTime{0.0}, 64, 10, 0), SimTime{0.0});
 
-    SimTime now = 0.0;
+    SimTime now;
     Batch batch = sched.formBatch(now);
     // Third request cannot complete its prefill: it is scheduled for
     // all but one token.
@@ -152,9 +152,9 @@ TEST_F(ChunkedSchedulerTest, DecodeBatchCapHoldsBackFinalChunk)
 TEST_F(ChunkedSchedulerTest, StatsAccumulate)
 {
     FcfsScheduler sched(fx_.env);
-    sched.enqueue(fx_.makeRequest(1, 0.0, 512, 3, 0), 0.0);
+    sched.enqueue(fx_.makeRequest(1, SimTime{0.0}, 512, 3, 0), SimTime{0.0});
 
-    SimTime now = 0.0;
+    SimTime now;
     while (sched.hasWork())
         runIteration(sched, fx_.perf, now);
 
@@ -168,11 +168,11 @@ TEST_F(ChunkedSchedulerTest, StatsAccumulate)
 TEST_F(ChunkedSchedulerTest, PendingPrefillTokensTracked)
 {
     FcfsScheduler sched(fx_.env);
-    sched.enqueue(fx_.makeRequest(1, 0.0, 300, 3, 0), 0.0);
-    sched.enqueue(fx_.makeRequest(2, 0.0, 200, 3, 0), 0.0);
+    sched.enqueue(fx_.makeRequest(1, SimTime{0.0}, 300, 3, 0), SimTime{0.0});
+    sched.enqueue(fx_.makeRequest(2, SimTime{0.0}, 200, 3, 0), SimTime{0.0});
     EXPECT_EQ(sched.pendingPrefillTokens(), 500);
 
-    SimTime now = 0.0;
+    SimTime now;
     runIteration(sched, fx_.perf, now); // 256 tokens processed
     EXPECT_EQ(sched.pendingPrefillTokens(), 244);
 }
@@ -181,16 +181,16 @@ TEST_F(ChunkedSchedulerTest, KvExhaustionPreemptsPartialPrefill)
 {
     // Tiny KV cache: force the allocator to run out while a decode
     // grows, with a partially-prefilled victim available.
-    BlockManager tiny_kv(640, 16); // 40 blocks = 640 tokens
+    BlockManager tiny_kv(TokenCount{640}, TokenCount{16}); // 40 blocks = 640 tokens
     SchedulerEnv env = fx_.env;
     env.kv = &tiny_kv;
     FcfsScheduler sched(env);
 
     // First request prefills fully (256 tokens) and decodes long;
     // its peak context (456 tokens = 29 blocks) fits alone.
-    Request *a = fx_.makeRequest(1, 0.0, 256, 200, 0);
-    sched.enqueue(a, 0.0);
-    SimTime now = 0.0;
+    Request *a = fx_.makeRequest(1, SimTime{0.0}, 256, 200, 0);
+    sched.enqueue(a, SimTime{0.0});
+    SimTime now;
     runIteration(sched, fx_.perf, now);
     ASSERT_EQ(a->phase(), RequestPhase::Decoding);
 

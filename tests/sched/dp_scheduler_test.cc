@@ -34,10 +34,10 @@ TEST_F(DpSchedulerTest, CompletesAWorkload)
     sched.setCompletionHandler([&](Request *) { ++completed; });
     for (int i = 0; i < 10; ++i) {
         sched.enqueue(
-            fx_.makeRequest(i, 0.0, 300 + 100 * i, 2 + i % 4, i % 3),
-            0.0);
+            fx_.makeRequest(i, SimTime{0.0}, 300 + 100 * i, 2 + i % 4, i % 3),
+            SimTime{0.0});
     }
-    SimTime now = 0.0;
+    SimTime now;
     int guard = 0;
     while (sched.hasWork() && ++guard < 500)
         runIteration(sched, fx_.perf, now);
@@ -50,12 +50,12 @@ TEST_F(DpSchedulerTest, UrgentRequestWinsTheKnapsack)
     DpScheduler sched = makeSched();
     // A request about to miss its 6 s TTFT competes with fresh ones
     // whose value (inverse slack) is far lower.
-    Request *urgent = fx_.makeRequest(1, 0.0, 400, 3, 0);
-    Request *fresh = fx_.makeRequest(2, 5.0, 400, 3, 2);
-    sched.enqueue(urgent, 5.0);
-    sched.enqueue(fresh, 5.0);
+    Request *urgent = fx_.makeRequest(1, SimTime{0.0}, 400, 3, 0);
+    Request *fresh = fx_.makeRequest(2, SimTime{5.0}, 400, 3, 2);
+    sched.enqueue(urgent, SimTime{5.0});
+    sched.enqueue(fresh, SimTime{5.0});
 
-    Batch batch = sched.formBatch(5.0);
+    Batch batch = sched.formBatch(SimTime{5.0});
     ASSERT_FALSE(batch.prefills.empty());
     EXPECT_EQ(batch.prefills[0].request, urgent);
 }
@@ -66,8 +66,8 @@ TEST_F(DpSchedulerTest, BudgetRespected)
     opts.chunkTokens = 512;
     DpScheduler sched = makeSched(opts);
     for (int i = 0; i < 6; ++i)
-        sched.enqueue(fx_.makeRequest(i, 0.0, 1000, 3, 0), 0.0);
-    Batch batch = sched.formBatch(0.0);
+        sched.enqueue(fx_.makeRequest(i, SimTime{0.0}, 1000, 3, 0), SimTime{0.0});
+    Batch batch = sched.formBatch(SimTime{0.0});
     EXPECT_LE(batch.prefillTokens(), 512);
     EXPECT_GT(batch.prefillTokens(), 0);
 }
@@ -80,8 +80,8 @@ TEST_F(DpSchedulerTest, DpCostGrowsLinearlyWithQueueDepth)
         SchedEnvFixture fx;
         DpScheduler sched(fx.env, DpScheduler::Options{});
         for (int i = 0; i < n; ++i)
-            sched.enqueue(fx.makeRequest(i, 0.0, 2000, 3, i % 3), 0.0);
-        sched.formBatch(0.0);
+            sched.enqueue(fx.makeRequest(i, SimTime{0.0}, 2000, 3, i % 3), SimTime{0.0});
+        sched.formBatch(SimTime{0.0});
         return sched.dpCellsEvaluated();
     };
 

@@ -15,7 +15,7 @@
 
 #include <tuple>
 
-#include "core/serving_system.hh"
+#include "app/serving_system.hh"
 
 namespace qoserve {
 namespace {
@@ -91,7 +91,7 @@ TEST_P(PolicyInvariants, RandomWorkloadMaintainsInvariants)
 
     // 5. The engine never idled while work was pending: busy time
     //    cannot exceed the simulated span.
-    EXPECT_LE(replica.busyTime(), sim->eventQueue().now() + 1e-9);
+    EXPECT_LE(replica.busyTime(), sim->eventQueue().now().seconds() + 1e-9);
 }
 
 std::string
@@ -135,7 +135,7 @@ TEST_P(PolicyDeterminism, RunsAreReproducible)
         std::vector<std::pair<double, double>> out;
         auto sim = system.serveForInspection(trace);
         for (const auto &rec : sim->metrics().records())
-            out.emplace_back(rec.firstTokenTime, rec.finishTime);
+            out.emplace_back(rec.firstTokenTime.seconds(), rec.finishTime.seconds());
         return out;
     };
 

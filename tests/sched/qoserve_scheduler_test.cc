@@ -44,9 +44,9 @@ TEST_F(QoServeTest, MaxChunkWhenNoInteractiveDecodes)
     // With no interactive decode in flight there is no TBT
     // constraint: the chunk opens up to the throughput-optimal max.
     QoServeScheduler sched(fx_.env);
-    sched.enqueue(fx_.makeRequest(1, 0.0, 10000, 5, 2), 0.0);
+    sched.enqueue(fx_.makeRequest(1, SimTime{0.0}, 10000, 5, 2), SimTime{0.0});
 
-    Batch batch = sched.formBatch(0.0);
+    Batch batch = sched.formBatch(SimTime{0.0});
     ASSERT_EQ(batch.prefills.size(), 1u);
     EXPECT_EQ(batch.prefills[0].chunkTokens,
               sched.qosConfig().maxChunkTokens);
@@ -59,9 +59,9 @@ TEST_F(QoServeTest, ChunkShrinksUnderTightDecodeSlack)
     // An interactive request that spent ~5.9 s queued upstream: its
     // first token lands just before the 6 s TTFT deadline, so the
     // next-token deadline (TTFT + TBT) leaves only ~100 ms of slack.
-    Request *inter = fx_.makeRequest(1, 0.0, 100, 50, 0);
-    sched.enqueue(inter, 5.9);
-    SimTime now = 5.9;
+    Request *inter = fx_.makeRequest(1, SimTime{0.0}, 100, 50, 0);
+    sched.enqueue(inter, SimTime{5.9});
+    SimTime now{5.9};
     runIteration(sched, fx_.perf, now);
     ASSERT_EQ(inter->phase(), RequestPhase::Decoding);
     double slack = inter->nextTokenDeadline() - now;
@@ -87,9 +87,9 @@ TEST_F(QoServeTest, SlackAccumulationOpensChunkBackUp)
     // An interactive decode that is *ahead* of its token schedule has
     // slack; QoServe exploits it with a larger chunk (Fig. 6).
     QoServeScheduler sched(fx_.env);
-    Request *inter = fx_.makeRequest(1, 0.0, 100, 50, 0);
-    sched.enqueue(inter, 0.0);
-    SimTime now = 0.0;
+    Request *inter = fx_.makeRequest(1, SimTime{0.0}, 100, 50, 0);
+    sched.enqueue(inter, SimTime{0.0});
+    SimTime now;
     runIteration(sched, fx_.perf, now);
 
     // First token arrived at ~40 ms; deadline for token 2 is
@@ -109,12 +109,12 @@ TEST_F(QoServeTest, HybridPriorityInterpolatesEdfAndSrpf)
     // long job, one late-arriving short job. With alpha=8 ms/token,
     // 4000 extra tokens cost 32 s of priority — more than the 10 s
     // arrival gap, so the short job wins (SRPF semantics).
-    Request *long_early = fx_.makeRequest(1, 0.0, 5000, 10, 1);
-    Request *short_late = fx_.makeRequest(2, 10.0, 500, 10, 1);
-    sched.enqueue(long_early, 10.0);
-    sched.enqueue(short_late, 10.0);
+    Request *long_early = fx_.makeRequest(1, SimTime{0.0}, 5000, 10, 1);
+    Request *short_late = fx_.makeRequest(2, SimTime{10.0}, 500, 10, 1);
+    sched.enqueue(long_early, SimTime{10.0});
+    sched.enqueue(short_late, SimTime{10.0});
 
-    Batch batch = sched.formBatch(10.0);
+    Batch batch = sched.formBatch(SimTime{10.0});
     EXPECT_EQ(batch.prefills[0].request, short_late);
 }
 
@@ -124,48 +124,48 @@ TEST_F(QoServeTest, AlphaZeroIsPureEdf)
     cfg.enableHybridPriority = false;
     QoServeScheduler sched(fx_.env, cfg);
 
-    Request *long_early = fx_.makeRequest(1, 0.0, 5000, 10, 1);
-    Request *short_late = fx_.makeRequest(2, 10.0, 500, 10, 1);
-    sched.enqueue(long_early, 10.0);
-    sched.enqueue(short_late, 10.0);
+    Request *long_early = fx_.makeRequest(1, SimTime{0.0}, 5000, 10, 1);
+    Request *short_late = fx_.makeRequest(2, SimTime{10.0}, 500, 10, 1);
+    sched.enqueue(long_early, SimTime{10.0});
+    sched.enqueue(short_late, SimTime{10.0});
 
     // Pure EDF: earlier arrival = earlier TTLT deadline wins.
-    Batch batch = sched.formBatch(10.0);
+    Batch batch = sched.formBatch(SimTime{10.0});
     EXPECT_EQ(batch.prefills[0].request, long_early);
 }
 
 TEST_F(QoServeTest, InteractiveDeadlineBeatsBatchDeadline)
 {
     QoServeScheduler sched(fx_.env);
-    Request *batch_req = fx_.makeRequest(1, 0.0, 1000, 5, 2);
-    Request *inter = fx_.makeRequest(2, 1.0, 1000, 5, 0);
-    sched.enqueue(batch_req, 1.0);
-    sched.enqueue(inter, 1.0);
+    Request *batch_req = fx_.makeRequest(1, SimTime{0.0}, 1000, 5, 2);
+    Request *inter = fx_.makeRequest(2, SimTime{1.0}, 1000, 5, 0);
+    sched.enqueue(batch_req, SimTime{1.0});
+    sched.enqueue(inter, SimTime{1.0});
 
-    Batch b = sched.formBatch(1.0);
+    Batch b = sched.formBatch(SimTime{1.0});
     EXPECT_EQ(b.prefills[0].request, inter);
 }
 
 TEST_F(QoServeTest, WillViolateDetectsHopelessInteractiveRequest)
 {
     QoServeScheduler sched(fx_.env);
-    Request *r = fx_.makeRequest(1, 0.0, 2000, 5, 0);
+    Request *r = fx_.makeRequest(1, SimTime{0.0}, 2000, 5, 0);
     // TTFT deadline is 6.0; at t=5.99 even an instant prefill could
     // not finish in time.
-    EXPECT_FALSE(sched.willViolate(*r, 0.0));
-    EXPECT_TRUE(sched.willViolate(*r, 5.99));
+    EXPECT_FALSE(sched.willViolate(*r, SimTime{0.0}));
+    EXPECT_TRUE(sched.willViolate(*r, SimTime{5.99}));
 }
 
 TEST_F(QoServeTest, ViolatingRequestIsRelegatedNotServed)
 {
     QoServeScheduler sched(fx_.env);
-    Request *doomed = fx_.makeRequest(1, 0.0, 2000, 5, 0);
-    Request *fresh = fx_.makeRequest(2, 7.0, 500, 5, 0);
-    sched.enqueue(doomed, 7.0);
-    sched.enqueue(fresh, 7.0);
+    Request *doomed = fx_.makeRequest(1, SimTime{0.0}, 2000, 5, 0);
+    Request *fresh = fx_.makeRequest(2, SimTime{7.0}, 500, 5, 0);
+    sched.enqueue(doomed, SimTime{7.0});
+    sched.enqueue(fresh, SimTime{7.0});
 
     // At t=7 the first request already missed its 6 s TTFT deadline.
-    Batch batch = sched.formBatch(7.0);
+    Batch batch = sched.formBatch(SimTime{7.0});
     EXPECT_TRUE(doomed->relegated());
     ASSERT_FALSE(batch.prefills.empty());
     EXPECT_EQ(batch.prefills[0].request, fresh);
@@ -175,12 +175,12 @@ TEST_F(QoServeTest, ViolatingRequestIsRelegatedNotServed)
 TEST_F(QoServeTest, RelegatedRequestServedOpportunistically)
 {
     QoServeScheduler sched(fx_.env);
-    Request *doomed = fx_.makeRequest(1, 0.0, 400, 3, 0);
-    sched.enqueue(doomed, 7.0);
+    Request *doomed = fx_.makeRequest(1, SimTime{0.0}, 400, 3, 0);
+    sched.enqueue(doomed, SimTime{7.0});
 
     // Nothing else in the system: the relegated request still runs
     // (graceful degradation, not rejection).
-    SimTime now = 7.0;
+    SimTime now{7.0};
     int guard = 0;
     while (sched.hasWork() && ++guard < 50)
         runIteration(sched, fx_.perf, now);
@@ -193,9 +193,9 @@ TEST_F(QoServeTest, RelegationDisabledKeepsFifoDiscipline)
     QoServeConfig cfg;
     cfg.enableEagerRelegation = false;
     QoServeScheduler sched(fx_.env, cfg);
-    Request *doomed = fx_.makeRequest(1, 0.0, 2000, 5, 0);
-    sched.enqueue(doomed, 7.0);
-    sched.formBatch(7.0);
+    Request *doomed = fx_.makeRequest(1, SimTime{0.0}, 2000, 5, 0);
+    sched.enqueue(doomed, SimTime{7.0});
+    sched.formBatch(SimTime{7.0});
     EXPECT_FALSE(doomed->relegated());
     EXPECT_EQ(sched.stats().relegations, 0u);
 }
@@ -206,11 +206,11 @@ TEST_F(QoServeTest, OverloadRelegatesLowPriorityFirst)
 
     // Flood the queue far past the overload threshold (~6 s of
     // prefill backlog at ~6-9K tokens/s means > 60K pending tokens).
-    SimTime now = 0.0;
+    SimTime now;
     std::vector<Request *> low, high;
     for (int i = 0; i < 40; ++i) {
         bool important = i % 2 == 0;
-        Request *r = fx_.makeRequest(i, 0.0, 8000, 5, 2, important);
+        Request *r = fx_.makeRequest(i, SimTime{0.0}, 8000, 5, 2, important);
         (important ? high : low).push_back(r);
         sched.enqueue(r, now);
     }
@@ -236,19 +236,19 @@ TEST_F(QoServeTest, SelectivePreemptionProtectsUrgentInflight)
 
     // A long interactive prefill progresses until its TTFT budget is
     // nearly exhausted.
-    Request *inflight = fx_.makeRequest(1, 0.0, 4000, 5, 0);
-    sched.enqueue(inflight, 0.0);
-    SimTime now = 0.0;
+    Request *inflight = fx_.makeRequest(1, SimTime{0.0}, 4000, 5, 0);
+    sched.enqueue(inflight, SimTime{0.0});
+    SimTime now;
     runIteration(sched, fx_.perf, now);
     ASSERT_GT(inflight->prefillDone(), 0);
 
     // Jump to a moment where one more iteration of delay would make
     // the in-flight request miss its 6 s TTFT.
-    now = 5.85;
+    now = SimTime{5.85};
     // A newly arrived strict request with an *earlier* static
     // priority would normally preempt; the urgent-inflight pass must
     // schedule the in-flight request anyway.
-    Request *newcomer = fx_.makeRequest(2, 5.85, 200, 5, 0);
+    Request *newcomer = fx_.makeRequest(2, SimTime{5.85}, 200, 5, 0);
     sched.enqueue(newcomer, now);
 
     Batch batch = sched.formBatch(now);
@@ -262,9 +262,9 @@ TEST_F(QoServeTest, MixedTierWorkloadCompletesWithBoundedTbt)
     int completed = 0;
     sched.setCompletionHandler([&](Request *) { ++completed; });
 
-    SimTime now = 0.0;
+    SimTime now;
     for (int i = 0; i < 15; ++i)
-        sched.enqueue(fx_.makeRequest(i, 0.0, 300 + 211 * i, 3 + i % 7,
+        sched.enqueue(fx_.makeRequest(i, SimTime{0.0}, 300 + 211 * i, 3 + i % 7,
                                       i % 3),
                       now);
 
@@ -296,8 +296,8 @@ TEST_F(QoServeTest, AdaptiveAlphaRampsWithBacklog)
 
     // Flood past the overload threshold: alpha saturates high.
     for (int i = 0; i < 20; ++i)
-        sched.enqueue(fx_.makeRequest(i, 0.0, 8000, 5, 2), 0.0);
-    ASSERT_TRUE(sched.overloaded(0.0));
+        sched.enqueue(fx_.makeRequest(i, SimTime{0.0}, 8000, 5, 2), SimTime{0.0});
+    ASSERT_TRUE(sched.overloaded(SimTime{0.0}));
     EXPECT_NEAR(sched.effectiveAlpha(), 8e-3, 1e-9);
 }
 
@@ -309,7 +309,7 @@ TEST_F(QoServeTest, AdaptiveAlphaIntermediateLoadInterpolates)
 
     // A modest backlog: alpha strictly between the endpoints.
     for (int i = 0; i < 3; ++i)
-        sched.enqueue(fx_.makeRequest(i, 0.0, 4000, 5, 2), 0.0);
+        sched.enqueue(fx_.makeRequest(i, SimTime{0.0}, 4000, 5, 2), SimTime{0.0});
     double alpha = sched.effectiveAlpha();
     EXPECT_GT(alpha, 1e-3);
     EXPECT_LT(alpha, 8e-3);
@@ -330,9 +330,9 @@ TEST_F(QoServeTest, MinChunkFloorGuaranteesPrefillProgress)
     // the scheduler still advances prefill at the configured floor
     // rather than starving it (§3.5).
     QoServeScheduler sched(fx_.env);
-    Request *tight = fx_.makeRequest(1, 0.0, 100, 50, 0);
-    sched.enqueue(tight, 5.9);
-    SimTime now = 5.9;
+    Request *tight = fx_.makeRequest(1, SimTime{0.0}, 100, 50, 0);
+    sched.enqueue(tight, SimTime{5.9});
+    SimTime now{5.9};
     runIteration(sched, fx_.perf, now);
     ASSERT_EQ(tight->phase(), RequestPhase::Decoding);
 
@@ -351,9 +351,9 @@ TEST_F(QoServeTest, LateDecodesDoNotGateTheChunk)
     // floor chunk for its whole decode: late requests are beyond
     // pacing, and viable work rides the full chunk.
     QoServeScheduler sched(fx_.env);
-    Request *late = fx_.makeRequest(1, 0.0, 100, 50, 0);
-    sched.enqueue(late, 7.0); // already past its 6 s TTFT
-    SimTime now = 7.0;
+    Request *late = fx_.makeRequest(1, SimTime{0.0}, 100, 50, 0);
+    sched.enqueue(late, SimTime{7.0}); // already past its 6 s TTFT
+    SimTime now{7.0};
     runIteration(sched, fx_.perf, now);
     ASSERT_EQ(late->phase(), RequestPhase::Decoding);
     ASSERT_LT(late->nextTokenDeadline(), now); // negative slack
@@ -370,10 +370,10 @@ TEST_F(QoServeTest, LateDecodesDoNotGateTheChunk)
 TEST_F(QoServeTest, StatsCountRelegationsAcrossRun)
 {
     QoServeScheduler sched(fx_.env);
-    SimTime now = 20.0;
+    SimTime now{20.0};
     // All of these already blew their TTFT deadline at enqueue time.
     for (int i = 0; i < 5; ++i)
-        sched.enqueue(fx_.makeRequest(i, 0.0, 500, 3, 0), now);
+        sched.enqueue(fx_.makeRequest(i, SimTime{0.0}, 500, 3, 0), now);
     for (int i = 0; i < 3; ++i)
         runIteration(sched, fx_.perf, now);
     EXPECT_GE(sched.stats().relegations, 5u);

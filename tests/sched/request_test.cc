@@ -15,7 +15,7 @@ spec(std::uint64_t id, SimTime arrival, int prompt, int decode, int tier)
 {
     RequestSpec s;
     s.id = id;
-    s.arrival = arrival;
+    s.arrival = SimTime{arrival};
     s.promptTokens = prompt;
     s.decodeTokens = decode;
     s.tierId = tier;
@@ -36,7 +36,7 @@ batch()
 
 TEST(Request, InitialState)
 {
-    Request r(spec(1, 10.0, 100, 5, 0), interactive(), {});
+    Request r(spec(1, SimTime{10.0}, 100, 5, 0), interactive(), {});
     EXPECT_EQ(r.phase(), RequestPhase::WaitingPrefill);
     EXPECT_EQ(r.prefillDone(), 0);
     EXPECT_EQ(r.prefillRemaining(), 100);
@@ -48,87 +48,87 @@ TEST(Request, InitialState)
 
 TEST(Request, PrefillProgressAndPhaseTransitions)
 {
-    Request r(spec(1, 0.0, 100, 3, 0), interactive(), {});
-    r.applyPrefill(40, 0.1);
+    Request r(spec(1, SimTime{0.0}, 100, 3, 0), interactive(), {});
+    r.applyPrefill(TokenCount{40}, SimTime{0.1});
     EXPECT_EQ(r.phase(), RequestPhase::Prefilling);
     EXPECT_EQ(r.prefillDone(), 40);
     EXPECT_EQ(r.contextLength(), 40);
 
-    r.applyPrefill(60, 0.2);
+    r.applyPrefill(TokenCount{60}, SimTime{0.2});
     EXPECT_EQ(r.phase(), RequestPhase::Decoding);
     // First token emitted by the iteration completing the prefill.
     EXPECT_EQ(r.decodeDone(), 1);
-    EXPECT_DOUBLE_EQ(r.record().firstTokenTime, 0.2);
+    EXPECT_DOUBLE_EQ(r.record().firstTokenTime.seconds(), 0.2);
 }
 
 TEST(Request, SingleTokenRequestFinishesAtPrefill)
 {
-    Request r(spec(1, 0.0, 50, 1, 0), interactive(), {});
-    r.applyPrefill(50, 0.3);
+    Request r(spec(1, SimTime{0.0}, 50, 1, 0), interactive(), {});
+    r.applyPrefill(TokenCount{50}, SimTime{0.3});
     EXPECT_EQ(r.phase(), RequestPhase::Finished);
-    EXPECT_DOUBLE_EQ(r.record().finishTime, 0.3);
+    EXPECT_DOUBLE_EQ(r.record().finishTime.seconds(), 0.3);
     EXPECT_DOUBLE_EQ(r.record().ttft(), 0.3);
     EXPECT_DOUBLE_EQ(r.record().ttlt(), 0.3);
 }
 
 TEST(Request, DecodeTokensCompleteRequest)
 {
-    Request r(spec(1, 0.0, 10, 3, 0), interactive(), {});
-    r.applyPrefill(10, 0.1);
+    Request r(spec(1, SimTime{0.0}, 10, 3, 0), interactive(), {});
+    r.applyPrefill(TokenCount{10}, SimTime{0.1});
     EXPECT_EQ(r.phase(), RequestPhase::Decoding);
-    r.applyDecodeToken(0.15);
+    r.applyDecodeToken(SimTime{0.15});
     EXPECT_EQ(r.phase(), RequestPhase::Decoding);
-    r.applyDecodeToken(0.2);
+    r.applyDecodeToken(SimTime{0.2});
     EXPECT_EQ(r.phase(), RequestPhase::Finished);
-    EXPECT_DOUBLE_EQ(r.record().finishTime, 0.2);
+    EXPECT_DOUBLE_EQ(r.record().finishTime.seconds(), 0.2);
     EXPECT_EQ(r.decodeRemaining(), 0);
 }
 
 TEST(Request, MaxTbtTracksLargestGap)
 {
-    Request r(spec(1, 0.0, 10, 4, 0), interactive(), {});
-    r.applyPrefill(10, 0.1);
-    r.applyDecodeToken(0.15); // gap 0.05
-    r.applyDecodeToken(0.35); // gap 0.20
-    r.applyDecodeToken(0.40); // gap 0.05
+    Request r(spec(1, SimTime{0.0}, 10, 4, 0), interactive(), {});
+    r.applyPrefill(TokenCount{10}, SimTime{0.1});
+    r.applyDecodeToken(SimTime{0.15}); // gap 0.05
+    r.applyDecodeToken(SimTime{0.35}); // gap 0.20
+    r.applyDecodeToken(SimTime{0.40}); // gap 0.05
     EXPECT_DOUBLE_EQ(r.record().maxTbt, 0.20);
 }
 
 TEST(Request, TbtDeadlineMissesCounted)
 {
     // TTFT SLO 6 s, TBT 50 ms; token n deadline = 6 + (n-1)*0.05.
-    Request r(spec(1, 0.0, 10, 3, 0), interactive(), {});
-    r.applyPrefill(10, 1.0);     // token 1 on time (deadline 6.0)
-    r.applyDecodeToken(6.2);     // token 2 late (deadline 6.05)
-    r.applyDecodeToken(6.25);    // token 3 late  (deadline 6.10)
+    Request r(spec(1, SimTime{0.0}, 10, 3, 0), interactive(), {});
+    r.applyPrefill(TokenCount{10}, SimTime{1.0});     // token 1 on time (deadline 6.0)
+    r.applyDecodeToken(SimTime{6.2});     // token 2 late (deadline 6.05)
+    r.applyDecodeToken(SimTime{6.25});    // token 3 late  (deadline 6.10)
     EXPECT_EQ(r.record().tbtDeadlineMisses, 2);
 }
 
 TEST(Request, DeadlinesFollowEquations)
 {
-    Request r(spec(1, 100.0, 10, 50, 0), interactive(), {});
-    EXPECT_DOUBLE_EQ(r.firstTokenDeadline(), 106.0);
-    EXPECT_DOUBLE_EQ(r.nextTokenDeadline(), 106.0); // next token is #1
-    EXPECT_DOUBLE_EQ(r.completionDeadline(), 106.0 + 49 * 0.05);
-    EXPECT_DOUBLE_EQ(r.urgencyDeadline(), 106.0);
+    Request r(spec(1, SimTime{100.0}, 10, 50, 0), interactive(), {});
+    EXPECT_DOUBLE_EQ(r.firstTokenDeadline().seconds(), 106.0);
+    EXPECT_DOUBLE_EQ(r.nextTokenDeadline().seconds(), 106.0); // next token is #1
+    EXPECT_DOUBLE_EQ(r.completionDeadline().seconds(), 106.0 + 49 * 0.05);
+    EXPECT_DOUBLE_EQ(r.urgencyDeadline().seconds(), 106.0);
 
-    r.applyPrefill(10, 101.0);
+    r.applyPrefill(TokenCount{10}, SimTime{101.0});
     // Next token is #2.
-    EXPECT_DOUBLE_EQ(r.nextTokenDeadline(), 106.05);
+    EXPECT_DOUBLE_EQ(r.nextTokenDeadline().seconds(), 106.05);
 }
 
 TEST(Request, BatchTierDeadlines)
 {
-    Request r(spec(1, 100.0, 10, 50, 1), batch(), {});
-    EXPECT_DOUBLE_EQ(r.firstTokenDeadline(), 700.0);
+    Request r(spec(1, SimTime{100.0}, 10, 50, 1), batch(), {});
+    EXPECT_DOUBLE_EQ(r.firstTokenDeadline().seconds(), 700.0);
     EXPECT_EQ(r.nextTokenDeadline(), kTimeNever);
-    EXPECT_DOUBLE_EQ(r.completionDeadline(), 700.0);
-    EXPECT_DOUBLE_EQ(r.urgencyDeadline(), 700.0);
+    EXPECT_DOUBLE_EQ(r.completionDeadline().seconds(), 700.0);
+    EXPECT_DOUBLE_EQ(r.urgencyDeadline().seconds(), 700.0);
 }
 
 TEST(Request, RelegationRecorded)
 {
-    Request r(spec(1, 0.0, 10, 2, 0), interactive(), {});
+    Request r(spec(1, SimTime{0.0}, 10, 2, 0), interactive(), {});
     EXPECT_FALSE(r.record().wasRelegated);
     r.setRelegated(true);
     EXPECT_TRUE(r.relegated());
@@ -143,20 +143,20 @@ TEST(Request, ConservativeDecodeUsesAppStats)
     AppStats stats;
     stats.meanDecode = 100.0;
     stats.stddevDecode = 25.0;
-    Request r(spec(1, 0.0, 10, 400, 1), batch(), stats);
+    Request r(spec(1, SimTime{0.0}, 10, 400, 1), batch(), stats);
     EXPECT_DOUBLE_EQ(r.conservativeDecodeTokens(), 150.0);
 }
 
 TEST(Request, ConservativeDecodeFallsBackToOwnLength)
 {
-    Request r(spec(1, 0.0, 10, 400, 1), batch(), {});
+    Request r(spec(1, SimTime{0.0}, 10, 400, 1), batch(), {});
     EXPECT_DOUBLE_EQ(r.conservativeDecodeTokens(), 400.0);
 }
 
 TEST(Request, KvPreemptionResetsProgress)
 {
-    Request r(spec(1, 0.0, 100, 5, 0), interactive(), {});
-    r.applyPrefill(60, 0.1);
+    Request r(spec(1, SimTime{0.0}, 100, 5, 0), interactive(), {});
+    r.applyPrefill(TokenCount{60}, SimTime{0.1});
     r.resetAfterKvPreemption();
     EXPECT_EQ(r.phase(), RequestPhase::WaitingPrefill);
     EXPECT_EQ(r.prefillDone(), 0);
@@ -165,20 +165,20 @@ TEST(Request, KvPreemptionResetsProgress)
     EXPECT_EQ(r.record().firstTokenTime, kTimeNever);
 
     // The request can run again to completion afterwards.
-    r.applyPrefill(100, 0.5);
+    r.applyPrefill(TokenCount{100}, SimTime{0.5});
     EXPECT_EQ(r.phase(), RequestPhase::Decoding);
 }
 
 TEST(Request, OverfillPanics)
 {
-    Request r(spec(1, 0.0, 100, 5, 0), interactive(), {});
-    EXPECT_DEATH(r.applyPrefill(101, 0.1), "invalid prefill chunk");
+    Request r(spec(1, SimTime{0.0}, 100, 5, 0), interactive(), {});
+    EXPECT_DEATH(r.applyPrefill(TokenCount{101}, SimTime{0.1}), "invalid prefill chunk");
 }
 
 TEST(Request, DecodeInWrongPhasePanics)
 {
-    Request r(spec(1, 0.0, 100, 5, 0), interactive(), {});
-    EXPECT_DEATH(r.applyDecodeToken(0.1), "wrong phase");
+    Request r(spec(1, SimTime{0.0}, 100, 5, 0), interactive(), {});
+    EXPECT_DEATH(r.applyDecodeToken(SimTime{0.1}), "wrong phase");
 }
 
 } // namespace

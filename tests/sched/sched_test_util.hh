@@ -24,7 +24,7 @@ namespace test {
 struct SchedEnvFixture
 {
     SchedEnvFixture()
-        : perf(llama3_8b_a100_tp1()), kv(perf.hw().kvCapacityTokens(), 16),
+        : perf(llama3_8b_a100_tp1()), kv(TokenCount{perf.hw().kvCapacityTokens()}, TokenCount{16}),
           oracle(perf), tiers(paperTierTable())
     {
         env.kv = &kv;

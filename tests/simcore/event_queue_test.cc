@@ -15,7 +15,7 @@ namespace {
 TEST(EventQueue, StartsAtTimeZeroAndEmpty)
 {
     EventQueue eq;
-    EXPECT_EQ(eq.now(), 0.0);
+    EXPECT_EQ(eq.now(), SimTime{0.0});
     EXPECT_TRUE(eq.empty());
     EXPECT_EQ(eq.pendingEvents(), 0u);
 }
@@ -24,13 +24,13 @@ TEST(EventQueue, FiresEventsInTimestampOrder)
 {
     EventQueue eq;
     std::vector<int> order;
-    eq.schedule(3.0, [&] { order.push_back(3); });
-    eq.schedule(1.0, [&] { order.push_back(1); });
-    eq.schedule(2.0, [&] { order.push_back(2); });
+    eq.schedule(SimTime{3.0}, [&] { order.push_back(3); });
+    eq.schedule(SimTime{1.0}, [&] { order.push_back(1); });
+    eq.schedule(SimTime{2.0}, [&] { order.push_back(2); });
 
     EXPECT_EQ(eq.run(), 3u);
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-    EXPECT_EQ(eq.now(), 3.0);
+    EXPECT_EQ(eq.now(), SimTime{3.0});
 }
 
 TEST(EventQueue, TiesBreakByInsertionOrder)
@@ -38,7 +38,7 @@ TEST(EventQueue, TiesBreakByInsertionOrder)
     EventQueue eq;
     std::vector<int> order;
     for (int i = 0; i < 5; ++i)
-        eq.schedule(1.0, [&order, i] { order.push_back(i); });
+        eq.schedule(SimTime{1.0}, [&order, i] { order.push_back(i); });
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
@@ -46,32 +46,32 @@ TEST(EventQueue, TiesBreakByInsertionOrder)
 TEST(EventQueue, ClockAdvancesToFiredEvent)
 {
     EventQueue eq;
-    SimTime seen = -1.0;
-    eq.schedule(2.5, [&] { seen = eq.now(); });
+    SimTime seen{-1.0};
+    eq.schedule(SimTime{2.5}, [&] { seen = eq.now(); });
     eq.run();
-    EXPECT_EQ(seen, 2.5);
+    EXPECT_EQ(seen, SimTime{2.5});
 }
 
 TEST(EventQueue, ScheduleAfterUsesCurrentTime)
 {
     EventQueue eq;
-    SimTime seen = -1.0;
-    eq.schedule(1.0, [&] {
+    SimTime seen{-1.0};
+    eq.schedule(SimTime{1.0}, [&] {
         eq.scheduleAfter(0.5, [&] { seen = eq.now(); });
     });
     eq.run();
-    EXPECT_DOUBLE_EQ(seen, 1.5);
+    EXPECT_DOUBLE_EQ(seen.seconds(), 1.5);
 }
 
 TEST(EventQueue, RunUntilStopsBeforeLaterEvents)
 {
     EventQueue eq;
     int fired = 0;
-    eq.schedule(1.0, [&] { ++fired; });
-    eq.schedule(2.0, [&] { ++fired; });
-    eq.schedule(3.0, [&] { ++fired; });
+    eq.schedule(SimTime{1.0}, [&] { ++fired; });
+    eq.schedule(SimTime{2.0}, [&] { ++fired; });
+    eq.schedule(SimTime{3.0}, [&] { ++fired; });
 
-    EXPECT_EQ(eq.run(2.0), 2u);
+    EXPECT_EQ(eq.run(SimTime{2.0}), 2u);
     EXPECT_EQ(fired, 2);
     EXPECT_EQ(eq.pendingEvents(), 1u);
 }
@@ -80,8 +80,8 @@ TEST(EventQueue, EventScheduledExactlyAtUntilFires)
 {
     EventQueue eq;
     bool fired = false;
-    eq.schedule(2.0, [&] { fired = true; });
-    eq.run(2.0);
+    eq.schedule(SimTime{2.0}, [&] { fired = true; });
+    eq.run(SimTime{2.0});
     EXPECT_TRUE(fired);
 }
 
@@ -89,7 +89,7 @@ TEST(EventQueue, CancelPreventsExecution)
 {
     EventQueue eq;
     bool fired = false;
-    EventId id = eq.schedule(1.0, [&] { fired = true; });
+    EventId id = eq.schedule(SimTime{1.0}, [&] { fired = true; });
     EXPECT_TRUE(eq.cancel(id));
     EXPECT_EQ(eq.pendingEvents(), 0u);
     eq.run();
@@ -99,7 +99,7 @@ TEST(EventQueue, CancelPreventsExecution)
 TEST(EventQueue, CancelTwiceIsNoOp)
 {
     EventQueue eq;
-    EventId id = eq.schedule(1.0, [] {});
+    EventId id = eq.schedule(SimTime{1.0}, [] {});
     EXPECT_TRUE(eq.cancel(id));
     EXPECT_FALSE(eq.cancel(id));
 }
@@ -115,21 +115,21 @@ TEST(EventQueue, EventsScheduledDuringRunAreExecuted)
 {
     EventQueue eq;
     int depth = 0;
-    eq.schedule(1.0, [&] {
+    eq.schedule(SimTime{1.0}, [&] {
         ++depth;
         eq.scheduleAfter(1.0, [&] { ++depth; });
     });
     eq.run();
     EXPECT_EQ(depth, 2);
-    EXPECT_EQ(eq.now(), 2.0);
+    EXPECT_EQ(eq.now(), SimTime{2.0});
 }
 
 TEST(EventQueue, StepExecutesExactlyOneEvent)
 {
     EventQueue eq;
     int fired = 0;
-    eq.schedule(1.0, [&] { ++fired; });
-    eq.schedule(2.0, [&] { ++fired; });
+    eq.schedule(SimTime{1.0}, [&] { ++fired; });
+    eq.schedule(SimTime{2.0}, [&] { ++fired; });
 
     EXPECT_TRUE(eq.step());
     EXPECT_EQ(fired, 1);
@@ -158,7 +158,7 @@ TEST(EventQueue, PoolSlotsBoundedByPeakConcurrency)
         }
     };
     for (int i = 0; i < kWidth; ++i)
-        eq.schedule(0.0, tick);
+        eq.schedule(SimTime{0.0}, tick);
     eq.run();
 
     EXPECT_EQ(fired, kWidth * kRounds);
@@ -171,10 +171,10 @@ TEST(EventQueue, PoolSlotsBoundedByPeakConcurrency)
 TEST(EventQueue, CancelRecyclesSlotImmediately)
 {
     EventQueue eq;
-    eq.schedule(1.0, [] {});
+    eq.schedule(SimTime{1.0}, [] {});
     std::size_t baseline = eq.poolSlots();
     for (int i = 0; i < 1000; ++i) {
-        EventId id = eq.schedule(2.0, [] {});
+        EventId id = eq.schedule(SimTime{2.0}, [] {});
         EXPECT_TRUE(eq.cancel(id));
     }
     // Cancelled slots return to the free list, so the churn above
@@ -187,9 +187,9 @@ TEST(EventQueue, CancelRecyclesSlotImmediately)
 TEST(EventQueue, FiredEventsCountsLifetimeNotPending)
 {
     EventQueue eq;
-    eq.schedule(1.0, [] {});
-    eq.schedule(2.0, [] {});
-    EventId id = eq.schedule(3.0, [] {});
+    eq.schedule(SimTime{1.0}, [] {});
+    eq.schedule(SimTime{2.0}, [] {});
+    EventId id = eq.schedule(SimTime{3.0}, [] {});
     eq.cancel(id);
     eq.run();
     // Cancelled events never fire; the counter is the kernel's unit
@@ -206,10 +206,10 @@ TEST(EventQueue, LongChainTerminates)
         if (++count < 10000)
             eq.scheduleAfter(0.001, tick);
     };
-    eq.schedule(0.0, tick);
+    eq.schedule(SimTime{0.0}, tick);
     eq.run();
     EXPECT_EQ(count, 10000);
-    EXPECT_NEAR(eq.now(), 9.999, 1e-6);
+    EXPECT_NEAR(eq.now().seconds(), 9.999, 1e-6);
 }
 
 } // namespace

@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "cluster/capacity.hh"
-#include "core/serving_system.hh"
+#include "app/serving_system.hh"
 #include "fault/fault_injector.hh"
 #include "predictor/random_forest.hh"
 #include "simcore/thread_pool.hh"

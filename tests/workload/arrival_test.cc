@@ -17,7 +17,7 @@ std::vector<SimTime>
 generate(const ArrivalProcess &proc, Rng &rng, int count)
 {
     std::vector<SimTime> out;
-    SimTime t = 0.0;
+    SimTime t;
     for (int i = 0; i < count; ++i) {
         t = proc.nextArrival(t, rng);
         out.push_back(t);
@@ -39,7 +39,7 @@ TEST(PoissonArrivals, RateMatchesQps)
     PoissonArrivals proc(4.0);
     Rng rng(2);
     auto times = generate(proc, rng, 40000);
-    double rate = 40000.0 / times.back();
+    double rate = 40000.0 / times.back().seconds();
     EXPECT_NEAR(rate, 4.0, 0.1);
 }
 
@@ -53,7 +53,7 @@ TEST(GammaArrivals, MeanRateMatchesQps)
     GammaArrivals proc(4.0, 2.0);
     Rng rng(6);
     auto times = generate(proc, rng, 40000);
-    EXPECT_NEAR(40000.0 / times.back(), 4.0, 0.15);
+    EXPECT_NEAR(40000.0 / times.back().seconds(), 4.0, 0.15);
     EXPECT_DOUBLE_EQ(proc.averageQps(), 4.0);
 }
 
@@ -64,7 +64,7 @@ TEST(GammaArrivals, CvControlsBurstiness)
         GammaArrivals proc(5.0, cv);
         Rng rng(7);
         double sum = 0.0, sumsq = 0.0;
-        SimTime prev = 0.0;
+        SimTime prev;
         constexpr int n = 60000;
         for (int i = 0; i < n; ++i) {
             SimTime t = proc.nextArrival(prev, rng);
@@ -89,19 +89,19 @@ TEST(GammaArrivals, Cv1MatchesPoissonStatistics)
     GammaArrivals gamma_proc(3.0, 1.0);
     Rng rng(8);
     auto times = generate(gamma_proc, rng, 30000);
-    EXPECT_NEAR(30000.0 / times.back(), 3.0, 0.1);
+    EXPECT_NEAR(30000.0 / times.back().seconds(), 3.0, 0.1);
 }
 
 TEST(DiurnalArrivals, PhaseRatesAlternate)
 {
     DiurnalArrivals proc(2.0, 5.0, 900.0);
-    EXPECT_DOUBLE_EQ(proc.qpsAt(0.0), 2.0);
-    EXPECT_DOUBLE_EQ(proc.qpsAt(899.9), 2.0);
-    EXPECT_DOUBLE_EQ(proc.qpsAt(900.1), 5.0);
-    EXPECT_DOUBLE_EQ(proc.qpsAt(1800.5), 2.0);
+    EXPECT_DOUBLE_EQ(proc.qpsAt(SimTime{0.0}), 2.0);
+    EXPECT_DOUBLE_EQ(proc.qpsAt(SimTime{899.9}), 2.0);
+    EXPECT_DOUBLE_EQ(proc.qpsAt(SimTime{900.1}), 5.0);
+    EXPECT_DOUBLE_EQ(proc.qpsAt(SimTime{1800.5}), 2.0);
 
     DiurnalArrivals high_first(2.0, 5.0, 900.0, true);
-    EXPECT_DOUBLE_EQ(high_first.qpsAt(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(high_first.qpsAt(SimTime{0.0}), 5.0);
 }
 
 TEST(DiurnalArrivals, EmpiricalRatesPerPhase)
@@ -109,12 +109,12 @@ TEST(DiurnalArrivals, EmpiricalRatesPerPhase)
     DiurnalArrivals proc(2.0, 8.0, 1000.0);
     Rng rng(3);
     int low = 0, high = 0;
-    SimTime t = 0.0;
-    while (t < 20000.0) {
+    SimTime t;
+    while (t < SimTime{20000.0}) {
         t = proc.nextArrival(t, rng);
-        if (t >= 20000.0)
+        if (t >= SimTime{20000.0})
             break;
-        auto phase = static_cast<std::int64_t>(t / 1000.0);
+        auto phase = static_cast<std::int64_t>(t.seconds() / 1000.0);
         (phase % 2 == 0 ? low : high) += 1;
     }
     // 10 low phases at 2 QPS and 10 high phases at 8 QPS.
@@ -130,23 +130,23 @@ TEST(DiurnalArrivals, AverageQpsIsMidpoint)
 
 TEST(BurstArrivals, RateElevatedOnlyInWindow)
 {
-    BurstArrivals proc(1.0, 10.0, 100.0, 200.0);
-    EXPECT_DOUBLE_EQ(proc.qpsAt(50.0), 1.0);
-    EXPECT_DOUBLE_EQ(proc.qpsAt(150.0), 10.0);
-    EXPECT_DOUBLE_EQ(proc.qpsAt(250.0), 1.0);
+    BurstArrivals proc(1.0, 10.0, SimTime{100.0}, SimTime{200.0});
+    EXPECT_DOUBLE_EQ(proc.qpsAt(SimTime{50.0}), 1.0);
+    EXPECT_DOUBLE_EQ(proc.qpsAt(SimTime{150.0}), 10.0);
+    EXPECT_DOUBLE_EQ(proc.qpsAt(SimTime{250.0}), 1.0);
 }
 
 TEST(BurstArrivals, BurstDensityObserved)
 {
-    BurstArrivals proc(1.0, 20.0, 500.0, 600.0);
+    BurstArrivals proc(1.0, 20.0, SimTime{500.0}, SimTime{600.0});
     Rng rng(4);
     int in_burst = 0, outside = 0;
-    SimTime t = 0.0;
-    while (t < 1000.0) {
+    SimTime t;
+    while (t < SimTime{1000.0}) {
         t = proc.nextArrival(t, rng);
-        if (t >= 1000.0)
+        if (t >= SimTime{1000.0})
             break;
-        (t >= 500.0 && t < 600.0 ? in_burst : outside) += 1;
+        (t >= SimTime{500.0} && t < SimTime{600.0} ? in_burst : outside) += 1;
     }
     EXPECT_NEAR(in_burst, 2000, 300);  // 100 s at 20 QPS
     EXPECT_NEAR(outside, 900, 150);    // 900 s at 1 QPS
@@ -156,13 +156,13 @@ TEST(BurstArrivals, CrossingTheBoundaryIsExact)
 {
     // Arrivals generated just before the window must land inside it
     // at the burst rate, not leak past it at the base rate.
-    BurstArrivals proc(0.001, 50.0, 10.0, 20.0);
+    BurstArrivals proc(0.001, 50.0, SimTime{10.0}, SimTime{20.0});
     Rng rng(5);
-    SimTime t = proc.nextArrival(0.0, rng);
+    SimTime t = proc.nextArrival(SimTime{}, rng);
     // With base rate 0.001, the first draw almost surely crosses
     // into the burst window and lands shortly after 10.0.
-    EXPECT_GT(t, 10.0);
-    EXPECT_LT(t, 11.0);
+    EXPECT_GT(t, SimTime{10.0});
+    EXPECT_LT(t, SimTime{11.0});
 }
 
 } // namespace

@@ -13,38 +13,38 @@ namespace {
 TEST(QosTier, InteractiveFirstTokenDeadlineIsEq1)
 {
     QosTier q1 = interactiveTier(0, "Q1", 6.0, 0.05);
-    EXPECT_DOUBLE_EQ(q1.firstTokenDeadline(100.0), 106.0);
+    EXPECT_DOUBLE_EQ(q1.firstTokenDeadline(SimTime{100.0}).seconds(), 106.0);
 }
 
 TEST(QosTier, InteractiveTokenDeadlineIsEq2)
 {
     QosTier q1 = interactiveTier(0, "Q1", 6.0, 0.05);
-    SimTime arrival = 10.0;
-    EXPECT_DOUBLE_EQ(q1.tokenDeadline(arrival, 1), 16.0);
-    EXPECT_DOUBLE_EQ(q1.tokenDeadline(arrival, 2), 16.05);
-    EXPECT_DOUBLE_EQ(q1.tokenDeadline(arrival, 101), 16.0 + 100 * 0.05);
+    SimTime arrival{10.0};
+    EXPECT_DOUBLE_EQ(q1.tokenDeadline(arrival, 1).seconds(), 16.0);
+    EXPECT_DOUBLE_EQ(q1.tokenDeadline(arrival, 2).seconds(), 16.05);
+    EXPECT_DOUBLE_EQ(q1.tokenDeadline(arrival, 101).seconds(), 16.0 + 100 * 0.05);
 }
 
 TEST(QosTier, BatchTierDeadlinesAreEq3)
 {
     QosTier q3 = batchTier(2, "Q3", 1800.0);
-    EXPECT_DOUBLE_EQ(q3.firstTokenDeadline(50.0), 1850.0);
-    EXPECT_DOUBLE_EQ(q3.completionDeadline(50.0, 400), 1850.0);
-    EXPECT_EQ(q3.tokenDeadline(50.0, 7), kTimeNever);
+    EXPECT_DOUBLE_EQ(q3.firstTokenDeadline(SimTime{50.0}).seconds(), 1850.0);
+    EXPECT_DOUBLE_EQ(q3.completionDeadline(SimTime{50.0}, TokenCount{400}).seconds(), 1850.0);
+    EXPECT_EQ(q3.tokenDeadline(SimTime{50.0}, 7), kTimeNever);
 }
 
 TEST(QosTier, InteractiveCompletionDeadlineIsFinalTokenDeadline)
 {
     QosTier q1 = interactiveTier(0, "Q1", 6.0, 0.05);
-    EXPECT_DOUBLE_EQ(q1.completionDeadline(0.0, 100),
-                     q1.tokenDeadline(0.0, 100));
+    EXPECT_DOUBLE_EQ(q1.completionDeadline(SimTime{0.0}, TokenCount{100}).seconds(),
+                     q1.tokenDeadline(SimTime{0.0}, 100).seconds());
 }
 
 TEST(QosTier, TokenDeadlinesAreMonotonic)
 {
     QosTier q1 = interactiveTier(0, "Q1", 3.0, 0.025);
     for (int n = 1; n < 50; ++n) {
-        EXPECT_LT(q1.tokenDeadline(0.0, n), q1.tokenDeadline(0.0, n + 1));
+        EXPECT_LT(q1.tokenDeadline(SimTime{0.0}, n), q1.tokenDeadline(SimTime{0.0}, n + 1));
     }
 }
 

@@ -30,7 +30,7 @@ TEST(TraceIo, RoundTripPreservesEveryField)
         const RequestSpec &a = original.requests[i];
         const RequestSpec &b = parsed.requests[i];
         EXPECT_EQ(a.id, b.id);
-        EXPECT_DOUBLE_EQ(a.arrival, b.arrival);
+        EXPECT_DOUBLE_EQ(a.arrival.seconds(), b.arrival.seconds());
         EXPECT_EQ(a.promptTokens, b.promptTokens);
         EXPECT_EQ(a.decodeTokens, b.decodeTokens);
         EXPECT_EQ(a.tierId, b.tierId);

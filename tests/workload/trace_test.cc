@@ -15,7 +15,7 @@ TEST(TraceBuilder, BuildByDurationCoversWindow)
     Trace trace = TraceBuilder().seed(1).build(PoissonArrivals(5.0), 600.0);
     EXPECT_NEAR(static_cast<double>(trace.requests.size()), 3000.0, 300.0);
     for (const auto &r : trace.requests)
-        EXPECT_LE(r.arrival, 600.0);
+        EXPECT_LE(r.arrival, SimTime{600.0});
 }
 
 TEST(TraceBuilder, BuildCountProducesExactCount)

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Pass 2: the src/ include graph vs. the declared layering DAG.
+ *
+ * tools/layering.manifest declares, for every module under src/, the
+ * set of modules it may include. The pass parses every `#include`
+ * directive in the scanned src/ files (from the comments-blanked
+ * view, so commented-out includes do not count) and reports:
+ *
+ *  - an include of a module outside the declared dependency set
+ *    (an upward or sideways edge the architecture does not allow);
+ *  - a file in a module the manifest does not declare (new modules
+ *    must take a position in the DAG before they build).
+ *
+ * The manifest itself is validated at load time: unknown
+ * dependencies and cycles in the *declared* graph are load errors,
+ * so the checked-in architecture is acyclic by construction and the
+ * actual include graph — a subgraph of it — is too.
+ */
+
+#include <sstream>
+
+#include "lint/passes.hh"
+
+namespace qoserve_lint {
+
+namespace {
+
+/** Depth-first cycle search over the declared graph. */
+bool
+findCycle(const std::map<std::string, std::set<std::string>> &deps,
+          const std::string &node, std::map<std::string, int> &color,
+          std::vector<std::string> &path)
+{
+    color[node] = 1;
+    path.push_back(node);
+    auto it = deps.find(node);
+    if (it != deps.end()) {
+        for (const std::string &next : it->second) {
+            int c = color.count(next) ? color[next] : 0;
+            if (c == 1) {
+                path.push_back(next);
+                return true;
+            }
+            if (c == 0 && findCycle(deps, next, color, path))
+                return true;
+        }
+    }
+    color[node] = 2;
+    path.pop_back();
+    return false;
+}
+
+/** Project-local includes (`#include "a/b.hh"`) with line numbers. */
+std::vector<std::pair<std::string, std::size_t>>
+projectIncludes(const SourceFile &f)
+{
+    std::vector<std::pair<std::string, std::size_t>> incs;
+    std::istringstream in(f.noComments);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::size_t i = line.find_first_not_of(" \t");
+        if (i == std::string::npos || line[i] != '#')
+            continue;
+        i = line.find_first_not_of(" \t", i + 1);
+        if (i == std::string::npos ||
+            line.compare(i, 7, "include") != 0)
+            continue;
+        std::size_t open = line.find('"', i + 7);
+        if (open == std::string::npos)
+            continue;
+        std::size_t close = line.find('"', open + 1);
+        if (close == std::string::npos)
+            continue;
+        incs.emplace_back(line.substr(open + 1, close - open - 1),
+                          lineno);
+    }
+    return incs;
+}
+
+} // namespace
+
+bool
+LayeringManifest::load(const std::string &path, std::string &error)
+{
+    SourceFile f;
+    if (!loadSourceFile(path, f)) {
+        error = "cannot read layering manifest " + path;
+        return false;
+    }
+    deps.clear();
+    std::istringstream in(f.raw);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        if (line.find_first_not_of(" \t") == std::string::npos)
+            continue;
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos) {
+            error = path + ":" + std::to_string(lineno) +
+                    ": expected `module: dep dep ...`";
+            return false;
+        }
+        std::istringstream head(line.substr(0, colon));
+        std::string module;
+        head >> module;
+        std::string extra;
+        if (module.empty() || (head >> extra)) {
+            error = path + ":" + std::to_string(lineno) +
+                    ": expected exactly one module name before `:`";
+            return false;
+        }
+        if (deps.count(module) > 0) {
+            error = path + ":" + std::to_string(lineno) +
+                    ": module `" + module + "` declared twice";
+            return false;
+        }
+        std::istringstream tail(line.substr(colon + 1));
+        std::set<std::string> &d = deps[module];
+        std::string dep;
+        while (tail >> dep)
+            d.insert(dep);
+    }
+    for (const auto &entry : deps) {
+        for (const std::string &dep : entry.second) {
+            if (deps.count(dep) == 0) {
+                error = path + ": module `" + entry.first +
+                        "` depends on undeclared module `" + dep + "`";
+                return false;
+            }
+        }
+    }
+    std::map<std::string, int> color;
+    for (const auto &entry : deps) {
+        std::vector<std::string> cycle;
+        if ((color.count(entry.first) ? color[entry.first] : 0) == 0 &&
+            findCycle(deps, entry.first, color, cycle)) {
+            std::string joined;
+            for (const std::string &n : cycle)
+                joined += (joined.empty() ? "" : " -> ") + n;
+            error = path + ": declared dependency cycle: " + joined;
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+layeringPass(std::vector<SourceFile> &files,
+             const LayeringManifest &manifest, std::vector<Finding> &out)
+{
+    for (SourceFile &f : files) {
+        std::string mod = f.module();
+        if (mod.empty())
+            continue; // Layering governs src/ only.
+        auto self = manifest.deps.find(mod);
+        if (self == manifest.deps.end()) {
+            report(f, 1, "layering",
+                   "module `" + mod +
+                       "` is not declared in the layering manifest; "
+                       "add it (with its allowed dependencies) to "
+                       "tools/layering.manifest",
+                   out);
+            continue;
+        }
+        for (const auto &inc : projectIncludes(f)) {
+            std::size_t slash = inc.first.find('/');
+            if (slash == std::string::npos)
+                continue; // In-module include ("foo.hh").
+            std::string dep = inc.first.substr(0, slash);
+            if (manifest.deps.count(dep) == 0)
+                continue; // Not a src/ module (system or vendored).
+            if (dep == mod || self->second.count(dep) > 0)
+                continue;
+            report(f, inc.second, "layering",
+                   "module `" + mod + "` includes `" + inc.first +
+                       "`, but `" + dep +
+                       "` is not an allowed dependency of `" + mod +
+                       "` in tools/layering.manifest; this edge "
+                       "points up or across the layering DAG",
+                   out);
+        }
+    }
+}
+
+} // namespace qoserve_lint

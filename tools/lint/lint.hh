@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Core types of the qoserve multi-pass lint.
+ *
+ * The analyzer loads every source file once into a SourceFile — raw
+ * bytes plus two derived views (comments blanked, comments+strings
+ * blanked) and the suppression markers — then runs a fixed sequence
+ * of passes over the corpus (see passes.hh). Passes append Findings;
+ * suppression is resolved here so every pass shares the same
+ * `allow(rule)` suppression semantics and so the stale-suppression
+ * pass can account for markers no pass ever consumed.
+ */
+
+#ifndef QOSERVE_TOOLS_LINT_LINT_HH
+#define QOSERVE_TOOLS_LINT_LINT_HH
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qoserve_lint {
+
+/** One diagnostic: a rule violated at a file:line. */
+struct Finding
+{
+    std::string file;
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/**
+ * One suppression marker (the `allow(rule-a, rule-b)` comment tag). A marker covers
+ * its own line and the next; `used` records which of its rules
+ * actually suppressed a finding, so the stale-suppression pass can
+ * flag the rest.
+ */
+struct AllowMarker
+{
+    std::size_t line = 0;
+    std::set<std::string> rules;
+    std::set<std::string> used;
+};
+
+/** One file loaded for analysis. */
+struct SourceFile
+{
+    std::string path; ///< As given on the command line (generic form).
+    std::string raw;  ///< Exact file bytes.
+
+    /** Comments blanked to spaces, strings kept: the view for
+     *  preprocessor-level scans (#include parsing). */
+    std::string noComments;
+
+    /** Comments and string/char literals blanked: the view the
+     *  tokenizer and all token-level passes consume. */
+    std::string code;
+
+    /** Suppression markers keyed by the line they sit on. */
+    std::map<std::size_t, AllowMarker> markers;
+
+    bool isHeader() const;
+    /** True for library sources (under a src/ tree). */
+    bool inLibrary() const;
+    /** Module name for src/<module>/... paths, "" otherwise. */
+    std::string module() const;
+};
+
+/** Load @p path into @p out; false when unreadable. */
+bool loadSourceFile(const std::string &path, SourceFile &out);
+
+/** Line number (1-based) of byte offset @p pos in @p text. */
+std::size_t lineOf(const std::string &text, std::size_t pos);
+
+/**
+ * True when @p rule is suppressed at @p line of @p f; marks the
+ * covering marker as used. Mutates @p f — the single entry point for
+ * suppression keeps the stale accounting exact.
+ */
+bool allowed(SourceFile &f, std::size_t line, const std::string &rule);
+
+/** Append a finding unless a marker suppresses it. */
+void report(SourceFile &f, std::size_t line, const std::string &rule,
+            const std::string &message, std::vector<Finding> &out);
+
+} // namespace qoserve_lint
+
+#endif // QOSERVE_TOOLS_LINT_LINT_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * SARIF 2.1.0 writer.
+ *
+ * Hand-rolled JSON: the schema subset CI consumes (tool.driver.rules
+ * + results with physical locations) is small enough that a
+ * dependency-free writer beats vendoring a JSON library. Key order
+ * and formatting are fixed so the artifact is byte-deterministic for
+ * a given finding list.
+ */
+
+#include "lint/sarif.hh"
+
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+
+namespace qoserve_lint {
+
+namespace {
+
+/** One-line descriptions for the rule metadata table. */
+const std::map<std::string, std::string> &
+ruleDescriptions()
+{
+    static const std::map<std::string, std::string> descs = {
+        {"no-wall-clock",
+         "Simulation code must not read wall-clock time"},
+        {"no-std-rand",
+         "Simulation code must use the seeded simcore Rng"},
+        {"unordered-iter",
+         "No range-for over unordered containers without a "
+         "determinism justification"},
+        {"no-raw-io",
+         "Library code routes diagnostics through simcore/logging"},
+        {"header-guard", "Headers carry QOSERVE_-prefixed guards"},
+        {"doxygen-file", "Files open with a Doxygen @file comment"},
+        {"layering",
+         "src/ includes must follow the declared module-layering DAG"},
+        {"exhaustive-switch",
+         "Defaultless switches over project enums name every "
+         "enumerator"},
+        {"raw-unit",
+         "Public src/ headers use strong unit types for time and "
+         "token counts"},
+        {"stale-suppression",
+         "allow(...) markers must still suppress a finding"},
+    };
+    return descs;
+}
+
+/** JSON string escaping (control chars, quotes, backslashes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeSarif(const std::vector<Finding> &findings, std::ostream &out)
+{
+    std::set<std::string> rules;
+    for (const Finding &f : findings)
+        rules.insert(f.rule);
+
+    out << "{\n"
+        << "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"qoserve_lint\",\n"
+        << "          \"informationUri\": "
+           "\"https://example.invalid/qoserve/DESIGN.md\",\n"
+        << "          \"rules\": [";
+    bool first = true;
+    const auto &descs = ruleDescriptions();
+    for (const std::string &rule : rules) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        auto it = descs.find(rule);
+        std::string desc =
+            it != descs.end() ? it->second : "qoserve lint rule";
+        out << "            {\n"
+            << "              \"id\": \"" << jsonEscape(rule)
+            << "\",\n"
+            << "              \"shortDescription\": { \"text\": \""
+            << jsonEscape(desc) << "\" }\n"
+            << "            }";
+    }
+    out << (rules.empty() ? "" : "\n          ") << "]\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"results\": [";
+    first = true;
+    for (const Finding &f : findings) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "        {\n"
+            << "          \"ruleId\": \"" << jsonEscape(f.rule)
+            << "\",\n"
+            << "          \"level\": \"error\",\n"
+            << "          \"message\": { \"text\": \""
+            << jsonEscape(f.message) << "\" },\n"
+            << "          \"locations\": [\n"
+            << "            {\n"
+            << "              \"physicalLocation\": {\n"
+            << "                \"artifactLocation\": { \"uri\": \""
+            << jsonEscape(f.file) << "\" },\n"
+            << "                \"region\": { \"startLine\": "
+            << f.line << " }\n"
+            << "              }\n"
+            << "            }\n"
+            << "          ]\n"
+            << "        }";
+    }
+    out << (findings.empty() ? "" : "\n      ") << "]\n"
+        << "    }\n"
+        << "  ]\n"
+        << "}\n";
+}
+
+} // namespace qoserve_lint

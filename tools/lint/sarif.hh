@@ -1,0 +1,25 @@
+/**
+ * @file
+ * SARIF 2.1.0 output for the lint findings.
+ */
+
+#ifndef QOSERVE_TOOLS_LINT_SARIF_HH
+#define QOSERVE_TOOLS_LINT_SARIF_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace qoserve_lint {
+
+/**
+ * Write @p findings as a SARIF 2.1.0 log. Rule metadata is derived
+ * from the findings themselves (one reportingDescriptor per distinct
+ * rule id); output key order is fixed so the bytes are deterministic.
+ */
+void writeSarif(const std::vector<Finding> &findings, std::ostream &out);
+
+} // namespace qoserve_lint
+
+#endif // QOSERVE_TOOLS_LINT_SARIF_HH

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Source loading, comment/string blanking, and suppression markers.
+ */
+
+#include "lint/lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace qoserve_lint {
+
+namespace {
+
+/**
+ * Replace comments (always) and string/char literals (when
+ * @p blankStrings) with spaces, preserving newlines so byte offsets
+ * keep mapping to the same lines.
+ */
+std::string
+blank(const std::string &src, bool blankStrings)
+{
+    std::string out = src;
+    enum class State { Code, Line, Block, Str, Chr };
+    State st = State::Code;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        char c = out[i];
+        char n = i + 1 < out.size() ? out[i + 1] : '\0';
+        switch (st) {
+          case State::Code:
+            if (c == '/' && n == '/') {
+                st = State::Line;
+                out[i] = ' ';
+            } else if (c == '/' && n == '*') {
+                st = State::Block;
+                out[i] = ' ';
+            } else if (c == '"') {
+                st = State::Str;
+                if (blankStrings)
+                    out[i] = ' ';
+            } else if (c == '\'') {
+                st = State::Chr;
+                if (blankStrings)
+                    out[i] = ' ';
+            }
+            break;
+          case State::Line:
+            if (c == '\n')
+                st = State::Code;
+            else
+                out[i] = ' ';
+            break;
+          case State::Block:
+            if (c == '*' && n == '/') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+                st = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::Str:
+          case State::Chr: {
+            char quote = st == State::Str ? '"' : '\'';
+            if (c == '\\' && n != '\0') {
+                if (blankStrings) {
+                    out[i] = ' ';
+                    if (n != '\n')
+                        out[i + 1] = ' ';
+                }
+                ++i;
+            } else if (c == quote) {
+                if (blankStrings)
+                    out[i] = ' ';
+                st = State::Code;
+            } else if (c != '\n' && blankStrings) {
+                out[i] = ' ';
+            }
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+/**
+ * Parse suppression markers from the raw text. A marker is the tag
+ * below followed by a parenthesized rule list, and must sit inside a
+ * comment: occurrences in string literals (a linter quoting its own
+ * marker syntax, say) do not count, which @p noComments — where
+ * comments are spaces but strings survive — lets us check.
+ */
+std::map<std::size_t, AllowMarker>
+collectMarkers(const std::string &src, const std::string &noComments)
+{
+    std::map<std::size_t, AllowMarker> markers;
+    const std::string tag = "qoserve-lint: allow(";
+    std::size_t pos = 0;
+    while ((pos = src.find(tag, pos)) != std::string::npos) {
+        std::size_t start = pos + tag.size();
+        std::size_t end = src.find(')', start);
+        if (end == std::string::npos)
+            break;
+        if (noComments[pos] != ' ') {
+            pos = end; // Not in a comment (e.g. a string literal).
+            continue;
+        }
+        std::size_t line = lineOf(src, pos);
+        AllowMarker &m = markers[line];
+        m.line = line;
+        std::stringstream rules(src.substr(start, end - start));
+        std::string rule;
+        while (std::getline(rules, rule, ',')) {
+            rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                      [](unsigned char c) {
+                                          return std::isspace(c) != 0;
+                                      }),
+                       rule.end());
+            if (!rule.empty())
+                m.rules.insert(rule);
+        }
+        pos = end;
+    }
+    return markers;
+}
+
+} // namespace
+
+std::size_t
+lineOf(const std::string &text, std::size_t pos)
+{
+    return 1 + static_cast<std::size_t>(
+                   std::count(text.begin(), text.begin() + pos, '\n'));
+}
+
+bool
+SourceFile::isHeader() const
+{
+    return path.size() >= 3 &&
+           path.compare(path.size() - 3, 3, ".hh") == 0;
+}
+
+bool
+SourceFile::inLibrary() const
+{
+    return path.rfind("src/", 0) == 0 ||
+           path.find("/src/") != std::string::npos;
+}
+
+std::string
+SourceFile::module() const
+{
+    std::size_t base = path.rfind("src/", 0) == 0
+                           ? 4
+                           : path.find("/src/") != std::string::npos
+                                 ? path.find("/src/") + 5
+                                 : std::string::npos;
+    if (base == std::string::npos)
+        return "";
+    std::size_t slash = path.find('/', base);
+    if (slash == std::string::npos)
+        return "";
+    return path.substr(base, slash - base);
+}
+
+bool
+loadSourceFile(const std::string &path, SourceFile &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out.path = path;
+    out.raw = buf.str();
+    out.noComments = blank(out.raw, false);
+    out.code = blank(out.raw, true);
+    out.markers = collectMarkers(out.raw, out.noComments);
+    return true;
+}
+
+bool
+allowed(SourceFile &f, std::size_t line, const std::string &rule)
+{
+    // A marker covers its own line and the following one, so the
+    // covering marker sits at `line` or `line - 1`.
+    for (std::size_t cand : {line, line - 1}) {
+        auto it = f.markers.find(cand);
+        if (it != f.markers.end() && it->second.rules.count(rule) > 0) {
+            it->second.used.insert(rule);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+report(SourceFile &f, std::size_t line, const std::string &rule,
+       const std::string &message, std::vector<Finding> &out)
+{
+    if (!allowed(f, line, rule))
+        out.push_back({f.path, line, rule, message});
+}
+
+} // namespace qoserve_lint

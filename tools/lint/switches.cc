@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Pass 3: defaultless switches over project enums are exhaustive.
+ *
+ * The pass first harvests every `enum class` declared in a library
+ * header (src/), then walks each scanned file's token stream for
+ * `switch` statements. A switch whose case labels reference a
+ * harvested enum (`Enum::Value`) and which carries no `default:`
+ * label must name every enumerator: adding an enumerator then fails
+ * the lint at every switch that silently ignores it, which is the
+ * whole point. Switches that *do* declare a `default:` opted into a
+ * catch-all and are left alone — the compiler cannot tell the two
+ * apart once a default exists, and neither can we.
+ *
+ * Case labels are collected at brace depth 1 of the switch body, so
+ * nested switches are attributed to their own statement.
+ */
+
+#include <algorithm>
+
+#include "lint/passes.hh"
+#include "lint/tokenizer.hh"
+
+namespace qoserve_lint {
+
+EnumTable
+collectProjectEnums(const std::vector<SourceFile> &files)
+{
+    EnumTable enums;
+    for (const SourceFile &f : files) {
+        if (!f.inLibrary() || !f.isHeader())
+            continue;
+        std::vector<Token> toks = tokenize(f.code);
+        for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+            if (!toks[i].ident("enum"))
+                continue;
+            std::size_t j = i + 1;
+            if (toks[j].ident("class") || toks[j].ident("struct"))
+                ++j;
+            if (j >= toks.size() ||
+                toks[j].kind != TokenKind::Identifier)
+                continue;
+            std::string name = toks[j].text;
+            ++j;
+            // Skip an underlying-type clause (`: std::uint8_t`).
+            if (j < toks.size() && toks[j].is(":")) {
+                ++j;
+                while (j < toks.size() && !toks[j].is("{") &&
+                       !toks[j].is(";"))
+                    ++j;
+            }
+            if (j >= toks.size() || !toks[j].is("{"))
+                continue; // Forward declaration.
+            std::size_t close = matchBracket(toks, j, "{", "}");
+            std::vector<std::string> values;
+            // Enumerators sit at depth 1: an identifier right after
+            // `{` or a `,`, optionally followed by `= expr`.
+            bool expect = true;
+            int depth = 0;
+            for (std::size_t k = j; k < close; ++k) {
+                if (toks[k].is("{") || toks[k].is("(")) {
+                    ++depth;
+                    continue;
+                }
+                if (toks[k].is("}") || toks[k].is(")")) {
+                    --depth;
+                    continue;
+                }
+                if (depth != 1)
+                    continue;
+                if (toks[k].is(",")) {
+                    expect = true;
+                } else if (expect &&
+                           toks[k].kind == TokenKind::Identifier) {
+                    values.push_back(toks[k].text);
+                    expect = false;
+                }
+            }
+            if (!values.empty())
+                enums[name] = values;
+            i = close;
+        }
+    }
+    return enums;
+}
+
+void
+exhaustiveSwitchPass(std::vector<SourceFile> &files,
+                     const EnumTable &enums, std::vector<Finding> &out)
+{
+    for (SourceFile &f : files) {
+        std::vector<Token> toks = tokenize(f.code);
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (!toks[i].ident("switch"))
+                continue;
+            // switch ( expr ) { ... }
+            std::size_t open = i + 1;
+            if (open >= toks.size() || !toks[open].is("("))
+                continue;
+            std::size_t closeParen =
+                matchBracket(toks, open, "(", ")");
+            std::size_t body = closeParen + 1;
+            if (body >= toks.size() || !toks[body].is("{"))
+                continue;
+            std::size_t closeBody = matchBracket(toks, body, "{", "}");
+
+            // Depth-1 labels: `case Enum::Value:` and `default:`.
+            bool hasDefault = false;
+            std::string enumName;
+            std::set<std::string> covered;
+            int depth = 0;
+            for (std::size_t k = body; k < closeBody; ++k) {
+                if (toks[k].is("{")) {
+                    ++depth;
+                    continue;
+                }
+                if (toks[k].is("}")) {
+                    --depth;
+                    continue;
+                }
+                if (depth != 1)
+                    continue;
+                if (toks[k].ident("default")) {
+                    hasDefault = true;
+                } else if (toks[k].ident("case") &&
+                           k + 3 < closeBody &&
+                           toks[k + 1].kind == TokenKind::Identifier &&
+                           toks[k + 2].is("::") &&
+                           toks[k + 3].kind == TokenKind::Identifier &&
+                           enums.count(toks[k + 1].text) > 0) {
+                    if (enumName.empty())
+                        enumName = toks[k + 1].text;
+                    if (toks[k + 1].text == enumName)
+                        covered.insert(toks[k + 3].text);
+                }
+            }
+            if (hasDefault || enumName.empty()) {
+                i = body;
+                continue;
+            }
+            std::vector<std::string> missing;
+            for (const std::string &v : enums.at(enumName)) {
+                if (covered.count(v) == 0)
+                    missing.push_back(v);
+            }
+            if (!missing.empty()) {
+                std::string list;
+                for (const std::string &v : missing)
+                    list += (list.empty() ? "" : ", ") + enumName +
+                            "::" + v;
+                report(f, toks[i].line, "exhaustive-switch",
+                       "switch over `" + enumName +
+                           "` has no default and does not handle " +
+                           list +
+                           "; name every enumerator (or add a "
+                           "deliberate default) so new enumerators "
+                           "cannot be silently ignored",
+                       out);
+            }
+            i = body;
+        }
+    }
+}
+
+} // namespace qoserve_lint

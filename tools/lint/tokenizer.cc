@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tokenizer over comment/string-blanked source text.
+ */
+
+#include "lint/tokenizer.hh"
+
+#include <cctype>
+
+namespace qoserve_lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &code)
+{
+    std::vector<Token> toks;
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < code.size();) {
+        char c = code[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            ++i;
+            continue;
+        }
+        if (isIdentStart(c)) {
+            std::size_t start = i;
+            while (i < code.size() && isIdentChar(code[i]))
+                ++i;
+            toks.push_back({TokenKind::Identifier,
+                            code.substr(start, i - start), line});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+            std::size_t start = i;
+            // pp-number: digits, idents, dots, and exponent signs.
+            while (i < code.size() &&
+                   (isIdentChar(code[i]) || code[i] == '.' ||
+                    ((code[i] == '+' || code[i] == '-') && i > start &&
+                     (code[i - 1] == 'e' || code[i - 1] == 'E' ||
+                      code[i - 1] == 'p' || code[i - 1] == 'P')))) {
+                ++i;
+            }
+            toks.push_back({TokenKind::Number,
+                            code.substr(start, i - start), line});
+            continue;
+        }
+        if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+            toks.push_back({TokenKind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        toks.push_back({TokenKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return toks;
+}
+
+std::size_t
+matchBracket(const std::vector<Token> &toks, std::size_t openIdx,
+             const char *open, const char *close)
+{
+    int depth = 0;
+    for (std::size_t i = openIdx; i < toks.size(); ++i) {
+        if (toks[i].is(open))
+            ++depth;
+        else if (toks[i].is(close)) {
+            --depth;
+            if (depth == 0)
+                return i;
+        }
+    }
+    return toks.size();
+}
+
+} // namespace qoserve_lint

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared C++ token stream for the lint passes.
+ *
+ * The tokenizer consumes the comment/string-blanked view of a source
+ * file (SourceFile::code) and yields identifiers, numbers, and
+ * punctuators with their 1-based line numbers. It is deliberately
+ * not a full lexer — blanking already removed comments and literals,
+ * and the passes only need word boundaries, bracket matching, and
+ * `::` scoping — but every pass reads the same stream, so a rule
+ * can never match inside a comment or string by construction.
+ */
+
+#ifndef QOSERVE_TOOLS_LINT_TOKENIZER_HH
+#define QOSERVE_TOOLS_LINT_TOKENIZER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qoserve_lint {
+
+enum class TokenKind
+{
+    Identifier, ///< [A-Za-z_][A-Za-z0-9_]* — includes keywords.
+    Number,     ///< Numeric literal (digits and pp-number tails).
+    Punct,      ///< One punctuator; "::" is fused into one token.
+};
+
+struct Token
+{
+    TokenKind kind = TokenKind::Punct;
+    std::string text;
+    std::size_t line = 0;
+
+    bool is(const char *t) const { return text == t; }
+    bool ident(const char *t) const
+    {
+        return kind == TokenKind::Identifier && text == t;
+    }
+};
+
+/** Tokenize blanked code (SourceFile::code). */
+std::vector<Token> tokenize(const std::string &code);
+
+/**
+ * Index of the bracket matching @p open (one of `(`/`[`/`{`/`<`... —
+ * the caller picks the pair) scanning @p toks from @p openIdx, which
+ * must point at the opening token. Returns toks.size() when
+ * unbalanced.
+ */
+std::size_t matchBracket(const std::vector<Token> &toks,
+                         std::size_t openIdx, const char *open,
+                         const char *close);
+
+} // namespace qoserve_lint
+
+#endif // QOSERVE_TOOLS_LINT_TOKENIZER_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Pass 4: raw time/token scalars in src/ header parameter lists.
+ *
+ * The vocabulary layer (core/units.hh, simcore/time.hh) gives
+ * simulated time and token counts strong types; a public interface
+ * that spells them as bare `double`/`int` reopens the door to the
+ * argument-swap bugs the types exist to prevent. The pass parses
+ * every parameter list in a library header and flags:
+ *
+ *  - `double` parameters with time-of-day names (t, now, time, when,
+ *    deadline, start, end, horizon, arrival, or a `_time` /
+ *    `_deadline` / `_arrival` / `_horizon` suffix) — points in simulated time must be
+ *    SimTime. Durations (spans) deliberately stay raw: SimDuration
+ *    is an alias for double (DESIGN.md §12), and fractional token
+ *    *estimates* (e.g. estPrefillTime's expected-token argument)
+ *    are doubles by design and carry non-time names.
+ *
+ *  - `int`/`std::int64_t`/`long` parameters named `tokens` or
+ *    `*_tokens` — token counts must be TokenCount.
+ *
+ * Parameter parsing is heuristic (this is a linter, not a compiler):
+ * an identifier followed by a bracket-matched `(...)` whose
+ * top-level comma-separated entries start with one of the flagged
+ * type spellings. Expressions almost never begin with a bare type
+ * keyword, so false positives are rare; a real one can be
+ * suppressed with an `allow(raw-unit)` marker plus a
+ * justification.
+ */
+
+#include <algorithm>
+
+#include "lint/passes.hh"
+#include "lint/tokenizer.hh"
+
+namespace qoserve_lint {
+
+namespace {
+
+const char *const kTimeNames[] = {
+    "t",   "now", "time",    "when",    "deadline",
+    "start", "end", "horizon", "arrival",
+};
+
+const char *const kTimeSuffixes[] = {
+    "_time",
+    "_deadline",
+    "_arrival",
+    "_horizon",
+};
+
+bool
+isTimeName(const std::string &name)
+{
+    for (const char *n : kTimeNames) {
+        if (name == n)
+            return true;
+    }
+    for (const char *sfx : kTimeSuffixes) {
+        std::size_t len = std::string(sfx).size();
+        if (name.size() > len &&
+            name.compare(name.size() - len, len, sfx) == 0)
+            return true;
+    }
+    return false;
+}
+
+bool
+isTokenName(const std::string &name)
+{
+    if (name == "tokens")
+        return true;
+    const std::string sfx = "_tokens";
+    return name.size() > sfx.size() &&
+           name.compare(name.size() - sfx.size(), sfx.size(), sfx) == 0;
+}
+
+/** Keywords that cannot open a parameter list we care about. */
+bool
+isControlKeyword(const std::string &s)
+{
+    return s == "if" || s == "while" || s == "for" || s == "switch" ||
+           s == "return" || s == "sizeof" || s == "catch";
+}
+
+/**
+ * Parse one parameter entry (tokens between top-level commas).
+ * Returns the flagged rule message, or "" when the entry is fine.
+ */
+std::string
+checkParam(const std::vector<Token> &toks, std::size_t begin,
+           std::size_t end)
+{
+    std::size_t i = begin;
+    if (i < end && toks[i].ident("const"))
+        ++i;
+    if (i >= end || toks[i].kind != TokenKind::Identifier)
+        return "";
+
+    // Spell out the type head: `double`, `int`, `long [long]`,
+    // `[std ::] int64_t` et al.
+    std::string type = toks[i].text;
+    ++i;
+    if (type == "std" && i + 1 < end && toks[i].is("::") &&
+        toks[i + 1].kind == TokenKind::Identifier) {
+        type += "::" + toks[i + 1].text;
+        i += 2;
+    } else if (type == "long" && i < end && toks[i].ident("long")) {
+        type += " long";
+        ++i;
+    } else if (type == "unsigned" && i < end &&
+               toks[i].kind == TokenKind::Identifier) {
+        type += " " + toks[i].text;
+        ++i;
+    }
+
+    bool doubleType = type == "double";
+    bool intType = type == "int" || type == "long" ||
+                   type == "long long" || type == "std::int64_t" ||
+                   type == "int64_t" || type == "std::uint64_t" ||
+                   type == "uint64_t" || type == "std::int32_t" ||
+                   type == "int32_t";
+    if (!doubleType && !intType)
+        return "";
+
+    // Skip reference/pointer decoration; the next identifier is the
+    // parameter name. Anything else (another type word, a `)` for an
+    // unnamed parameter, a template bracket) means this entry is not
+    // the simple `type name` shape the rule targets.
+    while (i < end && (toks[i].is("&") || toks[i].is("*")))
+        ++i;
+    if (i >= end || toks[i].kind != TokenKind::Identifier)
+        return "";
+    std::string name = toks[i].text;
+    ++i;
+    // A default value (`= expr`) or end-of-entry is fine; a further
+    // token like `(` means we misread a call/declarator — bail.
+    if (i < end && !toks[i].is("="))
+        return "";
+
+    if (doubleType && isTimeName(name)) {
+        return "parameter `double " + name +
+               "` passes a point in simulated time as a raw double; "
+               "use SimTime (simcore/time.hh, re-exported by "
+               "core/units.hh) - durations may stay SimDuration";
+    }
+    if (intType && isTokenName(name)) {
+        return "parameter `" + type + " " + name +
+               "` passes a token count as a raw integer; use "
+               "TokenCount (core/units.hh)";
+    }
+    return "";
+}
+
+} // namespace
+
+void
+rawUnitPass(std::vector<SourceFile> &files, std::vector<Finding> &out)
+{
+    for (SourceFile &f : files) {
+        if (!f.inLibrary() || !f.isHeader())
+            continue;
+        std::vector<Token> toks = tokenize(f.code);
+        for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+            if (toks[i].kind != TokenKind::Identifier ||
+                isControlKeyword(toks[i].text) ||
+                !toks[i + 1].is("("))
+                continue;
+            std::size_t open = i + 1;
+            std::size_t close = matchBracket(toks, open, "(", ")");
+            if (close >= toks.size())
+                continue;
+            // Split the parenthesized range at top-level commas.
+            std::size_t begin = open + 1;
+            int depth = 0;
+            for (std::size_t k = open + 1; k <= close; ++k) {
+                if (toks[k].is("(") || toks[k].is("[") ||
+                    toks[k].is("{")) {
+                    ++depth;
+                    continue;
+                }
+                if (toks[k].is(")") || toks[k].is("]") ||
+                    toks[k].is("}")) {
+                    if (k == close && depth == 0) {
+                        // Final entry.
+                    } else {
+                        --depth;
+                        continue;
+                    }
+                }
+                if ((toks[k].is(",") && depth == 0) || k == close) {
+                    std::string msg = checkParam(toks, begin, k);
+                    if (!msg.empty())
+                        report(f, toks[begin].line, "raw-unit", msg,
+                               out);
+                    begin = k + 1;
+                }
+            }
+        }
+    }
+}
+
+} // namespace qoserve_lint

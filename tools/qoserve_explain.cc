@@ -88,7 +88,7 @@ main(int argc, char **argv)
     for (const RecordsCsvRow &row : rows) {
         ExplainRecord rec;
         rec.id = row.id;
-        rec.arrival = row.arrival;
+        rec.arrival = SimTime{row.arrival};
         rec.tierId = row.tierId;
         rec.important = row.important;
         rec.ttft = row.ttft;

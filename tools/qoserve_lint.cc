@@ -1,436 +1,47 @@
 /**
  * @file
- * Determinism and style lint for the qoserve sources.
+ * Driver for the qoserve multi-pass static analyzer.
  *
- * The simulator's contract (DESIGN.md §6) is that results are a pure
- * function of (seed, config) — never of wall-clock time, global RNG
- * state, or heap addresses. This scanner enforces the source-level
- * half of that contract plus two repo conventions:
+ * Loads every .hh/.cc under the given paths, then runs the pass
+ * sequence from tools/lint/passes.hh: determinism/style token rules,
+ * the include-graph layering check (when a manifest is given), the
+ * exhaustive-switch and raw-unit semantic passes, and finally the
+ * stale-suppression accounting. Findings go to stderr in
+ * `file:line: [rule] message` form and, with --json, to a SARIF
+ * 2.1.0 log for CI annotation.
  *
- *  - no-wall-clock:   std::chrono system/steady clocks, time(),
- *                     clock(), gettimeofday() in simulation code;
- *  - no-std-rand:     std::rand/srand, random_device,
- *                     random_shuffle, *rand48, mt19937,
- *                     default_random_engine, minstd_rand (use the
- *                     simcore Rng — fault schedules in src/fault
- *                     depend on its splittable streams);
- *  - unordered-iter:  range-for over an unordered_map/unordered_set
- *                     — iteration order is hash/address dependent, so
- *                     anything order-sensitive downstream becomes
- *                     nondeterministic under ASLR;
- *  - no-raw-io:       printf/fprintf/puts and std::cout/std::cerr in
- *                     library code (src/): diagnostics go through
- *                     simcore/logging so they carry severity, stay
- *                     uniform, and can be captured in tests.
- *                     Formatting into buffers (snprintf) and the CLI
- *                     drivers under tools/ are unaffected;
- *  - header-guard:    every .hh carries a QOSERVE_-prefixed guard;
- *  - doxygen-file:    every file opens with a Doxygen @file comment.
+ * Usage:
+ *   qoserve_lint [--manifest FILE] [--json FILE|-]
+ *                [--exclude SUBSTR]... <file-or-directory>...
  *
- * A finding is suppressed by a marker on the same or the preceding
- * line:
- *
- *     // qoserve-lint: allow(unordered-iter)
- *
- * Suppress only with a comment explaining why the flagged pattern is
- * deterministic (e.g. the loop's result is re-sorted, or selection
- * uses a total order).
- *
- * Usage: qoserve_lint <file-or-directory>...
- * Exits 1 when any violation is found, 2 on usage errors.
+ * --manifest enables the layering pass (tools/layering.manifest);
+ * --exclude drops any loaded path containing SUBSTR (used to skip
+ * the deliberate-violation fixtures under tests/lint). Exits 1 when
+ * any violation is found, 2 on usage errors.
  */
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <set>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "lint/lint.hh"
+#include "lint/passes.hh"
+#include "lint/sarif.hh"
 
 namespace {
 
 namespace fs = std::filesystem;
 
-/** One lint finding. */
-struct Finding
+int
+usage()
 {
-    std::string file;
-    std::size_t line;
-    std::string rule;
-    std::string message;
-};
-
-bool
-isWordChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/** Line number (1-based) of byte offset @p pos in @p text. */
-std::size_t
-lineOf(const std::string &text, std::size_t pos)
-{
-    return 1 + static_cast<std::size_t>(
-                   std::count(text.begin(), text.begin() + pos, '\n'));
-}
-
-/**
- * Replace comments and string/char literals with spaces, preserving
- * newlines so byte offsets keep mapping to the same lines. Token
- * rules run on the blanked text so prose in comments cannot trip
- * them; suppression markers are collected from the raw text first.
- */
-std::string
-blankCommentsAndStrings(const std::string &src)
-{
-    std::string out = src;
-    enum class State { Code, Line, Block, Str, Chr };
-    State st = State::Code;
-    for (std::size_t i = 0; i < out.size(); ++i) {
-        char c = out[i];
-        char n = i + 1 < out.size() ? out[i + 1] : '\0';
-        switch (st) {
-          case State::Code:
-            if (c == '/' && n == '/') {
-                st = State::Line;
-                out[i] = ' ';
-            } else if (c == '/' && n == '*') {
-                st = State::Block;
-                out[i] = ' ';
-            } else if (c == '"') {
-                st = State::Str;
-                out[i] = ' ';
-            } else if (c == '\'') {
-                st = State::Chr;
-                out[i] = ' ';
-            }
-            break;
-          case State::Line:
-            if (c == '\n')
-                st = State::Code;
-            else
-                out[i] = ' ';
-            break;
-          case State::Block:
-            if (c == '*' && n == '/') {
-                out[i] = ' ';
-                out[i + 1] = ' ';
-                ++i;
-                st = State::Code;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-          case State::Str:
-          case State::Chr: {
-            char quote = st == State::Str ? '"' : '\'';
-            if (c == '\\' && n != '\0') {
-                out[i] = ' ';
-                if (n != '\n')
-                    out[i + 1] = ' ';
-                ++i;
-            } else if (c == quote) {
-                out[i] = ' ';
-                st = State::Code;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-          }
-        }
-    }
-    return out;
-}
-
-/**
- * Suppression markers per line: `qoserve-lint: allow(rule-a, rule-b)`
- * covers its own line and the line after it.
- */
-std::map<std::size_t, std::set<std::string>>
-collectAllowMarkers(const std::string &src)
-{
-    std::map<std::size_t, std::set<std::string>> allow;
-    const std::string tag = "qoserve-lint: allow(";
-    std::size_t pos = 0;
-    while ((pos = src.find(tag, pos)) != std::string::npos) {
-        std::size_t start = pos + tag.size();
-        std::size_t end = src.find(')', start);
-        if (end == std::string::npos)
-            break;
-        std::size_t line = lineOf(src, pos);
-        std::stringstream rules(src.substr(start, end - start));
-        std::string rule;
-        while (std::getline(rules, rule, ',')) {
-            rule.erase(std::remove_if(rule.begin(), rule.end(),
-                                      [](unsigned char c) {
-                                          return std::isspace(c) != 0;
-                                      }),
-                       rule.end());
-            if (!rule.empty()) {
-                allow[line].insert(rule);
-                allow[line + 1].insert(rule);
-            }
-        }
-        pos = end;
-    }
-    return allow;
-}
-
-bool
-isAllowed(const std::map<std::size_t, std::set<std::string>> &allow,
-          std::size_t line, const std::string &rule)
-{
-    auto it = allow.find(line);
-    return it != allow.end() && it->second.count(rule) > 0;
-}
-
-/** One file loaded for scanning. */
-struct SourceFile
-{
-    std::string path;
-    std::string raw;
-    std::string code; ///< raw with comments/strings blanked.
-    std::map<std::size_t, std::set<std::string>> allow;
-};
-
-/**
- * Find every occurrence of @p token in @p text whose preceding
- * character is not a word character (so `time(` does not match
- * `iter_time(`). When @p boundedAfter is set the following character
- * must not be a word character either.
- */
-std::vector<std::size_t>
-findToken(const std::string &text, const std::string &token,
-          bool boundedAfter)
-{
-    std::vector<std::size_t> hits;
-    std::size_t pos = 0;
-    while ((pos = text.find(token, pos)) != std::string::npos) {
-        bool okBefore = pos == 0 || !isWordChar(text[pos - 1]);
-        std::size_t after = pos + token.size();
-        bool okAfter = !boundedAfter || after >= text.size() ||
-                       !isWordChar(text[after]);
-        if (okBefore && okAfter)
-            hits.push_back(pos);
-        pos = after;
-    }
-    return hits;
-}
-
-/** Token-based rule: any hit is a violation unless allowed. */
-void
-tokenRule(const SourceFile &f, const std::string &rule,
-          const std::string &token, bool boundedAfter,
-          const std::string &message, std::vector<Finding> &out)
-{
-    for (std::size_t pos : findToken(f.code, token, boundedAfter)) {
-        std::size_t line = lineOf(f.code, pos);
-        if (!isAllowed(f.allow, line, rule))
-            out.push_back({f.path, line, rule, message});
-    }
-}
-
-/**
- * Collect, across every scanned file, the names of variables and
- * accessor functions declared with an unordered_map/unordered_set
- * type — including declarations where the name sits on the line after
- * the type. Range-fors whose range expression mentions one of these
- * names are then flagged file-independently, so iterating a
- * container through an accessor does not dodge the rule.
- */
-void
-collectUnorderedNames(const SourceFile &f, std::set<std::string> &names)
-{
-    for (const char *marker : {"unordered_map<", "unordered_set<"}) {
-        std::size_t pos = 0;
-        const std::string tok(marker);
-        while ((pos = f.code.find(tok, pos)) != std::string::npos) {
-            // Bracket-match the template argument list.
-            std::size_t i = pos + tok.size();
-            int depth = 1;
-            while (i < f.code.size() && depth > 0) {
-                if (f.code[i] == '<')
-                    ++depth;
-                else if (f.code[i] == '>')
-                    --depth;
-                ++i;
-            }
-            // Skip reference/pointer decoration and whitespace (the
-            // declared name may start on the next line).
-            while (i < f.code.size() &&
-                   (std::isspace(static_cast<unsigned char>(
-                        f.code[i])) != 0 ||
-                    f.code[i] == '&' || f.code[i] == '*')) {
-                ++i;
-            }
-            if (f.code.compare(i, 6, "const ") == 0)
-                i += 6;
-            std::size_t start = i;
-            while (i < f.code.size() && isWordChar(f.code[i]))
-                ++i;
-            if (i > start) {
-                std::string name = f.code.substr(start, i - start);
-                if (name != "iterator" && name != "const_iterator")
-                    names.insert(name);
-            }
-            pos += tok.size();
-        }
-    }
-}
-
-/**
- * Flag range-based for loops whose range expression names an
- * unordered container (declared anywhere in the scanned set) or an
- * unordered type directly.
- */
-void
-unorderedIterRule(const SourceFile &f,
-                  const std::set<std::string> &names,
-                  std::vector<Finding> &out)
-{
-    const std::string rule = "unordered-iter";
-    for (std::size_t pos : findToken(f.code, "for", true)) {
-        std::size_t i = pos + 3;
-        while (i < f.code.size() &&
-               std::isspace(static_cast<unsigned char>(f.code[i])) != 0)
-            ++i;
-        if (i >= f.code.size() || f.code[i] != '(')
-            continue;
-        // Bracket-match the for header; note any top-level ':' that
-        // is not part of a '::'.
-        int depth = 0;
-        std::size_t colon = std::string::npos;
-        for (; i < f.code.size(); ++i) {
-            char c = f.code[i];
-            if (c == '(' || c == '[' || c == '{')
-                ++depth;
-            else if (c == ')' || c == ']' || c == '}') {
-                --depth;
-                if (depth == 0)
-                    break;
-            } else if (c == ':' && depth == 1 &&
-                       colon == std::string::npos) {
-                bool scoped = (i > 0 && f.code[i - 1] == ':') ||
-                              (i + 1 < f.code.size() &&
-                               f.code[i + 1] == ':');
-                if (!scoped)
-                    colon = i;
-            }
-        }
-        if (colon == std::string::npos || i >= f.code.size())
-            continue; // Classic for loop (or unterminated header).
-        std::string range = f.code.substr(colon + 1, i - colon - 1);
-        bool hit = range.find("unordered_") != std::string::npos;
-        for (const auto &name : names) {
-            if (hit)
-                break;
-            if (!findToken(range, name, true).empty())
-                hit = true;
-        }
-        if (!hit)
-            continue;
-        std::size_t line = lineOf(f.code, pos);
-        if (isAllowed(f.allow, line, rule))
-            continue;
-        out.push_back(
-            {f.path, line, rule,
-             "range-for over an unordered container: iteration order "
-             "depends on hashing (and, for pointer keys, heap "
-             "addresses), so order-sensitive consumers break the "
-             "determinism contract; iterate a sorted snapshot or "
-             "impose a total order, then suppress with "
-             "qoserve-lint: allow(unordered-iter)"});
-    }
-}
-
-/**
- * True for library sources — paths under a src/ tree. The raw-io ban
- * applies only there; tools/, tests/, and benches legitimately write
- * to the standard streams.
- */
-bool
-inLibrary(const std::string &path)
-{
-    return path.rfind("src/", 0) == 0 ||
-           path.find("/src/") != std::string::npos;
-}
-
-/**
- * Library code must not write to the standard streams directly;
- * diagnostics route through simcore/logging (QOSERVE_FATAL / _WARN /
- * _INFO), which is itself the one exempt file. Bounded token matching
- * keeps snprintf-into-buffer formatting legal.
- */
-void
-rawIoRule(const SourceFile &f, std::vector<Finding> &out)
-{
-    if (!inLibrary(f.path) ||
-        f.path.find("simcore/logging.") != std::string::npos)
-        return;
-    const std::string msg =
-        "raw stdio/iostream output in library code: route diagnostics "
-        "through simcore/logging (QOSERVE_FATAL/QOSERVE_WARN/"
-        "QOSERVE_INFO) so severity and formatting stay uniform";
-    for (const char *token : {"printf", "fprintf", "puts", "cerr",
-                              "cout"}) {
-        tokenRule(f, "no-raw-io", token, true, msg, out);
-    }
-}
-
-/** Every header carries an include guard with the repo prefix. */
-void
-headerGuardRule(const SourceFile &f, std::vector<Finding> &out)
-{
-    if (f.path.size() < 3 ||
-        f.path.compare(f.path.size() - 3, 3, ".hh") != 0)
-        return;
-    bool ifndef = f.raw.find("#ifndef QOSERVE_") != std::string::npos;
-    bool define = f.raw.find("#define QOSERVE_") != std::string::npos;
-    if (!ifndef || !define) {
-        out.push_back({f.path, 1, "header-guard",
-                       "header lacks a QOSERVE_-prefixed include "
-                       "guard (#ifndef QOSERVE_... / #define "
-                       "QOSERVE_...)"});
-    }
-}
-
-/** Every source file opens with a Doxygen @file comment. */
-void
-doxygenFileRule(const SourceFile &f, std::vector<Finding> &out)
-{
-    std::size_t i = 0;
-    while (i < f.raw.size() &&
-           std::isspace(static_cast<unsigned char>(f.raw[i])) != 0)
-        ++i;
-    bool opensDoc = f.raw.compare(i, 3, "/**") == 0;
-    std::size_t end = opensDoc ? f.raw.find("*/", i) : std::string::npos;
-    bool hasFileTag =
-        opensDoc && end != std::string::npos &&
-        f.raw.substr(i, end - i).find("@file") != std::string::npos;
-    if (!opensDoc || !hasFileTag) {
-        out.push_back({f.path, 1, "doxygen-file",
-                       "file does not start with a Doxygen /** @file "
-                       "*/ comment describing its purpose"});
-    }
-}
-
-bool
-loadFile(const fs::path &path, SourceFile &out)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    out.path = path.generic_string();
-    out.raw = buf.str();
-    out.code = blankCommentsAndStrings(out.raw);
-    out.allow = collectAllowMarkers(out.raw);
-    return true;
+    std::cerr << "usage: qoserve_lint [--manifest FILE] "
+                 "[--json FILE|-] [--exclude SUBSTR]... "
+                 "<file-or-directory>...\n";
+    return 2;
 }
 
 } // namespace
@@ -438,14 +49,40 @@ loadFile(const fs::path &path, SourceFile &out)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::cerr << "usage: qoserve_lint <file-or-directory>...\n";
-        return 2;
+    using namespace qoserve_lint;
+
+    std::string manifestPath;
+    std::string jsonPath;
+    std::vector<std::string> excludes;
+    std::vector<std::string> roots;
+    for (int a = 1; a < argc; ++a) {
+        std::string arg = argv[a];
+        if (arg == "--manifest" && a + 1 < argc) {
+            manifestPath = argv[++a];
+        } else if (arg == "--json" && a + 1 < argc) {
+            jsonPath = argv[++a];
+        } else if (arg == "--exclude" && a + 1 < argc) {
+            excludes.push_back(argv[++a]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            roots.push_back(arg);
+        }
     }
+    if (roots.empty())
+        return usage();
+
+    auto excluded = [&excludes](const std::string &path) {
+        return std::any_of(excludes.begin(), excludes.end(),
+                           [&path](const std::string &pat) {
+                               return path.find(pat) !=
+                                      std::string::npos;
+                           });
+    };
 
     std::vector<SourceFile> files;
-    for (int a = 1; a < argc; ++a) {
-        fs::path root(argv[a]);
+    for (const std::string &rootArg : roots) {
+        fs::path root(rootArg);
         std::error_code ec;
         if (fs::is_directory(root, ec)) {
             for (const auto &entry :
@@ -455,14 +92,21 @@ main(int argc, char **argv)
                 auto ext = entry.path().extension().string();
                 if (ext != ".hh" && ext != ".cc")
                     continue;
+                std::string path = entry.path().generic_string();
                 SourceFile f;
-                if (loadFile(entry.path(), f))
+                if (!excluded(path) && loadSourceFile(path, f))
                     files.push_back(std::move(f));
             }
         } else if (fs::is_regular_file(root, ec)) {
             SourceFile f;
-            if (loadFile(root, f))
-                files.push_back(std::move(f));
+            if (excluded(rootArg))
+                continue;
+            if (!loadSourceFile(rootArg, f)) {
+                std::cerr << "qoserve_lint: cannot read " << rootArg
+                          << "\n";
+                return 2;
+            }
+            files.push_back(std::move(f));
         } else {
             std::cerr << "qoserve_lint: cannot read " << root << "\n";
             return 2;
@@ -473,63 +117,57 @@ main(int argc, char **argv)
                   return a.path < b.path;
               });
 
-    std::set<std::string> unorderedNames;
-    for (const auto &f : files)
-        collectUnorderedNames(f, unorderedNames);
-
-    std::vector<Finding> findings;
-    for (const auto &f : files) {
-        const std::string clockMsg =
-            "wall-clock time in simulation code: results must be a "
-            "function of (seed, config) only — use the EventQueue "
-            "clock";
-        const std::string randMsg =
-            "global/non-deterministic RNG in simulation code: use the "
-            "seeded simcore Rng so runs reproduce";
-        tokenRule(f, "no-wall-clock", "system_clock", true, clockMsg,
-                  findings);
-        tokenRule(f, "no-wall-clock", "steady_clock", true, clockMsg,
-                  findings);
-        tokenRule(f, "no-wall-clock", "high_resolution_clock", true,
-                  clockMsg, findings);
-        tokenRule(f, "no-wall-clock", "gettimeofday", true, clockMsg,
-                  findings);
-        tokenRule(f, "no-wall-clock", "time(", false, clockMsg,
-                  findings);
-        tokenRule(f, "no-wall-clock", "clock(", false, clockMsg,
-                  findings);
-        tokenRule(f, "no-std-rand", "std::rand", true, randMsg,
-                  findings);
-        tokenRule(f, "no-std-rand", "rand(", false, randMsg, findings);
-        tokenRule(f, "no-std-rand", "srand(", false, randMsg,
-                  findings);
-        tokenRule(f, "no-std-rand", "random_device", true, randMsg,
-                  findings);
-        tokenRule(f, "no-std-rand", "random_shuffle", true, randMsg,
-                  findings);
-        tokenRule(f, "no-std-rand", "drand48", true, randMsg,
-                  findings);
-        tokenRule(f, "no-std-rand", "lrand48", true, randMsg,
-                  findings);
-        tokenRule(f, "no-std-rand", "mt19937", true, randMsg,
-                  findings);
-        tokenRule(f, "no-std-rand", "default_random_engine", true,
-                  randMsg, findings);
-        tokenRule(f, "no-std-rand", "minstd_rand", true, randMsg,
-                  findings);
-        unorderedIterRule(f, unorderedNames, findings);
-        rawIoRule(f, findings);
-        headerGuardRule(f, findings);
-        doxygenFileRule(f, findings);
+    LayeringManifest manifest;
+    bool haveManifest = false;
+    if (!manifestPath.empty()) {
+        std::string error;
+        if (!manifest.load(manifestPath, error)) {
+            std::cerr << "qoserve_lint: " << error << "\n";
+            return 2;
+        }
+        haveManifest = true;
     }
 
-    for (const auto &v : findings) {
+    std::vector<Finding> findings;
+    tokenRulesPass(files, findings);
+    if (haveManifest)
+        layeringPass(files, manifest, findings);
+    EnumTable enums = collectProjectEnums(files);
+    exhaustiveSwitchPass(files, enums, findings);
+    rawUnitPass(files, findings);
+    staleSuppressionPass(files, findings);
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+
+    if (!jsonPath.empty()) {
+        if (jsonPath == "-") {
+            writeSarif(findings, std::cout);
+        } else {
+            std::ofstream out(jsonPath, std::ios::binary);
+            if (!out) {
+                std::cerr << "qoserve_lint: cannot write " << jsonPath
+                          << "\n";
+                return 2;
+            }
+            writeSarif(findings, out);
+        }
+    }
+
+    for (const Finding &v : findings) {
         std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
                   << v.message << "\n";
     }
     if (!findings.empty()) {
         std::cerr << "qoserve_lint: " << findings.size()
-                  << " violation(s) in " << files.size() << " file(s)\n";
+                  << " violation(s) in " << files.size()
+                  << " file(s)\n";
         return 1;
     }
     std::cout << "qoserve_lint: " << files.size() << " file(s) clean\n";

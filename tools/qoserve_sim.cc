@@ -20,8 +20,8 @@
 #include <string>
 #include <vector>
 
-#include "core/cli_options.hh"
-#include "core/qoserve.hh"
+#include "app/cli_options.hh"
+#include "app/qoserve.hh"
 #include "obs/metrics_registry.hh"
 #include "obs/trace_export.hh"
 #include "obs/trace_sink.hh"
@@ -122,9 +122,9 @@ main(int argc, char **argv)
     std::optional<FaultInjector> faults;
     if (opts.fault.enabled()) {
         opts.fault.horizon = trace.requests.empty()
-                                 ? 0.0
+                                 ? SimTime{}
                                  : trace.requests.back().arrival;
-        if (opts.fault.horizon > 0.0) {
+        if (opts.fault.horizon > SimTime{}) {
             faults.emplace(opts.fault, sim);
             std::cerr << "injecting faults: crash MTBF "
                       << opts.fault.crashMtbf << " s, MTTR "
@@ -138,7 +138,7 @@ main(int argc, char **argv)
     if (opts.telemetryOut) {
         for (std::size_t i = 0; i < sim.numReplicas(); ++i) {
             sim.replica(i).setBatchObserver(
-                telemetry.observerFor(static_cast<int>(i)));
+                telemetry.observerFor(ReplicaId{static_cast<int>(i)}));
         }
     }
 
