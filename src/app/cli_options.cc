@@ -167,6 +167,39 @@ faults:
   --no-health-aware     route blindly: ignore replica health and
                         slowdown when picking a replica
 
+failure domains:
+  --zones N             failure zones the replicas split into,
+                        contiguous index ranges (default 0 = none)
+  --zone-mtbf S         mean time between outages per zone, seconds
+                        (default 0 = off; requires --zones)
+  --zone-mttr S         mean time to restore a failed zone
+                        (default 30)
+  --partition-mtbf S    mean time between control-plane partitions
+                        (default 0 = off)
+  --partition-mttr S    mean partition duration before the routing
+                        view heals (default 10)
+  --partition-frac F    fraction of replicas blinded per partition,
+                        in (0, 1] (default 0.25)
+  --domain-seed N       failure-domain seed, independent of the
+                        workload and fault seeds (default 7)
+
+graceful degradation:
+  --breaker-threshold N consecutive dispatch failures that trip a
+                        replica's circuit breaker (default 0 = off)
+  --breaker-cooldown S  seconds a tripped breaker stays open before
+                        its half-open probe (default 1)
+  --deadline-cancel     abandon a retried request when its completion
+                        deadline is provably unreachable
+  --brownout            enable the brownout controller
+  --brownout-enter T    pending prefill tokens per live replica above
+                        which it steps one level deeper (default 4096)
+  --brownout-exit T     backlog below which it steps back
+                        (default 1024)
+  --brownout-interval S controller sampling cadence (default 1)
+  --brownout-cap N      decode-token cap at level >= 1 (default 128)
+  --brownout-shed-tier N  tier shed at level >= 2 (default -1 = the
+                        last tier of the table)
+
 output:
   --trace-out FILE      dump the workload as CSV
   --records-out FILE    dump per-request records as CSV
@@ -291,6 +324,51 @@ parseCliOptions(const std::vector<std::string> &args)
                 parseDouble(flag, need_value(i++, flag));
         } else if (flag == "--no-health-aware") {
             opts.healthAwareRouting = false;
+        } else if (flag == "--zones") {
+            opts.domains.zones = static_cast<int>(
+                parseU64(flag, need_value(i++, flag)));
+        } else if (flag == "--zone-mtbf") {
+            opts.domains.zoneMtbf =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--zone-mttr") {
+            opts.domains.zoneMttr =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--partition-mtbf") {
+            opts.domains.partitionMtbf =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--partition-mttr") {
+            opts.domains.partitionMttr =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--partition-frac") {
+            opts.domains.partitionFrac =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--domain-seed") {
+            opts.domains.seed = parseU64(flag, need_value(i++, flag));
+        } else if (flag == "--breaker-threshold") {
+            opts.breaker.failureThreshold = static_cast<int>(
+                parseU64(flag, need_value(i++, flag)));
+        } else if (flag == "--breaker-cooldown") {
+            opts.breaker.cooldown =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--deadline-cancel") {
+            opts.deadlineCancel = true;
+        } else if (flag == "--brownout") {
+            opts.brownout.enabled = true;
+        } else if (flag == "--brownout-enter") {
+            opts.brownout.enterBacklog =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--brownout-exit") {
+            opts.brownout.exitBacklog =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--brownout-interval") {
+            opts.brownout.interval =
+                parseDouble(flag, need_value(i++, flag));
+        } else if (flag == "--brownout-cap") {
+            opts.brownout.capTokens = static_cast<int>(
+                parseU64(flag, need_value(i++, flag)));
+        } else if (flag == "--brownout-shed-tier") {
+            opts.brownout.shedTier = static_cast<int>(
+                parseDouble(flag, need_value(i++, flag)));
         } else if (flag == "--trace-out") {
             opts.traceOut = need_value(i++, flag);
         } else if (flag == "--trace") {
@@ -322,10 +400,64 @@ parseCliOptions(const std::vector<std::string> &args)
         QOSERVE_FATAL("--replicas must be at least 1");
     if (opts.fault.crashMtbf < 0.0)
         QOSERVE_FATAL("--fault-mtbf must be non-negative");
+    if (opts.fault.crashesEnabled() && opts.fault.crashMttr <= 0.0)
+        QOSERVE_FATAL("--fault-mttr must be positive when crashes "
+                      "are enabled (got ",
+                      opts.fault.crashMttr,
+                      "): a zero repair time would leave replicas "
+                      "down forever");
     if (opts.fault.stragglerMtbf < 0.0)
         QOSERVE_FATAL("--straggler-mtbf must be non-negative");
     if (opts.retry.initialBackoff <= 0.0)
         QOSERVE_FATAL("--retry-backoff must be positive");
+    if (opts.domains.zones < 0)
+        QOSERVE_FATAL("--zones must be non-negative");
+    if (opts.domains.zones > opts.serving.numReplicas)
+        QOSERVE_FATAL("--zones (", opts.domains.zones,
+                      ") exceeds --replicas (",
+                      opts.serving.numReplicas, ")");
+    if (opts.domains.zoneMtbf < 0.0)
+        QOSERVE_FATAL("--zone-mtbf must be non-negative");
+    if (opts.domains.zoneMtbf > 0.0 && opts.domains.zones == 0)
+        QOSERVE_FATAL("--zone-mtbf requires --zones");
+    if (opts.domains.zoneOutagesEnabled() &&
+        opts.domains.zoneMttr <= 0.0)
+        QOSERVE_FATAL("--zone-mttr must be positive when zone "
+                      "outages are enabled");
+    if (opts.domains.partitionMtbf < 0.0)
+        QOSERVE_FATAL("--partition-mtbf must be non-negative");
+    if (opts.domains.partitionsEnabled()) {
+        if (opts.domains.partitionMttr <= 0.0)
+            QOSERVE_FATAL("--partition-mttr must be positive when "
+                          "partitions are enabled");
+        if (!(opts.domains.partitionFrac > 0.0) ||
+            opts.domains.partitionFrac > 1.0)
+            QOSERVE_FATAL("--partition-frac must be in (0, 1], got ",
+                          opts.domains.partitionFrac);
+    }
+    if (opts.breaker.failureThreshold < 0)
+        QOSERVE_FATAL("--breaker-threshold must be non-negative");
+    if (opts.breaker.enabled() && opts.breaker.cooldown <= 0.0)
+        QOSERVE_FATAL("--breaker-cooldown must be positive when the "
+                      "breaker is enabled");
+    if (opts.brownout.enabled) {
+        if (opts.brownout.interval <= 0.0)
+            QOSERVE_FATAL("--brownout-interval must be positive");
+        if (opts.brownout.enterBacklog <= 0.0)
+            QOSERVE_FATAL("--brownout-enter must be positive");
+        if (opts.brownout.exitBacklog < 0.0 ||
+            opts.brownout.exitBacklog >= opts.brownout.enterBacklog)
+            QOSERVE_FATAL("--brownout-exit must be in [0, enter): "
+                          "the hysteresis band must exist");
+        if (opts.brownout.capTokens <= 0)
+            QOSERVE_FATAL("--brownout-cap must be positive");
+        if (opts.brownout.shedTier >=
+            static_cast<int>(opts.tiers.size()))
+            QOSERVE_FATAL("--brownout-shed-tier ",
+                          opts.brownout.shedTier,
+                          " outside the tier table (",
+                          opts.tiers.size(), " tiers)");
+    }
     if (opts.metricsInterval <= 0.0)
         QOSERVE_FATAL("--metrics-interval must be positive");
     opts.serving.prefixCache.validate();

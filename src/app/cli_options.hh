@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "app/serving_system.hh"
+#include "cluster/brownout.hh"
+#include "fault/failure_domains.hh"
 #include "fault/fault_injector.hh"
 
 namespace qoserve {
@@ -44,8 +46,20 @@ struct CliOptions
     /** Fault injection (horizon is filled in from the workload). */
     FaultConfig fault{};
 
+    /** Correlated failure domains (horizon filled in like fault's). */
+    DomainConfig domains{};
+
     /** Re-dispatch policy for requests lost to replica failures. */
     RetryPolicy retry{};
+
+    /** Per-replica circuit breaker (off by default). */
+    CircuitBreakerConfig breaker{};
+
+    /** Deadline-aware cancellation of futile retries. */
+    bool deadlineCancel = false;
+
+    /** Brownout controller (off by default). */
+    BrownoutConfig brownout{};
 
     /** Skip down replicas / de-weight stragglers when routing. */
     bool healthAwareRouting = true;

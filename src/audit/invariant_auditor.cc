@@ -467,6 +467,32 @@ InvariantAuditor::checkRecord(const RequestRecord &rec,
                when);
         return;
     }
+    // Terminal states are exclusive and self-consistent: an abandoned
+    // request (retry budget exhausted or deadline-cancelled) never
+    // finished, and a front-door rejection (admission or brownout
+    // shed) never entered the retry path.
+    if (rec.retryExhausted && rec.finishTime != kTimeNever) {
+        report("slo-terminal-state",
+               detail::composeMessage("record ", rec.spec.id,
+                                      " is abandoned yet finished at ",
+                                      rec.finishTime),
+               when);
+    }
+    if (rec.rejected && rec.retryExhausted) {
+        report("slo-terminal-state",
+               detail::composeMessage("record ", rec.spec.id,
+                                      " is both rejected and "
+                                      "abandoned"),
+               when);
+    }
+    if (rec.rejected && rec.retries != 0) {
+        report("slo-terminal-state",
+               detail::composeMessage("record ", rec.spec.id,
+                                      " was rejected at the front door "
+                                      "yet counts ",
+                                      rec.retries, " retries"),
+               when);
+    }
     if (rec.rejected)
         return; // Never executed: latencies are deliberately infinite.
 

@@ -6,6 +6,7 @@
 #include "cluster/cluster.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "simcore/logging.hh"
 
@@ -23,8 +24,15 @@ RetryPolicy::backoffFor(int attempt) const
 ClusterSim::ClusterSim(Config cfg, Trace trace)
     : cfg_(cfg), trace_(std::move(trace)),
       tierRoute_(trace_.tiers.size(), 0), metrics_(trace_.tiers),
-      admission_(cfg_.admission)
+      admission_(cfg_.admission),
+      perf_(cfg_.replica.hw, cfg_.replica.perfParams)
 {
+    if (cfg_.breaker.enabled() &&
+        !(cfg_.breaker.cooldown > SimDuration{0.0})) {
+        QOSERVE_FATAL("circuit-breaker cooldown must be positive, "
+                      "got ",
+                      cfg_.breaker.cooldown);
+    }
     QOSERVE_ASSERT(!trace_.tiers.empty(), "trace has no tiers");
     if (audit::checksEnabled()) {
         // Builds with checks on audit themselves by default; a run
@@ -95,6 +103,7 @@ ClusterSim::addReplicaGroup(int count, const SchedulerFactory &factory,
         }
         group.replicaIdx.push_back(replicas_.size());
         replicas_.push_back(std::move(replica));
+        breakers_.push_back(BreakerState{});
     }
     groups_.push_back(std::move(group));
     return static_cast<int>(groups_.size()) - 1;
@@ -112,6 +121,42 @@ ClusterSim::routeTier(int tier_id, int group_id)
     tierRoute_[tier_id] = group_id;
 }
 
+ReplicaHealth
+ClusterSim::viewedHealth(std::size_t idx) const
+{
+    return viewStale(idx) ? views_[idx].health
+                          : replicas_[idx]->health();
+}
+
+double
+ClusterSim::viewedSlowdown(std::size_t idx) const
+{
+    return viewStale(idx) ? views_[idx].slowdown
+                          : replicas_[idx]->slowdown();
+}
+
+std::size_t
+ClusterSim::viewedLiveRequests(std::size_t idx) const
+{
+    return viewStale(idx) ? views_[idx].liveRequests
+                          : replicas_[idx]->liveRequests();
+}
+
+std::int64_t
+ClusterSim::viewedPendingPrefillTokens(std::size_t idx) const
+{
+    return viewStale(idx)
+               ? views_[idx].pendingPrefillTokens
+               : replicas_[idx]->scheduler().pendingPrefillTokens();
+}
+
+bool
+ClusterSim::breakerOpen(std::size_t i) const
+{
+    return cfg_.breaker.enabled() && breakers_[i].open &&
+           eq_.now() < breakers_[i].reopenAt;
+}
+
 std::size_t
 ClusterSim::pickReplica(Group &group, const RequestSpec &spec) const
 {
@@ -119,11 +164,19 @@ ClusterSim::pickReplica(Group &group, const RequestSpec &spec) const
     // scores by the straggler slowdown. With every replica Up the
     // skip never triggers and the factor is exactly 1.0, so the
     // choice (including tie-breaks) matches blind routing bit for
-    // bit — fault-free runs are unchanged.
+    // bit — fault-free runs are unchanged. All reads go through the
+    // viewed* accessors: under a control-plane partition they return
+    // the stale snapshot taken when the replica was blinded, and on
+    // an unpartitioned run they are pure pass-throughs. An open
+    // circuit breaker removes its replica from the candidate set even
+    // for a health-oblivious front door — that is the breaker's whole
+    // point; once the cooldown elapses the replica re-enters and the
+    // next dispatch is the half-open probe.
     const bool aware = cfg_.healthAwareRouting;
     auto usable = [&](std::size_t idx) {
-        return !aware ||
-               replicas_[idx]->health() != ReplicaHealth::Down;
+        if (aware && viewedHealth(idx) == ReplicaHealth::Down)
+            return false;
+        return !breakerOpen(idx);
     };
 
     // Cache-affinity pre-pass: the replica already holding the
@@ -131,12 +184,14 @@ ClusterSim::pickReplica(Group &group, const RequestSpec &spec) const
     // strictly positive match diverts the request — a universal miss
     // (in particular, every probe when the prefix cache is disabled)
     // leaves the policy below, including its round-robin cursor,
-    // exactly as if this pass did not exist.
+    // exactly as if this pass did not exist. A blinded replica's
+    // cache cannot be probed across the partition, so it never wins
+    // the pre-pass.
     if (cfg_.cacheAffinityRouting) {
         std::size_t best = kNoReplica;
         int best_tokens = 0;
         for (std::size_t idx : group.replicaIdx) {
-            if (!usable(idx))
+            if (!usable(idx) || viewStale(idx))
                 continue;
             int tokens = replicas_[idx]->probeCachedTokens(spec);
             if (tokens > best_tokens) {
@@ -168,8 +223,8 @@ ClusterSim::pickReplica(Group &group, const RequestSpec &spec) const
             if (!usable(idx))
                 continue;
             double score =
-                static_cast<double>(replicas_[idx]->liveRequests()) *
-                (aware ? replicas_[idx]->slowdown() : 1.0);
+                static_cast<double>(viewedLiveRequests(idx)) *
+                (aware ? viewedSlowdown(idx) : 1.0);
             if (best == kNoReplica || score < best_score) {
                 best = idx;
                 best_score = score;
@@ -184,9 +239,8 @@ ClusterSim::pickReplica(Group &group, const RequestSpec &spec) const
             if (!usable(idx))
                 continue;
             double score =
-                static_cast<double>(
-                    replicas_[idx]->scheduler().pendingPrefillTokens()) *
-                (aware ? replicas_[idx]->slowdown() : 1.0);
+                static_cast<double>(viewedPendingPrefillTokens(idx)) *
+                (aware ? viewedSlowdown(idx) : 1.0);
             if (best == kNoReplica || score < best_score) {
                 best = idx;
                 best_score = score;
@@ -199,24 +253,135 @@ ClusterSim::pickReplica(Group &group, const RequestSpec &spec) const
 }
 
 void
+ClusterSim::blindReplica(std::size_t i)
+{
+    QOSERVE_ASSERT(i < replicas_.size(), "blindReplica: bad index");
+    if (views_.empty())
+        views_.resize(replicas_.size());
+    ReplicaView &view = views_[i];
+    view.stale = true;
+    view.health = replicas_[i]->health();
+    view.slowdown = replicas_[i]->slowdown();
+    view.liveRequests = replicas_[i]->liveRequests();
+    view.pendingPrefillTokens =
+        replicas_[i]->scheduler().pendingPrefillTokens();
+}
+
+void
+ClusterSim::unblindReplica(std::size_t i)
+{
+    QOSERVE_ASSERT(i < replicas_.size(), "unblindReplica: bad index");
+    if (!views_.empty())
+        views_[i] = ReplicaView{};
+}
+
+std::size_t
+ClusterSim::blindedReplicas() const
+{
+    std::size_t n = 0;
+    for (const ReplicaView &view : views_)
+        n += view.stale ? 1 : 0;
+    return n;
+}
+
+void
+ClusterSim::noteDispatchFailure(std::size_t idx)
+{
+    if (!cfg_.breaker.enabled())
+        return;
+    BreakerState &st = breakers_[idx];
+    ++st.consecutiveFailures;
+    // A failed half-open probe re-trips immediately; a closed breaker
+    // trips once the consecutive-failure run reaches the threshold.
+    if (st.open || st.consecutiveFailures >=
+                       cfg_.breaker.failureThreshold) {
+        st.open = true;
+        st.reopenAt = eq_.now() + cfg_.breaker.cooldown;
+        ++breakerTrips_;
+        traceScope_.emitOn(ReplicaId{static_cast<int>(idx)},
+                           TraceEventKind::BreakerOpen, kNoTraceRequest,
+                           st.consecutiveFailures);
+    }
+}
+
+void
+ClusterSim::noteDispatchSuccess(std::size_t idx)
+{
+    if (!cfg_.breaker.enabled())
+        return;
+    BreakerState &st = breakers_[idx];
+    st.consecutiveFailures = 0;
+    if (st.open) {
+        // The half-open probe landed on a live process: close.
+        st.open = false;
+        st.reopenAt = SimTime{};
+        traceScope_.emitOn(ReplicaId{static_cast<int>(idx)},
+                           TraceEventKind::BreakerClose,
+                           kNoTraceRequest);
+    }
+}
+
+void
 ClusterSim::injectArrival(std::size_t index)
 {
     const RequestSpec &spec = trace_.requests[index];
     traceScope_.emit(TraceEventKind::Arrival, spec.id);
+
+    // Brownout gates run before routing: a shed tier never reaches
+    // the load balancer, and a capped request is dispatched with a
+    // reduced decode budget. With the controller off (all modes at
+    // defaults) both tests are constant-false and the arrival passes
+    // through by reference, untouched.
+    if (modes_.shedTier >= 0 && spec.tierId == modes_.shedTier) {
+        recordShed(spec);
+    } else if (modes_.capTokens > 0 &&
+               spec.decodeTokens > modes_.capTokens) {
+        RequestSpec capped = spec;
+        capped.decodeTokens = modes_.capTokens;
+        ++brownoutCapped_;
+        dispatchArrival(capped);
+    } else {
+        dispatchArrival(spec);
+    }
+
+    // Chain the next arrival instead of pre-scheduling the whole
+    // trace, keeping the event heap small.
+    std::size_t next = index + 1;
+    if (next < trace_.requests.size()) {
+        eq_.schedule(trace_.requests[next].arrival,
+                     [this, next]() { injectArrival(next); });
+    }
+}
+
+void
+ClusterSim::dispatchArrival(const RequestSpec &spec)
+{
     Group &group = groups_[tierRoute_[spec.tierId]];
     std::size_t replica_idx = pickReplica(group, spec);
-    if (replica_idx == kNoReplica ||
-        replicas_[replica_idx]->health() == ReplicaHealth::Down) {
-        // No live target — every replica is down, or a blind front
-        // door routed to a dead box. The request enters the retry
-        // path (backoff + budget) instead of being dropped; admission
+    if (replica_idx == kNoReplica) {
+        // No candidate at all — every replica is down (or
+        // breaker-blocked). The request enters the retry path
+        // (backoff + budget) instead of being dropped; admission
         // control only ever evaluates dispatches that reach a live
         // replica.
         RequestFailureSnapshot snap;
         snap.spec = spec;
         requeue(std::move(snap));
-    } else if (admission_.admit(spec, eq_.now(),
-                                replicas_[replica_idx]->scheduler())) {
+        return;
+    }
+    if (replicas_[replica_idx]->health() == ReplicaHealth::Down) {
+        // A blind front door (partition-stale view, or health-unaware
+        // routing) picked a dead box. The bounce feeds the breaker
+        // and the request retries.
+        noteDispatchFailure(replica_idx);
+        RequestFailureSnapshot snap;
+        snap.spec = spec;
+        requeue(std::move(snap));
+        return;
+    }
+    noteDispatchSuccess(replica_idx);
+    if (admission_.admit(spec, eq_.now(),
+                         replicas_[replica_idx]->scheduler())) {
         traceScope_.emitOn(ReplicaId{static_cast<int>(replica_idx)},
                            TraceEventKind::Dispatch, spec.id);
         replicas_[replica_idx]->submit(spec);
@@ -230,14 +395,33 @@ ClusterSim::injectArrival(std::size_t index)
             auditor_->checkRecord(rec, trace_.tiers);
         metrics_.record(rec);
     }
+}
 
-    // Chain the next arrival instead of pre-scheduling the whole
-    // trace, keeping the event heap small.
-    std::size_t next = index + 1;
-    if (next < trace_.requests.size()) {
-        eq_.schedule(trace_.requests[next].arrival,
-                     [this, next]() { injectArrival(next); });
+void
+ClusterSim::recordShed(const RequestSpec &spec)
+{
+    // A shed arrival terminates unserved, shaped like an admission
+    // rejection (infinite latencies, zero retries) so the records CSV
+    // schema is untouched; the BrownoutShed trace event is what
+    // distinguishes it downstream.
+    ++brownoutShed_;
+    traceScope_.emit(TraceEventKind::BrownoutShed, spec.id);
+    RequestRecord rec;
+    rec.spec = spec;
+    rec.rejected = true;
+    if (auditor_ != nullptr)
+        auditor_->checkRecord(rec, trace_.tiers);
+    metrics_.record(rec);
+}
+
+void
+ClusterSim::applyDegradedModes(const DegradedModes &modes)
+{
+    if (modes.bypassCache != modes_.bypassCache) {
+        for (auto &replica : replicas_)
+            replica->setPrefixBypass(modes.bypassCache);
     }
+    modes_ = modes;
 }
 
 void
@@ -248,6 +432,11 @@ ClusterSim::requeue(RequestFailureSnapshot snap)
         return;
     }
     SimDuration delay = cfg_.retry.backoffFor(snap.retries);
+    if (cfg_.deadlineCancel &&
+        deadlineUnreachable(snap, eq_.now() + delay)) {
+        recordCancelled(snap);
+        return;
+    }
     snap.retries += 1;
     ++redispatches_;
     traceScope_.emit(TraceEventKind::RetryQueued, snap.spec.id,
@@ -262,18 +451,88 @@ ClusterSim::redispatch(RequestFailureSnapshot snap)
 {
     Group &group = groups_[tierRoute_[snap.spec.tierId]];
     std::size_t replica_idx = pickReplica(group, snap.spec);
-    if (replica_idx == kNoReplica ||
-        replicas_[replica_idx]->health() == ReplicaHealth::Down) {
-        // Still no live target: burn another attempt. The budget
-        // bounds this loop, so the run terminates even if the whole
-        // group never recovers.
+    if (replica_idx == kNoReplica) {
+        // Still no candidate: burn another attempt. The budget bounds
+        // this loop, so the run terminates even if the whole group
+        // never recovers.
         requeue(std::move(snap));
         return;
     }
+    if (replicas_[replica_idx]->health() == ReplicaHealth::Down) {
+        noteDispatchFailure(replica_idx);
+        requeue(std::move(snap));
+        return;
+    }
+    noteDispatchSuccess(replica_idx);
     traceScope_.emitOn(ReplicaId{static_cast<int>(replica_idx)},
                        TraceEventKind::Dispatch, snap.spec.id,
                        snap.retries);
     replicas_[replica_idx]->resubmit(snap);
+}
+
+bool
+ClusterSim::deadlineUnreachable(const RequestFailureSnapshot &snap,
+                                SimTime earliest_start) const
+{
+    const QosTier &tier = trace_.tiers[snap.spec.tierId];
+    SimTime deadline = tier.completionDeadline(
+        snap.spec.arrival, TokenCount{snap.spec.decodeTokens});
+    if (!std::isfinite(deadline.seconds()))
+        return false;
+
+    // Optimistic lower bound on remaining service: the whole
+    // remaining prefill (prompt plus already-emitted tokens whose KV
+    // must be recomputed) lands in ONE iteration — chunking only adds
+    // per-iteration overhead, and the quadratic attention term
+    // telescopes to exactly tokens²/2 however it is chunked — then
+    // each remaining decode token after the first (which the last
+    // prefill iteration emits) costs one minimal single-decode
+    // iteration. Every PerfModel component is monotone in batch
+    // composition and an unloaded replica is the best case, so no
+    // schedule beats this bound; overshooting it proves the deadline
+    // unreachable.
+    int rem = snap.spec.decodeTokens - snap.decodeDone;
+    if (rem <= 0)
+        return false;
+    std::int64_t prefill = snap.spec.promptTokens + snap.decodeDone;
+    BatchWork pre{};
+    pre.prefillTokens = prefill;
+    pre.prefillCtxProduct =
+        static_cast<double>(prefill) * static_cast<double>(prefill) /
+        2.0;
+    SimDuration bound = perf_.iterationTime(pre);
+    if (rem > 1) {
+        BatchWork dec{};
+        dec.numDecodes = 1;
+        dec.decodeCtxSum = prefill;
+        bound += static_cast<double>(rem - 1) * perf_.iterationTime(dec);
+    }
+    return earliest_start + bound > deadline;
+}
+
+void
+ClusterSim::recordCancelled(const RequestFailureSnapshot &snap)
+{
+    // Cancelled on entry to the retry path: the request terminates
+    // unserved. Shaped like a retry-exhausted abandonment (same CSV
+    // flag, infinite latencies, partial progress preserved); the
+    // DeadlineCancel trace event and the deadlineCancelled counter
+    // are what distinguish it.
+    RequestRecord rec;
+    rec.spec = snap.spec;
+    rec.firstTokenTime = snap.firstTokenTime;
+    rec.maxTbt = snap.maxTbt;
+    rec.tbtDeadlineMisses = snap.tbtDeadlineMisses;
+    rec.wasRelegated = snap.wasRelegated;
+    rec.kvPreemptions = snap.kvPreemptions;
+    rec.retries = snap.retries;
+    rec.retryExhausted = true;
+    ++deadlineCancelled_;
+    traceScope_.emit(TraceEventKind::DeadlineCancel, snap.spec.id,
+                     snap.retries);
+    if (auditor_ != nullptr)
+        auditor_->checkRecord(rec, trace_.tiers);
+    metrics_.record(rec);
 }
 
 void

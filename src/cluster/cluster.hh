@@ -62,6 +62,48 @@ struct RetryPolicy
 };
 
 /**
+ * Per-replica circuit breaker at the cluster front door.
+ *
+ * A replica accumulating @p failureThreshold consecutive dispatch
+ * failures (requests routed to it that bounced off a dead process) is
+ * taken out of the routing set for @p cooldown seconds. After the
+ * cooldown the breaker is half-open: the replica re-enters the
+ * candidate set and the next dispatch routed to it is the probe — on
+ * success the breaker closes, on failure it re-trips for another
+ * cooldown. Threshold 0 (the default) disables the breaker entirely;
+ * no state is consulted and routing is bit-identical to a build
+ * without it.
+ */
+struct CircuitBreakerConfig
+{
+    /** Consecutive dispatch failures before tripping (0 = off). */
+    int failureThreshold = 0;
+
+    /** Seconds a tripped breaker stays open before half-open. */
+    SimDuration cooldown = 1.0;
+
+    /** True when the breaker participates in routing. */
+    bool enabled() const { return failureThreshold > 0; }
+};
+
+/**
+ * Degraded service modes the brownout controller steps through under
+ * sustained overload (DESIGN.md §13). All fields at their defaults
+ * mean full service.
+ */
+struct DegradedModes
+{
+    /** Cap on decode tokens per request (0 = uncapped). */
+    int capTokens = 0;
+
+    /** Tier whose arrivals are shed unserved (-1 = none). */
+    int shedTier = -1;
+
+    /** Bypass prefix-cache admission on every replica. */
+    bool bypassCache = false;
+};
+
+/**
  * A cluster of replicas executing one trace.
  */
 class ClusterSim
@@ -103,6 +145,22 @@ class ClusterSim
          * Requires the replica prefix cache to be enabled.
          */
         bool cacheAffinityRouting = false;
+
+        /** Per-replica circuit breaker (off by default). */
+        CircuitBreakerConfig breaker{};
+
+        /**
+         * Deadline-aware cancellation: when a failed request enters
+         * the retry path, abandon it immediately if even an
+         * optimistic lower bound on its remaining service time —
+         * one full-prefill iteration plus one minimal decode
+         * iteration per remaining token, starting after the backoff —
+         * already overshoots its completion deadline. Burning a retry
+         * (and KV on the target replica) on it cannot possibly meet
+         * the SLO. Off by default; the record reuses the
+         * retryExhausted flag so the records CSV schema is unchanged.
+         */
+        bool deadlineCancel = false;
     };
 
     /**
@@ -147,6 +205,7 @@ class ClusterSim
 
     /** Replica access (stats, observers). */
     Replica &replica(std::size_t i) { return *replicas_[i]; }
+    const Replica &replica(std::size_t i) const { return *replicas_[i]; }
 
     /** Number of replicas across all groups. */
     std::size_t numReplicas() const { return replicas_.size(); }
@@ -165,6 +224,56 @@ class ClusterSim
 
     /** Re-dispatch attempts performed across all requests. */
     std::uint64_t redispatches() const { return redispatches_; }
+
+    /** Requests abandoned by deadline-aware cancellation. */
+    std::uint64_t deadlineCancelled() const { return deadlineCancelled_; }
+
+    /** Circuit-breaker trips across all replicas (incl. re-trips). */
+    std::uint64_t breakerTrips() const { return breakerTrips_; }
+
+    /** True when replica @p i's breaker is currently open (still in
+     *  cooldown at the current simulation time). */
+    bool breakerOpen(std::size_t i) const;
+
+    /**
+     * Blind the front door to replica @p i: routing decisions see a
+     * snapshot of its state taken now (health, slowdown, load, queue
+     * depth) instead of the live values, and its prefix cache can no
+     * longer be probed — the control-plane-partition semantics of
+     * DESIGN.md §13. Dispatches to a stale-viewed-up but actually
+     * dead replica fail into the retry path like any dispatch to a
+     * dead process. Idempotent per replica; no effect on replicas
+     * never blinded, so an unpartitioned run is bit-identical to a
+     * build without views.
+     */
+    void blindReplica(std::size_t i);
+
+    /** Restore live visibility of replica @p i. */
+    void unblindReplica(std::size_t i);
+
+    /** Replicas currently blinded by a control-plane partition. */
+    std::size_t blindedReplicas() const;
+
+    /**
+     * Apply (or update) the brownout controller's degraded modes.
+     * Token capping and tier shedding act on subsequent arrivals at
+     * the front door; the cache-bypass bit propagates to every
+     * replica immediately.
+     */
+    void applyDegradedModes(const DegradedModes &modes);
+
+    /** Degraded modes currently in force. */
+    const DegradedModes &degradedModes() const { return modes_; }
+
+    /** Arrivals shed unserved by the brownout controller. */
+    std::uint64_t brownoutShed() const { return brownoutShed_; }
+
+    /** Arrivals whose decode budget was capped by the brownout. */
+    std::uint64_t brownoutCapped() const { return brownoutCapped_; }
+
+    /** Tier table of the executing trace (workload vocabulary for
+     *  controllers attached to this cluster). */
+    const TierTable &tiers() const { return trace_.tiers; }
 
     /**
      * The active invariant auditor, or null when the build has checks
@@ -204,8 +313,64 @@ class ClusterSim
     static constexpr std::size_t kNoReplica =
         static_cast<std::size_t>(-1);
 
+    /**
+     * The front door's (possibly stale) view of one replica. While a
+     * control-plane partition blinds the replica, routing reads the
+     * snapshot taken at partition start instead of live state.
+     */
+    struct ReplicaView
+    {
+        bool stale = false;
+        ReplicaHealth health = ReplicaHealth::Up;
+        double slowdown = 1.0;
+        std::size_t liveRequests = 0;
+        std::int64_t pendingPrefillTokens = 0;
+    };
+
+    /** Per-replica circuit-breaker state. */
+    struct BreakerState
+    {
+        int consecutiveFailures = 0;
+        bool open = false;
+        SimTime reopenAt;
+    };
+
     std::size_t pickReplica(Group &group, const RequestSpec &spec) const;
     void injectArrival(std::size_t index);
+
+    /** Routing view of replica @p idx (stale while partitioned). */
+    ReplicaHealth viewedHealth(std::size_t idx) const;
+    double viewedSlowdown(std::size_t idx) const;
+    std::size_t viewedLiveRequests(std::size_t idx) const;
+    std::int64_t viewedPendingPrefillTokens(std::size_t idx) const;
+
+    /** True when the view of @p idx is a stale partition snapshot. */
+    bool viewStale(std::size_t idx) const
+    {
+        return !views_.empty() && views_[idx].stale;
+    }
+
+    /** A dispatch routed to @p idx bounced off a dead process. */
+    void noteDispatchFailure(std::size_t idx);
+
+    /** A dispatch routed to @p idx reached a live process. */
+    void noteDispatchSuccess(std::size_t idx);
+
+    /** Pick a target for a (possibly degraded) arrival and dispatch
+     *  it: submit on a live replica, retry path on a dead target,
+     *  rejection record when admission refuses it. */
+    void dispatchArrival(const RequestSpec &spec);
+
+    /** Record an arrival shed by the brownout controller. */
+    void recordShed(const RequestSpec &spec);
+
+    /**
+     * True when @p snap's completion deadline is unreachable even
+     * under the optimistic service lower bound, starting no earlier
+     * than @p earliest_start.
+     */
+    bool deadlineUnreachable(const RequestFailureSnapshot &snap,
+                             SimTime earliest_start) const;
 
     /**
      * Enter the retry path for @p snap: schedule a backed-off
@@ -219,6 +384,9 @@ class ClusterSim
 
     /** Record an abandoned request (budget exhausted). */
     void recordExhausted(const RequestFailureSnapshot &snap);
+
+    /** Record a request abandoned by deadline-aware cancellation. */
+    void recordCancelled(const RequestFailureSnapshot &snap);
 
     Config cfg_;
     Trace trace_;
@@ -236,6 +404,29 @@ class ClusterSim
     bool ran_ = false;
     std::uint64_t retriesExhausted_ = 0;
     std::uint64_t redispatches_ = 0;
+    std::uint64_t deadlineCancelled_ = 0;
+
+    /**
+     * Stale routing views; empty until the first blindReplica() call,
+     * so an unpartitioned run pays one emptiness check per lookup and
+     * routes on live state exactly as before.
+     */
+    std::vector<ReplicaView> views_;
+
+    /** Breaker state; empty until the breaker is enabled. */
+    std::vector<BreakerState> breakers_;
+    std::uint64_t breakerTrips_ = 0;
+
+    /** Degraded modes in force (brownout controller). */
+    DegradedModes modes_;
+    std::uint64_t brownoutShed_ = 0;
+    std::uint64_t brownoutCapped_ = 0;
+
+    /**
+     * Execution model mirroring the replicas' — prices the optimistic
+     * remaining-service lower bound of deadline-aware cancellation.
+     */
+    PerfModel perf_;
 };
 
 /**

@@ -126,7 +126,7 @@ Replica::resubmit(const RequestFailureSnapshot &snap)
 void
 Replica::attachCachedPrefix(Request *req)
 {
-    if (!prefixCache_->enabled())
+    if (!prefixCache_->enabled() || prefixBypass_)
         return;
     int tokens = prefixCache_->attach(req->id(), req->spec(), eq_.now());
     if (tokens > 0)

@@ -152,6 +152,20 @@ class Replica
         return prefixCache_->probe(spec);
     }
 
+    /**
+     * Bypass prefix-cache admission: while set, newly submitted
+     * requests prefill from scratch instead of attaching cached
+     * blocks (the brownout controller's deepest degraded mode —
+     * attaching pins blocks that overloaded KV needs for batching).
+     * Existing attachments and the cache contents are untouched, and
+     * affinity probes still answer, so clearing the bit restores full
+     * behaviour instantly.
+     */
+    void setPrefixBypass(bool bypass) { prefixBypass_ = bypass; }
+
+    /** True while prefix-cache admission is bypassed. */
+    bool prefixBypass() const { return prefixBypass_; }
+
     /** Total batches executed. */
     std::uint64_t iterations() const { return iterations_; }
 
@@ -224,6 +238,7 @@ class Replica
     ReplicaHealth health_ = ReplicaHealth::Up;
     double slowdown_ = 1.0;
     std::uint64_t crashes_ = 0;
+    bool prefixBypass_ = false;
 
     /** In-flight completion event, for cancellation on crash. */
     EventId inflightEvent_ = 0;

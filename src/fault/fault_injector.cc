@@ -25,6 +25,14 @@ faultKindName(FaultKind kind)
         return "straggler-start";
       case FaultKind::StragglerEnd:
         return "straggler-end";
+      case FaultKind::ZoneOutage:
+        return "zone-outage";
+      case FaultKind::ZoneRecovery:
+        return "zone-recovery";
+      case FaultKind::PartitionStart:
+        return "partition-start";
+      case FaultKind::PartitionEnd:
+        return "partition-end";
     }
     QOSERVE_PANIC("unknown fault kind");
 }
@@ -88,6 +96,14 @@ FaultInjector::scheduleNextCrash(std::size_t i)
 void
 FaultInjector::crash(std::size_t i)
 {
+    if (cluster_.replica(i).health() == ReplicaHealth::Down) {
+        // A correlated zone outage (DomainInjector) beat this crash
+        // to the replica. Skip the episode and redraw; unreachable
+        // without a domain injector, so independent-fault runs are
+        // byte-identical.
+        scheduleNextCrash(i);
+        return;
+    }
     SimTime now = cluster_.eventQueue().now();
     if (TraceSink *sink = cluster_.traceSink()) {
         sink->emit({TraceEventKind::Crash, now, kNoTraceRequest,

@@ -81,6 +81,11 @@ enum class FaultKind
     Recovery,       ///< Replica came back up.
     StragglerStart, ///< Slowdown factor applied.
     StragglerEnd,   ///< Slowdown factor cleared.
+    ZoneOutage,     ///< Correlated zone failure (replica = zone id).
+    ZoneRecovery,   ///< Zone repair completed (replica = zone id).
+    PartitionStart, ///< Control-plane partition began (replica =
+                    ///< replicas blinded).
+    PartitionEnd,   ///< Control-plane partition healed.
 };
 
 /** Display name of a fault kind. */

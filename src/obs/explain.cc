@@ -82,20 +82,35 @@ writeExplainReport(const std::vector<TraceEvent> &events,
               });
 
     std::size_t violated = 0, rejected = 0, abandoned = 0;
+    std::size_t shed = 0, cancelled = 0;
     for (const ExplainRecord &rec : sorted) {
         if (!rec.violated)
             continue;
         ++violated;
-        if (rec.rejected)
+        auto it = timelines.find(RequestId{rec.id});
+        if (rec.rejected) {
             ++rejected;
-        if (rec.retryExhausted)
+            if (it != timelines.end() && it->second.shed)
+                ++shed;
+        }
+        if (rec.retryExhausted) {
             ++abandoned;
+            if (it != timelines.end() && it->second.cancelled)
+                ++cancelled;
+        }
     }
 
     out << std::fixed << std::setprecision(3);
     out << "requests: " << sorted.size() << " total, " << violated
         << " violated (" << rejected << " rejected, " << abandoned
         << " abandoned)\n";
+    // The records CSV folds brownout sheds into `rejected` and
+    // deadline cancellations into `retryExhausted`; the trace stream
+    // tells them apart, so break them out when present.
+    if (shed > 0 || cancelled > 0) {
+        out << "degradation: " << shed << " shed by brownout, "
+            << cancelled << " cancelled as provably late\n";
+    }
 
     double phaseTotals[kTracePhases] = {};
     double residualTotal = 0.0;
@@ -119,7 +134,12 @@ writeExplainReport(const std::vector<TraceEvent> &events,
         auto it = timelines.find(RequestId{rec.id});
         if (rec.rejected || it == timelines.end() ||
             it->second.spans.empty()) {
-            out << "  rejected at admission (never served)\n";
+            if (it != timelines.end() && it->second.shed)
+                out << "  shed by brownout (never served)\n";
+            else if (it != timelines.end() && it->second.cancelled)
+                out << "  cancelled as provably late (never served)\n";
+            else
+                out << "  rejected at admission (never served)\n";
             continue;
         }
         const RequestTimeline &tl = it->second;
@@ -129,7 +149,10 @@ writeExplainReport(const std::vector<TraceEvent> &events,
 
         out << "  e2e " << bd.endToEnd << " s  ttft " << rec.ttft
             << " s";
-        if (rec.retryExhausted)
+        if (rec.retryExhausted && tl.cancelled)
+            out << "  cancelled as provably late after " << rec.retries
+                << " retries";
+        else if (rec.retryExhausted)
             out << "  abandoned after " << rec.retries << " retries";
         else if (tl.failures > 0)
             out << "  survived " << tl.failures << " crash(es)";

@@ -161,7 +161,7 @@ MetricsSampler::MetricsSampler(EventQueue &eq, MetricsRegistry &registry,
 void
 MetricsSampler::start()
 {
-    eq_.schedule(eq_.now(), [this]() { fire(); });
+    eq_.scheduleDaemon(eq_.now(), [this]() { fire(); });
 }
 
 void
@@ -170,10 +170,12 @@ MetricsSampler::fire()
     fn_(registry_, eq_.now());
     registry_.snapshot(eq_.now());
     ++samples_;
-    // Reschedule only while other work is pending: the cadence
-    // observes the simulation but must never extend it.
-    if (!eq_.empty())
-        eq_.scheduleAfter(interval_, [this]() { fire(); });
+    // Reschedule only while real (non-daemon) work is pending: the
+    // cadence observes the simulation but must never extend it, and
+    // daemon bookkeeping keeps two observers from propping each other
+    // up forever.
+    if (eq_.hasRealWork())
+        eq_.scheduleDaemonAfter(interval_, [this]() { fire(); });
 }
 
 } // namespace qoserve

@@ -48,11 +48,23 @@ enum class TraceEventKind : std::uint8_t
     RequestFailed,   ///< Request lost to a replica crash.
     RetryQueued,     ///< Re-dispatch scheduled; arg = attempt consumed.
     RetryExhausted,  ///< Retry budget spent; request abandoned.
+    ZoneOutage,      ///< Correlated zone failure; arg = zone id.
+    ZoneRestore,     ///< Zone repair completed; arg = zone id.
+    PartitionStart,  ///< Control-plane partition began; arg = replicas
+                     ///< blinded.
+    PartitionEnd,    ///< Control-plane partition healed.
+    BreakerOpen,     ///< Circuit breaker tripped; arg = consecutive
+                     ///< dispatch failures.
+    BreakerClose,    ///< Circuit breaker closed after a good probe.
+    BrownoutStep,    ///< Brownout level changed; arg = new level.
+    DeadlineCancel,  ///< Request abandoned: completion deadline
+                     ///< provably unreachable.
+    BrownoutShed,    ///< Request shed by the brownout controller.
 };
 
 /** Number of distinct event kinds (CSV parser bound). */
 inline constexpr int kTraceEventKinds =
-    static_cast<int>(TraceEventKind::RetryExhausted) + 1;
+    static_cast<int>(TraceEventKind::BrownoutShed) + 1;
 
 /** Stable lowercase name of an event kind (the CSV `event` field). */
 const char *traceEventKindName(TraceEventKind kind);

@@ -94,6 +94,7 @@ transitionFor(const TraceEvent &ev, const SpanState &st)
       case TraceEventKind::Finish:
       case TraceEventKind::RequestFailed:
       case TraceEventKind::RetryExhausted:
+      case TraceEventKind::DeadlineCancel:
         tr.close = st.open;
         break;
       default:
@@ -126,6 +127,12 @@ buildRequestTimelines(const std::vector<TraceEvent> &events)
             break;
           case TraceEventKind::RetryExhausted:
             tl.abandoned = true;
+            break;
+          case TraceEventKind::DeadlineCancel:
+            tl.cancelled = true;
+            break;
+          case TraceEventKind::BrownoutShed:
+            tl.shed = true;
             break;
           case TraceEventKind::RequestFailed:
             ++tl.failures;
@@ -336,6 +343,34 @@ writePerfettoJson(const std::vector<TraceEvent> &events,
             json.line(instant("straggler-end", ev.time,
                               pidOf(ev.replica), 0));
             break;
+          case TraceEventKind::ZoneOutage:
+            json.line(instant("zone-outage", ev.time, 0, 0,
+                              "\"zone\":" + std::to_string(ev.arg)));
+            break;
+          case TraceEventKind::ZoneRestore:
+            json.line(instant("zone-restore", ev.time, 0, 0,
+                              "\"zone\":" + std::to_string(ev.arg)));
+            break;
+          case TraceEventKind::PartitionStart:
+            json.line(instant("partition-start", ev.time, 0, 0,
+                              "\"blinded\":" + std::to_string(ev.arg)));
+            break;
+          case TraceEventKind::PartitionEnd:
+            json.line(instant("partition-end", ev.time, 0, 0));
+            break;
+          case TraceEventKind::BreakerOpen:
+            json.line(instant("breaker-open", ev.time,
+                              pidOf(ev.replica), 0,
+                              "\"failures\":" + std::to_string(ev.arg)));
+            break;
+          case TraceEventKind::BreakerClose:
+            json.line(instant("breaker-close", ev.time,
+                              pidOf(ev.replica), 0));
+            break;
+          case TraceEventKind::BrownoutStep:
+            json.line(instant("brownout-step", ev.time, 0, 0,
+                              "\"level\":" + std::to_string(ev.arg)));
+            break;
           default: {
             if (ev.request == kNoTraceRequest)
                 break;
@@ -363,6 +398,11 @@ writePerfettoJson(const std::vector<TraceEvent> &events,
                                   pidOf(ev.replica), tid));
             else if (ev.kind == TraceEventKind::RetryExhausted)
                 json.line(instant("abandoned", ev.time, 0, tid));
+            else if (ev.kind == TraceEventKind::DeadlineCancel)
+                json.line(instant("deadline-cancelled", ev.time, 0,
+                                  tid));
+            else if (ev.kind == TraceEventKind::BrownoutShed)
+                json.line(instant("brownout-shed", ev.time, 0, tid));
             break;
           }
         }

@@ -74,6 +74,13 @@ struct RequestTimeline
     /** Abandoned after exhausting its retry budget. */
     bool abandoned = false;
 
+    /** Abandoned because its completion deadline became provably
+     *  unreachable (deadline-aware cancellation). */
+    bool cancelled = false;
+
+    /** Shed unserved by the brownout controller. */
+    bool shed = false;
+
     /** Crash-failure count (RequestFailed events). */
     int failures = 0;
 

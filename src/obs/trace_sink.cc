@@ -57,6 +57,24 @@ traceEventKindName(TraceEventKind kind)
         return "retry-queued";
       case TraceEventKind::RetryExhausted:
         return "retry-exhausted";
+      case TraceEventKind::ZoneOutage:
+        return "zone-outage";
+      case TraceEventKind::ZoneRestore:
+        return "zone-restore";
+      case TraceEventKind::PartitionStart:
+        return "partition-start";
+      case TraceEventKind::PartitionEnd:
+        return "partition-end";
+      case TraceEventKind::BreakerOpen:
+        return "breaker-open";
+      case TraceEventKind::BreakerClose:
+        return "breaker-close";
+      case TraceEventKind::BrownoutStep:
+        return "brownout-step";
+      case TraceEventKind::DeadlineCancel:
+        return "deadline-cancel";
+      case TraceEventKind::BrownoutShed:
+        return "brownout-shed";
     }
     QOSERVE_PANIC("unknown trace event kind");
 }

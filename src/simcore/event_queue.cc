@@ -34,6 +34,10 @@ void
 EventQueue::releaseSlot(std::uint32_t index)
 {
     Slot &slot = slots_[index];
+    if (slot.daemon) {
+        slot.daemon = false;
+        --daemonPending_;
+    }
     slot.active = false;
     slot.fn = nullptr;
     // Bumping the generation invalidates every outstanding EventId
@@ -73,6 +77,24 @@ EventQueue::scheduleAfter(SimDuration delay, EventFn fn)
                       "got ", delay);
     }
     return schedule(now_ + delay, std::move(fn));
+}
+
+EventId
+EventQueue::scheduleDaemon(SimTime when, EventFn fn)
+{
+    EventId id = schedule(when, std::move(fn));
+    slots_[static_cast<std::uint32_t>(id >> 32)].daemon = true;
+    ++daemonPending_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleDaemonAfter(SimDuration delay, EventFn fn)
+{
+    EventId id = scheduleAfter(delay, std::move(fn));
+    slots_[static_cast<std::uint32_t>(id >> 32)].daemon = true;
+    ++daemonPending_;
+    return id;
 }
 
 bool

@@ -82,6 +82,25 @@ class EventQueue
     EventId scheduleAfter(SimDuration delay, EventFn fn);
 
     /**
+     * Schedule a *daemon* event: one that observes the simulation but
+     * must never keep it alive. Daemon events fire exactly like
+     * normal ones; the difference is bookkeeping — they are excluded
+     * from hasRealWork(), which is what self-rescheduling cadences
+     * (metrics samplers, controllers) consult before rescheduling.
+     * With two or more observers the naive `!empty()` check deadlocks
+     * the drain: each sees the other's pending tick and they keep
+     * each other alive forever. Checking hasRealWork() from a daemon
+     * tick cannot, because observer ticks don't count as work.
+     */
+    EventId scheduleDaemon(SimTime when, EventFn fn);
+
+    /** Daemon variant of scheduleAfter(). */
+    EventId scheduleDaemonAfter(SimDuration delay, EventFn fn);
+
+    /** True while any non-daemon event is pending. */
+    bool hasRealWork() const { return pendingCount_ > daemonPending_; }
+
+    /**
      * Cancel a pending event in O(1).
      *
      * Cancelling an event that already fired (or was already
@@ -133,6 +152,7 @@ class EventQueue
         EventFn fn;
         std::uint32_t gen = 1;  ///< Bumped on every release.
         bool active = false;    ///< Scheduled and not yet fired.
+        bool daemon = false;    ///< Excluded from hasRealWork().
     };
 
     /** Heap entry: plain data only, cheap to sift. */
@@ -172,6 +192,7 @@ class EventQueue
     SimTime now_;
     std::uint64_t nextSeq_ = 0;
     std::size_t pendingCount_ = 0;
+    std::size_t daemonPending_ = 0;
     std::uint64_t firedCount_ = 0;
 };
 

@@ -184,5 +184,81 @@ TEST(CliOptions, RangeValidation)
     EXPECT_DEATH(parseCliOptions({"--replicas", "0"}), "at least 1");
 }
 
+TEST(CliOptions, ChaosFlagsParse)
+{
+    CliOptions opts = parseCliOptions({
+        "--replicas", "4", "--zones", "2", "--zone-mtbf", "60",
+        "--zone-mttr", "15", "--partition-mtbf", "80",
+        "--partition-mttr", "10", "--partition-frac", "0.5",
+        "--domain-seed", "9", "--breaker-threshold", "3",
+        "--breaker-cooldown", "0.5", "--deadline-cancel", "--brownout",
+        "--brownout-enter", "2000", "--brownout-exit", "500",
+        "--brownout-interval", "2", "--brownout-cap", "64",
+        "--brownout-shed-tier", "2",
+    });
+
+    EXPECT_EQ(opts.domains.zones, 2);
+    EXPECT_DOUBLE_EQ(opts.domains.zoneMtbf, 60.0);
+    EXPECT_DOUBLE_EQ(opts.domains.zoneMttr, 15.0);
+    EXPECT_DOUBLE_EQ(opts.domains.partitionMtbf, 80.0);
+    EXPECT_DOUBLE_EQ(opts.domains.partitionMttr, 10.0);
+    EXPECT_DOUBLE_EQ(opts.domains.partitionFrac, 0.5);
+    EXPECT_EQ(opts.domains.seed, 9u);
+    EXPECT_TRUE(opts.domains.enabled());
+    EXPECT_EQ(opts.breaker.failureThreshold, 3);
+    EXPECT_DOUBLE_EQ(opts.breaker.cooldown, 0.5);
+    EXPECT_TRUE(opts.deadlineCancel);
+    EXPECT_TRUE(opts.brownout.enabled);
+    EXPECT_DOUBLE_EQ(opts.brownout.enterBacklog, 2000.0);
+    EXPECT_DOUBLE_EQ(opts.brownout.exitBacklog, 500.0);
+    EXPECT_DOUBLE_EQ(opts.brownout.interval, 2.0);
+    EXPECT_EQ(opts.brownout.capTokens, 64);
+    EXPECT_EQ(opts.brownout.shedTier, 2);
+}
+
+TEST(CliOptions, ChaosDefaultsOff)
+{
+    CliOptions opts = parseCliOptions({});
+    EXPECT_FALSE(opts.domains.enabled());
+    EXPECT_FALSE(opts.breaker.enabled());
+    EXPECT_FALSE(opts.deadlineCancel);
+    EXPECT_FALSE(opts.brownout.enabled);
+}
+
+TEST(CliOptions, DegenerateFaultCombosAreFatal)
+{
+    // A zero repair time with crashes enabled would leave replicas
+    // down forever; the parser rejects it instead of wedging the run.
+    EXPECT_DEATH(
+        parseCliOptions({"--fault-mtbf", "60", "--fault-mttr", "0"}),
+        "--fault-mttr must be positive");
+    EXPECT_DEATH(parseCliOptions({"--fault-mtbf", "-1"}),
+                 "non-negative");
+    EXPECT_DEATH(parseCliOptions({"--zone-mtbf", "60"}),
+                 "requires --zones");
+    EXPECT_DEATH(
+        parseCliOptions({"--replicas", "2", "--zones", "4"}),
+        "--zones");
+    EXPECT_DEATH(parseCliOptions({"--replicas", "4", "--zones", "2",
+                                  "--zone-mtbf", "60", "--zone-mttr",
+                                  "0"}),
+                 "--zone-mttr must be positive");
+    EXPECT_DEATH(parseCliOptions(
+                     {"--partition-mtbf", "50", "--partition-mttr", "0"}),
+                 "--partition-mttr must be positive");
+    EXPECT_DEATH(parseCliOptions({"--partition-mtbf", "50",
+                                  "--partition-frac", "1.5"}),
+                 "--partition-frac");
+    EXPECT_DEATH(parseCliOptions({"--breaker-threshold", "2",
+                                  "--breaker-cooldown", "0"}),
+                 "--breaker-cooldown must be positive");
+    EXPECT_DEATH(parseCliOptions({"--brownout", "--brownout-enter",
+                                  "100", "--brownout-exit", "200"}),
+                 "--brownout-exit");
+    EXPECT_DEATH(
+        parseCliOptions({"--brownout", "--brownout-shed-tier", "9"}),
+        "--brownout-shed-tier");
+}
+
 } // namespace
 } // namespace qoserve

@@ -22,6 +22,8 @@
 
 #include "app/cli_options.hh"
 #include "app/qoserve.hh"
+#include "cluster/brownout.hh"
+#include "fault/failure_domains.hh"
 #include "obs/metrics_registry.hh"
 #include "obs/trace_export.hh"
 #include "obs/trace_sink.hh"
@@ -93,6 +95,8 @@ main(int argc, char **argv)
     cc.predictor = predictor.get();
     cc.retry = opts.retry;
     cc.healthAwareRouting = opts.healthAwareRouting;
+    cc.breaker = opts.breaker;
+    cc.deadlineCancel = opts.deadlineCancel;
 
     ClusterSim sim(cc, trace);
     sim.addReplicaGroup(opts.serving.numReplicas,
@@ -134,6 +138,37 @@ main(int argc, char **argv)
         }
     }
 
+    // Failure domains: correlated zone outages and control-plane
+    // partitions, on the same horizon discipline as the independent
+    // injector.
+    std::optional<DomainInjector> domains;
+    if (opts.domains.enabled()) {
+        opts.domains.horizon = trace.requests.empty()
+                                   ? SimTime{}
+                                   : trace.requests.back().arrival;
+        if (opts.domains.horizon > SimTime{}) {
+            domains.emplace(opts.domains, sim);
+            std::cerr << "failure domains: " << opts.domains.zones
+                      << " zones, zone MTBF " << opts.domains.zoneMtbf
+                      << " s / MTTR " << opts.domains.zoneMttr
+                      << " s, partition MTBF "
+                      << opts.domains.partitionMtbf << " s / MTTR "
+                      << opts.domains.partitionMttr << " s (seed "
+                      << opts.domains.seed << ")\n";
+        }
+    }
+
+    // Graceful degradation: the brownout controller samples backlog
+    // on its own cadence and steps the cluster's degraded modes.
+    BrownoutController brownout(opts.brownout, sim);
+    if (opts.brownout.enabled) {
+        brownout.start();
+        std::cerr << "brownout: enter " << opts.brownout.enterBacklog
+                  << " / exit " << opts.brownout.exitBacklog
+                  << " tokens per replica, every "
+                  << opts.brownout.interval << " s\n";
+    }
+
     TelemetryRecorder telemetry;
     if (opts.telemetryOut) {
         for (std::size_t i = 0; i < sim.numReplicas(); ++i) {
@@ -148,7 +183,7 @@ main(int argc, char **argv)
     if (opts.metricsOut) {
         sampler.emplace(
             sim.eventQueue(), registry, opts.metricsInterval,
-            [&sim](MetricsRegistry &reg, SimTime) {
+            [&sim, &opts, &brownout](MetricsRegistry &reg, SimTime) {
                 for (std::size_t i = 0; i < sim.numReplicas(); ++i) {
                     const Replica &rep = sim.replica(i);
                     const std::string tag = std::to_string(i);
@@ -184,6 +219,28 @@ main(int argc, char **argv)
                     static_cast<std::int64_t>(sim.admission().rejected());
                 reg.counter("requests_completed") =
                     static_cast<std::int64_t>(sim.metrics().size());
+                // Degradation cells exist only when their feature is
+                // on: columns are name-ordered, so a disabled-feature
+                // run keeps the exact pre-existing CSV bytes.
+                if (opts.breaker.enabled()) {
+                    reg.counter("breaker_trips") =
+                        static_cast<std::int64_t>(sim.breakerTrips());
+                }
+                if (opts.deadlineCancel) {
+                    reg.counter("deadline_cancelled") =
+                        static_cast<std::int64_t>(
+                            sim.deadlineCancelled());
+                }
+                if (opts.domains.partitionsEnabled()) {
+                    reg.gauge("replicas_blinded") = static_cast<double>(
+                        sim.blindedReplicas());
+                }
+                if (opts.brownout.enabled) {
+                    reg.gauge("brownout_level") =
+                        static_cast<double>(brownout.level());
+                    reg.counter("brownout_shed") =
+                        static_cast<std::int64_t>(sim.brownoutShed());
+                }
             });
         sampler->start();
     }
@@ -219,6 +276,32 @@ main(int argc, char **argv)
         std::cout << "recovery: " << sim.redispatches()
                   << " re-dispatches, " << sim.retriesExhausted()
                   << " retry budgets exhausted\n";
+    }
+    if (domains) {
+        const DomainStats &ds = domains->stats();
+        std::cout << "domains: " << ds.zoneOutages
+                  << " zone outages (" << ds.replicasDowned
+                  << " replicas downed, " << ds.zoneDownSeconds
+                  << " zone-down s), " << ds.partitions
+                  << " partitions\n";
+    }
+    if (opts.breaker.enabled()) {
+        std::cout << "breaker: " << sim.breakerTrips()
+                  << " trips (threshold "
+                  << opts.breaker.failureThreshold << ", cooldown "
+                  << opts.breaker.cooldown << " s)\n";
+    }
+    if (opts.deadlineCancel) {
+        std::cout << "deadline cancel: " << sim.deadlineCancelled()
+                  << " requests abandoned as provably late\n";
+    }
+    if (opts.brownout.enabled) {
+        std::cout << "brownout: peak level " << brownout.maxLevel()
+                  << " (" << brownoutModeName(static_cast<BrownoutMode>(
+                                 brownout.maxLevel()))
+                  << "), " << brownout.steps() << " steps, "
+                  << sim.brownoutShed() << " shed, "
+                  << sim.brownoutCapped() << " capped\n";
     }
     if (opts.serving.prefixCache.enabled) {
         PrefixCacheStats agg;
