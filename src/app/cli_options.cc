@@ -211,7 +211,22 @@ output:
   --trace-csv FILE      dump the raw lifecycle events as flat CSV
   --metrics-out FILE    dump the metrics time series as CSV
   --metrics-interval S  metrics sampling cadence in sim seconds
-                        (default 5)
+                        (default 5; requires --metrics-out)
+  --sketch-out FILE     dump per-tier latency quantile sketches as CSV
+  --sketch-alpha E      sketch relative-error bound in (0, 1)
+                        (default 0.01; requires --sketch-out)
+
+SLO monitoring (all --slo-alert-* flags require --slo-monitor):
+  --slo-monitor         run the multi-window burn-rate monitor as a
+                        read-only daemon observer
+  --slo-alert-budget F  per-tier violation budget in (0, 1]
+                        (default 0.01)
+  --slo-alert-burn X    burn-rate threshold that fires an alert
+                        (default 14.4)
+  --slo-alert-short S   short alert window, sim seconds (default 300)
+  --slo-alert-long S    long alert window, sim seconds (default 3600)
+  --slo-alert-interval S  monitor evaluation cadence (default 10)
+  --slo-alerts-out FILE dump the alert timeline as CSV
   --help                this text
 )";
 }
@@ -220,6 +235,13 @@ CliOptions
 parseCliOptions(const std::vector<std::string> &args)
 {
     CliOptions opts;
+
+    // Config flags that merely tune an output/subsystem another flag
+    // enables: remembered here so the validation below can reject
+    // configuration without the enabler.
+    bool metricsIntervalSet = false;
+    bool sketchAlphaSet = false;
+    bool sloAlertFlagSet = false;
 
     auto need_value = [&](std::size_t i, const std::string &flag) {
         if (i + 1 >= args.size())
@@ -380,6 +402,37 @@ parseCliOptions(const std::vector<std::string> &args)
         } else if (flag == "--metrics-interval") {
             opts.metricsInterval =
                 parseDouble(flag, need_value(i++, flag));
+            metricsIntervalSet = true;
+        } else if (flag == "--sketch-out") {
+            opts.sketchOut = need_value(i++, flag);
+        } else if (flag == "--sketch-alpha") {
+            opts.sketchAlpha =
+                parseDouble(flag, need_value(i++, flag));
+            sketchAlphaSet = true;
+        } else if (flag == "--slo-monitor") {
+            opts.sloMonitor = true;
+        } else if (flag == "--slo-alert-budget") {
+            opts.sloAlert.budget =
+                parseDouble(flag, need_value(i++, flag));
+            sloAlertFlagSet = true;
+        } else if (flag == "--slo-alert-burn") {
+            opts.sloAlert.burn =
+                parseDouble(flag, need_value(i++, flag));
+            sloAlertFlagSet = true;
+        } else if (flag == "--slo-alert-short") {
+            opts.sloAlert.shortWindow =
+                parseDouble(flag, need_value(i++, flag));
+            sloAlertFlagSet = true;
+        } else if (flag == "--slo-alert-long") {
+            opts.sloAlert.longWindow =
+                parseDouble(flag, need_value(i++, flag));
+            sloAlertFlagSet = true;
+        } else if (flag == "--slo-alert-interval") {
+            opts.sloAlert.interval =
+                parseDouble(flag, need_value(i++, flag));
+            sloAlertFlagSet = true;
+        } else if (flag == "--slo-alerts-out") {
+            opts.sloAlertsOut = need_value(i++, flag);
         } else if (flag == "--records-out") {
             opts.recordsOut = need_value(i++, flag);
         } else if (flag == "--telemetry-out") {
@@ -460,6 +513,48 @@ parseCliOptions(const std::vector<std::string> &args)
     }
     if (opts.metricsInterval <= 0.0)
         QOSERVE_FATAL("--metrics-interval must be positive");
+    if (metricsIntervalSet && !opts.metricsOut)
+        QOSERVE_FATAL("--metrics-interval requires --metrics-out: "
+                      "the cadence configures the metrics series "
+                      "that flag enables");
+    if (!(opts.sketchAlpha > 0.0) || opts.sketchAlpha >= 1.0)
+        QOSERVE_FATAL("--sketch-alpha must be in (0, 1), got ",
+                      opts.sketchAlpha);
+    if (sketchAlphaSet && !opts.sketchOut)
+        QOSERVE_FATAL("--sketch-alpha requires --sketch-out: the "
+                      "accuracy configures the sketch bank that flag "
+                      "enables");
+    if (sloAlertFlagSet && !opts.sloMonitor)
+        QOSERVE_FATAL("--slo-alert-* flags require --slo-monitor: "
+                      "they configure the burn-rate monitor that "
+                      "flag enables");
+    if (opts.sloAlertsOut && !opts.sloMonitor)
+        QOSERVE_FATAL("--slo-alerts-out requires --slo-monitor: "
+                      "there is no alert timeline without the "
+                      "monitor");
+    if (opts.sloMonitor) {
+        if (!(opts.sloAlert.budget > 0.0) ||
+            opts.sloAlert.budget > 1.0)
+            QOSERVE_FATAL("--slo-alert-budget must be in (0, 1], "
+                          "got ", opts.sloAlert.budget);
+        if (opts.sloAlert.burn <= 0.0)
+            QOSERVE_FATAL("--slo-alert-burn must be positive, got ",
+                          opts.sloAlert.burn);
+        if (opts.sloAlert.shortWindow <= 0.0)
+            QOSERVE_FATAL("--slo-alert-short must be positive, got ",
+                          opts.sloAlert.shortWindow);
+        if (opts.sloAlert.longWindow <= 0.0)
+            QOSERVE_FATAL("--slo-alert-long must be positive, got ",
+                          opts.sloAlert.longWindow);
+        if (opts.sloAlert.shortWindow > opts.sloAlert.longWindow)
+            QOSERVE_FATAL("--slo-alert-short (",
+                          opts.sloAlert.shortWindow,
+                          ") must not exceed --slo-alert-long (",
+                          opts.sloAlert.longWindow, ")");
+        if (opts.sloAlert.interval <= 0.0)
+            QOSERVE_FATAL("--slo-alert-interval must be positive, "
+                          "got ", opts.sloAlert.interval);
+    }
     opts.serving.prefixCache.validate();
     opts.sharedPrefix.validate();
     if (opts.serving.cacheAffinityRouting &&

@@ -19,6 +19,7 @@
 #include "cluster/brownout.hh"
 #include "fault/failure_domains.hh"
 #include "fault/fault_injector.hh"
+#include "obs/slo_monitor.hh"
 
 namespace qoserve {
 
@@ -81,6 +82,17 @@ struct CliOptions
     /** Metrics time-series sink and sampling cadence. */
     std::optional<std::string> metricsOut;
     double metricsInterval = 5.0;
+
+    /** Streaming latency sketch bank (--sketch-out enables) and
+     *  sketch accuracy. */
+    std::optional<std::string> sketchOut;
+    double sketchAlpha = 0.01;
+
+    /** SLO burn-rate monitor (--slo-monitor enables), its alerting
+     *  policy, and the alert-timeline sink. */
+    bool sloMonitor = false;
+    SloMonitorConfig sloAlert{};
+    std::optional<std::string> sloAlertsOut;
 
     /** True when --help was requested. */
     bool helpRequested = false;

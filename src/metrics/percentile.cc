@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <numeric>
 
+#include "core/check_level.hh"
 #include "simcore/logging.hh"
 
 namespace qoserve {
@@ -17,6 +18,15 @@ double
 percentileSorted(const std::vector<double> &sorted, double p)
 {
     QOSERVE_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    if constexpr (audit::fullChecks()) {
+        QOSERVE_ASSERT(
+            std::is_sorted(sorted.begin(), sorted.end()),
+            "percentileSorted fed an unsorted sample of size ",
+            sorted.size());
+    }
+    // Degenerate-sample sentinels (documented in the header, shared
+    // with percentile() and QuantileSketch::quantile): empty -> 0.0,
+    // single element -> that element, for every p.
     if (sorted.empty())
         return 0.0;
     if (sorted.size() == 1)

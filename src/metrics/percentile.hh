@@ -13,13 +13,23 @@ namespace qoserve {
 /**
  * Interpolated percentile of a sample.
  *
- * @param values Sample (copied and sorted internally; empty returns 0).
- * @param p Percentile in [0, 100].
+ * Degenerate inputs follow one uniform sentinel convention shared
+ * with percentileSorted (and QuantileSketch::quantile): an empty
+ * sample returns 0.0 for every p, and a single-element sample
+ * returns that element for every p. Callers therefore never need
+ * emptiness guards of their own.
+ *
+ * @param values Sample (copied and sorted internally).
+ * @param p Percentile in [0, 100] (panics otherwise).
  */
 double percentile(std::vector<double> values, double p);
 
 /**
  * Percentile of an already-sorted sample (no copy).
+ *
+ * Same sentinel convention as percentile(): empty -> 0.0, single
+ * element -> that element, for every p. At QOSERVE_CHECK_LEVEL=full
+ * the sortedness precondition itself is asserted.
  */
 double percentileSorted(const std::vector<double> &sorted, double p);
 

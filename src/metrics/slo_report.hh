@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/quantile_sketch.hh"
 #include "sched/request.hh"
 #include "workload/qos.hh"
 
@@ -61,6 +62,15 @@ class MetricsCollector
     /** Invoke @p sink on every subsequent record (at completion). */
     void setRecordSink(RecordSink sink) { sink_ = std::move(sink); }
 
+    /**
+     * Attach an additional read-only observer invoked (in attach
+     * order, after the primary sink) on every subsequent record.
+     * Unlike the single replaceable sink — the memory-saving output
+     * channel — observers compose: the streaming CSV writer, the
+     * sketch feeder, and the SLO monitor can all watch one run.
+     */
+    void addRecordObserver(RecordSink observer);
+
     /** Toggle in-memory retention (default on). Summaries require
      *  retention; streaming-only runs must compute their own. */
     void setRetainRecords(bool retain) { retain_ = retain; }
@@ -69,6 +79,7 @@ class MetricsCollector
     TierTable tiers_;
     std::vector<RequestRecord> records_;
     RecordSink sink_;
+    std::vector<RecordSink> observers_;
     std::size_t totalRecorded_ = 0;
     bool retain_ = true;
 };
@@ -209,6 +220,23 @@ std::vector<RollingPoint> rollingLatency(const MetricsCollector &collector,
                                          SimDuration window, double pct,
                                          int tier_id = -1,
                                          bool important_only = false);
+
+/**
+ * Streaming variant of rollingLatency: each window holds a
+ * QuantileSketch instead of the full latency vector, so memory per
+ * window is O(log(max/min)) regardless of arrival rate. Values are
+ * within the sketch's relative error of rollingLatency's targeted
+ * order statistic (see QuantileSketch::quantile); the series is
+ * bitwise deterministic because sketch state is.
+ *
+ * @param relative_error Sketch accuracy (see QuantileSketch).
+ */
+std::vector<RollingPoint>
+rollingLatencySketched(const MetricsCollector &collector,
+                       SimDuration window, double pct, int tier_id = -1,
+                       bool important_only = false,
+                       double relative_error =
+                           QuantileSketch::kDefaultRelativeError);
 
 } // namespace qoserve
 

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Critical-path extraction, aggregation, and CSV round trip.
+ */
+
+#include "obs/critical_path.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+CriticalSegment
+CriticalPath::dominant() const
+{
+    CriticalSegment best;
+    for (const CriticalSegment &seg : segments)
+        if (seg.seconds > best.seconds)
+            best = seg;
+    return best;
+}
+
+CriticalPath
+criticalPathFor(const RequestTimeline &tl)
+{
+    CriticalPath path;
+    if (tl.spans.empty())
+        return path;
+
+    // Longest-duration chain of non-overlapping spans. Spans arrive
+    // begin-ordered from buildRequestTimelines; dp[i] is the best
+    // chain ending in span i. O(n^2) in the span count, which is
+    // bounded by the request's chunk/iteration count.
+    const std::size_t n = tl.spans.size();
+    std::vector<double> dp(n, 0.0);
+    std::vector<std::ptrdiff_t> prev(n, -1);
+    std::size_t bestEnd = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        dp[i] = tl.spans[i].length();
+        for (std::size_t j = 0; j < i; ++j) {
+            if (tl.spans[j].end > tl.spans[i].begin)
+                continue; // Overlaps: j cannot precede i on a chain.
+            double cand = dp[j] + tl.spans[i].length();
+            // Strict improvement only: ties keep the earliest
+            // predecessor, so the path is deterministic.
+            if (cand > dp[i]) {
+                dp[i] = cand;
+                prev[i] = static_cast<std::ptrdiff_t>(j);
+            }
+        }
+        if (dp[i] > dp[bestEnd])
+            bestEnd = i;
+    }
+
+    std::vector<const PhaseSpan *> chain;
+    for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(bestEnd);
+         i >= 0; i = prev[static_cast<std::size_t>(i)])
+        chain.push_back(&tl.spans[static_cast<std::size_t>(i)]);
+    std::reverse(chain.begin(), chain.end());
+
+    for (const PhaseSpan *span : chain) {
+        const double len = span->length();
+        if (len <= 0.0)
+            continue;
+        if (!path.segments.empty() &&
+            path.segments.back().phase == span->phase &&
+            path.segments.back().replica == span->replica) {
+            path.segments.back().seconds += len;
+        } else {
+            path.segments.push_back({span->phase, span->replica, len});
+        }
+        path.totalSeconds += len;
+    }
+    return path;
+}
+
+CriticalAggregate
+aggregateCriticalPaths(
+    const std::map<RequestId, RequestTimeline> &timelines,
+    const std::vector<std::uint64_t> &ids)
+{
+    CriticalAggregate agg;
+    for (std::uint64_t id : ids) {
+        auto it = timelines.find(RequestId{id});
+        if (it == timelines.end() || it->second.spans.empty())
+            continue;
+        CriticalPath path = criticalPathFor(it->second);
+        if (path.segments.empty())
+            continue;
+        ++agg.requests;
+        agg.totalSeconds += path.totalSeconds;
+        for (const CriticalSegment &seg : path.segments)
+            agg.cells[{static_cast<int>(seg.phase), seg.replica}]
+                .seconds += seg.seconds;
+        CriticalSegment dom = path.dominant();
+        ++agg.cells[{static_cast<int>(dom.phase), dom.replica}]
+              .dominantRequests;
+    }
+    return agg;
+}
+
+void
+writeCriticalPathReport(const CriticalAggregate &agg, std::ostream &out)
+{
+    if (agg.requests == 0) {
+        out << "no served violated requests — no critical paths to "
+               "aggregate\n";
+        return;
+    }
+    out << "critical paths across " << agg.requests
+        << " served violated request(s), " << agg.totalSeconds
+        << " s of path time:\n";
+
+    // Rank by dominance: the cells that *led* the most misses first,
+    // seconds as the tiebreak, map order as the final tie.
+    std::vector<std::pair<std::pair<int, int>,
+                          CriticalAggregate::Entry>>
+        ranked(agg.cells.begin(), agg.cells.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.dominantRequests !=
+                      b.second.dominantRequests)
+                      return a.second.dominantRequests >
+                             b.second.dominantRequests;
+                  if (a.second.seconds != b.second.seconds)
+                      return a.second.seconds > b.second.seconds;
+                  return a.first < b.first;
+              });
+    for (const auto &[key, entry] : ranked) {
+        const auto phase = static_cast<TracePhase>(key.first);
+        const double domPct = 100.0 *
+                              static_cast<double>(
+                                  entry.dominantRequests) /
+                              static_cast<double>(agg.requests);
+        const double secPct =
+            agg.totalSeconds > 0.0
+                ? 100.0 * entry.seconds / agg.totalSeconds
+                : 0.0;
+        out << "  " << std::left << std::setw(12)
+            << tracePhaseName(phase) << std::right;
+        if (key.second >= 0)
+            out << " replica " << std::setw(3) << key.second;
+        else
+            out << " cluster    ";
+        out << "  dominates " << std::setw(5) << domPct
+            << "% of misses  (" << secPct << "% of path time)\n";
+    }
+}
+
+void
+writeCriticalAggregateCsv(const CriticalAggregate &agg,
+                          std::ostream &out)
+{
+    std::ostringstream fmt;
+    fmt << std::setprecision(17);
+    out << "phase,replica,seconds,dominant_requests\n";
+    fmt << "total,-1," << agg.totalSeconds << ',' << agg.requests
+        << '\n';
+    for (const auto &[key, entry] : agg.cells) {
+        fmt << tracePhaseName(static_cast<TracePhase>(key.first))
+            << ',' << key.second << ',' << entry.seconds << ','
+            << entry.dominantRequests << '\n';
+    }
+    out << fmt.str();
+}
+
+void
+writeCriticalAggregateCsvFile(const CriticalAggregate &agg,
+                              const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        QOSERVE_FATAL("cannot open critical-path file for writing: ",
+                      path);
+    writeCriticalAggregateCsv(agg, out);
+    if (!out)
+        QOSERVE_FATAL("error writing critical-path file: ", path);
+}
+
+namespace {
+
+int
+phaseByName(const std::string &name, std::size_t line_no)
+{
+    for (int p = 0; p < kTracePhases; ++p)
+        if (name == tracePhaseName(static_cast<TracePhase>(p)))
+            return p;
+    QOSERVE_FATAL("critical-path CSV line ", line_no,
+                  ": unknown phase: '", name, "'");
+}
+
+double
+parseCpDouble(const std::string &field, std::size_t line_no)
+{
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(field, &pos);
+    } catch (const std::exception &) {
+        QOSERVE_FATAL("critical-path CSV line ", line_no,
+                      ": not a number: '", field, "'");
+    }
+    if (pos != field.size())
+        QOSERVE_FATAL("critical-path CSV line ", line_no,
+                      ": trailing characters: '", field, "'");
+    return value;
+}
+
+std::int64_t
+parseCpInt(const std::string &field, std::size_t line_no)
+{
+    std::size_t pos = 0;
+    std::int64_t value = 0;
+    try {
+        value = std::stoll(field, &pos);
+    } catch (const std::exception &) {
+        QOSERVE_FATAL("critical-path CSV line ", line_no,
+                      ": not an integer: '", field, "'");
+    }
+    if (pos != field.size())
+        QOSERVE_FATAL("critical-path CSV line ", line_no,
+                      ": trailing characters: '", field, "'");
+    return value;
+}
+
+} // namespace
+
+CriticalAggregate
+readCriticalAggregateCsv(std::istream &in)
+{
+    CriticalAggregate agg;
+    std::string line;
+    std::size_t line_no = 0;
+    bool saw_header = false;
+    bool saw_total = false;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            QOSERVE_FATAL("critical-path CSV line ", line_no,
+                          ": empty line");
+        if (!saw_header) {
+            if (line != "phase,replica,seconds,dominant_requests")
+                QOSERVE_FATAL("critical-path CSV line ", line_no,
+                              ": unexpected header: '", line, "'");
+            saw_header = true;
+            continue;
+        }
+        std::vector<std::string> fields;
+        std::istringstream iss(line);
+        std::string field;
+        while (std::getline(iss, field, ','))
+            fields.push_back(field);
+        if (fields.size() != 4)
+            QOSERVE_FATAL("critical-path CSV line ", line_no,
+                          ": expected 4 fields, got ", fields.size());
+        if (fields[0] == "total") {
+            if (saw_total)
+                QOSERVE_FATAL("critical-path CSV line ", line_no,
+                              ": duplicate total row");
+            saw_total = true;
+            agg.totalSeconds = parseCpDouble(fields[2], line_no);
+            agg.requests = static_cast<std::uint64_t>(
+                parseCpInt(fields[3], line_no));
+            continue;
+        }
+        int phase = phaseByName(fields[0], line_no);
+        int replica =
+            static_cast<int>(parseCpInt(fields[1], line_no));
+        CriticalAggregate::Entry entry;
+        entry.seconds = parseCpDouble(fields[2], line_no);
+        entry.dominantRequests = static_cast<std::uint64_t>(
+            parseCpInt(fields[3], line_no));
+        if (!agg.cells.emplace(std::make_pair(phase, replica), entry)
+                 .second)
+            QOSERVE_FATAL("critical-path CSV line ", line_no,
+                          ": duplicate cell");
+    }
+    if (!saw_header)
+        QOSERVE_FATAL("critical-path CSV is empty (missing header)");
+    if (!saw_total)
+        QOSERVE_FATAL("critical-path CSV has no total row");
+    return agg;
+}
+
+CriticalAggregate
+readCriticalAggregateCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        QOSERVE_FATAL("cannot open critical-path file for reading: ",
+                      path);
+    return readCriticalAggregateCsv(in);
+}
+
+} // namespace qoserve

@@ -9,6 +9,7 @@
 #include <iomanip>
 #include <ostream>
 
+#include "obs/critical_path.hh"
 #include "simcore/logging.hh"
 
 namespace qoserve {
@@ -125,6 +126,7 @@ writeExplainReport(const std::vector<TraceEvent> &events,
         double worstFrac;
     };
     std::vector<Offender> offenders;
+    std::vector<std::uint64_t> servedViolatedIds;
 
     for (const ExplainRecord &rec : sorted) {
         if (!rec.violated)
@@ -145,6 +147,7 @@ writeExplainReport(const std::vector<TraceEvent> &events,
         const RequestTimeline &tl = it->second;
         PhaseBreakdown bd = breakdownFor(tl, rec.arrival);
         ++servedViolated;
+        servedViolatedIds.push_back(rec.id);
         minCoverage = std::min(minCoverage, bd.coverage());
 
         out << "  e2e " << bd.endToEnd << " s  ttft " << rec.ttft
@@ -214,6 +217,11 @@ writeExplainReport(const std::vector<TraceEvent> &events,
                 << tracePhaseName(o.worst) << " ("
                 << 100.0 * o.worstFrac << "%)\n";
         }
+        CriticalAggregate agg =
+            aggregateCriticalPaths(timelines, servedViolatedIds);
+        out << "\n";
+        writeCriticalPathReport(agg, out);
+
         out << "\nattribution: min coverage "
             << 100.0 * minCoverage
             << "% of end-to-end latency across served violated "

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Quantile sketch implementation and bank CSV round trip.
+ */
+
+#include "obs/quantile_sketch.hh"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+QuantileSketch::QuantileSketch(double relative_error)
+    : relativeError_(relative_error),
+      gamma_((1.0 + relative_error) / (1.0 - relative_error)),
+      logGamma_(std::log(gamma_)),
+      min_(std::numeric_limits<double>::infinity()),
+      maxFinite_(-std::numeric_limits<double>::infinity())
+{
+    QOSERVE_ASSERT(relative_error > 0.0 && relative_error < 1.0,
+                   "sketch relative error must be in (0, 1), got ",
+                   relative_error);
+}
+
+std::int32_t
+QuantileSketch::keyFor(double v) const
+{
+    // ceil(log_gamma(v)): bucket k covers (gamma^(k-1), gamma^k].
+    return static_cast<std::int32_t>(
+        std::ceil(std::log(v) / logGamma_));
+}
+
+double
+QuantileSketch::valueFor(std::int32_t key) const
+{
+    // Log-space midpoint 2*gamma^k/(gamma+1): both bucket endpoints
+    // are within relativeError_ of it.
+    return 2.0 * std::pow(gamma_, static_cast<double>(key)) /
+           (gamma_ + 1.0);
+}
+
+void
+QuantileSketch::insert(double v)
+{
+    QOSERVE_ASSERT(!std::isnan(v), "cannot insert NaN into a sketch");
+    QOSERVE_ASSERT(v >= 0.0, "sketch values must be non-negative, got ",
+                   v);
+    ++count_;
+    if (std::isinf(v)) {
+        ++infCount_;
+        return;
+    }
+    min_ = std::min(min_, v);
+    maxFinite_ = std::max(maxFinite_, v);
+    if (v < kMinIndexable) {
+        ++zeroCount_;
+        return;
+    }
+    ++buckets_[keyFor(v)];
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    QOSERVE_ASSERT(relativeError_ == other.relativeError_,
+                   "cannot merge sketches with different relative "
+                   "errors: ",
+                   relativeError_, " vs ", other.relativeError_);
+    for (const auto &[key, n] : other.buckets_)
+        buckets_[key] += n;
+    zeroCount_ += other.zeroCount_;
+    infCount_ += other.infCount_;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    maxFinite_ = std::max(maxFinite_, other.maxFinite_);
+}
+
+double
+QuantileSketch::max() const
+{
+    if (infCount_ > 0)
+        return std::numeric_limits<double>::infinity();
+    return maxFinite_;
+}
+
+double
+QuantileSketch::quantile(double p) const
+{
+    QOSERVE_ASSERT(p >= 0.0 && p <= 100.0,
+                   "percentile out of range: ", p);
+    if (count_ == 0)
+        return 0.0;
+    // Target percentileSorted's lower bracket: the order statistic at
+    // floor(p/100 * (n-1)), 0-based in ascending order.
+    const auto rank = static_cast<std::uint64_t>(
+        (p / 100.0) * static_cast<double>(count_ - 1));
+    if (rank < zeroCount_)
+        return 0.0;
+    std::uint64_t seen = zeroCount_;
+    for (const auto &[key, n] : buckets_) {
+        seen += n;
+        if (rank < seen) {
+            // Clamp to the observed extremes: tightens the first and
+            // last buckets without breaking the error bound.
+            double est = valueFor(key);
+            return std::min(std::max(est, min_), maxFinite_);
+        }
+    }
+    return std::numeric_limits<double>::infinity();
+}
+
+bool
+QuantileSketch::operator==(const QuantileSketch &o) const
+{
+    return relativeError_ == o.relativeError_ &&
+           buckets_ == o.buckets_ && zeroCount_ == o.zeroCount_ &&
+           infCount_ == o.infCount_ && count_ == o.count_ &&
+           min_ == o.min_ && maxFinite_ == o.maxFinite_;
+}
+
+QuantileSketch
+QuantileSketch::fromParts(double relative_error, std::uint64_t zero,
+                          std::uint64_t inf, double min_value,
+                          double max_finite,
+                          std::map<std::int32_t, std::uint64_t>
+                              bucket_counts)
+{
+    QuantileSketch sk(relative_error);
+    sk.zeroCount_ = zero;
+    sk.infCount_ = inf;
+    sk.min_ = min_value;
+    sk.maxFinite_ = max_finite;
+    sk.count_ = zero + inf;
+    for (const auto &[key, n] : bucket_counts) {
+        QOSERVE_ASSERT(n > 0, "sketch bucket ", key,
+                       " has a zero count");
+        sk.count_ += n;
+    }
+    sk.buckets_ = std::move(bucket_counts);
+    return sk;
+}
+
+void
+writeSketchBankCsv(const std::map<std::string, QuantileSketch> &bank,
+                   std::ostream &out)
+{
+    // max_digits10 so the doubles (alpha, min, max) round-trip
+    // exactly; counts are integers and exact by construction.
+    std::ostringstream fmt;
+    fmt << std::setprecision(17);
+    out << "sketch,field,value\n";
+    for (const auto &[name, sk] : bank) {
+        QOSERVE_ASSERT(!name.empty() &&
+                           name.find(',') == std::string::npos &&
+                           name.find('\n') == std::string::npos,
+                       "sketch name unfit for CSV: '", name, "'");
+        fmt.str("");
+        fmt << name << ",alpha," << sk.relativeError() << '\n'
+            << name << ",zero," << sk.zeroCount() << '\n'
+            << name << ",inf," << sk.infCount() << '\n'
+            << name << ",min," << sk.min() << '\n'
+            << name << ",max_finite," << sk.maxFinite() << '\n';
+        for (const auto &[key, n] : sk.buckets())
+            fmt << name << ",b" << key << ',' << n << '\n';
+        out << fmt.str();
+    }
+}
+
+void
+writeSketchBankCsvFile(const std::map<std::string, QuantileSketch> &bank,
+                       const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        QOSERVE_FATAL("cannot open sketch file for writing: ", path);
+    writeSketchBankCsv(bank, out);
+    if (!out)
+        QOSERVE_FATAL("error writing sketch file: ", path);
+}
+
+namespace {
+
+double
+parseSketchDouble(const std::string &field, std::size_t line_no)
+{
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(field, &pos);
+    } catch (const std::exception &) {
+        QOSERVE_FATAL("sketch CSV line ", line_no, ": not a number: '",
+                      field, "'");
+    }
+    if (pos != field.size())
+        QOSERVE_FATAL("sketch CSV line ", line_no,
+                      ": trailing characters: '", field, "'");
+    return value;
+}
+
+std::uint64_t
+parseSketchCount(const std::string &field, std::size_t line_no)
+{
+    std::size_t pos = 0;
+    std::uint64_t value = 0;
+    try {
+        value = std::stoull(field, &pos);
+    } catch (const std::exception &) {
+        QOSERVE_FATAL("sketch CSV line ", line_no,
+                      ": not a count: '", field, "'");
+    }
+    if (pos != field.size())
+        QOSERVE_FATAL("sketch CSV line ", line_no,
+                      ": trailing characters: '", field, "'");
+    return value;
+}
+
+std::int32_t
+parseBucketKey(const std::string &field, std::size_t line_no)
+{
+    std::size_t pos = 0;
+    long long value = 0;
+    try {
+        value = std::stoll(field, &pos);
+    } catch (const std::exception &) {
+        QOSERVE_FATAL("sketch CSV line ", line_no,
+                      ": malformed bucket key: 'b", field, "'");
+    }
+    if (pos != field.size())
+        QOSERVE_FATAL("sketch CSV line ", line_no,
+                      ": malformed bucket key: 'b", field, "'");
+    return static_cast<std::int32_t>(value);
+}
+
+/** State of the sketch currently being assembled. */
+struct PendingSketch
+{
+    std::string name;
+    bool sawAlpha = false;
+    double alpha = QuantileSketch::kDefaultRelativeError;
+    std::uint64_t zero = 0;
+    std::uint64_t inf = 0;
+    double minValue = std::numeric_limits<double>::infinity();
+    double maxFinite = -std::numeric_limits<double>::infinity();
+    std::map<std::int32_t, std::uint64_t> buckets;
+};
+
+void
+finishPending(PendingSketch &pending, std::size_t line_no,
+              std::map<std::string, QuantileSketch> &bank)
+{
+    if (pending.name.empty())
+        return;
+    if (!pending.sawAlpha)
+        QOSERVE_FATAL("sketch CSV line ", line_no, ": sketch '",
+                      pending.name, "' has no alpha row");
+    bank.emplace(pending.name,
+                 QuantileSketch::fromParts(
+                     pending.alpha, pending.zero, pending.inf,
+                     pending.minValue, pending.maxFinite,
+                     std::move(pending.buckets)));
+    pending = PendingSketch{};
+}
+
+} // namespace
+
+std::map<std::string, QuantileSketch>
+readSketchBankCsv(std::istream &in)
+{
+    std::map<std::string, QuantileSketch> bank;
+    PendingSketch pending;
+    std::string line;
+    std::size_t line_no = 0;
+    bool saw_header = false;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            QOSERVE_FATAL("sketch CSV line ", line_no, ": empty line");
+        if (!saw_header) {
+            if (line != "sketch,field,value")
+                QOSERVE_FATAL("sketch CSV line ", line_no,
+                              ": unexpected header: '", line, "'");
+            saw_header = true;
+            continue;
+        }
+        std::vector<std::string> fields;
+        std::istringstream iss(line);
+        std::string field;
+        while (std::getline(iss, field, ','))
+            fields.push_back(field);
+        if (fields.size() != 3)
+            QOSERVE_FATAL("sketch CSV line ", line_no,
+                          ": expected 3 fields, got ", fields.size());
+        const std::string &name = fields[0];
+        const std::string &key = fields[1];
+        const std::string &value = fields[2];
+        if (name.empty())
+            QOSERVE_FATAL("sketch CSV line ", line_no,
+                          ": empty sketch name");
+        if (name != pending.name) {
+            finishPending(pending, line_no, bank);
+            if (bank.count(name) != 0)
+                QOSERVE_FATAL("sketch CSV line ", line_no,
+                              ": sketch '", name,
+                              "' appears twice (rows must be "
+                              "contiguous per sketch)");
+            pending.name = name;
+        }
+        if (key == "alpha") {
+            pending.alpha = parseSketchDouble(value, line_no);
+            pending.sawAlpha = true;
+        } else if (key == "zero") {
+            pending.zero = parseSketchCount(value, line_no);
+        } else if (key == "inf") {
+            pending.inf = parseSketchCount(value, line_no);
+        } else if (key == "min") {
+            pending.minValue = parseSketchDouble(value, line_no);
+        } else if (key == "max_finite") {
+            pending.maxFinite = parseSketchDouble(value, line_no);
+        } else if (!key.empty() && key[0] == 'b') {
+            std::int32_t bkey = parseBucketKey(key.substr(1), line_no);
+            if (!pending.buckets.empty() &&
+                bkey <= pending.buckets.rbegin()->first)
+                QOSERVE_FATAL("sketch CSV line ", line_no,
+                              ": bucket keys out of order");
+            pending.buckets[bkey] = parseSketchCount(value, line_no);
+        } else {
+            QOSERVE_FATAL("sketch CSV line ", line_no,
+                          ": unknown field: '", key, "'");
+        }
+    }
+    if (!saw_header)
+        QOSERVE_FATAL("sketch CSV is empty (missing header)");
+    finishPending(pending, line_no, bank);
+    return bank;
+}
+
+std::map<std::string, QuantileSketch>
+readSketchBankCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        QOSERVE_FATAL("cannot open sketch file for reading: ", path);
+    return readSketchBankCsv(in);
+}
+
+} // namespace qoserve

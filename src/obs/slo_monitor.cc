@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Burn-rate monitor implementation and alert CSV round trip.
+ */
+
+#include "obs/slo_monitor.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "simcore/logging.hh"
+
+namespace qoserve {
+
+SloMonitor::SloMonitor(EventQueue &eq, TraceScope scope,
+                       SloMonitorConfig cfg)
+    : eq_(eq), scope_(scope), cfg_(cfg)
+{
+    QOSERVE_ASSERT(cfg_.budget > 0.0 && cfg_.budget <= 1.0,
+                   "SLO budget must be in (0, 1], got ", cfg_.budget);
+    QOSERVE_ASSERT(cfg_.burn > 0.0, "burn threshold must be positive, "
+                   "got ", cfg_.burn);
+    QOSERVE_ASSERT(cfg_.shortWindow > 0.0 && cfg_.longWindow > 0.0,
+                   "alert windows must be positive, got ",
+                   cfg_.shortWindow, " / ", cfg_.longWindow);
+    QOSERVE_ASSERT(cfg_.shortWindow <= cfg_.longWindow,
+                   "short window (", cfg_.shortWindow,
+                   ") exceeds long window (", cfg_.longWindow, ")");
+    QOSERVE_ASSERT(cfg_.interval > 0.0,
+                   "alert interval must be positive, got ",
+                   cfg_.interval);
+}
+
+void
+SloMonitor::observe(int tier, SimTime when, bool violated)
+{
+    QOSERVE_ASSERT(when >= lastObserved_, "SLO observation at ", when,
+                   " precedes the previous one at ", lastObserved_);
+    lastObserved_ = when;
+    tiers_[tier].window.emplace_back(when, violated);
+}
+
+void
+SloMonitor::start()
+{
+    eq_.scheduleDaemon(eq_.now(), [this] { tick(); });
+}
+
+double
+SloMonitor::burnOver(const TierState &st, SimTime now,
+                     SimDuration span) const
+{
+    const SimTime cutoff = now - span;
+    std::uint64_t total = 0;
+    std::uint64_t bad = 0;
+    // The deque is time-ordered; everything at or before the cutoff
+    // has already been pruned from the long window, so only the short
+    // window needs the per-entry time check.
+    for (const auto &[when, violated] : st.window) {
+        if (when <= cutoff)
+            continue;
+        ++total;
+        if (violated)
+            ++bad;
+    }
+    if (total == 0)
+        return 0.0;
+    const double rate =
+        static_cast<double>(bad) / static_cast<double>(total);
+    return rate / cfg_.budget;
+}
+
+void
+SloMonitor::tick()
+{
+    ++ticks_;
+    const SimTime now = eq_.now();
+    for (auto &[tier, st] : tiers_) {
+        const SimTime horizon = now - cfg_.longWindow;
+        while (!st.window.empty() && st.window.front().first <= horizon)
+            st.window.pop_front();
+        const double shortBurn = burnOver(st, now, cfg_.shortWindow);
+        const double longBurn = burnOver(st, now, cfg_.longWindow);
+        st.lastShortBurn = shortBurn;
+        const bool firing =
+            shortBurn >= cfg_.burn && longBurn >= cfg_.burn;
+        if (firing && !st.active) {
+            st.active = true;
+            st.openAlert = alerts_.size();
+            alerts_.push_back({tier, now, kTimeNever, shortBurn});
+            scope_.emit(TraceEventKind::AlertRaised, kNoTraceRequest,
+                        tier, shortBurn);
+        } else if (st.active && firing) {
+            SloAlert &open = alerts_[st.openAlert];
+            open.peakBurn = std::max(open.peakBurn, shortBurn);
+        } else if (st.active && !firing) {
+            st.active = false;
+            alerts_[st.openAlert].cleared = now;
+            scope_.emit(TraceEventKind::AlertCleared, kNoTraceRequest,
+                        tier, shortBurn);
+        }
+    }
+    // Observer cadence: reschedule only while the simulation still has
+    // real (non-daemon) work, so the monitor never keeps a drained
+    // run alive.
+    if (eq_.hasRealWork())
+        eq_.scheduleDaemonAfter(cfg_.interval, [this] { tick(); });
+}
+
+std::vector<int>
+SloMonitor::activeTiers() const
+{
+    std::vector<int> out;
+    for (const auto &[tier, st] : tiers_)
+        if (st.active)
+            out.push_back(tier);
+    return out;
+}
+
+double
+SloMonitor::shortBurn(int tier) const
+{
+    auto it = tiers_.find(tier);
+    return it == tiers_.end() ? 0.0 : it->second.lastShortBurn;
+}
+
+void
+writeAlertsCsv(const std::vector<SloAlert> &alerts, std::ostream &out)
+{
+    std::ostringstream fmt;
+    fmt << std::setprecision(17);
+    out << "tier,raised,cleared,peak_burn\n";
+    for (const SloAlert &a : alerts) {
+        fmt.str("");
+        fmt << a.tier << ',' << a.raised << ',' << a.cleared << ','
+            << a.peakBurn << '\n';
+        out << fmt.str();
+    }
+}
+
+void
+writeAlertsCsvFile(const std::vector<SloAlert> &alerts,
+                   const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        QOSERVE_FATAL("cannot open alert file for writing: ", path);
+    writeAlertsCsv(alerts, out);
+    if (!out)
+        QOSERVE_FATAL("error writing alert file: ", path);
+}
+
+namespace {
+
+double
+parseAlertDouble(const std::string &field, std::size_t line_no)
+{
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(field, &pos);
+    } catch (const std::exception &) {
+        QOSERVE_FATAL("alert CSV line ", line_no, ": not a number: '",
+                      field, "'");
+    }
+    if (pos != field.size())
+        QOSERVE_FATAL("alert CSV line ", line_no,
+                      ": trailing characters: '", field, "'");
+    return value;
+}
+
+} // namespace
+
+std::vector<SloAlert>
+readAlertsCsv(std::istream &in)
+{
+    std::vector<SloAlert> alerts;
+    std::string line;
+    std::size_t line_no = 0;
+    bool saw_header = false;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            QOSERVE_FATAL("alert CSV line ", line_no, ": empty line");
+        if (!saw_header) {
+            if (line != "tier,raised,cleared,peak_burn")
+                QOSERVE_FATAL("alert CSV line ", line_no,
+                              ": unexpected header: '", line, "'");
+            saw_header = true;
+            continue;
+        }
+        std::vector<std::string> fields;
+        std::istringstream iss(line);
+        std::string field;
+        while (std::getline(iss, field, ','))
+            fields.push_back(field);
+        if (fields.size() != 4)
+            QOSERVE_FATAL("alert CSV line ", line_no,
+                          ": expected 4 fields, got ", fields.size());
+        SloAlert a;
+        a.tier = static_cast<int>(parseAlertDouble(fields[0], line_no));
+        a.raised = SimTime{parseAlertDouble(fields[1], line_no)};
+        a.cleared = SimTime{parseAlertDouble(fields[2], line_no)};
+        a.peakBurn = parseAlertDouble(fields[3], line_no);
+        alerts.push_back(a);
+    }
+    if (!saw_header)
+        QOSERVE_FATAL("alert CSV is empty (missing header)");
+    return alerts;
+}
+
+std::vector<SloAlert>
+readAlertsCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        QOSERVE_FATAL("cannot open alert file for reading: ", path);
+    return readAlertsCsv(in);
+}
+
+} // namespace qoserve

@@ -60,11 +60,14 @@ enum class TraceEventKind : std::uint8_t
     DeadlineCancel,  ///< Request abandoned: completion deadline
                      ///< provably unreachable.
     BrownoutShed,    ///< Request shed by the brownout controller.
+    AlertRaised,     ///< SLO burn-rate alert fired; arg = tier,
+                     ///< value = observed burn rate.
+    AlertCleared,    ///< SLO burn-rate alert recovered; arg = tier.
 };
 
 /** Number of distinct event kinds (CSV parser bound). */
 inline constexpr int kTraceEventKinds =
-    static_cast<int>(TraceEventKind::BrownoutShed) + 1;
+    static_cast<int>(TraceEventKind::AlertCleared) + 1;
 
 /** Stable lowercase name of an event kind (the CSV `event` field). */
 const char *traceEventKindName(TraceEventKind kind);

@@ -371,6 +371,15 @@ writePerfettoJson(const std::vector<TraceEvent> &events,
             json.line(instant("brownout-step", ev.time, 0, 0,
                               "\"level\":" + std::to_string(ev.arg)));
             break;
+          case TraceEventKind::AlertRaised:
+            json.line(instant("slo-alert-raised", ev.time, 0, 0,
+                              "\"tier\":" + std::to_string(ev.arg) +
+                                  ",\"burn\":" + fmtFixed3(ev.value)));
+            break;
+          case TraceEventKind::AlertCleared:
+            json.line(instant("slo-alert-cleared", ev.time, 0, 0,
+                              "\"tier\":" + std::to_string(ev.arg)));
+            break;
           default: {
             if (ev.request == kNoTraceRequest)
                 break;

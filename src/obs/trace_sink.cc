@@ -75,6 +75,10 @@ traceEventKindName(TraceEventKind kind)
         return "deadline-cancel";
       case TraceEventKind::BrownoutShed:
         return "brownout-shed";
+      case TraceEventKind::AlertRaised:
+        return "slo-alert-raised";
+      case TraceEventKind::AlertCleared:
+        return "slo-alert-cleared";
     }
     QOSERVE_PANIC("unknown trace event kind");
 }

@@ -133,6 +133,97 @@ TEST(CliOptions, MetricsIntervalMustBePositive)
                  "must be positive");
 }
 
+TEST(CliOptions, MetricsIntervalRequiresMetricsOut)
+{
+    // The cadence configures the series --metrics-out enables;
+    // setting it alone is a silent no-op the parser now rejects.
+    EXPECT_DEATH(parseCliOptions({"--metrics-interval", "2"}),
+                 "requires --metrics-out");
+    // With the enabler it parses fine.
+    CliOptions opts = parseCliOptions(
+        {"--metrics-out", "/tmp/m.csv", "--metrics-interval", "2"});
+    EXPECT_DOUBLE_EQ(opts.metricsInterval, 2.0);
+}
+
+TEST(CliOptions, SketchFlagsParse)
+{
+    CliOptions opts = parseCliOptions(
+        {"--sketch-out", "/tmp/sk.csv", "--sketch-alpha", "0.02"});
+    EXPECT_EQ(opts.sketchOut, "/tmp/sk.csv");
+    EXPECT_DOUBLE_EQ(opts.sketchAlpha, 0.02);
+    EXPECT_FALSE(parseCliOptions({}).sketchOut.has_value());
+}
+
+TEST(CliOptions, SketchAlphaValidation)
+{
+    EXPECT_DEATH(parseCliOptions(
+                     {"--sketch-out", "/tmp/sk.csv", "--sketch-alpha",
+                      "0"}),
+                 "in \\(0, 1\\)");
+    EXPECT_DEATH(parseCliOptions(
+                     {"--sketch-out", "/tmp/sk.csv", "--sketch-alpha",
+                      "1"}),
+                 "in \\(0, 1\\)");
+    EXPECT_DEATH(parseCliOptions({"--sketch-alpha", "0.02"}),
+                 "requires --sketch-out");
+}
+
+TEST(CliOptions, SloMonitorFlagsParse)
+{
+    CliOptions opts = parseCliOptions({
+        "--slo-monitor", "--slo-alert-budget", "0.05",
+        "--slo-alert-burn", "2", "--slo-alert-short", "60",
+        "--slo-alert-long", "600", "--slo-alert-interval", "5",
+        "--slo-alerts-out", "/tmp/alerts.csv",
+    });
+    EXPECT_TRUE(opts.sloMonitor);
+    EXPECT_DOUBLE_EQ(opts.sloAlert.budget, 0.05);
+    EXPECT_DOUBLE_EQ(opts.sloAlert.burn, 2.0);
+    EXPECT_DOUBLE_EQ(opts.sloAlert.shortWindow, 60.0);
+    EXPECT_DOUBLE_EQ(opts.sloAlert.longWindow, 600.0);
+    EXPECT_DOUBLE_EQ(opts.sloAlert.interval, 5.0);
+    EXPECT_EQ(opts.sloAlertsOut, "/tmp/alerts.csv");
+    EXPECT_FALSE(parseCliOptions({}).sloMonitor);
+}
+
+TEST(CliOptions, SloAlertFlagsRequireTheMonitor)
+{
+    EXPECT_DEATH(parseCliOptions({"--slo-alert-burn", "2"}),
+                 "require --slo-monitor");
+    EXPECT_DEATH(parseCliOptions({"--slo-alert-budget", "0.05"}),
+                 "require --slo-monitor");
+    EXPECT_DEATH(parseCliOptions({"--slo-alerts-out", "/tmp/a.csv"}),
+                 "requires --slo-monitor");
+}
+
+TEST(CliOptions, SloAlertPolicyValidation)
+{
+    EXPECT_DEATH(
+        parseCliOptions({"--slo-monitor", "--slo-alert-budget", "0"}),
+        "--slo-alert-budget");
+    EXPECT_DEATH(
+        parseCliOptions({"--slo-monitor", "--slo-alert-budget", "2"}),
+        "--slo-alert-budget");
+    EXPECT_DEATH(
+        parseCliOptions({"--slo-monitor", "--slo-alert-burn", "-3"}),
+        "--slo-alert-burn");
+    EXPECT_DEATH(
+        parseCliOptions({"--slo-monitor", "--slo-alert-short", "0"}),
+        "--slo-alert-short");
+    EXPECT_DEATH(
+        parseCliOptions(
+            {"--slo-monitor", "--slo-alert-interval", "0"}),
+        "--slo-alert-interval");
+    // Window ordering: a short window wider than the long one makes
+    // the both-windows rule vacuous.
+    EXPECT_DEATH(parseCliOptions({"--slo-monitor", "--slo-alert-short",
+                                  "600", "--slo-alert-long", "60"}),
+                 "must not exceed --slo-alert-long");
+    EXPECT_DEATH(
+        parseCliOptions({"--slo-monitor", "--slo-alert-burn", "abc"}),
+        "");
+}
+
 TEST(CliOptions, HelpFlag)
 {
     EXPECT_TRUE(parseCliOptions({"--help"}).helpRequested);

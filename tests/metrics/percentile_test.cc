@@ -68,6 +68,25 @@ TEST(Percentile, MonotoneInP)
     }
 }
 
+TEST(Percentile, SortedVariantSharesTheDegenerateSentinels)
+{
+    // The documented convention call sites rely on (no empty/size-1
+    // guards needed anywhere): empty -> 0.0, single element -> that
+    // element, uniformly for every p, in *both* entry points.
+    for (double p : {0.0, 50.0, 99.0, 100.0}) {
+        EXPECT_EQ(percentileSorted({}, p), 0.0);
+        EXPECT_EQ(percentileSorted({7.5}, p), 7.5);
+        EXPECT_EQ(percentileSorted({}, p), percentile({}, p));
+        EXPECT_EQ(percentileSorted({7.5}, p), percentile({7.5}, p));
+    }
+}
+
+TEST(PercentileDeathTest, OutOfRangePercentilePanics)
+{
+    EXPECT_DEATH(percentileSorted({1.0, 2.0}, -1.0), "out of range");
+    EXPECT_DEATH(percentileSorted({1.0, 2.0}, 101.0), "out of range");
+}
+
 TEST(Mean, BasicAndEmpty)
 {
     EXPECT_EQ(mean({}), 0.0);

@@ -8,11 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <sstream>
+#include <utility>
 
+#include "fault/failure_domains.hh"
 #include "fault/fault_injector.hh"
 #include "metrics/report_io.hh"
 #include "obs/explain.hh"
+#include "obs/slo_monitor.hh"
 #include "obs/trace_export.hh"
 #include "obs/trace_sink.hh"
 #include "sched/baseline_schedulers.hh"
@@ -116,6 +120,78 @@ TEST(ObsE2e, PhaseTilingCoversEveryServedRequest)
     EXPECT_GT(served, 0u);
 }
 
+/** Count Perfetto duration-begin/end markers in exported JSON. */
+std::pair<std::size_t, std::size_t>
+countPerfettoPairs(const std::string &json)
+{
+    std::size_t begins = 0, ends = 0;
+    for (std::size_t pos = 0;
+         (pos = json.find("\"ph\":\"", pos)) != std::string::npos;
+         pos += 6) {
+        begins += json.compare(pos + 6, 1, "B") == 0;
+        ends += json.compare(pos + 6, 1, "E") == 0;
+    }
+    return {begins, ends};
+}
+
+TEST(ObsE2e, PerfettoBalancesWhenCrashesCancelBatchesMidIteration)
+{
+    // Aggressive crash schedule: replicas die with batches in
+    // flight, so engine iteration spans are cancelled mid-iteration
+    // and request spans are force-closed. Every B must still find
+    // its E.
+    Trace trace = smallTrace(6.0, 250, 11);
+    ClusterSim sim(defaultConfig(), trace);
+    sim.addReplicaGroup(3, fcfsFactory());
+    FaultConfig fc;
+    fc.crashMtbf = 8.0;
+    fc.crashMttr = 3.0;
+    fc.seed = 29;
+    fc.horizon = trace.requests.back().arrival;
+    FaultInjector injector(fc, sim);
+    TraceSink sink;
+    sim.setTraceSink(&sink);
+    sim.run();
+    ASSERT_GT(injector.stats().crashes, 1u)
+        << "schedule too gentle to exercise crash cancellation";
+
+    std::stringstream out;
+    writePerfettoJson(sink.events(), out);
+    auto [begins, ends] = countPerfettoPairs(out.str());
+    EXPECT_GT(begins, 0u);
+    EXPECT_EQ(begins, ends);
+}
+
+TEST(ObsE2e, PerfettoBalancesWhenAZoneOutageKillsReplicasTogether)
+{
+    // A zone outage downs several replicas at the same sim instant —
+    // the exporter has to close all their in-flight spans at one
+    // timestamp without dropping or double-closing any.
+    Trace trace = smallTrace(6.0, 250, 13);
+    ClusterSim sim(defaultConfig(), trace);
+    sim.addReplicaGroup(4, fcfsFactory());
+    DomainConfig dc;
+    dc.zones = 2; // two replicas per zone go down together
+    dc.zoneMtbf = 15.0;
+    dc.zoneMttr = 5.0;
+    dc.seed = 31;
+    dc.horizon = trace.requests.back().arrival;
+    DomainInjector injector(dc, sim);
+    TraceSink sink;
+    sim.setTraceSink(&sink);
+    sim.run();
+    ASSERT_GT(injector.stats().zoneOutages, 0u);
+    ASSERT_GT(injector.stats().replicasDowned,
+              injector.stats().zoneOutages)
+        << "outages should down whole zones, not single replicas";
+
+    std::stringstream out;
+    writePerfettoJson(sink.events(), out);
+    auto [begins, ends] = countPerfettoPairs(out.str());
+    EXPECT_GT(begins, 0u);
+    EXPECT_EQ(begins, ends);
+}
+
 TEST(ObsE2e, PerfettoExportOfRealRunBalances)
 {
     Trace trace = smallTrace(4.0, 150, 3);
@@ -159,6 +235,58 @@ TEST(ObsE2e, TracingDoesNotPerturbTheSimulation)
     std::string untraced = run(nullptr);
     EXPECT_FALSE(sink.empty());
     EXPECT_EQ(traced, untraced);
+}
+
+TEST(ObsE2e, SloMonitorDoesNotPerturbTheSimulation)
+{
+    // The read-only contract: a monitored (and traced) run must
+    // produce byte-identical records and summary CSVs to a bare run
+    // of the same trace. An overloaded single replica guarantees the
+    // monitor actually raises alerts along the way.
+    Trace trace = smallTrace(8.0, 200, 21);
+
+    SloMonitorConfig cfg;
+    cfg.budget = 0.05;
+    cfg.burn = 1.0;
+    cfg.shortWindow = 5.0;
+    cfg.longWindow = 10.0;
+    cfg.interval = 1.0;
+
+    std::size_t alertEpisodes = 0;
+    auto run = [&](bool monitored) {
+        ClusterSim sim(defaultConfig(), trace);
+        sim.addReplicaGroup(1, fcfsFactory());
+        TraceSink sink;
+        std::optional<SloMonitor> mon;
+        if (monitored) {
+            sim.setTraceSink(&sink);
+            mon.emplace(sim.eventQueue(),
+                        TraceScope{&sink, &sim.eventQueue(), -1}, cfg);
+            sim.metricsCollector().addRecordObserver(
+                [&](const RequestRecord &rec) {
+                    mon->observe(rec.spec.tierId,
+                                 sim.eventQueue().now(),
+                                 violatedSlo(rec,
+                                             sim.metrics().tiers()
+                                                 [static_cast<std::size_t>(
+                                                     rec.spec.tierId)]));
+                });
+            mon->start();
+        }
+        sim.run();
+        if (monitored)
+            alertEpisodes = mon->alerts().size();
+        std::stringstream out;
+        writeRecordsCsv(sim.metrics(), out);
+        writeSummaryCsv(summarize(sim.metrics()), out);
+        return out.str();
+    };
+
+    std::string monitored = run(true);
+    std::string bare = run(false);
+    EXPECT_GT(alertEpisodes, 0u)
+        << "an overloaded run should raise at least one alert";
+    EXPECT_EQ(monitored, bare);
 }
 
 TEST(ObsE2e, ExplainReportNamesEveryViolatedRequest)

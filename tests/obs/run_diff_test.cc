@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the run-diff comparator: deterministic regression flags
+ * over sketches, alert timelines and critical-path shares, and the
+ * text/HTML renderers.
+ */
+
+#include "obs/run_diff.hh"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "simcore/rng.hh"
+
+namespace qoserve {
+namespace {
+
+/** A sketch holding @p n samples uniform in [lo, hi]. */
+QuantileSketch
+sketchOf(double lo, double hi, int n = 2000, std::uint64_t seed = 3)
+{
+    Rng rng(seed);
+    QuantileSketch sk;
+    for (int i = 0; i < n; ++i)
+        sk.insert(rng.uniform(lo, hi));
+    return sk;
+}
+
+RunArtifacts
+artifactsWith(const std::string &label, QuantileSketch sk)
+{
+    RunArtifacts a;
+    a.label = label;
+    a.sketches.emplace("tier0.headline", std::move(sk));
+    return a;
+}
+
+TEST(RunDiff, IdenticalRunsAreClean)
+{
+    RunArtifacts before = artifactsWith("a", sketchOf(0.1, 2.0));
+    RunArtifacts after = artifactsWith("b", sketchOf(0.1, 2.0));
+    RunDiff diff = diffRuns(before, after);
+    EXPECT_FALSE(diff.regressed);
+    ASSERT_EQ(diff.sketches.size(), 1u);
+    EXPECT_FALSE(diff.sketches[0].regressed);
+    EXPECT_EQ(diff.labelBefore, "a");
+    EXPECT_EQ(diff.labelAfter, "b");
+}
+
+TEST(RunDiff, SmallDriftWithinToleranceIsClean)
+{
+    // 5% uniform slowdown against a 10% tolerance: not a regression.
+    RunArtifacts before = artifactsWith("a", sketchOf(0.1, 2.0));
+    RunArtifacts after = artifactsWith("b", sketchOf(0.105, 2.1));
+    RunDiff diff = diffRuns(before, after);
+    EXPECT_FALSE(diff.regressed);
+}
+
+TEST(RunDiff, ClearLatencyRegressionIsFlagged)
+{
+    // A 2x slowdown dwarfs error bounds plus tolerance.
+    RunArtifacts before = artifactsWith("a", sketchOf(0.1, 2.0));
+    RunArtifacts after = artifactsWith("b", sketchOf(0.2, 4.0));
+    RunDiff diff = diffRuns(before, after);
+    EXPECT_TRUE(diff.regressed);
+    ASSERT_EQ(diff.sketches.size(), 1u);
+    EXPECT_TRUE(diff.sketches[0].regressed);
+    bool anyDelta = false;
+    for (const QuantileDelta &d : diff.sketches[0].deltas)
+        anyDelta = anyDelta || d.regressed;
+    EXPECT_TRUE(anyDelta);
+}
+
+TEST(RunDiff, ImprovementIsNeverARegression)
+{
+    RunArtifacts before = artifactsWith("a", sketchOf(0.2, 4.0));
+    RunArtifacts after = artifactsWith("b", sketchOf(0.1, 2.0));
+    EXPECT_FALSE(diffRuns(before, after).regressed);
+}
+
+TEST(RunDiff, NewlyInfiniteQuantileRegresses)
+{
+    RunArtifacts before = artifactsWith("a", sketchOf(0.1, 2.0));
+    QuantileSketch bad = sketchOf(0.1, 2.0);
+    // Enough +inf mass to push p99 into the overflow bucket.
+    for (int i = 0; i < 100; ++i)
+        bad.insert(std::numeric_limits<double>::infinity());
+    RunArtifacts after = artifactsWith("b", std::move(bad));
+    EXPECT_TRUE(diffRuns(before, after).regressed);
+}
+
+TEST(RunDiff, SketchPresentInOnlyOneRunIsReportedNotRegressed)
+{
+    RunArtifacts before = artifactsWith("a", sketchOf(0.1, 2.0));
+    RunArtifacts after = artifactsWith("b", sketchOf(0.1, 2.0));
+    after.sketches.emplace("tier1.headline", sketchOf(0.5, 1.0));
+    RunDiff diff = diffRuns(before, after);
+    EXPECT_FALSE(diff.regressed);
+    ASSERT_EQ(diff.sketches.size(), 2u);
+    EXPECT_TRUE(diff.sketches[1].onlyAfter);
+}
+
+TEST(RunDiff, MoreAlertEpisodesRegress)
+{
+    RunArtifacts before;
+    before.label = "a";
+    before.alerts.push_back({0, SimTime{5.0}, SimTime{15.0}, 2.0});
+    RunArtifacts after;
+    after.label = "b";
+    after.alerts.push_back({0, SimTime{5.0}, SimTime{15.0}, 2.0});
+    after.alerts.push_back({0, SimTime{40.0}, SimTime{45.0}, 1.5});
+    RunDiff diff = diffRuns(before, after);
+    EXPECT_TRUE(diff.regressed);
+    ASSERT_EQ(diff.alerts.size(), 1u);
+    EXPECT_TRUE(diff.alerts[0].regressed);
+    EXPECT_EQ(diff.alerts[0].countBefore, 1u);
+    EXPECT_EQ(diff.alerts[0].countAfter, 2u);
+}
+
+TEST(RunDiff, LongerActiveAlertSecondsRegress)
+{
+    RunArtifacts before;
+    before.alerts.push_back({1, SimTime{0.0}, SimTime{10.0}, 2.0});
+    RunArtifacts after;
+    after.alerts.push_back({1, SimTime{0.0}, SimTime{30.0}, 2.0});
+    EXPECT_TRUE(diffRuns(before, after).regressed);
+}
+
+TEST(RunDiff, RecoveredAlertsAreClean)
+{
+    RunArtifacts before;
+    before.alerts.push_back({0, SimTime{5.0}, SimTime{50.0}, 3.0});
+    RunArtifacts after; // no alerts at all
+    RunDiff diff = diffRuns(before, after);
+    EXPECT_FALSE(diff.regressed);
+    ASSERT_EQ(diff.alerts.size(), 1u);
+    EXPECT_EQ(diff.alerts[0].countAfter, 0u);
+}
+
+TEST(RunDiff, UnclearedAlertRegresses)
+{
+    RunArtifacts before;
+    before.alerts.push_back({0, SimTime{5.0}, SimTime{6.0}, 2.0});
+    RunArtifacts after;
+    after.alerts.push_back({0, SimTime{5.0}, kTimeNever, 2.0});
+    EXPECT_TRUE(diffRuns(before, after).regressed);
+}
+
+TEST(RunDiff, CriticalShareShiftRegresses)
+{
+    auto aggWith = [](std::uint64_t starvedDom,
+                      std::uint64_t decodeDom) {
+        CriticalAggregate agg;
+        agg.requests = starvedDom + decodeDom;
+        agg.totalSeconds = 10.0;
+        agg.cells[{static_cast<int>(TracePhase::Starved), 0}] = {
+            5.0, starvedDom};
+        agg.cells[{static_cast<int>(TracePhase::Decode), 0}] = {
+            5.0, decodeDom};
+        return agg;
+    };
+    RunArtifacts before;
+    before.critical = aggWith(2, 8); // starvation led 20% of misses
+    before.hasCritical = true;
+    RunArtifacts after;
+    after.critical = aggWith(8, 2); // ... now 80%
+    after.hasCritical = true;
+
+    RunDiff diff = diffRuns(before, after);
+    EXPECT_TRUE(diff.regressed);
+    bool starvedFlagged = false;
+    for (const CriticalDiff &cd : diff.critical) {
+        if (cd.phase == static_cast<int>(TracePhase::Starved))
+            starvedFlagged = cd.regressed;
+    }
+    EXPECT_TRUE(starvedFlagged);
+}
+
+TEST(RunDiff, TextAndHtmlRenderersNameTheVerdict)
+{
+    RunArtifacts before = artifactsWith("baseline", sketchOf(0.1, 2.0));
+    RunArtifacts after = artifactsWith("candidate", sketchOf(0.2, 4.0));
+    RunDiff diff = diffRuns(before, after);
+    ASSERT_TRUE(diff.regressed);
+
+    std::ostringstream text;
+    writeDiffText(diff, text);
+    EXPECT_NE(text.str().find("REGRESSED"), std::string::npos)
+        << text.str();
+    EXPECT_NE(text.str().find("tier0.headline"), std::string::npos);
+    EXPECT_NE(text.str().find("baseline"), std::string::npos);
+
+    std::ostringstream html;
+    writeDiffHtml(diff, html);
+    const std::string page = html.str();
+    EXPECT_NE(page.find("<!DOCTYPE html>"), std::string::npos);
+    EXPECT_NE(page.find("tier0.headline"), std::string::npos);
+    EXPECT_NE(page.find("</html>"), std::string::npos);
+    // Self-contained: no external scripts or stylesheets.
+    EXPECT_EQ(page.find("src="), std::string::npos);
+    EXPECT_EQ(page.find("href="), std::string::npos);
+}
+
+TEST(RunDiff, CleanDiffSaysClean)
+{
+    RunArtifacts before = artifactsWith("a", sketchOf(0.1, 2.0));
+    RunArtifacts after = artifactsWith("b", sketchOf(0.1, 2.0));
+    RunDiff diff = diffRuns(before, after);
+    std::ostringstream text;
+    writeDiffText(diff, text);
+    EXPECT_EQ(text.str().find("REGRESSED"), std::string::npos);
+    EXPECT_NE(text.str().find("clean"), std::string::npos)
+        << text.str();
+}
+
+} // namespace
+} // namespace qoserve

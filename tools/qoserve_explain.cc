@@ -14,6 +14,7 @@
  *   qoserve_explain --trace events.csv --records records.csv
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "metrics/report_io.hh"
+#include "obs/critical_path.hh"
 #include "obs/explain.hh"
 #include "obs/trace_sink.hh"
 
@@ -32,10 +34,12 @@ usage(std::ostream &out)
 {
     out << R"(qoserve_explain — attribute SLO violations to lifecycle phases
 
-  --trace FILE     lifecycle event CSV (qoserve_sim --trace-csv)
-  --records FILE   per-request records CSV (qoserve_sim --records-out)
-  --top N          offenders to list (default 10)
-  --help           this text
+  --trace FILE         lifecycle event CSV (qoserve_sim --trace-csv)
+  --records FILE       per-request records CSV (qoserve_sim --records-out)
+  --top N              offenders to list (default 10)
+  --critical-csv FILE  also write the violated requests' critical-path
+                       aggregate as CSV (qoserve_report input)
+  --help               this text
 )";
 }
 
@@ -48,6 +52,7 @@ main(int argc, char **argv)
 
     std::optional<std::string> trace_path;
     std::optional<std::string> records_path;
+    std::optional<std::string> critical_path;
     std::size_t top_n = 10;
 
     std::vector<std::string> args(argv + 1, argv + argc);
@@ -70,6 +75,8 @@ main(int argc, char **argv)
         } else if (flag == "--top") {
             top_n = static_cast<std::size_t>(
                 std::strtoull(need_value().c_str(), nullptr, 10));
+        } else if (flag == "--critical-csv") {
+            critical_path = need_value();
         } else {
             std::cerr << "unknown flag: " << flag << " (try --help)\n";
             return 1;
@@ -105,5 +112,20 @@ main(int argc, char **argv)
     }
 
     writeExplainReport(events, records, std::cout, top_n);
+
+    if (critical_path) {
+        // aggregateCriticalPaths skips never-served requests itself,
+        // so the CSV covers exactly the served violated set the
+        // report's critical-path section describes.
+        auto timelines = buildRequestTimelines(events);
+        std::vector<std::uint64_t> violatedIds;
+        for (const ExplainRecord &rec : records)
+            if (rec.violated)
+                violatedIds.push_back(rec.id);
+        std::sort(violatedIds.begin(), violatedIds.end());
+        writeCriticalAggregateCsvFile(
+            aggregateCriticalPaths(timelines, violatedIds),
+            *critical_path);
+    }
     return 0;
 }

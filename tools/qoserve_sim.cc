@@ -16,6 +16,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,8 @@
 #include "cluster/brownout.hh"
 #include "fault/failure_domains.hh"
 #include "obs/metrics_registry.hh"
+#include "obs/quantile_sketch.hh"
+#include "obs/slo_monitor.hh"
 #include "obs/trace_export.hh"
 #include "obs/trace_sink.hh"
 
@@ -119,6 +122,59 @@ main(int argc, char **argv)
             [&recordsWriter](const RequestRecord &rec) {
                 recordsWriter->write(rec);
             });
+    }
+
+    // Streaming latency sketches: one mergeable sketch per tier and
+    // headline metric, fed as records complete and dumped as a bank
+    // for offline comparison (qoserve_report). The observer composes
+    // with the streaming records writer above.
+    std::map<std::string, QuantileSketch> sketchBank;
+    if (opts.sketchOut) {
+        sim.metricsCollector().addRecordObserver(
+            [&sketchBank, &trace, &opts](const RequestRecord &rec) {
+                const QosTier &tier = trace.tiers[rec.spec.tierId];
+                const std::string prefix =
+                    "tier" + std::to_string(rec.spec.tierId);
+                auto sketchFor =
+                    [&](const std::string &name) -> QuantileSketch & {
+                    auto it = sketchBank.find(name);
+                    if (it == sketchBank.end())
+                        it = sketchBank
+                                 .emplace(name,
+                                          QuantileSketch(
+                                              opts.sketchAlpha))
+                                 .first;
+                    return it->second;
+                };
+                sketchFor(prefix + ".headline")
+                    .insert(headlineLatency(rec, tier));
+                sketchFor(prefix + ".ttft").insert(rec.ttft());
+                sketchFor(prefix + ".ttlt").insert(rec.ttlt());
+            });
+    }
+
+    // SLO burn-rate monitor: a cluster-scoped read-only daemon fed
+    // one (tier, time, violated) observation per completed request.
+    std::optional<SloMonitor> sloMonitor;
+    if (opts.sloMonitor) {
+        TraceScope monitorScope;
+        if (opts.traceJsonOut || opts.traceEventsOut)
+            monitorScope.sink = &traceSink;
+        monitorScope.clock = &sim.eventQueue();
+        sloMonitor.emplace(sim.eventQueue(), monitorScope,
+                           opts.sloAlert);
+        sim.metricsCollector().addRecordObserver(
+            [&sloMonitor, &sim, &trace](const RequestRecord &rec) {
+                sloMonitor->observe(
+                    rec.spec.tierId, sim.eventQueue().now(),
+                    violatedSlo(rec, trace.tiers[rec.spec.tierId]));
+            });
+        sloMonitor->start();
+        std::cerr << "slo monitor: budget " << opts.sloAlert.budget
+                  << ", burn " << opts.sloAlert.burn << "x over "
+                  << opts.sloAlert.shortWindow << " s and "
+                  << opts.sloAlert.longWindow << " s, every "
+                  << opts.sloAlert.interval << " s\n";
     }
 
     // Fault injection: episodes may start any time up to the last
@@ -322,6 +378,23 @@ main(int argc, char **argv)
         std::cout << "cache blocks: " << agg.blocksInserted
                   << " inserted, " << agg.blocksEvicted
                   << " evicted\n";
+    }
+
+    if (opts.sketchOut) {
+        writeSketchBankCsvFile(sketchBank, *opts.sketchOut);
+        std::cerr << "sketches: " << sketchBank.size()
+                  << " latency sketches (alpha " << opts.sketchAlpha
+                  << ") -> " << *opts.sketchOut << "\n";
+    }
+    if (sloMonitor) {
+        std::cout << "slo alerts: " << sloMonitor->alerts().size()
+                  << " episodes over " << sloMonitor->ticks()
+                  << " evaluations, "
+                  << sloMonitor->activeTiers().size()
+                  << " still active at drain\n";
+        if (opts.sloAlertsOut)
+            writeAlertsCsvFile(sloMonitor->alerts(),
+                               *opts.sloAlertsOut);
     }
 
     if (recordsWriter)
